@@ -1,0 +1,191 @@
+//! Exact brute-force tricluster enumeration (correctness oracle).
+//!
+//! Enumerates **every** subset combination `X × Y × Z` of a (tiny) matrix,
+//! keeps those that satisfy the paper's cluster definition — ratio
+//! coherence within `ε`/`ε_time` (checked by
+//! [`tricluster_core::validate::is_coherent_region`]), the `δ` range
+//! thresholds, and the minimum sizes — and filters to maximal clusters.
+//!
+//! Complexity is `O(2^{n+m+l})` cells-checked, so this is strictly a test
+//! oracle; the cross-check tests keep dimensions at or below `8 × 4 × 3`.
+
+use tricluster_bitset::BitSet;
+use tricluster_core::validate::{deltas_ok, is_coherent_region};
+use tricluster_core::{Params, Tricluster};
+use tricluster_matrix::Matrix3;
+
+/// Enumerates all maximal valid triclusters of `m` under `params`, by
+/// exhaustive search.
+///
+/// # Panics
+/// Panics if any dimension exceeds 16 (the search would not terminate in
+/// reasonable time).
+pub fn mine_exhaustive(m: &Matrix3, params: &Params) -> Vec<Tricluster> {
+    let (n, s, t) = m.dims();
+    assert!(
+        n <= 16 && s <= 16 && t <= 16,
+        "brute-force oracle limited to 16 indices per dimension, got {:?}",
+        m.dims()
+    );
+    let gene_subsets = subsets_of_size_at_least(n, params.min_genes);
+    let sample_subsets = subsets_of_size_at_least(s, params.min_samples);
+    let time_subsets = subsets_of_size_at_least(t, params.min_times);
+
+    let mut results: Vec<Tricluster> = Vec::new();
+    for genes_mask in &gene_subsets {
+        let genes = BitSet::from_indices(n, bits(*genes_mask));
+        for samples_mask in &sample_subsets {
+            let samples: Vec<usize> = bits(*samples_mask).collect();
+            for times_mask in &time_subsets {
+                let times: Vec<usize> = bits(*times_mask).collect();
+                if !is_coherent_region(
+                    m,
+                    &genes,
+                    &samples,
+                    &times,
+                    params.epsilon,
+                    params.epsilon_time,
+                ) {
+                    continue;
+                }
+                let candidate = Tricluster::new(genes.clone(), samples.clone(), times);
+                if !deltas_ok(
+                    m,
+                    &candidate,
+                    params.delta_gene,
+                    params.delta_sample,
+                    params.delta_time,
+                ) {
+                    continue;
+                }
+                insert_maximal(&mut results, candidate);
+            }
+        }
+    }
+    results.sort_by(|a, b| {
+        a.genes
+            .to_vec()
+            .cmp(&b.genes.to_vec())
+            .then_with(|| a.samples.cmp(&b.samples))
+            .then_with(|| a.times.cmp(&b.times))
+    });
+    results
+}
+
+fn insert_maximal(results: &mut Vec<Tricluster>, candidate: Tricluster) {
+    if results.iter().any(|c| candidate.is_subcluster_of(c)) {
+        return;
+    }
+    results.retain(|c| !c.is_subcluster_of(&candidate));
+    results.push(candidate);
+}
+
+fn subsets_of_size_at_least(n: usize, min: usize) -> Vec<u32> {
+    (1u32..(1 << n))
+        .filter(|mask| mask.count_ones() as usize >= min)
+        .collect()
+}
+
+fn bits(mask: u32) -> impl Iterator<Item = usize> {
+    (0..32).filter(move |i| mask & (1 << i) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(eps: f64, mx: usize, my: usize, mz: usize) -> Params {
+        Params::builder()
+            .epsilon(eps)
+            .min_genes(mx)
+            .min_samples(my)
+            .min_times(mz)
+            .build()
+            .unwrap()
+    }
+
+    /// A hand-built 4x3x2 matrix with one obvious scaling cluster.
+    fn tiny() -> Matrix3 {
+        let mut m = Matrix3::zeros(4, 3, 2);
+        // genes 0,1 scale (factor 3) over samples 0..2, times 0..1
+        for t in 0..2 {
+            for s in 0..3 {
+                let v = (s + 1) as f64 * (t + 1) as f64;
+                m.set(0, s, t, v);
+                m.set(1, s, t, 3.0 * v);
+            }
+        }
+        // genes 2,3: arbitrary incoherent values
+        let noise = [7.3, 11.9, 5.1, 13.7, 8.9, 10.3, 6.7, 12.1, 9.7, 5.9, 11.3, 7.9];
+        let mut k = 0;
+        for g in 2..4 {
+            for s in 0..3 {
+                for t in 0..2 {
+                    m.set(g, s, t, noise[k]);
+                    k += 1;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn finds_the_embedded_cluster() {
+        let m = tiny();
+        let found = mine_exhaustive(&m, &params(0.001, 2, 2, 2));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].genes.to_vec(), vec![0, 1]);
+        assert_eq!(found[0].samples, vec![0, 1, 2]);
+        assert_eq!(found[0].times, vec![0, 1]);
+    }
+
+    #[test]
+    fn results_are_maximal() {
+        let m = tiny();
+        let found = mine_exhaustive(&m, &params(0.001, 2, 2, 1));
+        for (i, a) in found.iter().enumerate() {
+            for (j, b) in found.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subcluster_of(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_size_filters() {
+        let m = tiny();
+        assert!(mine_exhaustive(&m, &params(0.001, 3, 2, 2)).is_empty());
+        assert!(mine_exhaustive(&m, &params(0.001, 2, 4, 2)).is_empty());
+    }
+
+    #[test]
+    fn delta_thresholds_respected() {
+        let m = tiny();
+        let p = Params::builder()
+            .epsilon(0.001)
+            .min_genes(2)
+            .min_samples(2)
+            .min_times(2)
+            .delta_sample(1.0) // gene 1 spans 3..9 over samples -> killed
+            .build()
+            .unwrap();
+        assert!(mine_exhaustive(&m, &p).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 16")]
+    fn too_large_matrix_panics() {
+        let m = Matrix3::zeros(20, 3, 2);
+        mine_exhaustive(&m, &params(0.01, 2, 2, 2));
+    }
+
+    #[test]
+    fn uniform_matrix_is_one_cluster() {
+        let mut m = Matrix3::zeros(3, 3, 2);
+        m.map_in_place(|_| 4.2);
+        let found = mine_exhaustive(&m, &params(0.0, 2, 2, 2));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].span_size(), 18);
+    }
+}

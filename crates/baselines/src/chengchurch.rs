@@ -1,0 +1,392 @@
+//! Cheng & Church δ-biclustering (ISMB 2000).
+//!
+//! The classic greedy baseline §3.3 discusses: a δ-bicluster is a submatrix
+//! whose *mean squared residue*
+//!
+//! ```text
+//! H(I, J) = 1/(|I||J|) Σ_{i∈I, j∈J} (a_ij − a_iJ − a_Ij + a_IJ)²
+//! ```
+//!
+//! is below a threshold δ. Starting from the full matrix, the algorithm
+//! greedily deletes the rows/columns contributing the most residue
+//! (*multiple node deletion* with factor `α`, then *single node deletion*),
+//! then adds back rows/columns that do not raise the residue (*node
+//! addition*). After each bicluster is reported, its cells are masked with
+//! random values and the search repeats — which is exactly why it misses
+//! overlapping clusters, the weakness TriCluster's §3.3 calls out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tricluster_matrix::Matrix2;
+
+/// One δ-bicluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBicluster {
+    /// Selected rows, ascending.
+    pub rows: Vec<usize>,
+    /// Selected columns, ascending.
+    pub cols: Vec<usize>,
+    /// Mean squared residue of the final submatrix.
+    pub residue: f64,
+}
+
+/// Parameters for [`mine_delta_biclusters`].
+#[derive(Debug, Clone, Copy)]
+pub struct CcParams {
+    /// Residue threshold δ.
+    pub delta: f64,
+    /// Multiple-deletion aggressiveness `α` (Cheng & Church use 1.2).
+    pub alpha: f64,
+    /// Number of biclusters to extract.
+    pub n_clusters: usize,
+    /// Minimum rows/cols for a reported bicluster.
+    pub min_rows: usize,
+    /// Minimum columns.
+    pub min_cols: usize,
+    /// Mask replacement range (random uniform).
+    pub mask_range: (f64, f64),
+    /// RNG seed for masking.
+    pub seed: u64,
+}
+
+impl Default for CcParams {
+    fn default() -> Self {
+        CcParams {
+            delta: 0.1,
+            alpha: 1.2,
+            n_clusters: 5,
+            min_rows: 2,
+            min_cols: 2,
+            mask_range: (0.0, 800.0),
+            seed: 2000,
+        }
+    }
+}
+
+/// Mean squared residue of the submatrix `rows × cols`.
+pub fn mean_squared_residue(m: &Matrix2, rows: &[usize], cols: &[usize]) -> f64 {
+    if rows.is_empty() || cols.is_empty() {
+        return 0.0;
+    }
+    let (row_means, col_means, mean) = means(m, rows, cols);
+    let mut acc = 0.0;
+    for (ri, &r) in rows.iter().enumerate() {
+        for (ci, &c) in cols.iter().enumerate() {
+            let resid = m.get(r, c) - row_means[ri] - col_means[ci] + mean;
+            acc += resid * resid;
+        }
+    }
+    acc / (rows.len() * cols.len()) as f64
+}
+
+fn means(m: &Matrix2, rows: &[usize], cols: &[usize]) -> (Vec<f64>, Vec<f64>, f64) {
+    let mut row_means = vec![0.0; rows.len()];
+    let mut col_means = vec![0.0; cols.len()];
+    let mut mean = 0.0;
+    for (ri, &r) in rows.iter().enumerate() {
+        for (ci, &c) in cols.iter().enumerate() {
+            let v = m.get(r, c);
+            row_means[ri] += v;
+            col_means[ci] += v;
+            mean += v;
+        }
+    }
+    for rm in &mut row_means {
+        *rm /= cols.len() as f64;
+    }
+    for cm in &mut col_means {
+        *cm /= rows.len() as f64;
+    }
+    mean /= (rows.len() * cols.len()) as f64;
+    (row_means, col_means, mean)
+}
+
+/// Per-row residue contributions `d(i)`.
+fn row_residues(m: &Matrix2, rows: &[usize], cols: &[usize]) -> Vec<f64> {
+    let (row_means, col_means, mean) = means(m, rows, cols);
+    rows.iter()
+        .enumerate()
+        .map(|(ri, &r)| {
+            cols.iter()
+                .enumerate()
+                .map(|(ci, &c)| {
+                    let v = m.get(r, c) - row_means[ri] - col_means[ci] + mean;
+                    v * v
+                })
+                .sum::<f64>()
+                / cols.len() as f64
+        })
+        .collect()
+}
+
+fn col_residues(m: &Matrix2, rows: &[usize], cols: &[usize]) -> Vec<f64> {
+    let (row_means, col_means, mean) = means(m, rows, cols);
+    cols.iter()
+        .enumerate()
+        .map(|(ci, &c)| {
+            rows.iter()
+                .enumerate()
+                .map(|(ri, &r)| {
+                    let v = m.get(r, c) - row_means[ri] - col_means[ci] + mean;
+                    v * v
+                })
+                .sum::<f64>()
+                / rows.len() as f64
+        })
+        .collect()
+}
+
+/// Runs one greedy deletion + addition pass on (a copy of) `m`, returning
+/// the resulting bicluster.
+pub fn find_one(m: &Matrix2, params: &CcParams) -> DeltaBicluster {
+    let mut rows: Vec<usize> = (0..m.rows()).collect();
+    let mut cols: Vec<usize> = (0..m.cols()).collect();
+
+    // multiple node deletion
+    loop {
+        let h = mean_squared_residue(m, &rows, &cols);
+        if h <= params.delta || rows.len() <= params.min_rows || cols.len() <= params.min_cols {
+            break;
+        }
+        let before = (rows.len(), cols.len());
+        let rres = row_residues(m, &rows, &cols);
+        let keep_rows: Vec<usize> = rows
+            .iter()
+            .zip(&rres)
+            .filter(|&(_, &d)| d <= params.alpha * h)
+            .map(|(&r, _)| r)
+            .collect();
+        if keep_rows.len() >= params.min_rows {
+            rows = keep_rows;
+        }
+        let h = mean_squared_residue(m, &rows, &cols);
+        if h <= params.delta {
+            break;
+        }
+        let cres = col_residues(m, &rows, &cols);
+        let keep_cols: Vec<usize> = cols
+            .iter()
+            .zip(&cres)
+            .filter(|&(_, &d)| d <= params.alpha * h)
+            .map(|(&c, _)| c)
+            .collect();
+        if keep_cols.len() >= params.min_cols {
+            cols = keep_cols;
+        }
+        if (rows.len(), cols.len()) == before {
+            break; // multiple deletion stalled; fall through to single
+        }
+    }
+
+    // single node deletion
+    loop {
+        let h = mean_squared_residue(m, &rows, &cols);
+        if h <= params.delta || (rows.len() <= params.min_rows && cols.len() <= params.min_cols) {
+            break;
+        }
+        let rres = row_residues(m, &rows, &cols);
+        let cres = col_residues(m, &rows, &cols);
+        let (worst_row, worst_row_d) = rres
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &d)| (i, d))
+            .unwrap_or((0, 0.0));
+        let (worst_col, worst_col_d) = cres
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &d)| (i, d))
+            .unwrap_or((0, 0.0));
+        if worst_row_d >= worst_col_d && rows.len() > params.min_rows {
+            rows.remove(worst_row);
+        } else if cols.len() > params.min_cols {
+            cols.remove(worst_col);
+        } else if rows.len() > params.min_rows {
+            rows.remove(worst_row);
+        } else {
+            break;
+        }
+    }
+
+    // node addition (one pass): add back rows/cols not raising the residue
+    let h = mean_squared_residue(m, &rows, &cols);
+    let (row_means_all, _, _) = means(m, &rows, &cols);
+    let _ = row_means_all;
+    for c in 0..m.cols() {
+        if cols.contains(&c) {
+            continue;
+        }
+        let mut trial = cols.clone();
+        trial.push(c);
+        trial.sort_unstable();
+        if mean_squared_residue(m, &rows, &trial) <= h {
+            cols = trial;
+        }
+    }
+    for r in 0..m.rows() {
+        if rows.contains(&r) {
+            continue;
+        }
+        let mut trial = rows.clone();
+        trial.push(r);
+        trial.sort_unstable();
+        if mean_squared_residue(m, &trial, &cols) <= h {
+            rows = trial;
+        }
+    }
+
+    let residue = mean_squared_residue(m, &rows, &cols);
+    DeltaBicluster {
+        rows,
+        cols,
+        residue,
+    }
+}
+
+/// Extracts up to `n_clusters` δ-biclusters, masking each with random
+/// values before searching for the next (the Cheng–Church protocol).
+pub fn mine_delta_biclusters(m: &Matrix2, params: &CcParams) -> Vec<DeltaBicluster> {
+    let mut work = m.clone();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut out = Vec::new();
+    for _ in 0..params.n_clusters {
+        let bc = find_one(&work, params);
+        if bc.rows.len() < params.min_rows || bc.cols.len() < params.min_cols {
+            break;
+        }
+        // mask the found bicluster
+        for &r in &bc.rows {
+            for &c in &bc.cols {
+                work.set(r, c, rng.gen_range(params.mask_range.0..=params.mask_range.1));
+            }
+        }
+        out.push(bc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An additive (shifting) block has zero residue.
+    fn additive_block() -> Matrix2 {
+        let mut rows = Vec::new();
+        for r in 0..4 {
+            let row: Vec<f64> = (0..5).map(|c| r as f64 * 2.0 + c as f64 * 3.0).collect();
+            rows.push(row);
+        }
+        Matrix2::from_rows(&rows)
+    }
+
+    #[test]
+    fn residue_zero_for_additive_pattern() {
+        let m = additive_block();
+        let rows: Vec<usize> = (0..4).collect();
+        let cols: Vec<usize> = (0..5).collect();
+        assert!(mean_squared_residue(&m, &rows, &cols) < 1e-18);
+    }
+
+    #[test]
+    fn residue_positive_for_noise() {
+        let m = Matrix2::from_rows(&[
+            vec![1.0, 9.0, 2.0],
+            vec![8.0, 0.5, 7.0],
+            vec![3.0, 6.5, 1.5],
+        ]);
+        assert!(mean_squared_residue(&m, &[0, 1, 2], &[0, 1, 2]) > 1.0);
+    }
+
+    #[test]
+    fn residue_of_empty_is_zero() {
+        let m = additive_block();
+        assert_eq!(mean_squared_residue(&m, &[], &[0]), 0.0);
+    }
+
+    #[test]
+    fn finds_clean_block_in_noise() {
+        // rows 0..3 / cols 0..3 additive; elsewhere large noise
+        let mut rows = Vec::new();
+        for r in 0..6 {
+            let mut row = Vec::new();
+            for c in 0..6 {
+                if r < 3 && c < 3 {
+                    row.push(r as f64 * 2.0 + c as f64);
+                } else {
+                    row.push(100.0 + ((r * 31 + c * 17) % 97) as f64 * 3.0);
+                }
+            }
+            rows.push(row);
+        }
+        let m = Matrix2::from_rows(&rows);
+        let bc = find_one(
+            &m,
+            &CcParams {
+                delta: 0.01,
+                ..Default::default()
+            },
+        );
+        assert!(bc.residue <= 0.01, "residue {}", bc.residue);
+        assert!(bc.rows.len() >= 2 && bc.cols.len() >= 2);
+        // the clean block should be (a subset of) rows/cols 0..3
+        assert!(bc.rows.iter().all(|&r| r < 3), "{bc:?}");
+        assert!(bc.cols.iter().all(|&c| c < 3), "{bc:?}");
+    }
+
+    #[test]
+    fn masking_yields_distinct_clusters() {
+        // two disjoint clean blocks
+        let mut rows = Vec::new();
+        for r in 0..8 {
+            let mut row = Vec::new();
+            for c in 0..8 {
+                let v = if r < 4 && c < 4 {
+                    r as f64 + c as f64
+                } else if r >= 4 && c >= 4 {
+                    50.0 + r as f64 * 3.0 + c as f64 * 2.0
+                } else {
+                    1000.0 + ((r * 37 + c * 23) % 89) as f64 * 7.0
+                };
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        let m = Matrix2::from_rows(&rows);
+        let found = mine_delta_biclusters(
+            &m,
+            &CcParams {
+                delta: 0.01,
+                n_clusters: 2,
+                mask_range: (0.0, 2000.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(found.len(), 2);
+        // the two clusters should not coincide
+        assert_ne!((&found[0].rows, &found[0].cols), (&found[1].rows, &found[1].cols));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = additive_block();
+        let p = CcParams::default();
+        assert_eq!(mine_delta_biclusters(&m, &p), mine_delta_biclusters(&m, &p));
+    }
+
+    #[test]
+    fn respects_minimum_shape() {
+        let m = additive_block();
+        let bc = find_one(
+            &m,
+            &CcParams {
+                delta: 1e-12,
+                min_rows: 3,
+                min_cols: 4,
+                ..Default::default()
+            },
+        );
+        assert!(bc.rows.len() >= 3);
+        assert!(bc.cols.len() >= 4);
+    }
+}

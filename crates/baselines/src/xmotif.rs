@@ -1,0 +1,231 @@
+//! xMotif (Murali & Kasif, PSB 2003) — conserved gene expression motifs,
+//! the Monte Carlo competitor §3.3 discusses.
+//!
+//! An xMotif is a set of genes and a set of samples such that every gene is
+//! in the same *state* across those samples; following the usual practical
+//! instantiation, a gene is conserved over a sample set when its values
+//! there span at most `alpha` (an interval width). Mining is randomized:
+//! repeatedly pick a *seed* sample and a small *discriminating set* of
+//! samples, collect the genes conserved across them, then keep the motif
+//! covering the most cells. Because of the random sampling it "cannot
+//! guarantee to find all the clusters" — the drawback the TriCluster paper
+//! notes — which `randomness_affects_results` demonstrates.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tricluster_bitset::BitSet;
+use tricluster_matrix::Matrix2;
+
+/// One mined motif.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XMotif {
+    /// Conserved genes.
+    pub genes: BitSet,
+    /// The samples the genes are conserved across (seed + discriminating
+    /// set + all other samples that keep every gene conserved).
+    pub samples: Vec<usize>,
+}
+
+impl XMotif {
+    /// Covered cells.
+    pub fn size(&self) -> usize {
+        self.genes.count() * self.samples.len()
+    }
+}
+
+/// Parameters for [`mine_xmotifs`].
+#[derive(Debug, Clone, Copy)]
+pub struct XMotifParams {
+    /// Maximum value spread for a gene to count as conserved.
+    pub alpha: f64,
+    /// Discriminating-set size (samples drawn besides the seed).
+    pub set_size: usize,
+    /// Monte Carlo iterations.
+    pub iterations: usize,
+    /// Minimum genes for a motif to be kept.
+    pub min_genes: usize,
+    /// Minimum samples.
+    pub min_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XMotifParams {
+    fn default() -> Self {
+        XMotifParams {
+            alpha: 0.1,
+            set_size: 2,
+            iterations: 50,
+            min_genes: 2,
+            min_samples: 2,
+            seed: 2003,
+        }
+    }
+}
+
+/// Is gene `g` conserved (spread ≤ alpha) over `samples`?
+fn conserved(m: &Matrix2, g: usize, samples: &[usize], alpha: f64) -> bool {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &s in samples {
+        let v = m.get(g, s);
+        if !v.is_finite() {
+            return false;
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    hi - lo <= alpha
+}
+
+/// Runs the Monte Carlo search and returns the best motif found, if any
+/// meets the minimum shape.
+pub fn mine_xmotifs(m: &Matrix2, params: &XMotifParams) -> Option<XMotif> {
+    let (n_genes, n_samples) = m.dims();
+    if n_genes == 0 || n_samples == 0 {
+        return None;
+    }
+    assert!(params.alpha >= 0.0, "alpha must be non-negative");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut best: Option<XMotif> = None;
+    for _ in 0..params.iterations {
+        // seed + discriminating set
+        let mut pool: Vec<usize> = (0..n_samples).collect();
+        pool.shuffle(&mut rng);
+        let take = (1 + params.set_size).min(n_samples);
+        let chosen: Vec<usize> = pool[..take].to_vec();
+        let _ = rng.gen::<u32>(); // decorrelate iterations with equal pools
+
+        // genes conserved across the chosen samples
+        let genes: Vec<usize> = (0..n_genes)
+            .filter(|&g| conserved(m, g, &chosen, params.alpha))
+            .collect();
+        if genes.len() < params.min_genes {
+            continue;
+        }
+        // extend with every other sample that keeps all genes conserved
+        let mut samples = chosen.clone();
+        for s in 0..n_samples {
+            if samples.contains(&s) {
+                continue;
+            }
+            let mut trial = samples.clone();
+            trial.push(s);
+            if genes.iter().all(|&g| conserved(m, g, &trial, params.alpha)) {
+                samples = trial;
+            }
+        }
+        if samples.len() < params.min_samples {
+            continue;
+        }
+        samples.sort_unstable();
+        let motif = XMotif {
+            genes: BitSet::from_indices(n_genes, genes),
+            samples,
+        };
+        if best.as_ref().is_none_or(|b| motif.size() > b.size()) {
+            best = Some(motif);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Genes 0..=3 hold near-constant values on samples 0..=3; the rest is
+    /// spread out.
+    fn fixture() -> Matrix2 {
+        let mut rows = Vec::new();
+        for g in 0..4 {
+            let level = 1.0 + g as f64;
+            let mut row: Vec<f64> = (0..4).map(|s| level + s as f64 * 0.01).collect();
+            row.push(50.0 + g as f64 * 7.0); // sample 4 breaks conservation
+            rows.push(row);
+        }
+        for g in 0..3 {
+            let row: Vec<f64> = (0..5).map(|s| (g * 13 + s * 29) as f64 % 17.0).collect();
+            rows.push(row);
+        }
+        Matrix2::from_rows(&rows)
+    }
+
+    #[test]
+    fn finds_conserved_block() {
+        let m = fixture();
+        let motif = mine_xmotifs(
+            &m,
+            &XMotifParams {
+                alpha: 0.05,
+                iterations: 200,
+                ..Default::default()
+            },
+        )
+        .expect("motif found");
+        assert_eq!(motif.genes.to_vec(), vec![0, 1, 2, 3], "{motif:?}");
+        assert_eq!(motif.samples, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn conserved_respects_alpha() {
+        let m = fixture();
+        assert!(conserved(&m, 0, &[0, 1, 2, 3], 0.05));
+        assert!(!conserved(&m, 0, &[0, 4], 0.05));
+        assert!(!conserved(&m, 0, &[0, 1], 0.0), "0.01 spread > 0");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = fixture();
+        let p = XMotifParams::default();
+        assert_eq!(mine_xmotifs(&m, &p), mine_xmotifs(&m, &p));
+    }
+
+    /// The §3.3 drawback: results depend on the random draws — with few
+    /// iterations, different seeds can find different (or no) motifs.
+    #[test]
+    fn randomness_affects_results() {
+        let m = fixture();
+        let outcomes: std::collections::HashSet<Option<usize>> = (0..12)
+            .map(|seed| {
+                mine_xmotifs(
+                    &m,
+                    &XMotifParams {
+                        alpha: 0.05,
+                        iterations: 1, // a single draw
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .map(|motif| motif.size())
+            })
+            .collect();
+        assert!(
+            outcomes.len() > 1,
+            "single-draw runs should disagree across seeds: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn min_shape_enforced() {
+        let m = fixture();
+        assert!(mine_xmotifs(
+            &m,
+            &XMotifParams {
+                alpha: 0.05,
+                min_genes: 10,
+                iterations: 50,
+                ..Default::default()
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix2::zeros(0, 0);
+        assert!(mine_xmotifs(&m, &XMotifParams::default()).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * range multigraph vs recomputing pair ranges at every DFS node,
+//! * extended/split/patched ranges on vs off,
+//! * the merge/prune pass cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tricluster_bench::nocache;
+use tricluster_core::bicluster::mine_biclusters;
+use tricluster_core::params::RangeExtension;
+use tricluster_core::rangegraph::build_range_graph;
+use tricluster_core::{mine, MergeParams, Params};
+use tricluster_synth::{generate, SynthSpec};
+
+fn spec() -> SynthSpec {
+    SynthSpec {
+        n_genes: 300,
+        n_samples: 10,
+        n_times: 4,
+        n_clusters: 4,
+        gene_range: (40, 40),
+        sample_range: (4, 4),
+        time_range: (3, 3),
+        overlap_fraction: 0.2,
+        noise: 0.02,
+        seed: 13,
+        ..SynthSpec::default()
+    }
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+}
+
+fn bench_multigraph_vs_nocache(c: &mut Criterion) {
+    let s = spec();
+    let data = generate(&s);
+    let params = Params::builder()
+        .epsilon(s.suggested_epsilon())
+        .min_size(20, 3, 2)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("ablation_multigraph");
+    configure(&mut group);
+    group.bench_function("with_range_multigraph", |b| {
+        b.iter(|| {
+            let rg = build_range_graph(&data.matrix, 0, &params);
+            mine_biclusters(&data.matrix, &rg, &params)
+        })
+    });
+    group.bench_function("ranges_recomputed_per_node", |b| {
+        b.iter(|| nocache::mine_biclusters_nocache(&data.matrix, 0, &params))
+    });
+    group.finish();
+}
+
+fn bench_range_extension(c: &mut Criterion) {
+    let s = spec();
+    let data = generate(&s);
+    let mut group = c.benchmark_group("ablation_extension");
+    configure(&mut group);
+    for (label, ext) in [
+        ("extension_on", RangeExtension::On),
+        ("extension_off", RangeExtension::Off),
+    ] {
+        let params = Params::builder()
+            .epsilon(s.suggested_epsilon())
+            .min_size(30, 4, 2)
+            .range_extension(ext)
+            .build()
+            .unwrap();
+        group.bench_function(label, |b| b.iter(|| mine(&data.matrix, &params)));
+    }
+    group.finish();
+}
+
+fn bench_merge_prune(c: &mut Criterion) {
+    let s = SynthSpec {
+        overlap_fraction: 0.6,
+        ..spec()
+    };
+    let data = generate(&s);
+    let mut group = c.benchmark_group("ablation_merge");
+    configure(&mut group);
+    let base = Params::builder()
+        .epsilon(s.suggested_epsilon())
+        .min_size(25, 3, 2);
+    let without = base.clone().build().unwrap();
+    let with = base
+        .merge(MergeParams {
+            eta: 0.25,
+            gamma: 0.1,
+        })
+        .build()
+        .unwrap();
+    group.bench_function("without_merge_pass", |b| {
+        b.iter(|| mine(&data.matrix, &without))
+    });
+    group.bench_function("with_merge_pass", |b| b.iter(|| mine(&data.matrix, &with)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multigraph_vs_nocache,
+    bench_range_extension,
+    bench_merge_prune
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind E7: TriCluster's per-slice bicluster phase vs the
+//! pCluster baseline on the same (simulated yeast) slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tricluster_baselines::pcluster;
+use tricluster_core::bicluster::mine_biclusters;
+use tricluster_core::rangegraph::build_range_graph;
+use tricluster_core::Params;
+use tricluster_matrix::Matrix2;
+use tricluster_microarray::yeast::{self, YeastSpec};
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = yeast::build(&YeastSpec::scaled(1200));
+    let params = Params::builder()
+        .epsilon(yeast::PAPER_EPSILON)
+        .min_genes(yeast::PAPER_MIN_GENES)
+        .min_samples(yeast::PAPER_MIN_SAMPLES)
+        .min_times(1)
+        .build()
+        .unwrap();
+    let raw = ds.matrix.time_slice(0);
+    let mut log_slice = Matrix2::zeros(raw.rows(), raw.cols());
+    for r in 0..raw.rows() {
+        for col in 0..raw.cols() {
+            log_slice.set(r, col, raw.get(r, col).abs().max(1e-12).ln());
+        }
+    }
+    let delta = (1.0 + yeast::PAPER_EPSILON).ln();
+
+    let mut group = c.benchmark_group("baseline_cmp");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("tricluster_slice", |b| {
+        b.iter(|| {
+            let rg = build_range_graph(&ds.matrix, 0, &params);
+            mine_biclusters(&ds.matrix, &rg, &params)
+        })
+    });
+    group.bench_function("pcluster_slice", |b| {
+        b.iter(|| {
+            pcluster::mine_pclusters(
+                &log_slice,
+                delta,
+                yeast::PAPER_MIN_GENES,
+                yeast::PAPER_MIN_SAMPLES,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

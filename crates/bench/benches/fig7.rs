@@ -1,0 +1,103 @@
+//! Criterion benches behind Figure 7: one representative point per
+//! sub-figure dimension, at a scale small enough for statistical sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tricluster_bench::fig7_params;
+use tricluster_core::mine;
+use tricluster_synth::{generate, SynthSpec};
+
+fn small_base() -> SynthSpec {
+    SynthSpec {
+        n_genes: 500,
+        n_samples: 12,
+        n_times: 6,
+        n_clusters: 5,
+        gene_range: (50, 50),
+        sample_range: (5, 5),
+        time_range: (3, 3),
+        overlap_fraction: 0.2,
+        noise: 0.02,
+        seed: 9,
+        ..SynthSpec::default()
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // (a) genes per cluster
+    for gx in [30usize, 60, 90] {
+        let mut spec = small_base();
+        spec.gene_range = (gx, gx);
+        spec.n_genes = gx * 10;
+        let data = generate(&spec);
+        let params = fig7_params(&spec);
+        group.bench_with_input(BenchmarkId::new("a_genes", gx), &gx, |b, _| {
+            b.iter(|| mine(&data.matrix, &params))
+        });
+    }
+
+    // (b) samples in the matrix
+    for ns in [8usize, 12, 16] {
+        let mut spec = small_base();
+        spec.n_samples = ns;
+        let data = generate(&spec);
+        let params = fig7_params(&spec);
+        group.bench_with_input(BenchmarkId::new("b_samples", ns), &ns, |b, _| {
+            b.iter(|| mine(&data.matrix, &params))
+        });
+    }
+
+    // (c) time slices
+    for nt in [4usize, 6, 8] {
+        let mut spec = small_base();
+        spec.n_times = nt;
+        let data = generate(&spec);
+        let params = fig7_params(&spec);
+        group.bench_with_input(BenchmarkId::new("c_times", nt), &nt, |b, _| {
+            b.iter(|| mine(&data.matrix, &params))
+        });
+    }
+
+    // (d) number of clusters
+    for k in [3usize, 6, 9] {
+        let mut spec = small_base();
+        spec.n_clusters = k;
+        spec.n_genes = 1000.max(k * 120);
+        let data = generate(&spec);
+        let params = fig7_params(&spec);
+        group.bench_with_input(BenchmarkId::new("d_clusters", k), &k, |b, _| {
+            b.iter(|| mine(&data.matrix, &params))
+        });
+    }
+
+    // (e) overlap %
+    for pct in [0usize, 40, 80] {
+        let mut spec = small_base();
+        spec.overlap_fraction = pct as f64 / 100.0;
+        let data = generate(&spec);
+        let params = fig7_params(&spec);
+        group.bench_with_input(BenchmarkId::new("e_overlap", pct), &pct, |b, _| {
+            b.iter(|| mine(&data.matrix, &params))
+        });
+    }
+
+    // (f) noise %
+    for noise_pct in [0usize, 2, 4] {
+        let mut spec = small_base();
+        spec.noise = noise_pct as f64 / 100.0;
+        let data = generate(&spec);
+        let params = fig7_params(&spec);
+        group.bench_with_input(BenchmarkId::new("f_noise", noise_pct), &noise_pct, |b, _| {
+            b.iter(|| mine(&data.matrix, &params))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the hot substrates: gene-set intersection (bitset vs
+//! `HashSet<u32>`), ratio-range finding, and maximal-clique enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use tricluster_bitset::BitSet;
+use tricluster_core::params::RangeExtension;
+use tricluster_core::range::{find_ranges, SignGroup};
+use tricluster_graph::Graph;
+
+fn bench_geneset_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geneset_intersection");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1000usize, 8000] {
+        let a_items: Vec<usize> = (0..n).step_by(3).collect();
+        let b_items: Vec<usize> = (0..n).step_by(5).collect();
+        let a_bits = BitSet::from_indices(n, a_items.iter().copied());
+        let b_bits = BitSet::from_indices(n, b_items.iter().copied());
+        let a_hash: HashSet<u32> = a_items.iter().map(|&x| x as u32).collect();
+        let b_hash: HashSet<u32> = b_items.iter().map(|&x| x as u32).collect();
+
+        group.bench_with_input(BenchmarkId::new("bitset_and", n), &n, |bench, _| {
+            bench.iter(|| a_bits.intersection_count(&b_bits))
+        });
+        group.bench_with_input(BenchmarkId::new("bitset_at_least_50", n), &n, |bench, _| {
+            bench.iter(|| a_bits.intersection_count_at_least(&b_bits, 50))
+        });
+        group.bench_with_input(BenchmarkId::new("hashset_and", n), &n, |bench, _| {
+            bench.iter(|| a_hash.intersection(&b_hash).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_finding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_finding");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1000usize, 8000] {
+        // clustered ratios: five tight groups plus uniform background
+        let mut ratios: Vec<(f64, usize)> = Vec::with_capacity(n);
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        for g in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let r = if g % 4 == 0 {
+                1.0 + (g % 5) as f64 + (state % 100) as f64 * 1e-5
+            } else {
+                0.5 + (state % 100_000) as f64 * 1e-4
+            };
+            ratios.push((r, g));
+        }
+        for ext in [RangeExtension::On, RangeExtension::Off] {
+            let label = format!("{}_{:?}", n, ext);
+            group.bench_function(BenchmarkId::new("find_ranges", label), |bench| {
+                bench.iter(|| {
+                    find_ranges(&ratios, SignGroup::Positive, 0.003, 50, n, ext)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_clique_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_cliques");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [20usize, 40] {
+        let mut g = Graph::new(n);
+        let mut state = 0xDEAD_BEEFu64;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state % 100 < 40 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("bron_kerbosch", n), &n, |bench, _| {
+            bench.iter(|| g.maximal_cliques())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geneset_intersection,
+    bench_range_finding,
+    bench_clique_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E6 — Figures 8–10: the 2D expression curves of one mined cluster (C0).
+//!
+//! * Figure 8 (*sample-curves*): expression vs gene, one curve per sample,
+//!   one sub-plot per time point.
+//! * Figure 9 (*time-curves*): expression vs gene, one curve per time,
+//!   one sub-plot per sample.
+//! * Figure 10 (*gene-curves*): expression vs time, one curve per gene,
+//!   one sub-plot per sample.
+//!
+//! Output is CSV per sub-plot, ready for any plotting tool.
+//!
+//! ```sh
+//! cargo run --release -p tricluster-bench --bin curves > curves.csv
+//! ```
+
+use tricluster_bench::full_scale;
+use tricluster_core::{mine, Params};
+use tricluster_microarray::yeast::{self, YeastSpec};
+
+fn main() {
+    let spec = if full_scale() {
+        YeastSpec::default()
+    } else {
+        YeastSpec::scaled(1500)
+    };
+    let ds = yeast::build(&spec);
+    let params = Params::builder()
+        .epsilon(yeast::PAPER_EPSILON)
+        .epsilon_time(0.05)
+        .min_genes(yeast::PAPER_MIN_GENES)
+        .min_samples(yeast::PAPER_MIN_SAMPLES)
+        .min_times(yeast::PAPER_MIN_TIMES)
+        .build()
+        .unwrap();
+    let result = mine(&ds.matrix, &params);
+    let c = result
+        .triclusters
+        .first()
+        .expect("at least one cluster mined");
+    let genes: Vec<usize> = c.genes.to_vec();
+    println!(
+        "# cluster C0: {} genes x {} samples x {} times",
+        genes.len(),
+        c.samples.len(),
+        c.times.len()
+    );
+
+    println!("\n# Figure 8: sample-curves (one sub-plot per time point)");
+    for &t in &c.times {
+        println!("## subplot time={}", ds.labels.time(t));
+        print!("gene");
+        for &s in &c.samples {
+            print!(",{}", ds.labels.sample(s));
+        }
+        println!();
+        for &g in &genes {
+            print!("{}", ds.labels.gene(g));
+            for &s in &c.samples {
+                print!(",{:.2}", ds.matrix.get(g, s, t));
+            }
+            println!();
+        }
+    }
+
+    println!("\n# Figure 9: time-curves (one sub-plot per sample)");
+    for &s in &c.samples {
+        println!("## subplot sample={}", ds.labels.sample(s));
+        print!("gene");
+        for &t in &c.times {
+            print!(",{}", ds.labels.time(t));
+        }
+        println!();
+        for &g in &genes {
+            print!("{}", ds.labels.gene(g));
+            for &t in &c.times {
+                print!(",{:.2}", ds.matrix.get(g, s, t));
+            }
+            println!();
+        }
+    }
+
+    println!("\n# Figure 10: gene-curves (expression vs time, per sample)");
+    for &s in &c.samples {
+        println!("## subplot sample={}", ds.labels.sample(s));
+        print!("time");
+        for &g in genes.iter().take(10) {
+            print!(",{}", ds.labels.gene(g));
+        }
+        println!();
+        for &t in &c.times {
+            print!("{}", ds.labels.time(t));
+            for &g in genes.iter().take(10) {
+                print!(",{:.2}", ds.matrix.get(g, s, t));
+            }
+            println!();
+        }
+    }
+}

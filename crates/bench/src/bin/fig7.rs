@@ -1,0 +1,36 @@
+//! E3 — Figure 7(a)–(f): TriCluster's sensitivity to the synthetic-data
+//! parameters. Prints one CSV series per sub-figure
+//! (`x, seconds, clusters, recall`).
+//!
+//! ```sh
+//! cargo run --release -p tricluster-bench --bin fig7            # scaled
+//! TRICLUSTER_FULL=1 cargo run --release -p tricluster-bench --bin fig7
+//! ```
+//!
+//! Expected shapes (paper §5.1): (a) ~linear in genes, (b) exponential in
+//! samples, (c) ~linear in time slices over this range, (d) linear in
+//! cluster count, (e) flat in overlap %, (f) growing with noise.
+
+use tricluster_bench::{fig7_sweeps, full_scale, measure};
+
+fn main() {
+    let full = full_scale();
+    println!(
+        "# Figure 7 parameter sensitivity ({} scale)",
+        if full { "paper" } else { "scaled-down" }
+    );
+    for (label, xlabel, points) in fig7_sweeps(full) {
+        println!("\n## {label}: time vs {xlabel}");
+        println!("{xlabel},seconds,clusters,recall");
+        for (x, spec) in points {
+            let p = measure(&spec, x);
+            println!(
+                "{},{:.3},{},{:.2}",
+                p.x,
+                p.time.as_secs_f64(),
+                p.clusters,
+                p.recall
+            );
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Fixed-capacity bitset with fast set algebra.
+//!
+//! Gene-sets are the hot data structure in TriCluster mining: every candidate
+//! extension intersects the gene-sets attached to range-multigraph edges with
+//! the current candidate's gene-set. This crate provides [`BitSet`], a
+//! `u64`-block bitset tuned for that workload:
+//!
+//! * in-place and allocating `and` / `or` / `subtract` / `xor`,
+//! * popcount-based cardinality and *bounded* intersection counting
+//!   (`intersection_count_at_least` short-circuits as soon as the `mx`
+//!   threshold is reached, the common case in the miner),
+//! * subset / superset / disjointness tests,
+//! * iteration over set bits in ascending order.
+//!
+//! The universe size is fixed at construction; all binary operations require
+//! both operands to share a universe (checked with `debug_assert!` in release
+//! hot paths and a hard assert in the allocating constructors).
+//!
+//! # Example
+//!
+//! ```
+//! use tricluster_bitset::BitSet;
+//!
+//! let mut a = BitSet::from_indices(10, [1, 3, 4, 8]);
+//! let b = BitSet::from_indices(10, [3, 4, 9]);
+//! a.intersect_with(&b);
+//! assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 4]);
+//! assert!(a.is_subset(&b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod iter;
+
+pub use iter::Ones;
+
+const BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` indices backed by `u64` blocks.
+///
+/// See the [crate-level documentation](crate) for the design rationale.
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    /// Number of addressable bits (the universe size), not the population.
+    nbits: usize,
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[inline]
+fn block_count(nbits: usize) -> usize {
+    nbits.div_ceil(BITS)
+}
+
+impl BitSet {
+    /// Creates an empty set over a universe of `nbits` indices `0..nbits`.
+    pub fn new(nbits: usize) -> Self {
+        BitSet {
+            blocks: vec![0; block_count(nbits)],
+            nbits,
+        }
+    }
+
+    /// Creates a set containing every index in `0..nbits`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = BitSet::new(nbits);
+        for b in &mut s.blocks {
+            *b = !0;
+        }
+        s.clear_excess();
+        s
+    }
+
+    /// Creates a set over `0..nbits` containing the given indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= nbits`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(nbits: usize, indices: I) -> Self {
+        let mut s = BitSet::new(nbits);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Zeroes the bits above `nbits` in the last block so that popcounts and
+    /// equality remain exact after a whole-block operation such as `full` or
+    /// `complement`.
+    fn clear_excess(&mut self) {
+        let used = self.nbits % BITS;
+        if used != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+
+    /// The universe size (number of addressable indices), **not** the number
+    /// of elements; for that see [`BitSet::count`].
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts `index` into the set. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.nbits,
+            "index {index} out of bounds for BitSet of capacity {}",
+            self.nbits
+        );
+        let block = &mut self.blocks[index / BITS];
+        let mask = 1u64 << (index % BITS);
+        let was_absent = *block & mask == 0;
+        *block |= mask;
+        was_absent
+    }
+
+    /// Removes `index` from the set. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        if index >= self.nbits {
+            return false;
+        }
+        let block = &mut self.blocks[index / BITS];
+        let mask = 1u64 << (index % BITS);
+        let was_present = *block & mask != 0;
+        *block &= !mask;
+        was_present
+    }
+
+    /// Tests whether `index` is in the set. Out-of-universe indices are never
+    /// members.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.nbits {
+            return false;
+        }
+        self.blocks[index / BITS] & (1u64 << (index % BITS)) != 0
+    }
+
+    /// Number of elements in the set (population count).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` iff the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all elements, keeping the universe size.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// Flips the membership of every index in the universe.
+    pub fn complement_in_place(&mut self) {
+        for b in &mut self.blocks {
+            *b = !*b;
+        }
+        self.clear_excess();
+    }
+
+    #[inline]
+    fn check_same_universe(&self, other: &BitSet) {
+        debug_assert_eq!(
+            self.nbits, other.nbits,
+            "BitSet universe mismatch: {} vs {}",
+            self.nbits, other.nbits
+        );
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union: `self ∪= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference: `self −= other`.
+    #[inline]
+    pub fn subtract_with(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+    }
+
+    /// In-place symmetric difference: `self ⊕= other`.
+    #[inline]
+    pub fn symmetric_difference_with(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a ^= *b;
+        }
+    }
+
+    /// Allocating intersection.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Allocating union.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Allocating difference (`self − other`).
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.subtract_with(other);
+        out
+    }
+
+    /// `|self ∩ other|` without allocating.
+    #[inline]
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` as soon as `|self ∩ other| >= threshold`, scanning as
+    /// few blocks as possible. This is the miner's admission test
+    /// (`|G(R) ∩ C.X| ≥ mx`), which usually succeeds early or fails with a
+    /// near-empty intersection; either way most blocks are skipped.
+    #[inline]
+    pub fn intersection_count_at_least(&self, other: &BitSet, threshold: usize) -> bool {
+        self.check_same_universe(other);
+        if threshold == 0 {
+            return true;
+        }
+        let mut seen = 0usize;
+        for (a, b) in self.blocks.iter().zip(&other.blocks) {
+            seen += (a & b).count_ones() as usize;
+            if seen >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Like [`BitSet::intersection_count_at_least`], but with the caller
+    /// providing `self`'s population count. When `self` is sparse relative
+    /// to the universe (the common case for candidate gene-sets deep in the
+    /// miner's DFS), membership-testing `self`'s elements in `other` beats
+    /// scanning every block — with early success at `threshold` and early
+    /// failure once the remaining elements cannot reach it.
+    #[inline]
+    pub fn intersection_count_at_least_hinted(
+        &self,
+        other: &BitSet,
+        threshold: usize,
+        self_count: usize,
+    ) -> bool {
+        debug_assert_eq!(self_count, self.count(), "stale population hint");
+        if threshold == 0 {
+            return true;
+        }
+        if self_count < threshold {
+            return false;
+        }
+        // sparse path pays off when elements < blocks scanned
+        if self_count <= self.blocks.len() {
+            let mut seen = 0usize;
+            let mut remaining = self_count;
+            for i in self.iter() {
+                if other.contains(i) {
+                    seen += 1;
+                    if seen >= threshold {
+                        return true;
+                    }
+                }
+                remaining -= 1;
+                if seen + remaining < threshold {
+                    return false;
+                }
+            }
+            return false;
+        }
+        self.intersection_count_at_least(other, threshold)
+    }
+
+    /// `true` iff every element of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.check_same_universe(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff every element of `other` is in `self`.
+    #[inline]
+    pub fn is_superset(&self, other: &BitSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// `true` iff the sets share no element.
+    #[inline]
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.check_same_universe(other);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// Smallest element, or `None` if empty.
+    pub fn min(&self) -> Option<usize> {
+        for (i, &b) in self.blocks.iter().enumerate() {
+            if b != 0 {
+                return Some(i * BITS + b.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest element, or `None` if empty.
+    pub fn max(&self) -> Option<usize> {
+        for (i, &b) in self.blocks.iter().enumerate().rev() {
+            if b != 0 {
+                return Some(i * BITS + (BITS - 1 - b.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> Ones<'_> {
+        Ones::new(&self.blocks)
+    }
+
+    /// Collects the elements into a `Vec<usize>` in ascending order.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Access to the raw blocks (for hashing / tests).
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Retains only the elements for which `f` returns `true`.
+    pub fn retain(&mut self, mut f: impl FnMut(usize) -> bool) {
+        let doomed: Vec<usize> = self.iter().filter(|&i| !f(i)).collect();
+        for i in doomed {
+            self.remove(i);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Ones<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose universe is `max + 1` of the yielded indices
+    /// (or 0 when the iterator is empty). Prefer [`BitSet::from_indices`]
+    /// when the universe is known.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let nbits = items.iter().copied().max().map_or(0, |m| m + 1);
+        BitSet::from_indices(nbits, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.capacity(), 100);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000), "out of universe is never a member");
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.remove(5000));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn full_and_complement() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        s.complement_in_place();
+        assert!(s.is_empty());
+        s.complement_in_place();
+        assert_eq!(s.count(), 70);
+    }
+
+    #[test]
+    fn full_zero_capacity() {
+        let s = BitSet::full(0);
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(200, [1, 2, 3, 100, 150]);
+        let b = BitSet::from_indices(200, [2, 3, 4, 150, 199]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3, 150]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4, 100, 150, 199]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 100]);
+        let mut x = a.clone();
+        x.symmetric_difference_with(&b);
+        assert_eq!(x.to_vec(), vec![1, 4, 100, 199]);
+    }
+
+    #[test]
+    fn intersection_count_matches_intersection() {
+        let a = BitSet::from_indices(300, (0..300).step_by(3));
+        let b = BitSet::from_indices(300, (0..300).step_by(5));
+        assert_eq!(a.intersection_count(&b), a.intersection(&b).count());
+    }
+
+    #[test]
+    fn intersection_count_at_least_threshold_edges() {
+        let a = BitSet::from_indices(100, [1, 2, 3]);
+        let b = BitSet::from_indices(100, [2, 3, 4]);
+        assert!(a.intersection_count_at_least(&b, 0));
+        assert!(a.intersection_count_at_least(&b, 1));
+        assert!(a.intersection_count_at_least(&b, 2));
+        assert!(!a.intersection_count_at_least(&b, 3));
+    }
+
+    #[test]
+    fn subset_superset_disjoint() {
+        let a = BitSet::from_indices(80, [10, 20]);
+        let b = BitSet::from_indices(80, [10, 20, 30]);
+        let c = BitSet::from_indices(80, [40]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(b.is_superset(&a));
+        assert!(a.is_subset(&a), "subset is reflexive");
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn min_max() {
+        let s = BitSet::from_indices(500, [77, 200, 499]);
+        assert_eq!(s.min(), Some(77));
+        assert_eq!(s.max(), Some(499));
+        assert_eq!(BitSet::new(10).min(), None);
+        assert_eq!(BitSet::new(10).max(), None);
+    }
+
+    #[test]
+    fn iter_ascending_across_blocks() {
+        let v = vec![0, 1, 63, 64, 65, 127, 128, 191];
+        let s = BitSet::from_indices(192, v.clone());
+        assert_eq!(s.to_vec(), v);
+    }
+
+    #[test]
+    fn retain_keeps_matching() {
+        let mut s = BitSet::from_indices(50, 0..50);
+        s.retain(|i| i % 7 == 0);
+        assert_eq!(s.to_vec(), vec![0, 7, 14, 21, 28, 35, 42, 49]);
+    }
+
+    #[test]
+    fn from_iterator_infers_universe() {
+        let s: BitSet = vec![3usize, 9, 4].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![3, 4, 9]);
+        let empty: BitSet = std::iter::empty().collect();
+        assert_eq!(empty.capacity(), 0);
+    }
+
+    #[test]
+    fn debug_format_lists_elements() {
+        let s = BitSet::from_indices(10, [1, 5]);
+        assert_eq!(format!("{s:?}"), "{1, 5}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::from_indices(66, [0, 65]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 66);
+    }
+
+    #[test]
+    fn eq_and_hash_consistent() {
+        use std::collections::HashSet;
+        let a = BitSet::from_indices(100, [5, 6]);
+        let b = BitSet::from_indices(100, [5, 6]);
+        let c = BitSet::from_indices(100, [5, 7]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+        assert!(!set.contains(&c));
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal flag parser: `--name value` pairs, boolean switches, and
+//! positional arguments, with typed accessors and unknown-flag rejection.
+
+use std::collections::HashMap;
+
+#[derive(Debug)]
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+/// Parses `argv` given the set of value-taking flags (`takes_value`) and
+/// boolean switches. `arity` maps a flag to how many values it consumes
+/// (default 1 for value flags).
+pub fn parse(
+    argv: &[String],
+    value_flags: &[(&str, usize)],
+    switch_flags: &[&str],
+) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut flags: HashMap<String, Vec<String>> = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let tok = &argv[i];
+        if let Some(name) = tok.strip_prefix("--") {
+            if switch_flags.contains(&name) {
+                switches.push(name.to_string());
+                i += 1;
+                continue;
+            }
+            let Some(&(_, arity)) = value_flags.iter().find(|(f, _)| *f == name) else {
+                return Err(format!("unknown flag --{name}"));
+            };
+            let mut values = Vec::with_capacity(arity);
+            for k in 0..arity {
+                let Some(v) = argv.get(i + 1 + k) else {
+                    return Err(format!("--{name} expects {arity} value(s)"));
+                };
+                values.push(v.clone());
+            }
+            flags.insert(name.to_string(), values);
+            i += 1 + arity;
+        } else {
+            positional.push(tok.clone());
+            i += 1;
+        }
+    }
+    Ok(Args {
+        positional,
+        flags,
+        switches,
+    })
+}
+
+impl Args {
+    pub fn get_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v[0]
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| format!("--{name}: {:?} is not a number", v[0])),
+        }
+    }
+
+    pub fn get_usize(&self, name: &str) -> Result<Option<usize>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v[0]
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| format!("--{name}: {:?} is not an integer", v[0])),
+        }
+    }
+
+    pub fn get_u64(&self, name: &str) -> Result<Option<u64>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v[0]
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("--{name}: {:?} is not an integer", v[0])),
+        }
+    }
+
+    pub fn get_pair_f64(&self, name: &str) -> Result<Option<(f64, f64)>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => {
+                let a = v[0]
+                    .parse::<f64>()
+                    .map_err(|_| format!("--{name}: {:?} is not a number", v[0]))?;
+                let b = v[1]
+                    .parse::<f64>()
+                    .map_err(|_| format!("--{name}: {:?} is not a number", v[1]))?;
+                Ok(Some((a, b)))
+            }
+        }
+    }
+
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(
+            &argv(&["file.tsv", "--eps", "0.01", "--auto"]),
+            &[("eps", 1)],
+            &["auto"],
+        )
+        .unwrap();
+        assert_eq!(a.positional, vec!["file.tsv"]);
+        assert_eq!(a.get_f64("eps").unwrap(), Some(0.01));
+        assert!(a.has("auto"));
+        assert!(!a.has("names"));
+        assert_eq!(a.get_f64("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn multi_value_flags() {
+        let a = parse(&argv(&["--merge", "0.2", "0.1"]), &[("merge", 2)], &[]).unwrap();
+        assert_eq!(a.get_pair_f64("merge").unwrap(), Some((0.2, 0.1)));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let e = parse(&argv(&["--bogus"]), &[("eps", 1)], &[]).unwrap_err();
+        assert!(e.contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = parse(&argv(&["--eps"]), &[("eps", 1)], &[]).unwrap_err();
+        assert!(e.contains("expects 1"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let a = parse(&argv(&["--eps", "abc"]), &[("eps", 1)], &[]).unwrap();
+        assert!(a.get_f64("eps").is_err());
+    }
+}

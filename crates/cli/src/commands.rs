@@ -1,0 +1,365 @@
+//! The `mine`, `synth`, and `demo` subcommands.
+
+use crate::args;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use tricluster_core::{mine_auto, mine_shifting, MergeParams, Params};
+use tricluster_matrix::{io, Labels, Matrix3};
+use tricluster_synth::{generate, SynthSpec};
+
+pub const USAGE: &str = "\
+tricluster — mining coherent clusters in 3D microarray data (SIGMOD 2005)
+
+USAGE:
+  tricluster mine <stacked.tsv> [options]     mine a stacked-TSV 3D matrix
+  tricluster synth <out.tsv> [options]        generate synthetic data
+  tricluster demo                             run the paper's Table 1 example
+
+MINE OPTIONS:
+  --eps E          maximum ratio threshold ε             (default 0.01)
+  --eps-time E     relaxed ε along the time dimension    (default: ε)
+  --mx N           minimum genes per cluster             (default 3)
+  --my N           minimum samples per cluster           (default 3)
+  --mz N           minimum time points per cluster       (default 2)
+  --delta-x D      max value range across genes per column
+  --delta-y D      max value range across samples per row
+  --delta-z D      max value range across times per fiber
+  --merge ETA GAMMA    enable merge/delete post-processing
+  --max-candidates N   bound the DFS search (truncates on exhaustion)
+  --shifting       mine shifting (additive) clusters via Lemma 2
+  --auto           transpose so the largest dimension is mined as genes
+  --names          print gene/sample/time names instead of indices
+  --csv            emit clusters as CSV (cluster,shape,type,members)
+
+SYNTH OPTIONS:
+  --genes N --samples N --times N --clusters N
+  --noise F --overlap F --seed N
+";
+
+pub fn mine_params_from(a: &args::Args) -> Result<Params, String> {
+    let mut b = Params::builder()
+        .epsilon(a.get_f64("eps")?.unwrap_or(0.01))
+        .min_genes(a.get_usize("mx")?.unwrap_or(3))
+        .min_samples(a.get_usize("my")?.unwrap_or(3))
+        .min_times(a.get_usize("mz")?.unwrap_or(2));
+    if let Some(e) = a.get_f64("eps-time")? {
+        b = b.epsilon_time(e);
+    }
+    if let Some(d) = a.get_f64("delta-x")? {
+        b = b.delta_gene(d);
+    }
+    if let Some(d) = a.get_f64("delta-y")? {
+        b = b.delta_sample(d);
+    }
+    if let Some(d) = a.get_f64("delta-z")? {
+        b = b.delta_time(d);
+    }
+    if let Some((eta, gamma)) = a.get_pair_f64("merge")? {
+        b = b.merge(MergeParams { eta, gamma });
+    }
+    if let Some(n) = a.get_u64("max-candidates")? {
+        b = b.max_candidates(n);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+pub fn mine(argv: &[String]) -> Result<(), String> {
+    let a = args::parse(
+        argv,
+        &[
+            ("eps", 1),
+            ("eps-time", 1),
+            ("mx", 1),
+            ("my", 1),
+            ("mz", 1),
+            ("delta-x", 1),
+            ("delta-y", 1),
+            ("delta-z", 1),
+            ("merge", 2),
+            ("max-candidates", 1),
+        ],
+        &["shifting", "auto", "names", "csv"],
+    )?;
+    let Some(path) = a.positional.first() else {
+        return Err("mine: missing input file (stacked TSV)".into());
+    };
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (matrix, labels) =
+        io::read_stacked_tsv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let params = mine_params_from(&a)?;
+    eprintln!(
+        "matrix: {} genes x {} samples x {} times",
+        matrix.n_genes(),
+        matrix.n_samples(),
+        matrix.n_times()
+    );
+
+    let start = std::time::Instant::now();
+    if a.has("shifting") {
+        let (clusters, _) = mine_shifting(&matrix, &params);
+        eprintln!(
+            "{} shifting clusters in {:?}",
+            clusters.len(),
+            start.elapsed()
+        );
+        for (i, sc) in clusters.iter().enumerate() {
+            print_cluster(i, &sc.cluster, &labels, a.has("names"));
+            let offs: Vec<String> = sc
+                .sample_offsets
+                .iter()
+                .map(|o| format!("{o:+.3}"))
+                .collect();
+            println!("  offsets: [{}]", offs.join(", "));
+        }
+        return Ok(());
+    }
+    let result = if a.has("auto") {
+        mine_auto(&matrix, &params)
+    } else {
+        tricluster_core::mine(&matrix, &params)
+    };
+    eprintln!(
+        "{} triclusters in {:?}{}",
+        result.triclusters.len(),
+        start.elapsed(),
+        if result.truncated {
+            " (TRUNCATED by --max-candidates budget)"
+        } else {
+            ""
+        }
+    );
+    if a.has("csv") {
+        let mut out = std::io::stdout().lock();
+        tricluster_core::report::write_csv(&mut out, &matrix, &result.triclusters, 1e-9)
+            .map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    for (i, c) in result.triclusters.iter().enumerate() {
+        print_cluster(i, c, &labels, a.has("names"));
+    }
+    println!("\n{}", result.metrics(&matrix));
+    Ok(())
+}
+
+fn print_cluster(
+    i: usize,
+    c: &tricluster_core::Tricluster,
+    labels: &Labels,
+    names: bool,
+) {
+    let (x, y, z) = c.shape();
+    println!("cluster {i}: {x} genes x {y} samples x {z} times");
+    if names {
+        let genes: Vec<String> = c.genes.iter().map(|g| labels.gene(g)).collect();
+        let samples: Vec<String> = c.samples.iter().map(|&s| labels.sample(s)).collect();
+        let times: Vec<String> = c.times.iter().map(|&t| labels.time(t)).collect();
+        println!("  genes:   {}", genes.join(" "));
+        println!("  samples: {}", samples.join(" "));
+        println!("  times:   {}", times.join(" "));
+    } else {
+        println!("  genes:   {:?}", c.genes.to_vec());
+        println!("  samples: {:?}", c.samples);
+        println!("  times:   {:?}", c.times);
+    }
+}
+
+pub fn synth(argv: &[String]) -> Result<(), String> {
+    let a = args::parse(
+        argv,
+        &[
+            ("genes", 1),
+            ("samples", 1),
+            ("times", 1),
+            ("clusters", 1),
+            ("noise", 1),
+            ("overlap", 1),
+            ("seed", 1),
+        ],
+        &[],
+    )?;
+    let Some(path) = a.positional.first() else {
+        return Err("synth: missing output file".into());
+    };
+    let mut spec = SynthSpec::default();
+    if let Some(v) = a.get_usize("genes")? {
+        spec.n_genes = v;
+        let gx = (v / 12).max(4);
+        spec.gene_range = (gx, gx);
+    }
+    if let Some(v) = a.get_usize("samples")? {
+        spec.n_samples = v;
+        let sy = (v / 3).max(2);
+        spec.sample_range = (sy, sy);
+    }
+    if let Some(v) = a.get_usize("times")? {
+        spec.n_times = v;
+        let tz = (v / 2).max(2);
+        spec.time_range = (tz, tz);
+    }
+    if let Some(v) = a.get_usize("clusters")? {
+        spec.n_clusters = v;
+    }
+    if let Some(v) = a.get_f64("noise")? {
+        spec.noise = v;
+    }
+    if let Some(v) = a.get_f64("overlap")? {
+        spec.overlap_fraction = v;
+    }
+    if let Some(v) = a.get_u64("seed")? {
+        spec.seed = v;
+    }
+    let data = generate(&spec);
+    write_matrix(path, &data.matrix)?;
+    eprintln!(
+        "wrote {} genes x {} samples x {} times with {} embedded clusters to {path}",
+        spec.n_genes,
+        spec.n_samples,
+        spec.n_times,
+        data.truth.len()
+    );
+    eprintln!("suggested mining epsilon: {}", spec.suggested_epsilon());
+    for (i, c) in data.truth.iter().enumerate() {
+        let (x, y, z) = c.shape();
+        eprintln!("  truth {i}: {x} x {y} x {z}");
+    }
+    Ok(())
+}
+
+fn write_matrix(path: &str, m: &Matrix3) -> Result<(), String> {
+    let labels = Labels::default_for(m.n_genes(), m.n_samples(), m.n_times());
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    io::write_stacked_tsv(&mut w, m, &labels).map_err(|e| e.to_string())
+}
+
+pub fn demo() -> Result<(), String> {
+    let m = tricluster_core::testdata::paper_table1();
+    let params = Params::builder()
+        .epsilon(0.01)
+        .min_genes(3)
+        .min_samples(3)
+        .min_times(2)
+        .build()
+        .unwrap();
+    let result = tricluster_core::mine(&m, &params);
+    println!("Table 1 running example (mx=my=3, mz=2, ε=0.01):\n");
+    let labels = Labels::default_for(10, 7, 2);
+    for (i, c) in result.triclusters.iter().enumerate() {
+        print_cluster(i, c, &labels, true);
+    }
+    println!("\n{}", result.metrics(&m));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_mine(argv: &[&str]) -> args::Args {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        args::parse(
+            &argv,
+            &[
+                ("eps", 1),
+                ("eps-time", 1),
+                ("mx", 1),
+                ("my", 1),
+                ("mz", 1),
+                ("delta-x", 1),
+                ("delta-y", 1),
+                ("delta-z", 1),
+                ("merge", 2),
+                ("max-candidates", 1),
+            ],
+            &["shifting", "auto", "names", "csv"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let p = mine_params_from(&parse_mine(&["file.tsv"])).unwrap();
+        assert_eq!(p.epsilon, 0.01);
+        assert_eq!((p.min_genes, p.min_samples, p.min_times), (3, 3, 2));
+        assert_eq!(p.merge, None);
+        assert_eq!(p.max_candidates, None);
+    }
+
+    #[test]
+    fn all_flags_thread_through() {
+        let a = parse_mine(&[
+            "f.tsv", "--eps", "0.05", "--eps-time", "0.2", "--mx", "10", "--my", "4",
+            "--mz", "3", "--delta-x", "1.5", "--delta-y", "2.5", "--delta-z", "3.5",
+            "--merge", "0.2", "0.1", "--max-candidates", "5000",
+        ]);
+        let p = mine_params_from(&a).unwrap();
+        assert_eq!(p.epsilon, 0.05);
+        assert_eq!(p.epsilon_time, 0.2);
+        assert_eq!((p.min_genes, p.min_samples, p.min_times), (10, 4, 3));
+        assert_eq!(p.delta_gene, Some(1.5));
+        assert_eq!(p.delta_sample, Some(2.5));
+        assert_eq!(p.delta_time, Some(3.5));
+        assert_eq!(
+            p.merge,
+            Some(MergeParams {
+                eta: 0.2,
+                gamma: 0.1
+            })
+        );
+        assert_eq!(p.max_candidates, Some(5000));
+    }
+
+    #[test]
+    fn invalid_params_are_reported() {
+        let a = parse_mine(&["f.tsv", "--eps", "-1"]);
+        let e = mine_params_from(&a).unwrap_err();
+        assert!(e.contains("epsilon"));
+        let a = parse_mine(&["f.tsv", "--mx", "0"]);
+        assert!(mine_params_from(&a).is_err());
+    }
+
+    #[test]
+    fn demo_runs() {
+        demo().unwrap();
+    }
+
+    #[test]
+    fn mine_missing_file_errors() {
+        let e = mine(&["/nonexistent/path.tsv".to_string()]).unwrap_err();
+        assert!(e.contains("cannot open"));
+        let e = mine(&[]).unwrap_err();
+        assert!(e.contains("missing input file"));
+    }
+
+    #[test]
+    fn synth_roundtrip_through_tmpfile() {
+        let dir = std::env::temp_dir().join(format!("tricluster-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synth.tsv");
+        let path_str = path.to_str().unwrap().to_string();
+        synth(&[
+            path_str.clone(),
+            "--genes".into(),
+            "120".into(),
+            "--samples".into(),
+            "8".into(),
+            "--times".into(),
+            "4".into(),
+            "--clusters".into(),
+            "2".into(),
+            "--noise".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        // the written file parses back into the declared dimensions
+        let file = std::fs::File::open(&path).unwrap();
+        let (m, _) = io::read_stacked_tsv(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(m.dims(), (120, 8, 4));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synth_missing_path_errors() {
+        assert!(synth(&[]).unwrap_err().contains("missing output"));
+    }
+}

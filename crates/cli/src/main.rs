@@ -1,0 +1,42 @@
+//! `tricluster` — command-line TriCluster mining.
+//!
+//! ```text
+//! tricluster mine <stacked.tsv> [--eps 0.01] [--eps-time E] [--mx 3] [--my 3]
+//!                 [--mz 2] [--delta-x D] [--delta-y D] [--delta-z D]
+//!                 [--merge ETA GAMMA] [--shifting] [--auto] [--names]
+//! tricluster synth <out.tsv> [--genes 1000] [--samples 15] [--times 8]
+//!                 [--clusters 8] [--noise 0.03] [--overlap 0.2] [--seed 42]
+//! tricluster demo
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            let _ = writeln!(std::io::stderr(), "error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("mine") => commands::mine(&argv[1..]),
+        Some("synth") => commands::synth(&argv[1..]),
+        Some("demo") => commands::demo(),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown command {other:?}; run `tricluster --help`"
+        )),
+    }
+}

@@ -1,0 +1,421 @@
+//! BICLUSTER: mining maximal biclusters from the range multigraph
+//! (paper §4.2, Figure 3).
+//!
+//! The miner performs a depth-first set-enumeration over sample columns.
+//! The candidate `C = X × Y` starts as `(all genes) × ∅`; extending `Y` by a
+//! new column `s_b` requires choosing, for **every** `s_a ∈ Y`, one range
+//! edge `(s_a, s_b)` of the multigraph whose gene-set keeps
+//! `|X ∩ ⋂ G(R)| ≥ mx`. That makes every recorded `Y` a clique of the range
+//! multigraph constrained by the gene threshold — exactly the paper's
+//! "constrained maximal clique" search.
+//!
+//! Per the pseudo-code, the `δ^x`/`δ^y`/`my` checks gate only the
+//! *recording* of a candidate (lines 2–6), never its expansion; `mx` prunes
+//! expansion because gene-sets shrink monotonically along a DFS path.
+
+use crate::cluster::Bicluster;
+use crate::params::Params;
+use crate::range::RatioRange;
+use crate::rangegraph::RangeGraph;
+use std::collections::HashSet;
+use tricluster_bitset::BitSet;
+use tricluster_matrix::Matrix3;
+
+/// Mines all maximal biclusters of time slice `t` from its range multigraph.
+///
+/// Returned biclusters satisfy `|X| ≥ mx`, `|Y| ≥ my`, the `δ^x`/`δ^y`
+/// range thresholds (when set), and are mutually non-contained.
+pub fn mine_biclusters(
+    m: &Matrix3,
+    rg: &RangeGraph,
+    params: &Params,
+) -> Vec<Bicluster> {
+    mine_biclusters_with_budget(m, rg, params).0
+}
+
+/// Like [`mine_biclusters`], but also reports whether the search was cut
+/// short by [`Params::max_candidates`] (`true` = truncated: the result is
+/// sound but possibly incomplete).
+pub fn mine_biclusters_with_budget(
+    m: &Matrix3,
+    rg: &RangeGraph,
+    params: &Params,
+) -> (Vec<Bicluster>, bool) {
+    let t = rg.time;
+    let n_genes = m.n_genes();
+    let n_samples = m.n_samples();
+    let mut miner = BiMiner {
+        m,
+        rg,
+        params,
+        t,
+        results: Vec::new(),
+        samples: Vec::new(),
+        budget: params.max_candidates,
+        truncated: false,
+    };
+    let all_genes = BitSet::full(n_genes);
+    let order: Vec<usize> = (0..n_samples).collect();
+    miner.dfs(&all_genes, &order);
+    (miner.results, miner.truncated)
+}
+
+struct BiMiner<'a> {
+    m: &'a Matrix3,
+    rg: &'a RangeGraph,
+    params: &'a Params,
+    t: usize,
+    results: Vec<Bicluster>,
+    /// Current candidate sample set (ascending; DFS extends in order).
+    samples: Vec<usize>,
+    /// Remaining candidate-visit budget, when limited.
+    budget: Option<u64>,
+    truncated: bool,
+}
+
+impl BiMiner<'_> {
+    fn dfs(&mut self, genes: &BitSet, pending: &[usize]) {
+        if let Some(b) = &mut self.budget {
+            if *b == 0 {
+                self.truncated = true;
+                return;
+            }
+            *b -= 1;
+        }
+        self.try_record(genes);
+        // population hint for the sparse-path qualification test below
+        let genes_count = genes.count();
+        for (i, &sb) in pending.iter().enumerate() {
+            let rest = &pending[i + 1..];
+            if self.samples.is_empty() {
+                self.samples.push(sb);
+                self.dfs(genes, rest);
+                self.samples.pop();
+                continue;
+            }
+            // Qualified edges from every existing sample to s_b.
+            let mut per_sample: Vec<Vec<&RatioRange>> =
+                Vec::with_capacity(self.samples.len());
+            let mut dead_end = false;
+            for &sa in &self.samples {
+                let edges: Vec<&RatioRange> = self
+                    .rg
+                    .ranges_between(sa, sb)
+                    .iter()
+                    .filter(|r| {
+                        genes.intersection_count_at_least_hinted(
+                            &r.genes,
+                            self.params.min_genes,
+                            genes_count,
+                        )
+                    })
+                    .collect();
+                if edges.is_empty() {
+                    dead_end = true;
+                    break;
+                }
+                per_sample.push(edges);
+            }
+            if dead_end {
+                continue;
+            }
+            // Enumerate edge combinations (one edge per existing sample),
+            // intersecting gene-sets with early mx pruning; recurse per
+            // distinct resulting gene-set.
+            let mut seen: HashSet<Vec<u64>> = HashSet::new();
+            let mut combos: Vec<BitSet> = Vec::new();
+            intersect_combos(
+                genes,
+                &per_sample,
+                self.params.min_genes,
+                &mut seen,
+                &mut combos,
+            );
+            for new_genes in combos {
+                self.samples.push(sb);
+                self.dfs(&new_genes, rest);
+                self.samples.pop();
+            }
+        }
+    }
+
+    fn try_record(&mut self, genes: &BitSet) {
+        if self.samples.len() < self.params.min_samples {
+            return;
+        }
+        if genes.count() < self.params.min_genes {
+            return;
+        }
+        if !self.deltas_ok(genes) {
+            return;
+        }
+        let candidate = Bicluster::new(genes.clone(), self.samples.clone(), self.t);
+        insert_maximal_bicluster(&mut self.results, candidate);
+    }
+
+    /// `δ^x`: within each sample column, gene values range at most `δ^x`;
+    /// `δ^y`: within each gene row, sample values range at most `δ^y`.
+    fn deltas_ok(&self, genes: &BitSet) -> bool {
+        let p = self.params;
+        if let Some(dx) = p.delta_gene {
+            for &s in &self.samples {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for g in genes.iter() {
+                    let v = self.m.get(g, s, self.t);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if hi - lo > dx {
+                    return false;
+                }
+            }
+        }
+        if let Some(dy) = p.delta_sample {
+            for g in genes.iter() {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &s in &self.samples {
+                    let v = self.m.get(g, s, self.t);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if hi - lo > dy {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Depth-first enumeration of one-edge-per-sample combinations, accumulating
+/// the gene-set intersection and pruning as soon as it drops below `mx`.
+fn intersect_combos(
+    acc: &BitSet,
+    per_sample: &[Vec<&RatioRange>],
+    mx: usize,
+    seen: &mut HashSet<Vec<u64>>,
+    out: &mut Vec<BitSet>,
+) {
+    match per_sample.split_first() {
+        None => {
+            if seen.insert(acc.as_blocks().to_vec()) {
+                out.push(acc.clone());
+            }
+        }
+        Some((edges, rest)) => {
+            for r in edges {
+                if !acc.intersection_count_at_least(&r.genes, mx) {
+                    continue;
+                }
+                let mut next = acc.clone();
+                next.intersect_with(&r.genes);
+                if next.count() >= mx {
+                    intersect_combos(&next, rest, mx, seen, out);
+                }
+            }
+        }
+    }
+}
+
+/// Inserts `candidate` into `results` keeping only maximal biclusters:
+/// skipped when contained in an existing cluster; existing clusters contained
+/// in it are removed.
+pub fn insert_maximal_bicluster(results: &mut Vec<Bicluster>, candidate: Bicluster) {
+    if results
+        .iter()
+        .any(|c| candidate.is_subcluster_of(c))
+    {
+        return;
+    }
+    results.retain(|c| !c.is_subcluster_of(&candidate));
+    results.push(candidate);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rangegraph::build_range_graph;
+    use crate::testdata::paper_table1;
+
+    fn params(eps: f64, mx: usize, my: usize) -> Params {
+        Params::builder()
+            .epsilon(eps)
+            .min_genes(mx)
+            .min_samples(my)
+            .min_times(2)
+            .build()
+            .unwrap()
+    }
+
+    fn mine(m: &Matrix3, t: usize, p: &Params) -> Vec<Bicluster> {
+        let rg = build_range_graph(m, t, p);
+        mine_biclusters(m, &rg, p)
+    }
+
+    fn sorted_view(bcs: &[Bicluster]) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let mut v: Vec<(Vec<usize>, Vec<usize>)> = bcs
+            .iter()
+            .map(|b| (b.genes.to_vec(), b.samples.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Paper §4.2 worked example: at t0 with mx=my=3, ε=0.01 the miner must
+    /// find exactly C1, C2, C3.
+    #[test]
+    fn paper_example_t0_three_biclusters() {
+        let m = paper_table1();
+        let got = sorted_view(&mine(&m, 0, &params(0.01, 3, 3)));
+        let want = vec![
+            (vec![0, 2, 6, 9], vec![1, 4, 6]),       // C2
+            (vec![0, 7, 9], vec![1, 2, 4, 5]),       // C3
+            (vec![1, 4, 8], vec![0, 1, 4, 6]),       // C1
+        ];
+        assert_eq!(got, want);
+    }
+
+    /// With my=2 the paper finds the extra cluster C4 = {g0,g2,g6,g7,g9} x
+    /// {s1,s4}, which is not subsumed in 2D (its gene-set is strictly larger
+    /// than C2's and C3's).
+    #[test]
+    fn paper_example_my2_reveals_c4() {
+        let m = paper_table1();
+        let got = sorted_view(&mine(&m, 0, &params(0.01, 3, 2)));
+        assert!(
+            got.contains(&(vec![0, 2, 6, 7, 9], vec![1, 4])),
+            "C4 missing: {got:?}"
+        );
+        // C1..C3 still present
+        assert!(got.contains(&(vec![1, 4, 8], vec![0, 1, 4, 6])));
+        assert!(got.contains(&(vec![0, 2, 6, 9], vec![1, 4, 6])));
+        assert!(got.contains(&(vec![0, 7, 9], vec![1, 2, 4, 5])));
+    }
+
+    /// Biclusters at t1 are the same index sets as t0 (the paper: "the
+    /// clusters are identical").
+    #[test]
+    fn paper_example_t1_matches_t0() {
+        let m = paper_table1();
+        let p = params(0.01, 3, 3);
+        assert_eq!(sorted_view(&mine(&m, 0, &p)), sorted_view(&mine(&m, 1, &p)));
+    }
+
+    /// δ^x bounds the value spread across genes within a fixed column
+    /// (paper §2 condition 3a: cells sharing sample and time). C1's widest
+    /// column is s0 with 9.0 − 3.0 = 6.0, C2's is 5.0 − 1.0 = 4.0, C3's is
+    /// 8.0 − 1.0 = 7.0; δ^x = 6 keeps C1 and C2, kills C3.
+    ///
+    /// (The paper's Table-1 narrative claims δ^x = 0 kills only C1, which
+    /// contradicts its own formal condition — C2's columns also span 4.0.
+    /// We follow the formal definition; see DESIGN.md.)
+    #[test]
+    fn delta_x_prunes_wide_columns() {
+        let m = paper_table1();
+        let mk = |dx: f64| {
+            Params::builder()
+                .epsilon(0.01)
+                .min_genes(3)
+                .min_samples(3)
+                .min_times(2)
+                .delta_gene(dx)
+                .build()
+                .unwrap()
+        };
+        let got = sorted_view(&mine(&m, 0, &mk(6.0)));
+        assert_eq!(
+            got,
+            vec![
+                (vec![0, 2, 6, 9], vec![1, 4, 6]),
+                (vec![1, 4, 8], vec![0, 1, 4, 6]),
+            ]
+        );
+        // δ^x = 0 demands identical values per column: nothing survives.
+        assert!(mine(&m, 0, &mk(0.0)).is_empty());
+    }
+
+    /// δ^y bounds the value range along each gene row: C1's g4 row spans
+    /// 9.0 − 3.0 = 6.0, so δ^y = 1 kills C1 but keeps the constant-row
+    /// clusters.
+    #[test]
+    fn delta_y_kills_wide_rows() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_genes(3)
+            .min_samples(3)
+            .min_times(2)
+            .delta_sample(1.0)
+            .build()
+            .unwrap();
+        let got = sorted_view(&mine(&m, 0, &p));
+        assert!(!got.contains(&(vec![1, 4, 8], vec![0, 1, 4, 6])));
+        assert!(got.contains(&(vec![0, 2, 6, 9], vec![1, 4, 6])));
+    }
+
+    #[test]
+    fn results_are_mutually_maximal() {
+        let m = paper_table1();
+        let bcs = mine(&m, 0, &params(0.01, 3, 2));
+        for (i, a) in bcs.iter().enumerate() {
+            for (j, b) in bcs.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.is_subcluster_of(b),
+                        "cluster {i} ⊆ cluster {j}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_genes_above_all_clusters_yields_nothing() {
+        let m = paper_table1();
+        assert!(mine(&m, 0, &params(0.01, 6, 3)).is_empty());
+    }
+
+    #[test]
+    fn min_samples_above_all_clusters_yields_nothing() {
+        let m = paper_table1();
+        assert!(mine(&m, 0, &params(0.01, 3, 5)).is_empty());
+    }
+
+    #[test]
+    fn insert_maximal_drops_subsumed() {
+        let mk = |genes: &[usize], samples: &[usize]| {
+            Bicluster::new(
+                BitSet::from_indices(10, genes.iter().copied()),
+                samples.to_vec(),
+                0,
+            )
+        };
+        let mut v = Vec::new();
+        insert_maximal_bicluster(&mut v, mk(&[1, 2], &[0, 1]));
+        insert_maximal_bicluster(&mut v, mk(&[1, 2, 3], &[0, 1])); // subsumes
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].genes.to_vec(), vec![1, 2, 3]);
+        insert_maximal_bicluster(&mut v, mk(&[1, 2], &[0])); // subsumed
+        assert_eq!(v.len(), 1);
+        insert_maximal_bicluster(&mut v, mk(&[4, 5], &[2, 3])); // unrelated
+        assert_eq!(v.len(), 2);
+    }
+
+    /// A uniform matrix is one big bicluster covering everything.
+    #[test]
+    fn uniform_matrix_single_cluster() {
+        let mut m = Matrix3::zeros(4, 3, 1);
+        m.map_in_place(|_| 2.0);
+        let p = Params::builder()
+            .epsilon(0.0)
+            .min_genes(2)
+            .min_samples(2)
+            .min_times(1)
+            .build()
+            .unwrap();
+        let bcs = mine(&m, 0, &p);
+        assert_eq!(bcs.len(), 1);
+        assert_eq!(bcs[0].genes.count(), 4);
+        assert_eq!(bcs[0].samples, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Cluster types: [`Bicluster`] (one time slice) and [`Tricluster`].
+
+use tricluster_bitset::BitSet;
+
+/// A maximal bicluster `X × Y` mined from one time slice.
+///
+/// `genes` is a bitset over the gene universe; `samples` is a sorted list of
+/// sample column indices. The time slice the bicluster came from is carried
+/// alongside so the tricluster phase can index the right slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bicluster {
+    /// Gene set `X`.
+    pub genes: BitSet,
+    /// Sample set `Y`, sorted ascending.
+    pub samples: Vec<usize>,
+    /// The time slice this bicluster belongs to.
+    pub time: usize,
+}
+
+impl Bicluster {
+    /// Creates a bicluster, sorting the samples.
+    pub fn new(genes: BitSet, mut samples: Vec<usize>, time: usize) -> Self {
+        samples.sort_unstable();
+        samples.dedup();
+        Bicluster {
+            genes,
+            samples,
+            time,
+        }
+    }
+
+    /// `(|X|, |Y|)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.genes.count(), self.samples.len())
+    }
+
+    /// Number of cells `|X| · |Y|`.
+    pub fn span_size(&self) -> usize {
+        self.genes.count() * self.samples.len()
+    }
+
+    /// `true` iff `self ⊆ other` (gene-set and sample-set containment,
+    /// same time slice).
+    pub fn is_subcluster_of(&self, other: &Bicluster) -> bool {
+        self.time == other.time
+            && self.genes.is_subset(&other.genes)
+            && is_sorted_subset(&self.samples, &other.samples)
+    }
+}
+
+impl std::fmt::Display for Bicluster {
+    /// Compact form: `{g1,g4,g8} x {s0,s1} @ t0`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.genes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "g{g}")?;
+        }
+        write!(f, "}} x {{")?;
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{s}")?;
+        }
+        write!(f, "}} @ t{}", self.time)
+    }
+}
+
+/// A maximal tricluster `X × Y × Z`.
+///
+/// `genes` is a bitset over the gene universe; `samples` and `times` are
+/// sorted index lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tricluster {
+    /// Gene set `X`.
+    pub genes: BitSet,
+    /// Sample set `Y`, sorted ascending.
+    pub samples: Vec<usize>,
+    /// Time set `Z`, sorted ascending.
+    pub times: Vec<usize>,
+}
+
+impl Tricluster {
+    /// Creates a tricluster, sorting samples and times.
+    pub fn new(genes: BitSet, mut samples: Vec<usize>, mut times: Vec<usize>) -> Self {
+        samples.sort_unstable();
+        samples.dedup();
+        times.sort_unstable();
+        times.dedup();
+        Tricluster {
+            genes,
+            samples,
+            times,
+        }
+    }
+
+    /// `(|X|, |Y|, |Z|)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.genes.count(), self.samples.len(), self.times.len())
+    }
+
+    /// Number of cells `|X| · |Y| · |Z|` (the paper's span size `|L_C|`).
+    pub fn span_size(&self) -> usize {
+        self.genes.count() * self.samples.len() * self.times.len()
+    }
+
+    /// `true` iff the cell `(g, s, t)` lies in the cluster.
+    pub fn contains_cell(&self, g: usize, s: usize, t: usize) -> bool {
+        self.genes.contains(g)
+            && self.samples.binary_search(&s).is_ok()
+            && self.times.binary_search(&t).is_ok()
+    }
+
+    /// `true` iff `self ⊆ other` per the paper's definition
+    /// (`X ⊆ X'`, `Y ⊆ Y'`, `Z ⊆ Z'`).
+    pub fn is_subcluster_of(&self, other: &Tricluster) -> bool {
+        self.genes.is_subset(&other.genes)
+            && is_sorted_subset(&self.samples, &other.samples)
+            && is_sorted_subset(&self.times, &other.times)
+    }
+
+    /// Iterates over all `(gene, sample, time)` cells of the cluster.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.genes.iter().flat_map(move |g| {
+            self.samples.iter().flat_map(move |&s| {
+                self.times.iter().map(move |&t| (g, s, t))
+            })
+        })
+    }
+
+    /// The bounding cluster `(X∪X') × (Y∪Y') × (Z∪Z')` (the paper's `A + B`).
+    pub fn bounding(&self, other: &Tricluster) -> Tricluster {
+        let genes = self.genes.union(&other.genes);
+        let samples = sorted_union(&self.samples, &other.samples);
+        let times = sorted_union(&self.times, &other.times);
+        Tricluster {
+            genes,
+            samples,
+            times,
+        }
+    }
+
+    /// Per-dimension intersection sizes `(|X∩X'|, |Y∩Y'|, |Z∩Z'|)`.
+    pub fn intersection_shape(&self, other: &Tricluster) -> (usize, usize, usize) {
+        (
+            self.genes.intersection_count(&other.genes),
+            sorted_intersection_count(&self.samples, &other.samples),
+            sorted_intersection_count(&self.times, &other.times),
+        )
+    }
+}
+
+impl std::fmt::Display for Tricluster {
+    /// Compact form: `{g1,g4,g8} x {s0,s1} x {t0,t1}`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, g) in self.genes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "g{g}")?;
+        }
+        write!(f, "}} x {{")?;
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{s}")?;
+        }
+        write!(f, "}} x {{")?;
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "t{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// `true` iff sorted slice `a` is a subset of sorted slice `b`.
+pub(crate) fn is_sorted_subset(a: &[usize], b: &[usize]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Size of the intersection of two sorted slices.
+pub(crate) fn sorted_intersection_count(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Union of two sorted slices, sorted and deduplicated.
+pub(crate) fn sorted_union(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Intersection of two sorted slices.
+pub(crate) fn sorted_intersection(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genes(n: usize, which: &[usize]) -> BitSet {
+        BitSet::from_indices(n, which.iter().copied())
+    }
+
+    #[test]
+    fn bicluster_new_sorts_and_dedups() {
+        let b = Bicluster::new(genes(5, &[0, 1]), vec![3, 1, 3], 0);
+        assert_eq!(b.samples, vec![1, 3]);
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b.span_size(), 4);
+    }
+
+    #[test]
+    fn bicluster_subset_requires_same_time() {
+        let small = Bicluster::new(genes(5, &[1]), vec![2], 0);
+        let big = Bicluster::new(genes(5, &[1, 2]), vec![2, 3], 0);
+        let big_t1 = Bicluster::new(genes(5, &[1, 2]), vec![2, 3], 1);
+        assert!(small.is_subcluster_of(&big));
+        assert!(!big.is_subcluster_of(&small));
+        assert!(!small.is_subcluster_of(&big_t1));
+        assert!(small.is_subcluster_of(&small), "reflexive");
+    }
+
+    #[test]
+    fn tricluster_shape_and_span() {
+        let c = Tricluster::new(genes(10, &[0, 2, 4]), vec![1, 3], vec![0, 1]);
+        assert_eq!(c.shape(), (3, 2, 2));
+        assert_eq!(c.span_size(), 12);
+        assert_eq!(c.cells().count(), 12);
+    }
+
+    #[test]
+    fn tricluster_contains_cell() {
+        let c = Tricluster::new(genes(10, &[0, 2]), vec![1], vec![5]);
+        assert!(c.contains_cell(0, 1, 5));
+        assert!(c.contains_cell(2, 1, 5));
+        assert!(!c.contains_cell(1, 1, 5));
+        assert!(!c.contains_cell(0, 2, 5));
+        assert!(!c.contains_cell(0, 1, 4));
+    }
+
+    #[test]
+    fn tricluster_subset() {
+        let sub = Tricluster::new(genes(10, &[1, 2]), vec![0], vec![0, 1]);
+        let sup = Tricluster::new(genes(10, &[1, 2, 3]), vec![0, 5], vec![0, 1, 2]);
+        assert!(sub.is_subcluster_of(&sup));
+        assert!(!sup.is_subcluster_of(&sub));
+        let disjoint = Tricluster::new(genes(10, &[9]), vec![0], vec![0]);
+        assert!(!disjoint.is_subcluster_of(&sup));
+    }
+
+    #[test]
+    fn bounding_cluster_unions_each_dim() {
+        let a = Tricluster::new(genes(10, &[1, 2]), vec![0, 1], vec![0]);
+        let b = Tricluster::new(genes(10, &[2, 3]), vec![1, 2], vec![1]);
+        let ab = a.bounding(&b);
+        assert_eq!(ab.genes.to_vec(), vec![1, 2, 3]);
+        assert_eq!(ab.samples, vec![0, 1, 2]);
+        assert_eq!(ab.times, vec![0, 1]);
+    }
+
+    #[test]
+    fn intersection_shape() {
+        let a = Tricluster::new(genes(10, &[1, 2, 3]), vec![0, 1], vec![0, 2]);
+        let b = Tricluster::new(genes(10, &[2, 3, 4]), vec![1, 5], vec![2]);
+        assert_eq!(a.intersection_shape(&b), (2, 1, 1));
+    }
+
+    #[test]
+    fn sorted_helpers() {
+        assert!(is_sorted_subset(&[], &[1, 2]));
+        assert!(is_sorted_subset(&[2], &[1, 2, 3]));
+        assert!(!is_sorted_subset(&[0], &[1, 2]));
+        assert!(!is_sorted_subset(&[1, 4], &[1, 2, 3]));
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_union(&[1, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(sorted_intersection(&[1, 3, 5], &[3, 4, 5]), vec![3, 5]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let b = Bicluster::new(genes(10, &[1, 4, 8]), vec![0, 1], 3);
+        assert_eq!(b.to_string(), "{g1,g4,g8} x {s0,s1} @ t3");
+        let c = Tricluster::new(genes(10, &[0, 9]), vec![2], vec![0, 1]);
+        assert_eq!(c.to_string(), "{g0,g9} x {s2} x {t0,t1}");
+    }
+
+    #[test]
+    fn cells_enumerates_cartesian_product() {
+        let c = Tricluster::new(genes(5, &[0, 1]), vec![2], vec![0, 3]);
+        let cells: Vec<_> = c.cells().collect();
+        assert_eq!(
+            cells,
+            vec![(0, 2, 0), (0, 2, 3), (1, 2, 0), (1, 2, 3)]
+        );
+    }
+}

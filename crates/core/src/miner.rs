@@ -1,0 +1,394 @@
+//! High-level mining pipeline (paper §4).
+//!
+//! [`mine`] wires the four phases together: per-slice range multigraphs,
+//! per-slice bicluster mining (fanned out across threads — slices are
+//! independent), tricluster enumeration, and the optional merge/prune pass.
+//! [`mine_auto`] additionally applies the canonical transposition (largest
+//! dimension mined as genes, per the symmetry Lemma 1) and maps the results
+//! back to the caller's coordinates.
+
+use crate::bicluster::mine_biclusters_with_budget;
+use crate::cluster::{Bicluster, Tricluster};
+use crate::metrics::{cluster_metrics, Metrics};
+use crate::params::Params;
+use crate::prune::{merge_and_prune, PruneStats};
+use crate::rangegraph::build_range_graph;
+use crate::tricluster::mine_triclusters_with_budget;
+use std::time::{Duration, Instant};
+use tricluster_bitset::BitSet;
+use tricluster_matrix::{Axis, Matrix3};
+
+/// Everything produced by one mining run.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// The final maximal triclusters (after merge/prune when enabled).
+    pub triclusters: Vec<Tricluster>,
+    /// The biclusters mined from each time slice (before the tricluster
+    /// phase), for diagnostics and for the paper's per-slice analyses.
+    pub per_time_biclusters: Vec<Vec<Bicluster>>,
+    /// Total ranges (multigraph edges) per time slice.
+    pub ranges_per_time: Vec<usize>,
+    /// Statistics of the merge/prune pass (zeros when disabled).
+    pub prune_stats: PruneStats,
+    /// `true` when any search phase exhausted [`Params::max_candidates`];
+    /// the clusters are sound but possibly incomplete.
+    pub truncated: bool,
+    /// Phase timings.
+    pub timings: Timings,
+}
+
+/// Wall-clock duration of each phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Range multigraph construction, summed over slices.
+    pub range_graphs: Duration,
+    /// Bicluster mining, summed over slices (wall-clock of the parallel
+    /// fan-out, not CPU time).
+    pub biclusters: Duration,
+    /// Tricluster enumeration.
+    pub triclusters: Duration,
+    /// Merge/prune pass.
+    pub prune: Duration,
+}
+
+impl Timings {
+    /// Total of all phases.
+    pub fn total(&self) -> Duration {
+        self.range_graphs + self.biclusters + self.triclusters + self.prune
+    }
+}
+
+impl MiningResult {
+    /// Computes the paper's quality metrics for the final clusters.
+    pub fn metrics(&self, m: &Matrix3) -> Metrics {
+        cluster_metrics(m, &self.triclusters)
+    }
+}
+
+/// Reusable mining facade. Currently stateless; exists so callers can hold
+/// a configured miner and to leave room for cross-run caching.
+#[derive(Debug, Clone)]
+pub struct Miner {
+    params: Params,
+}
+
+impl Miner {
+    /// Creates a miner with the given parameters.
+    pub fn new(params: Params) -> Self {
+        Miner { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Runs the full pipeline on `m`.
+    pub fn mine(&self, m: &Matrix3) -> MiningResult {
+        mine(m, &self.params)
+    }
+}
+
+/// Runs the full TriCluster pipeline on `m` with the given parameters.
+///
+/// The matrix is mined as-is (genes × samples × times); use [`mine_auto`]
+/// to let the library apply the paper's canonical transposition first.
+pub fn mine(m: &Matrix3, params: &Params) -> MiningResult {
+    let n_times = m.n_times();
+    let mut timings = Timings::default();
+
+    // Phase 1+2 per slice, in parallel. Each worker builds the range graph
+    // and mines the slice's biclusters.
+    let t0 = Instant::now();
+    let mut per_time_biclusters: Vec<Vec<Bicluster>> = vec![Vec::new(); n_times];
+    let mut ranges_per_time: Vec<usize> = vec![0; n_times];
+    let mut truncated = false;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_times.max(1));
+    if threads <= 1 || n_times <= 1 {
+        for t in 0..n_times {
+            let rg = build_range_graph(m, t, params);
+            ranges_per_time[t] = rg.n_ranges();
+            let (bcs, cut) = mine_biclusters_with_budget(m, &rg, params);
+            per_time_biclusters[t] = bcs;
+            truncated |= cut;
+        }
+    } else {
+        let results: Vec<(usize, usize, Vec<Bicluster>, bool)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_times)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let rg = build_range_graph(m, t, params);
+                            let n_ranges = rg.n_ranges();
+                            let (bcs, cut) = mine_biclusters_with_budget(m, &rg, params);
+                            (t, n_ranges, bcs, cut)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("slice worker panicked"))
+                    .collect()
+            });
+        for (t, n_ranges, bcs, cut) in results {
+            ranges_per_time[t] = n_ranges;
+            per_time_biclusters[t] = bcs;
+            truncated |= cut;
+        }
+    }
+    // Range-graph and bicluster time are not separable in the parallel
+    // fan-out; attribute the whole fan-out to `biclusters` and leave
+    // `range_graphs` as the (serial) remainder estimate of zero.
+    timings.biclusters = t0.elapsed();
+
+    let t1 = Instant::now();
+    let (mut triclusters, tri_cut) = mine_triclusters_with_budget(m, &per_time_biclusters, params);
+    truncated |= tri_cut;
+    timings.triclusters = t1.elapsed();
+
+    let t2 = Instant::now();
+    let prune_stats = if let Some(merge) = &params.merge {
+        let (survivors, stats) = merge_and_prune(std::mem::take(&mut triclusters), merge);
+        triclusters = survivors;
+        stats
+    } else {
+        PruneStats::default()
+    };
+    timings.prune = t2.elapsed();
+
+    // Deterministic output order: by genes, then samples, then times.
+    triclusters.sort_by(|a, b| {
+        a.genes
+            .to_vec()
+            .cmp(&b.genes.to_vec())
+            .then_with(|| a.samples.cmp(&b.samples))
+            .then_with(|| a.times.cmp(&b.times))
+    });
+
+    MiningResult {
+        triclusters,
+        per_time_biclusters,
+        ranges_per_time,
+        prune_stats,
+        truncated,
+        timings,
+    }
+}
+
+/// Like [`mine`], but first permutes the matrix so the largest dimension is
+/// mined as genes (the paper always transposes this way, exploiting the
+/// symmetry Lemma 1), then maps the mined clusters back to the original
+/// coordinates.
+pub fn mine_auto(m: &Matrix3, params: &Params) -> MiningResult {
+    let order = m.canonical_permutation();
+    if order == [Axis::Gene, Axis::Sample, Axis::Time] {
+        return mine(m, params);
+    }
+    let permuted = m.permuted(order);
+    let mut result = mine(&permuted, params);
+    let n = [m.n_genes(), m.n_samples(), m.n_times()];
+    result.triclusters = result
+        .triclusters
+        .into_iter()
+        .map(|c| unpermute_cluster(&c, order, n))
+        .collect();
+    // per-time biclusters and range counts refer to the permuted axes;
+    // clear them rather than report misleading indices.
+    result.per_time_biclusters = Vec::new();
+    result.ranges_per_time = Vec::new();
+    result.triclusters.sort_by(|a, b| {
+        a.genes
+            .to_vec()
+            .cmp(&b.genes.to_vec())
+            .then_with(|| a.samples.cmp(&b.samples))
+            .then_with(|| a.times.cmp(&b.times))
+    });
+    result
+}
+
+/// Maps a cluster mined in permuted coordinates back to the original axes.
+///
+/// `order[k]` names the original axis that served as mined axis `k`; so the
+/// mined axis-`k` index set belongs to original axis `order[k]`.
+fn unpermute_cluster(c: &Tricluster, order: [Axis; 3], orig_dims: [usize; 3]) -> Tricluster {
+    let mined_sets: [Vec<usize>; 3] = [c.genes.to_vec(), c.samples.clone(), c.times.clone()];
+    let mut per_axis: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (k, set) in mined_sets.into_iter().enumerate() {
+        per_axis[order[k].index()] = set;
+    }
+    Tricluster::new(
+        BitSet::from_indices(orig_dims[0], per_axis[0].iter().copied()),
+        per_axis[1].clone(),
+        per_axis[2].clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MergeParams;
+    use crate::testdata::{paper_table1, paper_table1_expected};
+
+    fn params() -> Params {
+        Params::builder()
+            .epsilon(0.01)
+            .min_genes(3)
+            .min_samples(3)
+            .min_times(2)
+            .build()
+            .unwrap()
+    }
+
+    fn view(cs: &[Tricluster]) -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+        cs.iter()
+            .map(|c| (c.genes.to_vec(), c.samples.clone(), c.times.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn full_pipeline_on_paper_example() {
+        let m = paper_table1();
+        let result = mine(&m, &params());
+        let mut want = paper_table1_expected();
+        want.sort();
+        assert_eq!(view(&result.triclusters), want);
+        assert_eq!(result.per_time_biclusters.len(), 2);
+        assert_eq!(result.per_time_biclusters[0].len(), 3);
+        assert_eq!(result.per_time_biclusters[1].len(), 3);
+        assert!(result.ranges_per_time.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn metrics_of_paper_example() {
+        let m = paper_table1();
+        let result = mine(&m, &params());
+        let met = result.metrics(&m);
+        assert_eq!(met.cluster_count, 3);
+        // C1: 3*4*2=24, C2: 4*3*2=24, C3: 3*4*2=24 -> 72 cells;
+        // overlaps: C2∩C3 share g0,g9 x s1,s4 x 2t = 8 cells;
+        // C1∩C2 share s1,s4,s6 but no genes -> 0; C1∩C3 no genes -> 0.
+        assert_eq!(met.element_sum, 72);
+        assert_eq!(met.coverage, 64);
+        assert!((met.overlap - 8.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_pass_runs_when_enabled() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_genes(3)
+            .min_samples(3)
+            .min_times(2)
+            .merge(MergeParams {
+                eta: 0.01,
+                gamma: 0.01,
+            })
+            .build()
+            .unwrap();
+        let result = mine(&m, &p);
+        // thresholds this small change nothing on the paper example
+        assert_eq!(result.triclusters.len(), 3);
+    }
+
+    #[test]
+    fn miner_facade_equivalent_to_mine() {
+        let m = paper_table1();
+        let miner = Miner::new(params());
+        assert_eq!(
+            view(&miner.mine(&m).triclusters),
+            view(&mine(&m, &params()).triclusters)
+        );
+        assert_eq!(miner.params().min_genes, 3);
+    }
+
+    #[test]
+    fn mine_auto_matches_mine_on_canonical_input() {
+        let m = paper_table1(); // 10 x 7 x 2 is already canonical
+        assert_eq!(
+            view(&mine_auto(&m, &params()).triclusters),
+            view(&mine(&m, &params()).triclusters)
+        );
+    }
+
+    #[test]
+    fn mine_auto_recovers_clusters_through_permutation() {
+        // Put the paper matrix's gene axis on the *time* axis: dims 2x7x10.
+        let m = paper_table1();
+        let twisted = m.permuted([Axis::Time, Axis::Sample, Axis::Gene]);
+        assert_eq!(twisted.dims(), (2, 7, 10));
+        // Mine with thresholds transposed accordingly: mined genes = orig
+        // genes again after canonical permutation (largest dim = 10).
+        let result = mine_auto(&twisted, &params());
+        // Clusters come back in *twisted* coordinates: genes axis of
+        // `twisted` is original times, times axis is original genes.
+        let mut got: Vec<_> = result
+            .triclusters
+            .iter()
+            .map(|c| (c.times.clone(), c.samples.clone(), c.genes.to_vec()))
+            .collect();
+        got.sort();
+        let mut want = paper_table1_expected();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unlimited_search_is_not_truncated() {
+        let m = paper_table1();
+        assert!(!mine(&m, &params()).truncated);
+    }
+
+    #[test]
+    fn tiny_budget_truncates_but_stays_sound() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .max_candidates(2)
+            .build()
+            .unwrap();
+        let result = mine(&m, &p);
+        assert!(result.truncated);
+        // whatever was found is still a valid (possibly incomplete) subset
+        let full = mine(&m, &params());
+        for c in &result.triclusters {
+            assert!(
+                full.triclusters.iter().any(|f| c.is_subcluster_of(f)),
+                "truncated result produced a cluster outside the full set: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .max_candidates(1_000_000)
+            .build()
+            .unwrap();
+        let limited = mine(&m, &p);
+        assert!(!limited.truncated);
+        assert_eq!(limited.triclusters, mine(&m, &params()).triclusters);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let m = paper_table1();
+        let result = mine(&m, &params());
+        assert!(result.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = paper_table1();
+        let a = mine(&m, &params());
+        let b = mine(&m, &params());
+        assert_eq!(view(&a.triclusters), view(&b.triclusters));
+    }
+}

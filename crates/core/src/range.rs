@@ -1,0 +1,462 @@
+//! Valid ratio ranges (paper §4.1, Figure 1).
+//!
+//! For a pair of sample columns `(s_a, s_b)` in one time slice, each gene
+//! `g_x` has a ratio `r_x = d_xa / d_xb`. A *valid ratio range* `[r_l, r_u]`
+//! is a maximal interval of ratios such that
+//!
+//! 1. `max(|r_u|,|r_l|)/min(|r_u|,|r_l|) − 1 ≤ ε`,
+//! 2. it spans at least `mx` genes,
+//! 3. negative ratios only group genes whose two column values have a
+//!    consistent sign pattern,
+//! 4. no further gene can be added while preserving the `ε` bound.
+//!
+//! Overlapping valid ranges are chained into *extended* ranges; an extended
+//! range wider than `2ε` is re-covered by *split* blocks of width at most
+//! `2ε` plus overlapping *patched* blocks offset by `ε`, so that no cluster
+//! straddling a split boundary is lost (paper Figure 1(b)).
+//!
+//! ## Sign handling
+//!
+//! Per the paper's validity condition 2, a *negative* ratio is only
+//! meaningful when the columns have consistent signs across the grouped
+//! genes. We therefore partition genes into three groups before sorting:
+//! positive ratios (covers both `(+,+)` and `(−,−)` value pairs — the paper
+//! places no constraint on these), negative ratios with `(+,−)` values, and
+//! negative ratios with `(−,+)` values. Ranges never span groups.
+
+use crate::params::RangeExtension;
+use tricluster_bitset::BitSet;
+
+/// How a range was produced (paper Figure 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RangeKind {
+    /// A maximal valid window (width ≤ ε).
+    Valid,
+    /// A chain of overlapping valid windows, total width ≤ 2ε.
+    Extended,
+    /// A block of width ≤ 2ε cut from a wide extended range.
+    Split,
+    /// An overlapping block offset by ε covering a split boundary.
+    Patched,
+}
+
+/// Sign group of the ratios in a range (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SignGroup {
+    /// `d_xa` and `d_xb` share a sign, ratio positive.
+    Positive,
+    /// `d_xa > 0 > d_xb`, ratio negative.
+    PosNeg,
+    /// `d_xa < 0 < d_xb`, ratio negative.
+    NegPos,
+}
+
+impl SignGroup {
+    /// Classifies a value pair; `None` when either value is zero or
+    /// non-finite (such cells are excluded from ranges — preprocessing
+    /// replaces zeros beforehand).
+    pub fn classify(va: f64, vb: f64) -> Option<SignGroup> {
+        if !va.is_finite() || !vb.is_finite() || va == 0.0 || vb == 0.0 {
+            return None;
+        }
+        Some(match (va > 0.0, vb > 0.0) {
+            (true, true) | (false, false) => SignGroup::Positive,
+            (true, false) => SignGroup::PosNeg,
+            (false, true) => SignGroup::NegPos,
+        })
+    }
+
+    /// Sign of the ratios in this group: `+1` or `-1`.
+    pub fn ratio_sign(self) -> i8 {
+        match self {
+            SignGroup::Positive => 1,
+            SignGroup::PosNeg | SignGroup::NegPos => -1,
+        }
+    }
+}
+
+/// A ratio range between two sample columns, with the genes whose ratios
+/// fall inside it.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RatioRange {
+    /// Lower bound of `|ratio|`.
+    pub lo: f64,
+    /// Upper bound of `|ratio|`.
+    pub hi: f64,
+    /// Sign group of the grouped genes.
+    pub sign: SignGroup,
+    /// Provenance of the range.
+    pub kind: RangeKind,
+    /// Genes whose ratio lies in `[lo, hi]` (bitset over the gene universe).
+    pub genes: BitSet,
+}
+
+impl RatioRange {
+    /// The multigraph edge weight `w = r_u / r_l` from the paper.
+    pub fn weight(&self) -> f64 {
+        self.hi / self.lo
+    }
+}
+
+/// Finds all ranges for one sign group.
+///
+/// `ratios` are `(|ratio|, gene)` pairs (all the same [`SignGroup`]); they do
+/// not need to be pre-sorted. `n_genes` is the gene universe size for the
+/// produced bitsets.
+pub fn find_ranges(
+    ratios: &[(f64, usize)],
+    sign: SignGroup,
+    epsilon: f64,
+    mx: usize,
+    n_genes: usize,
+    extension: RangeExtension,
+) -> Vec<RatioRange> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    assert!(mx >= 1, "mx must be >= 1");
+    let mut sorted: Vec<(f64, usize)> = ratios
+        .iter()
+        .copied()
+        .filter(|(r, _)| r.is_finite() && *r > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n = sorted.len();
+    if n < mx {
+        return Vec::new();
+    }
+
+    // Maximal ε-windows via two pointers. Window starting at `l` extends to
+    // the largest `r` with ratio[r-1] <= ratio[l]*(1+ε); it is maximal iff it
+    // strictly extends the previous window's right end.
+    let mut windows: Vec<(usize, usize)> = Vec::new(); // half-open [l, r)
+    let mut r = 0usize;
+    let mut prev_r = 0usize;
+    for l in 0..n {
+        if r < l {
+            r = l;
+        }
+        let bound = sorted[l].0 * (1.0 + epsilon);
+        while r < n && sorted[r].0 <= bound {
+            r += 1;
+        }
+        let is_maximal = l == 0 || r > prev_r;
+        if is_maximal && r - l >= mx {
+            windows.push((l, r));
+        }
+        prev_r = r;
+    }
+    if windows.is_empty() {
+        return Vec::new();
+    }
+
+    let make_range = |lo_i: usize, hi_i: usize, kind: RangeKind| -> RatioRange {
+        // indices half-open [lo_i, hi_i)
+        let genes = BitSet::from_indices(n_genes, sorted[lo_i..hi_i].iter().map(|&(_, g)| g));
+        RatioRange {
+            lo: sorted[lo_i].0,
+            hi: sorted[hi_i - 1].0,
+            sign,
+            kind,
+            genes,
+        }
+    };
+
+    let mut out: Vec<RatioRange> = Vec::new();
+    if extension == RangeExtension::Off {
+        for &(l, r) in &windows {
+            out.push(make_range(l, r, RangeKind::Valid));
+        }
+        dedupe_by_genes(&mut out);
+        return out;
+    }
+
+    // Chain overlapping windows into extended ranges.
+    let mut chains: Vec<(usize, usize, usize)> = Vec::new(); // (lo, hi, windows)
+    let (mut lo, mut hi, mut count) = (windows[0].0, windows[0].1, 1usize);
+    for &(l, r) in &windows[1..] {
+        if l < hi {
+            hi = hi.max(r);
+            count += 1;
+        } else {
+            chains.push((lo, hi, count));
+            lo = l;
+            hi = r;
+            count = 1;
+        }
+    }
+    chains.push((lo, hi, count));
+
+    for (lo, hi, nwin) in chains {
+        if nwin == 1 {
+            out.push(make_range(lo, hi, RangeKind::Valid));
+            continue;
+        }
+        let width = sorted[hi - 1].0 / sorted[lo].0 - 1.0;
+        if width <= 2.0 * epsilon {
+            out.push(make_range(lo, hi, RangeKind::Extended));
+            continue;
+        }
+        // Wide extended range: cover with split blocks of width ≤ 2ε plus
+        // patched blocks centered on the split boundaries.
+        split_and_patch(&sorted[lo..hi], lo, epsilon, mx, &make_range, &mut out);
+    }
+    dedupe_by_genes(&mut out);
+    out
+}
+
+/// Re-covers `segment` (a slice of the sorted ratio array starting at
+/// absolute index `base`, forming one wide extended range) with:
+///
+/// * greedy *split* blocks — each anchored at the first uncovered ratio and
+///   extending a multiplicative `2ε` — and
+/// * one *patched* block per split boundary, spanning `[v/(1+ε), v·(1+ε)]`
+///   (width `(1+ε)² − 1 = 2ε + ε²`)
+///   around the boundary ratio `v`, so that any two genes within `ε` of each
+///   other still co-occur in at least one range.
+///
+/// Blocks spanning fewer than `mx` genes cannot seed a cluster and are not
+/// emitted.
+fn split_and_patch(
+    segment: &[(f64, usize)],
+    base: usize,
+    epsilon: f64,
+    mx: usize,
+    make_range: &dyn Fn(usize, usize, RangeKind) -> RatioRange,
+    out: &mut Vec<RatioRange>,
+) {
+    debug_assert!(epsilon > 0.0, "wide chains require a positive epsilon");
+    let factor = 1.0 + 2.0 * epsilon;
+    let mut boundaries: Vec<usize> = Vec::new();
+    let mut i = 0usize;
+    while i < segment.len() {
+        let hi = segment[i].0 * factor;
+        let j = segment.partition_point(|&(v, _)| v <= hi);
+        debug_assert!(j > i);
+        if j - i >= mx {
+            out.push(make_range(base + i, base + j, RangeKind::Split));
+        }
+        if j < segment.len() {
+            boundaries.push(j);
+        }
+        i = j;
+    }
+    for &j in &boundaries {
+        let center = segment[j].0;
+        let lo_v = center / (1.0 + epsilon);
+        let hi_v = center * (1.0 + epsilon);
+        let a = segment.partition_point(|&(v, _)| v < lo_v);
+        let b = segment.partition_point(|&(v, _)| v <= hi_v);
+        if b - a >= mx {
+            out.push(make_range(base + a, base + b, RangeKind::Patched));
+        }
+    }
+}
+
+/// Removes ranges whose gene-set duplicates an earlier range's (the
+/// duplicate would generate identical clusters downstream).
+fn dedupe_by_genes(ranges: &mut Vec<RatioRange>) {
+    let mut seen: Vec<BitSet> = Vec::new();
+    ranges.retain(|r| {
+        if seen.contains(&r.genes) {
+            false
+        } else {
+            seen.push(r.genes.clone());
+            true
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(
+        ratios: &[(f64, usize)],
+        eps: f64,
+        mx: usize,
+        ext: RangeExtension,
+    ) -> Vec<RatioRange> {
+        find_ranges(ratios, SignGroup::Positive, eps, mx, 64, ext)
+    }
+
+    /// Paper Figure 1(a): sorted ratios of column s0/s6 at time t0.
+    /// g1,g4,g8 -> 3.0; g3,g5 -> 3.3; g0 -> 3.6.
+    fn paper_fig1() -> Vec<(f64, usize)> {
+        vec![
+            (3.0, 1),
+            (3.0, 4),
+            (3.0, 8),
+            (3.3, 3),
+            (3.3, 5),
+            (3.6, 0),
+        ]
+    }
+
+    #[test]
+    fn paper_example_eps_001_single_range() {
+        // ε=0.01, mx=3: only [3.0, 3.0] with genes {g1,g4,g8} is valid.
+        let rs = ranges(&paper_fig1(), 0.01, 3, RangeExtension::On);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].lo, 3.0);
+        assert_eq!(rs[0].hi, 3.0);
+        assert_eq!(rs[0].genes.to_vec(), vec![1, 4, 8]);
+        assert_eq!(rs[0].kind, RangeKind::Valid);
+    }
+
+    #[test]
+    fn paper_example_eps_01_two_overlapping_ranges() {
+        // ε=0.1: the paper reports [3.0,3.3] {g1,g4,g8,g3,g5} and
+        // [3.3,3.6] {g3,g5,g0}. With mx=3 only the first window has ≥3
+        // genes... the second has exactly 3.
+        let rs = ranges(&paper_fig1(), 0.1, 3, RangeExtension::Off);
+        assert_eq!(rs.len(), 2, "{rs:?}");
+        assert_eq!(rs[0].genes.to_vec(), vec![1, 3, 4, 5, 8]);
+        assert_eq!((rs[0].lo, rs[0].hi), (3.0, 3.3));
+        assert_eq!(rs[1].genes.to_vec(), vec![0, 3, 5]);
+        assert_eq!((rs[1].lo, rs[1].hi), (3.3, 3.6));
+    }
+
+    #[test]
+    fn paper_example_eps_01_extension_merges() {
+        // With extension on, the two overlapping windows chain into one
+        // extended range [3.0,3.6]; width 0.2 ≤ 2ε, single Extended range.
+        let rs = ranges(&paper_fig1(), 0.1, 3, RangeExtension::On);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, RangeKind::Extended);
+        assert_eq!((rs[0].lo, rs[0].hi), (3.0, 3.6));
+        assert_eq!(rs[0].genes.count(), 6);
+    }
+
+    #[test]
+    fn too_few_genes_no_range() {
+        let rs = ranges(&[(1.0, 0), (1.0, 1)], 0.01, 3, RangeExtension::On);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let rs = ranges(&[], 0.01, 1, RangeExtension::On);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn far_apart_clusters_give_separate_ranges() {
+        let data = vec![
+            (1.0, 0),
+            (1.0, 1),
+            (1.005, 2),
+            (5.0, 3),
+            (5.0, 4),
+            (5.02, 5),
+        ];
+        let rs = ranges(&data, 0.01, 3, RangeExtension::On);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].genes.to_vec(), vec![0, 1, 2]);
+        assert_eq!(rs[1].genes.to_vec(), vec![3, 4, 5]);
+        assert!(rs.iter().all(|r| r.kind == RangeKind::Valid));
+    }
+
+    #[test]
+    fn maximality_no_window_contained_in_another() {
+        // windows must not report [l+1, r) when [l, r) exists
+        let data: Vec<(f64, usize)> = (0..6).map(|i| (1.0 + 0.001 * i as f64, i)).collect();
+        let rs = ranges(&data, 0.01, 2, RangeExtension::Off);
+        assert_eq!(rs.len(), 1, "one maximal window covering all: {rs:?}");
+        assert_eq!(rs[0].genes.count(), 6);
+    }
+
+    #[test]
+    fn eps_zero_groups_exact_ties_only() {
+        let data = vec![(2.0, 0), (2.0, 1), (2.0, 2), (2.5, 3), (2.5, 4)];
+        let rs = ranges(&data, 0.0, 2, RangeExtension::On);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].genes.to_vec(), vec![0, 1, 2]);
+        assert_eq!(rs[1].genes.to_vec(), vec![3, 4]);
+        assert!((rs[0].weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_chain_produces_split_and_patched() {
+        // A dense arithmetic chain: every adjacent pair within ε but the
+        // whole chain much wider than 2ε.
+        let data: Vec<(f64, usize)> = (0..16).map(|i| (1.0f64 * 1.04f64.powi(i), i as usize)).collect();
+        let rs = ranges(&data, 0.05, 2, RangeExtension::On);
+        assert!(
+            rs.iter().any(|r| r.kind == RangeKind::Split),
+            "expected split blocks: {rs:?}"
+        );
+        assert!(
+            rs.iter().any(|r| r.kind == RangeKind::Patched),
+            "expected patched blocks: {rs:?}"
+        );
+        // Every gene is covered by at least one emitted range.
+        let mut covered = BitSet::new(64);
+        for r in &rs {
+            covered.union_with(&r.genes);
+        }
+        assert_eq!(covered.count(), 16, "no gene lost by splitting: {rs:?}");
+        // Every block respects the 2ε width bound.
+        for r in &rs {
+            if matches!(r.kind, RangeKind::Split | RangeKind::Patched) {
+                assert!(
+                    r.hi / r.lo - 1.0 <= 2.0 * 0.05 + 1e-9,
+                    "block too wide: {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_pairs_consecutive_blocks_share_genes_via_patching() {
+        // Genes right at a split boundary must appear together in some range
+        // (that is the point of patched ranges).
+        let data: Vec<(f64, usize)> = (0..20).map(|i| (1.0f64 * 1.03f64.powi(i), i as usize)).collect();
+        let rs = ranges(&data, 0.05, 2, RangeExtension::On);
+        for w in 0..19usize {
+            let together = rs
+                .iter()
+                .any(|r| r.genes.contains(w) && r.genes.contains(w + 1));
+            assert!(
+                together,
+                "adjacent genes {w},{} (ratio gap 3% < ε) never co-occur: {rs:?}",
+                w + 1
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_genesets_are_removed() {
+        let data = vec![(1.0, 0), (1.0, 1), (1.0, 2)];
+        let rs = ranges(&data, 0.5, 2, RangeExtension::On);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn nonfinite_and_nonpositive_ratios_ignored() {
+        let data = vec![
+            (f64::NAN, 0),
+            (f64::INFINITY, 1),
+            (-1.0, 2),
+            (0.0, 3),
+            (2.0, 4),
+            (2.0, 5),
+        ];
+        let rs = ranges(&data, 0.01, 2, RangeExtension::On);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].genes.to_vec(), vec![4, 5]);
+    }
+
+    #[test]
+    fn sign_group_classification() {
+        assert_eq!(SignGroup::classify(1.0, 2.0), Some(SignGroup::Positive));
+        assert_eq!(SignGroup::classify(-1.0, -2.0), Some(SignGroup::Positive));
+        assert_eq!(SignGroup::classify(1.0, -2.0), Some(SignGroup::PosNeg));
+        assert_eq!(SignGroup::classify(-1.0, 2.0), Some(SignGroup::NegPos));
+        assert_eq!(SignGroup::classify(0.0, 2.0), None);
+        assert_eq!(SignGroup::classify(1.0, f64::NAN), None);
+        assert_eq!(SignGroup::Positive.ratio_sign(), 1);
+        assert_eq!(SignGroup::PosNeg.ratio_sign(), -1);
+    }
+}

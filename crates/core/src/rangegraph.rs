@@ -1,0 +1,238 @@
+//! Range multigraph construction (paper §4.1, Figure 2).
+//!
+//! For a time slice (a `genes × samples` matrix), the range multigraph has
+//! one vertex per sample column and, for every column pair `(s_a, s_b)` with
+//! `a < b`, one edge per [valid ratio range](crate::range) of the per-gene
+//! ratios `d_xa / d_xb`. Each edge carries its [`RatioRange`] — the interval
+//! bounds (the paper draws the weight `w = r_u / r_l`) and the gene-set.
+//!
+//! The multigraph is a *compact summary of all coherent behavior* in the
+//! slice: any bicluster must appear as a clique of columns whose mutual
+//! edges share at least `mx` genes, which is exactly what the
+//! [`bicluster`](crate::bicluster) DFS searches for.
+
+use crate::params::Params;
+use crate::range::{find_ranges, RatioRange, SignGroup};
+use tricluster_graph::MultiGraph;
+use tricluster_matrix::Matrix3;
+
+/// The range multigraph of one time slice.
+#[derive(Debug, Clone)]
+pub struct RangeGraph {
+    /// Time slice index this graph was built from.
+    pub time: usize,
+    /// Vertices are sample columns; each edge `(a, b)` with `a < b` carries
+    /// one ratio range.
+    pub graph: MultiGraph<RatioRange>,
+}
+
+impl RangeGraph {
+    /// Number of sample columns.
+    pub fn n_samples(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Total number of ranges (edges).
+    pub fn n_ranges(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The ranges between columns `a` and `b` (`a < b` expected; queries in
+    /// the other orientation return the empty slice).
+    pub fn ranges_between(&self, a: usize, b: usize) -> &[RatioRange] {
+        self.graph.edges_between(a, b)
+    }
+}
+
+/// Builds the range multigraph for time slice `t` of `m`.
+///
+/// For each ordered column pair `(a, b)` with `a < b`, the per-gene ratios
+/// `d_ga / d_gb` are partitioned into [sign groups](SignGroup), and each
+/// group's maximal valid ranges (plus extended/split/patched ranges,
+/// depending on [`Params::range_extension`]) become parallel edges.
+pub fn build_range_graph(m: &Matrix3, t: usize, params: &Params) -> RangeGraph {
+    let n_genes = m.n_genes();
+    let n_samples = m.n_samples();
+    let slice = m.time_slice_raw(t);
+    let mut graph: MultiGraph<RatioRange> = MultiGraph::new(n_samples);
+
+    let mut groups: [Vec<(f64, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for a in 0..n_samples {
+        for b in (a + 1)..n_samples {
+            for g in &mut groups {
+                g.clear();
+            }
+            for gene in 0..n_genes {
+                let va = slice[gene * n_samples + a];
+                let vb = slice[gene * n_samples + b];
+                let Some(group) = SignGroup::classify(va, vb) else {
+                    continue;
+                };
+                let ratio = (va / vb).abs();
+                if ratio.is_finite() && ratio > 0.0 {
+                    groups[group_index(group)].push((ratio, gene));
+                }
+            }
+            for (gi, sign) in [
+                (0, SignGroup::Positive),
+                (1, SignGroup::PosNeg),
+                (2, SignGroup::NegPos),
+            ] {
+                if groups[gi].len() < params.min_genes {
+                    continue;
+                }
+                for range in find_ranges(
+                    &groups[gi],
+                    sign,
+                    params.epsilon,
+                    params.min_genes,
+                    n_genes,
+                    params.range_extension,
+                ) {
+                    graph.add_edge(a, b, range);
+                }
+            }
+        }
+    }
+    RangeGraph { time: t, graph }
+}
+
+fn group_index(g: SignGroup) -> usize {
+    match g {
+        SignGroup::Positive => 0,
+        SignGroup::PosNeg => 1,
+        SignGroup::NegPos => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::paper_table1;
+
+    fn default_params(eps: f64, mx: usize) -> Params {
+        Params::builder()
+            .epsilon(eps)
+            .min_genes(mx)
+            .min_samples(3)
+            .min_times(2)
+            .build()
+            .unwrap()
+    }
+
+    /// Paper Figure 1/2: at time t0, the pair (s0, s6) has exactly one valid
+    /// range [3.0, 3.0] with gene-set {g1, g4, g8}.
+    #[test]
+    fn paper_fig2_s0_s6_range() {
+        let m = paper_table1();
+        let rg = build_range_graph(&m, 0, &default_params(0.01, 3));
+        let ranges = rg.ranges_between(0, 6);
+        assert_eq!(ranges.len(), 1, "{ranges:?}");
+        assert_eq!(ranges[0].genes.to_vec(), vec![1, 4, 8]);
+        assert!((ranges[0].lo - 3.0).abs() < 1e-9);
+        assert!((ranges[0].hi - 3.0).abs() < 1e-9);
+    }
+
+    /// Paper Figure 2 shows (s0, s1) carrying the single range of weight 6/5
+    /// with gene-set {g1, g3, g4, g8}.
+    #[test]
+    fn paper_fig2_s0_s1_range() {
+        let m = paper_table1();
+        let rg = build_range_graph(&m, 0, &default_params(0.01, 3));
+        let ranges = rg.ranges_between(0, 6);
+        assert!(!ranges.is_empty());
+        let r01 = rg.ranges_between(0, 1);
+        assert_eq!(r01.len(), 1, "{r01:?}");
+        assert_eq!(r01[0].genes.to_vec(), vec![1, 3, 4, 8]);
+        assert!((r01[0].weight() - 1.0).abs() < 1e-9, "uniform ratio range");
+    }
+
+    /// Paper Figure 2: (s1, s4) carries two parallel edges — weight 5/4 with
+    /// {g1, g4, g8} and weight 1/1 with {g0, g2, g6, g7, g9}.
+    #[test]
+    fn paper_fig2_s1_s4_parallel_edges() {
+        let m = paper_table1();
+        let rg = build_range_graph(&m, 0, &default_params(0.01, 3));
+        let ranges = rg.ranges_between(1, 4);
+        assert_eq!(ranges.len(), 2, "{ranges:?}");
+        let mut genesets: Vec<Vec<usize>> = ranges.iter().map(|r| r.genes.to_vec()).collect();
+        genesets.sort();
+        assert_eq!(genesets[0], vec![0, 2, 6, 7, 9]);
+        assert_eq!(genesets[1], vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn graph_has_no_edges_for_sparse_pairs() {
+        let m = paper_table1();
+        let rg = build_range_graph(&m, 0, &default_params(0.01, 3));
+        // (s0, s3): s0 has values only for g1,g3,g4,g8; s3 only for g3,g4,g8
+        // (two shared with s0's non-blank set after random fill the blanks
+        // are random, here zero-filled cells are skipped by sign logic since
+        // classify(0, x) = None). With mx=3 no coherent range of 3 genes is
+        // guaranteed... just check the query API doesn't panic and returns
+        // a slice.
+        let _ = rg.ranges_between(0, 3);
+        assert_eq!(rg.ranges_between(6, 0).len(), 0, "edges only stored a<b");
+    }
+
+    #[test]
+    fn negative_values_grouped_separately() {
+        use tricluster_matrix::Matrix3;
+        // 4 genes, 2 samples, 1 time; two genes with ratio +2 and two genes
+        // with ratio -2 ((+,-) pattern) — they must land on different edges.
+        let mut m = Matrix3::zeros(4, 2, 1);
+        m.set(0, 0, 0, 2.0);
+        m.set(0, 1, 0, 1.0);
+        m.set(1, 0, 0, 4.0);
+        m.set(1, 1, 0, 2.0);
+        m.set(2, 0, 0, 2.0);
+        m.set(2, 1, 0, -1.0);
+        m.set(3, 0, 0, 4.0);
+        m.set(3, 1, 0, -2.0);
+        let params = Params::builder()
+            .epsilon(0.01)
+            .min_genes(2)
+            .min_samples(2)
+            .min_times(1)
+            .build()
+            .unwrap();
+        let rg = build_range_graph(&m, 0, &params);
+        let ranges = rg.ranges_between(0, 1);
+        assert_eq!(ranges.len(), 2, "{ranges:?}");
+        let pos: Vec<_> = ranges
+            .iter()
+            .filter(|r| r.sign == SignGroup::Positive)
+            .collect();
+        let neg: Vec<_> = ranges
+            .iter()
+            .filter(|r| r.sign == SignGroup::PosNeg)
+            .collect();
+        assert_eq!(pos.len(), 1);
+        assert_eq!(neg.len(), 1);
+        assert_eq!(pos[0].genes.to_vec(), vec![0, 1]);
+        assert_eq!(neg[0].genes.to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn mixed_pos_pos_and_neg_neg_share_positive_edge() {
+        use tricluster_matrix::Matrix3;
+        // (+,+) and (−,−) both give positive ratios; the paper places no
+        // sign constraint on positive ratios, so they share a range.
+        let mut m = Matrix3::zeros(2, 2, 1);
+        m.set(0, 0, 0, 2.0);
+        m.set(0, 1, 0, 1.0);
+        m.set(1, 0, 0, -4.0);
+        m.set(1, 1, 0, -2.0);
+        let params = Params::builder()
+            .epsilon(0.01)
+            .min_genes(2)
+            .min_samples(2)
+            .min_times(1)
+            .build()
+            .unwrap();
+        let rg = build_range_graph(&m, 0, &params);
+        let ranges = rg.ranges_between(0, 1);
+        assert_eq!(ranges.len(), 1, "{ranges:?}");
+        assert_eq!(ranges[0].genes.to_vec(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Span algebra for overlap analysis (paper §4.4).
+//!
+//! The *span* of a cluster `C = X × Y × Z` is the set of `(g, s, t)` cells
+//! it covers, `L_C`. The merge/delete rules need the sizes of derived spans:
+//!
+//! * `|L_A|` — the product of the dimension cardinalities,
+//! * `|L_A ∩ L_B|` — the product of per-dimension intersection sizes
+//!   (spans of axis-aligned boxes intersect as boxes),
+//! * `|L_{B−A}| = |L_B| − |L_A ∩ L_B|`,
+//! * `|L_{A+B}|` — the span of the bounding cluster
+//!   `(X_A∪X_B) × (Y_A∪Y_B) × (Z_A∪Z_B)`,
+//! * `|L_A − ∪_i L_{B_i}|` — computed by enumerating `A`'s cells, since
+//!   unions of many boxes have no product form (inclusion–exclusion over
+//!   `k` clusters is `2^k`).
+
+use crate::cluster::Tricluster;
+
+/// `|L_C|`: number of cells spanned by the cluster.
+pub fn span_size(c: &Tricluster) -> usize {
+    c.span_size()
+}
+
+/// `|L_A ∩ L_B|`: cells common to both clusters.
+pub fn intersection_size(a: &Tricluster, b: &Tricluster) -> usize {
+    let (x, y, z) = a.intersection_shape(b);
+    x * y * z
+}
+
+/// `|L_{B−A}|`: cells of `b` not in `a`.
+pub fn difference_size(b: &Tricluster, a: &Tricluster) -> usize {
+    b.span_size() - intersection_size(a, b)
+}
+
+/// `|L_{A+B}|`: span of the bounding cluster.
+pub fn bounding_size(a: &Tricluster, b: &Tricluster) -> usize {
+    let genes = a.genes.union(&b.genes).count();
+    let samples = crate::cluster::sorted_union(&a.samples, &b.samples).len();
+    let times = crate::cluster::sorted_union(&a.times, &b.times).len();
+    genes * samples * times
+}
+
+/// `|L_{(A+B)−A−B}|`: cells the bounding cluster adds beyond `A ∪ B`
+/// (the quantity of merge rule 3).
+pub fn bounding_extra_size(a: &Tricluster, b: &Tricluster) -> usize {
+    bounding_size(a, b) + intersection_size(a, b) - a.span_size() - b.span_size()
+}
+
+/// `|L_A − ∪_i L_{B_i}|`: cells of `a` not covered by any of `others`
+/// (the quantity of deletion rule 2). Enumerates `a`'s cells.
+pub fn uncovered_size(a: &Tricluster, others: &[&Tricluster]) -> usize {
+    a.cells()
+        .filter(|&(g, s, t)| !others.iter().any(|b| b.contains_cell(g, s, t)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricluster_bitset::BitSet;
+
+    fn mk(g: &[usize], s: &[usize], t: &[usize]) -> Tricluster {
+        Tricluster::new(
+            BitSet::from_indices(20, g.iter().copied()),
+            s.to_vec(),
+            t.to_vec(),
+        )
+    }
+
+    #[test]
+    fn span_size_is_product() {
+        let c = mk(&[0, 1, 2], &[0, 1], &[0, 1, 2, 3]);
+        assert_eq!(span_size(&c), 24);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_zero() {
+        let a = mk(&[0, 1], &[0], &[0]);
+        let b = mk(&[2, 3], &[0], &[0]);
+        assert_eq!(intersection_size(&a, &b), 0);
+        // disjoint in one dimension only is still zero cells
+        let c = mk(&[0, 1], &[1], &[0]);
+        assert_eq!(intersection_size(&a, &c), 0);
+    }
+
+    #[test]
+    fn intersection_matches_enumeration() {
+        let a = mk(&[0, 1, 2], &[0, 1], &[0, 1]);
+        let b = mk(&[1, 2, 3], &[1, 2], &[1]);
+        let expected = a
+            .cells()
+            .filter(|&(g, s, t)| b.contains_cell(g, s, t))
+            .count();
+        assert_eq!(intersection_size(&a, &b), expected);
+        assert_eq!(expected, 2);
+    }
+
+    #[test]
+    fn difference_size_complements_intersection() {
+        let a = mk(&[0, 1, 2], &[0, 1], &[0, 1]);
+        let b = mk(&[1, 2, 3], &[1, 2], &[1]);
+        assert_eq!(
+            difference_size(&b, &a),
+            b.span_size() - intersection_size(&a, &b)
+        );
+        assert_eq!(difference_size(&a, &a), 0, "A − A is empty");
+    }
+
+    #[test]
+    fn bounding_size_and_extra() {
+        let a = mk(&[0, 1], &[0], &[0]);
+        let b = mk(&[2], &[1], &[0]);
+        // bounding: {0,1,2} x {0,1} x {0} = 6 cells; A∪B = 3 cells;
+        // intersection empty -> extra = 6 - 2 - 1 = 3
+        assert_eq!(bounding_size(&a, &b), 6);
+        assert_eq!(bounding_extra_size(&a, &b), 3);
+    }
+
+    #[test]
+    fn bounding_extra_zero_when_nested() {
+        let a = mk(&[0, 1, 2], &[0, 1], &[0]);
+        let b = mk(&[0, 1], &[0], &[0]);
+        assert_eq!(bounding_extra_size(&a, &b), 0);
+    }
+
+    #[test]
+    fn uncovered_full_when_no_others() {
+        let a = mk(&[0, 1], &[0, 1], &[0]);
+        assert_eq!(uncovered_size(&a, &[]), 4);
+    }
+
+    #[test]
+    fn uncovered_zero_when_fully_covered() {
+        let a = mk(&[0, 1], &[0, 1], &[0]);
+        let b1 = mk(&[0], &[0, 1], &[0]);
+        let b2 = mk(&[1], &[0, 1], &[0]);
+        assert_eq!(uncovered_size(&a, &[&b1, &b2]), 0);
+    }
+
+    #[test]
+    fn uncovered_partial() {
+        let a = mk(&[0, 1, 2], &[0], &[0]);
+        let b = mk(&[0], &[0], &[0]);
+        assert_eq!(uncovered_size(&a, &[&b]), 2);
+    }
+
+    /// Cross-check the product formulas against brute-force cell counting
+    /// on a grid of box pairs.
+    #[test]
+    fn formulas_match_enumeration_exhaustively() {
+        let boxes = [
+            mk(&[0, 1], &[0, 1], &[0, 1]),
+            mk(&[1, 2, 3], &[1], &[0]),
+            mk(&[4], &[2, 3], &[1, 2]),
+            mk(&[0, 1, 2, 3, 4], &[0, 1, 2, 3], &[0, 1, 2]),
+        ];
+        for a in &boxes {
+            for b in &boxes {
+                let inter = a
+                    .cells()
+                    .filter(|&(g, s, t)| b.contains_cell(g, s, t))
+                    .count();
+                assert_eq!(intersection_size(a, b), inter);
+                assert_eq!(difference_size(b, a), b.span_size() - inter);
+                let bound = a.bounding(b);
+                assert_eq!(bounding_size(a, b), bound.span_size());
+                let extra = bound
+                    .cells()
+                    .filter(|&(g, s, t)| {
+                        !a.contains_cell(g, s, t) && !b.contains_cell(g, s, t)
+                    })
+                    .count();
+                assert_eq!(bounding_extra_size(a, b), extra);
+            }
+        }
+    }
+}

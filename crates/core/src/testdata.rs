@@ -1,0 +1,135 @@
+//! The paper's running example (Table 1) as a shared test fixture.
+//!
+//! The dataset is a `10 genes × 7 samples × 2 times` matrix reconstructed
+//! from the constraints stated in the paper:
+//!
+//! * `C1 = {g1,g4,g8} × {s0,s1,s4,s6} × {t0,t1}` is a scaling cluster with
+//!   row pattern `(3.0, 2.5, 2.0, 1.0)` scaled by `1, 3, 2`; between `t1`
+//!   and `t0` its values scale by `1.2`.
+//! * `C2 = {g0,g2,g6,g9} × {s1,s4,s6} × {t0,t1}` holds constant rows
+//!   `1, 5, 3, 4`; `t1 = 0.5 × t0`.
+//! * `C3 = {g0,g7,g9} × {s1,s2,s4,s5} × {t0,t1}` holds constant rows
+//!   `1, 8, 4`; `t1 = 0.5 × t0`.
+//! * `C4 = {g0,g2,g6,g7,g9} × {s1,s4} × {t0,t1}` emerges when `my = 2` and
+//!   is subsumed by `C2` and `C3`.
+//! * Genes `g3` and `g5` have `s0/s6` ratio `3.3` at `t0` (Figure 1), with
+//!   `g3` additionally on the `(s0,s1)` edge (`6.6/5.5 = 1.2`, Figure 2).
+//!
+//! Cells the paper leaves blank are filled with deterministic pseudo-random
+//! values in `[7, 30)` (the paper: "we assume that these are filled by some
+//! random expression values"), far from the cluster values so they cannot
+//! form spurious coherent ranges at `ε = 0.01`.
+
+use tricluster_matrix::Matrix3;
+
+/// Builds the Table 1 example matrix (`10 × 7 × 2`).
+pub fn paper_table1() -> Matrix3 {
+    let mut m = Matrix3::zeros(10, 7, 2);
+
+    // deterministic filler for blank cells: xorshift over [7, 30)
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut filler = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        7.0 + (state % 2300) as f64 / 100.0
+    };
+    for t in 0..2 {
+        for g in 0..10 {
+            for s in 0..7 {
+                m.set(g, s, t, filler());
+            }
+        }
+    }
+
+    // --- t0 ---
+    // C1: pattern (3.0, 2.5, 2.0, 1.0) at (s0, s1, s4, s6), scales 1, 3, 2
+    let c1_pattern = [(0usize, 3.0), (1, 2.5), (4, 2.0), (6, 1.0)];
+    for (gene, scale) in [(1usize, 1.0), (4, 3.0), (8, 2.0)] {
+        for &(s, v) in &c1_pattern {
+            m.set(gene, s, 0, scale * v);
+            m.set(gene, s, 1, scale * v * 1.2); // t1 = 1.2 x t0
+        }
+    }
+    // C2: constant rows over (s1, s4, s6)
+    for (gene, v) in [(0usize, 1.0), (2, 5.0), (6, 3.0), (9, 4.0)] {
+        for s in [1usize, 4, 6] {
+            m.set(gene, s, 0, v);
+            m.set(gene, s, 1, v * 0.5); // t1 = 0.5 x t0
+        }
+    }
+    // C3: constant rows over (s1, s2, s4, s5)
+    for (gene, v) in [(0usize, 1.0), (7, 8.0), (9, 4.0)] {
+        for s in [1usize, 2, 4, 5] {
+            m.set(gene, s, 0, v);
+            m.set(gene, s, 1, v * 0.5);
+        }
+    }
+    // g3: on the (s0,s1) edge with ratio 1.2 and the (s0,s6) ratio 3.3
+    for (s, v) in [(0usize, 6.6), (1, 5.5), (6, 2.0)] {
+        m.set(3, s, 0, v);
+        m.set(3, s, 1, v * 0.5);
+    }
+    // g5: (s0,s6) ratio 3.3 and (s0,s4) ratio 1.5
+    for (s, v) in [(0usize, 6.6), (4, 4.4), (6, 2.0)] {
+        m.set(5, s, 0, v);
+        m.set(5, s, 1, v * 0.5);
+    }
+    // g0's s0 cell is 3.6 in Table 1, giving the s0/s6 ratio 3.6 of Figure 1
+    m.set(0, 0, 0, 3.6);
+    m.set(0, 0, 1, 3.6 * 0.5);
+    m
+}
+
+/// The expected maximal triclusters for `mx=my=3, mz=2, ε=0.01` on
+/// [`paper_table1`], as `(genes, samples, times)` index lists.
+pub fn paper_table1_expected() -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    vec![
+        (vec![1, 4, 8], vec![0, 1, 4, 6], vec![0, 1]),    // C1
+        (vec![0, 2, 6, 9], vec![1, 4, 6], vec![0, 1]),    // C2
+        (vec![0, 7, 9], vec![1, 2, 4, 5], vec![0, 1]),    // C3
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_dimensions() {
+        let m = paper_table1();
+        assert_eq!(m.dims(), (10, 7, 2));
+    }
+
+    #[test]
+    fn table1_known_cells() {
+        let m = paper_table1();
+        // C1 anchor values
+        assert_eq!(m.get(1, 0, 0), 3.0);
+        assert_eq!(m.get(1, 6, 0), 1.0);
+        assert_eq!(m.get(4, 0, 0), 9.0);
+        assert_eq!(m.get(8, 1, 0), 5.0);
+        assert!((m.get(1, 0, 1) - 3.6).abs() < 1e-12, "t1 = 1.2 x t0");
+        // C2 / C3 constants
+        assert_eq!(m.get(2, 4, 0), 5.0);
+        assert_eq!(m.get(7, 2, 0), 8.0);
+        assert_eq!(m.get(9, 5, 1), 2.0);
+        // Figure 1 ratios of s0/s6 at t0
+        for (g, want) in [(1usize, 3.0), (4, 3.0), (8, 3.0), (3, 3.3), (5, 3.3)] {
+            let r = m.get(g, 0, 0) / m.get(g, 6, 0);
+            assert!((r - want).abs() < 1e-9, "gene {g}: ratio {r} != {want}");
+        }
+        let r0 = m.get(0, 0, 0) / m.get(0, 6, 0);
+        assert!((r0 - 3.6).abs() < 1e-9, "g0's s0/s6 ratio is Figure 1's 3.6");
+    }
+
+    #[test]
+    fn fillers_are_in_range_and_deterministic() {
+        let a = paper_table1();
+        let b = paper_table1();
+        assert_eq!(a, b, "fixture must be deterministic");
+        // blank cell (g0, s3) is a filler
+        let v = a.get(0, 3, 0);
+        assert!((7.0..30.0).contains(&v));
+    }
+}

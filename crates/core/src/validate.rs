@@ -1,0 +1,330 @@
+//! Full validity checking against the paper's cluster definition (§2).
+//!
+//! A tricluster `X × Y × Z` is *coherent* when, for every 2×2 submatrix
+//! taken along any pair of dimensions, the row ratios agree within `ε`
+//! (`max(r_i, r_j)/min(r_i, r_j) − 1 ≤ ε`), with the sign condition: when a
+//! 2×2 mixes signs within a row, the sign pattern must be consistent across
+//! rows.
+//!
+//! This module is the *reference oracle*: it checks the definition directly
+//! (no range graph, no search shortcuts), so tests and the brute-force
+//! baseline can cross-check the miner. By Lemma 1 (symmetry) it suffices to
+//! check, for each plane, that the ratio between every **pair of columns**
+//! is constant across rows — which is what [`plane_coherent`] does.
+
+use crate::cluster::Tricluster;
+use tricluster_bitset::BitSet;
+use tricluster_matrix::Matrix3;
+
+/// Checks one 2D plane: for every pair of "columns" `(a, b)`, the ratios
+/// `value(row, a) / value(row, b)` across all rows must share a sign and
+/// satisfy `max|r|/min|r| − 1 ≤ eps`.
+///
+/// `rows` × `cols` index a value accessor `value(row, col)`.
+pub fn plane_coherent(
+    rows: &[usize],
+    cols: &[usize],
+    eps: f64,
+    value: impl Fn(usize, usize) -> f64,
+) -> bool {
+    for (i, &a) in cols.iter().enumerate() {
+        for &b in &cols[i + 1..] {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut sign = 0i8;
+            let mut col_a_sign = 0i8;
+            for &r in rows {
+                let va = value(r, a);
+                let vb = value(r, b);
+                if !va.is_finite() || !vb.is_finite() || vb == 0.0 {
+                    return false;
+                }
+                let ratio = va / vb;
+                if ratio == 0.0 || !ratio.is_finite() {
+                    return false;
+                }
+                let s = if ratio > 0.0 { 1 } else { -1 };
+                if sign == 0 {
+                    sign = s;
+                } else if sign != s {
+                    return false;
+                }
+                // Condition 2: a negative ratio (mixed signs within the row)
+                // requires a consistent per-column sign pattern across rows,
+                // so that e.g. -5/5 is never equated with 5/-5.
+                if s < 0 {
+                    let sa = if va > 0.0 { 1 } else { -1 };
+                    if col_a_sign == 0 {
+                        col_a_sign = sa;
+                    } else if col_a_sign != sa {
+                        return false;
+                    }
+                }
+                let abs = ratio.abs();
+                lo = lo.min(abs);
+                hi = hi.max(abs);
+            }
+            if !rows.is_empty() && hi / lo - 1.0 > eps {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks the full tricluster validity conditions 1–2 of §2 (ratio
+/// coherence + signs) for the region `genes × samples × times`, using `eps`
+/// within each gene×sample slice and `eps_time` for the planes involving
+/// the time dimension.
+pub fn is_coherent_region(
+    m: &Matrix3,
+    genes: &BitSet,
+    samples: &[usize],
+    times: &[usize],
+    eps: f64,
+    eps_time: f64,
+) -> bool {
+    let gene_list: Vec<usize> = genes.to_vec();
+    if gene_list.is_empty() || samples.is_empty() || times.is_empty() {
+        return false;
+    }
+    // X × Y planes (fixed t): columns are samples, rows are genes.
+    for &t in times {
+        if !plane_coherent(&gene_list, samples, eps, |g, s| m.get(g, s, t)) {
+            return false;
+        }
+    }
+    // X × Z planes (fixed s): columns are times, rows are genes.
+    for &s in samples {
+        if !plane_coherent(&gene_list, times, eps_time, |g, t| m.get(g, s, t)) {
+            return false;
+        }
+    }
+    // Y × Z planes (fixed g): columns are times, rows are samples.
+    for &g in &gene_list {
+        if !plane_coherent(samples, times, eps_time, |s, t| m.get(g, s, t)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Convenience wrapper checking a [`Tricluster`] (conditions 1–2 plus the
+/// minimum-size condition 4; the `δ` range condition 3 is checked by the
+/// miner's recording step and by [`deltas_ok`]).
+pub fn is_valid_cluster(
+    m: &Matrix3,
+    c: &Tricluster,
+    eps: f64,
+    eps_time: f64,
+    min_size: (usize, usize, usize),
+) -> bool {
+    let (mx, my, mz) = min_size;
+    c.genes.count() >= mx
+        && c.samples.len() >= my
+        && c.times.len() >= mz
+        && is_coherent_region(m, &c.genes, &c.samples, &c.times, eps, eps_time)
+}
+
+/// Checks the `δ` maximum-range thresholds (condition 3 of §2) for a
+/// cluster region: `δ^x` bounds value spread within each `(s, t)` column,
+/// `δ^y` within each `(g, t)` row, `δ^z` within each `(g, s)` time fiber.
+pub fn deltas_ok(
+    m: &Matrix3,
+    c: &Tricluster,
+    delta_gene: Option<f64>,
+    delta_sample: Option<f64>,
+    delta_time: Option<f64>,
+) -> bool {
+    let spread_ok = |values: &mut dyn Iterator<Item = f64>, bound: f64| -> bool {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo <= bound
+    };
+    if let Some(dx) = delta_gene {
+        for &s in &c.samples {
+            for &t in &c.times {
+                if !spread_ok(&mut c.genes.iter().map(|g| m.get(g, s, t)), dx) {
+                    return false;
+                }
+            }
+        }
+    }
+    if let Some(dy) = delta_sample {
+        for g in c.genes.iter() {
+            for &t in &c.times {
+                if !spread_ok(&mut c.samples.iter().map(|&s| m.get(g, s, t)), dy) {
+                    return false;
+                }
+            }
+        }
+    }
+    if let Some(dz) = delta_time {
+        for g in c.genes.iter() {
+            for &s in &c.samples {
+                if !spread_ok(&mut c.times.iter().map(|&t| m.get(g, s, t)), dz) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::{paper_table1, paper_table1_expected};
+
+    fn tri(g: &[usize], s: &[usize], t: &[usize]) -> Tricluster {
+        Tricluster::new(
+            BitSet::from_indices(10, g.iter().copied()),
+            s.to_vec(),
+            t.to_vec(),
+        )
+    }
+
+    #[test]
+    fn paper_clusters_are_valid() {
+        let m = paper_table1();
+        for (g, s, t) in paper_table1_expected() {
+            let c = tri(&g, &s, &t);
+            assert!(
+                is_valid_cluster(&m, &c, 0.011, 0.011, (3, 3, 2)),
+                "expected cluster invalid: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_region_is_invalid() {
+        let m = paper_table1();
+        // g0 and g1 over C1's samples do not scale together
+        let c = tri(&[0, 1], &[0, 1, 4, 6], &[0, 1]);
+        assert!(!is_coherent_region(
+            &m, &c.genes, &c.samples, &c.times, 0.01, 0.01
+        ));
+    }
+
+    #[test]
+    fn min_size_enforced() {
+        let m = paper_table1();
+        let c = tri(&[1, 4, 8], &[0, 1, 4, 6], &[0, 1]);
+        assert!(is_valid_cluster(&m, &c, 0.01, 0.01, (3, 4, 2)));
+        assert!(!is_valid_cluster(&m, &c, 0.01, 0.01, (4, 4, 2)));
+        assert!(!is_valid_cluster(&m, &c, 0.01, 0.01, (3, 5, 2)));
+        assert!(!is_valid_cluster(&m, &c, 0.01, 0.01, (3, 4, 3)));
+    }
+
+    #[test]
+    fn plane_coherent_scaling_rows() {
+        // rows scale: row r values = (r+1) * [1, 2, 4]
+        let value = |r: usize, c: usize| (r + 1) as f64 * [1.0, 2.0, 4.0][c];
+        assert!(plane_coherent(&[0, 1, 2], &[0, 1, 2], 1e-9, value));
+    }
+
+    #[test]
+    fn plane_coherent_rejects_eps_violation() {
+        let value = |r: usize, c: usize| {
+            if (r, c) == (1, 1) {
+                4.2 // 5% off the scaling pattern (would be 4.0)
+            } else {
+                (r + 1) as f64 * [1.0, 2.0][c]
+            }
+        };
+        assert!(!plane_coherent(&[0, 1], &[0, 1], 0.01, value));
+        assert!(plane_coherent(&[0, 1], &[0, 1], 0.06, value));
+    }
+
+    #[test]
+    fn plane_coherent_sign_rules() {
+        // Paper footnote 1: the ratio -5/5 must NOT be treated as equal to
+        // 5/-5. Row 0 = (5, -5) and row 1 = (-5, 5) both have ratio -1 but
+        // opposite column sign patterns; condition 2 rejects the region.
+        let m = {
+            let mut m = Matrix3::zeros(2, 2, 1);
+            m.set(0, 0, 0, 5.0);
+            m.set(0, 1, 0, -5.0);
+            m.set(1, 0, 0, -5.0);
+            m.set(1, 1, 0, 5.0);
+            m
+        };
+        assert!(!is_coherent_region(
+            &m,
+            &BitSet::full(2),
+            &[0, 1],
+            &[0],
+            0.01,
+            0.01
+        ));
+        // Matching sign patterns with a negative ratio are fine:
+        let m2 = {
+            let mut m = Matrix3::zeros(2, 2, 1);
+            m.set(0, 0, 0, 5.0);
+            m.set(0, 1, 0, -5.0);
+            m.set(1, 0, 0, 10.0);
+            m.set(1, 1, 0, -10.0);
+            m
+        };
+        assert!(is_coherent_region(
+            &m2,
+            &BitSet::full(2),
+            &[0, 1],
+            &[0],
+            0.01,
+            0.01
+        ));
+    }
+
+    #[test]
+    fn deltas_ok_checks_each_dimension() {
+        // exactly-representable steps so spreads compare without FP fuzz
+        let mut m = Matrix3::zeros(2, 2, 2);
+        for g in 0..2 {
+            for s in 0..2 {
+                for t in 0..2 {
+                    m.set(g, s, t, g as f64 * 16.0 + s as f64 * 2.0 + t as f64 * 0.25);
+                }
+            }
+        }
+        let c = tri(&[0, 1], &[0, 1], &[0, 1]);
+        assert!(deltas_ok(&m, &c, None, None, None), "unconstrained passes");
+        assert!(deltas_ok(&m, &c, Some(16.0), Some(2.0), Some(0.25)));
+        assert!(!deltas_ok(&m, &c, Some(15.9), None, None));
+        assert!(!deltas_ok(&m, &c, None, Some(1.9), None));
+        assert!(!deltas_ok(&m, &c, None, None, Some(0.24)));
+    }
+
+    #[test]
+    fn empty_region_is_invalid() {
+        let m = paper_table1();
+        assert!(!is_coherent_region(
+            &m,
+            &BitSet::new(10),
+            &[],
+            &[],
+            0.01,
+            0.01
+        ));
+    }
+
+    #[test]
+    fn zero_value_in_region_is_invalid() {
+        let mut m = Matrix3::zeros(2, 2, 1);
+        m.set(0, 0, 0, 1.0);
+        m.set(0, 1, 0, 2.0);
+        m.set(1, 0, 0, 1.0);
+        // (1,1,0) stays 0.0
+        assert!(!is_coherent_region(
+            &m,
+            &BitSet::full(2),
+            &[0, 1],
+            &[0],
+            0.5,
+            0.5
+        ));
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph substrate for TriCluster: a directed weighted multigraph and
+//! maximal-clique enumeration.
+//!
+//! TriCluster's first phase compresses each time slice into a *range
+//! multigraph*: vertices are sample columns and each valid ratio range
+//! between a column pair becomes a parallel edge carrying its gene-set.
+//! [`MultiGraph`] stores exactly that shape — ordered vertex pairs with any
+//! number of payload-carrying parallel edges — without committing to the
+//! payload type.
+//!
+//! [`Graph`] is a simple undirected graph with [Bron–Kerbosch maximal clique
+//! enumeration](Graph::maximal_cliques) (pivoting + degeneracy ordering at the
+//! outer level). The TriCluster miner itself uses a *constrained* clique
+//! search specialized to the range multigraph (in `tricluster-core`), but the
+//! generic enumerator is used by the baselines and by tests that cross-check
+//! the specialized search.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clique;
+mod multigraph;
+mod simple;
+
+pub use clique::maximal_cliques;
+pub use multigraph::{EdgeRef, MultiGraph};
+pub use simple::Graph;

@@ -1,0 +1,215 @@
+//! Directed multigraph with payload-carrying parallel edges.
+
+/// A reference to one edge of a [`MultiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef<'a, E> {
+    /// Source vertex.
+    pub from: usize,
+    /// Destination vertex.
+    pub to: usize,
+    /// Position of this edge among the parallel edges of `(from, to)`.
+    pub index: usize,
+    /// Borrowed edge payload.
+    pub payload: &'a E,
+}
+
+/// A directed multigraph over vertices `0..n` whose edges carry payloads of
+/// type `E`.
+///
+/// Parallel edges between the same ordered pair are kept in insertion order.
+/// In the range multigraph, `E` is a ratio range plus its gene-set, vertices
+/// are sample columns, and edges always go from the lower-numbered column to
+/// the higher one (`a < b`), matching the paper's construction.
+#[derive(Debug, Clone)]
+pub struct MultiGraph<E> {
+    n: usize,
+    /// `edges[a]` holds `(b, payloads)` lists sorted by `b`.
+    adjacency: Vec<Vec<(usize, Vec<E>)>>,
+    edge_count: usize,
+}
+
+impl<E> MultiGraph<E> {
+    /// Creates a multigraph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        MultiGraph {
+            n,
+            adjacency: (0..n).map(|_| Vec::new()).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of edges (counting parallel edges individually).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds an edge `from -> to` with the given payload. Parallel edges are
+    /// allowed and preserved in insertion order.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, payload: E) {
+        assert!(
+            from < self.n && to < self.n,
+            "edge ({from},{to}) out of range for {} vertices",
+            self.n
+        );
+        let list = &mut self.adjacency[from];
+        match list.binary_search_by_key(&to, |(b, _)| *b) {
+            Ok(i) => list[i].1.push(payload),
+            Err(i) => list.insert(i, (to, vec![payload])),
+        }
+        self.edge_count += 1;
+    }
+
+    /// The parallel edges from `from` to `to` (empty slice when none).
+    pub fn edges_between(&self, from: usize, to: usize) -> &[E] {
+        if from >= self.n {
+            return &[];
+        }
+        match self.adjacency[from].binary_search_by_key(&to, |(b, _)| *b) {
+            Ok(i) => &self.adjacency[from][i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// `true` iff at least one edge `from -> to` exists.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        !self.edges_between(from, to).is_empty()
+    }
+
+    /// Iterates over all out-neighbors of `v` (each once, regardless of edge
+    /// multiplicity), in ascending order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adjacency
+            .get(v)
+            .into_iter()
+            .flatten()
+            .map(|(b, _)| *b)
+    }
+
+    /// Iterates over every edge of the graph as [`EdgeRef`]s.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'_, E>> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(a, list)| {
+            list.iter().flat_map(move |(b, payloads)| {
+                payloads.iter().enumerate().map(move |(i, p)| EdgeRef {
+                    from: a,
+                    to: *b,
+                    index: i,
+                    payload: p,
+                })
+            })
+        })
+    }
+
+    /// Out-degree of `v` counting parallel edges.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.adjacency
+            .get(v)
+            .map_or(0, |l| l.iter().map(|(_, p)| p.len()).sum())
+    }
+
+    /// Removes all edges `from -> to`, returning their payloads.
+    pub fn remove_edges_between(&mut self, from: usize, to: usize) -> Vec<E> {
+        if from >= self.n {
+            return Vec::new();
+        }
+        match self.adjacency[from].binary_search_by_key(&to, |(b, _)| *b) {
+            Ok(i) => {
+                let (_, payloads) = self.adjacency[from].remove(i);
+                self.edge_count -= payloads.len();
+                payloads
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g: MultiGraph<u32> = MultiGraph::new(3);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.neighbors(0).count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_preserved_in_order() {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 2, "first");
+        g.add_edge(0, 2, "second");
+        g.add_edge(0, 1, "other");
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edges_between(0, 2), &["first", "second"]);
+        assert_eq!(g.edges_between(0, 1), &["other"]);
+        assert_eq!(g.edges_between(2, 0), &[] as &[&str], "directed");
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.out_degree(1), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_unique() {
+        let mut g = MultiGraph::new(5);
+        g.add_edge(1, 4, ());
+        g.add_edge(1, 2, ());
+        g.add_edge(1, 4, ());
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn edges_iterator_visits_all() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(0, 1, 20);
+        g.add_edge(1, 2, 30);
+        let mut seen: Vec<(usize, usize, usize, i32)> = g
+            .edges()
+            .map(|e| (e.from, e.to, e.index, *e.payload))
+            .collect();
+        seen.sort();
+        assert_eq!(seen, vec![(0, 1, 0, 10), (0, 1, 1, 20), (1, 2, 0, 30)]);
+    }
+
+    #[test]
+    fn remove_edges_between_returns_payloads() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 2, 3);
+        let removed = g.remove_edges_between(0, 1);
+        assert_eq!(removed, vec![1, 2]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.remove_edges_between(0, 1).is_empty());
+        assert!(g.remove_edges_between(99, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g: MultiGraph<()> = MultiGraph::new(2);
+        g.add_edge(0, 2, ());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_empty() {
+        let g: MultiGraph<()> = MultiGraph::new(2);
+        assert!(g.edges_between(5, 0).is_empty());
+        assert_eq!(g.neighbors(5).count(), 0);
+        assert_eq!(g.out_degree(5), 0);
+    }
+}

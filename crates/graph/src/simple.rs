@@ -1,0 +1,166 @@
+//! Simple undirected graph over a fixed vertex set.
+
+use tricluster_bitset::BitSet;
+
+/// An undirected graph over vertices `0..n`, stored as per-vertex adjacency
+/// bitsets (the representation Bron–Kerbosch wants).
+///
+/// Self-loops are ignored; adding an edge twice is a no-op.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    adjacency: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adjacency: (0..n).map(|_| BitSet::new(n)).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if newly added;
+    /// self-loops return `false` and are not stored.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for {} vertices",
+            self.n
+        );
+        if u == v {
+            return false;
+        }
+        let added = self.adjacency[u].insert(v);
+        self.adjacency[v].insert(u);
+        if added {
+            self.edge_count += 1;
+        }
+        added
+    }
+
+    /// `true` iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adjacency[u].contains(v)
+    }
+
+    /// The neighbor set of `v`.
+    pub fn neighbors(&self, v: usize) -> &BitSet {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].count()
+    }
+
+    /// Enumerates all maximal cliques; see [`crate::maximal_cliques`].
+    pub fn maximal_cliques(&self) -> Vec<Vec<usize>> {
+        crate::maximal_cliques(self)
+    }
+
+    /// A degeneracy ordering of the vertices (repeatedly remove a
+    /// minimum-degree vertex), along with the degeneracy (the largest degree
+    /// seen at removal time).
+    ///
+    /// Used to linearize the outer level of Bron–Kerbosch, which bounds the
+    /// recursion by the graph's degeneracy rather than its max degree.
+    pub fn degeneracy_ordering(&self) -> (Vec<usize>, usize) {
+        let n = self.n;
+        let mut degree: Vec<usize> = (0..n).map(|v| self.degree(v)).collect();
+        let mut removed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut degeneracy = 0;
+        // simple O(n^2) selection; n here is samples/biclusters (small)
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&v| !removed[v])
+                .min_by_key(|&v| degree[v])
+                .expect("vertex remains");
+            degeneracy = degeneracy.max(degree[v]);
+            removed[v] = true;
+            order.push(v);
+            for u in self.adjacency[v].iter() {
+                if !removed[u] {
+                    degree[u] -= 1;
+                }
+            }
+        }
+        (order, degeneracy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate edge not re-added");
+        assert!(!g.add_edge(2, 2), "self loop rejected");
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Graph::new(2).add_edge(0, 5);
+    }
+
+    #[test]
+    fn neighbors_bitset() {
+        let mut g = Graph::new(5);
+        g.add_edge(2, 0);
+        g.add_edge(2, 4);
+        assert_eq!(g.neighbors(2).to_vec(), vec![0, 4]);
+        assert_eq!(g.neighbors(1).to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn degeneracy_of_path_is_one() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let (order, d) = g.degeneracy_ordering();
+        assert_eq!(order.len(), 4);
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn degeneracy_of_complete_graph() {
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        let (_, d) = g.degeneracy_ordering();
+        assert_eq!(d, 4);
+    }
+}

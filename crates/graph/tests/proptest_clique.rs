@@ -1,0 +1,101 @@
+//! Property tests: Bron–Kerbosch output vs the definition of a maximal
+//! clique, on random graphs.
+
+use proptest::prelude::*;
+use tricluster_graph::{maximal_cliques, Graph};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..11).prop_flat_map(|n| {
+        let n_pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::bool::ANY, n_pairs).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if bits[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+fn is_clique(g: &Graph, members: &[usize]) -> bool {
+    members
+        .iter()
+        .enumerate()
+        .all(|(i, &u)| members[i + 1..].iter().all(|&v| g.has_edge(u, v)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_output_is_a_maximal_clique(g in arb_graph()) {
+        let cliques = maximal_cliques(&g);
+        for c in &cliques {
+            prop_assert!(is_clique(&g, c), "not a clique: {c:?}");
+            // maximality: no vertex outside is adjacent to all members
+            let maximal = (0..g.vertex_count())
+                .filter(|v| !c.contains(v))
+                .all(|v| !c.iter().all(|&u| g.has_edge(u, v)));
+            prop_assert!(maximal, "not maximal: {c:?}");
+        }
+    }
+
+    #[test]
+    fn every_vertex_appears_in_some_clique(g in arb_graph()) {
+        let cliques = maximal_cliques(&g);
+        for v in 0..g.vertex_count() {
+            prop_assert!(
+                cliques.iter().any(|c| c.contains(&v)),
+                "vertex {v} missing from all cliques"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicate_cliques(g in arb_graph()) {
+        let cliques = maximal_cliques(&g);
+        let mut sorted = cliques.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), cliques.len());
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration(g in arb_graph()) {
+        let n = g.vertex_count();
+        let mut brute: Vec<Vec<usize>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            if !is_clique(&g, &members) {
+                continue;
+            }
+            let maximal = (0..n)
+                .filter(|v| !members.contains(v))
+                .all(|v| !members.iter().all(|&u| g.has_edge(u, v)));
+            if maximal {
+                brute.push(members);
+            }
+        }
+        brute.sort();
+        prop_assert_eq!(maximal_cliques(&g), brute);
+    }
+
+    #[test]
+    fn degeneracy_bounds_max_clique(g in arb_graph()) {
+        let (_, d) = g.degeneracy_ordering();
+        for c in maximal_cliques(&g) {
+            prop_assert!(
+                c.len() <= d + 1,
+                "clique of size {} exceeds degeneracy {} + 1",
+                c.len(),
+                d
+            );
+        }
+    }
+}

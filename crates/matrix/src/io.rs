@@ -1,0 +1,398 @@
+//! Tab-separated I/O for 2D slices and stacked 3D matrices.
+//!
+//! Two on-disk formats are supported:
+//!
+//! **2D slice** — a header row of sample names, then one row per gene with
+//! the gene name in the first field:
+//!
+//! ```text
+//! gene\ts0\ts1\ts2
+//! g0\t1.0\t2.0\t3.0
+//! g1\t4.0\t5.0\t6.0
+//! ```
+//!
+//! **Stacked 3D** — one 2D slice per time point, each preceded by a line
+//! `# time <name>`, slices separated by blank lines. Missing values (empty
+//! fields or `NA`) become `NaN` and should be handled by
+//! [`preprocess`](crate::preprocess) before mining.
+
+use crate::{Labels, Matrix2, Matrix3};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing expression matrices.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number.
+    BadNumber {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The raw token.
+        token: String,
+    },
+    /// Row has a different number of columns than the header.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Expected field count (header).
+        expected: usize,
+        /// Actual field count.
+        got: usize,
+    },
+    /// The file has no data rows / slices.
+    Empty,
+    /// Time slices with inconsistent gene/sample sets.
+    InconsistentSlices(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::BadNumber { line, token } => {
+                write!(f, "line {line}: cannot parse {token:?} as a number")
+            }
+            IoError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} columns, found {got}"),
+            IoError::Empty => write!(f, "no data rows found"),
+            IoError::InconsistentSlices(msg) => write!(f, "inconsistent time slices: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_cell(tok: &str, line: usize) -> Result<f64, IoError> {
+    let t = tok.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") {
+        return Ok(f64::NAN);
+    }
+    t.parse::<f64>().map_err(|_| IoError::BadNumber {
+        line,
+        token: tok.to_string(),
+    })
+}
+
+/// Reads a single 2D slice (gene × sample) in the header+rows TSV format.
+///
+/// Returns the matrix plus the gene and sample names.
+pub fn read_slice_tsv<R: BufRead>(reader: R) -> Result<(Matrix2, Vec<String>, Vec<String>), IoError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = loop {
+        match lines.next() {
+            Some((i, l)) => {
+                let l = l?;
+                if !l.trim().is_empty() && !l.starts_with('#') {
+                    break (i, l);
+                }
+            }
+            None => return Err(IoError::Empty),
+        }
+    };
+    let samples: Vec<String> = header
+        .split('\t')
+        .skip(1)
+        .map(|s| s.trim().to_string())
+        .collect();
+    let ncols = samples.len();
+    let mut genes = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let name = fields.next().unwrap_or("").trim().to_string();
+        let vals: Vec<&str> = fields.collect();
+        if vals.len() != ncols {
+            return Err(IoError::RaggedRow {
+                line: i + 1,
+                expected: ncols,
+                got: vals.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(ncols);
+        for v in vals {
+            row.push(parse_cell(v, i + 1)?);
+        }
+        genes.push(name);
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(IoError::Empty);
+    }
+    Ok((Matrix2::from_rows(&rows), genes, samples))
+}
+
+/// Reads a stacked 3D matrix: repeated `# time <name>` headers, each followed
+/// by a 2D slice in the slice format. All slices must agree on genes and
+/// samples (names and order).
+#[allow(clippy::type_complexity)]
+pub fn read_stacked_tsv<R: BufRead>(reader: R) -> Result<(Matrix3, Labels), IoError> {
+    let mut slices: Vec<Matrix2> = Vec::new();
+    let mut times: Vec<String> = Vec::new();
+    let mut genes: Option<Vec<String>> = None;
+    let mut samples: Option<Vec<String>> = None;
+
+    let mut current: Vec<String> = Vec::new();
+    let mut current_time = String::new();
+    let mut in_slice = false;
+
+    let finish =
+        |buf: &mut Vec<String>, time: &str| -> Result<Option<(Matrix2, Vec<String>, Vec<String>)>, IoError> {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            let joined = buf.join("\n");
+            buf.clear();
+            let (m, g, s) = read_slice_tsv(std::io::Cursor::new(joined))?;
+            let _ = time;
+            Ok(Some((m, g, s)))
+        };
+
+    for line in reader.lines() {
+        let line = line?;
+        if let Some(rest) = line.strip_prefix("# time") {
+            if in_slice {
+                if let Some((m, g, s)) = finish(&mut current, &current_time)? {
+                    check_consistent(&mut genes, &mut samples, &g, &s)?;
+                    slices.push(m);
+                    times.push(current_time.clone());
+                }
+            }
+            current_time = rest.trim().to_string();
+            if current_time.is_empty() {
+                current_time = format!("t{}", times.len());
+            }
+            in_slice = true;
+        } else if in_slice {
+            current.push(line);
+        }
+        // lines before the first `# time` header are ignored (file preamble)
+    }
+    if in_slice {
+        if let Some((m, g, s)) = finish(&mut current, &current_time)? {
+            check_consistent(&mut genes, &mut samples, &g, &s)?;
+            slices.push(m);
+            times.push(current_time);
+        }
+    }
+    if slices.is_empty() {
+        return Err(IoError::Empty);
+    }
+    let labels = Labels::new(genes.unwrap_or_default(), samples.unwrap_or_default(), times);
+    Ok((Matrix3::from_time_slices(&slices), labels))
+}
+
+fn check_consistent(
+    genes: &mut Option<Vec<String>>,
+    samples: &mut Option<Vec<String>>,
+    g: &[String],
+    s: &[String],
+) -> Result<(), IoError> {
+    match genes {
+        None => *genes = Some(g.to_vec()),
+        Some(prev) if prev.as_slice() != g => {
+            return Err(IoError::InconsistentSlices(
+                "gene names differ between slices".into(),
+            ))
+        }
+        _ => {}
+    }
+    match samples {
+        None => *samples = Some(s.to_vec()),
+        Some(prev) if prev.as_slice() != s => {
+            return Err(IoError::InconsistentSlices(
+                "sample names differ between slices".into(),
+            ))
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Writes a single 2D slice in the slice TSV format.
+pub fn write_slice_tsv<W: Write>(
+    w: &mut W,
+    m: &Matrix2,
+    genes: &[String],
+    samples: &[String],
+) -> std::io::Result<()> {
+    write!(w, "gene")?;
+    for j in 0..m.cols() {
+        let name = samples.get(j).cloned().unwrap_or_else(|| format!("s{j}"));
+        write!(w, "\t{name}")?;
+    }
+    writeln!(w)?;
+    for i in 0..m.rows() {
+        let name = genes.get(i).cloned().unwrap_or_else(|| format!("g{i}"));
+        write!(w, "{name}")?;
+        for j in 0..m.cols() {
+            write!(w, "\t{}", m.get(i, j))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes a stacked 3D matrix in the `# time` format read by
+/// [`read_stacked_tsv`].
+pub fn write_stacked_tsv<W: Write>(w: &mut W, m: &Matrix3, labels: &Labels) -> std::io::Result<()> {
+    for t in 0..m.n_times() {
+        writeln!(w, "# time {}", labels.time(t))?;
+        let slice = m.time_slice(t);
+        write_slice_tsv(w, &slice, labels.genes(), labels.samples())?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLICE: &str = "gene\ts0\ts1\ns_a\t1.0\t2.5\ns_b\t-3\t4e1\n";
+
+    #[test]
+    fn read_slice_basic() {
+        let (m, genes, samples) = read_slice_tsv(SLICE.as_bytes()).unwrap();
+        assert_eq!(m.dims(), (2, 2));
+        assert_eq!(genes, vec!["s_a", "s_b"]);
+        assert_eq!(samples, vec!["s0", "s1"]);
+        assert_eq!(m.get(0, 1), 2.5);
+        assert_eq!(m.get(1, 0), -3.0);
+        assert_eq!(m.get(1, 1), 40.0);
+    }
+
+    #[test]
+    fn read_slice_skips_comments_and_blanks() {
+        let text = "# preamble\n\ngene\ts0\n# note\ng0\t7\n\n";
+        let (m, genes, _) = read_slice_tsv(text.as_bytes()).unwrap();
+        assert_eq!(m.dims(), (1, 1));
+        assert_eq!(genes, vec!["g0"]);
+        assert_eq!(m.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn read_slice_na_becomes_nan() {
+        let text = "gene\ts0\ts1\ng0\tNA\t\n";
+        let (m, _, _) = read_slice_tsv(text.as_bytes()).unwrap();
+        assert!(m.get(0, 0).is_nan());
+        assert!(m.get(0, 1).is_nan());
+    }
+
+    #[test]
+    fn read_slice_bad_number_reports_line() {
+        let text = "gene\ts0\ng0\toops\n";
+        match read_slice_tsv(text.as_bytes()) {
+            Err(IoError::BadNumber { line, token }) => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "oops");
+            }
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_slice_ragged_reports_shape() {
+        let text = "gene\ts0\ts1\ng0\t1\n";
+        match read_slice_tsv(text.as_bytes()) {
+            Err(IoError::RaggedRow {
+                expected, got, ..
+            }) => {
+                assert_eq!((expected, got), (2, 1));
+            }
+            other => panic!("expected RaggedRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_slice_empty_errors() {
+        assert!(matches!(read_slice_tsv("".as_bytes()), Err(IoError::Empty)));
+        assert!(matches!(
+            read_slice_tsv("gene\ts0\n".as_bytes()),
+            Err(IoError::Empty)
+        ));
+    }
+
+    #[test]
+    fn stacked_roundtrip() {
+        let mut m = Matrix3::zeros(2, 2, 2);
+        for g in 0..2 {
+            for s in 0..2 {
+                for t in 0..2 {
+                    m.set(g, s, t, (g * 4 + s * 2 + t) as f64 + 0.5);
+                }
+            }
+        }
+        let labels = Labels::new(
+            vec!["ga".into(), "gb".into()],
+            vec!["sa".into(), "sb".into()],
+            vec!["0m".into(), "30m".into()],
+        );
+        let mut buf = Vec::new();
+        write_stacked_tsv(&mut buf, &m, &labels).unwrap();
+        let (back, back_labels) = read_stacked_tsv(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back_labels, labels);
+    }
+
+    #[test]
+    fn stacked_inconsistent_genes_errors() {
+        let text = "# time t0\ngene\ts0\nga\t1\n\n# time t1\ngene\ts0\ngb\t1\n";
+        assert!(matches!(
+            read_stacked_tsv(text.as_bytes()),
+            Err(IoError::InconsistentSlices(_))
+        ));
+    }
+
+    #[test]
+    fn stacked_unnamed_time_gets_default() {
+        let text = "# time\ngene\ts0\nga\t1\n";
+        let (m, labels) = read_stacked_tsv(text.as_bytes()).unwrap();
+        assert_eq!(m.dims(), (1, 1, 1));
+        assert_eq!(labels.times(), &["t0"]);
+    }
+
+    #[test]
+    fn stacked_empty_errors() {
+        assert!(matches!(
+            read_stacked_tsv("".as_bytes()),
+            Err(IoError::Empty)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IoError::BadNumber {
+            line: 3,
+            token: "x".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = IoError::RaggedRow {
+            line: 1,
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+    }
+}

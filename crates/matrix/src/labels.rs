@@ -1,0 +1,119 @@
+//! Axis labels (gene/sample/time names).
+
+/// Names for the three axes of a 3D expression matrix.
+///
+/// Mined clusters are internally index sets; `Labels` lets callers map them
+/// back to gene/sample/time names from the input file (or the defaults
+/// `g0, g1, …` / `s0, …` / `t0, …`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labels {
+    genes: Vec<String>,
+    samples: Vec<String>,
+    times: Vec<String>,
+}
+
+fn default_names(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i}")).collect()
+}
+
+impl Labels {
+    /// Default labels `g0…`, `s0…`, `t0…` for the given dimensions.
+    pub fn default_for(n_genes: usize, n_samples: usize, n_times: usize) -> Self {
+        Labels {
+            genes: default_names("g", n_genes),
+            samples: default_names("s", n_samples),
+            times: default_names("t", n_times),
+        }
+    }
+
+    /// Builds labels from explicit name vectors.
+    pub fn new(genes: Vec<String>, samples: Vec<String>, times: Vec<String>) -> Self {
+        Labels {
+            genes,
+            samples,
+            times,
+        }
+    }
+
+    /// Gene names.
+    pub fn genes(&self) -> &[String] {
+        &self.genes
+    }
+
+    /// Sample names.
+    pub fn samples(&self) -> &[String] {
+        &self.samples
+    }
+
+    /// Time-point names.
+    pub fn times(&self) -> &[String] {
+        &self.times
+    }
+
+    /// Name of gene `i`, or a generated default when out of range.
+    pub fn gene(&self, i: usize) -> String {
+        self.genes.get(i).cloned().unwrap_or_else(|| format!("g{i}"))
+    }
+
+    /// Name of sample `j`, or a generated default when out of range.
+    pub fn sample(&self, j: usize) -> String {
+        self.samples
+            .get(j)
+            .cloned()
+            .unwrap_or_else(|| format!("s{j}"))
+    }
+
+    /// Name of time point `k`, or a generated default when out of range.
+    pub fn time(&self, k: usize) -> String {
+        self.times.get(k).cloned().unwrap_or_else(|| format!("t{k}"))
+    }
+
+    /// Index of the gene with the given name.
+    pub fn gene_index(&self, name: &str) -> Option<usize> {
+        self.genes.iter().position(|g| g == name)
+    }
+
+    /// Index of the sample with the given name.
+    pub fn sample_index(&self, name: &str) -> Option<usize> {
+        self.samples.iter().position(|s| s == name)
+    }
+
+    /// Index of the time point with the given name.
+    pub fn time_index(&self, name: &str) -> Option<usize> {
+        self.times.iter().position(|t| t == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sequential() {
+        let l = Labels::default_for(3, 2, 1);
+        assert_eq!(l.genes(), &["g0", "g1", "g2"]);
+        assert_eq!(l.samples(), &["s0", "s1"]);
+        assert_eq!(l.times(), &["t0"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let l = Labels::new(
+            vec!["YAL001C".into(), "YAL002W".into()],
+            vec!["cy5".into()],
+            vec!["0min".into(), "30min".into()],
+        );
+        assert_eq!(l.gene_index("YAL002W"), Some(1));
+        assert_eq!(l.gene_index("nope"), None);
+        assert_eq!(l.sample_index("cy5"), Some(0));
+        assert_eq!(l.time_index("30min"), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_falls_back_to_default() {
+        let l = Labels::default_for(1, 1, 1);
+        assert_eq!(l.gene(5), "g5");
+        assert_eq!(l.sample(9), "s9");
+        assert_eq!(l.time(2), "t2");
+    }
+}

@@ -1,0 +1,44 @@
+//! Dense labeled 2D/3D expression matrices with TSV I/O and preprocessing.
+//!
+//! This crate is the data substrate for TriCluster mining:
+//!
+//! * [`Matrix2`] — a dense row-major `rows × cols` matrix of `f64` values,
+//!   used for single time-slice (gene × sample) views,
+//! * [`Matrix3`] — a dense `genes × samples × times` matrix stored
+//!   time-major so each time slice is contiguous (the per-slice range-graph
+//!   construction walks slices),
+//! * [`Labels`] — axis labels (gene/sample/time names) carried alongside a
+//!   matrix so mined clusters can be reported in terms of the input names,
+//! * [`io`] — tab-separated reading/writing of 2D slices and stacked 3D
+//!   matrices,
+//! * [`preprocess`] — the paper's preprocessing step (replacing zero
+//!   expression values with a small random positive correction) plus the
+//!   `exp`/`ln` transforms used to mine *shifting* clusters via Lemma 2.
+//!
+//! # Example
+//!
+//! ```
+//! use tricluster_matrix::Matrix3;
+//!
+//! let mut m = Matrix3::zeros(2, 3, 2);
+//! m.set(0, 1, 1, 42.0);
+//! assert_eq!(m.get(0, 1, 1), 42.0);
+//! assert_eq!(m.dims(), (2, 3, 2));
+//! let slice = m.time_slice(1); // gene × sample matrix at t=1
+//! assert_eq!(slice.get(0, 1), 42.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod labels;
+mod matrix2;
+mod matrix3;
+
+pub mod io;
+pub mod normalize;
+pub mod preprocess;
+
+pub use labels::Labels;
+pub use matrix2::Matrix2;
+pub use matrix3::{Axis, Matrix3};

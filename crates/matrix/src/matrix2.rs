@@ -1,0 +1,289 @@
+//! Dense row-major 2D matrix.
+
+/// A dense `rows × cols` matrix of `f64` values, stored row-major.
+///
+/// Used for single time-slice (gene × sample) views of a
+/// [`Matrix3`](crate::Matrix3) and as the input type for the 2D baseline
+/// algorithms.
+#[derive(Clone, PartialEq)]
+pub struct Matrix2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix2 {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:8.3} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 12 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix2 {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix2 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix2 { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "row {i} has length {} != {ncols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Matrix2 {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Value at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics (in debug) or returns an arbitrary element (in release) when
+    /// out of bounds; use [`Matrix2::try_get`] for checked access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[self.idx(r, c)]
+    }
+
+    /// Checked access returning `None` when out of bounds.
+    pub fn try_get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the value at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        let i = self.idx(r, c);
+        self.data[i] = v;
+    }
+
+    /// The `r`-th row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over the `c`-th column.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(c < self.cols, "column {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(move |r| self.data[r * self.cols + c])
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix2 {
+        let mut out = Matrix2::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Extracts the submatrix selected by `row_idx × col_idx` (in the given
+    /// order, duplicates allowed).
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix2 {
+        let mut out = Matrix2::zeros(row_idx.len(), col_idx.len());
+        for (i, &r) in row_idx.iter().enumerate() {
+            for (j, &c) in col_idx.iter().enumerate() {
+                out.set(i, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements (`NaN` for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return f64::NAN;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Population variance of all elements (`NaN` for an empty matrix).
+    pub fn variance(&self) -> f64 {
+        if self.data.is_empty() {
+            return f64::NAN;
+        }
+        let mu = self.mean();
+        self.data.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_dims() {
+        let m = Matrix2::zeros(3, 4);
+        assert_eq!(m.dims(), (3, 4));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix2::zeros(2, 2);
+        m.set(1, 0, 7.5);
+        assert_eq!(m.get(1, 0), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let m = Matrix2::zeros(2, 3);
+        assert_eq!(m.try_get(1, 2), Some(0.0));
+        assert_eq!(m.try_get(2, 0), None);
+        assert_eq!(m.try_get(0, 3), None);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix2::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_ragged_panics() {
+        Matrix2::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        Matrix2::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix2::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transposed();
+        assert_eq!(t.dims(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn submatrix_selects() {
+        let m = Matrix2::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let s = m.submatrix(&[2, 0], &[1]);
+        assert_eq!(s.dims(), (2, 1));
+        assert_eq!(s.get(0, 0), 8.0);
+        assert_eq!(s.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn map_in_place_applies() {
+        let mut m = Matrix2::from_rows(&[vec![1.0, 2.0]]);
+        m.map_in_place(|v| v * 10.0);
+        assert_eq!(m.as_slice(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn mean_variance() {
+        let m = Matrix2::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.variance() - 1.25).abs() < 1e-12);
+        assert!(Matrix2::zeros(0, 0).mean().is_nan());
+        assert!(Matrix2::zeros(0, 5).variance().is_nan());
+    }
+
+    #[test]
+    fn debug_does_not_panic_on_large() {
+        let m = Matrix2::zeros(100, 100);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix2 100x100"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Normalization transforms common in microarray preprocessing.
+//!
+//! These run *before* mining: TriCluster's ratio coherence is
+//! scale-invariant per column pair, but cross-slice comparability and
+//! shifting-cluster mining (log space) benefit from standard normalization.
+//!
+//! * [`log2_transform`] — the conventional expression-ratio transform;
+//!   non-positive cells become `NaN` (clean them with
+//!   [`preprocess::replace_zeros`](crate::preprocess::replace_zeros)).
+//! * [`quantile_normalize_slices`] — forces every time slice's *column* to
+//!   a common value distribution (the Bolstad et al. procedure), removing
+//!   per-chip intensity effects.
+//! * [`standardize_genes`] — per-gene z-scoring across all cells of the
+//!   gene (mean 0, variance 1), the transform used by distance-based
+//!   clustering baselines.
+
+use crate::Matrix3;
+
+/// Applies `log2` to every cell. Non-positive values become `NaN`.
+pub fn log2_transform(m: &Matrix3) -> Matrix3 {
+    let mut out = m.clone();
+    out.map_in_place(f64::log2);
+    out
+}
+
+/// Quantile-normalizes the sample columns within each time slice: after the
+/// transform, every column of a slice has exactly the same sorted value
+/// distribution (the mean of the original per-rank values).
+///
+/// `NaN` cells are left untouched and excluded from rank computation only
+/// if *all* columns have them at matching positions; for simplicity this
+/// implementation requires finite input and panics otherwise — run zero/NaN
+/// replacement first.
+pub fn quantile_normalize_slices(m: &Matrix3) -> Matrix3 {
+    let (ng, ns, nt) = m.dims();
+    assert!(
+        m.as_slice().iter().all(|v| v.is_finite()),
+        "quantile normalization requires finite values; preprocess first"
+    );
+    let mut out = m.clone();
+    for t in 0..nt {
+        // rank each column
+        let mut per_column_order: Vec<Vec<usize>> = Vec::with_capacity(ns);
+        for s in 0..ns {
+            let mut idx: Vec<usize> = (0..ng).collect();
+            idx.sort_by(|&a, &b| m.get(a, s, t).total_cmp(&m.get(b, s, t)));
+            per_column_order.push(idx);
+        }
+        // mean value per rank across columns
+        let mut rank_means = vec![0.0f64; ng];
+        for (s, order) in per_column_order.iter().enumerate() {
+            for (rank, &g) in order.iter().enumerate() {
+                rank_means[rank] += m.get(g, s, t);
+            }
+        }
+        for rm in &mut rank_means {
+            *rm /= ns as f64;
+        }
+        // substitute
+        for (s, order) in per_column_order.iter().enumerate() {
+            for (rank, &g) in order.iter().enumerate() {
+                out.set(g, s, t, rank_means[rank]);
+            }
+        }
+    }
+    out
+}
+
+/// Standardizes each gene to mean 0 and (population) variance 1 across all
+/// its cells. Genes with zero variance become all-zero.
+pub fn standardize_genes(m: &Matrix3) -> Matrix3 {
+    let (ng, ns, nt) = m.dims();
+    let mut out = m.clone();
+    let cells = (ns * nt) as f64;
+    for g in 0..ng {
+        let mut sum = 0.0;
+        for s in 0..ns {
+            for t in 0..nt {
+                sum += m.get(g, s, t);
+            }
+        }
+        let mean = sum / cells;
+        let mut var = 0.0;
+        for s in 0..ns {
+            for t in 0..nt {
+                let d = m.get(g, s, t) - mean;
+                var += d * d;
+            }
+        }
+        var /= cells;
+        let sd = var.sqrt();
+        for s in 0..ns {
+            for t in 0..nt {
+                let v = if sd == 0.0 {
+                    0.0
+                } else {
+                    (m.get(g, s, t) - mean) / sd
+                };
+                out.set(g, s, t, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix3 {
+        let mut m = Matrix3::zeros(4, 3, 2);
+        let mut v = 1.0;
+        m.map_in_place(|_| {
+            v = (v * 7.3) % 19.0 + 1.0;
+            v
+        });
+        m
+    }
+
+    #[test]
+    fn log2_matches_values() {
+        let mut m = Matrix3::zeros(1, 2, 1);
+        m.set(0, 0, 0, 8.0);
+        m.set(0, 1, 0, 0.5);
+        let l = log2_transform(&m);
+        assert_eq!(l.get(0, 0, 0), 3.0);
+        assert_eq!(l.get(0, 1, 0), -1.0);
+    }
+
+    #[test]
+    fn log2_nonpositive_is_nan() {
+        let mut m = Matrix3::zeros(1, 1, 1);
+        m.set(0, 0, 0, -1.0);
+        assert!(log2_transform(&m).get(0, 0, 0).is_nan());
+    }
+
+    #[test]
+    fn quantile_makes_column_distributions_identical() {
+        let m = sample_matrix();
+        let q = quantile_normalize_slices(&m);
+        for t in 0..2 {
+            let mut reference: Vec<f64> = (0..4).map(|g| q.get(g, 0, t)).collect();
+            reference.sort_by(f64::total_cmp);
+            for s in 1..3 {
+                let mut col: Vec<f64> = (0..4).map(|g| q.get(g, s, t)).collect();
+                col.sort_by(f64::total_cmp);
+                for (a, b) in reference.iter().zip(&col) {
+                    assert!((a - b).abs() < 1e-12, "columns differ after normalization");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_preserves_within_column_order() {
+        let m = sample_matrix();
+        let q = quantile_normalize_slices(&m);
+        for t in 0..2 {
+            for s in 0..3 {
+                for g1 in 0..4 {
+                    for g2 in 0..4 {
+                        if m.get(g1, s, t) < m.get(g2, s, t) {
+                            assert!(
+                                q.get(g1, s, t) <= q.get(g2, s, t),
+                                "rank order broken at ({g1},{g2},{s},{t})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_identity_on_identical_columns() {
+        let mut m = Matrix3::zeros(3, 2, 1);
+        for g in 0..3 {
+            for s in 0..2 {
+                m.set(g, s, 0, (g + 1) as f64);
+            }
+        }
+        let q = quantile_normalize_slices(&m);
+        assert_eq!(q, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite values")]
+    fn quantile_rejects_nan() {
+        let mut m = Matrix3::zeros(2, 2, 1);
+        m.set(0, 0, 0, f64::NAN);
+        quantile_normalize_slices(&m);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_variance() {
+        let m = sample_matrix();
+        let z = standardize_genes(&m);
+        for g in 0..4 {
+            let vals: Vec<f64> = (0..3)
+                .flat_map(|s| (0..2).map(move |t| (s, t)))
+                .map(|(s, t)| z.get(g, s, t))
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            assert!(mean.abs() < 1e-12, "gene {g} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-12, "gene {g} var {var}");
+        }
+    }
+
+    #[test]
+    fn standardize_constant_gene_is_zero() {
+        let mut m = Matrix3::zeros(1, 2, 2);
+        m.map_in_place(|_| 5.0);
+        let z = standardize_genes(&m);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

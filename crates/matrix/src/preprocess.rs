@@ -1,0 +1,249 @@
+//! Preprocessing steps applied before mining.
+//!
+//! The paper (§2, condition 2) replaces expression values of **zero** with a
+//! small random positive correction in a preprocessing step, so that ratios
+//! are always defined and sign logic is well-behaved. We extend the same
+//! treatment to missing values (`NaN`), which appear in real microarray
+//! exports.
+//!
+//! This module also provides the `exp`/`ln` transforms used to mine
+//! *shifting* clusters via the paper's Lemma 2: a shifting cluster in `D` is
+//! a scaling cluster in `exp(D)`.
+
+use crate::Matrix3;
+use rand::Rng;
+
+/// Options for [`replace_zeros`].
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroReplacement {
+    /// Values with `|v| <= tolerance` are treated as zero (default `0.0`,
+    /// i.e. only exact zeros).
+    pub tolerance: f64,
+    /// Replacements are drawn uniformly from `(min_value, max_value)`.
+    pub min_value: f64,
+    /// Upper bound of the replacement range.
+    pub max_value: f64,
+    /// Whether `NaN` cells are also replaced (default `true`).
+    pub replace_nan: bool,
+}
+
+impl Default for ZeroReplacement {
+    fn default() -> Self {
+        ZeroReplacement {
+            tolerance: 0.0,
+            min_value: 1e-6,
+            max_value: 1e-4,
+            replace_nan: true,
+        }
+    }
+}
+
+/// Replaces zero (and optionally `NaN`) cells with small random positive
+/// values, per the paper's preprocessing step. Returns the number of cells
+/// replaced.
+pub fn replace_zeros<R: Rng>(m: &mut Matrix3, opts: ZeroReplacement, rng: &mut R) -> usize {
+    assert!(
+        opts.min_value > 0.0 && opts.max_value > opts.min_value,
+        "replacement range must be positive and non-empty"
+    );
+    let mut replaced = 0;
+    for v in m.as_mut_slice() {
+        let is_zero = v.abs() <= opts.tolerance;
+        let is_nan = v.is_nan();
+        if is_zero || (opts.replace_nan && is_nan) {
+            *v = rng.gen_range(opts.min_value..opts.max_value);
+            replaced += 1;
+        }
+    }
+    replaced
+}
+
+/// Applies `exp` to every cell, producing the matrix `e^D` of Lemma 2.
+///
+/// Mining scaling clusters in the result finds shifting clusters in `m`.
+pub fn exp_transform(m: &Matrix3) -> Matrix3 {
+    let mut out = m.clone();
+    out.map_in_place(f64::exp);
+    out
+}
+
+/// Applies natural log to every cell. Inverse of [`exp_transform`] for
+/// positive data; cells `<= 0` become `NaN` and must be cleaned with
+/// [`replace_zeros`] first.
+pub fn ln_transform(m: &Matrix3) -> Matrix3 {
+    let mut out = m.clone();
+    out.map_in_place(f64::ln);
+    out
+}
+
+/// Summary statistics of a matrix, used for sanity checks and reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum finite value.
+    pub min: f64,
+    /// Maximum finite value.
+    pub max: f64,
+    /// Mean of finite values.
+    pub mean: f64,
+    /// Number of `NaN`/infinite cells.
+    pub non_finite: usize,
+    /// Number of exactly-zero cells.
+    pub zeros: usize,
+}
+
+/// Computes summary statistics over all cells.
+pub fn summarize(m: &Matrix3) -> Summary {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    let mut non_finite = 0usize;
+    let mut zeros = 0usize;
+    for &v in m.as_slice() {
+        if !v.is_finite() {
+            non_finite += 1;
+            continue;
+        }
+        if v == 0.0 {
+            zeros += 1;
+        }
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        n += 1;
+    }
+    Summary {
+        min,
+        max,
+        mean: if n > 0 { sum / n as f64 } else { f64::NAN },
+        non_finite,
+        zeros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn replaces_exact_zeros() {
+        let mut m = Matrix3::zeros(2, 2, 1);
+        m.set(0, 0, 0, 5.0);
+        let n = replace_zeros(&mut m, ZeroReplacement::default(), &mut rng());
+        assert_eq!(n, 3);
+        assert_eq!(m.get(0, 0, 0), 5.0, "non-zero untouched");
+        for (g, s) in [(0, 1), (1, 0), (1, 1)] {
+            let v = m.get(g, s, 0);
+            assert!(v > 0.0 && v < 1e-4, "replacement {v} in range");
+        }
+    }
+
+    #[test]
+    fn replaces_nan_when_asked() {
+        let mut m = Matrix3::zeros(1, 2, 1);
+        m.set(0, 0, 0, f64::NAN);
+        m.set(0, 1, 0, 1.0);
+        let n = replace_zeros(&mut m, ZeroReplacement::default(), &mut rng());
+        assert_eq!(n, 1);
+        assert!(m.get(0, 0, 0).is_finite());
+    }
+
+    #[test]
+    fn keeps_nan_when_disabled() {
+        let mut m = Matrix3::zeros(1, 1, 1);
+        m.set(0, 0, 0, f64::NAN);
+        let opts = ZeroReplacement {
+            replace_nan: false,
+            ..Default::default()
+        };
+        let n = replace_zeros(&mut m, opts, &mut rng());
+        assert_eq!(n, 0);
+        assert!(m.get(0, 0, 0).is_nan());
+    }
+
+    #[test]
+    fn tolerance_sweeps_small_values() {
+        let mut m = Matrix3::zeros(1, 2, 1);
+        m.set(0, 0, 0, 1e-9);
+        m.set(0, 1, 0, 0.5);
+        let opts = ZeroReplacement {
+            tolerance: 1e-8,
+            ..Default::default()
+        };
+        let n = replace_zeros(&mut m, opts, &mut rng());
+        assert_eq!(n, 1);
+        assert_eq!(m.get(0, 1, 0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "replacement range")]
+    fn bad_range_panics() {
+        let mut m = Matrix3::zeros(1, 1, 1);
+        let opts = ZeroReplacement {
+            min_value: 1.0,
+            max_value: 0.5,
+            ..Default::default()
+        };
+        replace_zeros(&mut m, opts, &mut rng());
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let mut m = Matrix3::zeros(2, 2, 2);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = 0.1 + i as f64;
+        }
+        let back = ln_transform(&exp_transform(&m));
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma2_shift_becomes_scale() {
+        // rows differ by an additive offset; after exp they differ by a
+        // multiplicative factor (this is exactly Lemma 2).
+        let mut m = Matrix3::zeros(2, 3, 1);
+        for s in 0..3 {
+            m.set(0, s, 0, s as f64);
+            m.set(1, s, 0, s as f64 + 2.0); // shift by beta = 2
+        }
+        let e = exp_transform(&m);
+        let alpha = e.get(1, 0, 0) / e.get(0, 0, 0);
+        for s in 0..3 {
+            let r = e.get(1, s, 0) / e.get(0, s, 0);
+            assert!((r - alpha).abs() < 1e-12, "constant ratio after exp");
+        }
+        assert!((alpha.ln() - 2.0).abs() < 1e-12, "beta = ln(alpha)");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut m = Matrix3::zeros(1, 4, 1);
+        m.set(0, 0, 0, -1.0);
+        m.set(0, 1, 0, 3.0);
+        m.set(0, 2, 0, f64::NAN);
+        // (0,3,0) stays 0.0
+        let s = summarize(&m);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.non_finite, 1);
+        assert_eq!(s.zeros, 1);
+        assert!((s.mean - (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_all_nan() {
+        let mut m = Matrix3::zeros(1, 1, 1);
+        m.set(0, 0, 0, f64::NAN);
+        let s = summarize(&m);
+        assert!(s.mean.is_nan());
+        assert_eq!(s.non_finite, 1);
+    }
+}

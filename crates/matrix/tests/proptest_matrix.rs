@@ -1,0 +1,112 @@
+//! Property tests for the matrix substrate: permutation round-trips, TSV
+//! round-trips, and normalization invariants.
+
+use proptest::prelude::*;
+use tricluster_matrix::{io, normalize, Axis, Labels, Matrix3};
+
+fn arb_matrix() -> impl Strategy<Value = Matrix3> {
+    (1usize..6, 1usize..5, 1usize..4).prop_flat_map(|(g, s, t)| {
+        proptest::collection::vec(-100.0f64..100.0, g * s * t).prop_map(move |vals| {
+            let mut m = Matrix3::zeros(g, s, t);
+            m.as_mut_slice().copy_from_slice(&vals);
+            m
+        })
+    })
+}
+
+/// All 6 axis orders.
+fn permutations() -> Vec<[Axis; 3]> {
+    let a = [Axis::Gene, Axis::Sample, Axis::Time];
+    let mut out = Vec::new();
+    for i in 0..3 {
+        for j in 0..3 {
+            if j == i {
+                continue;
+            }
+            let k = 3 - i - j;
+            out.push([a[i], a[j], a[k]]);
+        }
+    }
+    out
+}
+
+/// The inverse of a permutation `order`.
+fn inverse(order: [Axis; 3]) -> [Axis; 3] {
+    let axes = [Axis::Gene, Axis::Sample, Axis::Time];
+    let mut inv = [Axis::Gene; 3];
+    for (new_pos, &src_axis) in order.iter().enumerate() {
+        inv[src_axis.index()] = axes[new_pos];
+    }
+    inv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permutation_preserves_multiset(m in arb_matrix()) {
+        for order in permutations() {
+            let p = m.permuted(order);
+            let mut a: Vec<f64> = m.as_slice().to_vec();
+            let mut b: Vec<f64> = p.as_slice().to_vec();
+            a.sort_by(f64::total_cmp);
+            b.sort_by(f64::total_cmp);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrips(m in arb_matrix()) {
+        for order in permutations() {
+            let p = m.permuted(order);
+            let back = p.permuted(inverse(order));
+            prop_assert_eq!(&back, &m, "order {:?}", order);
+        }
+    }
+
+    #[test]
+    fn canonical_permutation_puts_largest_first(m in arb_matrix()) {
+        let c = m.permuted(m.canonical_permutation());
+        prop_assert!(c.is_canonical());
+        prop_assert_eq!(c.len(), m.len());
+    }
+
+    #[test]
+    fn stacked_tsv_roundtrip(m in arb_matrix()) {
+        let labels = Labels::default_for(m.n_genes(), m.n_samples(), m.n_times());
+        let mut buf = Vec::new();
+        io::write_stacked_tsv(&mut buf, &m, &labels).unwrap();
+        let (back, back_labels) = io::read_stacked_tsv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back_labels, labels);
+        // values round-trip through decimal text exactly for f64 Display
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn quantile_normalization_is_idempotent(m in arb_matrix()) {
+        let q1 = normalize::quantile_normalize_slices(&m);
+        let q2 = normalize::quantile_normalize_slices(&q1);
+        for (a, b) in q1.as_slice().iter().zip(q2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn standardize_bounds(m in arb_matrix()) {
+        let z = normalize::standardize_genes(&m);
+        // all standardized values lie within sqrt(cells) of zero
+        let bound = ((m.n_samples() * m.n_times()) as f64).sqrt() + 1e-9;
+        for &v in z.as_slice() {
+            prop_assert!(v.abs() <= bound, "{v} beyond {bound}");
+        }
+    }
+
+    #[test]
+    fn time_slices_partition_the_matrix(m in arb_matrix()) {
+        let slices: Vec<_> = (0..m.n_times()).map(|t| m.time_slice(t)).collect();
+        let back = Matrix3::from_time_slices(&slices);
+        prop_assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,443 @@
+//! Simulated Gene Ontology catalog and hypergeometric enrichment
+//! (substitute for the yeastgenome.org GO term finder used for Table 2).
+//!
+//! A [`GoCatalog`] maps terms in the three GO categories (biological
+//! process, molecular function, cellular component) to gene sets.
+//! [`simulate_catalog`] builds one with background terms of realistic
+//! frequency plus *marker terms* planted in given gene groups, so that a
+//! correctly mined cluster shows a handful of significantly shared terms —
+//! the shape of the paper's Table 2.
+//!
+//! [`enrich`] computes the exact hypergeometric upper-tail p-value for each
+//! term against a gene set: drawing `n = |cluster|` genes from a genome of
+//! `N` where `m` carry the term, the probability of seeing `≥ k` carriers:
+//!
+//! ```text
+//! p = Σ_{i=k}^{min(n,m)}  C(m,i) · C(N−m, n−i) / C(N, n)
+//! ```
+//!
+//! computed in log space with a Lanczos `ln Γ` (no external stats crate).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The three GO ontologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoCategory {
+    /// Biological process.
+    Process,
+    /// Molecular function.
+    Function,
+    /// Cellular component.
+    Component,
+}
+
+impl GoCategory {
+    /// All categories in Table 2 column order.
+    pub const ALL: [GoCategory; 3] = [
+        GoCategory::Process,
+        GoCategory::Function,
+        GoCategory::Component,
+    ];
+}
+
+impl std::fmt::Display for GoCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GoCategory::Process => "Process",
+            GoCategory::Function => "Function",
+            GoCategory::Component => "Cellular Component",
+        })
+    }
+}
+
+/// One GO term with its annotated genes.
+#[derive(Debug, Clone)]
+pub struct GoTerm {
+    /// Term name, e.g. `"ubiquitin cycle"`.
+    pub name: String,
+    /// Ontology the term belongs to.
+    pub category: GoCategory,
+    /// Annotated genes (indices into the genome).
+    pub genes: Vec<usize>,
+}
+
+/// A catalog of GO terms over a genome of `n_genes`.
+#[derive(Debug, Clone)]
+pub struct GoCatalog {
+    /// Genome size `N`.
+    pub n_genes: usize,
+    /// All terms.
+    pub terms: Vec<GoTerm>,
+}
+
+/// One significant term in an enrichment report.
+#[derive(Debug, Clone)]
+pub struct Enrichment {
+    /// Term name.
+    pub term: String,
+    /// Ontology.
+    pub category: GoCategory,
+    /// Cluster genes annotated with the term (`n=` in Table 2).
+    pub count: usize,
+    /// Hypergeometric upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl std::fmt::Display for Enrichment {
+    /// Table 2 cell format: `name (n=3, p=0.00346)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (n={}, p={:.3e})", self.term, self.count, self.p_value)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0` (g = 7, n = 9 series).
+///
+/// Accurate to ~1e-13 over the range used here; exact enough for p-values.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain: x > 0, got {x}");
+    const COEFFS: [f64; 8] = [
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` via `ln Γ`.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Exact hypergeometric upper tail `P[K ≥ k]` when drawing `n` of `total`
+/// items, `marked` of which are special.
+pub fn hypergeometric_tail(total: usize, marked: usize, n: usize, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if (marked > total || n > total || k > n || k > marked)
+        && k > n.min(marked) {
+            return 0.0;
+        }
+    let denom = ln_choose(total, n);
+    let mut p = 0.0f64;
+    for i in k..=n.min(marked) {
+        if n - i > total - marked {
+            continue; // impossible configuration
+        }
+        let ln_term = ln_choose(marked, i) + ln_choose(total - marked, n - i) - denom;
+        p += ln_term.exp();
+    }
+    p.min(1.0)
+}
+
+/// Parameters for [`simulate_catalog`].
+#[derive(Debug, Clone)]
+pub struct CatalogSpec {
+    /// Genome size; must match the dataset's gene count.
+    pub n_genes: usize,
+    /// Background terms per category.
+    pub background_terms_per_category: usize,
+    /// Range of background-term sizes (fraction of the genome).
+    pub background_frequency: (f64, f64),
+    /// Marker terms planted per gene group and category.
+    pub markers_per_group: usize,
+    /// Cluster genes annotated by each marker term.
+    pub marker_in_group: usize,
+    /// Non-cluster genes annotated by each marker term.
+    pub marker_outside_group: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec {
+            n_genes: 7679,
+            background_terms_per_category: 60,
+            background_frequency: (0.002, 0.1),
+            markers_per_group: 2,
+            marker_in_group: 3,
+            marker_outside_group: 8,
+            seed: 1998, // Spellman et al. publication year
+        }
+    }
+}
+
+/// Term-name pools per category, in the flavor of Table 2.
+const PROCESS_NAMES: &[&str] = &[
+    "ubiquitin cycle", "protein polyubiquitination", "carbohydrate biosynthesis",
+    "G1/S transition of mitotic cell cycle", "mRNA polyadenylylation", "lipid transport",
+    "physiological process", "organelle organization and biogenesis", "localization",
+    "pantothenate biosynthesis", "pantothenate metabolism", "transport", "DNA repair",
+    "chromatin remodeling", "glycolysis", "ribosome biogenesis", "autophagy",
+    "cell wall organization", "protein folding", "sporulation",
+];
+const FUNCTION_NAMES: &[&str] = &[
+    "protein phosphatase regulator activity", "phosphatase regulator activity",
+    "oxidoreductase activity", "lipid transporter activity", "antioxidant activity",
+    "MAP kinase activity", "deaminase activity", "hydrolase activity",
+    "receptor signaling protein serine/threonine kinase activity",
+    "ubiquitin conjugating enzyme activity", "ATPase activity", "helicase activity",
+    "GTPase activity", "kinase activity", "ligase activity", "transferase activity",
+    "isomerase activity", "peptidase activity", "transcription factor activity",
+    "RNA binding",
+];
+const COMPONENT_NAMES: &[&str] = &[
+    "cytoplasm", "microsome", "vesicular fraction", "microbody", "peroxisome",
+    "membrane", "cell", "endoplasmic reticulum", "vacuolar membrane", "intracellular",
+    "endoplasmic reticulum membrane", "nuclear envelope-endoplasmic reticulum network",
+    "Golgi vesicle", "nucleus", "mitochondrion", "ribosome", "spindle pole body",
+    "bud neck", "plasma membrane", "cell cortex",
+];
+
+fn names_for(cat: GoCategory) -> &'static [&'static str] {
+    match cat {
+        GoCategory::Process => PROCESS_NAMES,
+        GoCategory::Function => FUNCTION_NAMES,
+        GoCategory::Component => COMPONENT_NAMES,
+    }
+}
+
+/// Builds a simulated catalog: background terms annotate random genes at
+/// genome-typical frequencies; each gene group additionally receives
+/// `markers_per_group` planted terms per category whose annotations
+/// concentrate in the group.
+pub fn simulate_catalog(spec: &CatalogSpec, groups: &[Vec<usize>]) -> GoCatalog {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut terms = Vec::new();
+    for cat in GoCategory::ALL {
+        let pool = names_for(cat);
+        // background terms
+        for i in 0..spec.background_terms_per_category {
+            let frac = rng.gen_range(spec.background_frequency.0..=spec.background_frequency.1);
+            let size = ((spec.n_genes as f64 * frac) as usize).max(2);
+            let mut genes: Vec<usize> = (0..spec.n_genes).collect();
+            genes.shuffle(&mut rng);
+            genes.truncate(size);
+            terms.push(GoTerm {
+                name: format!("{} [bg{}]", pool[i % pool.len()], i),
+                category: cat,
+                genes,
+            });
+        }
+        // marker terms per group
+        for (gi, group) in groups.iter().enumerate() {
+            for mi in 0..spec.markers_per_group {
+                let mut in_group = group.clone();
+                in_group.shuffle(&mut rng);
+                in_group.truncate(spec.marker_in_group.min(group.len()));
+                let group_set: HashSet<usize> = group.iter().copied().collect();
+                let mut outside: Vec<usize> = (0..spec.n_genes)
+                    .filter(|g| !group_set.contains(g))
+                    .collect();
+                outside.shuffle(&mut rng);
+                outside.truncate(spec.marker_outside_group);
+                let mut genes = in_group;
+                genes.extend(outside);
+                let name_idx =
+                    (spec.background_terms_per_category + gi * spec.markers_per_group + mi)
+                        % pool.len();
+                terms.push(GoTerm {
+                    name: format!("{} [C{gi}]", pool[name_idx]),
+                    category: cat,
+                    genes,
+                });
+            }
+        }
+    }
+    GoCatalog {
+        n_genes: spec.n_genes,
+        terms,
+    }
+}
+
+/// Computes the significant shared terms (p < `cutoff`) of a gene set, per
+/// category, sorted by ascending p-value — one Table 2 row.
+pub fn enrich(catalog: &GoCatalog, cluster_genes: &[usize], cutoff: f64) -> Vec<Enrichment> {
+    let cluster: HashSet<usize> = cluster_genes.iter().copied().collect();
+    let mut out: Vec<Enrichment> = catalog
+        .terms
+        .iter()
+        .filter_map(|term| {
+            let k = term.genes.iter().filter(|g| cluster.contains(g)).count();
+            if k < 2 {
+                return None; // a single shared gene is never reported
+            }
+            let p = hypergeometric_tail(catalog.n_genes, term.genes.len(), cluster.len(), k);
+            (p < cutoff).then_some(Enrichment {
+                term: term.name.clone(),
+                category: term.category,
+                count: k,
+                p_value: p,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.p_value.total_cmp(&b.p_value));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (got - f64::ln(f)).abs() < 1e-10,
+                "ln Γ({}) = {got}, want ln {f}",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π)
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert!((ln_choose(7, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_exact_small_case() {
+        // urn: 10 items, 4 marked, draw 3; P[K >= 1] = 1 - C(6,3)/C(10,3)
+        let want = 1.0 - 20.0 / 120.0;
+        let got = hypergeometric_tail(10, 4, 3, 1);
+        assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        // P[K >= 3] = C(4,3)/C(10,3)
+        let want3 = 4.0 / 120.0;
+        assert!((hypergeometric_tail(10, 4, 3, 3) - want3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hypergeometric_boundaries() {
+        assert_eq!(hypergeometric_tail(10, 4, 3, 0), 1.0);
+        assert_eq!(hypergeometric_tail(10, 4, 3, 4), 0.0, "k > draws");
+        assert_eq!(hypergeometric_tail(10, 2, 5, 3), 0.0, "k > marked");
+        // drawing everything: k = marked is certain
+        assert!((hypergeometric_tail(8, 3, 8, 3) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hypergeometric_matches_paper_scale() {
+        // Table 2 magnitude check: 3 of 51 cluster genes sharing a term of
+        // ~30 genes in a 7679-gene genome is ~1e-3-scale significant.
+        let p = hypergeometric_tail(7679, 30, 51, 3);
+        assert!(p > 1e-5 && p < 1e-2, "p = {p}");
+    }
+
+    #[test]
+    fn catalog_marker_terms_enrich_their_group() {
+        let groups: Vec<Vec<usize>> = vec![(0..51).collect(), (100..152).collect()];
+        let spec = CatalogSpec {
+            n_genes: 2000,
+            ..Default::default()
+        };
+        let catalog = simulate_catalog(&spec, &groups);
+        let report = enrich(&catalog, &groups[0], 0.01);
+        assert!(
+            report.iter().any(|e| e.term.ends_with("[C0]")),
+            "group 0 markers significant: {report:?}"
+        );
+        assert!(
+            !report.iter().any(|e| e.term.ends_with("[C1]")),
+            "group 1 markers must not leak into group 0: {report:?}"
+        );
+        // sorted ascending by p
+        for w in report.windows(2) {
+            assert!(w[0].p_value <= w[1].p_value);
+        }
+    }
+
+    #[test]
+    fn enrich_requires_two_shared_genes() {
+        let catalog = GoCatalog {
+            n_genes: 100,
+            terms: vec![GoTerm {
+                name: "solo".into(),
+                category: GoCategory::Process,
+                genes: vec![0],
+            }],
+        };
+        assert!(enrich(&catalog, &[0, 1, 2], 1.0).is_empty());
+    }
+
+    #[test]
+    fn random_background_rarely_significant() {
+        let groups: Vec<Vec<usize>> = vec![(0..50).collect()];
+        let spec = CatalogSpec {
+            n_genes: 5000,
+            markers_per_group: 0,
+            ..Default::default()
+        };
+        let catalog = simulate_catalog(&spec, &groups);
+        // an arbitrary gene set should show few significant background hits
+        let arbitrary: Vec<usize> = (1000..1050).collect();
+        let report = enrich(&catalog, &arbitrary, 0.001);
+        assert!(report.len() <= 2, "background too noisy: {report:?}");
+    }
+
+    #[test]
+    fn display_matches_table2_format() {
+        let e = Enrichment {
+            term: "ubiquitin cycle".into(),
+            category: GoCategory::Process,
+            count: 3,
+            p_value: 0.00346,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ubiquitin cycle"));
+        assert!(s.contains("n=3"));
+        assert!(s.contains("p=3.460e-3"));
+        assert_eq!(GoCategory::Component.to_string(), "Cellular Component");
+    }
+
+    #[test]
+    fn catalog_deterministic() {
+        let groups: Vec<Vec<usize>> = vec![(0..20).collect()];
+        let spec = CatalogSpec {
+            n_genes: 500,
+            ..Default::default()
+        };
+        let a = simulate_catalog(&spec, &groups);
+        let b = simulate_catalog(&spec, &groups);
+        assert_eq!(a.terms.len(), b.terms.len());
+        for (x, y) in a.terms.iter().zip(&b.terms) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.genes, y.genes);
+        }
+    }
+}

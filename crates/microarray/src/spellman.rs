@@ -1,0 +1,310 @@
+//! Loader for Spellman-style raw attribute tables.
+//!
+//! The Stanford cell-cycle distribution ships **one table per time point**:
+//! rows are spots/ORFs, columns are the raw measurement attributes (`CH1I`,
+//! `CH1B`, `CH2I`, `RAT1`, …). The paper builds its `T × S × G` matrix from
+//! 13 of those attributes over the 14 elutriation time points.
+//!
+//! [`assemble`] aligns a sequence of per-time tables into a
+//! [`Matrix3`]: genes are matched **by name** (the intersection of all
+//! tables, in first-table order — real exports drop flagged spots, so the
+//! per-file gene sets differ), attributes likewise. The actual data files
+//! are not redistributable; the format, however, is exercised by the tests
+//! and usable for any data following it.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use tricluster_matrix::io::{read_slice_tsv, IoError};
+use tricluster_matrix::{Labels, Matrix2, Matrix3};
+
+/// One parsed per-time attribute table.
+#[derive(Debug, Clone)]
+pub struct AttributeTable {
+    /// Values: genes × attributes.
+    pub values: Matrix2,
+    /// Row (gene/ORF) names.
+    pub genes: Vec<String>,
+    /// Column (attribute) names.
+    pub attributes: Vec<String>,
+}
+
+/// Reads one attribute table (same TSV shape as a time slice: header of
+/// attribute names, one row per ORF).
+pub fn read_attribute_table<R: BufRead>(reader: R) -> Result<AttributeTable, IoError> {
+    let (values, genes, attributes) = read_slice_tsv(reader)?;
+    Ok(AttributeTable {
+        values,
+        genes,
+        attributes,
+    })
+}
+
+/// Errors from [`assemble`].
+#[derive(Debug)]
+pub enum AssembleError {
+    /// Fewer than one table given.
+    NoTables,
+    /// No gene name occurs in every table.
+    NoCommonGenes,
+    /// An explicitly requested attribute is missing from some table.
+    MissingAttribute {
+        /// The attribute name.
+        attribute: String,
+        /// Index of the table lacking it.
+        table: usize,
+    },
+    /// No attribute is shared by all tables (when auto-selecting).
+    NoCommonAttributes,
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssembleError::NoTables => write!(f, "no attribute tables given"),
+            AssembleError::NoCommonGenes => {
+                write!(f, "no gene occurs in every time point's table")
+            }
+            AssembleError::MissingAttribute { attribute, table } => {
+                write!(f, "attribute {attribute:?} missing from table {table}")
+            }
+            AssembleError::NoCommonAttributes => {
+                write!(f, "no attribute is shared by all tables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// Assembles per-time attribute tables into a 3D matrix.
+///
+/// * `attributes = Some(names)` selects exactly those columns (the paper
+///   used 13 of them); `None` uses every attribute common to all tables,
+///   in first-table order.
+/// * Genes are the intersection of all tables' gene names, in first-table
+///   order. Cells are looked up by name, so row order may differ between
+///   files.
+/// * `time_names` labels the third axis (defaults to `t0…` when shorter
+///   than the table list).
+pub fn assemble(
+    tables: &[AttributeTable],
+    attributes: Option<&[&str]>,
+    time_names: &[String],
+) -> Result<(Matrix3, Labels), AssembleError> {
+    if tables.is_empty() {
+        return Err(AssembleError::NoTables);
+    }
+    // attribute selection
+    let selected: Vec<String> = match attributes {
+        Some(names) => {
+            for (ti, table) in tables.iter().enumerate() {
+                for name in names {
+                    if !table.attributes.iter().any(|a| a == name) {
+                        return Err(AssembleError::MissingAttribute {
+                            attribute: (*name).to_string(),
+                            table: ti,
+                        });
+                    }
+                }
+            }
+            names.iter().map(|s| s.to_string()).collect()
+        }
+        None => {
+            let common: Vec<String> = tables[0]
+                .attributes
+                .iter()
+                .filter(|a| tables.iter().all(|t| t.attributes.contains(a)))
+                .cloned()
+                .collect();
+            if common.is_empty() {
+                return Err(AssembleError::NoCommonAttributes);
+            }
+            common
+        }
+    };
+
+    // gene intersection in first-table order
+    let later_sets: Vec<HashMap<&str, usize>> = tables[1..]
+        .iter()
+        .map(|t| {
+            t.genes
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (g.as_str(), i))
+                .collect()
+        })
+        .collect();
+    let mut genes: Vec<String> = Vec::new();
+    let mut row_maps: Vec<Vec<usize>> = vec![Vec::new(); tables.len()];
+    for (row0, g) in tables[0].genes.iter().enumerate() {
+        let mut rows = Vec::with_capacity(tables.len());
+        rows.push(row0);
+        let mut everywhere = true;
+        for set in &later_sets {
+            match set.get(g.as_str()) {
+                Some(&r) => rows.push(r),
+                None => {
+                    everywhere = false;
+                    break;
+                }
+            }
+        }
+        if everywhere {
+            genes.push(g.clone());
+            for (ti, r) in rows.into_iter().enumerate() {
+                row_maps[ti].push(r);
+            }
+        }
+    }
+    if genes.is_empty() {
+        return Err(AssembleError::NoCommonGenes);
+    }
+
+    // per-table attribute column indices
+    let col_maps: Vec<Vec<usize>> = tables
+        .iter()
+        .map(|t| {
+            selected
+                .iter()
+                .map(|name| {
+                    t.attributes
+                        .iter()
+                        .position(|a| a == name)
+                        .expect("attribute checked above")
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut m = Matrix3::zeros(genes.len(), selected.len(), tables.len());
+    for (ti, table) in tables.iter().enumerate() {
+        for (gi, &row) in row_maps[ti].iter().enumerate() {
+            for (si, &col) in col_maps[ti].iter().enumerate() {
+                m.set(gi, si, ti, table.values.get(row, col));
+            }
+        }
+    }
+    let times: Vec<String> = (0..tables.len())
+        .map(|t| {
+            time_names
+                .get(t)
+                .cloned()
+                .unwrap_or_else(|| format!("t{t}"))
+        })
+        .collect();
+    let labels = Labels::new(genes, selected, times);
+    Ok((m, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(text: &str) -> AttributeTable {
+        read_attribute_table(text.as_bytes()).unwrap()
+    }
+
+    const T0: &str = "orf\tCH1I\tCH2I\tRAT1\n\
+                      YAL001C\t100\t50\t2.0\n\
+                      YAL002W\t200\t100\t2.0\n\
+                      YAL003W\t300\t100\t3.0\n";
+    const T1: &str = "orf\tCH1I\tCH2I\tRAT1\n\
+                      YAL002W\t220\t110\t2.0\n\
+                      YAL001C\t110\t55\t2.0\n\
+                      YAL003W\t330\t110\t3.0\n";
+
+    #[test]
+    fn read_table_parses_names_and_values() {
+        let t = table(T0);
+        assert_eq!(t.genes, vec!["YAL001C", "YAL002W", "YAL003W"]);
+        assert_eq!(t.attributes, vec!["CH1I", "CH2I", "RAT1"]);
+        assert_eq!(t.values.get(1, 0), 200.0);
+    }
+
+    #[test]
+    fn assemble_aligns_genes_by_name() {
+        // T1 lists YAL002W first; alignment must be by name, not position
+        let (m, labels) = assemble(&[table(T0), table(T1)], None, &[]).unwrap();
+        assert_eq!(m.dims(), (3, 3, 2));
+        assert_eq!(labels.genes(), &["YAL001C", "YAL002W", "YAL003W"]);
+        assert_eq!(m.get(0, 0, 0), 100.0, "YAL001C CH1I at t0");
+        assert_eq!(m.get(0, 0, 1), 110.0, "YAL001C CH1I at t1 (row-reordered)");
+        assert_eq!(m.get(1, 1, 1), 110.0, "YAL002W CH2I at t1");
+        assert_eq!(labels.times(), &["t0", "t1"]);
+    }
+
+    #[test]
+    fn assemble_intersects_missing_genes() {
+        let t1_missing = "orf\tCH1I\tCH2I\tRAT1\nYAL001C\t1\t2\t3\n";
+        let (m, labels) = assemble(&[table(T0), table(t1_missing)], None, &[]).unwrap();
+        assert_eq!(m.n_genes(), 1);
+        assert_eq!(labels.genes(), &["YAL001C"]);
+    }
+
+    #[test]
+    fn assemble_selects_requested_attributes() {
+        let (m, labels) =
+            assemble(&[table(T0), table(T1)], Some(&["RAT1", "CH1I"]), &[]).unwrap();
+        assert_eq!(m.n_samples(), 2);
+        assert_eq!(labels.samples(), &["RAT1", "CH1I"]);
+        assert_eq!(m.get(0, 0, 0), 2.0, "RAT1 first");
+        assert_eq!(m.get(0, 1, 0), 100.0);
+    }
+
+    #[test]
+    fn assemble_reports_missing_attribute() {
+        let e = assemble(&[table(T0)], Some(&["NOPE"]), &[]).unwrap_err();
+        assert!(matches!(e, AssembleError::MissingAttribute { .. }));
+        assert!(e.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn assemble_reports_no_common_genes() {
+        let other = "orf\tCH1I\tCH2I\tRAT1\nYBR999W\t1\t2\t3\n";
+        let e = assemble(&[table(T0), table(other)], None, &[]).unwrap_err();
+        assert!(matches!(e, AssembleError::NoCommonGenes));
+    }
+
+    #[test]
+    fn assemble_reports_no_tables_and_no_common_attributes() {
+        assert!(matches!(assemble(&[], None, &[]), Err(AssembleError::NoTables)));
+        let different = "orf\tOTHER\nYAL001C\t1\n";
+        let e = assemble(&[table(T0), table(different)], None, &[]).unwrap_err();
+        assert!(matches!(e, AssembleError::NoCommonAttributes));
+    }
+
+    #[test]
+    fn time_names_applied_with_default_fill() {
+        let (_, labels) = assemble(
+            &[table(T0), table(T1)],
+            None,
+            &["0min".to_string()],
+        )
+        .unwrap();
+        assert_eq!(labels.times(), &["0min", "t1"]);
+    }
+
+    #[test]
+    fn assembled_matrix_is_minable() {
+        use tricluster_core::{mine, Params};
+        // the three ORFs scale between CH1I and CH2I with per-gene ratios
+        // 2.0, 2.0, 3.0 — genes 0 and 1 form a ratio-coherent pair across
+        // both times
+        let (m, _) = assemble(&[table(T0), table(T1)], None, &[]).unwrap();
+        let params = Params::builder()
+            .epsilon(0.01)
+            .epsilon_time(0.2)
+            .min_size(2, 2, 2)
+            .build()
+            .unwrap();
+        let result = mine(&m, &params);
+        assert!(
+            result
+                .triclusters
+                .iter()
+                .any(|c| c.genes.to_vec() == vec![0, 1]),
+            "{:?}",
+            result.triclusters
+        );
+    }
+}

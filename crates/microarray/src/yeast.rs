@@ -1,0 +1,317 @@
+//! Simulated yeast cell-cycle elutriation dataset (substitute for the
+//! Spellman et al. data used in paper §5.2).
+//!
+//! # Generative model
+//!
+//! Every gene has a latent intensity `expr(g, t)`. Each of the 13 sample
+//! attributes is a measurement channel with a per-channel gain:
+//! `d[g][s][t] = expr(g, t) · gain(s) · (1 + jitter)`.
+//!
+//! * **Background genes** get a per-cell jitter of several percent — channel
+//!   columns are only loosely proportional, so no large gene set stays
+//!   coherent across ≥ `my` channels at the paper's tight `ε = 0.003`.
+//! * **Embedded groups** (the paper's five clusters: 51, 52, 57, 97, 66
+//!   genes) follow `expr(g, t) = base(g) · profile_c(t)` on a contiguous
+//!   window of time points, with jitter below `ε/4`, on a subset of
+//!   channels; outside the window/channels they receive background-level
+//!   jitter. Each group therefore forms exactly one coherent tricluster
+//!   with the intended `genes × channels × times` extent.
+//!
+//! The defaults mirror the paper (`7679 × 13 × 14`); [`YeastSpec::scaled`]
+//! produces a smaller instance with the same structure for tests.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tricluster_bitset::BitSet;
+use tricluster_core::Tricluster;
+use tricluster_matrix::{Labels, Matrix3};
+
+/// The paper's mining parameters for this dataset: `mx=50, my=4, mz=5`,
+/// `ε = 0.003` (relaxed along time).
+pub const PAPER_MIN_GENES: usize = 50;
+/// Minimum samples (`my`) used in §5.2.
+pub const PAPER_MIN_SAMPLES: usize = 4;
+/// Minimum time points (`mz`) used in §5.2.
+pub const PAPER_MIN_TIMES: usize = 5;
+/// The ratio threshold `ε` used in §5.2.
+pub const PAPER_EPSILON: f64 = 0.003;
+
+/// Specification of the simulated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YeastSpec {
+    /// Total number of genes (paper: 7679).
+    pub n_genes: usize,
+    /// Number of sample attributes / channels (paper: 13).
+    pub n_samples: usize,
+    /// Number of time points (paper: 14, minutes 0..390 step 30).
+    pub n_times: usize,
+    /// Gene-group sizes to embed (paper cluster sizes).
+    pub group_sizes: Vec<usize>,
+    /// Channels per embedded group.
+    pub samples_per_group: usize,
+    /// Time points per embedded group (contiguous window).
+    pub times_per_group: usize,
+    /// Relative jitter of embedded-group cells (must stay ≪ ε).
+    pub cluster_jitter: f64,
+    /// Relative jitter of background cells.
+    pub background_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YeastSpec {
+    fn default() -> Self {
+        YeastSpec {
+            n_genes: 7679,
+            n_samples: 13,
+            n_times: 14,
+            group_sizes: vec![51, 52, 57, 97, 66],
+            samples_per_group: 4,
+            times_per_group: 5,
+            cluster_jitter: 0.0006,
+            background_jitter: 0.08,
+            seed: 20050614, // SIGMOD 2005 opening day
+        }
+    }
+}
+
+impl YeastSpec {
+    /// A smaller instance (default 1500 genes) with the same embedded
+    /// structure, for tests and quick runs.
+    pub fn scaled(n_genes: usize) -> Self {
+        assert!(n_genes >= 600, "need room for the five embedded groups");
+        YeastSpec {
+            n_genes,
+            ..YeastSpec::default()
+        }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct YeastDataset {
+    /// Expression matrix, genes × channels × times.
+    pub matrix: Matrix3,
+    /// Gene/sample/time names (systematic-style gene names, channel names
+    /// modeled on the Spellman raw attributes, times in minutes).
+    pub labels: Labels,
+    /// The embedded coherent regions (ground truth).
+    pub embedded: Vec<Tricluster>,
+}
+
+/// Channel names modeled on the raw attributes of the Spellman dataset.
+const CHANNELS: [&str; 13] = [
+    "CH1I", "CH1B", "CH1D", "CH2I", "CH2B", "CH2D", "CH2IN", "CH1I_norm", "CH2I_norm", "RAT1",
+    "RAT2", "RAT1N", "RAT2N",
+];
+
+/// Builds the simulated dataset.
+pub fn build(spec: &YeastSpec) -> YeastDataset {
+    let total_group: usize = spec.group_sizes.iter().sum();
+    assert!(
+        total_group <= spec.n_genes,
+        "group sizes ({total_group}) exceed gene count ({})",
+        spec.n_genes
+    );
+    assert!(spec.samples_per_group <= spec.n_samples);
+    assert!(spec.times_per_group <= spec.n_times);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // channel gains: ratios/normalized signals span roughly one decade
+    let gains: Vec<f64> = (0..spec.n_samples)
+        .map(|_| rng.gen_range(0.4..4.0))
+        .collect();
+
+    // latent per-gene intensity scale and smooth temporal wander
+    // (magnitudes chosen so per-fiber variances land in the hundreds, the
+    // order of the paper's reported fluctuations)
+    let base: Vec<f64> = (0..spec.n_genes)
+        .map(|_| rng.gen_range(10.0..160.0))
+        .collect();
+
+    // assign group genes: shuffle, take consecutive blocks
+    let mut gene_order: Vec<usize> = (0..spec.n_genes).collect();
+    gene_order.shuffle(&mut rng);
+    let mut embedded = Vec::with_capacity(spec.group_sizes.len());
+    let mut cursor = 0usize;
+    type GroupMeta = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<f64>);
+    let mut group_meta: Vec<GroupMeta> = Vec::new();
+    for (ci, &size) in spec.group_sizes.iter().enumerate() {
+        let genes: Vec<usize> = gene_order[cursor..cursor + size].to_vec();
+        cursor += size;
+        // channel subset: rotate so groups use different channel sets
+        let mut chans: Vec<usize> = (0..spec.n_samples).collect();
+        chans.rotate_left((ci * 3) % spec.n_samples);
+        chans.truncate(spec.samples_per_group);
+        chans.sort_unstable();
+        // contiguous time window, staggered per group
+        let max_start = spec.n_times - spec.times_per_group;
+        let start = (ci * 2).min(max_start);
+        let times: Vec<usize> = (start..start + spec.times_per_group).collect();
+        // cell-cycle-like temporal profile for the group
+        let phase = ci as f64 * 1.1;
+        let profile: Vec<f64> = (0..spec.n_times)
+            .map(|t| 1.0 + 0.6 * (t as f64 * 0.45 + phase).sin())
+            .collect();
+        embedded.push(Tricluster::new(
+            BitSet::from_indices(spec.n_genes, genes.iter().copied()),
+            chans.clone(),
+            times.clone(),
+        ));
+        group_meta.push((genes, chans, times, profile));
+    }
+
+    // fill matrix
+    let mut m = Matrix3::zeros(spec.n_genes, spec.n_samples, spec.n_times);
+    for (g, &gene_base) in base.iter().enumerate() {
+        // background temporal wander: smooth random walk per gene
+        let mut level = gene_base;
+        for t in 0..spec.n_times {
+            level *= rng.gen_range(0.85..1.18);
+            for (s, &gain) in gains.iter().enumerate() {
+                let jitter = rng.gen_range(-spec.background_jitter..=spec.background_jitter);
+                m.set(g, s, t, level * gain * (1.0 + jitter));
+            }
+        }
+    }
+    for (genes, chans, times, profile) in &group_meta {
+        for &g in genes {
+            for &s in chans {
+                for &t in times {
+                    let jitter = rng.gen_range(-spec.cluster_jitter..=spec.cluster_jitter);
+                    m.set(g, s, t, base[g] * profile[t] * gains[s] * (1.0 + jitter));
+                }
+            }
+        }
+    }
+
+    let labels = Labels::new(
+        (0..spec.n_genes).map(systematic_name).collect(),
+        CHANNELS
+            .iter()
+            .cycle()
+            .take(spec.n_samples)
+            .map(|s| s.to_string())
+            .collect(),
+        (0..spec.n_times).map(|t| format!("{}min", t * 30)).collect(),
+    );
+
+    YeastDataset {
+        matrix: m,
+        labels,
+        embedded,
+    }
+}
+
+/// Generates a systematic-style yeast ORF name (`Y<chr><arm><num><strand>`).
+fn systematic_name(i: usize) -> String {
+    let chromosome = (b'A' + ((i / 500) % 16) as u8) as char;
+    let arm = if (i / 250).is_multiple_of(2) { 'L' } else { 'R' };
+    let strand = if i.is_multiple_of(2) { 'W' } else { 'C' };
+    format!("Y{chromosome}{arm}{:03}{strand}", i % 250)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricluster_core::validate::is_coherent_region;
+
+    fn small() -> YeastSpec {
+        YeastSpec::scaled(800)
+    }
+
+    #[test]
+    fn default_spec_matches_paper_shape() {
+        let spec = YeastSpec::default();
+        assert_eq!(
+            (spec.n_genes, spec.n_samples, spec.n_times),
+            (7679, 13, 14)
+        );
+        assert_eq!(spec.group_sizes, vec![51, 52, 57, 97, 66]);
+    }
+
+    #[test]
+    fn build_produces_expected_dimensions() {
+        let ds = build(&small());
+        assert_eq!(ds.matrix.dims(), (800, 13, 14));
+        assert_eq!(ds.embedded.len(), 5);
+        assert_eq!(ds.labels.genes().len(), 800);
+        assert_eq!(ds.labels.samples().len(), 13);
+        assert_eq!(ds.labels.times(), &[
+            "0min", "30min", "60min", "90min", "120min", "150min", "180min",
+            "210min", "240min", "270min", "300min", "330min", "360min", "390min",
+        ]);
+    }
+
+    #[test]
+    fn embedded_groups_have_paper_sizes() {
+        let ds = build(&small());
+        let sizes: Vec<usize> = ds.embedded.iter().map(|c| c.genes.count()).collect();
+        assert_eq!(sizes, vec![51, 52, 57, 97, 66]);
+        for c in &ds.embedded {
+            assert_eq!(c.samples.len(), 4);
+            assert_eq!(c.times.len(), 5);
+        }
+    }
+
+    #[test]
+    fn embedded_groups_are_coherent_at_paper_epsilon() {
+        let ds = build(&small());
+        for c in &ds.embedded {
+            assert!(
+                is_coherent_region(
+                    &ds.matrix, &c.genes, &c.samples, &c.times,
+                    PAPER_EPSILON, PAPER_EPSILON
+                ),
+                "embedded group not coherent at eps={PAPER_EPSILON}: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_do_not_overlap_in_genes() {
+        let ds = build(&small());
+        for (i, a) in ds.embedded.iter().enumerate() {
+            for b in &ds.embedded[i + 1..] {
+                assert!(a.genes.is_disjoint(&b.genes));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build(&small());
+        let b = build(&small());
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.embedded, b.embedded);
+    }
+
+    #[test]
+    fn values_are_positive_and_signal_scaled() {
+        let ds = build(&small());
+        let mut max = 0.0f64;
+        for &v in ds.matrix.as_slice() {
+            assert!(v > 0.0, "expression values are positive raw signals");
+            max = max.max(v);
+        }
+        assert!(max > 50.0, "raw-signal magnitudes expected, got max {max}");
+    }
+
+    #[test]
+    fn systematic_names_look_like_orfs() {
+        assert_eq!(systematic_name(0), "YAL000W");
+        let n = systematic_name(1234);
+        assert!(n.starts_with('Y') && n.len() == 7, "{n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "group sizes")]
+    fn too_small_genome_panics() {
+        let spec = YeastSpec {
+            n_genes: 100,
+            ..YeastSpec::default()
+        };
+        build(&spec);
+    }
+}

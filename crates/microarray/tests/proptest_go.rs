@@ -1,0 +1,72 @@
+//! Property tests for the hypergeometric enrichment machinery.
+
+use proptest::prelude::*;
+use tricluster_microarray::go::{hypergeometric_tail, ln_choose, ln_gamma};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ln Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x={x}: {lhs} vs {rhs}");
+    }
+
+    /// Pascal's rule: C(n,k) = C(n-1,k-1) + C(n-1,k).
+    #[test]
+    fn ln_choose_pascal(n in 2usize..60, k in 1usize..59) {
+        prop_assume!(k < n);
+        let lhs = ln_choose(n, k).exp();
+        let rhs = ln_choose(n - 1, k - 1).exp() + ln_choose(n - 1, k).exp();
+        prop_assert!(
+            (lhs - rhs).abs() / rhs.max(1.0) < 1e-9,
+            "C({n},{k}): {lhs} vs {rhs}"
+        );
+    }
+
+    /// Tail probabilities are valid probabilities and monotone in k.
+    #[test]
+    fn tail_is_monotone_probability(
+        total in 2usize..200,
+        marked_frac in 0.0f64..1.0,
+        draw_frac in 0.0f64..1.0,
+    ) {
+        let marked = ((total as f64 * marked_frac) as usize).min(total);
+        let n = ((total as f64 * draw_frac) as usize).clamp(1, total);
+        let mut prev = f64::INFINITY;
+        for k in 0..=n {
+            let p = hypergeometric_tail(total, marked, n, k);
+            prop_assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+            prop_assert!(p <= prev + 1e-12, "tail must fall as k rises");
+            prev = p;
+        }
+        prop_assert_eq!(hypergeometric_tail(total, marked, n, 0), 1.0);
+    }
+
+    /// The tail sums the exact PMF: P[K ≥ k] − P[K ≥ k+1] = P[K = k] ≥ 0,
+    /// and all the point masses sum to 1.
+    #[test]
+    fn tail_differences_sum_to_one(total in 2usize..80, marked in 1usize..79, n in 1usize..79) {
+        prop_assume!(marked <= total && n <= total);
+        let mut acc = 0.0;
+        for k in 0..=n {
+            let pk = hypergeometric_tail(total, marked, n, k)
+                - hypergeometric_tail(total, marked, n, k + 1);
+            prop_assert!(pk >= -1e-9, "negative point mass at k={k}");
+            acc += pk;
+        }
+        prop_assert!((acc - 1.0).abs() < 1e-6, "masses sum to {acc}");
+    }
+
+    /// Symmetry of the hypergeometric: swapping the roles of "marked" and
+    /// "drawn" leaves the distribution unchanged.
+    #[test]
+    fn marked_drawn_symmetry(total in 2usize..80, marked in 1usize..79, n in 1usize..79, k in 0usize..20) {
+        prop_assume!(marked <= total && n <= total);
+        let a = hypergeometric_tail(total, marked, n, k);
+        let b = hypergeometric_tail(total, n, marked, k);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,481 @@
+//! Dependency-free SVG line charts.
+//!
+//! The benchmark harness regenerates the paper's figures as data series;
+//! this crate renders them to standalone SVG so Figure 7's sweeps and the
+//! Figure 8–10 cluster curves exist as actual images, not just CSV.
+//!
+//! The API is a small builder:
+//!
+//! ```
+//! use tricluster_plot::Chart;
+//!
+//! let svg = Chart::new("runtime vs genes", "genes per cluster", "seconds")
+//!     .series("tricluster", &[(50.0, 3.7), (100.0, 6.5), (150.0, 8.8)])
+//!     .render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("polyline"));
+//! ```
+//!
+//! [`SubplotGrid`] composes several charts into one figure (the paper's
+//! Figure 7 is a 2×3 grid; Figures 8–10 are per-slice grids).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ticks;
+
+pub use ticks::nice_ticks;
+
+/// Categorical palette (colorblind-safe Okabe–Ito).
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// One data series.
+#[derive(Debug, Clone)]
+struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A single line chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: f64,
+    height: f64,
+    series: Vec<Series>,
+    y_from_zero: bool,
+    show_legend: bool,
+}
+
+impl Chart {
+    /// Creates a chart with the given title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 420.0,
+            height: 300.0,
+            series: Vec::new(),
+            y_from_zero: true,
+            show_legend: true,
+        }
+    }
+
+    /// Sets the canvas size in pixels (default 420 × 300).
+    pub fn size(mut self, width: f64, height: f64) -> Self {
+        assert!(width > 60.0 && height > 60.0, "canvas too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a named series. Points need not be sorted; they are drawn in
+    /// the given order. Non-finite points are skipped.
+    pub fn series(mut self, label: impl Into<String>, points: &[(f64, f64)]) -> Self {
+        self.series.push(Series {
+            label: label.into(),
+            points: points
+                .iter()
+                .copied()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .collect(),
+        });
+        self
+    }
+
+    /// Whether the y axis starts at zero (default) or at the data minimum.
+    pub fn y_from_zero(mut self, from_zero: bool) -> Self {
+        self.y_from_zero = from_zero;
+        self
+    }
+
+    /// Shows or hides the legend (default shown).
+    pub fn legend(mut self, show: bool) -> Self {
+        self.show_legend = show;
+        self
+    }
+
+    fn data_bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        if xs.is_empty() {
+            return None;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in &xs {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+        }
+        for &y in &ys {
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if self.y_from_zero {
+            y0 = y0.min(0.0);
+        }
+        // degenerate spans get a symmetric pad so the scale is well-defined
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y0 == y1 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        Some((x0, x1, y0, y1))
+    }
+
+    /// Renders the chart to an SVG string (standalone document).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let w = self.width;
+        let h = self.height;
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+        ));
+        out.push_str(&format!(
+            "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n"
+        ));
+        self.render_into(&mut out, 0.0, 0.0);
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Renders the chart contents translated by `(dx, dy)` into `out`
+    /// (used by [`SubplotGrid`]).
+    fn render_into(&self, out: &mut String, dx: f64, dy: f64) {
+        let (ml, mr, mt, mb) = (52.0, 14.0, 28.0, 42.0);
+        let pw = self.width - ml - mr; // plot area
+        let ph = self.height - mt - mb;
+        out.push_str(&format!("<g transform=\"translate({dx},{dy})\">\n"));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"16\" text-anchor=\"middle\" font-size=\"13\">{}</text>\n",
+            self.width / 2.0,
+            escape(&self.title)
+        ));
+        let Some((x0, x1, y0, y1)) = self.data_bounds() else {
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#888\">no data</text>\n",
+                self.width / 2.0,
+                self.height / 2.0
+            ));
+            out.push_str("</g>\n");
+            return;
+        };
+        let sx = move |x: f64| ml + (x - x0) / (x1 - x0) * pw;
+        let sy = move |y: f64| mt + ph - (y - y0) / (y1 - y0) * ph;
+
+        // axes
+        out.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>\n",
+            mt + ph,
+            ml + pw,
+            mt + ph
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{}\" stroke=\"#333\"/>\n",
+            mt + ph
+        ));
+        // ticks + grid
+        for t in nice_ticks(x0, x1, 6) {
+            let px = sx(t);
+            out.push_str(&format!(
+                "<line x1=\"{px}\" y1=\"{}\" x2=\"{px}\" y2=\"{}\" stroke=\"#333\"/>\n",
+                mt + ph,
+                mt + ph + 4.0
+            ));
+            out.push_str(&format!(
+                "<text x=\"{px}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+                mt + ph + 16.0,
+                fmt_tick(t)
+            ));
+        }
+        for t in nice_ticks(y0, y1, 5) {
+            let py = sy(t);
+            out.push_str(&format!(
+                "<line x1=\"{}\" y1=\"{py}\" x2=\"{}\" y2=\"{py}\" stroke=\"#ddd\"/>\n",
+                ml,
+                ml + pw
+            ));
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>\n",
+                ml - 6.0,
+                py + 3.5,
+                fmt_tick(t)
+            ));
+        }
+        // axis labels
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            ml + pw / 2.0,
+            self.height - 8.0,
+            escape(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "<text x=\"14\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 14 {})\">{}</text>\n",
+            mt + ph / 2.0,
+            mt + ph / 2.0,
+            escape(&self.y_label)
+        ));
+        // series
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            if s.points.is_empty() {
+                continue;
+            }
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                .collect();
+            out.push_str(&format!(
+                "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\" points=\"{}\"/>\n",
+                pts.join(" ")
+            ));
+            for &(x, y) in &s.points {
+                out.push_str(&format!(
+                    "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"2.4\" fill=\"{color}\"/>\n",
+                    sx(x),
+                    sy(y)
+                ));
+            }
+        }
+        // legend
+        if self.show_legend && self.series.len() > 1 {
+            for (i, s) in self.series.iter().enumerate() {
+                let color = PALETTE[i % PALETTE.len()];
+                let ly = mt + 6.0 + i as f64 * 14.0;
+                out.push_str(&format!(
+                    "<line x1=\"{}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+                    ml + pw - 86.0,
+                    ml + pw - 68.0
+                ));
+                out.push_str(&format!(
+                    "<text x=\"{}\" y=\"{}\">{}</text>\n",
+                    ml + pw - 64.0,
+                    ly + 3.5,
+                    escape(&s.label)
+                ));
+            }
+        }
+        out.push_str("</g>\n");
+    }
+}
+
+/// A grid of charts rendered as one SVG document.
+#[derive(Debug, Clone, Default)]
+pub struct SubplotGrid {
+    charts: Vec<Chart>,
+    columns: usize,
+}
+
+impl SubplotGrid {
+    /// Creates a grid with the given number of columns.
+    pub fn new(columns: usize) -> Self {
+        assert!(columns >= 1, "at least one column");
+        SubplotGrid {
+            charts: Vec::new(),
+            columns,
+        }
+    }
+
+    /// Appends a chart (fills row-major).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, chart: Chart) -> Self {
+        self.charts.push(chart);
+        self
+    }
+
+    /// Renders the grid to a standalone SVG document.
+    pub fn render(&self) -> String {
+        if self.charts.is_empty() {
+            return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"10\" height=\"10\"/>\n"
+                .to_string();
+        }
+        let cell_w = self
+            .charts
+            .iter()
+            .map(|c| c.width)
+            .fold(0.0f64, f64::max);
+        let cell_h = self
+            .charts
+            .iter()
+            .map(|c| c.height)
+            .fold(0.0f64, f64::max);
+        let rows = self.charts.len().div_ceil(self.columns);
+        let w = cell_w * self.columns as f64;
+        let h = cell_h * rows as f64;
+        let mut out = String::with_capacity(8192 * self.charts.len());
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+        ));
+        out.push_str(&format!(
+            "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n"
+        ));
+        for (i, chart) in self.charts.iter().enumerate() {
+            let col = (i % self.columns) as f64;
+            let row = (i / self.columns) as f64;
+            chart.render_into(&mut out, col * cell_w, row * cell_h);
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(0.01..1000.0).contains(&a) {
+        format!("{v:.1e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basic_chart() -> Chart {
+        Chart::new("runtime", "genes", "seconds")
+            .series("a", &[(1.0, 2.0), (2.0, 3.0), (3.0, 2.5)])
+    }
+
+    #[test]
+    fn render_is_valid_svg_shell() {
+        let svg = basic_chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn contains_title_labels_and_series() {
+        let svg = basic_chart().render();
+        assert!(svg.contains(">runtime<"));
+        assert!(svg.contains(">genes<"));
+        assert!(svg.contains(">seconds<"));
+        assert!(svg.contains("polyline"));
+        assert_eq!(svg.matches("<circle").count(), 3, "one marker per point");
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_colors_and_legend() {
+        let svg = Chart::new("t", "x", "y")
+            .series("first", &[(0.0, 1.0), (1.0, 2.0)])
+            .series("second", &[(0.0, 2.0), (1.0, 1.0)])
+            .render();
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+        assert!(svg.contains(">first<"));
+        assert!(svg.contains(">second<"));
+    }
+
+    #[test]
+    fn single_series_hides_legend() {
+        let svg = basic_chart().render();
+        assert!(!svg.contains(">a<"), "no legend for a single series");
+    }
+
+    #[test]
+    fn empty_chart_reports_no_data() {
+        let svg = Chart::new("t", "x", "y").render();
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn nonfinite_points_are_skipped() {
+        let svg = Chart::new("t", "x", "y")
+            .series("s", &[(0.0, f64::NAN), (1.0, 1.0), (f64::INFINITY, 2.0), (2.0, 3.0)])
+            .render();
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn degenerate_single_point_renders() {
+        let svg = Chart::new("t", "x", "y")
+            .series("s", &[(5.0, 5.0)])
+            .render();
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"), "no NaN coordinates: {svg}");
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = Chart::new("a < b & c", "x", "y")
+            .series("s", &[(0.0, 1.0)])
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn grid_composes_charts() {
+        let grid = SubplotGrid::new(2)
+            .add(basic_chart())
+            .add(basic_chart())
+            .add(basic_chart());
+        let svg = grid.render();
+        assert_eq!(svg.matches("<svg").count(), 1, "one document");
+        assert_eq!(svg.matches(">runtime<").count(), 3, "three subplots");
+        // 2 columns x 2 rows of 420x300 cells
+        assert!(svg.contains("width=\"840\""));
+        assert!(svg.contains("height=\"600\""));
+        assert!(svg.contains("translate(420,0)"));
+        assert!(svg.contains("translate(0,300)"));
+    }
+
+    #[test]
+    fn empty_grid_renders_stub() {
+        let svg = SubplotGrid::new(3).render();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_panics() {
+        SubplotGrid::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_panics() {
+        Chart::new("t", "x", "y").size(10.0, 10.0);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(5.0), "5");
+        assert_eq!(fmt_tick(2.5), "2.50");
+        assert_eq!(fmt_tick(12000.0), "1.2e4");
+        assert_eq!(fmt_tick(0.001), "1.0e-3");
+    }
+}

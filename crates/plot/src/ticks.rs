@@ -1,0 +1,115 @@
+//! "Nice numbers" axis tick selection (Heckbert's algorithm).
+
+/// Returns at most `max_ticks + 1` tick positions covering `[lo, hi]`,
+/// snapped to 1/2/5 × 10^k step sizes. Returns an empty vector for
+/// degenerate or non-finite input.
+pub fn nice_ticks(lo: f64, hi: f64, max_ticks: usize) -> Vec<f64> {
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo || max_ticks == 0 {
+        return Vec::new();
+    }
+    let span = nice_number(hi - lo, false);
+    let step = nice_number(span / (max_ticks as f64), true);
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    // guard against FP drift producing an extra tick
+    while t <= hi + step * 1e-9 {
+        // snap -0.0 and FP noise near zero
+        out.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        t += step;
+        if out.len() > max_ticks + 2 {
+            break;
+        }
+    }
+    out
+}
+
+/// The "nice number" ≥ (round=false) or ≈ (round=true) `x`: 1, 2, or 5
+/// times a power of ten.
+fn nice_number(x: f64, round: bool) -> f64 {
+    let exp = x.log10().floor();
+    let frac = x / 10f64.powf(exp);
+    let nice = if round {
+        match frac {
+            f if f < 1.5 => 1.0,
+            f if f < 3.0 => 2.0,
+            f if f < 7.0 => 5.0,
+            _ => 10.0,
+        }
+    } else {
+        match frac {
+            f if f <= 1.0 => 1.0,
+            f if f <= 2.0 => 2.0,
+            f if f <= 5.0 => 5.0,
+            _ => 10.0,
+        }
+    };
+    nice * 10f64.powf(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_range() {
+        let t = nice_ticks(0.0, 10.0, 5);
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn fractional_range() {
+        let t = nice_ticks(0.0, 1.0, 5);
+        assert_eq!(t, vec![0.0, 0.2, 0.4, 0.6000000000000001, 0.8, 1.0]);
+    }
+
+    #[test]
+    fn offset_range_starts_inside() {
+        let t = nice_ticks(3.2, 17.8, 6);
+        assert!(t.first().copied().unwrap() >= 3.2);
+        assert!(t.last().copied().unwrap() <= 17.8 + 1e-9);
+        assert!(t.len() >= 3);
+    }
+
+    #[test]
+    fn negative_range() {
+        let t = nice_ticks(-10.0, 10.0, 4);
+        assert!(t.contains(&0.0));
+        assert!(t.iter().all(|&v| (-10.0..=10.0).contains(&v)));
+    }
+
+    #[test]
+    fn tiny_range() {
+        let t = nice_ticks(0.001, 0.002, 5);
+        assert!(!t.is_empty());
+        assert!(t.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(nice_ticks(1.0, 1.0, 5).is_empty());
+        assert!(nice_ticks(2.0, 1.0, 5).is_empty());
+        assert!(nice_ticks(f64::NAN, 1.0, 5).is_empty());
+        assert!(nice_ticks(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn tick_count_bounded() {
+        for (lo, hi) in [(0.0, 7.0), (0.0, 97.0), (5.0, 2300.0), (-3.3, 4.7)] {
+            let t = nice_ticks(lo, hi, 6);
+            assert!(t.len() <= 8, "too many ticks for ({lo}, {hi}): {t:?}");
+            assert!(t.len() >= 2, "too few ticks for ({lo}, {hi}): {t:?}");
+        }
+    }
+
+    #[test]
+    fn nice_number_values() {
+        assert_eq!(nice_number(1.0, false), 1.0);
+        assert_eq!(nice_number(3.0, false), 5.0);
+        assert_eq!(nice_number(7.0, false), 10.0);
+        assert_eq!(nice_number(2.9, true), 2.0);
+        assert_eq!(nice_number(3.0, true), 5.0, "Heckbert boundary: 3 rounds up");
+        assert_eq!(nice_number(69.0, true), 50.0);
+        assert_eq!(nice_number(70.0, true), 100.0, "Heckbert boundary: 7 rounds up");
+    }
+}

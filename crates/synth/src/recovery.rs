@@ -1,0 +1,163 @@
+//! Recovery scoring: how well do mined clusters match the embedded truth?
+//!
+//! Each truth cluster is matched to the mined cluster with the highest
+//! *cell Jaccard* similarity `|L_A ∩ L_B| / |L_A ∪ L_B|` (both spans are
+//! axis-aligned boxes, so the intersection is a product of per-dimension
+//! intersections). From the per-truth best matches we report recall,
+//! precision (fraction of mined clusters that are someone's ≥-threshold
+//! match), and F1.
+
+use tricluster_core::{span, Tricluster};
+
+/// Jaccard similarity of two cluster spans.
+pub fn span_jaccard(a: &Tricluster, b: &Tricluster) -> f64 {
+    let inter = span::intersection_size(a, b);
+    let union = a.span_size() + b.span_size() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Result of matching mined clusters against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Best Jaccard score per truth cluster (same order as the truth list).
+    pub best_match: Vec<f64>,
+    /// Truth clusters with a match `≥ threshold`, divided by truth count.
+    pub recall: f64,
+    /// Mined clusters that are a `≥ threshold` match of some truth cluster,
+    /// divided by mined count.
+    pub precision: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// The threshold used.
+    pub threshold: f64,
+}
+
+/// Scores `mined` clusters against `truth` at the given Jaccard threshold.
+pub fn score(truth: &[Tricluster], mined: &[Tricluster], threshold: f64) -> RecoveryReport {
+    let best_match: Vec<f64> = truth
+        .iter()
+        .map(|t| {
+            mined
+                .iter()
+                .map(|m| span_jaccard(t, m))
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let recovered = best_match.iter().filter(|&&j| j >= threshold).count();
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        recovered as f64 / truth.len() as f64
+    };
+    let matched_mined = mined
+        .iter()
+        .filter(|m| truth.iter().any(|t| span_jaccard(t, m) >= threshold))
+        .count();
+    let precision = if mined.is_empty() {
+        if truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        matched_mined as f64 / mined.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    RecoveryReport {
+        best_match,
+        recall,
+        precision,
+        f1,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tricluster_bitset::BitSet;
+
+    fn mk(g: &[usize], s: &[usize], t: &[usize]) -> Tricluster {
+        Tricluster::new(
+            BitSet::from_indices(100, g.iter().copied()),
+            s.to_vec(),
+            t.to_vec(),
+        )
+    }
+
+    #[test]
+    fn identical_clusters_jaccard_one() {
+        let a = mk(&[0, 1, 2], &[0, 1], &[0]);
+        assert_eq!(span_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_clusters_jaccard_zero() {
+        let a = mk(&[0, 1], &[0], &[0]);
+        let b = mk(&[2, 3], &[1], &[1]);
+        assert_eq!(span_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_jaccard() {
+        let a = mk(&[0, 1], &[0, 1], &[0]); // 4 cells
+        let b = mk(&[1, 2], &[0, 1], &[0]); // 4 cells, 2 shared
+        assert!((span_jaccard(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_recovery() {
+        let truth = vec![mk(&[0, 1], &[0], &[0]), mk(&[2, 3], &[1], &[1])];
+        let report = score(&truth, &truth, 0.99);
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.precision, 1.0);
+        assert_eq!(report.f1, 1.0);
+        assert_eq!(report.best_match, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_cluster_reduces_recall() {
+        let truth = vec![mk(&[0, 1], &[0], &[0]), mk(&[2, 3], &[1], &[1])];
+        let mined = vec![truth[0].clone()];
+        let report = score(&truth, &mined, 0.99);
+        assert_eq!(report.recall, 0.5);
+        assert_eq!(report.precision, 1.0);
+        assert!((report.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_cluster_reduces_precision() {
+        let truth = vec![mk(&[0, 1], &[0], &[0])];
+        let mined = vec![truth[0].clone(), mk(&[50, 51], &[3], &[2])];
+        let report = score(&truth, &mined, 0.99);
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.precision, 0.5);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let report = score(&[], &[], 0.5);
+        assert_eq!(report.recall, 1.0);
+        assert_eq!(report.precision, 1.0);
+        let truth = vec![mk(&[0], &[0], &[0])];
+        let report = score(&truth, &[], 0.5);
+        assert_eq!(report.recall, 0.0);
+        assert_eq!(report.precision, 0.0);
+        assert_eq!(report.f1, 0.0);
+    }
+
+    #[test]
+    fn threshold_gates_matches() {
+        let truth = vec![mk(&[0, 1], &[0, 1], &[0])];
+        let mined = vec![mk(&[1, 2], &[0, 1], &[0])]; // jaccard 1/3
+        assert_eq!(score(&truth, &mined, 0.3).recall, 1.0);
+        assert_eq!(score(&truth, &mined, 0.4).recall, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the synthetic generator: every embedded cluster must
+//! be coherent at the suggested ε, regardless of spec.
+
+use proptest::prelude::*;
+use tricluster_core::validate::is_coherent_region;
+use tricluster_synth::{generate, recovery, SynthSpec};
+
+fn arb_spec() -> impl Strategy<Value = SynthSpec> {
+    (
+        1usize..5,       // clusters
+        0.0f64..1.0,     // overlap
+        0.0f64..0.05,    // noise
+        0u64..1000,      // seed
+        8usize..20,      // cluster genes
+        3usize..5,       // cluster samples
+        2usize..4,       // cluster times
+    )
+        .prop_map(|(k, overlap, noise, seed, gx, sy, tz)| SynthSpec {
+            n_genes: 40 * k + 60,
+            n_samples: 12,
+            n_times: 8,
+            n_clusters: k,
+            overlap_fraction: overlap,
+            gene_range: (gx, gx),
+            sample_range: (sy, sy),
+            time_range: (tz, tz),
+            noise,
+            seed,
+            ..SynthSpec::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn embedded_clusters_are_coherent(spec in arb_spec()) {
+        let ds = generate(&spec);
+        prop_assert_eq!(ds.truth.len(), spec.n_clusters);
+        let eps = spec.suggested_epsilon();
+        for c in &ds.truth {
+            prop_assert!(
+                is_coherent_region(&ds.matrix, &c.genes, &c.samples, &c.times, eps, eps),
+                "incoherent embedded cluster for spec {:?}: {:?}",
+                spec, c
+            );
+        }
+    }
+
+    #[test]
+    fn truth_shapes_respect_spec(spec in arb_spec()) {
+        let ds = generate(&spec);
+        for c in &ds.truth {
+            let (x, y, z) = c.shape();
+            prop_assert_eq!(x, spec.gene_range.0);
+            prop_assert_eq!(y, spec.sample_range.0);
+            prop_assert_eq!(z, spec.time_range.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.matrix, b.matrix);
+        prop_assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn self_recovery_is_perfect(spec in arb_spec()) {
+        // scoring the truth against itself: recall = precision = 1
+        let ds = generate(&spec);
+        let report = recovery::score(&ds.truth, &ds.truth, 0.999);
+        prop_assert_eq!(report.recall, 1.0);
+        prop_assert_eq!(report.precision, 1.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(spec in arb_spec()) {
+        let ds = generate(&spec);
+        for a in &ds.truth {
+            for b in &ds.truth {
+                let j1 = recovery::span_jaccard(a, b);
+                let j2 = recovery::span_jaccard(b, a);
+                prop_assert!((j1 - j2).abs() < 1e-12);
+                prop_assert!((0.0..=1.0).contains(&j1));
+            }
+            prop_assert_eq!(recovery::span_jaccard(a, a), 1.0);
+        }
+    }
+}

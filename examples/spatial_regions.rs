@@ -1,0 +1,89 @@
+//! The paper's closing use case: the third dimension need not be time —
+//! with `gene × region × time` data, TriCluster "can find interesting
+//! expression patterns in different regions at different times".
+//!
+//! Here the axes are genes × spatial regions (tissue sections) × time
+//! points: a gene module activates in a *subset of regions* during a
+//! *window of time*, and the miner localizes it in both.
+//!
+//! ```sh
+//! cargo run --release --example spatial_regions
+//! ```
+
+use tricluster::bitset::BitSet;
+use tricluster::prelude::*;
+
+fn main() {
+    let (matrix, truth, region_names) = build_spatial_dataset();
+    println!(
+        "dataset: {} genes x {} regions x {} time points",
+        matrix.n_genes(),
+        matrix.n_samples(),
+        matrix.n_times()
+    );
+    println!("embedded: a 35-gene module active in 3 of 8 regions, times 2..6\n");
+
+    let params = Params::builder()
+        .epsilon(0.002)
+        .min_size(25, 3, 3)
+        .build()
+        .unwrap();
+    let result = mine(&matrix, &params);
+
+    println!("mined {} clusters:", result.triclusters.len());
+    for (i, c) in result.triclusters.iter().enumerate() {
+        let regions: Vec<&str> = c.samples.iter().map(|&s| region_names[s]).collect();
+        let times: Vec<String> = c.times.iter().map(|&t| format!("t{t}")).collect();
+        println!(
+            "  cluster {i}: {} genes, regions [{}], times [{}]",
+            c.genes.count(),
+            regions.join(", "),
+            times.join(", ")
+        );
+    }
+
+    let report = recovery::score(&truth, &result.triclusters, 0.9);
+    println!(
+        "\nlocalization recovered exactly: recall {:.0}%, precision {:.0}%",
+        report.recall * 100.0,
+        report.precision * 100.0
+    );
+}
+
+fn build_spatial_dataset() -> (Matrix3, Vec<Tricluster>, Vec<&'static str>) {
+    let regions = vec![
+        "cortex", "striatum", "thalamus", "hippocampus", "cerebellum", "midbrain", "pons",
+        "medulla",
+    ];
+    let (ng, nr, nt) = (400, regions.len(), 10);
+    let mut m = Matrix3::zeros(ng, nr, nt);
+    // background: bounded pseudo-random positive expression
+    let mut state = 0x5EED_CAFEu64;
+    m.map_in_place(|_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        0.5 + (state % 10_000) as f64 / 500.0
+    });
+    // module: genes 50..85 in regions {hippocampus, cerebellum, midbrain}
+    // during times 2..=6, with a rising-falling activation profile
+    let module_genes: Vec<usize> = (50..85).collect();
+    let module_regions = [3usize, 4, 5];
+    let module_times: Vec<usize> = (2..7).collect();
+    let profile = [0.6, 1.2, 2.0, 1.4, 0.8]; // activation over the window
+    for (gi, &g) in module_genes.iter().enumerate() {
+        let gene_level = 1.0 + gi as f64 * 0.07;
+        for (ri, &r) in module_regions.iter().enumerate() {
+            let region_gain = 1.0 + ri as f64 * 0.45;
+            for (ti, &t) in module_times.iter().enumerate() {
+                m.set(g, r, t, gene_level * region_gain * profile[ti]);
+            }
+        }
+    }
+    let truth = vec![Tricluster::new(
+        BitSet::from_indices(ng, module_genes),
+        module_regions.to_vec(),
+        module_times,
+    )];
+    (m, truth, regions)
+}

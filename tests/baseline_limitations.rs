@@ -1,0 +1,174 @@
+//! §3 of the paper argues the prior methods each miss something TriCluster
+//! captures. This test makes those arguments executable on one shared
+//! scenario: a scaling tricluster living in a *subset* of samples and a
+//! *subset* of time points, with a second overlapping cluster.
+
+use tricluster::baselines::{chengchurch, jiang, opsm, xmotif};
+use tricluster::bitset::BitSet;
+use tricluster::prelude::*;
+
+/// 60 genes x 8 samples x 6 times. Genes 0..=19 scale over samples 0..=3 at
+/// times 1..=3; genes 10..=29 scale over samples 4..=7 at times 2..=4
+/// (overlapping genes 10..=19 with the first cluster).
+fn scenario() -> (Matrix3, Vec<Tricluster>) {
+    let mut m = Matrix3::zeros(60, 8, 6);
+    let mut state = 0xFACADEu64;
+    m.map_in_place(|_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        0.5 + (state % 9000) as f64 / 300.0
+    });
+    let fill = |m: &mut Matrix3, genes: std::ops::Range<usize>, samples: &[usize], times: &[usize], salt: f64| {
+        for g in genes {
+            for (si, &s) in samples.iter().enumerate() {
+                for (ti, &t) in times.iter().enumerate() {
+                    let v = (1.0 + (g % 10) as f64 * 0.2 + salt)
+                        * (1.0 + si as f64 * 0.5)
+                        * (1.0 + ti as f64 * 0.3);
+                    m.set(g, s, t, v);
+                }
+            }
+        }
+    };
+    fill(&mut m, 0..20, &[0, 1, 2, 3], &[1, 2, 3], 0.0);
+    fill(&mut m, 10..30, &[4, 5, 6, 7], &[2, 3, 4], 3.0);
+    let truth = vec![
+        Tricluster::new(BitSet::from_indices(60, 0..20), vec![0, 1, 2, 3], vec![1, 2, 3]),
+        Tricluster::new(BitSet::from_indices(60, 10..30), vec![4, 5, 6, 7], vec![2, 3, 4]),
+    ];
+    (m, truth)
+}
+
+/// TriCluster itself: both overlapping clusters, exactly localized.
+#[test]
+fn tricluster_finds_both_overlapping_clusters() {
+    let (m, truth) = scenario();
+    let params = Params::builder()
+        .epsilon(0.001)
+        .min_size(15, 4, 3)
+        .build()
+        .unwrap();
+    let result = mine(&m, &params);
+    let report = recovery::score(&truth, &result.triclusters, 0.95);
+    assert_eq!(report.recall, 1.0, "{:?}", result.triclusters);
+    assert_eq!(report.precision, 1.0);
+}
+
+/// §3.1 (Jiang et al.): the time dimension is used in full space, so a
+/// pattern holding on 3 of 6 time points is invisible.
+#[test]
+fn jiang_misses_time_subset_patterns() {
+    let (m, _) = scenario();
+    let found = jiang::mine_gene_sample_clusters(
+        &m,
+        &jiang::JiangParams {
+            min_correlation: 0.95,
+            min_genes: 15,
+            min_samples: 4,
+        },
+    );
+    assert!(
+        found.is_empty(),
+        "full-time correlation should find nothing here: {found:?}"
+    );
+}
+
+/// §3.3 (Cheng–Church): greedy + masking returns one cluster per pass and
+/// its random masking perturbs overlapping structure — it cannot *enumerate*
+/// the two maximal overlapping clusters the way TriCluster does. We assert
+/// the structural weakness (its output is not the two ground-truth gene
+/// sets), not that it finds nothing.
+#[test]
+fn chengchurch_does_not_enumerate_overlaps() {
+    let (m, truth) = scenario();
+    // run on the slice where both clusters are active
+    let slice = m.time_slice(2);
+    let found = chengchurch::mine_delta_biclusters(
+        &slice,
+        &chengchurch::CcParams {
+            delta: 0.5,
+            n_clusters: 2,
+            min_rows: 10,
+            min_cols: 3,
+            mask_range: (0.0, 40.0),
+            ..Default::default()
+        },
+    );
+    let truth_sets: Vec<Vec<usize>> = truth.iter().map(|c| c.genes.to_vec()).collect();
+    let exact_matches = found
+        .iter()
+        .filter(|bc| truth_sets.contains(&bc.rows))
+        .count();
+    assert!(
+        exact_matches < 2,
+        "greedy masking should not cleanly enumerate both overlapping \
+         clusters: {found:?}"
+    );
+}
+
+/// §3.3 (xMotif): Monte Carlo sampling — single-draw runs disagree across
+/// seeds. (xMotif's pattern class is *conserved* rows, so this check uses a
+/// matrix with two disjoint conserved blocks; a single random draw lands in
+/// one, the other, or neither.)
+#[test]
+fn xmotif_is_seed_dependent() {
+    let mut rows = Vec::new();
+    for g in 0..4 {
+        let level = 1.0 + g as f64;
+        let mut row = vec![level, level, level];
+        row.extend([40.0 + g as f64 * 9.0, 55.0, 71.0 + g as f64 * 3.0]);
+        rows.push(row);
+    }
+    for g in 0..4 {
+        let level = 10.0 + g as f64;
+        rows.push(vec![
+            90.0 - g as f64 * 7.0,
+            63.0 + g as f64 * 2.0,
+            48.0 + g as f64 * 5.0,
+            level,
+            level,
+            level,
+        ]);
+    }
+    let slice = Matrix2::from_rows(&rows);
+    let outcomes: std::collections::HashSet<Option<(usize, Vec<usize>)>> = (0..10)
+        .map(|seed| {
+            xmotif::mine_xmotifs(
+                &slice,
+                &xmotif::XMotifParams {
+                    alpha: 0.01,
+                    iterations: 1,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .map(|motif| (motif.size(), motif.samples))
+        })
+        .collect();
+    assert!(outcomes.len() > 1, "{outcomes:?}");
+}
+
+/// §3.3 (OPSM): the beam search is incomplete relative to the exact search
+/// on small inputs — and it mines a different pattern class altogether
+/// (orders, not ratios), so it reports row orders rather than the scaling
+/// clusters.
+#[test]
+fn opsm_beam_bounded_by_exact() {
+    let (m, _) = scenario();
+    let slice = m.time_slice(2);
+    // restrict to 6 columns for the exact reference
+    let small = slice.submatrix(&(0..20).collect::<Vec<_>>(), &[0, 1, 2, 3, 4, 5]);
+    let exact = opsm::mine_opsm_exact(&small, 3, 1).unwrap();
+    for beam in [1, 2, 8, 64] {
+        let found = opsm::mine_opsm_beam(&small, 3, beam, 1);
+        if let Some(best) = found.first() {
+            assert!(
+                best.support() <= exact.support(),
+                "beam {beam} exceeded exact support"
+            );
+        }
+    }
+    let wide = opsm::mine_opsm_beam(&small, 3, 64, 1);
+    assert_eq!(wide[0].support(), exact.support(), "wide beam reaches exact");
+}
