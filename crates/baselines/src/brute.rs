@@ -116,7 +116,9 @@ mod tests {
             }
         }
         // genes 2,3: arbitrary incoherent values
-        let noise = [7.3, 11.9, 5.1, 13.7, 8.9, 10.3, 6.7, 12.1, 9.7, 5.9, 11.3, 7.9];
+        let noise = [
+            7.3, 11.9, 5.1, 13.7, 8.9, 10.3, 6.7, 12.1, 9.7, 5.9, 11.3, 7.9,
+        ];
         let mut k = 0;
         for g in 2..4 {
             for s in 0..3 {

@@ -258,7 +258,11 @@ pub fn mine_delta_biclusters(m: &Matrix2, params: &CcParams) -> Vec<DeltaBiclust
         // mask the found bicluster
         for &r in &bc.rows {
             for &c in &bc.cols {
-                work.set(r, c, rng.gen_range(params.mask_range.0..=params.mask_range.1));
+                work.set(
+                    r,
+                    c,
+                    rng.gen_range(params.mask_range.0..=params.mask_range.1),
+                );
             }
         }
         out.push(bc);
@@ -364,7 +368,10 @@ mod tests {
         );
         assert_eq!(found.len(), 2);
         // the two clusters should not coincide
-        assert_ne!((&found[0].rows, &found[0].cols), (&found[1].rows, &found[1].cols));
+        assert_ne!(
+            (&found[0].rows, &found[0].cols),
+            (&found[1].rows, &found[1].cols)
+        );
     }
 
     #[test]

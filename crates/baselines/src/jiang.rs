@@ -236,8 +236,9 @@ mod tests {
         let m = fixture();
         let found = mine_gene_sample_clusters(&m, &JiangParams::default());
         assert!(
-            found.iter().any(|c| c.genes.to_vec() == vec![0, 1, 2]
-                && c.samples == vec![0, 1]),
+            found
+                .iter()
+                .any(|c| c.genes.to_vec() == vec![0, 1, 2] && c.samples == vec![0, 1]),
             "{found:?}"
         );
     }

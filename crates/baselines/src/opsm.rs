@@ -50,12 +50,7 @@ pub fn supporting_rows(m: &Matrix2, order: &[usize]) -> BitSet {
 /// Grows models of size `2, 3, …, k` keeping the `beam` highest-support
 /// models at each size; returns the best full models of size `k` with
 /// support at least `min_rows` (sorted by support, descending).
-pub fn mine_opsm_beam(
-    m: &Matrix2,
-    k: usize,
-    beam: usize,
-    min_rows: usize,
-) -> Vec<Opsm> {
+pub fn mine_opsm_beam(m: &Matrix2, k: usize, beam: usize, min_rows: usize) -> Vec<Opsm> {
     let n_cols = m.cols();
     assert!(k >= 2, "an order needs at least two columns");
     assert!(beam >= 1, "beam width must be at least 1");

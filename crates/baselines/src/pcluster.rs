@@ -53,12 +53,7 @@ struct Window {
 
 /// Mines all maximal pClusters of `m` with pScore bound `delta` and minimum
 /// shape `min_rows × min_cols`.
-pub fn mine_pclusters(
-    m: &Matrix2,
-    delta: f64,
-    min_rows: usize,
-    min_cols: usize,
-) -> Vec<PCluster> {
+pub fn mine_pclusters(m: &Matrix2, delta: f64, min_rows: usize, min_cols: usize) -> Vec<PCluster> {
     assert!(delta >= 0.0, "delta must be non-negative");
     assert!(min_rows >= 1 && min_cols >= 1);
     let (n_rows, n_cols) = m.dims();
@@ -104,7 +99,13 @@ pub fn mine_pclusters(
 
 /// Maximal windows of width ≤ delta over the sorted per-row differences
 /// `d_ra − d_rb`.
-fn column_pair_windows(m: &Matrix2, a: usize, b: usize, delta: f64, min_rows: usize) -> Vec<Window> {
+fn column_pair_windows(
+    m: &Matrix2,
+    a: usize,
+    b: usize,
+    delta: f64,
+    min_rows: usize,
+) -> Vec<Window> {
     let n_rows = m.rows();
     let mut diffs: Vec<(f64, usize)> = (0..n_rows)
         .map(|r| (m.get(r, a) - m.get(r, b), r))
@@ -160,7 +161,16 @@ fn enumerate(
         if cols.is_empty() {
             cols.push(b);
             enumerate(
-                m, pair_windows, rows, cols, b + 1, n_cols, delta, min_rows, min_cols, results,
+                m,
+                pair_windows,
+                rows,
+                cols,
+                b + 1,
+                n_cols,
+                delta,
+                min_rows,
+                min_cols,
+                results,
             );
             cols.pop();
             continue;
@@ -175,7 +185,15 @@ fn enumerate(
                 if seen.insert(acc.as_blocks().to_vec()) {
                     cols.push(b);
                     enumerate(
-                        m, pair_windows, &acc, cols, b + 1, n_cols, delta, min_rows, min_cols,
+                        m,
+                        pair_windows,
+                        &acc,
+                        cols,
+                        b + 1,
+                        n_cols,
+                        delta,
+                        min_rows,
+                        min_cols,
                         results,
                     );
                     cols.pop();
@@ -203,8 +221,7 @@ pub fn is_pcluster(m: &Matrix2, rows: &[usize], cols: &[usize], delta: f64) -> b
         for &y in &rows[i + 1..] {
             for (j, &a) in cols.iter().enumerate() {
                 for &b in &cols[j + 1..] {
-                    let score =
-                        ((m.get(x, a) - m.get(y, a)) - (m.get(x, b) - m.get(y, b))).abs();
+                    let score = ((m.get(x, a) - m.get(y, a)) - (m.get(x, b) - m.get(y, b))).abs();
                     if score > delta {
                         return false;
                     }

@@ -4,7 +4,7 @@
 //! * extended/split/patched ranges on vs off,
 //! * the merge/prune pass cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tricluster_bench::harness::bench;
 use tricluster_bench::nocache;
 use tricluster_core::bicluster::mine_biclusters;
 use tricluster_core::params::RangeExtension;
@@ -28,13 +28,7 @@ fn spec() -> SynthSpec {
     }
 }
 
-fn configure(group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-}
-
-fn bench_multigraph_vs_nocache(c: &mut Criterion) {
+fn bench_multigraph_vs_nocache() {
     let s = spec();
     let data = generate(&s);
     let params = Params::builder()
@@ -42,25 +36,18 @@ fn bench_multigraph_vs_nocache(c: &mut Criterion) {
         .min_size(20, 3, 2)
         .build()
         .unwrap();
-    let mut group = c.benchmark_group("ablation_multigraph");
-    configure(&mut group);
-    group.bench_function("with_range_multigraph", |b| {
-        b.iter(|| {
-            let rg = build_range_graph(&data.matrix, 0, &params);
-            mine_biclusters(&data.matrix, &rg, &params)
-        })
+    bench("ablation_multigraph/with_range_multigraph", || {
+        let rg = build_range_graph(&data.matrix, 0, &params);
+        mine_biclusters(&data.matrix, &rg, &params)
     });
-    group.bench_function("ranges_recomputed_per_node", |b| {
-        b.iter(|| nocache::mine_biclusters_nocache(&data.matrix, 0, &params))
+    bench("ablation_multigraph/ranges_recomputed_per_node", || {
+        nocache::mine_biclusters_nocache(&data.matrix, 0, &params)
     });
-    group.finish();
 }
 
-fn bench_range_extension(c: &mut Criterion) {
+fn bench_range_extension() {
     let s = spec();
     let data = generate(&s);
-    let mut group = c.benchmark_group("ablation_extension");
-    configure(&mut group);
     for (label, ext) in [
         ("extension_on", RangeExtension::On),
         ("extension_off", RangeExtension::Off),
@@ -71,19 +58,18 @@ fn bench_range_extension(c: &mut Criterion) {
             .range_extension(ext)
             .build()
             .unwrap();
-        group.bench_function(label, |b| b.iter(|| mine(&data.matrix, &params)));
+        bench(&format!("ablation_extension/{label}"), || {
+            mine(&data.matrix, &params)
+        });
     }
-    group.finish();
 }
 
-fn bench_merge_prune(c: &mut Criterion) {
+fn bench_merge_prune() {
     let s = SynthSpec {
         overlap_fraction: 0.6,
         ..spec()
     };
     let data = generate(&s);
-    let mut group = c.benchmark_group("ablation_merge");
-    configure(&mut group);
     let base = Params::builder()
         .epsilon(s.suggested_epsilon())
         .min_size(25, 3, 2);
@@ -95,17 +81,16 @@ fn bench_merge_prune(c: &mut Criterion) {
         })
         .build()
         .unwrap();
-    group.bench_function("without_merge_pass", |b| {
-        b.iter(|| mine(&data.matrix, &without))
+    bench("ablation_merge/without_merge_pass", || {
+        mine(&data.matrix, &without)
     });
-    group.bench_function("with_merge_pass", |b| b.iter(|| mine(&data.matrix, &with)));
-    group.finish();
+    bench("ablation_merge/with_merge_pass", || {
+        mine(&data.matrix, &with)
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_multigraph_vs_nocache,
-    bench_range_extension,
-    bench_merge_prune
-);
-criterion_main!(benches);
+fn main() {
+    bench_multigraph_vs_nocache();
+    bench_range_extension();
+    bench_merge_prune();
+}

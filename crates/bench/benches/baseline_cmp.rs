@@ -1,15 +1,15 @@
-//! Criterion bench behind E7: TriCluster's per-slice bicluster phase vs the
-//! pCluster baseline on the same (simulated yeast) slice.
+//! Bench behind E7: TriCluster's per-slice bicluster phase vs the pCluster
+//! baseline on the same (simulated yeast) slice.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tricluster_baselines::pcluster;
+use tricluster_bench::harness::bench;
 use tricluster_core::bicluster::mine_biclusters;
 use tricluster_core::rangegraph::build_range_graph;
 use tricluster_core::Params;
 use tricluster_matrix::Matrix2;
 use tricluster_microarray::yeast::{self, YeastSpec};
 
-fn bench_baselines(c: &mut Criterion) {
+fn main() {
     let ds = yeast::build(&YeastSpec::scaled(1200));
     let params = Params::builder()
         .epsilon(yeast::PAPER_EPSILON)
@@ -27,28 +27,16 @@ fn bench_baselines(c: &mut Criterion) {
     }
     let delta = (1.0 + yeast::PAPER_EPSILON).ln();
 
-    let mut group = c.benchmark_group("baseline_cmp");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.bench_function("tricluster_slice", |b| {
-        b.iter(|| {
-            let rg = build_range_graph(&ds.matrix, 0, &params);
-            mine_biclusters(&ds.matrix, &rg, &params)
-        })
+    bench("baseline_cmp/tricluster_slice", || {
+        let rg = build_range_graph(&ds.matrix, 0, &params);
+        mine_biclusters(&ds.matrix, &rg, &params)
     });
-    group.bench_function("pcluster_slice", |b| {
-        b.iter(|| {
-            pcluster::mine_pclusters(
-                &log_slice,
-                delta,
-                yeast::PAPER_MIN_GENES,
-                yeast::PAPER_MIN_SAMPLES,
-            )
-        })
+    bench("baseline_cmp/pcluster_slice", || {
+        pcluster::mine_pclusters(
+            &log_slice,
+            delta,
+            yeast::PAPER_MIN_GENES,
+            yeast::PAPER_MIN_SAMPLES,
+        )
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_baselines);
-criterion_main!(benches);

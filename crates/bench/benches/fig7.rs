@@ -1,8 +1,8 @@
-//! Criterion benches behind Figure 7: one representative point per
-//! sub-figure dimension, at a scale small enough for statistical sampling.
+//! Benches behind Figure 7: one representative point per sub-figure
+//! dimension, at a scale small enough for repeated sampling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tricluster_bench::fig7_params;
+use tricluster_bench::harness::bench;
 use tricluster_core::mine;
 use tricluster_synth::{generate, SynthSpec};
 
@@ -22,82 +22,49 @@ fn small_base() -> SynthSpec {
     }
 }
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_point(label: &str, spec: &SynthSpec) {
+    let data = generate(spec);
+    let params = fig7_params(spec);
+    bench(&format!("fig7/{label}"), || mine(&data.matrix, &params));
+}
 
+fn main() {
     // (a) genes per cluster
     for gx in [30usize, 60, 90] {
         let mut spec = small_base();
         spec.gene_range = (gx, gx);
         spec.n_genes = gx * 10;
-        let data = generate(&spec);
-        let params = fig7_params(&spec);
-        group.bench_with_input(BenchmarkId::new("a_genes", gx), &gx, |b, _| {
-            b.iter(|| mine(&data.matrix, &params))
-        });
+        bench_point(&format!("a_genes/{gx}"), &spec);
     }
-
     // (b) samples in the matrix
     for ns in [8usize, 12, 16] {
         let mut spec = small_base();
         spec.n_samples = ns;
-        let data = generate(&spec);
-        let params = fig7_params(&spec);
-        group.bench_with_input(BenchmarkId::new("b_samples", ns), &ns, |b, _| {
-            b.iter(|| mine(&data.matrix, &params))
-        });
+        bench_point(&format!("b_samples/{ns}"), &spec);
     }
-
     // (c) time slices
     for nt in [4usize, 6, 8] {
         let mut spec = small_base();
         spec.n_times = nt;
-        let data = generate(&spec);
-        let params = fig7_params(&spec);
-        group.bench_with_input(BenchmarkId::new("c_times", nt), &nt, |b, _| {
-            b.iter(|| mine(&data.matrix, &params))
-        });
+        bench_point(&format!("c_times/{nt}"), &spec);
     }
-
     // (d) number of clusters
     for k in [3usize, 6, 9] {
         let mut spec = small_base();
         spec.n_clusters = k;
         spec.n_genes = 1000.max(k * 120);
-        let data = generate(&spec);
-        let params = fig7_params(&spec);
-        group.bench_with_input(BenchmarkId::new("d_clusters", k), &k, |b, _| {
-            b.iter(|| mine(&data.matrix, &params))
-        });
+        bench_point(&format!("d_clusters/{k}"), &spec);
     }
-
     // (e) overlap %
     for pct in [0usize, 40, 80] {
         let mut spec = small_base();
         spec.overlap_fraction = pct as f64 / 100.0;
-        let data = generate(&spec);
-        let params = fig7_params(&spec);
-        group.bench_with_input(BenchmarkId::new("e_overlap", pct), &pct, |b, _| {
-            b.iter(|| mine(&data.matrix, &params))
-        });
+        bench_point(&format!("e_overlap/{pct}"), &spec);
     }
-
     // (f) noise %
     for noise_pct in [0usize, 2, 4] {
         let mut spec = small_base();
         spec.noise = noise_pct as f64 / 100.0;
-        let data = generate(&spec);
-        let params = fig7_params(&spec);
-        group.bench_with_input(BenchmarkId::new("f_noise", noise_pct), &noise_pct, |b, _| {
-            b.iter(|| mine(&data.matrix, &params))
-        });
+        bench_point(&format!("f_noise/{noise_pct}"), &spec);
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

@@ -1,18 +1,14 @@
 //! Micro-benchmarks of the hot substrates: gene-set intersection (bitset vs
 //! `HashSet<u32>`), ratio-range finding, and maximal-clique enumeration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
+use tricluster_bench::harness::bench;
 use tricluster_bitset::BitSet;
 use tricluster_core::params::RangeExtension;
 use tricluster_core::range::{find_ranges, SignGroup};
 use tricluster_graph::Graph;
 
-fn bench_geneset_intersection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("geneset_intersection");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_geneset_intersection() {
     for n in [1000usize, 8000] {
         let a_items: Vec<usize> = (0..n).step_by(3).collect();
         let b_items: Vec<usize> = (0..n).step_by(5).collect();
@@ -21,24 +17,20 @@ fn bench_geneset_intersection(c: &mut Criterion) {
         let a_hash: HashSet<u32> = a_items.iter().map(|&x| x as u32).collect();
         let b_hash: HashSet<u32> = b_items.iter().map(|&x| x as u32).collect();
 
-        group.bench_with_input(BenchmarkId::new("bitset_and", n), &n, |bench, _| {
-            bench.iter(|| a_bits.intersection_count(&b_bits))
+        bench(&format!("geneset_intersection/bitset_and/{n}"), || {
+            a_bits.intersection_count(&b_bits)
         });
-        group.bench_with_input(BenchmarkId::new("bitset_at_least_50", n), &n, |bench, _| {
-            bench.iter(|| a_bits.intersection_count_at_least(&b_bits, 50))
-        });
-        group.bench_with_input(BenchmarkId::new("hashset_and", n), &n, |bench, _| {
-            bench.iter(|| a_hash.intersection(&b_hash).count())
+        bench(
+            &format!("geneset_intersection/bitset_at_least_50/{n}"),
+            || a_bits.intersection_count_at_least(&b_bits, 50),
+        );
+        bench(&format!("geneset_intersection/hashset_and/{n}"), || {
+            a_hash.intersection(&b_hash).count()
         });
     }
-    group.finish();
 }
 
-fn bench_range_finding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("range_finding");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_range_finding() {
     for n in [1000usize, 8000] {
         // clustered ratios: five tight groups plus uniform background
         let mut ratios: Vec<(f64, usize)> = Vec::with_capacity(n);
@@ -55,22 +47,14 @@ fn bench_range_finding(c: &mut Criterion) {
             ratios.push((r, g));
         }
         for ext in [RangeExtension::On, RangeExtension::Off] {
-            let label = format!("{}_{:?}", n, ext);
-            group.bench_function(BenchmarkId::new("find_ranges", label), |bench| {
-                bench.iter(|| {
-                    find_ranges(&ratios, SignGroup::Positive, 0.003, 50, n, ext)
-                })
+            bench(&format!("range_finding/find_ranges/{n}_{ext:?}"), || {
+                find_ranges(&ratios, SignGroup::Positive, 0.003, 50, n, ext)
             });
         }
     }
-    group.finish();
 }
 
-fn bench_clique_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maximal_cliques");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_clique_enumeration() {
     for n in [20usize, 40] {
         let mut g = Graph::new(n);
         let mut state = 0xDEAD_BEEFu64;
@@ -84,17 +68,14 @@ fn bench_clique_enumeration(c: &mut Criterion) {
                 }
             }
         }
-        group.bench_with_input(BenchmarkId::new("bron_kerbosch", n), &n, |bench, _| {
-            bench.iter(|| g.maximal_cliques())
+        bench(&format!("maximal_cliques/bron_kerbosch/{n}"), || {
+            g.maximal_cliques()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_geneset_intersection,
-    bench_range_finding,
-    bench_clique_enumeration
-);
-criterion_main!(benches);
+fn main() {
+    bench_geneset_intersection();
+    bench_range_finding();
+    bench_clique_enumeration();
+}

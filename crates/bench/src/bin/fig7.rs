@@ -1,10 +1,12 @@
 //! E3 — Figure 7(a)–(f): TriCluster's sensitivity to the synthetic-data
 //! parameters. Prints one CSV series per sub-figure
-//! (`x, seconds, clusters, recall`).
+//! (`x, seconds, clusters, recall`); `--json PATH` additionally writes the
+//! series with per-phase timing breakdowns as a JSON document.
 //!
 //! ```sh
 //! cargo run --release -p tricluster-bench --bin fig7            # scaled
 //! TRICLUSTER_FULL=1 cargo run --release -p tricluster-bench --bin fig7
+//! cargo run --release -p tricluster-bench --bin fig7 -- --json fig7.json
 //! ```
 //!
 //! Expected shapes (paper §5.1): (a) ~linear in genes, (b) exponential in
@@ -12,16 +14,29 @@
 //! cluster count, (e) flat in overlap %, (f) growing with noise.
 
 use tricluster_bench::{fig7_sweeps, full_scale, measure};
+use tricluster_core::obs::json::Json;
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match argv.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: fig7 [--json PATH] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
     let full = full_scale();
     println!(
         "# Figure 7 parameter sensitivity ({} scale)",
         if full { "paper" } else { "scaled-down" }
     );
+    let mut sweeps_json: Vec<Json> = Vec::new();
     for (label, xlabel, points) in fig7_sweeps(full) {
         println!("\n## {label}: time vs {xlabel}");
         println!("{xlabel},seconds,clusters,recall");
+        let mut points_json: Vec<Json> = Vec::new();
         for (x, spec) in points {
             let p = measure(&spec, x);
             println!(
@@ -31,6 +46,27 @@ fn main() {
                 p.clusters,
                 p.recall
             );
+            points_json.push(p.to_json());
         }
+        sweeps_json.push(
+            Json::obj()
+                .with("figure", Json::Str(label.to_string()))
+                .with("x_axis", Json::Str(xlabel.to_string()))
+                .with("points", Json::Arr(points_json)),
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = Json::obj()
+            .with("schema", Json::Str("tricluster.fig7/v1".into()))
+            .with(
+                "scale",
+                Json::Str(if full { "paper" } else { "scaled-down" }.into()),
+            )
+            .with("sweeps", Json::Arr(sweeps_json));
+        if let Err(e) = std::fs::write(&path, doc.render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote per-phase JSON to {path}");
     }
 }

@@ -23,7 +23,10 @@ fn main() -> std::io::Result<()> {
     let full = full_scale();
 
     // ---- Figure 7 ----
-    eprintln!("measuring figure 7 sweeps ({} scale)…", if full { "paper" } else { "scaled" });
+    eprintln!(
+        "measuring figure 7 sweeps ({} scale)…",
+        if full { "paper" } else { "scaled" }
+    );
     let mut grid = SubplotGrid::new(3);
     for (label, xlabel, points) in fig7_sweeps(full) {
         let series: Vec<(f64, f64)> = points

@@ -77,7 +77,5 @@ fn main() {
             cell(GoCategory::Component)
         );
     }
-    println!(
-        "\n# paper example row: C0 (51 genes) — ubiquitin cycle (n=3, p=0.00346), …"
-    );
+    println!("\n# paper example row: C0 (51 genes) — ubiquitin cycle (n=3, p=0.00346), …");
 }

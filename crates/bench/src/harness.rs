@@ -1,0 +1,73 @@
+//! Minimal std-only measurement harness for the `benches/` binaries.
+//!
+//! The build environment is offline, so Criterion is unavailable; this
+//! harness provides the small subset we need: warm-up, repeated timed
+//! runs, and a median/min/mean summary line per benchmark. Benchmarks run
+//! with `cargo bench` exactly as before (the bench targets set
+//! `harness = false`).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group and benchmark id, e.g. `range_finding/find_ranges/8000_On`.
+    pub name: String,
+    /// Number of timed runs.
+    pub runs: usize,
+    /// Fastest run.
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// Arithmetic mean of the runs.
+    pub mean: Duration,
+}
+
+/// Runs `f` repeatedly and reports its timing summary.
+///
+/// The run count adapts to the workload: after one warm-up call, `f` runs
+/// until both `min_runs` executions and roughly 200 ms of total time have
+/// accumulated (capped at `max_runs`).
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    const MIN_RUNS: usize = 5;
+    const MAX_RUNS: usize = 200;
+    const TARGET: Duration = Duration::from_millis(200);
+
+    std::hint::black_box(f()); // warm-up
+    let mut samples: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+    while samples.len() < MIN_RUNS || (samples.len() < MAX_RUNS && started.elapsed() < TARGET) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    let runs = samples.len();
+    let total: Duration = samples.iter().sum();
+    let m = Measurement {
+        name: name.to_string(),
+        runs,
+        min: samples[0],
+        median: samples[runs / 2],
+        mean: total / runs as u32,
+    };
+    println!(
+        "{:<55} median {:>12?}  min {:>12?}  mean {:>12?}  ({} runs)",
+        m.name, m.median, m.min, m.mean, m.runs
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_numbers() {
+        let m = bench("test/busywork", || {
+            (0..10_000u64).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        assert!(m.runs >= 5);
+        assert!(m.min <= m.median && m.median <= m.mean * 2);
+    }
+}

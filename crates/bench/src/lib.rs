@@ -8,8 +8,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
-use tricluster_core::{mine, Params};
+use tricluster_core::obs::json::Json;
+use tricluster_core::{mine, Params, Timings};
 use tricluster_synth::{generate, recovery, SynthSpec};
 
 /// Whether to run at the paper's full scale (`TRICLUSTER_FULL=1`) or the
@@ -54,6 +57,32 @@ pub struct SweepPoint {
     pub clusters: usize,
     /// Recall of the embedded clusters at Jaccard ≥ 0.5.
     pub recall: f64,
+    /// Per-phase breakdown of the mining run.
+    pub timings: Timings,
+}
+
+impl SweepPoint {
+    /// JSON object for `--json` outputs: the headline numbers plus the
+    /// per-phase breakdown (per-slice phases as summed CPU, see
+    /// [`Timings`]).
+    pub fn to_json(&self) -> Json {
+        let t = &self.timings;
+        let secs = |d: Duration| Json::F64(d.as_secs_f64());
+        Json::obj()
+            .with("x", Json::F64(self.x))
+            .with("seconds", secs(self.time))
+            .with("clusters", Json::U64(self.clusters as u64))
+            .with("recall", Json::F64(self.recall))
+            .with(
+                "phases",
+                Json::obj()
+                    .with("slices_wall_secs", secs(t.slices_wall))
+                    .with("range_graphs_cpu_secs", secs(t.range_graphs))
+                    .with("biclusters_cpu_secs", secs(t.biclusters))
+                    .with("triclusters_secs", secs(t.triclusters))
+                    .with("prune_secs", secs(t.prune)),
+            )
+    }
 }
 
 /// Generates the spec's dataset, mines it, and measures the point.
@@ -69,6 +98,7 @@ pub fn measure(spec: &SynthSpec, x: f64) -> SweepPoint {
         time,
         clusters: result.triclusters.len(),
         recall: report.recall,
+        timings: result.timings,
     }
 }
 
@@ -162,10 +192,10 @@ pub fn fig7_sweeps(full: bool) -> Vec<Sweep> {
 /// from the raw slice. Same output as the real miner; measures the value
 /// of phase 1's compact summary.
 pub mod nocache {
+    use tricluster_bitset::BitSet;
     use tricluster_core::cluster::Bicluster;
     use tricluster_core::range::{find_ranges, RatioRange, SignGroup};
     use tricluster_core::Params;
-    use tricluster_bitset::BitSet;
     use tricluster_matrix::Matrix3;
 
     fn pair_ranges(m: &Matrix3, t: usize, a: usize, b: usize, params: &Params) -> Vec<RatioRange> {
@@ -222,12 +252,8 @@ pub mod nocache {
                 if self.samples.len() >= self.params.min_samples
                     && genes.count() >= self.params.min_genes
                 {
-                    let cand =
-                        Bicluster::new(genes.clone(), self.samples.clone(), self.t);
-                    tricluster_core::bicluster::insert_maximal_bicluster(
-                        &mut self.results,
-                        cand,
-                    );
+                    let cand = Bicluster::new(genes.clone(), self.samples.clone(), self.t);
+                    tricluster_core::bicluster::insert_maximal_bicluster(&mut self.results, cand);
                 }
                 for (i, &sb) in pending.iter().enumerate() {
                     let rest = &pending[i + 1..];
@@ -244,10 +270,8 @@ pub mod nocache {
                         let ranges = pair_ranges(self.m, self.t, sa, sb, self.params)
                             .into_iter()
                             .filter(|r| {
-                                r.genes.intersection_count_at_least(
-                                    genes,
-                                    self.params.min_genes,
-                                )
+                                r.genes
+                                    .intersection_count_at_least(genes, self.params.min_genes)
                             })
                             .collect::<Vec<_>>();
                         if ranges.is_empty() {
@@ -311,6 +335,31 @@ mod tests {
         assert_eq!(sweeps.len(), 6);
         for (label, _, points) in &sweeps {
             assert_eq!(points.len(), 5, "{label}");
+        }
+    }
+
+    #[test]
+    fn sweep_point_json_has_phase_breakdown() {
+        let spec = SynthSpec {
+            n_genes: 120,
+            n_samples: 8,
+            n_times: 4,
+            n_clusters: 2,
+            gene_range: (20, 20),
+            sample_range: (4, 4),
+            time_range: (3, 3),
+            ..SynthSpec::default()
+        };
+        let rendered = measure(&spec, 20.0).to_json().render();
+        for needle in [
+            "\"phases\"",
+            "slices_wall_secs",
+            "range_graphs_cpu_secs",
+            "biclusters_cpu_secs",
+            "triclusters_secs",
+            "prune_secs",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle}: {rendered}");
         }
     }
 

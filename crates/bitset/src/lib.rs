@@ -41,7 +41,6 @@ const BITS: usize = 64;
 ///
 /// See the [crate-level documentation](crate) for the design rationale.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitSet {
     blocks: Vec<u64>,
     /// Number of addressable bits (the universe size), not the population.
@@ -335,7 +334,10 @@ impl BitSet {
     #[inline]
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         self.check_same_universe(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Smallest element, or `None` if empty.

@@ -1,5 +1,9 @@
 //! Minimal flag parser: `--name value` pairs, boolean switches, and
 //! positional arguments, with typed accessors and unknown-flag rejection.
+//!
+//! Switches are listed without dashes (`"auto"` matches `--auto`) except
+//! short switches, which are listed verbatim (`"-v"` matches `-v`); query
+//! both with the spelling used in the list ([`Args::has`]).
 
 use std::collections::HashMap;
 
@@ -24,6 +28,14 @@ pub fn parse(
     let mut i = 0;
     while i < argv.len() {
         let tok = &argv[i];
+        // Short switches (e.g. `-v`) are listed with their dash; anything
+        // else starting with a single dash stays positional for
+        // compatibility (negative numbers, `-`-prefixed paths).
+        if !tok.starts_with("--") && switch_flags.contains(&tok.as_str()) {
+            switches.push(tok.clone());
+            i += 1;
+            continue;
+        }
         if let Some(name) = tok.strip_prefix("--") {
             if switch_flags.contains(&name) {
                 switches.push(name.to_string());
@@ -100,6 +112,10 @@ impl Args {
         }
     }
 
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|v| v[0].as_str())
+    }
+
     pub fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
@@ -126,6 +142,23 @@ mod tests {
         assert!(a.has("auto"));
         assert!(!a.has("names"));
         assert_eq!(a.get_f64("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn short_switches_and_string_flags() {
+        let a = parse(
+            &argv(&["f.tsv", "-vv", "--report-json", "out.json"]),
+            &[("report-json", 1)],
+            &["-v", "-vv"],
+        )
+        .unwrap();
+        assert_eq!(a.positional, vec!["f.tsv"]);
+        assert!(a.has("-vv"));
+        assert!(!a.has("-v"));
+        assert_eq!(a.get_str("report-json"), Some("out.json"));
+        // unlisted single-dash tokens stay positional
+        let a = parse(&argv(&["-1", "x"]), &[], &["-v"]).unwrap();
+        assert_eq!(a.positional, vec!["-1", "x"]);
     }
 
     #[test]

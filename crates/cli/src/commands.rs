@@ -3,7 +3,11 @@
 use crate::args;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use tricluster_core::{mine_auto, mine_shifting, MergeParams, Params};
+use tricluster_core::obs::{json::Json, names, EventSink, JsonLinesSink, NullSink, Recorder};
+use tricluster_core::{
+    cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, MergeParams,
+    Metrics, MiningResult, Params,
+};
 use tricluster_matrix::{io, Labels, Matrix3};
 use tricluster_synth::{generate, SynthSpec};
 
@@ -26,10 +30,15 @@ MINE OPTIONS:
   --delta-z D      max value range across times per fiber
   --merge ETA GAMMA    enable merge/delete post-processing
   --max-candidates N   bound the DFS search (truncates on exhaustion)
+  --threads N      worker threads for the per-slice phases (default: cores)
   --shifting       mine shifting (additive) clusters via Lemma 2
   --auto           transpose so the largest dimension is mined as genes
   --names          print gene/sample/time names instead of indices
   --csv            emit clusters as CSV (cluster,shape,type,members)
+  -v, -vv          phase timings (-vv adds the full counter report) on stderr
+  --trace          stream per-decision trace events as JSON lines on stderr
+  --report-json PATH   write the structured run report (spans, counters,
+                       timings, metrics) as JSON
 
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
@@ -60,6 +69,9 @@ pub fn mine_params_from(a: &args::Args) -> Result<Params, String> {
     if let Some(n) = a.get_u64("max-candidates")? {
         b = b.max_candidates(n);
     }
+    if let Some(n) = a.get_usize("threads")? {
+        b = b.threads(n);
+    }
     b.build().map_err(|e| e.to_string())
 }
 
@@ -77,15 +89,16 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
             ("delta-z", 1),
             ("merge", 2),
             ("max-candidates", 1),
+            ("threads", 1),
+            ("report-json", 1),
         ],
-        &["shifting", "auto", "names", "csv"],
+        &["shifting", "auto", "names", "csv", "trace", "-v", "-vv"],
     )?;
     let Some(path) = a.positional.first() else {
         return Err("mine: missing input file (stacked TSV)".into());
     };
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let (matrix, labels) =
-        io::read_stacked_tsv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let (matrix, labels) = io::read_stacked_tsv(BufReader::new(file)).map_err(|e| e.to_string())?;
     let params = mine_params_from(&a)?;
     eprintln!(
         "matrix: {} genes x {} samples x {} times",
@@ -94,8 +107,20 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
         matrix.n_times()
     );
 
+    let verbosity = if a.has("-vv") {
+        2u8
+    } else if a.has("-v") {
+        1
+    } else {
+        0
+    };
+    let report_json = a.get_str("report-json").map(str::to_string);
+
     let start = std::time::Instant::now();
     if a.has("shifting") {
+        if report_json.is_some() || a.has("trace") {
+            return Err("--report-json/--trace are not supported with --shifting".into());
+        }
         let (clusters, _) = mine_shifting(&matrix, &params);
         eprintln!(
             "{} shifting clusters in {:?}",
@@ -113,10 +138,19 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let result = if a.has("auto") {
-        mine_auto(&matrix, &params)
+    // Trace events stream to stderr as they happen; everything else comes
+    // out of the result's embedded report, so no sink is needed for -v/-vv.
+    let trace_sink;
+    let sink: &dyn EventSink = if a.has("trace") {
+        trace_sink = JsonLinesSink::new(std::io::stderr());
+        &trace_sink
     } else {
-        tricluster_core::mine(&matrix, &params)
+        &NullSink
+    };
+    let result = if a.has("auto") {
+        mine_auto_observed(&matrix, &params, sink)
+    } else {
+        mine_observed(&matrix, &params, sink)
     };
     eprintln!(
         "{} triclusters in {:?}{}",
@@ -128,6 +162,25 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
             ""
         }
     );
+    if verbosity > 0 {
+        print_verbose(&result, verbosity);
+    }
+    // Metrics are computed once: observedly (so the report JSON carries the
+    // metrics span/counters) when a report is requested, plainly otherwise.
+    let mut report = result.report.clone();
+    let met = if report_json.is_some() {
+        let rec = Recorder::new();
+        let met = cluster_metrics_observed(&matrix, &result.triclusters, &rec);
+        report.merge(&rec.snapshot());
+        Some(met)
+    } else {
+        None
+    };
+    if let Some(out_path) = &report_json {
+        let j = report_to_json(&matrix, &result, &report, met.as_ref().unwrap());
+        std::fs::write(out_path, j.render_pretty() + "\n")
+            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    }
     if a.has("csv") {
         let mut out = std::io::stdout().lock();
         tricluster_core::report::write_csv(&mut out, &matrix, &result.triclusters, 1e-9)
@@ -137,16 +190,77 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
     for (i, c) in result.triclusters.iter().enumerate() {
         print_cluster(i, c, &labels, a.has("names"));
     }
-    println!("\n{}", result.metrics(&matrix));
+    let met = met.unwrap_or_else(|| result.metrics(&matrix));
+    println!("\n{met}");
     Ok(())
 }
 
-fn print_cluster(
-    i: usize,
-    c: &tricluster_core::Tricluster,
-    labels: &Labels,
-    names: bool,
-) {
+/// Phase timings (and, at `-vv`, the full counter report) on stderr.
+fn print_verbose(result: &MiningResult, verbosity: u8) {
+    let t = &result.timings;
+    eprintln!(
+        "timings: slices {:?} wall ({:?} range-graph + {:?} bicluster CPU) | \
+         triclusters {:?} | prune {:?}",
+        t.slices_wall, t.range_graphs, t.biclusters, t.triclusters, t.prune
+    );
+    if verbosity >= 2 {
+        eprint!("{}", result.report.render_human());
+    } else {
+        let r = &result.report;
+        eprintln!(
+            "search: {} range edges, {} bicluster DFS nodes, {} tricluster DFS nodes",
+            r.counter(names::RG_EDGES),
+            r.counter(names::BC_NODES),
+            r.counter(names::TC_NODES),
+        );
+    }
+}
+
+/// The `--report-json` document (schema `tricluster.report/v1`).
+fn report_to_json(
+    m: &Matrix3,
+    result: &MiningResult,
+    report: &tricluster_core::obs::RunReport,
+    met: &Metrics,
+) -> Json {
+    let t = &result.timings;
+    let secs = |d: std::time::Duration| Json::F64(d.as_secs_f64());
+    Json::obj()
+        .with("schema", Json::Str("tricluster.report/v1".into()))
+        .with(
+            "matrix",
+            Json::obj()
+                .with("genes", Json::U64(m.n_genes() as u64))
+                .with("samples", Json::U64(m.n_samples() as u64))
+                .with("times", Json::U64(m.n_times() as u64)),
+        )
+        .with("clusters", Json::U64(result.triclusters.len() as u64))
+        .with("truncated", Json::Bool(result.truncated))
+        .with(
+            "timings",
+            Json::obj()
+                .with("slices_wall_secs", secs(t.slices_wall))
+                .with("range_graphs_cpu_secs", secs(t.range_graphs))
+                .with("biclusters_cpu_secs", secs(t.biclusters))
+                .with("triclusters_secs", secs(t.triclusters))
+                .with("prune_secs", secs(t.prune))
+                .with("total_secs", secs(t.total())),
+        )
+        .with(
+            "metrics",
+            Json::obj()
+                .with("cluster_count", Json::U64(met.cluster_count as u64))
+                .with("element_sum", Json::U64(met.element_sum as u64))
+                .with("coverage", Json::U64(met.coverage as u64))
+                .with("overlap", Json::F64(met.overlap))
+                .with("fluctuation_gene", Json::F64(met.fluctuation_gene))
+                .with("fluctuation_sample", Json::F64(met.fluctuation_sample))
+                .with("fluctuation_time", Json::F64(met.fluctuation_time)),
+        )
+        .with("report", report.to_json())
+}
+
+fn print_cluster(i: usize, c: &tricluster_core::Tricluster, labels: &Labels, names: bool) {
     let (x, y, z) = c.shape();
     println!("cluster {i}: {x} genes x {y} samples x {z} times");
     if names {
@@ -270,8 +384,10 @@ mod tests {
                 ("delta-z", 1),
                 ("merge", 2),
                 ("max-candidates", 1),
+                ("threads", 1),
+                ("report-json", 1),
             ],
-            &["shifting", "auto", "names", "csv"],
+            &["shifting", "auto", "names", "csv", "trace", "-v", "-vv"],
         )
         .unwrap()
     }
@@ -288,9 +404,28 @@ mod tests {
     #[test]
     fn all_flags_thread_through() {
         let a = parse_mine(&[
-            "f.tsv", "--eps", "0.05", "--eps-time", "0.2", "--mx", "10", "--my", "4",
-            "--mz", "3", "--delta-x", "1.5", "--delta-y", "2.5", "--delta-z", "3.5",
-            "--merge", "0.2", "0.1", "--max-candidates", "5000",
+            "f.tsv",
+            "--eps",
+            "0.05",
+            "--eps-time",
+            "0.2",
+            "--mx",
+            "10",
+            "--my",
+            "4",
+            "--mz",
+            "3",
+            "--delta-x",
+            "1.5",
+            "--delta-y",
+            "2.5",
+            "--delta-z",
+            "3.5",
+            "--merge",
+            "0.2",
+            "0.1",
+            "--max-candidates",
+            "5000",
         ]);
         let p = mine_params_from(&a).unwrap();
         assert_eq!(p.epsilon, 0.05);
@@ -361,5 +496,65 @@ mod tests {
     #[test]
     fn synth_missing_path_errors() {
         assert!(synth(&[]).unwrap_err().contains("missing output"));
+    }
+
+    /// Extracts the `"counters": { ... }` block of a pretty-printed report.
+    fn counters_block(report: &str) -> &str {
+        let start = report.find("\"counters\"").expect("has counters");
+        let end = report[start..].find('}').expect("closed") + start;
+        &report[start..end]
+    }
+
+    #[test]
+    fn report_json_is_written_and_deterministic() {
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-report-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("synth.tsv");
+        let data_str = data.to_str().unwrap().to_string();
+        synth(&[
+            data_str.clone(),
+            "--genes".into(),
+            "80".into(),
+            "--samples".into(),
+            "8".into(),
+            "--times".into(),
+            "4".into(),
+            "--clusters".into(),
+            "2".into(),
+            "--noise".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        let run = |out: &std::path::Path, threads: &str| {
+            mine(&[
+                data_str.clone(),
+                "--eps".into(),
+                "0.01".into(),
+                "--threads".into(),
+                threads.into(),
+                "--report-json".into(),
+                out.to_str().unwrap().into(),
+            ])
+            .unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        let a = run(&dir.join("a.json"), "1");
+        let b = run(&dir.join("b.json"), "4");
+        for needle in [
+            "\"schema\": \"tricluster.report/v1\"",
+            "\"spans\"",
+            "phase.tricluster",
+            "rangegraph.edges",
+            "bicluster.dfs.nodes",
+        ] {
+            assert!(a.contains(needle), "missing {needle}");
+        }
+        assert_eq!(
+            counters_block(&a),
+            counters_block(&b),
+            "counters must not depend on thread count"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

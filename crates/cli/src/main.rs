@@ -3,7 +3,8 @@
 //! ```text
 //! tricluster mine <stacked.tsv> [--eps 0.01] [--eps-time E] [--mx 3] [--my 3]
 //!                 [--mz 2] [--delta-x D] [--delta-y D] [--delta-z D]
-//!                 [--merge ETA GAMMA] [--shifting] [--auto] [--names]
+//!                 [--merge ETA GAMMA] [--threads N] [--shifting] [--auto]
+//!                 [--names] [-v|-vv] [--trace] [--report-json out.json]
 //! tricluster synth <out.tsv> [--genes 1000] [--samples 15] [--times 8]
 //!                 [--clusters 8] [--noise 0.03] [--overlap 0.2] [--seed 42]
 //! tricluster demo

@@ -20,16 +20,60 @@ use crate::rangegraph::RangeGraph;
 use std::collections::HashSet;
 use tricluster_bitset::BitSet;
 use tricluster_matrix::Matrix3;
+use tricluster_obs::{names, EventSink};
+
+/// Statistics of one per-slice bicluster search.
+///
+/// All fields are input-determined (DFS order is fixed), so they are
+/// identical across runs and thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BiclusterStats {
+    /// DFS nodes (candidate sample sets) visited.
+    pub nodes: u64,
+    /// Candidate-visit budget consumed (0 when [`Params::max_candidates`]
+    /// is unset).
+    pub budget_spent: u64,
+    /// Gene-set combinations produced by edge-combination enumeration.
+    pub gene_combos: u64,
+    /// Candidates recorded into the (tentative) result set.
+    pub recorded: u64,
+    /// Candidates rejected by the `δ^x`/`δ^y` checks at record time.
+    pub rejected_delta: u64,
+    /// Candidates rejected because an existing cluster subsumes them.
+    pub rejected_subsumed: u64,
+    /// Previously recorded clusters displaced by a larger candidate.
+    pub replaced: u64,
+}
+
+impl BiclusterStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &BiclusterStats) {
+        self.nodes += other.nodes;
+        self.budget_spent += other.budget_spent;
+        self.gene_combos += other.gene_combos;
+        self.recorded += other.recorded;
+        self.rejected_delta += other.rejected_delta;
+        self.rejected_subsumed += other.rejected_subsumed;
+        self.replaced += other.replaced;
+    }
+
+    /// Mirrors the stats into counter increments on `sink`.
+    pub fn publish(&self, sink: &dyn EventSink) {
+        sink.counter(names::BC_NODES, self.nodes);
+        sink.counter(names::BC_BUDGET_SPENT, self.budget_spent);
+        sink.counter(names::BC_COMBOS, self.gene_combos);
+        sink.counter(names::BC_RECORDED, self.recorded);
+        sink.counter(names::BC_REJECTED_DELTA, self.rejected_delta);
+        sink.counter(names::BC_REJECTED_SUBSUMED, self.rejected_subsumed);
+        sink.counter(names::BC_REPLACED, self.replaced);
+    }
+}
 
 /// Mines all maximal biclusters of time slice `t` from its range multigraph.
 ///
 /// Returned biclusters satisfy `|X| ≥ mx`, `|Y| ≥ my`, the `δ^x`/`δ^y`
 /// range thresholds (when set), and are mutually non-contained.
-pub fn mine_biclusters(
-    m: &Matrix3,
-    rg: &RangeGraph,
-    params: &Params,
-) -> Vec<Bicluster> {
+pub fn mine_biclusters(m: &Matrix3, rg: &RangeGraph, params: &Params) -> Vec<Bicluster> {
     mine_biclusters_with_budget(m, rg, params).0
 }
 
@@ -41,6 +85,18 @@ pub fn mine_biclusters_with_budget(
     rg: &RangeGraph,
     params: &Params,
 ) -> (Vec<Bicluster>, bool) {
+    let (bcs, truncated, _) = mine_biclusters_observed(m, rg, params);
+    (bcs, truncated)
+}
+
+/// Like [`mine_biclusters_with_budget`], but also returns search statistics
+/// for the observability layer. The stats stay local to the call — no
+/// locking happens on the DFS hot path.
+pub fn mine_biclusters_observed(
+    m: &Matrix3,
+    rg: &RangeGraph,
+    params: &Params,
+) -> (Vec<Bicluster>, bool, BiclusterStats) {
     let t = rg.time;
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
@@ -53,11 +109,12 @@ pub fn mine_biclusters_with_budget(
         samples: Vec::new(),
         budget: params.max_candidates,
         truncated: false,
+        stats: BiclusterStats::default(),
     };
     let all_genes = BitSet::full(n_genes);
     let order: Vec<usize> = (0..n_samples).collect();
     miner.dfs(&all_genes, &order);
-    (miner.results, miner.truncated)
+    (miner.results, miner.truncated, miner.stats)
 }
 
 struct BiMiner<'a> {
@@ -71,6 +128,7 @@ struct BiMiner<'a> {
     /// Remaining candidate-visit budget, when limited.
     budget: Option<u64>,
     truncated: bool,
+    stats: BiclusterStats,
 }
 
 impl BiMiner<'_> {
@@ -81,7 +139,9 @@ impl BiMiner<'_> {
                 return;
             }
             *b -= 1;
+            self.stats.budget_spent += 1;
         }
+        self.stats.nodes += 1;
         self.try_record(genes);
         // population hint for the sparse-path qualification test below
         let genes_count = genes.count();
@@ -94,8 +154,7 @@ impl BiMiner<'_> {
                 continue;
             }
             // Qualified edges from every existing sample to s_b.
-            let mut per_sample: Vec<Vec<&RatioRange>> =
-                Vec::with_capacity(self.samples.len());
+            let mut per_sample: Vec<Vec<&RatioRange>> = Vec::with_capacity(self.samples.len());
             let mut dead_end = false;
             for &sa in &self.samples {
                 let edges: Vec<&RatioRange> = self
@@ -131,6 +190,7 @@ impl BiMiner<'_> {
                 &mut seen,
                 &mut combos,
             );
+            self.stats.gene_combos += combos.len() as u64;
             for new_genes in combos {
                 self.samples.push(sb);
                 self.dfs(&new_genes, rest);
@@ -147,10 +207,17 @@ impl BiMiner<'_> {
             return;
         }
         if !self.deltas_ok(genes) {
+            self.stats.rejected_delta += 1;
             return;
         }
         let candidate = Bicluster::new(genes.clone(), self.samples.clone(), self.t);
-        insert_maximal_bicluster(&mut self.results, candidate);
+        match insert_maximal_bicluster_counted(&mut self.results, candidate) {
+            InsertOutcome::Subsumed => self.stats.rejected_subsumed += 1,
+            InsertOutcome::Inserted { displaced } => {
+                self.stats.recorded += 1;
+                self.stats.replaced += displaced as u64;
+            }
+        }
     }
 
     /// `δ^x`: within each sample column, gene values range at most `δ^x`;
@@ -217,18 +284,40 @@ fn intersect_combos(
     }
 }
 
+/// What [`insert_maximal_bicluster_counted`] did with a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The candidate was contained in an existing cluster and dropped.
+    Subsumed,
+    /// The candidate was inserted, displacing `displaced` existing clusters
+    /// it subsumes.
+    Inserted {
+        /// Existing clusters removed because the candidate contains them.
+        displaced: usize,
+    },
+}
+
 /// Inserts `candidate` into `results` keeping only maximal biclusters:
 /// skipped when contained in an existing cluster; existing clusters contained
 /// in it are removed.
 pub fn insert_maximal_bicluster(results: &mut Vec<Bicluster>, candidate: Bicluster) {
-    if results
-        .iter()
-        .any(|c| candidate.is_subcluster_of(c))
-    {
-        return;
+    insert_maximal_bicluster_counted(results, candidate);
+}
+
+/// Like [`insert_maximal_bicluster`], reporting what happened (used by the
+/// observability layer to count maximality rejections and replacements).
+pub fn insert_maximal_bicluster_counted(
+    results: &mut Vec<Bicluster>,
+    candidate: Bicluster,
+) -> InsertOutcome {
+    if results.iter().any(|c| candidate.is_subcluster_of(c)) {
+        return InsertOutcome::Subsumed;
     }
+    let before = results.len();
     results.retain(|c| !c.is_subcluster_of(&candidate));
+    let displaced = before - results.len();
     results.push(candidate);
+    InsertOutcome::Inserted { displaced }
 }
 
 #[cfg(test)]
@@ -268,9 +357,9 @@ mod tests {
         let m = paper_table1();
         let got = sorted_view(&mine(&m, 0, &params(0.01, 3, 3)));
         let want = vec![
-            (vec![0, 2, 6, 9], vec![1, 4, 6]),       // C2
-            (vec![0, 7, 9], vec![1, 2, 4, 5]),       // C3
-            (vec![1, 4, 8], vec![0, 1, 4, 6]),       // C1
+            (vec![0, 2, 6, 9], vec![1, 4, 6]), // C2
+            (vec![0, 7, 9], vec![1, 2, 4, 5]), // C3
+            (vec![1, 4, 8], vec![0, 1, 4, 6]), // C1
         ];
         assert_eq!(got, want);
     }
@@ -399,6 +488,62 @@ mod tests {
         assert_eq!(v.len(), 1);
         insert_maximal_bicluster(&mut v, mk(&[4, 5], &[2, 3])); // unrelated
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn observed_stats_are_deterministic_and_consistent() {
+        let m = paper_table1();
+        let p = params(0.01, 3, 3);
+        let rg = build_range_graph(&m, 0, &p);
+        let (bcs, truncated, stats) = mine_biclusters_observed(&m, &rg, &p);
+        assert!(!truncated);
+        assert_eq!(bcs.len(), 3);
+        assert!(stats.nodes > 0);
+        assert_eq!(stats.budget_spent, 0, "no budget configured");
+        // recorded − replaced = surviving clusters
+        assert_eq!(stats.recorded - stats.replaced, bcs.len() as u64);
+        let (_, _, again) = mine_biclusters_observed(&m, &rg, &p);
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn observed_budget_spent_tracks_truncation() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .max_candidates(5)
+            .build()
+            .unwrap();
+        let rg = build_range_graph(&m, 0, &p);
+        let (_, truncated, stats) = mine_biclusters_observed(&m, &rg, &p);
+        assert!(truncated);
+        assert_eq!(stats.budget_spent, 5);
+        assert_eq!(stats.nodes, 5);
+    }
+
+    #[test]
+    fn insert_counted_reports_outcomes() {
+        let mk = |genes: &[usize], samples: &[usize]| {
+            Bicluster::new(
+                BitSet::from_indices(10, genes.iter().copied()),
+                samples.to_vec(),
+                0,
+            )
+        };
+        let mut v = Vec::new();
+        assert_eq!(
+            insert_maximal_bicluster_counted(&mut v, mk(&[1, 2], &[0, 1])),
+            InsertOutcome::Inserted { displaced: 0 }
+        );
+        assert_eq!(
+            insert_maximal_bicluster_counted(&mut v, mk(&[1, 2, 3], &[0, 1])),
+            InsertOutcome::Inserted { displaced: 1 }
+        );
+        assert_eq!(
+            insert_maximal_bicluster_counted(&mut v, mk(&[1, 2], &[0])),
+            InsertOutcome::Subsumed
+        );
     }
 
     /// A uniform matrix is one big bicluster covering everything.

@@ -23,7 +23,6 @@ use tricluster_matrix::Matrix3;
 /// The cluster types of paper §2. Ordered from most to least constrained;
 /// [`classify`] returns the most specific type that applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ClusterType {
     /// All values identical (within `tolerance`).
     Constant,
@@ -236,8 +235,16 @@ mod tests {
         // at t0 but 10.8 − 3.6 at t1; widest time fiber is g4/s0: 10.8 − 9.0
         let c1 = tri(&[1, 4, 8], &[0, 1, 4, 6], &[0, 1]);
         let s = spreads(&m, &c1);
-        assert!((s.gene - 7.2).abs() < 1e-9, "t1 column s0: 10.8-3.6 = 7.2, got {}", s.gene);
-        assert!((s.sample - 7.2).abs() < 1e-9, "t1 row g4: 10.8-3.6, got {}", s.sample);
+        assert!(
+            (s.gene - 7.2).abs() < 1e-9,
+            "t1 column s0: 10.8-3.6 = 7.2, got {}",
+            s.gene
+        );
+        assert!(
+            (s.sample - 7.2).abs() < 1e-9,
+            "t1 row g4: 10.8-3.6, got {}",
+            s.sample
+        );
         assert!((s.time - 1.8).abs() < 1e-9, "{}", s.time);
     }
 

@@ -8,7 +8,6 @@ use tricluster_bitset::BitSet;
 /// sample column indices. The time slice the bicluster came from is carried
 /// alongside so the tricluster phase can index the right slice.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bicluster {
     /// Gene set `X`.
     pub genes: BitSet,
@@ -75,7 +74,6 @@ impl std::fmt::Display for Bicluster {
 /// `genes` is a bitset over the gene universe; `samples` and `times` are
 /// sorted index lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tricluster {
     /// Gene set `X`.
     pub genes: BitSet,
@@ -127,9 +125,9 @@ impl Tricluster {
     /// Iterates over all `(gene, sample, time)` cells of the cluster.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
         self.genes.iter().flat_map(move |g| {
-            self.samples.iter().flat_map(move |&s| {
-                self.times.iter().map(move |&t| (g, s, t))
-            })
+            self.samples
+                .iter()
+                .flat_map(move |&s| self.times.iter().map(move |&t| (g, s, t)))
         })
     }
 
@@ -354,9 +352,6 @@ mod tests {
     fn cells_enumerates_cartesian_product() {
         let c = Tricluster::new(genes(5, &[0, 1]), vec![2], vec![0, 3]);
         let cells: Vec<_> = c.cells().collect();
-        assert_eq!(
-            cells,
-            vec![(0, 2, 0), (0, 2, 3), (1, 2, 0), (1, 2, 3)]
-        );
+        assert_eq!(cells, vec![(0, 2, 0), (0, 2, 3), (1, 2, 0), (1, 2, 3)]);
     }
 }

@@ -12,8 +12,8 @@
 //!    values; averaged over fibers, then over clusters.
 
 use crate::cluster::Tricluster;
-use std::collections::HashSet;
 use tricluster_matrix::Matrix3;
+use tricluster_obs::{names, EventSink, NullSink, SpanTimer};
 
 /// The paper's five quality metrics (fluctuation reported per dimension).
 #[derive(Debug, Clone, PartialEq)]
@@ -51,16 +51,37 @@ impl std::fmt::Display for Metrics {
 
 /// Computes the metrics of `clusters` over the matrix they were mined from.
 pub fn cluster_metrics(m: &Matrix3, clusters: &[Tricluster]) -> Metrics {
+    cluster_metrics_observed(m, clusters, &NullSink)
+}
+
+/// Like [`cluster_metrics`], but times the computation as a
+/// `phase.metrics` span and publishes cell counters to `sink`.
+pub fn cluster_metrics_observed(
+    m: &Matrix3,
+    clusters: &[Tricluster],
+    sink: &dyn EventSink,
+) -> Metrics {
+    let _span = SpanTimer::start(sink, names::SPAN_METRICS);
     let cluster_count = clusters.len();
     let element_sum: usize = clusters.iter().map(Tricluster::span_size).sum();
 
-    let mut covered: HashSet<(u32, u32, u32)> = HashSet::with_capacity(element_sum);
+    // Coverage = distinct cells. Cells are packed into their linear matrix
+    // index and sorted + deduped; for the dense cell lists clusters produce
+    // this beats hashing each (g, s, t) triple (no per-cell hashing, one
+    // cache-friendly sort) and is deterministic.
+    let stride_t = m.n_times() as u64;
+    let stride_s = m.n_samples() as u64 * stride_t;
+    let mut covered: Vec<u64> = Vec::with_capacity(element_sum);
     for c in clusters {
         for (g, s, t) in c.cells() {
-            covered.insert((g as u32, s as u32, t as u32));
+            covered.push(g as u64 * stride_s + s as u64 * stride_t + t as u64);
         }
     }
+    covered.sort_unstable();
+    covered.dedup();
     let coverage = covered.len();
+    sink.counter(names::MX_CELLS, element_sum as u64);
+    sink.counter(names::MX_COVERED, coverage as u64);
     let overlap = if coverage == 0 {
         0.0
     } else {
@@ -237,11 +258,33 @@ mod tests {
     }
 
     #[test]
+    fn observed_publishes_cell_counters_and_span() {
+        let m = matrix();
+        let rec = tricluster_obs::Recorder::new();
+        let a = mk(&[0, 1], &[0, 1], &[0]);
+        let b = mk(&[0, 1], &[0, 1], &[0, 1]);
+        let met = cluster_metrics_observed(&m, &[a, b], &rec);
+        let report = rec.snapshot();
+        assert_eq!(report.counter("metrics.cells"), met.element_sum as u64);
+        assert_eq!(
+            report.counter("metrics.cells_distinct"),
+            met.coverage as u64
+        );
+        assert_eq!(report.spans["phase.metrics"].count, 1);
+    }
+
+    #[test]
     fn display_contains_all_rows() {
         let m = matrix();
         let met = cluster_metrics(&m, &[mk(&[0, 1], &[0], &[0, 1])]);
         let s = met.to_string();
-        for needle in ["Clusters#", "Elements#", "Coverage", "Overlap", "Fluctuation"] {
+        for needle in [
+            "Clusters#",
+            "Elements#",
+            "Coverage",
+            "Overlap",
+            "Fluctuation",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }

@@ -7,16 +7,17 @@
 //! dimension mined as genes, per the symmetry Lemma 1) and maps the results
 //! back to the caller's coordinates.
 
-use crate::bicluster::mine_biclusters_with_budget;
+use crate::bicluster::{mine_biclusters_observed, BiclusterStats};
 use crate::cluster::{Bicluster, Tricluster};
 use crate::metrics::{cluster_metrics, Metrics};
 use crate::params::Params;
-use crate::prune::{merge_and_prune, PruneStats};
-use crate::rangegraph::build_range_graph;
-use crate::tricluster::mine_triclusters_with_budget;
+use crate::prune::{merge_and_prune_observed, PruneStats};
+use crate::rangegraph::{build_range_graph_observed, RangeGraphStats};
+use crate::tricluster::mine_triclusters_observed;
 use std::time::{Duration, Instant};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::{Axis, Matrix3};
+use tricluster_obs::{emit, names, Event, EventSink, NullSink, RunReport};
 
 /// Everything produced by one mining run.
 #[derive(Debug, Clone)]
@@ -35,16 +36,26 @@ pub struct MiningResult {
     pub truncated: bool,
     /// Phase timings.
     pub timings: Timings,
+    /// Structured run report: phase spans plus the counter taxonomy of
+    /// [`tricluster_obs::names`]. Counter values are deterministic for a
+    /// given input/parameters, independent of thread count.
+    pub report: RunReport,
 }
 
-/// Wall-clock duration of each phase.
+/// Duration of each pipeline phase.
+///
+/// The per-slice phases are reported in two views: `range_graphs` and
+/// `biclusters` are *summed CPU time* measured inside each worker (they can
+/// exceed wall-clock when slices run in parallel), while `slices_wall` is
+/// the wall-clock of the whole fan-out.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
-    /// Range multigraph construction, summed over slices.
+    /// Range multigraph construction, CPU time summed over slices.
     pub range_graphs: Duration,
-    /// Bicluster mining, summed over slices (wall-clock of the parallel
-    /// fan-out, not CPU time).
+    /// Bicluster mining, CPU time summed over slices.
     pub biclusters: Duration,
+    /// Wall-clock of the parallel per-slice fan-out (phases 1+2 together).
+    pub slices_wall: Duration,
     /// Tricluster enumeration.
     pub triclusters: Duration,
     /// Merge/prune pass.
@@ -52,8 +63,14 @@ pub struct Timings {
 }
 
 impl Timings {
-    /// Total of all phases.
+    /// Total wall-clock of the pipeline.
     pub fn total(&self) -> Duration {
+        self.slices_wall + self.triclusters + self.prune
+    }
+
+    /// Total CPU time attributed to the phases (the per-slice phases summed
+    /// across workers; exceeds [`Timings::total`] under parallel speed-up).
+    pub fn summed_cpu(&self) -> Duration {
         self.range_graphs + self.biclusters + self.triclusters + self.prune
     }
 }
@@ -89,75 +106,193 @@ impl Miner {
     }
 }
 
+/// Internal sink wrapper: accumulates counters and spans into the run
+/// report while forwarding every signal (including trace events, which it
+/// does not buffer) to the caller's sink. Ensures each signal reaches the
+/// caller's sink exactly once.
+struct ReportSink<'a> {
+    report: std::sync::Mutex<RunReport>,
+    inner: &'a dyn EventSink,
+}
+
+impl<'a> ReportSink<'a> {
+    fn new(inner: &'a dyn EventSink) -> Self {
+        ReportSink {
+            report: std::sync::Mutex::new(RunReport::new()),
+            inner,
+        }
+    }
+
+    fn into_report(self) -> RunReport {
+        self.report.into_inner().unwrap()
+    }
+}
+
+impl EventSink for ReportSink<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.report.lock().unwrap().add_counter(name, delta);
+        self.inner.counter(name, delta);
+    }
+    fn span(&self, name: &'static str, elapsed: Duration) {
+        self.report.lock().unwrap().add_span(name, elapsed);
+        self.inner.span(name, elapsed);
+    }
+    fn event(&self, event: Event) {
+        self.inner.event(event);
+    }
+}
+
+/// What one per-slice worker returns: the slice's biclusters plus its
+/// locally accumulated stats and phase durations.
+struct SliceOutput {
+    t: usize,
+    n_ranges: usize,
+    biclusters: Vec<Bicluster>,
+    truncated: bool,
+    rg_stats: RangeGraphStats,
+    bc_stats: BiclusterStats,
+    rg_time: Duration,
+    bc_time: Duration,
+}
+
+/// Runs phases 1+2 for one slice, timing each phase from inside the worker
+/// (this is what makes the summed-CPU `Timings::range_graphs` view
+/// possible). Trace events go straight to `sink`; counters are accumulated
+/// locally and merged by the caller in slice order, keeping them
+/// deterministic under any thread schedule.
+fn mine_slice(m: &Matrix3, t: usize, params: &Params, sink: &dyn EventSink) -> SliceOutput {
+    let rg_start = Instant::now();
+    let (rg, rg_stats) = build_range_graph_observed(m, t, params, sink);
+    let rg_time = rg_start.elapsed();
+    let n_ranges = rg.n_ranges();
+    let bc_start = Instant::now();
+    let (biclusters, truncated, bc_stats) = mine_biclusters_observed(m, &rg, params);
+    let bc_time = bc_start.elapsed();
+    emit(sink, || {
+        Event::new("miner.slice")
+            .field("time", t)
+            .field("ranges", n_ranges)
+            .field("biclusters", biclusters.len())
+            .field("range_graph_ns", rg_time.as_nanos() as u64)
+            .field("bicluster_ns", bc_time.as_nanos() as u64)
+    });
+    SliceOutput {
+        t,
+        n_ranges,
+        biclusters,
+        truncated,
+        rg_stats,
+        bc_stats,
+        rg_time,
+        bc_time,
+    }
+}
+
 /// Runs the full TriCluster pipeline on `m` with the given parameters.
 ///
 /// The matrix is mined as-is (genes × samples × times); use [`mine_auto`]
 /// to let the library apply the paper's canonical transposition first.
 pub fn mine(m: &Matrix3, params: &Params) -> MiningResult {
+    mine_observed(m, params, &NullSink)
+}
+
+/// Like [`mine`], routing instrumentation through `sink`.
+///
+/// The sink receives trace events as they happen (from inside the worker
+/// threads; it must be `Sync`) plus every counter and span of the final
+/// [`MiningResult::report`]. Pass [`NullSink`] for zero-overhead mining —
+/// the report is built from locally accumulated stats either way.
+pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> MiningResult {
     let n_times = m.n_times();
     let mut timings = Timings::default();
+    let report_sink = ReportSink::new(sink);
+    let sink = &report_sink;
 
-    // Phase 1+2 per slice, in parallel. Each worker builds the range graph
-    // and mines the slice's biclusters.
-    let t0 = Instant::now();
+    // Phase 1+2 per slice, fanned out across worker threads. Each worker
+    // times its own phases so range-graph vs bicluster CPU time stays
+    // separable even in parallel.
+    let wall_start = Instant::now();
     let mut per_time_biclusters: Vec<Vec<Bicluster>> = vec![Vec::new(); n_times];
     let mut ranges_per_time: Vec<usize> = vec![0; n_times];
     let mut truncated = false;
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let threads = params
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(n_times.max(1));
-    if threads <= 1 || n_times <= 1 {
-        for t in 0..n_times {
-            let rg = build_range_graph(m, t, params);
-            ranges_per_time[t] = rg.n_ranges();
-            let (bcs, cut) = mine_biclusters_with_budget(m, &rg, params);
-            per_time_biclusters[t] = bcs;
-            truncated |= cut;
-        }
+    let mut slices: Vec<SliceOutput> = if threads <= 1 || n_times <= 1 {
+        (0..n_times)
+            .map(|t| mine_slice(m, t, params, sink))
+            .collect()
     } else {
-        let results: Vec<(usize, usize, Vec<Bicluster>, bool)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..n_times)
-                    .map(|t| {
-                        scope.spawn(move || {
-                            let rg = build_range_graph(m, t, params);
-                            let n_ranges = rg.n_ranges();
-                            let (bcs, cut) = mine_biclusters_with_budget(m, &rg, params);
-                            (t, n_ranges, bcs, cut)
-                        })
+        // Slices are striped across exactly `threads` workers; each worker
+        // returns its outputs and the caller re-sorts by slice index.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        (w..n_times)
+                            .step_by(threads)
+                            .map(|t| mine_slice(m, t, params, sink))
+                            .collect::<Vec<_>>()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("slice worker panicked"))
-                    .collect()
-            });
-        for (t, n_ranges, bcs, cut) in results {
-            ranges_per_time[t] = n_ranges;
-            per_time_biclusters[t] = bcs;
-            truncated |= cut;
-        }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("slice worker panicked"))
+                .collect()
+        })
+    };
+    timings.slices_wall = wall_start.elapsed();
+
+    // Merge worker outputs in slice order: every counter and span below is
+    // published from this single thread, so totals and span counts are
+    // identical regardless of how the slices were scheduled.
+    slices.sort_by_key(|s| s.t);
+    let mut rg_total = RangeGraphStats::default();
+    let mut bc_total = BiclusterStats::default();
+    for out in slices {
+        ranges_per_time[out.t] = out.n_ranges;
+        per_time_biclusters[out.t] = out.biclusters;
+        truncated |= out.truncated;
+        rg_total.absorb(&out.rg_stats);
+        bc_total.absorb(&out.bc_stats);
+        timings.range_graphs += out.rg_time;
+        timings.biclusters += out.bc_time;
+        sink.span(names::SPAN_RANGE_GRAPH, out.rg_time);
+        sink.span(names::SPAN_BICLUSTER, out.bc_time);
     }
-    // Range-graph and bicluster time are not separable in the parallel
-    // fan-out; attribute the whole fan-out to `biclusters` and leave
-    // `range_graphs` as the (serial) remainder estimate of zero.
-    timings.biclusters = t0.elapsed();
+    sink.span(names::SPAN_SLICES_WALL, timings.slices_wall);
+    rg_total.publish(sink);
+    bc_total.publish(sink);
 
-    let t1 = Instant::now();
-    let (mut triclusters, tri_cut) = mine_triclusters_with_budget(m, &per_time_biclusters, params);
+    let tri_start = Instant::now();
+    let (mut triclusters, tri_cut, tri_stats) =
+        mine_triclusters_observed(m, &per_time_biclusters, params);
     truncated |= tri_cut;
-    timings.triclusters = t1.elapsed();
+    timings.triclusters = tri_start.elapsed();
+    sink.span(names::SPAN_TRICLUSTER, timings.triclusters);
+    tri_stats.publish(sink);
 
-    let t2 = Instant::now();
+    let prune_start = Instant::now();
     let prune_stats = if let Some(merge) = &params.merge {
-        let (survivors, stats) = merge_and_prune(std::mem::take(&mut triclusters), merge);
+        // merge_and_prune_observed publishes the prune counters itself.
+        let (survivors, stats) =
+            merge_and_prune_observed(std::mem::take(&mut triclusters), merge, sink);
         triclusters = survivors;
         stats
     } else {
         PruneStats::default()
     };
-    timings.prune = t2.elapsed();
+    timings.prune = prune_start.elapsed();
+    sink.span(names::SPAN_PRUNE, timings.prune);
 
     // Deterministic output order: by genes, then samples, then times.
     triclusters.sort_by(|a, b| {
@@ -175,6 +310,7 @@ pub fn mine(m: &Matrix3, params: &Params) -> MiningResult {
         prune_stats,
         truncated,
         timings,
+        report: report_sink.into_report(),
     }
 }
 
@@ -183,12 +319,18 @@ pub fn mine(m: &Matrix3, params: &Params) -> MiningResult {
 /// symmetry Lemma 1), then maps the mined clusters back to the original
 /// coordinates.
 pub fn mine_auto(m: &Matrix3, params: &Params) -> MiningResult {
+    mine_auto_observed(m, params, &NullSink)
+}
+
+/// Like [`mine_auto`], routing instrumentation through `sink`
+/// (see [`mine_observed`]).
+pub fn mine_auto_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> MiningResult {
     let order = m.canonical_permutation();
     if order == [Axis::Gene, Axis::Sample, Axis::Time] {
-        return mine(m, params);
+        return mine_observed(m, params, sink);
     }
     let permuted = m.permuted(order);
-    let mut result = mine(&permuted, params);
+    let mut result = mine_observed(&permuted, params, sink);
     let n = [m.n_genes(), m.n_samples(), m.n_times()];
     result.triclusters = result
         .triclusters
@@ -390,5 +532,99 @@ mod tests {
         let a = mine(&m, &params());
         let b = mine(&m, &params());
         assert_eq!(view(&a.triclusters), view(&b.triclusters));
+    }
+
+    #[test]
+    fn report_has_spans_and_nonzero_counters() {
+        let m = paper_table1();
+        let result = mine(&m, &params());
+        let r = &result.report;
+        for span in [
+            tricluster_obs::names::SPAN_SLICES_WALL,
+            tricluster_obs::names::SPAN_RANGE_GRAPH,
+            tricluster_obs::names::SPAN_BICLUSTER,
+            tricluster_obs::names::SPAN_TRICLUSTER,
+            tricluster_obs::names::SPAN_PRUNE,
+        ] {
+            assert!(r.spans.contains_key(span), "missing span {span}");
+        }
+        // per-slice spans carry one record per slice
+        assert_eq!(
+            r.spans[tricluster_obs::names::SPAN_RANGE_GRAPH].count,
+            m.n_times() as u64
+        );
+        for counter in [
+            tricluster_obs::names::RG_RANGES_VALID,
+            tricluster_obs::names::BC_NODES,
+            tricluster_obs::names::BC_RECORDED,
+            tricluster_obs::names::TC_NODES,
+            tricluster_obs::names::TC_RECORDED,
+        ] {
+            assert!(r.counter(counter) > 0, "counter {counter} is zero");
+        }
+    }
+
+    /// The ISSUE's headline determinism guarantee: the counter map is
+    /// byte-identical across repeated runs *and* across thread counts.
+    #[test]
+    fn report_counters_identical_across_runs_and_thread_counts() {
+        let m = paper_table1();
+        let mk = |threads: usize| {
+            Params::builder()
+                .epsilon(0.01)
+                .min_size(3, 3, 2)
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let serial = mine(&m, &mk(1));
+        let parallel = mine(&m, &mk(4));
+        let serial_again = mine(&m, &mk(1));
+        assert_eq!(
+            serial.report.counter_map(),
+            serial_again.report.counter_map()
+        );
+        assert_eq!(serial.report.counter_map(), parallel.report.counter_map());
+        assert_eq!(
+            view(&serial.triclusters),
+            view(&parallel.triclusters),
+            "thread count must not change the mined clusters"
+        );
+        // span *counts* are schedule-independent too (durations are not)
+        let spans = |r: &tricluster_obs::RunReport| {
+            r.spans
+                .iter()
+                .map(|(name, s)| (*name, s.count))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(spans(&serial.report), spans(&parallel.report));
+    }
+
+    /// Mining against a recording sink yields the same report as the one
+    /// embedded in the result, and the default path stays on [`NullSink`].
+    #[test]
+    fn observed_report_matches_external_recorder() {
+        let m = paper_table1();
+        let rec = tricluster_obs::Recorder::new();
+        let result = mine_observed(&m, &params(), &rec);
+        let external = rec.snapshot();
+        assert_eq!(result.report.counter_map(), external.counter_map());
+        let quiet = mine(&m, &params());
+        assert_eq!(result.report.counter_map(), quiet.report.counter_map());
+    }
+
+    #[test]
+    fn mine_auto_observed_reports_through_permutation() {
+        let m = paper_table1();
+        let twisted = m.permuted([Axis::Time, Axis::Sample, Axis::Gene]);
+        let rec = tricluster_obs::Recorder::new();
+        let result = mine_auto_observed(&twisted, &params(), &rec);
+        assert!(!result.triclusters.is_empty());
+        assert!(result.report.counter(tricluster_obs::names::TC_RECORDED) > 0);
+        assert_eq!(
+            rec.snapshot().counter_map(),
+            result.report.counter_map(),
+            "external sink sees the same counters"
+        );
     }
 }

@@ -5,7 +5,6 @@ use std::fmt;
 /// Thresholds controlling the optional merge/delete post-processing
 /// (paper §4.4).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MergeParams {
     /// Deletion threshold `η`: a cluster whose span outside the other
     /// cluster(s) is a fraction `< η` of its own span is deleted
@@ -34,7 +33,6 @@ impl Default for MergeParams {
 /// cluster straddling a split boundary is lost. Exposed as a switch so the
 /// ablation benches can measure its effect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RangeExtension {
     /// Emit only the maximal valid ranges (no merging).
     Off,
@@ -48,7 +46,6 @@ pub enum RangeExtension {
 /// `mx/my/mz` are minimum cardinalities per dimension, `δ^x/δ^y/δ^z` are
 /// maximum value ranges per dimension (`None` = unconstrained).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Params {
     /// Maximum ratio threshold `ε` for sample-pair coherence:
     /// `max(r_i, r_j)/min(r_i, r_j) − 1 ≤ ε`.
@@ -82,6 +79,10 @@ pub struct Params {
     /// [`MiningResult`](crate::MiningResult)) instead of a hang. `None`
     /// (default) searches exhaustively.
     pub max_candidates: Option<u64>,
+    /// Number of worker threads for the per-slice fan-out. `None` (default)
+    /// uses the available parallelism. Counter values in the run report are
+    /// identical for every setting; only wall-clock changes.
+    pub threads: Option<usize>,
 }
 
 impl Params {
@@ -115,7 +116,10 @@ impl fmt::Display for ParamsError {
                 write!(f, "minimum cardinality for {dim} must be >= 1")
             }
             ParamsError::BadDelta(dim, v) => {
-                write!(f, "delta threshold for {dim} must be finite and >= 0, got {v}")
+                write!(
+                    f,
+                    "delta threshold for {dim} must be finite and >= 0, got {v}"
+                )
             }
             ParamsError::BadMergeThreshold(name, v) => {
                 write!(f, "{name} must lie in [0, 1], got {v}")
@@ -140,6 +144,7 @@ pub struct ParamsBuilder {
     merge: Option<MergeParams>,
     range_extension: RangeExtension,
     max_candidates: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl Default for ParamsBuilder {
@@ -156,6 +161,7 @@ impl Default for ParamsBuilder {
             merge: None,
             range_extension: RangeExtension::On,
             max_candidates: None,
+            threads: None,
         }
     }
 }
@@ -234,6 +240,13 @@ impl ParamsBuilder {
         self
     }
 
+    /// Fixes the number of worker threads for the per-slice fan-out
+    /// (default: available parallelism). `1` forces a serial run.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Validates and produces the final [`Params`].
     pub fn build(self) -> Result<Params, ParamsError> {
         if !self.epsilon.is_finite() || self.epsilon < 0.0 {
@@ -274,6 +287,9 @@ impl ParamsBuilder {
         if self.max_candidates == Some(0) {
             return Err(ParamsError::ZeroMinimum("max_candidates"));
         }
+        if self.threads == Some(0) {
+            return Err(ParamsError::ZeroMinimum("threads"));
+        }
         Ok(Params {
             epsilon: self.epsilon,
             epsilon_time,
@@ -286,10 +302,10 @@ impl ParamsBuilder {
             merge: self.merge,
             range_extension: self.range_extension,
             max_candidates: self.max_candidates,
+            threads: self.threads,
         })
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -385,7 +401,23 @@ mod tests {
             Params::builder().merge(m).build(),
             Err(ParamsError::BadMergeThreshold("gamma", _))
         ));
-        assert!(Params::builder().merge(MergeParams::default()).build().is_ok());
+        assert!(Params::builder()
+            .merge(MergeParams::default())
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_threads() {
+        assert_eq!(
+            Params::builder().threads(0).build(),
+            Err(ParamsError::ZeroMinimum("threads"))
+        );
+        assert_eq!(Params::builder().build().unwrap().threads, None);
+        assert_eq!(
+            Params::builder().threads(4).build().unwrap().threads,
+            Some(4)
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::cluster::Tricluster;
 use crate::params::MergeParams;
 use crate::span;
+use tricluster_obs::{emit, names, Event, EventSink, NullSink};
 
 /// Statistics of one [`merge_and_prune`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +41,18 @@ pub fn merge_and_prune(
     clusters: Vec<Tricluster>,
     params: &MergeParams,
 ) -> (Vec<Tricluster>, PruneStats) {
+    merge_and_prune_observed(clusters, params, &NullSink)
+}
+
+/// Like [`merge_and_prune`], but also publishes decision counters and emits
+/// one trace event per merge/delete decision ("prune.merge",
+/// "prune.delete.pairwise", "prune.delete.multicover") with the spans and
+/// fractions that drove it.
+pub fn merge_and_prune_observed(
+    clusters: Vec<Tricluster>,
+    params: &MergeParams,
+    sink: &dyn EventSink,
+) -> (Vec<Tricluster>, PruneStats) {
     let mut stats = PruneStats::default();
     let mut clusters = clusters;
 
@@ -56,6 +69,13 @@ pub fn merge_and_prune(
                 }
                 let extra = span::bounding_extra_size(a, b);
                 if (extra as f64) / (total as f64) < params.gamma {
+                    emit(sink, || {
+                        Event::new("prune.merge")
+                            .field("span_a", a.span_size())
+                            .field("span_b", b.span_size())
+                            .field("bounding", total)
+                            .field("extra_frac", extra as f64 / total as f64)
+                    });
                     let merged = a.bounding(b);
                     clusters.swap_remove(j);
                     clusters[i] = merged;
@@ -96,6 +116,12 @@ pub fn merge_and_prune(
             if a.span_size() > b.span_size() {
                 let frac = span::difference_size(b, a) as f64 / b.span_size() as f64;
                 if frac < params.eta {
+                    emit(sink, || {
+                        Event::new("prune.delete.pairwise")
+                            .field("span_kept", a.span_size())
+                            .field("span_deleted", b.span_size())
+                            .field("outside_frac", frac)
+                    });
                     alive[j] = false;
                     stats.deleted_pairwise += 1;
                 }
@@ -125,10 +151,23 @@ pub fn merge_and_prune(
         let uncovered = span::uncovered_size(&clusters[i], &others);
         let frac = uncovered as f64 / clusters[i].span_size() as f64;
         if frac < params.eta {
+            emit(sink, || {
+                Event::new("prune.delete.multicover")
+                    .field("span_deleted", clusters[i].span_size())
+                    .field("covered_by", others.len())
+                    .field("uncovered_frac", frac)
+            });
             alive[i] = false;
             stats.deleted_multicover += 1;
         }
     }
+
+    sink.counter(names::PR_MERGED, stats.merged as u64);
+    sink.counter(names::PR_DELETED_PAIRWISE, stats.deleted_pairwise as u64);
+    sink.counter(
+        names::PR_DELETED_MULTICOVER,
+        stats.deleted_multicover as u64,
+    );
 
     let survivors = clusters
         .into_iter()
@@ -252,6 +291,21 @@ mod tests {
         let (out, stats) = merge_and_prune(Vec::new(), &MergeParams::default());
         assert!(out.is_empty());
         assert_eq!(stats, PruneStats::default());
+    }
+
+    #[test]
+    fn observed_emits_decision_events() {
+        let rec = tricluster_obs::Recorder::new();
+        let a = mk(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9], &[0, 1, 2, 3], &[0, 1]);
+        let b = mk(&[0, 1, 2, 3, 4, 10], &[0, 1], &[0]);
+        let (_, stats) = merge_and_prune_observed(vec![a, b], &eta_gamma(0.2, 0.0), &rec);
+        assert_eq!(stats.deleted_pairwise, 1);
+        let events = rec.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "prune.delete.pairwise");
+        let report = rec.snapshot();
+        assert_eq!(report.counter("prune.deleted.pairwise"), 1);
+        assert_eq!(report.counter("prune.merged"), 0);
     }
 
     #[test]

@@ -29,7 +29,6 @@ use tricluster_bitset::BitSet;
 
 /// How a range was produced (paper Figure 1(b)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RangeKind {
     /// A maximal valid window (width ≤ ε).
     Valid,
@@ -43,7 +42,6 @@ pub enum RangeKind {
 
 /// Sign group of the ratios in a range (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SignGroup {
     /// `d_xa` and `d_xb` share a sign, ratio positive.
     Positive,
@@ -80,7 +78,6 @@ impl SignGroup {
 /// A ratio range between two sample columns, with the genes whose ratios
 /// fall inside it.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RatioRange {
     /// Lower bound of `|ratio|`.
     pub lo: f64,
@@ -284,14 +281,7 @@ mod tests {
     /// Paper Figure 1(a): sorted ratios of column s0/s6 at time t0.
     /// g1,g4,g8 -> 3.0; g3,g5 -> 3.3; g0 -> 3.6.
     fn paper_fig1() -> Vec<(f64, usize)> {
-        vec![
-            (3.0, 1),
-            (3.0, 4),
-            (3.0, 8),
-            (3.3, 3),
-            (3.3, 5),
-            (3.6, 0),
-        ]
+        vec![(3.0, 1), (3.0, 4), (3.0, 8), (3.3, 3), (3.3, 5), (3.6, 0)]
     }
 
     #[test]
@@ -381,7 +371,9 @@ mod tests {
     fn wide_chain_produces_split_and_patched() {
         // A dense arithmetic chain: every adjacent pair within ε but the
         // whole chain much wider than 2ε.
-        let data: Vec<(f64, usize)> = (0..16).map(|i| (1.0f64 * 1.04f64.powi(i), i as usize)).collect();
+        let data: Vec<(f64, usize)> = (0..16)
+            .map(|i| (1.0f64 * 1.04f64.powi(i), i as usize))
+            .collect();
         let rs = ranges(&data, 0.05, 2, RangeExtension::On);
         assert!(
             rs.iter().any(|r| r.kind == RangeKind::Split),
@@ -412,7 +404,9 @@ mod tests {
     fn adjacent_pairs_consecutive_blocks_share_genes_via_patching() {
         // Genes right at a split boundary must appear together in some range
         // (that is the point of patched ranges).
-        let data: Vec<(f64, usize)> = (0..20).map(|i| (1.0f64 * 1.03f64.powi(i), i as usize)).collect();
+        let data: Vec<(f64, usize)> = (0..20)
+            .map(|i| (1.0f64 * 1.03f64.powi(i), i as usize))
+            .collect();
         let rs = ranges(&data, 0.05, 2, RangeExtension::On);
         for w in 0..19usize {
             let together = rs

@@ -12,9 +12,10 @@
 //! [`bicluster`](crate::bicluster) DFS searches for.
 
 use crate::params::Params;
-use crate::range::{find_ranges, RatioRange, SignGroup};
+use crate::range::{find_ranges, RangeKind, RatioRange, SignGroup};
 use tricluster_graph::MultiGraph;
 use tricluster_matrix::Matrix3;
+use tricluster_obs::{emit, names, Event, EventSink, NullSink};
 
 /// The range multigraph of one time slice.
 #[derive(Debug, Clone)]
@@ -44,6 +45,52 @@ impl RangeGraph {
     }
 }
 
+/// Per-slice statistics of one [`build_range_graph_observed`] call.
+///
+/// Purely input-determined (no timing), so values are identical run to run
+/// and independent of how slices are scheduled across threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeGraphStats {
+    /// Column pairs examined (`n_samples · (n_samples − 1) / 2`).
+    pub pairs: u64,
+    /// Gene ratios classified into a sign group.
+    pub ratios: u64,
+    /// Edges added to the multigraph (all kinds).
+    pub edges: u64,
+    /// Edges whose range kind is [`RangeKind::Valid`].
+    pub ranges_valid: u64,
+    /// Edges whose range kind is [`RangeKind::Extended`].
+    pub ranges_extended: u64,
+    /// Edges whose range kind is [`RangeKind::Split`].
+    pub ranges_split: u64,
+    /// Edges whose range kind is [`RangeKind::Patched`].
+    pub ranges_patched: u64,
+}
+
+impl RangeGraphStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &RangeGraphStats) {
+        self.pairs += other.pairs;
+        self.ratios += other.ratios;
+        self.edges += other.edges;
+        self.ranges_valid += other.ranges_valid;
+        self.ranges_extended += other.ranges_extended;
+        self.ranges_split += other.ranges_split;
+        self.ranges_patched += other.ranges_patched;
+    }
+
+    /// Mirrors the stats into counter increments on `sink`.
+    pub fn publish(&self, sink: &dyn EventSink) {
+        sink.counter(names::RG_PAIRS, self.pairs);
+        sink.counter(names::RG_RATIOS, self.ratios);
+        sink.counter(names::RG_EDGES, self.edges);
+        sink.counter(names::RG_RANGES_VALID, self.ranges_valid);
+        sink.counter(names::RG_RANGES_EXTENDED, self.ranges_extended);
+        sink.counter(names::RG_RANGES_SPLIT, self.ranges_split);
+        sink.counter(names::RG_RANGES_PATCHED, self.ranges_patched);
+    }
+}
+
 /// Builds the range multigraph for time slice `t` of `m`.
 ///
 /// For each ordered column pair `(a, b)` with `a < b`, the per-gene ratios
@@ -51,14 +98,28 @@ impl RangeGraph {
 /// group's maximal valid ranges (plus extended/split/patched ranges,
 /// depending on [`Params::range_extension`]) become parallel edges.
 pub fn build_range_graph(m: &Matrix3, t: usize, params: &Params) -> RangeGraph {
+    build_range_graph_observed(m, t, params, &NullSink).0
+}
+
+/// Like [`build_range_graph`], but also returns per-slice statistics and
+/// routes trace events ("rangegraph.pair", one per edge-carrying column
+/// pair) through `sink`.
+pub fn build_range_graph_observed(
+    m: &Matrix3,
+    t: usize,
+    params: &Params,
+    sink: &dyn EventSink,
+) -> (RangeGraph, RangeGraphStats) {
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
     let slice = m.time_slice_raw(t);
     let mut graph: MultiGraph<RatioRange> = MultiGraph::new(n_samples);
+    let mut stats = RangeGraphStats::default();
 
     let mut groups: [Vec<(f64, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for a in 0..n_samples {
         for b in (a + 1)..n_samples {
+            stats.pairs += 1;
             for g in &mut groups {
                 g.clear();
             }
@@ -71,8 +132,10 @@ pub fn build_range_graph(m: &Matrix3, t: usize, params: &Params) -> RangeGraph {
                 let ratio = (va / vb).abs();
                 if ratio.is_finite() && ratio > 0.0 {
                     groups[group_index(group)].push((ratio, gene));
+                    stats.ratios += 1;
                 }
             }
+            let mut pair_edges = 0u64;
             for (gi, sign) in [
                 (0, SignGroup::Positive),
                 (1, SignGroup::PosNeg),
@@ -89,12 +152,29 @@ pub fn build_range_graph(m: &Matrix3, t: usize, params: &Params) -> RangeGraph {
                     n_genes,
                     params.range_extension,
                 ) {
+                    match range.kind {
+                        RangeKind::Valid => stats.ranges_valid += 1,
+                        RangeKind::Extended => stats.ranges_extended += 1,
+                        RangeKind::Split => stats.ranges_split += 1,
+                        RangeKind::Patched => stats.ranges_patched += 1,
+                    }
+                    pair_edges += 1;
                     graph.add_edge(a, b, range);
                 }
             }
+            stats.edges += pair_edges;
+            if pair_edges > 0 {
+                emit(sink, || {
+                    Event::new("rangegraph.pair")
+                        .field("time", t)
+                        .field("a", a)
+                        .field("b", b)
+                        .field("edges", pair_edges)
+                });
+            }
         }
     }
-    RangeGraph { time: t, graph }
+    (RangeGraph { time: t, graph }, stats)
 }
 
 fn group_index(g: SignGroup) -> usize {
@@ -159,6 +239,43 @@ mod tests {
         genesets.sort();
         assert_eq!(genesets[0], vec![0, 2, 6, 7, 9]);
         assert_eq!(genesets[1], vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn observed_stats_match_graph() {
+        let m = paper_table1();
+        let p = default_params(0.01, 3);
+        let (rg, stats) = build_range_graph_observed(&m, 0, &p, &NullSink);
+        assert_eq!(stats.edges as usize, rg.n_ranges());
+        assert_eq!(stats.pairs, 7 * 6 / 2);
+        assert!(stats.ratios > 0);
+        assert_eq!(
+            stats.edges,
+            stats.ranges_valid + stats.ranges_extended + stats.ranges_split + stats.ranges_patched
+        );
+        // stats are input-determined: a second run is identical
+        let (_, again) = build_range_graph_observed(&m, 0, &p, &NullSink);
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn observed_emits_pair_events() {
+        let m = paper_table1();
+        let p = default_params(0.01, 3);
+        let rec = tricluster_obs::Recorder::new();
+        let (rg, stats) = build_range_graph_observed(&m, 0, &p, &rec);
+        let events = rec.take_events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.name == "rangegraph.pair"));
+        let total_edges: u64 = events
+            .iter()
+            .map(|e| match e.fields.iter().find(|(k, _)| *k == "edges") {
+                Some((_, tricluster_obs::Value::U64(n))) => *n,
+                other => panic!("missing edges field: {other:?}"),
+            })
+            .sum();
+        assert_eq!(total_edges as usize, rg.n_ranges());
+        assert_eq!(total_edges, stats.edges);
     }
 
     #[test]

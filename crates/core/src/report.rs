@@ -29,7 +29,10 @@ pub fn write_text<W: Write>(
     for (i, c) in clusters.iter().enumerate() {
         let (x, y, z) = c.shape();
         let kind = classify(m, c, tolerance);
-        writeln!(w, "cluster {i} [{kind}]: {x} genes x {y} samples x {z} times")?;
+        writeln!(
+            w,
+            "cluster {i} [{kind}]: {x} genes x {y} samples x {z} times"
+        )?;
         let genes: Vec<String> = c.genes.iter().map(|g| labels.gene(g)).collect();
         let samples: Vec<String> = c.samples.iter().map(|&s| labels.sample(s)).collect();
         let times: Vec<String> = c.times.iter().map(|&t| labels.time(t)).collect();
@@ -57,10 +60,9 @@ pub fn write_csv<W: Write>(
     writeln!(w, "{CSV_HEADER}")?;
     for (i, c) in clusters.iter().enumerate() {
         let (x, y, z) = c.shape();
-        let join =
-            |it: &mut dyn Iterator<Item = usize>| -> String {
-                it.map(|v| v.to_string()).collect::<Vec<_>>().join("|")
-            };
+        let join = |it: &mut dyn Iterator<Item = usize>| -> String {
+            it.map(|v| v.to_string()).collect::<Vec<_>>().join("|")
+        };
         writeln!(
             w,
             "{i},{x},{y},{z},{},{},{},{}",

@@ -165,9 +165,7 @@ mod tests {
                 assert_eq!(bounding_size(a, b), bound.span_size());
                 let extra = bound
                     .cells()
-                    .filter(|&(g, s, t)| {
-                        !a.contains_cell(g, s, t) && !b.contains_cell(g, s, t)
-                    })
+                    .filter(|&(g, s, t)| !a.contains_cell(g, s, t) && !b.contains_cell(g, s, t))
                     .count();
                 assert_eq!(bounding_extra_size(a, b), extra);
             }

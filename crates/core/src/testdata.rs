@@ -85,9 +85,9 @@ pub fn paper_table1() -> Matrix3 {
 /// [`paper_table1`], as `(genes, samples, times)` index lists.
 pub fn paper_table1_expected() -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
     vec![
-        (vec![1, 4, 8], vec![0, 1, 4, 6], vec![0, 1]),    // C1
-        (vec![0, 2, 6, 9], vec![1, 4, 6], vec![0, 1]),    // C2
-        (vec![0, 7, 9], vec![1, 2, 4, 5], vec![0, 1]),    // C3
+        (vec![1, 4, 8], vec![0, 1, 4, 6], vec![0, 1]), // C1
+        (vec![0, 2, 6, 9], vec![1, 4, 6], vec![0, 1]), // C2
+        (vec![0, 7, 9], vec![1, 2, 4, 5], vec![0, 1]), // C3
     ]
 }
 
@@ -120,7 +120,10 @@ mod tests {
             assert!((r - want).abs() < 1e-9, "gene {g}: ratio {r} != {want}");
         }
         let r0 = m.get(0, 0, 0) / m.get(0, 6, 0);
-        assert!((r0 - 3.6).abs() < 1e-9, "g0's s0/s6 ratio is Figure 1's 3.6");
+        assert!(
+            (r0 - 3.6).abs() < 1e-9,
+            "g0's s0/s6 ratio is Figure 1's 3.6"
+        );
     }
 
     #[test]

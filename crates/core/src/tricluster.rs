@@ -17,6 +17,47 @@ use crate::params::Params;
 use std::collections::HashSet;
 use tricluster_bitset::BitSet;
 use tricluster_matrix::Matrix3;
+use tricluster_obs::{names, EventSink};
+
+/// Statistics of one tricluster search. Input-determined: identical across
+/// runs and thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriclusterStats {
+    /// DFS nodes (candidate time sets) visited.
+    pub nodes: u64,
+    /// Candidate-visit budget consumed (0 when [`Params::max_candidates`]
+    /// is unset).
+    pub budget_spent: u64,
+    /// Bicluster-intersection extensions attempted.
+    pub extensions: u64,
+    /// Extensions rejected because the intersection fell below `mx`/`my`.
+    pub rejected_small: u64,
+    /// Slice-pair temporal-coherence checks performed.
+    pub coherence_checks: u64,
+    /// Extensions rejected by temporal coherence.
+    pub rejected_incoherent: u64,
+    /// Candidates recorded into the (tentative) result set.
+    pub recorded: u64,
+    /// Candidates rejected because an existing cluster subsumes them.
+    pub rejected_subsumed: u64,
+    /// Previously recorded clusters displaced by a larger candidate.
+    pub replaced: u64,
+}
+
+impl TriclusterStats {
+    /// Mirrors the stats into counter increments on `sink`.
+    pub fn publish(&self, sink: &dyn EventSink) {
+        sink.counter(names::TC_NODES, self.nodes);
+        sink.counter(names::TC_BUDGET_SPENT, self.budget_spent);
+        sink.counter(names::TC_EXTENSIONS, self.extensions);
+        sink.counter(names::TC_REJECTED_SMALL, self.rejected_small);
+        sink.counter(names::TC_COHERENCE_CHECKS, self.coherence_checks);
+        sink.counter(names::TC_REJECTED_INCOHERENT, self.rejected_incoherent);
+        sink.counter(names::TC_RECORDED, self.recorded);
+        sink.counter(names::TC_REJECTED_SUBSUMED, self.rejected_subsumed);
+        sink.counter(names::TC_REPLACED, self.replaced);
+    }
+}
 
 /// Mines all maximal triclusters given the biclusters of every time slice
 /// (`per_time[t]` = biclusters of slice `t`).
@@ -35,6 +76,17 @@ pub fn mine_triclusters_with_budget(
     per_time: &[Vec<Bicluster>],
     params: &Params,
 ) -> (Vec<Tricluster>, bool) {
+    let (cs, truncated, _) = mine_triclusters_observed(m, per_time, params);
+    (cs, truncated)
+}
+
+/// Like [`mine_triclusters_with_budget`], but also returns search
+/// statistics for the observability layer.
+pub fn mine_triclusters_observed(
+    m: &Matrix3,
+    per_time: &[Vec<Bicluster>],
+    params: &Params,
+) -> (Vec<Tricluster>, bool, TriclusterStats) {
     assert_eq!(
         per_time.len(),
         m.n_times(),
@@ -48,12 +100,13 @@ pub fn mine_triclusters_with_budget(
         times: Vec::new(),
         budget: params.max_candidates,
         truncated: false,
+        stats: TriclusterStats::default(),
     };
     let order: Vec<usize> = (0..m.n_times()).collect();
     let all_genes = BitSet::full(m.n_genes());
     let all_samples: Vec<usize> = (0..m.n_samples()).collect();
     miner.dfs(&all_genes, &all_samples, &order);
-    (miner.results, miner.truncated)
+    (miner.results, miner.truncated, miner.stats)
 }
 
 struct TriMiner<'a> {
@@ -64,6 +117,7 @@ struct TriMiner<'a> {
     times: Vec<usize>,
     budget: Option<u64>,
     truncated: bool,
+    stats: TriclusterStats,
 }
 
 impl TriMiner<'_> {
@@ -74,7 +128,9 @@ impl TriMiner<'_> {
                 return;
             }
             *b -= 1;
+            self.stats.budget_spent += 1;
         }
+        self.stats.nodes += 1;
         self.try_record(genes, samples);
         for (i, &tb) in pending.iter().enumerate() {
             let rest = &pending[i + 1..];
@@ -82,24 +138,30 @@ impl TriMiner<'_> {
             // dedupe identical (X, Y) outcomes at this node.
             let mut seen: HashSet<(Vec<u64>, Vec<usize>)> = HashSet::new();
             for bc in &self.per_time[tb] {
+                self.stats.extensions += 1;
                 if !bc
                     .genes
                     .intersection_count_at_least(genes, self.params.min_genes)
                 {
+                    self.stats.rejected_small += 1;
                     continue;
                 }
                 let new_samples = sorted_intersection(samples, &bc.samples);
                 if new_samples.len() < self.params.min_samples {
+                    self.stats.rejected_small += 1;
                     continue;
                 }
                 let mut new_genes = genes.clone();
                 new_genes.intersect_with(&bc.genes);
                 if new_genes.count() < self.params.min_genes {
+                    self.stats.rejected_small += 1;
                     continue;
                 }
                 // Temporal coherence of the intersected region between t_b
                 // and every slice already in Z.
+                let mut checks = 0u64;
                 let coherent = self.times.iter().all(|&ta| {
+                    checks += 1;
                     slice_pair_coherent(
                         self.m,
                         &new_genes,
@@ -109,7 +171,9 @@ impl TriMiner<'_> {
                         self.params.epsilon_time,
                     )
                 });
+                self.stats.coherence_checks += checks;
                 if !coherent {
+                    self.stats.rejected_incoherent += 1;
                     continue;
                 }
                 if !seen.insert((new_genes.as_blocks().to_vec(), new_samples.clone())) {
@@ -134,7 +198,13 @@ impl TriMiner<'_> {
             return;
         }
         let candidate = Tricluster::new(genes.clone(), samples.to_vec(), self.times.clone());
-        insert_maximal_tricluster(&mut self.results, candidate);
+        match insert_maximal_tricluster_counted(&mut self.results, candidate) {
+            TriInsertOutcome::Subsumed => self.stats.rejected_subsumed += 1,
+            TriInsertOutcome::Inserted { displaced } => {
+                self.stats.recorded += 1;
+                self.stats.replaced += displaced as u64;
+            }
+        }
     }
 
     /// 3D `δ` checks: `δ^x` bounds the value range within each
@@ -194,13 +264,36 @@ impl TriMiner<'_> {
     }
 }
 
+/// What [`insert_maximal_tricluster_counted`] did with a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriInsertOutcome {
+    /// The candidate was contained in an existing cluster and dropped.
+    Subsumed,
+    /// The candidate was inserted, displacing `displaced` existing clusters.
+    Inserted {
+        /// Existing clusters removed because the candidate contains them.
+        displaced: usize,
+    },
+}
+
 /// Inserts `candidate` into `results` keeping only maximal triclusters.
 pub fn insert_maximal_tricluster(results: &mut Vec<Tricluster>, candidate: Tricluster) {
+    insert_maximal_tricluster_counted(results, candidate);
+}
+
+/// Like [`insert_maximal_tricluster`], reporting what happened.
+pub fn insert_maximal_tricluster_counted(
+    results: &mut Vec<Tricluster>,
+    candidate: Tricluster,
+) -> TriInsertOutcome {
     if results.iter().any(|c| candidate.is_subcluster_of(c)) {
-        return;
+        return TriInsertOutcome::Subsumed;
     }
+    let before = results.len();
     results.retain(|c| !c.is_subcluster_of(&candidate));
+    let displaced = before - results.len();
     results.push(candidate);
+    TriInsertOutcome::Inserted { displaced }
 }
 
 #[cfg(test)]
@@ -337,6 +430,49 @@ mod tests {
         assert_eq!(v.len(), 1, "subsumed candidate rejected");
         insert_maximal_tricluster(&mut v, mk(&[3], &[1], &[0]));
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn observed_stats_are_deterministic_and_consistent() {
+        let m = paper_table1();
+        let p = params();
+        let per_time: Vec<Vec<Bicluster>> = (0..m.n_times())
+            .map(|t| {
+                let rg = build_range_graph(&m, t, &p);
+                mine_biclusters(&m, &rg, &p)
+            })
+            .collect();
+        let (cs, truncated, stats) = mine_triclusters_observed(&m, &per_time, &p);
+        assert!(!truncated);
+        assert_eq!(cs.len(), 3);
+        assert!(stats.nodes > 0);
+        assert!(stats.extensions > 0);
+        assert!(stats.coherence_checks > 0);
+        assert_eq!(stats.recorded - stats.replaced, cs.len() as u64);
+        let (_, _, again) = mine_triclusters_observed(&m, &per_time, &p);
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn incoherence_is_counted() {
+        let mut m = paper_table1();
+        // Double C2's s4 column at t1. Within slice t1 ratios across genes
+        // stay constant, so the bicluster still forms there — but the
+        // t1/t0 ratio at s4 now differs from the other samples, so the
+        // *temporal* coherence check must reject the extension.
+        for g in [0usize, 2, 6, 9] {
+            let v = m.get(g, 4, 1);
+            m.set(g, 4, 1, v * 2.0);
+        }
+        let p = params();
+        let per_time: Vec<Vec<Bicluster>> = (0..m.n_times())
+            .map(|t| {
+                let rg = build_range_graph(&m, t, &p);
+                mine_biclusters(&m, &rg, &p)
+            })
+            .collect();
+        let (_, _, stats) = mine_triclusters_observed(&m, &per_time, &p);
+        assert!(stats.rejected_incoherent > 0);
     }
 
     #[test]

@@ -88,11 +88,7 @@ impl<E> MultiGraph<E> {
     /// Iterates over all out-neighbors of `v` (each once, regardless of edge
     /// multiplicity), in ascending order.
     pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.adjacency
-            .get(v)
-            .into_iter()
-            .flatten()
-            .map(|(b, _)| *b)
+        self.adjacency.get(v).into_iter().flatten().map(|(b, _)| *b)
     }
 
     /// Iterates over every edge of the graph as [`EdgeRef`]s.

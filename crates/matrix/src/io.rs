@@ -94,7 +94,9 @@ fn parse_cell(tok: &str, line: usize) -> Result<f64, IoError> {
 /// Reads a single 2D slice (gene × sample) in the header+rows TSV format.
 ///
 /// Returns the matrix plus the gene and sample names.
-pub fn read_slice_tsv<R: BufRead>(reader: R) -> Result<(Matrix2, Vec<String>, Vec<String>), IoError> {
+pub fn read_slice_tsv<R: BufRead>(
+    reader: R,
+) -> Result<(Matrix2, Vec<String>, Vec<String>), IoError> {
     let mut lines = reader.lines().enumerate();
     let (_, header) = loop {
         match lines.next() {
@@ -157,17 +159,18 @@ pub fn read_stacked_tsv<R: BufRead>(reader: R) -> Result<(Matrix3, Labels), IoEr
     let mut current_time = String::new();
     let mut in_slice = false;
 
-    let finish =
-        |buf: &mut Vec<String>, time: &str| -> Result<Option<(Matrix2, Vec<String>, Vec<String>)>, IoError> {
-            if buf.is_empty() {
-                return Ok(None);
-            }
-            let joined = buf.join("\n");
-            buf.clear();
-            let (m, g, s) = read_slice_tsv(std::io::Cursor::new(joined))?;
-            let _ = time;
-            Ok(Some((m, g, s)))
-        };
+    let finish = |buf: &mut Vec<String>,
+                  time: &str|
+     -> Result<Option<(Matrix2, Vec<String>, Vec<String>)>, IoError> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let joined = buf.join("\n");
+        buf.clear();
+        let (m, g, s) = read_slice_tsv(std::io::Cursor::new(joined))?;
+        let _ = time;
+        Ok(Some((m, g, s)))
+    };
 
     for line in reader.lines() {
         let line = line?;
@@ -199,7 +202,11 @@ pub fn read_stacked_tsv<R: BufRead>(reader: R) -> Result<(Matrix3, Labels), IoEr
     if slices.is_empty() {
         return Err(IoError::Empty);
     }
-    let labels = Labels::new(genes.unwrap_or_default(), samples.unwrap_or_default(), times);
+    let labels = Labels::new(
+        genes.unwrap_or_default(),
+        samples.unwrap_or_default(),
+        times,
+    );
     Ok((Matrix3::from_time_slices(&slices), labels))
 }
 
@@ -316,9 +323,7 @@ mod tests {
     fn read_slice_ragged_reports_shape() {
         let text = "gene\ts0\ts1\ng0\t1\n";
         match read_slice_tsv(text.as_bytes()) {
-            Err(IoError::RaggedRow {
-                expected, got, ..
-            }) => {
+            Err(IoError::RaggedRow { expected, got, .. }) => {
                 assert_eq!((expected, got), (2, 1));
             }
             other => panic!("expected RaggedRow, got {other:?}"),

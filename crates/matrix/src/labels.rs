@@ -52,7 +52,10 @@ impl Labels {
 
     /// Name of gene `i`, or a generated default when out of range.
     pub fn gene(&self, i: usize) -> String {
-        self.genes.get(i).cloned().unwrap_or_else(|| format!("g{i}"))
+        self.genes
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| format!("g{i}"))
     }
 
     /// Name of sample `j`, or a generated default when out of range.
@@ -65,7 +68,10 @@ impl Labels {
 
     /// Name of time point `k`, or a generated default when out of range.
     pub fn time(&self, k: usize) -> String {
-        self.times.get(k).cloned().unwrap_or_else(|| format!("t{k}"))
+        self.times
+            .get(k)
+            .cloned()
+            .unwrap_or_else(|| format!("t{k}"))
     }
 
     /// Index of the gene with the given name.

@@ -150,7 +150,11 @@ impl Matrix3 {
 
     /// Copies out the `genes × samples` slice at time `t`.
     pub fn time_slice(&self, t: usize) -> Matrix2 {
-        assert!(t < self.n_times, "time {t} out of bounds ({})", self.n_times);
+        assert!(
+            t < self.n_times,
+            "time {t} out of bounds ({})",
+            self.n_times
+        );
         let base = t * self.n_genes * self.n_samples;
         Matrix2::from_vec(
             self.n_genes,
@@ -162,7 +166,11 @@ impl Matrix3 {
     /// Borrowed view of the raw `genes × samples` buffer at time `t`
     /// (row-major by gene). Zero-copy alternative to [`Matrix3::time_slice`].
     pub fn time_slice_raw(&self, t: usize) -> &[f64] {
-        assert!(t < self.n_times, "time {t} out of bounds ({})", self.n_times);
+        assert!(
+            t < self.n_times,
+            "time {t} out of bounds ({})",
+            self.n_times
+        );
         let base = t * self.n_genes * self.n_samples;
         &self.data[base..base + self.n_genes * self.n_samples]
     }

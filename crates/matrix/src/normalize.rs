@@ -201,8 +201,7 @@ mod tests {
                 .map(|(s, t)| z.get(g, s, t))
                 .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             assert!(mean.abs() < 1e-12, "gene {g} mean {mean}");
             assert!((var - 1.0).abs() < 1e-12, "gene {g} var {var}");
         }

@@ -89,7 +89,11 @@ pub struct Enrichment {
 impl std::fmt::Display for Enrichment {
     /// Table 2 cell format: `name (n=3, p=0.00346)`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} (n={}, p={:.3e})", self.term, self.count, self.p_value)
+        write!(
+            f,
+            "{} (n={}, p={:.3e})",
+            self.term, self.count, self.p_value
+        )
     }
 }
 
@@ -136,10 +140,9 @@ pub fn hypergeometric_tail(total: usize, marked: usize, n: usize, k: usize) -> f
     if k == 0 {
         return 1.0;
     }
-    if (marked > total || n > total || k > n || k > marked)
-        && k > n.min(marked) {
-            return 0.0;
-        }
+    if (marked > total || n > total || k > n || k > marked) && k > n.min(marked) {
+        return 0.0;
+    }
     let denom = ln_choose(total, n);
     let mut p = 0.0f64;
     for i in k..=n.min(marked) {
@@ -187,29 +190,70 @@ impl Default for CatalogSpec {
 
 /// Term-name pools per category, in the flavor of Table 2.
 const PROCESS_NAMES: &[&str] = &[
-    "ubiquitin cycle", "protein polyubiquitination", "carbohydrate biosynthesis",
-    "G1/S transition of mitotic cell cycle", "mRNA polyadenylylation", "lipid transport",
-    "physiological process", "organelle organization and biogenesis", "localization",
-    "pantothenate biosynthesis", "pantothenate metabolism", "transport", "DNA repair",
-    "chromatin remodeling", "glycolysis", "ribosome biogenesis", "autophagy",
-    "cell wall organization", "protein folding", "sporulation",
+    "ubiquitin cycle",
+    "protein polyubiquitination",
+    "carbohydrate biosynthesis",
+    "G1/S transition of mitotic cell cycle",
+    "mRNA polyadenylylation",
+    "lipid transport",
+    "physiological process",
+    "organelle organization and biogenesis",
+    "localization",
+    "pantothenate biosynthesis",
+    "pantothenate metabolism",
+    "transport",
+    "DNA repair",
+    "chromatin remodeling",
+    "glycolysis",
+    "ribosome biogenesis",
+    "autophagy",
+    "cell wall organization",
+    "protein folding",
+    "sporulation",
 ];
 const FUNCTION_NAMES: &[&str] = &[
-    "protein phosphatase regulator activity", "phosphatase regulator activity",
-    "oxidoreductase activity", "lipid transporter activity", "antioxidant activity",
-    "MAP kinase activity", "deaminase activity", "hydrolase activity",
+    "protein phosphatase regulator activity",
+    "phosphatase regulator activity",
+    "oxidoreductase activity",
+    "lipid transporter activity",
+    "antioxidant activity",
+    "MAP kinase activity",
+    "deaminase activity",
+    "hydrolase activity",
     "receptor signaling protein serine/threonine kinase activity",
-    "ubiquitin conjugating enzyme activity", "ATPase activity", "helicase activity",
-    "GTPase activity", "kinase activity", "ligase activity", "transferase activity",
-    "isomerase activity", "peptidase activity", "transcription factor activity",
+    "ubiquitin conjugating enzyme activity",
+    "ATPase activity",
+    "helicase activity",
+    "GTPase activity",
+    "kinase activity",
+    "ligase activity",
+    "transferase activity",
+    "isomerase activity",
+    "peptidase activity",
+    "transcription factor activity",
     "RNA binding",
 ];
 const COMPONENT_NAMES: &[&str] = &[
-    "cytoplasm", "microsome", "vesicular fraction", "microbody", "peroxisome",
-    "membrane", "cell", "endoplasmic reticulum", "vacuolar membrane", "intracellular",
-    "endoplasmic reticulum membrane", "nuclear envelope-endoplasmic reticulum network",
-    "Golgi vesicle", "nucleus", "mitochondrion", "ribosome", "spindle pole body",
-    "bud neck", "plasma membrane", "cell cortex",
+    "cytoplasm",
+    "microsome",
+    "vesicular fraction",
+    "microbody",
+    "peroxisome",
+    "membrane",
+    "cell",
+    "endoplasmic reticulum",
+    "vacuolar membrane",
+    "intracellular",
+    "endoplasmic reticulum membrane",
+    "nuclear envelope-endoplasmic reticulum network",
+    "Golgi vesicle",
+    "nucleus",
+    "mitochondrion",
+    "ribosome",
+    "spindle pole body",
+    "bud neck",
+    "plasma membrane",
+    "cell cortex",
 ];
 
 fn names_for(cat: GoCategory) -> &'static [&'static str] {

@@ -243,8 +243,7 @@ mod tests {
 
     #[test]
     fn assemble_selects_requested_attributes() {
-        let (m, labels) =
-            assemble(&[table(T0), table(T1)], Some(&["RAT1", "CH1I"]), &[]).unwrap();
+        let (m, labels) = assemble(&[table(T0), table(T1)], Some(&["RAT1", "CH1I"]), &[]).unwrap();
         assert_eq!(m.n_samples(), 2);
         assert_eq!(labels.samples(), &["RAT1", "CH1I"]);
         assert_eq!(m.get(0, 0, 0), 2.0, "RAT1 first");
@@ -267,7 +266,10 @@ mod tests {
 
     #[test]
     fn assemble_reports_no_tables_and_no_common_attributes() {
-        assert!(matches!(assemble(&[], None, &[]), Err(AssembleError::NoTables)));
+        assert!(matches!(
+            assemble(&[], None, &[]),
+            Err(AssembleError::NoTables)
+        ));
         let different = "orf\tOTHER\nYAL001C\t1\n";
         let e = assemble(&[table(T0), table(different)], None, &[]).unwrap_err();
         assert!(matches!(e, AssembleError::NoCommonAttributes));
@@ -275,12 +277,7 @@ mod tests {
 
     #[test]
     fn time_names_applied_with_default_fill() {
-        let (_, labels) = assemble(
-            &[table(T0), table(T1)],
-            None,
-            &["0min".to_string()],
-        )
-        .unwrap();
+        let (_, labels) = assemble(&[table(T0), table(T1)], None, &["0min".to_string()]).unwrap();
         assert_eq!(labels.times(), &["0min", "t1"]);
     }
 

@@ -102,8 +102,19 @@ pub struct YeastDataset {
 
 /// Channel names modeled on the raw attributes of the Spellman dataset.
 const CHANNELS: [&str; 13] = [
-    "CH1I", "CH1B", "CH1D", "CH2I", "CH2B", "CH2D", "CH2IN", "CH1I_norm", "CH2I_norm", "RAT1",
-    "RAT2", "RAT1N", "RAT2N",
+    "CH1I",
+    "CH1B",
+    "CH1D",
+    "CH2I",
+    "CH2B",
+    "CH2D",
+    "CH2IN",
+    "CH1I_norm",
+    "CH2I_norm",
+    "RAT1",
+    "RAT2",
+    "RAT1N",
+    "RAT2N",
 ];
 
 /// Builds the simulated dataset.
@@ -194,7 +205,9 @@ pub fn build(spec: &YeastSpec) -> YeastDataset {
             .take(spec.n_samples)
             .map(|s| s.to_string())
             .collect(),
-        (0..spec.n_times).map(|t| format!("{}min", t * 30)).collect(),
+        (0..spec.n_times)
+            .map(|t| format!("{}min", t * 30))
+            .collect(),
     );
 
     YeastDataset {
@@ -207,7 +220,11 @@ pub fn build(spec: &YeastSpec) -> YeastDataset {
 /// Generates a systematic-style yeast ORF name (`Y<chr><arm><num><strand>`).
 fn systematic_name(i: usize) -> String {
     let chromosome = (b'A' + ((i / 500) % 16) as u8) as char;
-    let arm = if (i / 250).is_multiple_of(2) { 'L' } else { 'R' };
+    let arm = if (i / 250).is_multiple_of(2) {
+        'L'
+    } else {
+        'R'
+    };
     let strand = if i.is_multiple_of(2) { 'W' } else { 'C' };
     format!("Y{chromosome}{arm}{:03}{strand}", i % 250)
 }
@@ -224,10 +241,7 @@ mod tests {
     #[test]
     fn default_spec_matches_paper_shape() {
         let spec = YeastSpec::default();
-        assert_eq!(
-            (spec.n_genes, spec.n_samples, spec.n_times),
-            (7679, 13, 14)
-        );
+        assert_eq!((spec.n_genes, spec.n_samples, spec.n_times), (7679, 13, 14));
         assert_eq!(spec.group_sizes, vec![51, 52, 57, 97, 66]);
     }
 
@@ -238,10 +252,13 @@ mod tests {
         assert_eq!(ds.embedded.len(), 5);
         assert_eq!(ds.labels.genes().len(), 800);
         assert_eq!(ds.labels.samples().len(), 13);
-        assert_eq!(ds.labels.times(), &[
-            "0min", "30min", "60min", "90min", "120min", "150min", "180min",
-            "210min", "240min", "270min", "300min", "330min", "360min", "390min",
-        ]);
+        assert_eq!(
+            ds.labels.times(),
+            &[
+                "0min", "30min", "60min", "90min", "120min", "150min", "180min", "210min",
+                "240min", "270min", "300min", "330min", "360min", "390min",
+            ]
+        );
     }
 
     #[test]
@@ -261,8 +278,12 @@ mod tests {
         for c in &ds.embedded {
             assert!(
                 is_coherent_region(
-                    &ds.matrix, &c.genes, &c.samples, &c.times,
-                    PAPER_EPSILON, PAPER_EPSILON
+                    &ds.matrix,
+                    &c.genes,
+                    &c.samples,
+                    &c.times,
+                    PAPER_EPSILON,
+                    PAPER_EPSILON
                 ),
                 "embedded group not coherent at eps={PAPER_EPSILON}: {c:?}"
             );

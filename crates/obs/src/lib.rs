@@ -1,0 +1,602 @@
+//! Zero-dependency observability for the TriCluster pipeline.
+//!
+//! The design splits instrumentation into two tiers so the hot DFS loops
+//! never pay for a sink they do not use:
+//!
+//! * **Aggregates** — phase code accumulates plain local stat structs and
+//!   folds them into a [`RunReport`] (counters + span timings) once per
+//!   phase. No locking, no allocation on the hot path.
+//! * **Trace events** — optional per-decision [`Event`]s routed through an
+//!   [`EventSink`]. Callers guard construction with [`EventSink::enabled`]
+//!   (or the [`emit`] helper), so the default [`NullSink`] reduces to a
+//!   single inlinable branch.
+//!
+//! Everything here is pure `std`: the JSON emitted by [`json::Json`] and
+//! [`JsonLinesSink`] is hand-rolled.
+
+use std::collections::BTreeMap;
+use std::io::Write as IoWrite;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub mod json;
+pub mod names;
+
+/// A dynamically typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    fn to_json(&self) -> json::Json {
+        match self {
+            Value::U64(v) => json::Json::U64(*v),
+            Value::I64(v) => json::Json::I64(*v),
+            Value::F64(v) => json::Json::F64(*v),
+            Value::Bool(v) => json::Json::Bool(*v),
+            Value::Str(v) => json::Json::Str(v.clone()),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+/// A single trace event: a name plus ordered `(key, value)` fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub name: &'static str,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field attachment.
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Render as a single JSON object (one trace line).
+    pub fn to_json(&self) -> json::Json {
+        let mut obj = vec![("event".to_string(), json::Json::Str(self.name.to_string()))];
+        for (k, v) in &self.fields {
+            obj.push((k.to_string(), v.to_json()));
+        }
+        json::Json::Obj(obj)
+    }
+}
+
+/// Destination for instrumentation signals.
+///
+/// Implementations must be `Sync`: the miner shares one sink across its
+/// per-slice worker threads. All methods default to no-ops so sinks can
+/// implement only what they care about.
+pub trait EventSink: Sync {
+    /// Whether per-decision trace events should be constructed at all.
+    /// Hot paths check this before building an [`Event`].
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A counter was incremented by `delta`.
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// A named span completed with the given duration.
+    fn span(&self, name: &'static str, elapsed: Duration) {
+        let _ = (name, elapsed);
+    }
+
+    /// A trace event occurred.
+    fn event(&self, event: Event) {
+        let _ = event;
+    }
+}
+
+/// Build an event lazily and deliver it only if the sink wants events.
+#[inline]
+pub fn emit(sink: &dyn EventSink, build: impl FnOnce() -> Event) {
+    if sink.enabled() {
+        sink.event(build());
+    }
+}
+
+/// Sink that drops everything. `enabled()` is `false`, so guarded call
+/// sites skip event construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Fan a signal out to two sinks (e.g. a [`Recorder`] plus a trace writer).
+pub struct Tee<'a>(pub &'a dyn EventSink, pub &'a dyn EventSink);
+
+impl EventSink for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.0.counter(name, delta);
+        self.1.counter(name, delta);
+    }
+    fn span(&self, name: &'static str, elapsed: Duration) {
+        self.0.span(name, elapsed);
+        self.1.span(name, elapsed);
+    }
+    fn event(&self, event: Event) {
+        if self.0.enabled() {
+            self.0.event(event.clone());
+        }
+        if self.1.enabled() {
+            self.1.event(event);
+        }
+    }
+}
+
+/// Aggregate statistics for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed span instances.
+    pub count: u64,
+    /// Sum of their durations.
+    pub total: Duration,
+}
+
+impl SpanStats {
+    pub fn record(&mut self, elapsed: Duration) {
+        self.count += 1;
+        self.total += elapsed;
+    }
+}
+
+/// Structured summary of one pipeline run: monotonic counters plus span
+/// timings, both keyed by stable dotted names (see [`names`]).
+///
+/// Counter values are deterministic for a given input and parameter set —
+/// they are accumulated per worker and merged in slice order, so thread
+/// count and scheduling cannot change them. Span totals are wall-clock
+/// measurements and naturally vary between runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl RunReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        if delta > 0 {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    pub fn add_span(&mut self, name: &'static str, elapsed: Duration) {
+        self.spans.entry(name).or_default().record(elapsed);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total recorded time for a span (zero if absent).
+    pub fn span_total(&self, name: &str) -> Duration {
+        self.spans.get(name).map(|s| s.total).unwrap_or_default()
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: &RunReport) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, stats) in &other.spans {
+            let e = self.spans.entry(name).or_default();
+            e.count += stats.count;
+            e.total += stats.total;
+        }
+    }
+
+    /// Replay every counter and span into a sink (used to mirror the
+    /// aggregate view into a trace stream or recorder).
+    pub fn replay_into(&self, sink: &dyn EventSink) {
+        for (name, delta) in &self.counters {
+            sink.counter(name, *delta);
+        }
+        for (name, stats) in &self.spans {
+            sink.span(name, stats.total);
+        }
+    }
+
+    /// The counters-only view, with owned keys (handy for equality tests).
+    pub fn counter_map(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Render as a JSON object `{"counters": {...}, "spans": {...}}`.
+    pub fn to_json(&self) -> json::Json {
+        let counters = json::Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), json::Json::U64(*v)))
+                .collect(),
+        );
+        let spans = json::Json::Obj(
+            self.spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.to_string(),
+                        json::Json::Obj(vec![
+                            ("count".to_string(), json::Json::U64(s.count)),
+                            (
+                                "total_ns".to_string(),
+                                json::Json::U64(s.total.as_nanos() as u64),
+                            ),
+                            (
+                                "total_secs".to_string(),
+                                json::Json::F64(s.total.as_secs_f64()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        json::Json::Obj(vec![
+            ("counters".to_string(), counters),
+            ("spans".to_string(), spans),
+        ])
+    }
+
+    /// Human-readable multi-line rendering: spans first, then counters.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {name:width$}  {:>10.3} ms  ({} call{})\n",
+                    s.total.as_secs_f64() * 1e3,
+                    s.count,
+                    if s.count == 1 { "" } else { "s" },
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:width$}  {v:>12}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Thread-safe aggregating sink: counters and spans accumulate into a
+/// [`RunReport`], events are buffered in arrival order.
+#[derive(Default)]
+pub struct Recorder {
+    inner: Mutex<RecorderInner>,
+}
+
+#[derive(Default)]
+struct RecorderInner {
+    report: RunReport,
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the aggregate view so far.
+    pub fn snapshot(&self) -> RunReport {
+        self.inner.lock().unwrap().report.clone()
+    }
+
+    /// Drain buffered trace events.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(&mut self.inner.lock().unwrap().events)
+    }
+}
+
+impl EventSink for Recorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.inner.lock().unwrap().report.add_counter(name, delta);
+    }
+    fn span(&self, name: &'static str, elapsed: Duration) {
+        self.inner.lock().unwrap().report.add_span(name, elapsed);
+    }
+    fn event(&self, event: Event) {
+        self.inner.lock().unwrap().events.push(event);
+    }
+}
+
+/// Sink that writes each trace event as one JSON line. Counters and spans
+/// are also emitted as `counter` / `span` pseudo-events so a trace file is
+/// self-contained.
+pub struct JsonLinesSink<W: IoWrite + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: IoWrite + Send> JsonLinesSink<W> {
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().unwrap()
+    }
+
+    fn write_json(&self, value: &json::Json) {
+        let mut w = self.writer.lock().unwrap();
+        // A broken pipe on a trace stream should not abort the mine.
+        let _ = writeln!(w, "{}", value.render());
+    }
+}
+
+impl<W: IoWrite + Send> EventSink for JsonLinesSink<W> {
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.write_json(&json::Json::Obj(vec![
+            ("counter".to_string(), json::Json::Str(name.to_string())),
+            ("delta".to_string(), json::Json::U64(delta)),
+        ]));
+    }
+    fn span(&self, name: &'static str, elapsed: Duration) {
+        self.write_json(&json::Json::Obj(vec![
+            ("span".to_string(), json::Json::Str(name.to_string())),
+            (
+                "elapsed_ns".to_string(),
+                json::Json::U64(elapsed.as_nanos() as u64),
+            ),
+        ]));
+    }
+    fn event(&self, event: Event) {
+        self.write_json(&event.to_json());
+    }
+}
+
+/// RAII span timer: reports its elapsed time to the sink on drop and can
+/// also be stopped explicitly to retrieve the duration.
+pub struct SpanTimer<'a> {
+    sink: &'a dyn EventSink,
+    name: &'static str,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> SpanTimer<'a> {
+    pub fn start(sink: &'a dyn EventSink, name: &'static str) -> Self {
+        SpanTimer {
+            sink,
+            name,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stop the timer, report the span, and return the elapsed duration.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.armed = false;
+        self.sink.span(self.name, elapsed);
+        elapsed
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.sink.span(self.name, self.start.elapsed());
+        }
+    }
+}
+
+/// Time a closure, report the span to the sink, and return both the result
+/// and the measured duration.
+pub fn timed<R>(sink: &dyn EventSink, name: &'static str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    let elapsed = start.elapsed();
+    sink.span(name, elapsed);
+    (result, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        let mut built = false;
+        emit(&sink, || {
+            built = true;
+            Event::new("never")
+        });
+        assert!(!built, "NullSink must not construct events");
+        sink.counter("x", 1);
+        sink.span("y", Duration::from_millis(1));
+    }
+
+    #[test]
+    fn recorder_aggregates_counters_and_spans() {
+        let rec = Recorder::new();
+        rec.counter("a", 2);
+        rec.counter("a", 3);
+        rec.counter("b", 1);
+        rec.span("s", Duration::from_millis(2));
+        rec.span("s", Duration::from_millis(3));
+        let report = rec.snapshot();
+        assert_eq!(report.counter("a"), 5);
+        assert_eq!(report.counter("b"), 1);
+        assert_eq!(report.counter("missing"), 0);
+        let s = report.spans["s"];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.counter("ticks", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("ticks"), 400);
+    }
+
+    #[test]
+    fn report_merge_and_replay() {
+        let mut a = RunReport::new();
+        a.add_counter("x", 1);
+        a.add_span("s", Duration::from_millis(1));
+        let mut b = RunReport::new();
+        b.add_counter("x", 2);
+        b.add_counter("y", 7);
+        b.add_span("s", Duration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        assert_eq!(a.spans["s"].count, 2);
+
+        let rec = Recorder::new();
+        a.replay_into(&rec);
+        let round = rec.snapshot();
+        assert_eq!(round.counter_map(), a.counter_map());
+    }
+
+    #[test]
+    fn zero_deltas_do_not_materialize_counters() {
+        let mut r = RunReport::new();
+        r.add_counter("x", 0);
+        assert!(r.counters.is_empty());
+    }
+
+    #[test]
+    fn tee_routes_to_both_sinks() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let tee = Tee(&a, &b);
+        assert!(tee.enabled());
+        tee.counter("c", 4);
+        tee.event(Event::new("e").field("k", 1u64));
+        assert_eq!(a.snapshot().counter("c"), 4);
+        assert_eq!(b.snapshot().counter("c"), 4);
+        assert_eq!(a.take_events().len(), 1);
+        assert_eq!(b.take_events().len(), 1);
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_object_per_line() {
+        let sink = JsonLinesSink::new(Vec::new());
+        sink.event(Event::new("slice").field("t", 3u64).field("ok", true));
+        sink.counter("n", 9);
+        sink.span("phase", Duration::from_nanos(1500));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], r#"{"event":"slice","t":3,"ok":true}"#);
+        assert_eq!(lines[1], r#"{"counter":"n","delta":9}"#);
+        assert_eq!(lines[2], r#"{"span":"phase","elapsed_ns":1500}"#);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop_and_stop() {
+        let rec = Recorder::new();
+        {
+            let _t = SpanTimer::start(&rec, "dropped");
+        }
+        let t = SpanTimer::start(&rec, "stopped");
+        let d = t.stop();
+        let report = rec.snapshot();
+        assert_eq!(report.spans["dropped"].count, 1);
+        assert_eq!(report.spans["stopped"].count, 1);
+        assert_eq!(report.spans["stopped"].total, d);
+    }
+
+    #[test]
+    fn human_rendering_lists_spans_then_counters() {
+        let mut r = RunReport::new();
+        r.add_counter("dfs.nodes", 42);
+        r.add_span("phase.total", Duration::from_millis(12));
+        let text = r.render_human();
+        assert!(text.contains("spans:"));
+        assert!(text.contains("phase.total"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("dfs.nodes"));
+        assert!(text.find("spans:").unwrap() < text.find("counters:").unwrap());
+    }
+}

@@ -1,0 +1,64 @@
+//! The counter and span taxonomy used across the pipeline.
+//!
+//! Names are dotted paths, grouped by phase. Keeping them in one place
+//! makes the `--report-json` schema discoverable and greppable; the same
+//! constants are referenced by the instrumented phases, the CLI renderer,
+//! and the tests that pin determinism.
+
+// ---- spans -------------------------------------------------------------
+
+/// Wall-clock of the parallel per-slice fan-out (range graphs + biclusters).
+pub const SPAN_SLICES_WALL: &str = "phase.slices.wall";
+/// Summed per-slice range-graph construction time (CPU view; count = slices).
+pub const SPAN_RANGE_GRAPH: &str = "phase.range_graph";
+/// Summed per-slice bicluster DFS time (CPU view; count = slices).
+pub const SPAN_BICLUSTER: &str = "phase.bicluster";
+/// Tricluster DFS over time points.
+pub const SPAN_TRICLUSTER: &str = "phase.tricluster";
+/// Merge/delete post-processing.
+pub const SPAN_PRUNE: &str = "phase.prune";
+/// Quality-metric computation (only when metrics are requested).
+pub const SPAN_METRICS: &str = "phase.metrics";
+
+// ---- range graph -------------------------------------------------------
+
+pub const RG_PAIRS: &str = "rangegraph.pairs";
+pub const RG_RATIOS: &str = "rangegraph.ratios";
+pub const RG_EDGES: &str = "rangegraph.edges";
+pub const RG_RANGES_VALID: &str = "rangegraph.ranges.valid";
+pub const RG_RANGES_EXTENDED: &str = "rangegraph.ranges.extended";
+pub const RG_RANGES_SPLIT: &str = "rangegraph.ranges.split";
+pub const RG_RANGES_PATCHED: &str = "rangegraph.ranges.patched";
+
+// ---- bicluster DFS ------------------------------------------------------
+
+pub const BC_NODES: &str = "bicluster.dfs.nodes";
+pub const BC_BUDGET_SPENT: &str = "bicluster.dfs.budget_spent";
+pub const BC_COMBOS: &str = "bicluster.dfs.gene_combos";
+pub const BC_RECORDED: &str = "bicluster.recorded";
+pub const BC_REJECTED_DELTA: &str = "bicluster.rejected.delta";
+pub const BC_REJECTED_SUBSUMED: &str = "bicluster.rejected.subsumed";
+pub const BC_REPLACED: &str = "bicluster.replaced";
+
+// ---- tricluster DFS -----------------------------------------------------
+
+pub const TC_NODES: &str = "tricluster.dfs.nodes";
+pub const TC_BUDGET_SPENT: &str = "tricluster.dfs.budget_spent";
+pub const TC_EXTENSIONS: &str = "tricluster.extensions";
+pub const TC_COHERENCE_CHECKS: &str = "tricluster.coherence.checks";
+pub const TC_REJECTED_INCOHERENT: &str = "tricluster.rejected.incoherent";
+pub const TC_REJECTED_SMALL: &str = "tricluster.rejected.small";
+pub const TC_RECORDED: &str = "tricluster.recorded";
+pub const TC_REJECTED_SUBSUMED: &str = "tricluster.rejected.subsumed";
+pub const TC_REPLACED: &str = "tricluster.replaced";
+
+// ---- prune --------------------------------------------------------------
+
+pub const PR_MERGED: &str = "prune.merged";
+pub const PR_DELETED_PAIRWISE: &str = "prune.deleted.pairwise";
+pub const PR_DELETED_MULTICOVER: &str = "prune.deleted.multicover";
+
+// ---- metrics ------------------------------------------------------------
+
+pub const MX_CELLS: &str = "metrics.cells";
+pub const MX_COVERED: &str = "metrics.cells_distinct";

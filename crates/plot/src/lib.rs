@@ -309,16 +309,8 @@ impl SubplotGrid {
             return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"10\" height=\"10\"/>\n"
                 .to_string();
         }
-        let cell_w = self
-            .charts
-            .iter()
-            .map(|c| c.width)
-            .fold(0.0f64, f64::max);
-        let cell_h = self
-            .charts
-            .iter()
-            .map(|c| c.height)
-            .fold(0.0f64, f64::max);
+        let cell_w = self.charts.iter().map(|c| c.width).fold(0.0f64, f64::max);
+        let cell_h = self.charts.iter().map(|c| c.height).fold(0.0f64, f64::max);
         let rows = self.charts.len().div_ceil(self.columns);
         let w = cell_w * self.columns as f64;
         let h = cell_h * rows as f64;
@@ -341,7 +333,9 @@ impl SubplotGrid {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_tick(v: f64) -> String {
@@ -363,8 +357,7 @@ mod tests {
     use super::*;
 
     fn basic_chart() -> Chart {
-        Chart::new("runtime", "genes", "seconds")
-            .series("a", &[(1.0, 2.0), (2.0, 3.0), (3.0, 2.5)])
+        Chart::new("runtime", "genes", "seconds").series("a", &[(1.0, 2.0), (2.0, 3.0), (3.0, 2.5)])
     }
 
     #[test]
@@ -413,7 +406,15 @@ mod tests {
     #[test]
     fn nonfinite_points_are_skipped() {
         let svg = Chart::new("t", "x", "y")
-            .series("s", &[(0.0, f64::NAN), (1.0, 1.0), (f64::INFINITY, 2.0), (2.0, 3.0)])
+            .series(
+                "s",
+                &[
+                    (0.0, f64::NAN),
+                    (1.0, 1.0),
+                    (f64::INFINITY, 2.0),
+                    (2.0, 3.0),
+                ],
+            )
             .render();
         assert_eq!(svg.matches("<circle").count(), 2);
     }

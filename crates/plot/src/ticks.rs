@@ -108,8 +108,16 @@ mod tests {
         assert_eq!(nice_number(3.0, false), 5.0);
         assert_eq!(nice_number(7.0, false), 10.0);
         assert_eq!(nice_number(2.9, true), 2.0);
-        assert_eq!(nice_number(3.0, true), 5.0, "Heckbert boundary: 3 rounds up");
+        assert_eq!(
+            nice_number(3.0, true),
+            5.0,
+            "Heckbert boundary: 3 rounds up"
+        );
         assert_eq!(nice_number(69.0, true), 50.0);
-        assert_eq!(nice_number(70.0, true), 100.0, "Heckbert boundary: 7 rounds up");
+        assert_eq!(
+            nice_number(70.0, true),
+            100.0,
+            "Heckbert boundary: 7 rounds up"
+        );
     }
 }

@@ -29,8 +29,8 @@ pub mod recovery;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use tricluster_core::Tricluster;
 use tricluster_bitset::BitSet;
+use tricluster_core::Tricluster;
 use tricluster_matrix::Matrix3;
 
 /// Generator specification. Start from [`SynthSpec::default`] (a scaled-down
@@ -125,8 +125,12 @@ impl SynthSpec {
         assert!(self.time_range.0 <= self.time_range.1);
         assert!((0.0..=1.0).contains(&self.overlap_fraction));
         assert!(self.noise >= 0.0 && self.noise < 1.0);
-        assert!(self.base_value_range.0 > 0.0 && self.base_value_range.0 <= self.base_value_range.1);
-        assert!(self.background_range.0 > 0.0 && self.background_range.0 <= self.background_range.1);
+        assert!(
+            self.base_value_range.0 > 0.0 && self.base_value_range.0 <= self.base_value_range.1
+        );
+        assert!(
+            self.background_range.0 > 0.0 && self.background_range.0 <= self.background_range.1
+        );
     }
 }
 
@@ -192,7 +196,13 @@ pub fn generate(spec: &SynthSpec) -> SynthDataset {
         let (genes, samples, times) = if overlapping {
             // share about half of each dimension with the previous cluster
             let prev = &truth[i - 1];
-            let genes = mix_with_prev(&prev.genes.to_vec(), gx, &mut take_fresh_genes, &mut pool_next, &mut rng);
+            let genes = mix_with_prev(
+                &prev.genes.to_vec(),
+                gx,
+                &mut take_fresh_genes,
+                &mut pool_next,
+                &mut rng,
+            );
             let samples = mix_subset(&prev.samples, sy, spec.n_samples, &mut rng);
             let times = mix_subset(&prev.times, tz, spec.n_times, &mut rng);
             (genes, samples, times)
@@ -447,11 +457,8 @@ mod tests {
     #[test]
     fn background_in_range() {
         let ds = generate(&small_spec());
-        let in_cluster: std::collections::HashSet<(usize, usize, usize)> = ds
-            .truth
-            .iter()
-            .flat_map(|c| c.cells())
-            .collect();
+        let in_cluster: std::collections::HashSet<(usize, usize, usize)> =
+            ds.truth.iter().flat_map(|c| c.cells()).collect();
         let (lo, hi) = small_spec().background_range;
         for g in 0..120 {
             for s in 0..10 {

@@ -39,12 +39,7 @@ pub struct RecoveryReport {
 pub fn score(truth: &[Tricluster], mined: &[Tricluster], threshold: f64) -> RecoveryReport {
     let best_match: Vec<f64> = truth
         .iter()
-        .map(|t| {
-            mined
-                .iter()
-                .map(|m| span_jaccard(t, m))
-                .fold(0.0, f64::max)
-        })
+        .map(|t| mined.iter().map(|m| span_jaccard(t, m)).fold(0.0, f64::max))
         .collect();
     let recovered = best_match.iter().filter(|&&j| j >= threshold).count();
     let recall = if truth.is_empty() {

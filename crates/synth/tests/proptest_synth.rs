@@ -7,13 +7,13 @@ use tricluster_synth::{generate, recovery, SynthSpec};
 
 fn arb_spec() -> impl Strategy<Value = SynthSpec> {
     (
-        1usize..5,       // clusters
-        0.0f64..1.0,     // overlap
-        0.0f64..0.05,    // noise
-        0u64..1000,      // seed
-        8usize..20,      // cluster genes
-        3usize..5,       // cluster samples
-        2usize..4,       // cluster times
+        1usize..5,    // clusters
+        0.0f64..1.0,  // overlap
+        0.0f64..0.05, // noise
+        0u64..1000,   // seed
+        8usize..20,   // cluster genes
+        3usize..5,    // cluster samples
+        2usize..4,    // cluster times
     )
         .prop_map(|(k, overlap, noise, seed, gx, sy, tz)| SynthSpec {
             n_genes: 40 * k + 60,

@@ -31,7 +31,10 @@ fn main() {
 
     // --- ε sweep: too tight loses clusters, too loose blurs them ---
     println!("ε sweep (mx=40, my=4, mz=2):");
-    println!("{:>8}  {:>9} {:>7} {:>9}", "ε", "clusters", "recall", "overlap");
+    println!(
+        "{:>8}  {:>9} {:>7} {:>9}",
+        "ε", "clusters", "recall", "overlap"
+    );
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let eps = base_eps * factor;
         let p = Params::builder()
@@ -108,6 +111,9 @@ fn main() {
         r.triclusters.len()
     );
     for c in r.triclusters.iter().take(3) {
-        println!("    {}", tricluster::core::report::summary(&data.matrix, c, 1e-6));
+        println!(
+            "    {}",
+            tricluster::core::report::summary(&data.matrix, c, 1e-6)
+        );
     }
 }

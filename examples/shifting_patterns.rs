@@ -94,7 +94,12 @@ fn build_shifting_dataset() -> (Matrix3, Vec<Tricluster>) {
     for g in 100..130 {
         for (si, off) in offsets2.iter().enumerate() {
             for t in 2..5 {
-                m.set(g, 5 + si, t, -0.7 + (g - 100) as f64 * 0.02 + t as f64 * 0.15 + off);
+                m.set(
+                    g,
+                    5 + si,
+                    t,
+                    -0.7 + (g - 100) as f64 * 0.02 + t as f64 * 0.15 + off,
+                );
             }
         }
     }

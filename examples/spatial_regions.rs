@@ -52,7 +52,13 @@ fn main() {
 
 fn build_spatial_dataset() -> (Matrix3, Vec<Tricluster>, Vec<&'static str>) {
     let regions = vec![
-        "cortex", "striatum", "thalamus", "hippocampus", "cerebellum", "midbrain", "pons",
+        "cortex",
+        "striatum",
+        "thalamus",
+        "hippocampus",
+        "cerebellum",
+        "midbrain",
+        "pons",
         "medulla",
     ];
     let (ng, nr, nt) = (400, regions.len(), 10);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full pre-change gate: build, tests, formatting, lints. Entirely offline —
+# everything it needs ships with the repo and the Rust toolchain.
+#
+#   ./scripts/check.sh            # run everything
+#   ./scripts/check.sh --fast     # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace
+if [[ $fast -eq 0 ]]; then
+    run cargo build --workspace --release
+fi
+run cargo test --quiet --workspace
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "All checks passed."

@@ -19,7 +19,11 @@ fn scenario() -> (Matrix3, Vec<Tricluster>) {
         state ^= state << 17;
         0.5 + (state % 9000) as f64 / 300.0
     });
-    let fill = |m: &mut Matrix3, genes: std::ops::Range<usize>, samples: &[usize], times: &[usize], salt: f64| {
+    let fill = |m: &mut Matrix3,
+                genes: std::ops::Range<usize>,
+                samples: &[usize],
+                times: &[usize],
+                salt: f64| {
         for g in genes {
             for (si, &s) in samples.iter().enumerate() {
                 for (ti, &t) in times.iter().enumerate() {
@@ -34,8 +38,16 @@ fn scenario() -> (Matrix3, Vec<Tricluster>) {
     fill(&mut m, 0..20, &[0, 1, 2, 3], &[1, 2, 3], 0.0);
     fill(&mut m, 10..30, &[4, 5, 6, 7], &[2, 3, 4], 3.0);
     let truth = vec![
-        Tricluster::new(BitSet::from_indices(60, 0..20), vec![0, 1, 2, 3], vec![1, 2, 3]),
-        Tricluster::new(BitSet::from_indices(60, 10..30), vec![4, 5, 6, 7], vec![2, 3, 4]),
+        Tricluster::new(
+            BitSet::from_indices(60, 0..20),
+            vec![0, 1, 2, 3],
+            vec![1, 2, 3],
+        ),
+        Tricluster::new(
+            BitSet::from_indices(60, 10..30),
+            vec![4, 5, 6, 7],
+            vec![2, 3, 4],
+        ),
     ];
     (m, truth)
 }
@@ -170,5 +182,9 @@ fn opsm_beam_bounded_by_exact() {
         }
     }
     let wide = opsm::mine_opsm_beam(&small, 3, 64, 1);
-    assert_eq!(wide[0].support(), exact.support(), "wide beam reaches exact");
+    assert_eq!(
+        wide[0].support(),
+        exact.support(),
+        "wide beam reaches exact"
+    );
 }

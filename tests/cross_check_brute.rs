@@ -165,7 +165,10 @@ fn completeness_corner_documented() {
     }
     let params = exact_params(0.001, 2, 2, 2);
     let brute = view(&brute::mine_exhaustive(&m, &params));
-    assert!(brute.contains(&(vec![0, 1], vec![0, 1], vec![0, 1])), "{brute:?}");
+    assert!(
+        brute.contains(&(vec![0, 1], vec![0, 1], vec![0, 1])),
+        "{brute:?}"
+    );
     let mined = view(&mine(&m, &params).triclusters);
     // Depending on the per-slice bicluster set, the miner either finds the
     // subset cluster or prunes it; both are acceptable TriCluster behavior.

@@ -48,7 +48,8 @@ fn zero_replacement_enables_mining() {
     m.set(3, 3, 0, 0.0);
     m.set(5, 2, 1, 0.0);
     let mut rng = StdRng::seed_from_u64(5);
-    let replaced = preprocess::replace_zeros(&mut m, preprocess::ZeroReplacement::default(), &mut rng);
+    let replaced =
+        preprocess::replace_zeros(&mut m, preprocess::ZeroReplacement::default(), &mut rng);
     assert_eq!(replaced, 2);
     let mut want = paper_table1_expected();
     want.sort();

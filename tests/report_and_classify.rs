@@ -27,7 +27,10 @@ fn paper_clusters_classified_by_type() {
         .collect();
     // C1 (sorted first by gene list {0,2,6,9}) is sample-constant, as is
     // C3; the scaling cluster is {1,4,8}
-    assert_eq!(types.iter().filter(|t| **t == ClusterType::Scaling).count(), 1);
+    assert_eq!(
+        types.iter().filter(|t| **t == ClusterType::Scaling).count(),
+        1
+    );
     assert_eq!(
         types
             .iter()
@@ -67,7 +70,10 @@ fn normalization_pipeline_compatibility() {
     // log2 + shifting route finds C1's genes (scaling in raw space =
     // shifting in log space)
     let logm = normalize::log2_transform(&m);
-    assert!(logm.as_slice().iter().all(|v| v.is_finite()), "fixture is positive");
+    assert!(
+        logm.as_slice().iter().all(|v| v.is_finite()),
+        "fixture is positive"
+    );
     let params = Params::builder()
         .epsilon(0.015)
         .min_size(3, 3, 2)
@@ -79,7 +85,10 @@ fn normalization_pipeline_compatibility() {
             .iter()
             .any(|sc| sc.cluster.genes.to_vec() == vec![1, 4, 8]),
         "C1 should appear as a shifting cluster in log space: {:?}",
-        shifting.iter().map(|s| s.cluster.genes.to_vec()).collect::<Vec<_>>()
+        shifting
+            .iter()
+            .map(|s| s.cluster.genes.to_vec())
+            .collect::<Vec<_>>()
     );
 }
 

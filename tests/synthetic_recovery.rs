@@ -86,11 +86,7 @@ fn range_extension_rescues_tight_epsilon() {
         .unwrap();
     let without_ext = base.range_extension(RangeExtension::Off).build().unwrap();
 
-    let rep_on = recovery::score(
-        &data.truth,
-        &mine(&data.matrix, &with_ext).triclusters,
-        0.8,
-    );
+    let rep_on = recovery::score(&data.truth, &mine(&data.matrix, &with_ext).triclusters, 0.8);
     let rep_off = recovery::score(
         &data.truth,
         &mine(&data.matrix, &without_ext).triclusters,

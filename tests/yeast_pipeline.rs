@@ -40,11 +40,7 @@ fn five_clusters_with_zero_overlap() {
 fn mined_clusters_have_paper_gene_counts() {
     let ds = yeast::build(&YeastSpec::scaled(1200));
     let result = mine(&ds.matrix, &paper_params());
-    let mut sizes: Vec<usize> = result
-        .triclusters
-        .iter()
-        .map(|c| c.genes.count())
-        .collect();
+    let mut sizes: Vec<usize> = result.triclusters.iter().map(|c| c.genes.count()).collect();
     sizes.sort_unstable();
     assert_eq!(sizes, vec![51, 52, 57, 66, 97]);
 }
