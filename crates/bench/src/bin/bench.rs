@@ -1,0 +1,107 @@
+//! `bench` — the perf-regression gate.
+//!
+//! ```sh
+//! bench diff <baseline.json> <current.json> [--time-tol F] [--time-floor S]
+//!            [--mem-tol F] [--mem-floor BYTES]
+//! ```
+//!
+//! Compares two `fig7 --json` documents (normally the committed
+//! `BENCH_baseline.json` against a fresh `fig7 --smoke --json` run) and
+//! fails — exit code 1 — when any point's wall time, per-phase time, or
+//! peak memory exceeds the baseline beyond the tolerances. Structural
+//! mismatches (different sweeps/points: the baseline is stale) and usage
+//! errors exit 2, so CI can tell "regressed" from "regenerate the
+//! baseline".
+
+use tricluster_bench::regress::{diff, Tolerances};
+use tricluster_core::obs::json::Json;
+
+fn main() {
+    std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
+}
+
+fn run(argv: &[String]) -> i32 {
+    let Some(("diff", rest)) = argv.split_first().map(|(c, r)| (c.as_str(), r)) else {
+        return usage("expected the `diff` subcommand");
+    };
+    let mut paths = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut float_flag = |tag: &str| -> Result<f64, String> {
+            it.next()
+                .ok_or_else(|| format!("{tag} needs a value"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{tag}: {e}"))
+        };
+        match arg.as_str() {
+            "--time-tol" => match float_flag("--time-tol") {
+                Ok(v) => tol.time_rel = v,
+                Err(e) => return usage(&e),
+            },
+            "--time-floor" => match float_flag("--time-floor") {
+                Ok(v) => tol.time_floor_secs = v,
+                Err(e) => return usage(&e),
+            },
+            "--mem-tol" => match float_flag("--mem-tol") {
+                Ok(v) => tol.mem_rel = v,
+                Err(e) => return usage(&e),
+            },
+            "--mem-floor" => match float_flag("--mem-floor") {
+                Ok(v) => tol.mem_floor_bytes = v as u64,
+                Err(e) => return usage(&e),
+            },
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage("expected exactly two files: <baseline.json> <current.json>");
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match diff(&baseline, &current, &tol) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "bench diff: OK — {current_path} within tolerances of {baseline_path} \
+                 (time +{:.0}% + {:.0} ms, mem +{:.0}% + {} KiB)",
+                tol.time_rel * 100.0,
+                tol.time_floor_secs * 1000.0,
+                tol.mem_rel * 100.0,
+                tol.mem_floor_bytes >> 10,
+            );
+            0
+        }
+        Ok(regressions) => {
+            eprintln!("bench diff: {} regression(s):", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            1
+        }
+        Err(e) => {
+            eprintln!(
+                "bench diff: documents are not comparable: {e}\n\
+                 (if the sweep set changed on purpose, regenerate the baseline with\n\
+                  `cargo run --release -p tricluster-bench --bin fig7 -- --smoke --json BENCH_baseline.json`)"
+            );
+            2
+        }
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!(
+        "usage: bench diff <baseline.json> <current.json> \
+         [--time-tol F] [--time-floor SECS] [--mem-tol F] [--mem-floor BYTES]\n({msg})"
+    );
+    2
+}

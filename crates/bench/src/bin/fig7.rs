@@ -1,40 +1,62 @@
 //! E3 — Figure 7(a)–(f): TriCluster's sensitivity to the synthetic-data
 //! parameters. Prints one CSV series per sub-figure
 //! (`x, seconds, clusters, recall`); `--json PATH` additionally writes the
-//! series with per-phase timing breakdowns as a JSON document.
+//! series with per-phase timing breakdowns (and, when built with
+//! `--features track-alloc`, measured peak memory) as a JSON document.
 //!
 //! ```sh
 //! cargo run --release -p tricluster-bench --bin fig7            # scaled
 //! TRICLUSTER_FULL=1 cargo run --release -p tricluster-bench --bin fig7
 //! cargo run --release -p tricluster-bench --bin fig7 -- --json fig7.json
+//! cargo run --release -p tricluster-bench --bin fig7 -- --smoke --json out.json
 //! ```
+//!
+//! `--smoke` replaces the six paper sweeps with a fixed miniature pair that
+//! finishes in seconds — the workload behind the committed
+//! `BENCH_baseline.json` that `bench diff` gates against.
 //!
 //! Expected shapes (paper §5.1): (a) ~linear in genes, (b) exponential in
 //! samples, (c) ~linear in time slices over this range, (d) linear in
 //! cluster count, (e) flat in overlap %, (f) growing with noise.
 
-use tricluster_bench::{fig7_sweeps, full_scale, measure};
+use tricluster_bench::{fig7_smoke_sweeps, fig7_sweeps, full_scale, measure};
 use tricluster_core::obs::json::Json;
+
+/// With `--features track-alloc`, measure heap usage so sweep points carry
+/// `peak_live_bytes`/`alloc_bytes` and the regression gate covers memory.
+#[cfg(feature = "track-alloc")]
+#[global_allocator]
+static ALLOC: tricluster_core::obs::alloc::TrackingAlloc =
+    tricluster_core::obs::alloc::TrackingAlloc;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match argv.as_slice() {
-        [] => None,
-        [flag, path] if flag == "--json" => Some(path.clone()),
-        other => {
-            eprintln!("usage: fig7 [--json PATH] (got {other:?})");
-            std::process::exit(2);
+    let mut json_path = None;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => usage("--json needs a path"),
+            },
+            "--smoke" => smoke = true,
+            other => usage(&format!("unknown argument {other:?}")),
         }
-    };
+    }
 
     let full = full_scale();
-    println!(
-        "# Figure 7 parameter sensitivity ({} scale)",
-        if full { "paper" } else { "scaled-down" }
-    );
+    let (label, sweeps) = if smoke {
+        ("smoke", fig7_smoke_sweeps())
+    } else if full {
+        ("paper", fig7_sweeps(true))
+    } else {
+        ("scaled-down", fig7_sweeps(false))
+    };
+    println!("# Figure 7 parameter sensitivity ({label} scale)");
     let mut sweeps_json: Vec<Json> = Vec::new();
-    for (label, xlabel, points) in fig7_sweeps(full) {
-        println!("\n## {label}: time vs {xlabel}");
+    for (figure, xlabel, points) in sweeps {
+        println!("\n## {figure}: time vs {xlabel}");
         println!("{xlabel},seconds,clusters,recall");
         let mut points_json: Vec<Json> = Vec::new();
         for (x, spec) in points {
@@ -50,18 +72,15 @@ fn main() {
         }
         sweeps_json.push(
             Json::obj()
-                .with("figure", Json::Str(label.to_string()))
+                .with("figure", Json::Str(figure.to_string()))
                 .with("x_axis", Json::Str(xlabel.to_string()))
                 .with("points", Json::Arr(points_json)),
         );
     }
     if let Some(path) = json_path {
         let doc = Json::obj()
-            .with("schema", Json::Str("tricluster.fig7/v1".into()))
-            .with(
-                "scale",
-                Json::Str(if full { "paper" } else { "scaled-down" }.into()),
-            )
+            .with("schema", Json::Str("tricluster.fig7/v2".into()))
+            .with("scale", Json::Str(label.into()))
             .with("sweeps", Json::Arr(sweeps_json));
         if let Err(e) = std::fs::write(&path, doc.render_pretty() + "\n") {
             eprintln!("cannot write {path}: {e}");
@@ -69,4 +88,9 @@ fn main() {
         }
         eprintln!("wrote per-phase JSON to {path}");
     }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("usage: fig7 [--smoke] [--json PATH] ({msg})");
+    std::process::exit(2);
 }

@@ -11,9 +11,11 @@
 pub mod harness;
 
 use std::time::{Duration, Instant};
-use tricluster_core::obs::json::Json;
+use tricluster_core::obs::{alloc, json::Json};
 use tricluster_core::{mine, Params, Timings};
 use tricluster_synth::{generate, recovery, SynthSpec};
+
+pub mod regress;
 
 /// Whether to run at the paper's full scale (`TRICLUSTER_FULL=1`) or the
 /// laptop-friendly default.
@@ -59,16 +61,22 @@ pub struct SweepPoint {
     pub recall: f64,
     /// Per-phase breakdown of the mining run.
     pub timings: Timings,
+    /// Peak live heap bytes during the mine; `None` unless the binary was
+    /// built with the `track-alloc` feature (byte-accounting allocator).
+    pub peak_live_bytes: Option<u64>,
+    /// Bytes allocated during the mine; `None` without `track-alloc`.
+    pub alloc_bytes: Option<u64>,
 }
 
 impl SweepPoint {
     /// JSON object for `--json` outputs: the headline numbers plus the
     /// per-phase breakdown (per-slice phases as summed CPU, see
-    /// [`Timings`]).
+    /// [`Timings`]) and — when the tracking allocator is installed —
+    /// measured memory.
     pub fn to_json(&self) -> Json {
         let t = &self.timings;
         let secs = |d: Duration| Json::F64(d.as_secs_f64());
-        Json::obj()
+        let mut obj = Json::obj()
             .with("x", Json::F64(self.x))
             .with("seconds", secs(self.time))
             .with("clusters", Json::U64(self.clusters as u64))
@@ -81,7 +89,14 @@ impl SweepPoint {
                     .with("biclusters_cpu_secs", secs(t.biclusters))
                     .with("triclusters_secs", secs(t.triclusters))
                     .with("prune_secs", secs(t.prune)),
-            )
+            );
+        if let Some(peak) = self.peak_live_bytes {
+            obj = obj.with("peak_live_bytes", Json::U64(peak));
+        }
+        if let Some(total) = self.alloc_bytes {
+            obj = obj.with("alloc_bytes", Json::U64(total));
+        }
+        obj
     }
 }
 
@@ -89,9 +104,15 @@ impl SweepPoint {
 pub fn measure(spec: &SynthSpec, x: f64) -> SweepPoint {
     let data = generate(spec);
     let params = fig7_params(spec);
+    // Reset the allocator's high-water mark after generation so the peak
+    // reflects the mine itself, not the dataset build. No-ops without the
+    // tracking allocator installed.
+    alloc::reset_peak();
+    let before = alloc::snapshot();
     let start = Instant::now();
     let result = mine(&data.matrix, &params);
     let time = start.elapsed();
+    let after = alloc::snapshot();
     let report = recovery::score(&data.truth, &result.triclusters, 0.5);
     SweepPoint {
         x,
@@ -99,6 +120,11 @@ pub fn measure(spec: &SynthSpec, x: f64) -> SweepPoint {
         clusters: result.triclusters.len(),
         recall: report.recall,
         timings: result.timings,
+        peak_live_bytes: after.as_ref().map(|s| s.peak_live_bytes),
+        alloc_bytes: match (&before, &after) {
+            (Some(b), Some(a)) => Some(a.bytes_since(b)),
+            _ => None,
+        },
     }
 }
 
@@ -184,6 +210,45 @@ pub fn fig7_sweeps(full: bool) -> Vec<Sweep> {
         ("fig7d", "number of clusters", d),
         ("fig7e", "overlap %", e),
         ("fig7f", "noise %", f),
+    ]
+}
+
+/// A fixed miniature sweep pair for the perf-regression gate: two sweeps of
+/// two points each, sized to mine in well under a second apiece so
+/// `scripts/check.sh` can afford them on every run. The synthetic data is
+/// seeded, so the workload (and the committed `BENCH_baseline.json`) is
+/// byte-stable; only timings and measured memory vary between machines.
+pub fn fig7_smoke_sweeps() -> Vec<Sweep> {
+    let base = SynthSpec {
+        n_genes: 400,
+        n_samples: 10,
+        n_times: 5,
+        n_clusters: 4,
+        gene_range: (50, 50),
+        sample_range: (4, 4),
+        time_range: (3, 3),
+        noise: 0.02,
+        ..SynthSpec::default()
+    };
+    let genes: Vec<(f64, SynthSpec)> = [300usize, 400]
+        .into_iter()
+        .map(|ng| {
+            let mut s = base.clone();
+            s.n_genes = ng;
+            (ng as f64, s)
+        })
+        .collect();
+    let samples: Vec<(f64, SynthSpec)> = [8usize, 10]
+        .into_iter()
+        .map(|ns| {
+            let mut s = base.clone();
+            s.n_samples = ns;
+            (ns as f64, s)
+        })
+        .collect();
+    vec![
+        ("smoke-genes", "genes in matrix", genes),
+        ("smoke-samples", "samples in matrix", samples),
     ]
 }
 

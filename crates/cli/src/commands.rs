@@ -3,10 +3,11 @@
 use crate::args;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use tricluster_core::obs::{json::Json, names, EventSink, JsonLinesSink, NullSink, Recorder};
+use tricluster_core::obs::{names, EventSink, JsonLinesSink, NullSink, Recorder, Tee};
+use tricluster_core::runreport;
 use tricluster_core::{
     cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, MergeParams,
-    Metrics, MiningResult, Params,
+    MiningResult, Params,
 };
 use tricluster_matrix::{io, Labels, Matrix3};
 use tricluster_synth::{generate, SynthSpec};
@@ -35,10 +36,14 @@ MINE OPTIONS:
   --auto           transpose so the largest dimension is mined as genes
   --names          print gene/sample/time names instead of indices
   --csv            emit clusters as CSV (cluster,shape,type,members)
-  -v, -vv          phase timings (-vv adds the full counter report) on stderr
+  -v, -vv          phase timings (-vv adds counters, histograms, and the
+                   search-space profile) on stderr
   --trace          stream per-decision trace events as JSON lines on stderr
+                   (flushed per event)
+  --explain        print the search-space profile (nodes expanded, prunes by
+                   reason, dedup hits, histograms, memory) as JSON on stdout
   --report-json PATH   write the structured run report (spans, counters,
-                       timings, metrics) as JSON
+                       histograms, memory, search space) as JSON
 
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
@@ -92,7 +97,9 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
             ("threads", 1),
             ("report-json", 1),
         ],
-        &["shifting", "auto", "names", "csv", "trace", "-v", "-vv"],
+        &[
+            "shifting", "auto", "names", "csv", "trace", "explain", "-v", "-vv",
+        ],
     )?;
     let Some(path) = a.positional.first() else {
         return Err("mine: missing input file (stacked TSV)".into());
@@ -118,8 +125,8 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
 
     let start = std::time::Instant::now();
     if a.has("shifting") {
-        if report_json.is_some() || a.has("trace") {
-            return Err("--report-json/--trace are not supported with --shifting".into());
+        if report_json.is_some() || a.has("trace") || a.has("explain") {
+            return Err("--report-json/--trace/--explain are not supported with --shifting".into());
         }
         let (clusters, _) = mine_shifting(&matrix, &params);
         eprintln!(
@@ -138,14 +145,25 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    // Trace events stream to stderr as they happen; everything else comes
-    // out of the result's embedded report, so no sink is needed for -v/-vv.
+    // Trace events stream to stderr as they happen (flushed per event so a
+    // killed run keeps its tail); aggregate data comes out of the result's
+    // embedded report. Histogram collection costs bucket work on the DFS hot
+    // paths, so it is switched on only when some output will show it.
+    let want_hists = report_json.is_some() || a.has("explain") || verbosity >= 2;
     let trace_sink;
-    let sink: &dyn EventSink = if a.has("trace") {
-        trace_sink = JsonLinesSink::new(std::io::stderr());
-        &trace_sink
-    } else {
-        &NullSink
+    let tee;
+    let sink: &dyn EventSink = match (a.has("trace"), want_hists) {
+        (true, true) => {
+            trace_sink = JsonLinesSink::stderr();
+            tee = Tee(&trace_sink, &HistogramTap);
+            &tee
+        }
+        (true, false) => {
+            trace_sink = JsonLinesSink::stderr();
+            &trace_sink
+        }
+        (false, true) => &HistogramTap,
+        (false, false) => &NullSink,
     };
     let result = if a.has("auto") {
         mine_auto_observed(&matrix, &params, sink)
@@ -177,9 +195,13 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
         None
     };
     if let Some(out_path) = &report_json {
-        let j = report_to_json(&matrix, &result, &report, met.as_ref().unwrap());
+        let j = runreport::report_to_json_v2(&matrix, &result, &report, met.as_ref().unwrap());
         std::fs::write(out_path, j.render_pretty() + "\n")
             .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    }
+    if a.has("explain") {
+        print!("{}", runreport::explain_json(&report).render_pretty());
+        return Ok(());
     }
     if a.has("csv") {
         let mut out = std::io::stdout().lock();
@@ -205,6 +227,7 @@ fn print_verbose(result: &MiningResult, verbosity: u8) {
     );
     if verbosity >= 2 {
         eprint!("{}", result.report.render_human());
+        eprint!("{}", runreport::render_search_space_human(&result.report));
     } else {
         let r = &result.report;
         eprintln!(
@@ -216,48 +239,18 @@ fn print_verbose(result: &MiningResult, verbosity: u8) {
     }
 }
 
-/// The `--report-json` document (schema `tricluster.report/v1`).
-fn report_to_json(
-    m: &Matrix3,
-    result: &MiningResult,
-    report: &tricluster_core::obs::RunReport,
-    met: &Metrics,
-) -> Json {
-    let t = &result.timings;
-    let secs = |d: std::time::Duration| Json::F64(d.as_secs_f64());
-    Json::obj()
-        .with("schema", Json::Str("tricluster.report/v1".into()))
-        .with(
-            "matrix",
-            Json::obj()
-                .with("genes", Json::U64(m.n_genes() as u64))
-                .with("samples", Json::U64(m.n_samples() as u64))
-                .with("times", Json::U64(m.n_times() as u64)),
-        )
-        .with("clusters", Json::U64(result.triclusters.len() as u64))
-        .with("truncated", Json::Bool(result.truncated))
-        .with(
-            "timings",
-            Json::obj()
-                .with("slices_wall_secs", secs(t.slices_wall))
-                .with("range_graphs_cpu_secs", secs(t.range_graphs))
-                .with("biclusters_cpu_secs", secs(t.biclusters))
-                .with("triclusters_secs", secs(t.triclusters))
-                .with("prune_secs", secs(t.prune))
-                .with("total_secs", secs(t.total())),
-        )
-        .with(
-            "metrics",
-            Json::obj()
-                .with("cluster_count", Json::U64(met.cluster_count as u64))
-                .with("element_sum", Json::U64(met.element_sum as u64))
-                .with("coverage", Json::U64(met.coverage as u64))
-                .with("overlap", Json::F64(met.overlap))
-                .with("fluctuation_gene", Json::F64(met.fluctuation_gene))
-                .with("fluctuation_sample", Json::F64(met.fluctuation_sample))
-                .with("fluctuation_time", Json::F64(met.fluctuation_time)),
-        )
-        .with("report", report.to_json())
+/// Sink whose only job is to switch on histogram collection in the mining
+/// phases; the collected data still arrives through the result's embedded
+/// report, so everything else stays at the `NullSink` defaults.
+struct HistogramTap;
+
+impl EventSink for HistogramTap {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn wants_histograms(&self) -> bool {
+        true
+    }
 }
 
 fn print_cluster(i: usize, c: &tricluster_core::Tricluster, labels: &Labels, names: bool) {
@@ -368,6 +361,7 @@ pub fn demo() -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tricluster_core::obs::json::Json;
 
     fn parse_mine(argv: &[&str]) -> args::Args {
         let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
@@ -387,7 +381,9 @@ mod tests {
                 ("threads", 1),
                 ("report-json", 1),
             ],
-            &["shifting", "auto", "names", "csv", "trace", "-v", "-vv"],
+            &[
+                "shifting", "auto", "names", "csv", "trace", "explain", "-v", "-vv",
+            ],
         )
         .unwrap()
     }
@@ -542,7 +538,7 @@ mod tests {
         let a = run(&dir.join("a.json"), "1");
         let b = run(&dir.join("b.json"), "4");
         for needle in [
-            "\"schema\": \"tricluster.report/v1\"",
+            "\"schema\": \"tricluster.report/v2\"",
             "\"spans\"",
             "phase.tricluster",
             "rangegraph.edges",
@@ -555,6 +551,104 @@ mod tests {
             counters_block(&b),
             "counters must not depend on thread count"
         );
+        // the v2 profile sections must render byte-identically across
+        // thread counts (they hold input-determined values only)
+        let sections = |text: &str| {
+            let doc = Json::parse(text).unwrap();
+            ["histograms", "memory", "search_space"]
+                .map(|k| doc.get(k).expect(k).render())
+                .join("\n")
+        };
+        assert_eq!(
+            sections(&a),
+            sections(&b),
+            "v2 profile sections must not depend on thread count"
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes a `--report-json` for the given extra flags and parses it.
+    fn mined_report(tag: &str, extra: &[&str]) -> Json {
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-{tag}-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("synth.tsv");
+        let data_str = data.to_str().unwrap().to_string();
+        synth(&[
+            data_str.clone(),
+            "--genes".into(),
+            "60".into(),
+            "--samples".into(),
+            "8".into(),
+            "--times".into(),
+            "4".into(),
+            "--clusters".into(),
+            "2".into(),
+            "--noise".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        let out = dir.join("report.json");
+        let mut argv = vec![
+            data_str,
+            "--report-json".to_string(),
+            out.to_str().unwrap().to_string(),
+        ];
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        mine(&argv).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        doc
+    }
+
+    /// The end-to-end schema gate used by `scripts/check.sh`: a real
+    /// `mine --report-json` run must produce a valid, populated v2 report.
+    #[test]
+    fn report_json_matches_v2_schema() {
+        let doc = mined_report("schema", &[]);
+        runreport::validate_v2(&doc).unwrap();
+        assert!(
+            !doc.get("histograms").unwrap().as_obj().unwrap().is_empty(),
+            "histograms section must be non-empty"
+        );
+    }
+
+    /// v1 consumers keep working: every key the v1 schema defined is still
+    /// present (and still the same JSON type) in a v2 document.
+    #[test]
+    fn report_v2_is_backward_compatible_with_v1_readers() {
+        let doc = mined_report("v1compat", &[]);
+        let v1_u64_keys = [
+            &["matrix", "genes"][..],
+            &["matrix", "samples"],
+            &["matrix", "times"],
+            &["clusters"],
+            &["metrics", "cluster_count"],
+            &["metrics", "element_sum"],
+            &["metrics", "coverage"],
+        ];
+        for path in v1_u64_keys {
+            let v = doc.get_path(path).unwrap_or_else(|| panic!("{path:?}"));
+            assert!(v.as_u64().is_some(), "{path:?} is no longer an integer");
+        }
+        let v1_f64_keys = [
+            &["timings", "slices_wall_secs"][..],
+            &["timings", "range_graphs_cpu_secs"],
+            &["timings", "biclusters_cpu_secs"],
+            &["timings", "triclusters_secs"],
+            &["timings", "prune_secs"],
+            &["timings", "total_secs"],
+            &["metrics", "overlap"],
+            &["metrics", "fluctuation_gene"],
+            &["metrics", "fluctuation_sample"],
+            &["metrics", "fluctuation_time"],
+        ];
+        for path in v1_f64_keys {
+            let v = doc.get_path(path).unwrap_or_else(|| panic!("{path:?}"));
+            assert!(v.as_f64().is_some(), "{path:?} is no longer a number");
+        }
+        assert!(doc.get("truncated").is_some());
+        assert!(doc.get_path(&["report", "counters"]).is_some());
+        assert!(doc.get_path(&["report", "spans"]).is_some());
     }
 }

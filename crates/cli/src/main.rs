@@ -16,6 +16,14 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 
+/// With `--features track-alloc`, route every heap allocation through the
+/// byte-accounting allocator so run reports carry measured
+/// `memory.alloc.*` counters (total bytes/calls, peak live bytes).
+#[cfg(feature = "track-alloc")]
+#[global_allocator]
+static ALLOC: tricluster_core::obs::alloc::TrackingAlloc =
+    tricluster_core::obs::alloc::TrackingAlloc;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {

@@ -20,13 +20,25 @@ use crate::rangegraph::RangeGraph;
 use std::collections::HashSet;
 use tricluster_bitset::BitSet;
 use tricluster_matrix::Matrix3;
-use tricluster_obs::{names, EventSink};
+use tricluster_obs::{names, EventSink, Histogram};
+
+/// Value distributions of one bicluster search, collected only on request
+/// (see [`mine_biclusters_profiled`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BiclusterHists {
+    /// DFS depth (current sample-set size) at each expanded node.
+    pub depth: Histogram,
+    /// Remaining candidate sample count at each expanded node.
+    pub candidate_set_size: Histogram,
+    /// Children actually recursed into from each expanded node.
+    pub fanout: Histogram,
+}
 
 /// Statistics of one per-slice bicluster search.
 ///
 /// All fields are input-determined (DFS order is fixed), so they are
 /// identical across runs and thread counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BiclusterStats {
     /// DFS nodes (candidate sample sets) visited.
     pub nodes: u64,
@@ -35,6 +47,9 @@ pub struct BiclusterStats {
     pub budget_spent: u64,
     /// Gene-set combinations produced by edge-combination enumeration.
     pub gene_combos: u64,
+    /// Edge combinations dropped because an identical gene-set was already
+    /// enumerated at the same node.
+    pub dedup_hits: u64,
     /// Candidates recorded into the (tentative) result set.
     pub recorded: u64,
     /// Candidates rejected by the `δ^x`/`δ^y` checks at record time.
@@ -43,6 +58,9 @@ pub struct BiclusterStats {
     pub rejected_subsumed: u64,
     /// Previously recorded clusters displaced by a larger candidate.
     pub replaced: u64,
+    /// Value distributions; `None` unless requested, so the default path
+    /// never pays for bucket arithmetic.
+    pub hists: Option<Box<BiclusterHists>>,
 }
 
 impl BiclusterStats {
@@ -51,21 +69,35 @@ impl BiclusterStats {
         self.nodes += other.nodes;
         self.budget_spent += other.budget_spent;
         self.gene_combos += other.gene_combos;
+        self.dedup_hits += other.dedup_hits;
         self.recorded += other.recorded;
         self.rejected_delta += other.rejected_delta;
         self.rejected_subsumed += other.rejected_subsumed;
         self.replaced += other.replaced;
+        if let Some(o) = &other.hists {
+            let h = self.hists.get_or_insert_with(Box::default);
+            h.depth.merge(&o.depth);
+            h.candidate_set_size.merge(&o.candidate_set_size);
+            h.fanout.merge(&o.fanout);
+        }
     }
 
-    /// Mirrors the stats into counter increments on `sink`.
+    /// Mirrors the stats into counter increments (and histograms, when
+    /// collected) on `sink`.
     pub fn publish(&self, sink: &dyn EventSink) {
         sink.counter(names::BC_NODES, self.nodes);
         sink.counter(names::BC_BUDGET_SPENT, self.budget_spent);
         sink.counter(names::BC_COMBOS, self.gene_combos);
+        sink.counter(names::BC_DEDUP_HITS, self.dedup_hits);
         sink.counter(names::BC_RECORDED, self.recorded);
         sink.counter(names::BC_REJECTED_DELTA, self.rejected_delta);
         sink.counter(names::BC_REJECTED_SUBSUMED, self.rejected_subsumed);
         sink.counter(names::BC_REPLACED, self.replaced);
+        if let Some(h) = &self.hists {
+            sink.histogram(names::H_BC_DEPTH, &h.depth);
+            sink.histogram(names::H_BC_CANDIDATES, &h.candidate_set_size);
+            sink.histogram(names::H_BC_FANOUT, &h.fanout);
+        }
     }
 }
 
@@ -97,9 +129,26 @@ pub fn mine_biclusters_observed(
     rg: &RangeGraph,
     params: &Params,
 ) -> (Vec<Bicluster>, bool, BiclusterStats) {
+    mine_biclusters_profiled(m, rg, params, false)
+}
+
+/// Like [`mine_biclusters_observed`], optionally collecting DFS shape
+/// histograms (depth, candidate-set size, fan-out) into the returned stats.
+/// Collection costs a few bucket increments per DFS node, so callers gate
+/// it on [`EventSink::wants_histograms`].
+pub fn mine_biclusters_profiled(
+    m: &Matrix3,
+    rg: &RangeGraph,
+    params: &Params,
+    collect_hists: bool,
+) -> (Vec<Bicluster>, bool, BiclusterStats) {
     let t = rg.time;
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
+    let mut stats = BiclusterStats::default();
+    if collect_hists {
+        stats.hists = Some(Box::default());
+    }
     let mut miner = BiMiner {
         m,
         rg,
@@ -109,7 +158,7 @@ pub fn mine_biclusters_observed(
         samples: Vec::new(),
         budget: params.max_candidates,
         truncated: false,
-        stats: BiclusterStats::default(),
+        stats,
     };
     let all_genes = BitSet::full(n_genes);
     let order: Vec<usize> = (0..n_samples).collect();
@@ -142,12 +191,18 @@ impl BiMiner<'_> {
             self.stats.budget_spent += 1;
         }
         self.stats.nodes += 1;
+        if let Some(h) = self.stats.hists.as_deref_mut() {
+            h.depth.record(self.samples.len() as u64);
+            h.candidate_set_size.record(pending.len() as u64);
+        }
+        let mut children = 0u64;
         self.try_record(genes);
         // population hint for the sparse-path qualification test below
         let genes_count = genes.count();
         for (i, &sb) in pending.iter().enumerate() {
             let rest = &pending[i + 1..];
             if self.samples.is_empty() {
+                children += 1;
                 self.samples.push(sb);
                 self.dfs(genes, rest);
                 self.samples.pop();
@@ -189,13 +244,18 @@ impl BiMiner<'_> {
                 self.params.min_genes,
                 &mut seen,
                 &mut combos,
+                &mut self.stats.dedup_hits,
             );
             self.stats.gene_combos += combos.len() as u64;
             for new_genes in combos {
+                children += 1;
                 self.samples.push(sb);
                 self.dfs(&new_genes, rest);
                 self.samples.pop();
             }
+        }
+        if let Some(h) = self.stats.hists.as_deref_mut() {
+            h.fanout.record(children);
         }
     }
 
@@ -256,17 +316,22 @@ impl BiMiner<'_> {
 
 /// Depth-first enumeration of one-edge-per-sample combinations, accumulating
 /// the gene-set intersection and pruning as soon as it drops below `mx`.
+/// `dedup_hits` counts combinations dropped because their gene-set was
+/// already produced by an earlier edge choice at the same node.
 fn intersect_combos(
     acc: &BitSet,
     per_sample: &[Vec<&RatioRange>],
     mx: usize,
     seen: &mut HashSet<Vec<u64>>,
     out: &mut Vec<BitSet>,
+    dedup_hits: &mut u64,
 ) {
     match per_sample.split_first() {
         None => {
             if seen.insert(acc.as_blocks().to_vec()) {
                 out.push(acc.clone());
+            } else {
+                *dedup_hits += 1;
             }
         }
         Some((edges, rest)) => {
@@ -277,7 +342,7 @@ fn intersect_combos(
                 let mut next = acc.clone();
                 next.intersect_with(&r.genes);
                 if next.count() >= mx {
-                    intersect_combos(&next, rest, mx, seen, out);
+                    intersect_combos(&next, rest, mx, seen, out, dedup_hits);
                 }
             }
         }
@@ -520,6 +585,32 @@ mod tests {
         assert!(truncated);
         assert_eq!(stats.budget_spent, 5);
         assert_eq!(stats.nodes, 5);
+    }
+
+    #[test]
+    fn profiled_hists_describe_the_dfs() {
+        let m = paper_table1();
+        let p = params(0.01, 3, 3);
+        let rg = build_range_graph(&m, 0, &p);
+        let (bcs, _, stats) = mine_biclusters_profiled(&m, &rg, &p, true);
+        let h = stats.hists.as_ref().expect("collected");
+        // one depth/candidate/fanout sample per DFS node
+        assert_eq!(h.depth.count(), stats.nodes);
+        assert_eq!(h.candidate_set_size.count(), stats.nodes);
+        assert_eq!(h.fanout.count(), stats.nodes);
+        // the root sees the full candidate set and depth 0
+        assert_eq!(h.candidate_set_size.max(), m.n_samples() as u64);
+        assert_eq!(h.depth.min(), 0);
+        // fanout sums to nodes - 1 (every non-root node has one parent edge)
+        assert_eq!(h.fanout.sum(), u128::from(stats.nodes - 1));
+        // hist collection must not change the mined clusters or scalars
+        let (plain_bcs, _, plain) = mine_biclusters_observed(&m, &rg, &p);
+        assert_eq!(bcs, plain_bcs);
+        assert_eq!(plain.nodes, stats.nodes);
+        assert!(plain.hists.is_none());
+        // deterministic across repeated profiled runs
+        let (_, _, again) = mine_biclusters_profiled(&m, &rg, &p, true);
+        assert_eq!(stats, again);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod prune;
 pub mod range;
 pub mod rangegraph;
 pub mod report;
+pub mod runreport;
 pub mod shift;
 pub mod span;
 pub mod testdata;

@@ -7,17 +7,18 @@
 //! dimension mined as genes, per the symmetry Lemma 1) and maps the results
 //! back to the caller's coordinates.
 
-use crate::bicluster::{mine_biclusters_observed, BiclusterStats};
+use crate::bicluster::{mine_biclusters_profiled, BiclusterStats};
 use crate::cluster::{Bicluster, Tricluster};
 use crate::metrics::{cluster_metrics, Metrics};
 use crate::params::Params;
 use crate::prune::{merge_and_prune_observed, PruneStats};
-use crate::rangegraph::{build_range_graph_observed, RangeGraphStats};
-use crate::tricluster::mine_triclusters_observed;
+use crate::range::RatioRange;
+use crate::rangegraph::{build_range_graph_observed, RangeGraph, RangeGraphStats};
+use crate::tricluster::mine_triclusters_profiled;
 use std::time::{Duration, Instant};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::{Axis, Matrix3};
-use tricluster_obs::{emit, names, Event, EventSink, NullSink, RunReport};
+use tricluster_obs::{alloc, emit, names, Event, EventSink, Histogram, NullSink, RunReport};
 
 /// Everything produced by one mining run.
 #[derive(Debug, Clone)]
@@ -143,6 +144,51 @@ impl EventSink for ReportSink<'_> {
     fn event(&self, event: Event) {
         self.inner.event(event);
     }
+    fn wants_histograms(&self) -> bool {
+        self.inner.wants_histograms()
+    }
+    fn histogram(&self, name: &'static str, hist: &Histogram) {
+        self.report.lock().unwrap().add_histogram(name, hist);
+        self.inner.histogram(name, hist);
+    }
+}
+
+/// Heap bytes of a bitset's block storage.
+fn bitset_bytes(bits: &BitSet) -> u64 {
+    std::mem::size_of_val(bits.as_blocks()) as u64
+}
+
+/// Logical size of a range multigraph: edge payloads plus their gene-set
+/// blocks. Deterministic (derived from data-structure sizes, not the
+/// allocator), so it can live in the report's memory section.
+fn range_graph_bytes(rg: &RangeGraph) -> u64 {
+    let mut bytes = 0u64;
+    for e in rg.graph.edges() {
+        bytes += std::mem::size_of::<RatioRange>() as u64 + bitset_bytes(&e.payload.genes);
+    }
+    bytes
+}
+
+/// Logical size of a set of biclusters (gene blocks + sample indices).
+fn biclusters_bytes(bcs: &[Bicluster]) -> u64 {
+    bcs.iter()
+        .map(|b| {
+            std::mem::size_of::<Bicluster>() as u64
+                + bitset_bytes(&b.genes)
+                + (b.samples.len() * std::mem::size_of::<usize>()) as u64
+        })
+        .sum()
+}
+
+/// Logical size of a set of triclusters.
+fn triclusters_bytes(cs: &[Tricluster]) -> u64 {
+    cs.iter()
+        .map(|c| {
+            std::mem::size_of::<Tricluster>() as u64
+                + bitset_bytes(&c.genes)
+                + ((c.samples.len() + c.times.len()) * std::mem::size_of::<usize>()) as u64
+        })
+        .sum()
 }
 
 /// What one per-slice worker returns: the slice's biclusters plus its
@@ -156,6 +202,9 @@ struct SliceOutput {
     bc_stats: BiclusterStats,
     rg_time: Duration,
     bc_time: Duration,
+    /// Logical bytes of this slice's range multigraph (it is dropped before
+    /// the worker returns; the caller keeps the per-run peak).
+    rg_bytes: u64,
 }
 
 /// Runs phases 1+2 for one slice, timing each phase from inside the worker
@@ -164,12 +213,14 @@ struct SliceOutput {
 /// locally and merged by the caller in slice order, keeping them
 /// deterministic under any thread schedule.
 fn mine_slice(m: &Matrix3, t: usize, params: &Params, sink: &dyn EventSink) -> SliceOutput {
+    let collect_hists = sink.wants_histograms();
     let rg_start = Instant::now();
     let (rg, rg_stats) = build_range_graph_observed(m, t, params, sink);
     let rg_time = rg_start.elapsed();
     let n_ranges = rg.n_ranges();
+    let rg_bytes = range_graph_bytes(&rg);
     let bc_start = Instant::now();
-    let (biclusters, truncated, bc_stats) = mine_biclusters_observed(m, &rg, params);
+    let (biclusters, truncated, bc_stats) = mine_biclusters_profiled(m, &rg, params, collect_hists);
     let bc_time = bc_start.elapsed();
     emit(sink, || {
         Event::new("miner.slice")
@@ -188,6 +239,7 @@ fn mine_slice(m: &Matrix3, t: usize, params: &Params, sink: &dyn EventSink) -> S
         bc_stats,
         rg_time,
         bc_time,
+        rg_bytes,
     }
 }
 
@@ -210,6 +262,8 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
     let mut timings = Timings::default();
     let report_sink = ReportSink::new(sink);
     let sink = &report_sink;
+    // `None` unless the binary installed obs' tracking allocator.
+    let alloc_start = alloc::snapshot();
 
     // Phase 1+2 per slice, fanned out across worker threads. Each worker
     // times its own phases so range-graph vs bicluster CPU time stays
@@ -258,12 +312,20 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
     slices.sort_by_key(|s| s.t);
     let mut rg_total = RangeGraphStats::default();
     let mut bc_total = BiclusterStats::default();
+    let collect_hists = sink.wants_histograms();
+    let mut slice_hists = collect_hists.then(|| (Histogram::default(), Histogram::default()));
+    let mut rg_peak_bytes = 0u64;
     for out in slices {
         ranges_per_time[out.t] = out.n_ranges;
-        per_time_biclusters[out.t] = out.biclusters;
         truncated |= out.truncated;
         rg_total.absorb(&out.rg_stats);
         bc_total.absorb(&out.bc_stats);
+        rg_peak_bytes = rg_peak_bytes.max(out.rg_bytes);
+        if let Some((edges, bcs)) = slice_hists.as_mut() {
+            edges.record(out.n_ranges as u64);
+            bcs.record(out.biclusters.len() as u64);
+        }
+        per_time_biclusters[out.t] = out.biclusters;
         timings.range_graphs += out.rg_time;
         timings.biclusters += out.bc_time;
         sink.span(names::SPAN_RANGE_GRAPH, out.rg_time);
@@ -272,14 +334,21 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
     sink.span(names::SPAN_SLICES_WALL, timings.slices_wall);
     rg_total.publish(sink);
     bc_total.publish(sink);
+    if let Some((edges, bcs)) = &slice_hists {
+        sink.histogram(names::H_SLICE_EDGES, edges);
+        sink.histogram(names::H_SLICE_BICLUSTERS, bcs);
+    }
+
+    let alloc_after_slices = alloc::snapshot();
 
     let tri_start = Instant::now();
     let (mut triclusters, tri_cut, tri_stats) =
-        mine_triclusters_observed(m, &per_time_biclusters, params);
+        mine_triclusters_profiled(m, &per_time_biclusters, params, collect_hists);
     truncated |= tri_cut;
     timings.triclusters = tri_start.elapsed();
     sink.span(names::SPAN_TRICLUSTER, timings.triclusters);
     tri_stats.publish(sink);
+    let alloc_after_tri = alloc::snapshot();
 
     let prune_start = Instant::now();
     let prune_stats = if let Some(merge) = &params.merge {
@@ -302,6 +371,38 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
             .then_with(|| a.samples.cmp(&b.samples))
             .then_with(|| a.times.cmp(&b.times))
     });
+
+    // Logical memory accounting: sizes derived from the data structures
+    // themselves, so these counters stay deterministic across thread counts.
+    let (ng, ns, nt) = (m.n_genes() as u64, m.n_samples() as u64, n_times as u64);
+    sink.counter(
+        names::M_MATRIX_BYTES,
+        ng * ns * nt * std::mem::size_of::<f64>() as u64,
+    );
+    sink.counter(names::M_RANGEGRAPH_BYTES, rg_peak_bytes);
+    sink.counter(
+        names::M_BICLUSTER_BYTES,
+        per_time_biclusters
+            .iter()
+            .map(|b| biclusters_bytes(b))
+            .sum(),
+    );
+    sink.counter(names::M_TRICLUSTER_BYTES, triclusters_bytes(&triclusters));
+    // Measured allocator counters, only when a tracking allocator is
+    // installed (feature-gated in the binaries). These are *not*
+    // deterministic; default builds never emit them.
+    if let (Some(start), Some(end)) = (alloc_start, alloc::snapshot()) {
+        sink.counter(names::M_ALLOC_TOTAL_BYTES, end.bytes_since(&start));
+        sink.counter(names::M_ALLOC_TOTAL_CALLS, end.allocs_since(&start));
+        sink.counter(names::M_ALLOC_PEAK_BYTES, end.peak_live_bytes);
+        // Per-phase attribution at the sequential phase boundaries. Once
+        // `start` is Some the allocator is installed, so these are too.
+        if let (Some(s), Some(t)) = (alloc_after_slices, alloc_after_tri) {
+            sink.counter(names::M_ALLOC_SLICES_BYTES, s.bytes_since(&start));
+            sink.counter(names::M_ALLOC_TRICLUSTERS_BYTES, t.bytes_since(&s));
+            sink.counter(names::M_ALLOC_PRUNE_BYTES, end.bytes_since(&t));
+        }
+    }
 
     MiningResult {
         triclusters,
@@ -598,6 +699,61 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(spans(&serial.report), spans(&parallel.report));
+    }
+
+    /// Satellite of ISSUE 2: the value histograms (and the logical memory
+    /// counters) are input-determined, so `--threads 1` and `--threads 4`
+    /// produce byte-identical distributions on the paper's Table 1.
+    #[test]
+    fn report_histograms_identical_across_thread_counts() {
+        let m = paper_table1();
+        let mk = |threads: usize| {
+            Params::builder()
+                .epsilon(0.01)
+                .min_size(3, 3, 2)
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let serial = mine_observed(&m, &mk(1), &tricluster_obs::Recorder::new());
+        let parallel = mine_observed(&m, &mk(4), &tricluster_obs::Recorder::new());
+        assert!(
+            !serial.report.histograms.is_empty(),
+            "recording sink must trigger histogram collection"
+        );
+        assert_eq!(
+            serial.report.histogram_map(),
+            parallel.report.histogram_map()
+        );
+        assert_eq!(serial.report.counter_map(), parallel.report.counter_map());
+        for name in [
+            tricluster_obs::names::H_RG_EDGE_GENESET,
+            tricluster_obs::names::H_BC_DEPTH,
+            tricluster_obs::names::H_BC_FANOUT,
+            tricluster_obs::names::H_TC_DEPTH,
+            tricluster_obs::names::H_SLICE_EDGES,
+            tricluster_obs::names::H_SLICE_BICLUSTERS,
+        ] {
+            assert!(
+                serial.report.histogram(name).is_some(),
+                "missing histogram {name}"
+            );
+        }
+        for name in [
+            tricluster_obs::names::M_MATRIX_BYTES,
+            tricluster_obs::names::M_RANGEGRAPH_BYTES,
+            tricluster_obs::names::M_BICLUSTER_BYTES,
+            tricluster_obs::names::M_TRICLUSTER_BYTES,
+        ] {
+            assert!(serial.report.counter(name) > 0, "counter {name} is zero");
+        }
+        // matrix: 10 genes x 7 samples x 2 times x 8 bytes
+        assert_eq!(
+            serial.report.counter(tricluster_obs::names::M_MATRIX_BYTES),
+            10 * 7 * 2 * 8
+        );
+        // the default NullSink path collects no histograms at all
+        assert!(mine(&m, &mk(1)).report.histograms.is_empty());
     }
 
     /// Mining against a recording sink yields the same report as the one

@@ -21,7 +21,7 @@
 use crate::cluster::Tricluster;
 use crate::params::MergeParams;
 use crate::span;
-use tricluster_obs::{emit, names, Event, EventSink, NullSink};
+use tricluster_obs::{emit, names, Event, EventSink, Histogram, NullSink};
 
 /// Statistics of one [`merge_and_prune`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +55,9 @@ pub fn merge_and_prune_observed(
 ) -> (Vec<Tricluster>, PruneStats) {
     let mut stats = PruneStats::default();
     let mut clusters = clusters;
+    // Distribution of how close compared pairs were to merging; only
+    // collected when a sink asks for histograms.
+    let mut extra_pct: Option<Histogram> = sink.wants_histograms().then(Histogram::default);
 
     // --- rule 3: merge to fixpoint ---
     loop {
@@ -68,6 +71,9 @@ pub fn merge_and_prune_observed(
                     continue;
                 }
                 let extra = span::bounding_extra_size(a, b);
+                if let Some(h) = extra_pct.as_mut() {
+                    h.record((extra * 100 / total) as u64);
+                }
                 if (extra as f64) / (total as f64) < params.gamma {
                     emit(sink, || {
                         Event::new("prune.merge")
@@ -168,6 +174,9 @@ pub fn merge_and_prune_observed(
         names::PR_DELETED_MULTICOVER,
         stats.deleted_multicover as u64,
     );
+    if let Some(h) = &extra_pct {
+        sink.histogram(names::H_PR_BOUNDING_EXTRA_PCT, h);
+    }
 
     let survivors = clusters
         .into_iter()
@@ -306,6 +315,20 @@ mod tests {
         let report = rec.snapshot();
         assert_eq!(report.counter("prune.deleted.pairwise"), 1);
         assert_eq!(report.counter("prune.merged"), 0);
+    }
+
+    #[test]
+    fn merge_pass_records_pair_closeness_histogram() {
+        let rec = tricluster_obs::Recorder::new();
+        let a = mk(&[0, 1, 2], &[0, 1], &[0]);
+        let b = mk(&[10, 11], &[5], &[1]);
+        let (_, _) = merge_and_prune_observed(vec![a, b], &eta_gamma(0.0, 0.3), &rec);
+        let report = rec.snapshot();
+        let h = report
+            .histogram(names::H_PR_BOUNDING_EXTRA_PCT)
+            .expect("one compared pair");
+        assert_eq!(h.count(), 1);
+        assert!(h.max() > 50, "distant boxes are mostly extra cells");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::params::Params;
 use crate::range::{find_ranges, RangeKind, RatioRange, SignGroup};
 use tricluster_graph::MultiGraph;
 use tricluster_matrix::Matrix3;
-use tricluster_obs::{emit, names, Event, EventSink, NullSink};
+use tricluster_obs::{emit, names, Event, EventSink, Histogram, NullSink};
 
 /// The range multigraph of one time slice.
 #[derive(Debug, Clone)]
@@ -45,11 +45,21 @@ impl RangeGraph {
     }
 }
 
+/// Value distributions of one range-graph build, collected only when the
+/// sink asks for histograms ([`EventSink::wants_histograms`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeGraphHists {
+    /// Range width `(hi − lo) / lo` in parts per million, per edge.
+    pub range_width_ppm: Histogram,
+    /// Gene-set size per retained edge.
+    pub edge_geneset_size: Histogram,
+}
+
 /// Per-slice statistics of one [`build_range_graph_observed`] call.
 ///
 /// Purely input-determined (no timing), so values are identical run to run
 /// and independent of how slices are scheduled across threads.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RangeGraphStats {
     /// Column pairs examined (`n_samples · (n_samples − 1) / 2`).
     pub pairs: u64,
@@ -65,6 +75,9 @@ pub struct RangeGraphStats {
     pub ranges_split: u64,
     /// Edges whose range kind is [`RangeKind::Patched`].
     pub ranges_patched: u64,
+    /// Value distributions; `None` unless the sink wants histograms, so
+    /// the default path never pays for bucket arithmetic.
+    pub hists: Option<Box<RangeGraphHists>>,
 }
 
 impl RangeGraphStats {
@@ -77,9 +90,15 @@ impl RangeGraphStats {
         self.ranges_extended += other.ranges_extended;
         self.ranges_split += other.ranges_split;
         self.ranges_patched += other.ranges_patched;
+        if let Some(o) = &other.hists {
+            let h = self.hists.get_or_insert_with(Box::default);
+            h.range_width_ppm.merge(&o.range_width_ppm);
+            h.edge_geneset_size.merge(&o.edge_geneset_size);
+        }
     }
 
-    /// Mirrors the stats into counter increments on `sink`.
+    /// Mirrors the stats into counter increments (and histograms, when
+    /// collected) on `sink`.
     pub fn publish(&self, sink: &dyn EventSink) {
         sink.counter(names::RG_PAIRS, self.pairs);
         sink.counter(names::RG_RATIOS, self.ratios);
@@ -88,6 +107,10 @@ impl RangeGraphStats {
         sink.counter(names::RG_RANGES_EXTENDED, self.ranges_extended);
         sink.counter(names::RG_RANGES_SPLIT, self.ranges_split);
         sink.counter(names::RG_RANGES_PATCHED, self.ranges_patched);
+        if let Some(h) = &self.hists {
+            sink.histogram(names::H_RG_RANGE_WIDTH_PPM, &h.range_width_ppm);
+            sink.histogram(names::H_RG_EDGE_GENESET, &h.edge_geneset_size);
+        }
     }
 }
 
@@ -115,6 +138,9 @@ pub fn build_range_graph_observed(
     let slice = m.time_slice_raw(t);
     let mut graph: MultiGraph<RatioRange> = MultiGraph::new(n_samples);
     let mut stats = RangeGraphStats::default();
+    if sink.wants_histograms() {
+        stats.hists = Some(Box::default());
+    }
 
     let mut groups: [Vec<(f64, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for a in 0..n_samples {
@@ -157,6 +183,15 @@ pub fn build_range_graph_observed(
                         RangeKind::Extended => stats.ranges_extended += 1,
                         RangeKind::Split => stats.ranges_split += 1,
                         RangeKind::Patched => stats.ranges_patched += 1,
+                    }
+                    if let Some(h) = stats.hists.as_deref_mut() {
+                        let width_ppm = if range.lo > 0.0 {
+                            (((range.hi - range.lo) / range.lo) * 1e6).round() as u64
+                        } else {
+                            0
+                        };
+                        h.range_width_ppm.record(width_ppm);
+                        h.edge_geneset_size.record(range.genes.count() as u64);
                     }
                     pair_edges += 1;
                     graph.add_edge(a, b, range);
@@ -276,6 +311,36 @@ mod tests {
             .sum();
         assert_eq!(total_edges as usize, rg.n_ranges());
         assert_eq!(total_edges, stats.edges);
+    }
+
+    #[test]
+    fn histograms_collected_only_when_wanted() {
+        let m = paper_table1();
+        let p = default_params(0.01, 3);
+        // NullSink: no histogram allocation at all
+        let (_, quiet) = build_range_graph_observed(&m, 0, &p, &NullSink);
+        assert!(quiet.hists.is_none());
+        // Recorder wants histograms: one sample per edge
+        let rec = tricluster_obs::Recorder::new();
+        let (rg, stats) = build_range_graph_observed(&m, 0, &p, &rec);
+        let h = stats.hists.as_ref().expect("collected");
+        assert_eq!(h.edge_geneset_size.count() as usize, rg.n_ranges());
+        assert_eq!(h.range_width_ppm.count() as usize, rg.n_ranges());
+        assert!(h.edge_geneset_size.min() >= p.min_genes as u64);
+        // published through the sink by publish()
+        stats.publish(&rec);
+        let report = rec.snapshot();
+        assert_eq!(
+            report
+                .histogram(names::H_RG_EDGE_GENESET)
+                .expect("published")
+                .count() as usize,
+            rg.n_ranges()
+        );
+        // deterministic: a second collection is identical
+        let rec2 = tricluster_obs::Recorder::new();
+        let (_, again) = build_range_graph_observed(&m, 0, &p, &rec2);
+        assert_eq!(stats, again);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! The structured `--report-json` document (schema `tricluster.report/v2`)
+//! and its validator.
+//!
+//! Version history:
+//!
+//! * **v1** — `schema`, `matrix`, `clusters`, `truncated`, `timings`,
+//!   `metrics`, and `report` (counters + spans).
+//! * **v2** — adds three top-level sections: `histograms` (value
+//!   distributions, input-determined and therefore byte-identical across
+//!   thread counts), `memory` (logical data-structure sizes plus measured
+//!   allocator counters when a tracking allocator is installed), and
+//!   `search_space` (nodes expanded, prunes by reason, maximality
+//!   rejections, dedup hits). Every v1 key is preserved.
+//!
+//! The builder lives in core (not the CLI) so library users and the schema
+//! validator share one definition.
+
+use crate::metrics::Metrics;
+use crate::miner::MiningResult;
+use tricluster_matrix::Matrix3;
+use tricluster_obs::json::Json;
+use tricluster_obs::{names, RunReport};
+
+/// The current report schema identifier.
+pub const SCHEMA_V2: &str = "tricluster.report/v2";
+
+/// Builds the full v2 report document.
+pub fn report_to_json_v2(
+    m: &Matrix3,
+    result: &MiningResult,
+    report: &RunReport,
+    met: &Metrics,
+) -> Json {
+    let t = &result.timings;
+    let secs = |d: std::time::Duration| Json::F64(d.as_secs_f64());
+    Json::obj()
+        .with("schema", Json::Str(SCHEMA_V2.into()))
+        .with(
+            "matrix",
+            Json::obj()
+                .with("genes", Json::U64(m.n_genes() as u64))
+                .with("samples", Json::U64(m.n_samples() as u64))
+                .with("times", Json::U64(m.n_times() as u64)),
+        )
+        .with("clusters", Json::U64(result.triclusters.len() as u64))
+        .with("truncated", Json::Bool(result.truncated))
+        .with(
+            "timings",
+            Json::obj()
+                .with("slices_wall_secs", secs(t.slices_wall))
+                .with("range_graphs_cpu_secs", secs(t.range_graphs))
+                .with("biclusters_cpu_secs", secs(t.biclusters))
+                .with("triclusters_secs", secs(t.triclusters))
+                .with("prune_secs", secs(t.prune))
+                .with("total_secs", secs(t.total())),
+        )
+        .with(
+            "metrics",
+            Json::obj()
+                .with("cluster_count", Json::U64(met.cluster_count as u64))
+                .with("element_sum", Json::U64(met.element_sum as u64))
+                .with("coverage", Json::U64(met.coverage as u64))
+                .with("overlap", Json::F64(met.overlap))
+                .with("fluctuation_gene", Json::F64(met.fluctuation_gene))
+                .with("fluctuation_sample", Json::F64(met.fluctuation_sample))
+                .with("fluctuation_time", Json::F64(met.fluctuation_time)),
+        )
+        .with("report", report.to_json())
+        .with("histograms", histograms_json(report))
+        .with("memory", memory_json(report))
+        .with("search_space", search_space_json(report))
+}
+
+/// The `histograms` section: every value histogram of the report. These are
+/// input-determined (no wall-clock values), so the section renders
+/// byte-identically across thread counts; span latency distributions live
+/// under `report.spans` instead.
+pub fn histograms_json(report: &RunReport) -> Json {
+    Json::Obj(
+        report
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.to_string(), h.to_json()))
+            .collect(),
+    )
+}
+
+/// The `memory` section: deterministic logical sizes, plus an `alloc`
+/// sub-object with measured allocator counters when the binary installed
+/// the tracking allocator (feature `track-alloc`).
+pub fn memory_json(report: &RunReport) -> Json {
+    let c = |name| Json::U64(report.counter(name));
+    let mut obj = Json::obj()
+        .with("matrix_bytes", c(names::M_MATRIX_BYTES))
+        .with("rangegraph_peak_bytes", c(names::M_RANGEGRAPH_BYTES))
+        .with("bicluster_bytes", c(names::M_BICLUSTER_BYTES))
+        .with("tricluster_bytes", c(names::M_TRICLUSTER_BYTES));
+    if report.counter(names::M_ALLOC_TOTAL_CALLS) > 0 {
+        obj = obj.with(
+            "alloc",
+            Json::obj()
+                .with("total_bytes", c(names::M_ALLOC_TOTAL_BYTES))
+                .with("total_calls", c(names::M_ALLOC_TOTAL_CALLS))
+                .with("peak_live_bytes", c(names::M_ALLOC_PEAK_BYTES))
+                .with(
+                    "phases",
+                    Json::obj()
+                        .with("slices_bytes", c(names::M_ALLOC_SLICES_BYTES))
+                        .with("triclusters_bytes", c(names::M_ALLOC_TRICLUSTERS_BYTES))
+                        .with("prune_bytes", c(names::M_ALLOC_PRUNE_BYTES)),
+                ),
+        );
+    }
+    obj
+}
+
+/// The `search_space` section: how much of the candidate space the DFS
+/// phases expanded and why the rest was cut.
+pub fn search_space_json(report: &RunReport) -> Json {
+    let c = |name| report.counter(name);
+    Json::obj()
+        .with(
+            "nodes_expanded",
+            Json::obj()
+                .with("bicluster", Json::U64(c(names::BC_NODES)))
+                .with("tricluster", Json::U64(c(names::TC_NODES)))
+                .with("total", Json::U64(c(names::BC_NODES) + c(names::TC_NODES))),
+        )
+        .with(
+            "prunes",
+            Json::obj()
+                .with("delta_threshold", Json::U64(c(names::BC_REJECTED_DELTA)))
+                .with("too_small", Json::U64(c(names::TC_REJECTED_SMALL)))
+                .with("incoherent", Json::U64(c(names::TC_REJECTED_INCOHERENT)))
+                .with("merged", Json::U64(c(names::PR_MERGED)))
+                .with("deleted_pairwise", Json::U64(c(names::PR_DELETED_PAIRWISE)))
+                .with(
+                    "deleted_multicover",
+                    Json::U64(c(names::PR_DELETED_MULTICOVER)),
+                ),
+        )
+        .with(
+            "maximality_rejections",
+            Json::obj()
+                .with("bicluster", Json::U64(c(names::BC_REJECTED_SUBSUMED)))
+                .with("tricluster", Json::U64(c(names::TC_REJECTED_SUBSUMED)))
+                .with("bicluster_replaced", Json::U64(c(names::BC_REPLACED)))
+                .with("tricluster_replaced", Json::U64(c(names::TC_REPLACED))),
+        )
+        .with(
+            "dedup_hits",
+            Json::obj()
+                .with("bicluster", Json::U64(c(names::BC_DEDUP_HITS)))
+                .with("tricluster", Json::U64(c(names::TC_DEDUP_HITS))),
+        )
+        .with(
+            "budget",
+            Json::obj()
+                .with("bicluster_spent", Json::U64(c(names::BC_BUDGET_SPENT)))
+                .with("tricluster_spent", Json::U64(c(names::TC_BUDGET_SPENT))),
+        )
+}
+
+/// The `--explain` document: the three v2 profile sections on their own.
+pub fn explain_json(report: &RunReport) -> Json {
+    Json::obj()
+        .with("schema", Json::Str("tricluster.explain/v1".into()))
+        .with("search_space", search_space_json(report))
+        .with("histograms", histograms_json(report))
+        .with("memory", memory_json(report))
+}
+
+/// Human rendering of the search-space profile (the `-vv` view).
+pub fn render_search_space_human(report: &RunReport) -> String {
+    let c = |name| report.counter(name);
+    let mut out = String::from("search space:\n");
+    out.push_str(&format!(
+        "  nodes expanded        {:>12}  (bicluster {}, tricluster {})\n",
+        c(names::BC_NODES) + c(names::TC_NODES),
+        c(names::BC_NODES),
+        c(names::TC_NODES),
+    ));
+    out.push_str(&format!(
+        "  pruned                {:>12}  (delta {}, small {}, incoherent {})\n",
+        c(names::BC_REJECTED_DELTA)
+            + c(names::TC_REJECTED_SMALL)
+            + c(names::TC_REJECTED_INCOHERENT),
+        c(names::BC_REJECTED_DELTA),
+        c(names::TC_REJECTED_SMALL),
+        c(names::TC_REJECTED_INCOHERENT),
+    ));
+    out.push_str(&format!(
+        "  maximality rejections {:>12}  (bicluster {}, tricluster {})\n",
+        c(names::BC_REJECTED_SUBSUMED) + c(names::TC_REJECTED_SUBSUMED),
+        c(names::BC_REJECTED_SUBSUMED),
+        c(names::TC_REJECTED_SUBSUMED),
+    ));
+    out.push_str(&format!(
+        "  dedup hits            {:>12}  (bicluster {}, tricluster {})\n",
+        c(names::BC_DEDUP_HITS) + c(names::TC_DEDUP_HITS),
+        c(names::BC_DEDUP_HITS),
+        c(names::TC_DEDUP_HITS),
+    ));
+    out
+}
+
+/// Validates a parsed v2 report document: schema string, all v1-era keys,
+/// and the three v2 sections with their required members. Returns the first
+/// problem found.
+pub fn validate_v2(doc: &Json) -> Result<(), String> {
+    let need = |path: &[&str]| -> Result<&Json, String> {
+        doc.get_path(path)
+            .ok_or_else(|| format!("missing key: {}", path.join(".")))
+    };
+    match need(&["schema"])?.as_str() {
+        Some(SCHEMA_V2) => {}
+        other => return Err(format!("schema is {other:?}, want {SCHEMA_V2:?}")),
+    }
+    // v1 compatibility: every key a v1 consumer reads must still exist.
+    for path in [
+        &["matrix", "genes"][..],
+        &["matrix", "samples"],
+        &["matrix", "times"],
+        &["clusters"],
+        &["truncated"],
+        &["timings", "slices_wall_secs"],
+        &["timings", "range_graphs_cpu_secs"],
+        &["timings", "biclusters_cpu_secs"],
+        &["timings", "triclusters_secs"],
+        &["timings", "prune_secs"],
+        &["timings", "total_secs"],
+        &["metrics", "cluster_count"],
+        &["metrics", "element_sum"],
+        &["metrics", "coverage"],
+        &["metrics", "overlap"],
+        &["report", "counters"],
+        &["report", "spans"],
+    ] {
+        need(path)?;
+    }
+    // v2 sections.
+    let hists = need(&["histograms"])?
+        .as_obj()
+        .ok_or("histograms is not an object")?;
+    for (name, h) in hists {
+        for key in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+            if h.get(key).is_none() {
+                return Err(format!("histogram {name} missing {key}"));
+            }
+        }
+        if h.get("buckets").and_then(Json::as_arr).is_none() {
+            return Err(format!("histogram {name} missing buckets array"));
+        }
+    }
+    for key in [
+        "matrix_bytes",
+        "rangegraph_peak_bytes",
+        "bicluster_bytes",
+        "tricluster_bytes",
+    ] {
+        need(&["memory", key])?;
+    }
+    if need(&["memory", "matrix_bytes"])?.as_u64() == Some(0) {
+        return Err("memory.matrix_bytes is zero".into());
+    }
+    for path in [
+        &["search_space", "nodes_expanded", "total"][..],
+        &["search_space", "prunes"],
+        &["search_space", "maximality_rejections"],
+        &["search_space", "dedup_hits"],
+        &["search_space", "budget"],
+    ] {
+        need(path)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::cluster_metrics;
+    use crate::miner::mine_observed;
+    use crate::params::Params;
+    use crate::testdata::paper_table1;
+    use tricluster_obs::Recorder;
+
+    fn table1_doc(threads: usize) -> Json {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .threads(threads)
+            .build()
+            .unwrap();
+        let result = mine_observed(&m, &p, &Recorder::new());
+        let met = cluster_metrics(&m, &result.triclusters);
+        report_to_json_v2(&m, &result, &result.report, &met)
+    }
+
+    #[test]
+    fn v2_document_validates_and_sections_are_populated() {
+        let doc = table1_doc(1);
+        validate_v2(&doc).unwrap();
+        assert!(
+            !doc.get("histograms").unwrap().as_obj().unwrap().is_empty(),
+            "histograms section must be non-empty"
+        );
+        assert!(
+            doc.get_path(&["search_space", "nodes_expanded", "total"])
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            doc.get_path(&["memory", "matrix_bytes"]).unwrap().as_u64(),
+            Some(10 * 7 * 2 * 8)
+        );
+        // no tracking allocator in unit tests: no measured alloc object
+        assert!(doc.get_path(&["memory", "alloc"]).is_none());
+    }
+
+    #[test]
+    fn v2_profile_sections_render_identically_across_threads() {
+        let render = |threads| {
+            let doc = table1_doc(threads);
+            (
+                doc.get("histograms").unwrap().render(),
+                doc.get("memory").unwrap().render(),
+                doc.get("search_space").unwrap().render(),
+            )
+        };
+        assert_eq!(render(1), render(4));
+    }
+
+    #[test]
+    fn v2_document_roundtrips_through_the_parser() {
+        let doc = table1_doc(1);
+        let parsed = Json::parse(&doc.render_pretty()).unwrap();
+        validate_v2(&parsed).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let doc = table1_doc(1);
+        // wrong schema string
+        let wrong = Json::obj().with("schema", Json::Str("tricluster.report/v1".into()));
+        assert!(validate_v2(&wrong).unwrap_err().contains("schema"));
+        // drop a v2 section
+        if let Json::Obj(fields) = &doc {
+            let gutted = Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != "search_space")
+                    .cloned()
+                    .collect(),
+            );
+            assert!(validate_v2(&gutted).unwrap_err().contains("search_space"));
+        } else {
+            panic!("doc is not an object");
+        }
+    }
+
+    #[test]
+    fn explain_and_human_rendering_cover_the_profile() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .build()
+            .unwrap();
+        let result = mine_observed(&m, &p, &Recorder::new());
+        let explain = explain_json(&result.report).render();
+        for needle in ["search_space", "histograms", "memory", "nodes_expanded"] {
+            assert!(explain.contains(needle), "missing {needle}");
+        }
+        let human = render_search_space_human(&result.report);
+        assert!(human.contains("nodes expanded"));
+        assert!(human.contains("dedup hits"));
+    }
+}

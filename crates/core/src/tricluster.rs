@@ -17,11 +17,23 @@ use crate::params::Params;
 use std::collections::HashSet;
 use tricluster_bitset::BitSet;
 use tricluster_matrix::Matrix3;
-use tricluster_obs::{names, EventSink};
+use tricluster_obs::{names, EventSink, Histogram};
+
+/// Value distributions of one tricluster search, collected only on request
+/// (see [`mine_triclusters_profiled`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriclusterHists {
+    /// DFS depth (current time-set size) at each expanded node.
+    pub depth: Histogram,
+    /// Remaining candidate time count at each expanded node.
+    pub candidate_set_size: Histogram,
+    /// Children actually recursed into from each expanded node.
+    pub fanout: Histogram,
+}
 
 /// Statistics of one tricluster search. Input-determined: identical across
 /// runs and thread counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TriclusterStats {
     /// DFS nodes (candidate time sets) visited.
     pub nodes: u64,
@@ -36,16 +48,23 @@ pub struct TriclusterStats {
     pub coherence_checks: u64,
     /// Extensions rejected by temporal coherence.
     pub rejected_incoherent: u64,
+    /// Extensions dropped because an identical `(genes, samples)` outcome
+    /// was already expanded at the same node.
+    pub dedup_hits: u64,
     /// Candidates recorded into the (tentative) result set.
     pub recorded: u64,
     /// Candidates rejected because an existing cluster subsumes them.
     pub rejected_subsumed: u64,
     /// Previously recorded clusters displaced by a larger candidate.
     pub replaced: u64,
+    /// Value distributions; `None` unless requested, so the default path
+    /// never pays for bucket arithmetic.
+    pub hists: Option<Box<TriclusterHists>>,
 }
 
 impl TriclusterStats {
-    /// Mirrors the stats into counter increments on `sink`.
+    /// Mirrors the stats into counter increments (and histograms, when
+    /// collected) on `sink`.
     pub fn publish(&self, sink: &dyn EventSink) {
         sink.counter(names::TC_NODES, self.nodes);
         sink.counter(names::TC_BUDGET_SPENT, self.budget_spent);
@@ -53,9 +72,15 @@ impl TriclusterStats {
         sink.counter(names::TC_REJECTED_SMALL, self.rejected_small);
         sink.counter(names::TC_COHERENCE_CHECKS, self.coherence_checks);
         sink.counter(names::TC_REJECTED_INCOHERENT, self.rejected_incoherent);
+        sink.counter(names::TC_DEDUP_HITS, self.dedup_hits);
         sink.counter(names::TC_RECORDED, self.recorded);
         sink.counter(names::TC_REJECTED_SUBSUMED, self.rejected_subsumed);
         sink.counter(names::TC_REPLACED, self.replaced);
+        if let Some(h) = &self.hists {
+            sink.histogram(names::H_TC_DEPTH, &h.depth);
+            sink.histogram(names::H_TC_CANDIDATES, &h.candidate_set_size);
+            sink.histogram(names::H_TC_FANOUT, &h.fanout);
+        }
     }
 }
 
@@ -87,11 +112,26 @@ pub fn mine_triclusters_observed(
     per_time: &[Vec<Bicluster>],
     params: &Params,
 ) -> (Vec<Tricluster>, bool, TriclusterStats) {
+    mine_triclusters_profiled(m, per_time, params, false)
+}
+
+/// Like [`mine_triclusters_observed`], optionally collecting DFS shape
+/// histograms (depth, candidate-set size, fan-out) into the returned stats.
+pub fn mine_triclusters_profiled(
+    m: &Matrix3,
+    per_time: &[Vec<Bicluster>],
+    params: &Params,
+    collect_hists: bool,
+) -> (Vec<Tricluster>, bool, TriclusterStats) {
     assert_eq!(
         per_time.len(),
         m.n_times(),
         "need one bicluster set per time slice"
     );
+    let mut stats = TriclusterStats::default();
+    if collect_hists {
+        stats.hists = Some(Box::default());
+    }
     let mut miner = TriMiner {
         m,
         per_time,
@@ -100,7 +140,7 @@ pub fn mine_triclusters_observed(
         times: Vec::new(),
         budget: params.max_candidates,
         truncated: false,
-        stats: TriclusterStats::default(),
+        stats,
     };
     let order: Vec<usize> = (0..m.n_times()).collect();
     let all_genes = BitSet::full(m.n_genes());
@@ -131,6 +171,11 @@ impl TriMiner<'_> {
             self.stats.budget_spent += 1;
         }
         self.stats.nodes += 1;
+        if let Some(h) = self.stats.hists.as_deref_mut() {
+            h.depth.record(self.times.len() as u64);
+            h.candidate_set_size.record(pending.len() as u64);
+        }
+        let mut children = 0u64;
         self.try_record(genes, samples);
         for (i, &tb) in pending.iter().enumerate() {
             let rest = &pending[i + 1..];
@@ -177,12 +222,17 @@ impl TriMiner<'_> {
                     continue;
                 }
                 if !seen.insert((new_genes.as_blocks().to_vec(), new_samples.clone())) {
+                    self.stats.dedup_hits += 1;
                     continue;
                 }
+                children += 1;
                 self.times.push(tb);
                 self.dfs(&new_genes, &new_samples, rest);
                 self.times.pop();
             }
+        }
+        if let Some(h) = self.stats.hists.as_deref_mut() {
+            h.fanout.record(children);
         }
     }
 
@@ -450,6 +500,31 @@ mod tests {
         assert!(stats.coherence_checks > 0);
         assert_eq!(stats.recorded - stats.replaced, cs.len() as u64);
         let (_, _, again) = mine_triclusters_observed(&m, &per_time, &p);
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn profiled_hists_describe_the_dfs() {
+        let m = paper_table1();
+        let p = params();
+        let per_time: Vec<Vec<Bicluster>> = (0..m.n_times())
+            .map(|t| {
+                let rg = build_range_graph(&m, t, &p);
+                mine_biclusters(&m, &rg, &p)
+            })
+            .collect();
+        let (cs, _, stats) = mine_triclusters_profiled(&m, &per_time, &p, true);
+        let h = stats.hists.as_ref().expect("collected");
+        assert_eq!(h.depth.count(), stats.nodes);
+        assert_eq!(h.fanout.count(), stats.nodes);
+        assert_eq!(h.fanout.sum(), u128::from(stats.nodes - 1));
+        assert_eq!(h.candidate_set_size.max(), m.n_times() as u64);
+        // collection changes neither the clusters nor the scalar stats
+        let (plain_cs, _, plain) = mine_triclusters_observed(&m, &per_time, &p);
+        assert_eq!(cs, plain_cs);
+        assert_eq!(plain.nodes, stats.nodes);
+        assert!(plain.hists.is_none());
+        let (_, _, again) = mine_triclusters_profiled(&m, &per_time, &p, true);
         assert_eq!(stats, again);
     }
 

@@ -1,0 +1,395 @@
+//! Log-bucketed `u64` histograms (HDR-lite).
+//!
+//! A [`Histogram`] records value *distributions* where the existing
+//! counters record totals: range widths, gene-set sizes, DFS depth and
+//! fan-out, span durations. The design goals, in order:
+//!
+//! 1. **Determinism** — bucket boundaries are fixed (no adaptive
+//!    resizing), every accumulator is an integer, and [`Histogram::merge`]
+//!    is associative and commutative. Merging per-slice histograms in any
+//!    order — or recording the same values from any thread schedule —
+//!    yields bit-identical state, which is what lets run reports stay
+//!    byte-stable across `--threads` settings.
+//! 2. **Cheap recording** — one branch plus two or three array/word
+//!    updates per value; no allocation after the bucket table has grown to
+//!    cover the largest magnitude seen.
+//! 3. **Bounded size** — values 0..16 get exact buckets; above that, each
+//!    power-of-two octave is split into 8 sub-buckets, so the relative
+//!    quantile error is at most 12.5% and the whole table never exceeds
+//!    [`MAX_BUCKETS`] entries.
+
+use crate::json::Json;
+
+/// Exact buckets for values below this threshold (must be `2 * SUB`).
+const EXACT: u64 = 16;
+/// Sub-buckets per octave above the exact region.
+const SUB: u64 = 8;
+/// log2(SUB).
+const SUB_BITS: u32 = 3;
+/// Upper bound on the bucket table length (`u64::MAX` lands just below).
+pub const MAX_BUCKETS: usize = (EXACT + (60 * SUB) + SUB) as usize;
+
+/// Bucket index for a value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= 4
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) & (SUB - 1);
+        (EXACT + (msb as u64 - 4) * SUB + sub) as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value bounds of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < EXACT {
+        (index, index)
+    } else {
+        let msb = 4 + (index - EXACT) / SUB;
+        let sub = (index - EXACT) % SUB;
+        let shift = msb as u32 - SUB_BITS;
+        let lo = (SUB + sub) << shift;
+        let width = 1u64 << shift;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` values.
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the bucket
+/// table, so means are exact and quantiles are only as coarse as the
+/// bucket resolution (≤ 12.5% relative error, exact below 16).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts, indexed by [`bucket_index`]; grown on demand and
+    /// never larger than [`MAX_BUCKETS`].
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = bucket_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest value, clamped to the
+    /// exact `[min, max]` envelope. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(idx);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self`. Associative and commutative: merging any
+    /// permutation or grouping of the same histograms yields identical
+    /// state.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Iterates non-empty buckets as `(lo, hi, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(idx, &c)| {
+            if c == 0 {
+                None
+            } else {
+                let (lo, hi) = bucket_bounds(idx);
+                Some((lo, hi, c))
+            }
+        })
+    }
+
+    /// One-line human summary: `count` plus the min/p50/p95/p99/max/mean
+    /// envelope.
+    pub fn render_summary(&self) -> String {
+        if self.count == 0 {
+            return "empty".to_string();
+        }
+        format!(
+            "n={} min={} p50={} p95={} p99={} max={} mean={:.1}",
+            self.count,
+            self.min(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max(),
+            self.mean(),
+        )
+    }
+
+    /// JSON object: exact summary statistics plus the sparse bucket table
+    /// (`[lo, hi, count]` triples). All fields are integers except `mean`,
+    /// so rendering is byte-stable for identical state.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets()
+            .map(|(lo, hi, c)| Json::Arr(vec![Json::U64(lo), Json::U64(hi), Json::U64(c)]))
+            .collect();
+        Json::obj()
+            .with("count", Json::U64(self.count))
+            .with("sum", Json::U64(self.sum.min(u64::MAX as u128) as u64))
+            .with("min", Json::U64(self.min()))
+            .with("max", Json::U64(self.max()))
+            .with("mean", Json::F64(self.mean()))
+            .with("p50", Json::U64(self.quantile(0.50)))
+            .with("p95", Json::U64(self.quantile(0.95)))
+            .with("p99", Json::U64(self.quantile(0.99)))
+            .with("buckets", Json::Arr(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_bounds(idx), (v, v));
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        // consecutive bucket indices tile u64 without gaps or overlaps
+        let mut expected_lo = 0u64;
+        for idx in 0..MAX_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(lo, expected_lo, "bucket {idx} starts at its lo");
+            assert!(hi >= lo);
+            // every value in [lo, hi] maps back to idx
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            if hi == u64::MAX {
+                return; // covered the whole domain
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("bucket table exhausted before covering u64::MAX");
+    }
+
+    #[test]
+    fn extreme_values_fit() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.counts.len() <= MAX_BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // upper bucket bound: overshoots by at most 12.5%
+        assert!((500..=563).contains(&p50), "p50={p50}");
+        assert!((990..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+        assert_eq!(h.mean(), 500.5);
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording() {
+        let values = [0u64, 1, 7, 16, 17, 100, 1000, 65_536, u64::MAX];
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+        // merging an empty histogram is the identity, both ways
+        let mut id = whole.clone();
+        id.merge(&Histogram::new());
+        assert_eq!(id, whole);
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&whole);
+        assert_eq!(from_empty, whole);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(42, 5);
+        let mut b = Histogram::new();
+        for _ in 0..5 {
+            b.record(42);
+        }
+        assert_eq!(a, b);
+        a.record_n(7, 0); // no-op
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!((h.min(), h.max(), h.count()), (0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.render_summary(), "empty");
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_sparse() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(200);
+        let j = h.to_json().render();
+        assert!(j.contains("\"count\":3"), "{j}");
+        assert!(j.contains("\"min\":3"), "{j}");
+        assert!(j.contains("\"max\":200"), "{j}");
+        assert!(j.contains("[3,3,2]"), "{j}");
+        // identical state renders identically
+        let mut h2 = Histogram::new();
+        h2.record(200);
+        h2.record_n(3, 2);
+        assert_eq!(h2.to_json().render(), j);
+    }
+
+    #[test]
+    fn summary_line_contains_percentiles() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.render_summary();
+        for needle in ["n=100", "p50=", "p95=", "p99=", "max=99"] {
+            assert!(s.contains(needle), "{s}");
+        }
+    }
+}

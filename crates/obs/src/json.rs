@@ -1,7 +1,9 @@
-//! Minimal hand-rolled JSON tree and renderer (pure `std`).
+//! Minimal hand-rolled JSON tree, renderer, and parser (pure `std`).
 //!
 //! Only what the observability layer needs: construction of object/array
-//! trees and compact or pretty rendering with correct string escaping.
+//! trees, compact or pretty rendering with correct string escaping, and a
+//! strict recursive-descent [`Json::parse`] so committed artifacts (bench
+//! baselines, run reports) can be read back without external crates.
 //! Object key order is preserved exactly as inserted, which keeps emitted
 //! reports byte-stable run to run.
 
@@ -37,6 +39,78 @@ impl Json {
     pub fn with(mut self, key: &str, value: Json) -> Json {
         self.set(key, value);
         self
+    }
+
+    /// Field lookup on an object (`None` for other variants or missing
+    /// keys; the first occurrence wins when keys repeat).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup following a path of object keys.
+    pub fn get_path(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |node, key| node.get(key))
+    }
+
+    /// Numeric view: `U64`, `I64`, and finite `F64` all convert.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view (`U64`, or a non-negative `I64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            Json::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object-field view.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document. Strict: exactly one value, standard JSON
+    /// syntax, no trailing garbage. Integers that fit land in `U64`/`I64`;
+    /// everything else numeric becomes `F64`.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
     }
 
     /// Compact single-line rendering.
@@ -117,6 +191,198 @@ fn write_seq(
     out.push(close);
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // surrogate pairs are not emitted by our renderer;
+                            // map unpaired surrogates to the replacement char
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe via chars())
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = token.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+            if let Ok(v) = token.parse::<i64>() {
+                return Ok(Json::I64(v));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number {token:?} at byte {start}"))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -175,5 +441,73 @@ mod tests {
         let j = Json::obj().with("a", Json::Arr(vec![Json::U64(1)]));
         assert_eq!(j.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
         assert_eq!(Json::obj().render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_trees() {
+        let j = Json::obj()
+            .with("s", Json::Str("a\"b\\c\nd".into()))
+            .with("n", Json::U64(18_446_744_073_709_551_615))
+            .with("i", Json::I64(-42))
+            .with("f", Json::F64(1.5e-3))
+            .with(
+                "arr",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Bool(false)]),
+            )
+            .with("nested", Json::obj().with("k", Json::U64(7)));
+        for text in [j.render(), j.render_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), j, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(Json::parse("0").unwrap(), Json::U64(0));
+        assert_eq!(Json::parse("-3").unwrap(), Json::I64(-3));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::F64(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::parse("-1.5e-2").unwrap(), Json::F64(-0.015));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "{\"a\" 1}",
+            "\"x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""café""#).unwrap(),
+            Json::Str("café".to_string())
+        );
+        assert_eq!(
+            Json::parse("\"emoji \u{1F600}\"").unwrap(),
+            Json::Str("emoji \u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn accessors_navigate_trees() {
+        let j = Json::parse(r#"{"a":{"b":[1,2.5,"x"]},"n":-1}"#).unwrap();
+        assert_eq!(j.get_path(&["a", "b"]).unwrap().as_arr().unwrap().len(), 3);
+        let arr = j.get_path(&["a", "b"]).unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(j.get("n").unwrap().as_f64(), Some(-1.0));
+        assert_eq!(j.get("n").unwrap().as_u64(), None);
+        assert_eq!(j.get("missing"), None);
+        assert!(j.as_obj().unwrap().len() == 2);
     }
 }

@@ -19,8 +19,12 @@ use std::io::Write as IoWrite;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+pub mod alloc;
+pub mod hist;
 pub mod json;
 pub mod names;
+
+pub use hist::Histogram;
 
 /// A dynamically typed field value attached to an [`Event`].
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +146,22 @@ pub trait EventSink: Sync {
     fn event(&self, event: Event) {
         let _ = event;
     }
+
+    /// Whether value-distribution histograms should be collected at all.
+    ///
+    /// Distinct from [`EventSink::enabled`] (which gates per-decision
+    /// trace *events*): histogram recording happens on DFS hot paths, so
+    /// phases check this once up front and skip all bucket work when no
+    /// sink wants it. Defaults to `false`; aggregate sinks opt in.
+    fn wants_histograms(&self) -> bool {
+        false
+    }
+
+    /// A phase published a complete named histogram (already accumulated
+    /// locally and merged in deterministic order).
+    fn histogram(&self, name: &'static str, hist: &Histogram) {
+        let _ = (name, hist);
+    }
 }
 
 /// Build an event lazily and deliver it only if the sink wants events.
@@ -187,35 +207,66 @@ impl EventSink for Tee<'_> {
             self.1.event(event);
         }
     }
+    fn wants_histograms(&self) -> bool {
+        self.0.wants_histograms() || self.1.wants_histograms()
+    }
+    fn histogram(&self, name: &'static str, hist: &Histogram) {
+        self.0.histogram(name, hist);
+        self.1.histogram(name, hist);
+    }
 }
 
-/// Aggregate statistics for one named span.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Aggregate statistics for one named span: call count, summed duration,
+/// the worst single call, and a log-bucketed latency distribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanStats {
     /// Number of completed span instances.
     pub count: u64,
     /// Sum of their durations.
     pub total: Duration,
+    /// Longest single duration.
+    pub max: Duration,
+    /// Distribution of per-call durations in nanoseconds.
+    pub hist: Histogram,
 }
 
 impl SpanStats {
     pub fn record(&mut self, elapsed: Duration) {
         self.count += 1;
         self.total += elapsed;
+        self.max = self.max.max(elapsed);
+        self.hist.record(elapsed.as_nanos() as u64);
+    }
+
+    /// Folds another span's stats into this one.
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Duration at quantile `q` (bucket-resolution, see
+    /// [`Histogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.hist.quantile(q))
     }
 }
 
-/// Structured summary of one pipeline run: monotonic counters plus span
-/// timings, both keyed by stable dotted names (see [`names`]).
+/// Structured summary of one pipeline run: monotonic counters, span
+/// timings, and value-distribution histograms, all keyed by stable dotted
+/// names (see [`names`]).
 ///
-/// Counter values are deterministic for a given input and parameter set —
-/// they are accumulated per worker and merged in slice order, so thread
-/// count and scheduling cannot change them. Span totals are wall-clock
-/// measurements and naturally vary between runs.
+/// Counter and histogram values are deterministic for a given input and
+/// parameter set — they are accumulated per worker and merged in slice
+/// order, so thread count and scheduling cannot change them. Span totals
+/// (and their latency histograms) are wall-clock measurements and
+/// naturally vary between runs.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     pub counters: BTreeMap<&'static str, u64>,
     pub spans: BTreeMap<&'static str, SpanStats>,
+    pub histograms: BTreeMap<&'static str, Histogram>,
 }
 
 impl RunReport {
@@ -233,6 +284,15 @@ impl RunReport {
         self.spans.entry(name).or_default().record(elapsed);
     }
 
+    /// Fold a published histogram into the named slot. Empty histograms
+    /// are dropped so untaken code paths do not materialize keys (same
+    /// policy as zero counter deltas).
+    pub fn add_histogram(&mut self, name: &'static str, hist: &Histogram) {
+        if !hist.is_empty() {
+            self.histograms.entry(name).or_default().merge(hist);
+        }
+    }
+
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -243,26 +303,35 @@ impl RunReport {
         self.spans.get(name).map(|s| s.total).unwrap_or_default()
     }
 
+    /// The named value histogram, if anything was recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
     /// Fold another report into this one.
     pub fn merge(&mut self, other: &RunReport) {
         for (name, delta) in &other.counters {
             *self.counters.entry(name).or_insert(0) += delta;
         }
         for (name, stats) in &other.spans {
-            let e = self.spans.entry(name).or_default();
-            e.count += stats.count;
-            e.total += stats.total;
+            self.spans.entry(name).or_default().merge(stats);
+        }
+        for (name, hist) in &other.histograms {
+            self.add_histogram(name, hist);
         }
     }
 
-    /// Replay every counter and span into a sink (used to mirror the
-    /// aggregate view into a trace stream or recorder).
+    /// Replay every counter, span, and histogram into a sink (used to
+    /// mirror the aggregate view into a trace stream or recorder).
     pub fn replay_into(&self, sink: &dyn EventSink) {
         for (name, delta) in &self.counters {
             sink.counter(name, *delta);
         }
         for (name, stats) in &self.spans {
             sink.span(name, stats.total);
+        }
+        for (name, hist) in &self.histograms {
+            sink.histogram(name, hist);
         }
     }
 
@@ -274,7 +343,16 @@ impl RunReport {
             .collect()
     }
 
-    /// Render as a JSON object `{"counters": {...}, "spans": {...}}`.
+    /// The histograms view, with owned keys (handy for equality tests).
+    pub fn histogram_map(&self) -> BTreeMap<String, Histogram> {
+        self.histograms
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Render as a JSON object
+    /// `{"counters": {...}, "spans": {...}, "histograms": {...}}`.
     pub fn to_json(&self) -> json::Json {
         let counters = json::Json::Obj(
             self.counters
@@ -298,30 +376,57 @@ impl RunReport {
                                 "total_secs".to_string(),
                                 json::Json::F64(s.total.as_secs_f64()),
                             ),
+                            (
+                                "max_ns".to_string(),
+                                json::Json::U64(s.max.as_nanos() as u64),
+                            ),
+                            ("p50_ns".to_string(), json::Json::U64(s.hist.quantile(0.50))),
+                            ("p95_ns".to_string(), json::Json::U64(s.hist.quantile(0.95))),
+                            ("p99_ns".to_string(), json::Json::U64(s.hist.quantile(0.99))),
                         ]),
                     )
                 })
                 .collect(),
         );
+        let histograms = json::Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.to_json()))
+                .collect(),
+        );
         json::Json::Obj(vec![
             ("counters".to_string(), counters),
             ("spans".to_string(), spans),
+            ("histograms".to_string(), histograms),
         ])
     }
 
-    /// Human-readable multi-line rendering: spans first, then counters.
+    /// Human-readable multi-line rendering: spans (with per-call max and
+    /// p50/p95/p99 when a span fired more than once), then counters, then
+    /// value histograms.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         if !self.spans.is_empty() {
             out.push_str("spans:\n");
             let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
             for (name, s) in &self.spans {
+                let ms = |d: Duration| d.as_secs_f64() * 1e3;
                 out.push_str(&format!(
-                    "  {name:width$}  {:>10.3} ms  ({} call{})\n",
-                    s.total.as_secs_f64() * 1e3,
+                    "  {name:width$}  {:>10.3} ms  ({} call{}",
+                    ms(s.total),
                     s.count,
                     if s.count == 1 { "" } else { "s" },
                 ));
+                if s.count > 1 {
+                    out.push_str(&format!(
+                        ", max {:.3} ms, p50/p95/p99 {:.3}/{:.3}/{:.3} ms",
+                        ms(s.max),
+                        ms(s.quantile(0.50)),
+                        ms(s.quantile(0.95)),
+                        ms(s.quantile(0.99)),
+                    ));
+                }
+                out.push_str(")\n");
             }
         }
         if !self.counters.is_empty() {
@@ -329,6 +434,13 @@ impl RunReport {
             let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
             for (name, v) in &self.counters {
                 out.push_str(&format!("  {name:width$}  {v:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                out.push_str(&format!("  {name:width$}  {}\n", h.render_summary()));
             }
         }
         out
@@ -374,30 +486,80 @@ impl EventSink for Recorder {
     fn event(&self, event: Event) {
         self.inner.lock().unwrap().events.push(event);
     }
+    fn wants_histograms(&self) -> bool {
+        true
+    }
+    fn histogram(&self, name: &'static str, hist: &Histogram) {
+        self.inner.lock().unwrap().report.add_histogram(name, hist);
+    }
 }
 
-/// Sink that writes each trace event as one JSON line. Counters and spans
-/// are also emitted as `counter` / `span` pseudo-events so a trace file is
-/// self-contained.
+/// Sink that writes each trace event as one JSON line. Counters, spans,
+/// and histograms are also emitted as `counter` / `span` / `hist`
+/// pseudo-events so a trace file is self-contained.
+///
+/// The writer is flushed when the sink is dropped (so buffered trace
+/// files survive an early CLI exit or a panic-unwind), and additionally
+/// after *every* line when constructed via [`JsonLinesSink::flushing`] /
+/// [`JsonLinesSink::stderr`] — interactive streams should never sit on
+/// buffered events.
 pub struct JsonLinesSink<W: IoWrite + Send> {
-    writer: Mutex<W>,
+    // `Option` so `into_inner` can move the writer out from under the
+    // `Drop` impl; `None` only between `take()` and the final drop.
+    writer: Mutex<Option<W>>,
+    flush_each: bool,
 }
 
 impl<W: IoWrite + Send> JsonLinesSink<W> {
     pub fn new(writer: W) -> Self {
         JsonLinesSink {
-            writer: Mutex::new(writer),
+            writer: Mutex::new(Some(writer)),
+            flush_each: false,
         }
     }
 
+    /// A sink that flushes after every line, for unbuffered/interactive
+    /// destinations.
+    pub fn flushing(writer: W) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(Some(writer)),
+            flush_each: true,
+        }
+    }
+
+    /// Flush and reclaim the writer.
     pub fn into_inner(self) -> W {
-        self.writer.into_inner().unwrap()
+        let mut w = self.writer.lock().unwrap().take().unwrap();
+        let _ = w.flush();
+        w
     }
 
     fn write_json(&self, value: &json::Json) {
-        let mut w = self.writer.lock().unwrap();
-        // A broken pipe on a trace stream should not abort the mine.
-        let _ = writeln!(w, "{}", value.render());
+        let mut guard = self.writer.lock().unwrap();
+        if let Some(w) = guard.as_mut() {
+            // A broken pipe on a trace stream should not abort the mine.
+            let _ = writeln!(w, "{}", value.render());
+            if self.flush_each {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+impl JsonLinesSink<std::io::Stderr> {
+    /// A line-per-event trace stream on stderr, flushed per event.
+    pub fn stderr() -> Self {
+        Self::flushing(std::io::stderr())
+    }
+}
+
+impl<W: IoWrite + Send> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        if let Ok(mut guard) = self.writer.lock() {
+            if let Some(w) = guard.as_mut() {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -419,6 +581,12 @@ impl<W: IoWrite + Send> EventSink for JsonLinesSink<W> {
     }
     fn event(&self, event: Event) {
         self.write_json(&event.to_json());
+    }
+    fn histogram(&self, name: &'static str, hist: &Histogram) {
+        self.write_json(&json::Json::Obj(vec![
+            ("hist".to_string(), json::Json::Str(name.to_string())),
+            ("summary".to_string(), hist.to_json()),
+        ]));
     }
 }
 
@@ -498,9 +666,11 @@ mod tests {
         assert_eq!(report.counter("a"), 5);
         assert_eq!(report.counter("b"), 1);
         assert_eq!(report.counter("missing"), 0);
-        let s = report.spans["s"];
+        let s = &report.spans["s"];
         assert_eq!(s.count, 2);
         assert_eq!(s.total, Duration::from_millis(5));
+        assert_eq!(s.max, Duration::from_millis(3));
+        assert_eq!(s.hist.count(), 2);
     }
 
     #[test]
@@ -585,6 +755,124 @@ mod tests {
         assert_eq!(report.spans["dropped"].count, 1);
         assert_eq!(report.spans["stopped"].count, 1);
         assert_eq!(report.spans["stopped"].total, d);
+    }
+
+    #[test]
+    fn recorder_wants_and_merges_histograms() {
+        let rec = Recorder::new();
+        assert!(rec.wants_histograms());
+        assert!(!NullSink.wants_histograms());
+        let mut h = Histogram::default();
+        h.record(5);
+        h.record(100);
+        rec.histogram("widths", &h);
+        rec.histogram("widths", &h);
+        let report = rec.snapshot();
+        let got = report.histogram("widths").expect("recorded");
+        assert_eq!(got.count(), 4);
+        assert_eq!(got.max(), 100);
+        // empty histograms never materialize a key
+        rec.histogram("empty", &Histogram::default());
+        assert!(rec.snapshot().histogram("empty").is_none());
+    }
+
+    #[test]
+    fn tee_forwards_histograms_and_ors_wants() {
+        let a = Recorder::new();
+        let null = NullSink;
+        let tee = Tee(&null, &a);
+        assert!(tee.wants_histograms());
+        let mut h = Histogram::default();
+        h.record(7);
+        tee.histogram("x", &h);
+        assert_eq!(a.snapshot().histogram("x").unwrap().count(), 1);
+        let both_null = Tee(&null, &null);
+        assert!(!both_null.wants_histograms());
+    }
+
+    #[test]
+    fn report_merge_folds_span_hists_and_histograms() {
+        let mut a = RunReport::new();
+        a.add_span("s", Duration::from_millis(1));
+        let mut b = RunReport::new();
+        b.add_span("s", Duration::from_millis(9));
+        let mut h = Histogram::default();
+        h.record(3);
+        b.add_histogram("vals", &h);
+        a.merge(&b);
+        assert_eq!(a.spans["s"].max, Duration::from_millis(9));
+        assert_eq!(a.spans["s"].hist.count(), 2);
+        assert_eq!(a.histogram("vals").unwrap().count(), 1);
+
+        // replay carries histograms through a sink round-trip
+        let rec = Recorder::new();
+        a.replay_into(&rec);
+        assert_eq!(rec.snapshot().histogram_map(), a.histogram_map());
+    }
+
+    #[test]
+    fn json_lines_sink_flushes_on_drop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static FLUSHED: AtomicBool = AtomicBool::new(false);
+        struct Probe;
+        impl IoWrite for Probe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                FLUSHED.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        {
+            let sink = JsonLinesSink::new(Probe);
+            sink.counter("c", 1);
+            assert!(!FLUSHED.load(Ordering::SeqCst), "new() buffers until drop");
+        }
+        assert!(FLUSHED.load(Ordering::SeqCst), "drop must flush");
+
+        FLUSHED.store(false, Ordering::SeqCst);
+        let sink = JsonLinesSink::flushing(Probe);
+        sink.counter("c", 1);
+        assert!(
+            FLUSHED.load(Ordering::SeqCst),
+            "flushing() flushes per line"
+        );
+    }
+
+    #[test]
+    fn json_lines_sink_writes_histogram_lines() {
+        let sink = JsonLinesSink::new(Vec::new());
+        let mut h = Histogram::default();
+        h.record(4);
+        sink.histogram("fanout", &h);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(
+            text.starts_with(r#"{"hist":"fanout","summary":{"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn span_json_and_human_include_percentiles() {
+        let mut r = RunReport::new();
+        for ms in [1u64, 2, 3, 50] {
+            r.add_span("phase", Duration::from_millis(ms));
+        }
+        let rendered = r.to_json().render();
+        for key in ["\"max_ns\":", "\"p50_ns\":", "\"p95_ns\":", "\"p99_ns\":"] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+        let human = r.render_human();
+        assert!(human.contains("max"), "{human}");
+        assert!(human.contains("p50/p95/p99"), "{human}");
+
+        let mut h = Histogram::default();
+        h.record_n(12, 3);
+        r.add_histogram("dfs.fanout", &h);
+        let human = r.render_human();
+        assert!(human.contains("histograms:"), "{human}");
+        assert!(human.contains("dfs.fanout"), "{human}");
     }
 
     #[test]

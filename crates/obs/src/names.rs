@@ -33,6 +33,8 @@ pub const RG_RANGES_PATCHED: &str = "rangegraph.ranges.patched";
 // ---- bicluster DFS ------------------------------------------------------
 
 pub const BC_NODES: &str = "bicluster.dfs.nodes";
+/// DFS states skipped because an identical sample-set was already expanded.
+pub const BC_DEDUP_HITS: &str = "bicluster.dfs.dedup_hits";
 pub const BC_BUDGET_SPENT: &str = "bicluster.dfs.budget_spent";
 pub const BC_COMBOS: &str = "bicluster.dfs.gene_combos";
 pub const BC_RECORDED: &str = "bicluster.recorded";
@@ -43,6 +45,8 @@ pub const BC_REPLACED: &str = "bicluster.replaced";
 // ---- tricluster DFS -----------------------------------------------------
 
 pub const TC_NODES: &str = "tricluster.dfs.nodes";
+/// DFS states skipped because an identical time-set was already expanded.
+pub const TC_DEDUP_HITS: &str = "tricluster.dfs.dedup_hits";
 pub const TC_BUDGET_SPENT: &str = "tricluster.dfs.budget_spent";
 pub const TC_EXTENSIONS: &str = "tricluster.extensions";
 pub const TC_COHERENCE_CHECKS: &str = "tricluster.coherence.checks";
@@ -62,3 +66,58 @@ pub const PR_DELETED_MULTICOVER: &str = "prune.deleted.multicover";
 
 pub const MX_CELLS: &str = "metrics.cells";
 pub const MX_COVERED: &str = "metrics.cells_distinct";
+
+// ---- value histograms ---------------------------------------------------
+//
+// All histogram values are input-determined (never wall-clock), so the
+// `histograms` report section is byte-identical across thread counts.
+
+/// Ratio-range width as parts-per-million of the range's lower bound.
+pub const H_RG_RANGE_WIDTH_PPM: &str = "rangegraph.range_width_ppm";
+/// Gene-set size per retained range-graph edge.
+pub const H_RG_EDGE_GENESET: &str = "rangegraph.edge_geneset_size";
+/// Candidate sample-set size at each bicluster DFS expansion.
+pub const H_BC_CANDIDATES: &str = "bicluster.dfs.candidate_set_size";
+/// Bicluster DFS depth (|sample set|) at each expanded node.
+pub const H_BC_DEPTH: &str = "bicluster.dfs.depth";
+/// Children actually recursed into from each expanded bicluster node.
+pub const H_BC_FANOUT: &str = "bicluster.dfs.fanout";
+/// Candidate time-set size at each tricluster DFS expansion.
+pub const H_TC_CANDIDATES: &str = "tricluster.dfs.candidate_set_size";
+/// Tricluster DFS depth (|time set|) at each expanded node.
+pub const H_TC_DEPTH: &str = "tricluster.dfs.depth";
+/// Children actually recursed into from each expanded tricluster node.
+pub const H_TC_FANOUT: &str = "tricluster.dfs.fanout";
+/// Extra-cell percentage of the bounding box, for every cluster pair the
+/// merge pass compared (low percentages are near-merges).
+pub const H_PR_BOUNDING_EXTRA_PCT: &str = "prune.pair_bounding_extra_pct";
+/// Biclusters found per slice (distribution over time slices).
+pub const H_SLICE_BICLUSTERS: &str = "slice.biclusters";
+/// Range-graph edges per slice (distribution over time slices).
+pub const H_SLICE_EDGES: &str = "slice.edges";
+
+// ---- logical memory accounting (deterministic, data-structure sizes) ----
+
+/// Bytes of the loaded expression matrix (`n_genes * n_samples * n_times * 8`).
+pub const M_MATRIX_BYTES: &str = "memory.matrix.bytes";
+/// Peak bytes across per-slice range multigraphs (ranges + gene sets).
+pub const M_RANGEGRAPH_BYTES: &str = "memory.rangegraph.bytes";
+/// Bytes held by the final bicluster store across all slices.
+pub const M_BICLUSTER_BYTES: &str = "memory.biclusters.bytes";
+/// Bytes held by the final tricluster set.
+pub const M_TRICLUSTER_BYTES: &str = "memory.triclusters.bytes";
+
+// ---- measured allocator counters (only with a tracking allocator) -------
+
+/// Cumulative bytes allocated during the whole mine.
+pub const M_ALLOC_TOTAL_BYTES: &str = "memory.alloc.total_bytes";
+/// Cumulative allocation calls during the whole mine.
+pub const M_ALLOC_TOTAL_CALLS: &str = "memory.alloc.total_calls";
+/// Peak live heap bytes observed during the mine.
+pub const M_ALLOC_PEAK_BYTES: &str = "memory.alloc.peak_live_bytes";
+/// Bytes allocated during the parallel per-slice phases (1+2).
+pub const M_ALLOC_SLICES_BYTES: &str = "memory.alloc.slices.bytes";
+/// Bytes allocated during the tricluster DFS phase.
+pub const M_ALLOC_TRICLUSTERS_BYTES: &str = "memory.alloc.triclusters.bytes";
+/// Bytes allocated during merge/prune and final accounting.
+pub const M_ALLOC_PRUNE_BYTES: &str = "memory.alloc.prune.bytes";

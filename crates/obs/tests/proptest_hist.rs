@@ -1,0 +1,82 @@
+//! Property-based tests for `Histogram`: merging must behave like a
+//! multiset union — associative, commutative, order-independent — because
+//! the miner merges per-worker histograms in slice order and the report
+//! must come out identical for any thread count.
+
+use proptest::prelude::*;
+use tricluster_obs::Histogram;
+
+/// Values spanning the exact buckets, the log range, and u64 extremes.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..u64::MAX, 0..=200)
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_recording_the_concatenation((a, b) in (values(), values())) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(merged.to_json().render(), hist_of(&concat).to_json().render());
+    }
+
+    #[test]
+    fn merge_is_commutative((a, b) in (values(), values())) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.to_json().render(), ba.to_json().render());
+    }
+
+    #[test]
+    fn merge_is_associative((a, b, c) in (values(), values(), values())) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.to_json().render(), right.to_json().render());
+    }
+
+    #[test]
+    fn split_point_does_not_matter(
+        (vals, cut_seed) in (values(), 0usize..=200)
+    ) {
+        // any partition of the same stream merges to the same histogram —
+        // this is exactly the single- vs multi-threaded mining situation
+        let cut = if vals.is_empty() { 0 } else { cut_seed % (vals.len() + 1) };
+        let mut split = hist_of(&vals[..cut]);
+        split.merge(&hist_of(&vals[cut..]));
+        prop_assert_eq!(split.to_json().render(), hist_of(&vals).to_json().render());
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded(vals in values()) {
+        let h = hist_of(&vals);
+        if vals.is_empty() {
+            prop_assert_eq!(h.count(), 0);
+        } else {
+            let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+            prop_assert!(p50 <= p95 && p95 <= p99);
+            prop_assert!(h.min() <= p50);
+            prop_assert!(p99 <= h.max());
+            prop_assert_eq!(h.count(), vals.len() as u64);
+        }
+    }
+}

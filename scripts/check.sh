@@ -24,5 +24,27 @@ run cargo test --quiet --workspace
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
+# Schema gate: a real `mine --report-json` run must emit a valid
+# tricluster.report/v2 document (validated in-process, no external tools).
+run cargo test --quiet -p tricluster-cli report_json_matches_v2_schema
+
+if [[ $fast -eq 0 ]]; then
+    # Perf-regression gate: smoke-sized fig7 sweep against the committed
+    # baseline. Tolerances are deliberately loose (+100% + 250 ms, memory
+    # +50% + 4 MiB) — the committed baseline comes from a different
+    # machine; the gate exists to catch order-of-magnitude regressions,
+    # not scheduler noise. Regenerate the baseline after intentional
+    # performance changes:
+    #   cargo run --release -p tricluster-bench --features track-alloc \
+    #     --bin fig7 -- --smoke --json BENCH_baseline.json
+    smoke_json="$(mktemp /tmp/tricluster-smoke-XXXXXX.json)"
+    trap 'rm -f "$smoke_json"' EXIT
+    run cargo run --release --quiet -p tricluster-bench --features track-alloc \
+        --bin fig7 -- --smoke --json "$smoke_json"
+    run cargo run --release --quiet -p tricluster-bench --bin bench -- \
+        diff BENCH_baseline.json "$smoke_json" \
+        --time-tol 1.0 --time-floor 0.25 --mem-tol 0.5 --mem-floor $((4 << 20))
+fi
+
 echo
 echo "All checks passed."
