@@ -1,19 +1,33 @@
-//! `bench` — the perf-regression gate.
+//! `bench` — the perf-regression and determinism gates.
 //!
 //! ```sh
 //! bench diff <baseline.json> <current.json> [--time-tol F] [--time-floor S]
-//!            [--mem-tol F] [--mem-floor BYTES]
+//!            [--mem-tol F] [--mem-floor BYTES] [--update]
+//! bench determinism <a.json> <b.json>
+//! bench scaling [--json PATH] [--threads N,N,...]
 //! ```
 //!
-//! Compares two `fig7 --json` documents (normally the committed
+//! `diff` compares two `fig7 --json` documents (normally the committed
 //! `BENCH_baseline.json` against a fresh `fig7 --smoke --json` run) and
 //! fails — exit code 1 — when any point's wall time, per-phase time, or
 //! peak memory exceeds the baseline beyond the tolerances. Structural
 //! mismatches (different sweeps/points: the baseline is stale) and usage
 //! errors exit 2, so CI can tell "regressed" from "regenerate the
-//! baseline".
+//! baseline". `--update` copies the current document over the baseline
+//! instead of comparing (the sanctioned way to refresh it).
+//!
+//! `determinism` compares the input-determined sections (clusters, report
+//! counters, histograms, logical memory, search space) of two
+//! `mine --report-json` documents — the same input mined at two thread
+//! counts must match byte for byte; exit 1 lists the differing sections.
+//!
+//! `scaling` mines one fixed few-slice workload at several thread counts
+//! and emits the wall times in the `fig7 --json` schema (x = thread
+//! count), so thread-scaling runs can be archived and diffed like any
+//! other sweep.
 
-use tricluster_bench::regress::{diff, Tolerances};
+use tricluster_bench::regress::{determinism_diff, diff, Tolerances};
+use tricluster_bench::{measure_threads, scaling_spec};
 use tricluster_core::obs::json::Json;
 
 fn main() {
@@ -21,11 +35,23 @@ fn main() {
 }
 
 fn run(argv: &[String]) -> i32 {
-    let Some(("diff", rest)) = argv.split_first().map(|(c, r)| (c.as_str(), r)) else {
-        return usage("expected the `diff` subcommand");
-    };
+    match argv.split_first().map(|(c, r)| (c.as_str(), r)) {
+        Some(("diff", rest)) => run_diff(rest),
+        Some(("determinism", rest)) => run_determinism(rest),
+        Some(("scaling", rest)) => run_scaling(rest),
+        _ => usage("expected a subcommand: diff | determinism | scaling"),
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_diff(rest: &[String]) -> i32 {
     let mut paths = Vec::new();
     let mut tol = Tolerances::default();
+    let mut update = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut float_flag = |tag: &str| -> Result<f64, String> {
@@ -51,16 +77,37 @@ fn run(argv: &[String]) -> i32 {
                 Ok(v) => tol.mem_floor_bytes = v as u64,
                 Err(e) => return usage(&e),
             },
+            "--update" => update = true,
             path => paths.push(path.to_string()),
         }
     }
     let [baseline_path, current_path] = paths.as_slice() else {
         return usage("expected exactly two files: <baseline.json> <current.json>");
     };
-    let load = |path: &str| -> Result<Json, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
-    };
+    if update {
+        // Refresh the baseline: validate the current document parses, then
+        // copy it over wholesale (tolerances are irrelevant here).
+        let current = match load(current_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        match current.get("schema").and_then(Json::as_str) {
+            Some(s) if s.starts_with("tricluster.fig7/") => {}
+            other => {
+                eprintln!("error: {current_path}: unexpected schema {other:?}");
+                return 2;
+            }
+        }
+        if let Err(e) = std::fs::write(baseline_path, current.render_pretty() + "\n") {
+            eprintln!("error: cannot write {baseline_path}: {e}");
+            return 2;
+        }
+        println!("bench diff: baseline {baseline_path} updated from {current_path}");
+        return 0;
+    }
     let (baseline, current) = match (load(baseline_path), load(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
@@ -91,17 +138,122 @@ fn run(argv: &[String]) -> i32 {
             eprintln!(
                 "bench diff: documents are not comparable: {e}\n\
                  (if the sweep set changed on purpose, regenerate the baseline with\n\
-                  `cargo run --release -p tricluster-bench --bin fig7 -- --smoke --json BENCH_baseline.json`)"
+                  `cargo run --release -p tricluster-bench --bin fig7 -- --smoke --json current.json`\n\
+                  followed by `bench diff BENCH_baseline.json current.json --update`)"
             );
             2
         }
     }
 }
 
+fn run_determinism(rest: &[String]) -> i32 {
+    let [a_path, b_path] = rest else {
+        return usage("determinism expects exactly two files: <a.json> <b.json>");
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match determinism_diff(&a, &b) {
+        Ok(diffs) if diffs.is_empty() => {
+            println!(
+                "bench determinism: OK — input-determined sections of {a_path} and {b_path} \
+                 are identical"
+            );
+            0
+        }
+        Ok(diffs) => {
+            eprintln!(
+                "bench determinism: {} section(s) differ between {a_path} and {b_path}:",
+                diffs.len()
+            );
+            for d in &diffs {
+                eprintln!("  {d}");
+            }
+            1
+        }
+        Err(e) => {
+            eprintln!("bench determinism: documents are not comparable: {e}");
+            2
+        }
+    }
+}
+
+fn run_scaling(rest: &[String]) -> i32 {
+    let mut json_path = None;
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => return usage("--json needs a path"),
+            },
+            "--threads" => match it.next().map(|s| parse_thread_list(s)) {
+                Some(Ok(list)) => thread_counts = list,
+                Some(Err(e)) => return usage(&e),
+                None => return usage("--threads needs a comma-separated list"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let spec = scaling_spec();
+    println!(
+        "# thread scaling on {} genes x {} samples x {} times",
+        spec.n_genes, spec.n_samples, spec.n_times
+    );
+    println!("threads,seconds,clusters,rg_fanout,bc_fanout");
+    let mut points_json = Vec::new();
+    for &n in &thread_counts {
+        let p = measure_threads(&spec, n as f64, n);
+        println!(
+            "{},{:.3},{},{},{}",
+            n,
+            p.time.as_secs_f64(),
+            p.clusters,
+            p.fanout.range_graph.as_str(),
+            p.fanout.bicluster.as_str(),
+        );
+        points_json.push(p.to_json());
+    }
+    if let Some(path) = json_path {
+        let doc = Json::obj()
+            .with("schema", Json::Str("tricluster.fig7/v2".into()))
+            .with("scale", Json::Str("scaling".into()))
+            .with(
+                "sweeps",
+                Json::Arr(vec![Json::obj()
+                    .with("figure", Json::Str("scaling-threads".into()))
+                    .with("x_axis", Json::Str("worker threads".into()))
+                    .with("points", Json::Arr(points_json))]),
+            );
+        if let Err(e) = std::fs::write(&path, doc.render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return 2;
+        }
+        eprintln!("wrote scaling JSON to {path}");
+    }
+    0
+}
+
+fn parse_thread_list(s: &str) -> Result<Vec<usize>, String> {
+    let list: Result<Vec<usize>, _> = s.split(',').map(str::parse).collect();
+    match list {
+        Ok(v) if !v.is_empty() && v.iter().all(|&n| n > 0) => Ok(v),
+        _ => Err(format!("--threads: bad list {s:?} (want e.g. 1,2,4,8)")),
+    }
+}
+
 fn usage(msg: &str) -> i32 {
     eprintln!(
-        "usage: bench diff <baseline.json> <current.json> \
-         [--time-tol F] [--time-floor SECS] [--mem-tol F] [--mem-floor BYTES]\n({msg})"
+        "usage:\n  \
+         bench diff <baseline.json> <current.json> [--time-tol F] [--time-floor SECS] \
+         [--mem-tol F] [--mem-floor BYTES] [--update]\n  \
+         bench determinism <a.json> <b.json>\n  \
+         bench scaling [--json PATH] [--threads N,N,...]\n({msg})"
     );
     2
 }

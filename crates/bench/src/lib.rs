@@ -12,7 +12,7 @@ pub mod harness;
 
 use std::time::{Duration, Instant};
 use tricluster_core::obs::{alloc, json::Json};
-use tricluster_core::{mine, Params, Timings};
+use tricluster_core::{mine, FanoutDecision, Params, Timings};
 use tricluster_synth::{generate, recovery, SynthSpec};
 
 pub mod regress;
@@ -66,6 +66,8 @@ pub struct SweepPoint {
     pub peak_live_bytes: Option<u64>,
     /// Bytes allocated during the mine; `None` without `track-alloc`.
     pub alloc_bytes: Option<u64>,
+    /// Which fan-out granularity the scheduler chose for this run.
+    pub fanout: FanoutDecision,
 }
 
 impl SweepPoint {
@@ -96,14 +98,41 @@ impl SweepPoint {
         if let Some(total) = self.alloc_bytes {
             obj = obj.with("alloc_bytes", Json::U64(total));
         }
+        // Scheduling record, not a gated metric: `bench diff` ignores
+        // unknown point fields, so older baselines stay comparable.
+        obj = obj.with(
+            "fanout",
+            Json::obj()
+                .with(
+                    "range_graph",
+                    Json::Str(self.fanout.range_graph.as_str().into()),
+                )
+                .with(
+                    "bicluster",
+                    Json::Str(self.fanout.bicluster.as_str().into()),
+                )
+                .with("threads", Json::U64(self.fanout.threads as u64)),
+        );
         obj
     }
 }
 
 /// Generates the spec's dataset, mines it, and measures the point.
 pub fn measure(spec: &SynthSpec, x: f64) -> SweepPoint {
+    measure_with(spec, x, fig7_params(spec))
+}
+
+/// Like [`measure`], but pinning the mining run to `threads` worker
+/// threads; `x` is typically the thread count itself (the `bench scaling`
+/// sweep).
+pub fn measure_threads(spec: &SynthSpec, x: f64, threads: usize) -> SweepPoint {
+    let mut params = fig7_params(spec);
+    params.threads = Some(threads);
+    measure_with(spec, x, params)
+}
+
+fn measure_with(spec: &SynthSpec, x: f64, params: Params) -> SweepPoint {
     let data = generate(spec);
-    let params = fig7_params(spec);
     // Reset the allocator's high-water mark after generation so the peak
     // reflects the mine itself, not the dataset build. No-ops without the
     // tracking allocator installed.
@@ -125,6 +154,7 @@ pub fn measure(spec: &SynthSpec, x: f64) -> SweepPoint {
             (Some(b), Some(a)) => Some(a.bytes_since(b)),
             _ => None,
         },
+        fanout: result.fanout,
     }
 }
 
@@ -250,6 +280,24 @@ pub fn fig7_smoke_sweeps() -> Vec<Sweep> {
         ("smoke-genes", "genes in matrix", genes),
         ("smoke-samples", "samples in matrix", samples),
     ]
+}
+
+/// The workload for `bench scaling`: a few-slice/many-gene shape (the case
+/// the intra-slice fan-out exists for — at 2 time slices, slice-striping
+/// can use at most 2 workers) sized to mine in roughly a second per run so
+/// a 1/2/4/8-thread sweep stays affordable.
+pub fn scaling_spec() -> SynthSpec {
+    SynthSpec {
+        n_genes: 4000,
+        n_samples: 16,
+        n_times: 2,
+        n_clusters: 6,
+        gene_range: (200, 200),
+        sample_range: (5, 5),
+        time_range: (2, 2),
+        noise: 0.03,
+        ..SynthSpec::default()
+    }
 }
 
 /// Ablation: mining **without** the precomputed range multigraph — every

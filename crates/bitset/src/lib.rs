@@ -221,6 +221,30 @@ impl BitSet {
         }
     }
 
+    /// Overwrites `self` with `a ∩ b` and returns the cardinality of the
+    /// result, computed in the same pass over the blocks.
+    ///
+    /// `self` adopts `a`'s universe; its previous contents (and universe) are
+    /// discarded, but its block allocation is reused when large enough. This
+    /// is the miner's scratch-buffer intersection: a DFS that keeps one
+    /// `BitSet` per depth level can intersect into it repeatedly without
+    /// allocating per extension.
+    #[inline]
+    pub fn intersect_into(&mut self, a: &BitSet, b: &BitSet) -> usize {
+        a.check_same_universe(b);
+        self.nbits = a.nbits;
+        self.blocks.clear();
+        self.blocks.reserve(a.blocks.len());
+        let mut count = 0usize;
+        self.blocks
+            .extend(a.blocks.iter().zip(&b.blocks).map(|(x, y)| {
+                let v = x & y;
+                count += v.count_ones() as usize;
+                v
+            }));
+        count
+    }
+
     /// Allocating intersection.
     pub fn intersection(&self, other: &BitSet) -> BitSet {
         let mut out = self.clone();
@@ -487,6 +511,34 @@ mod tests {
         assert!(a.intersection_count_at_least(&b, 1));
         assert!(a.intersection_count_at_least(&b, 2));
         assert!(!a.intersection_count_at_least(&b, 3));
+    }
+
+    #[test]
+    fn intersect_into_matches_intersection_and_reuses_buffer() {
+        let a = BitSet::from_indices(300, (0..300).step_by(3));
+        let b = BitSet::from_indices(300, (0..300).step_by(5));
+        let mut scratch = BitSet::new(0);
+        let n = scratch.intersect_into(&a, &b);
+        assert_eq!(scratch, a.intersection(&b));
+        assert_eq!(n, scratch.count());
+        assert_eq!(scratch.capacity(), 300);
+        // Reuse with a different (smaller) universe: contents fully replaced.
+        let c = BitSet::from_indices(64, [0, 1, 2]);
+        let d = BitSet::from_indices(64, [2, 3]);
+        let n2 = scratch.intersect_into(&c, &d);
+        assert_eq!(n2, 1);
+        assert_eq!(scratch.to_vec(), vec![2]);
+        assert_eq!(scratch.capacity(), 64);
+    }
+
+    #[test]
+    fn intersect_into_empty_universe() {
+        let a = BitSet::new(0);
+        let b = BitSet::new(0);
+        let mut scratch = BitSet::from_indices(10, [3]);
+        assert_eq!(scratch.intersect_into(&a, &b), 0);
+        assert!(scratch.is_empty());
+        assert_eq!(scratch.capacity(), 0);
     }
 
     #[test]

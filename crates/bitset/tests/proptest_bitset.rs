@@ -75,6 +75,20 @@ proptest! {
     }
 
     #[test]
+    fn intersect_into_matches_model((a, b) in model_pair(), junk in proptest::collection::btree_set(0..UNIVERSE, 0..UNIVERSE)) {
+        // Scratch starts with arbitrary junk; intersect_into must fully
+        // replace it and report the exact cardinality.
+        let mut scratch = to_bitset(&junk);
+        let n = scratch.intersect_into(&to_bitset(&a), &to_bitset(&b));
+        let want: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        let got: BTreeSet<usize> = scratch.iter().collect();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(n, want.len());
+        prop_assert_eq!(scratch.capacity(), UNIVERSE);
+        prop_assert_eq!(scratch, to_bitset(&a).intersection(&to_bitset(&b)));
+    }
+
+    #[test]
     fn subset_matches_model((a, b) in model_pair()) {
         prop_assert_eq!(to_bitset(&a).is_subset(&to_bitset(&b)), a.is_subset(&b));
         prop_assert_eq!(to_bitset(&a).is_disjoint(&to_bitset(&b)), a.is_disjoint(&b));

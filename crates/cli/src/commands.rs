@@ -6,8 +6,8 @@ use std::io::{BufReader, BufWriter};
 use tricluster_core::obs::{names, EventSink, JsonLinesSink, NullSink, Recorder, Tee};
 use tricluster_core::runreport;
 use tricluster_core::{
-    cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, MergeParams,
-    MiningResult, Params,
+    cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, FanoutMode,
+    MergeParams, MiningResult, Params,
 };
 use tricluster_matrix::{io, Labels, Matrix3};
 use tricluster_synth::{generate, SynthSpec};
@@ -32,6 +32,9 @@ MINE OPTIONS:
   --merge ETA GAMMA    enable merge/delete post-processing
   --max-candidates N   bound the DFS search (truncates on exhaustion)
   --threads N      worker threads for the per-slice phases (default: cores)
+  --fanout MODE    parallel granularity: auto | slice | pair (default auto;
+                   pair = intra-slice pair/branch-level fan-out for inputs
+                   with fewer time slices than threads)
   --shifting       mine shifting (additive) clusters via Lemma 2
   --auto           transpose so the largest dimension is mined as genes
   --names          print gene/sample/time names instead of indices
@@ -77,6 +80,11 @@ pub fn mine_params_from(a: &args::Args) -> Result<Params, String> {
     if let Some(n) = a.get_usize("threads")? {
         b = b.threads(n);
     }
+    if let Some(s) = a.get_str("fanout") {
+        let mode = FanoutMode::parse(s)
+            .ok_or_else(|| format!("--fanout must be auto, slice, or pair; got {s:?}"))?;
+        b = b.fanout(mode);
+    }
     b.build().map_err(|e| e.to_string())
 }
 
@@ -95,6 +103,7 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
             ("merge", 2),
             ("max-candidates", 1),
             ("threads", 1),
+            ("fanout", 1),
             ("report-json", 1),
         ],
         &[
@@ -224,6 +233,12 @@ fn print_verbose(result: &MiningResult, verbosity: u8) {
         "timings: slices {:?} wall ({:?} range-graph + {:?} bicluster CPU) | \
          triclusters {:?} | prune {:?}",
         t.slices_wall, t.range_graphs, t.biclusters, t.triclusters, t.prune
+    );
+    eprintln!(
+        "fanout: range-graph at {} level, bicluster DFS at {} level, {} threads",
+        result.fanout.range_graph.as_str(),
+        result.fanout.bicluster.as_str(),
+        result.fanout.threads
     );
     if verbosity >= 2 {
         eprint!("{}", result.report.render_human());
@@ -379,6 +394,7 @@ mod tests {
                 ("merge", 2),
                 ("max-candidates", 1),
                 ("threads", 1),
+                ("fanout", 1),
                 ("report-json", 1),
             ],
             &[
@@ -438,6 +454,16 @@ mod tests {
             })
         );
         assert_eq!(p.max_candidates, Some(5000));
+    }
+
+    #[test]
+    fn fanout_flag_threads_through() {
+        let p = mine_params_from(&parse_mine(&["f.tsv", "--fanout", "pair"])).unwrap();
+        assert_eq!(p.fanout, FanoutMode::Pair);
+        let p = mine_params_from(&parse_mine(&["f.tsv"])).unwrap();
+        assert_eq!(p.fanout, FanoutMode::Auto);
+        let e = mine_params_from(&parse_mine(&["f.tsv", "--fanout", "bogus"])).unwrap_err();
+        assert!(e.contains("--fanout"));
     }
 
     #[test]

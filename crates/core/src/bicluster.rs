@@ -18,6 +18,7 @@ use crate::params::Params;
 use crate::range::RatioRange;
 use crate::rangegraph::RangeGraph;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::Matrix3;
 use tricluster_obs::{names, EventSink, Histogram};
@@ -58,6 +59,10 @@ pub struct BiclusterStats {
     pub rejected_subsumed: u64,
     /// Previously recorded clusters displaced by a larger candidate.
     pub replaced: u64,
+    /// Branch-local survivors dropped at the cross-branch merge because a
+    /// cluster from an earlier branch subsumes them (see
+    /// [`mine_biclusters_workers`]).
+    pub merge_subsumed: u64,
     /// Value distributions; `None` unless requested, so the default path
     /// never pays for bucket arithmetic.
     pub hists: Option<Box<BiclusterHists>>,
@@ -74,6 +79,7 @@ impl BiclusterStats {
         self.rejected_delta += other.rejected_delta;
         self.rejected_subsumed += other.rejected_subsumed;
         self.replaced += other.replaced;
+        self.merge_subsumed += other.merge_subsumed;
         if let Some(o) = &other.hists {
             let h = self.hists.get_or_insert_with(Box::default);
             h.depth.merge(&o.depth);
@@ -93,6 +99,7 @@ impl BiclusterStats {
         sink.counter(names::BC_REJECTED_DELTA, self.rejected_delta);
         sink.counter(names::BC_REJECTED_SUBSUMED, self.rejected_subsumed);
         sink.counter(names::BC_REPLACED, self.replaced);
+        sink.counter(names::BC_MERGE_SUBSUMED, self.merge_subsumed);
         if let Some(h) = &self.hists {
             sink.histogram(names::H_BC_DEPTH, &h.depth);
             sink.histogram(names::H_BC_CANDIDATES, &h.candidate_set_size);
@@ -142,45 +149,228 @@ pub fn mine_biclusters_profiled(
     params: &Params,
     collect_hists: bool,
 ) -> (Vec<Bicluster>, bool, BiclusterStats) {
-    let t = rg.time;
+    mine_biclusters_workers(m, rg, params, collect_hists, 1)
+}
+
+/// Everything one top-level branch produced, keyed by its seed sample.
+struct BranchOutput {
+    branch: usize,
+    results: MaximalStore,
+    truncated: bool,
+    /// Budget consumed inside the branch (for sequential budget threading).
+    spent: u64,
+    stats: BiclusterStats,
+}
+
+/// Mines the branch rooted at sample `order[branch]` into a local store.
+#[allow(clippy::too_many_arguments)]
+fn run_branch<'a>(
+    m: &'a Matrix3,
+    rg: &'a RangeGraph,
+    params: &'a Params,
+    collect_hists: bool,
+    all_genes: &BitSet,
+    order: &[usize],
+    branch: usize,
+    budget: Option<u64>,
+) -> BranchOutput {
+    let mut stats = BiclusterStats::default();
+    if collect_hists {
+        stats.hists = Some(Box::default());
+    }
+    let mut miner = BranchMiner {
+        m,
+        rg,
+        params,
+        t: rg.time,
+        results: MaximalStore::new(),
+        samples: vec![order[branch]],
+        budget,
+        truncated: false,
+        stats,
+        scratch: DfsScratch::default(),
+    };
+    miner.dfs(all_genes, &order[branch + 1..]);
+    let spent = miner.stats.budget_spent;
+    BranchOutput {
+        branch,
+        results: miner.results,
+        truncated: miner.truncated,
+        spent,
+        stats: miner.stats,
+    }
+}
+
+/// Like [`mine_biclusters_profiled`], distributing the top-level sample-seed
+/// branches of the set-enumeration tree over up to `workers` threads.
+///
+/// Every thread count — including 1 — runs the *same* algorithm: each branch
+/// mines into a branch-local [`MaximalStore`], and the branch stores are
+/// merged on the calling thread in ascending branch order with a final
+/// cross-branch maximality pass. Parallelism therefore only changes
+/// scheduling, never the traversal, so every statistic (and the result
+/// vector, order included) is identical for all `workers` values.
+///
+/// Cross-branch maximality leans on a structural property: the branch seeded
+/// at sample `i` only yields sample sets whose minimum is `i`, so a cluster
+/// can only be subsumed by one from an *earlier* branch (`samples ⊆` forces
+/// `min ≥`). Merge drops such clusters (counted as
+/// [`BiclusterStats::merge_subsumed`]); displacement of an earlier branch's
+/// cluster by a later branch is impossible.
+///
+/// When [`Params::max_candidates`] is set, the visit budget is global across
+/// the whole DFS, so branches run sequentially and thread the remaining
+/// budget in branch order — deterministic truncation, identical to the
+/// pre-parallel implementation.
+pub fn mine_biclusters_workers(
+    m: &Matrix3,
+    rg: &RangeGraph,
+    params: &Params,
+    collect_hists: bool,
+    workers: usize,
+) -> (Vec<Bicluster>, bool, BiclusterStats) {
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
     let mut stats = BiclusterStats::default();
     if collect_hists {
         stats.hists = Some(Box::default());
     }
-    let mut miner = BiMiner {
-        m,
-        rg,
-        params,
-        t,
-        results: Vec::new(),
-        samples: Vec::new(),
-        budget: params.max_candidates,
-        truncated: false,
-        stats,
-    };
+    let mut truncated = false;
+
+    // Root node of the enumeration tree (empty sample set). Recording can
+    // never fire here (`min_samples ≥ 1`), so only accounting happens.
+    let mut budget = params.max_candidates;
+    if let Some(b) = &mut budget {
+        if *b == 0 {
+            return (Vec::new(), true, stats);
+        }
+        *b -= 1;
+        stats.budget_spent += 1;
+    }
+    stats.nodes += 1;
+    if let Some(h) = stats.hists.as_deref_mut() {
+        h.depth.record(0);
+        h.candidate_set_size.record(n_samples as u64);
+    }
+
     let all_genes = BitSet::full(n_genes);
     let order: Vec<usize> = (0..n_samples).collect();
-    miner.dfs(&all_genes, &order);
-    (miner.results, miner.truncated, miner.stats)
+    let outputs: Vec<BranchOutput> = if budget.is_some() || workers <= 1 || n_samples <= 1 {
+        let mut outs = Vec::with_capacity(n_samples);
+        for branch in 0..n_samples {
+            let out = run_branch(
+                m,
+                rg,
+                params,
+                collect_hists,
+                &all_genes,
+                &order,
+                branch,
+                budget,
+            );
+            if let Some(b) = &mut budget {
+                *b -= out.spent;
+            }
+            outs.push(out);
+        }
+        outs
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<BranchOutput>> = (0..n_samples).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.min(n_samples))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut outs = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_samples {
+                                break;
+                            }
+                            outs.push(run_branch(
+                                m,
+                                rg,
+                                params,
+                                collect_hists,
+                                &all_genes,
+                                &order,
+                                i,
+                                None,
+                            ));
+                        }
+                        outs
+                    })
+                })
+                .collect();
+            for h in handles {
+                for out in h.join().expect("bicluster worker panicked") {
+                    let b = out.branch;
+                    slots[b] = Some(out);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every branch mined exactly once"))
+            .collect()
+    };
+
+    // Root fan-out: one child per top-level sample, recursed unconditionally.
+    if let Some(h) = stats.hists.as_deref_mut() {
+        h.fanout.record(n_samples as u64);
+    }
+
+    // Deterministic merge: absorb branches in ascending seed order and fold
+    // their survivors through a global maximality store.
+    let mut store = MaximalStore::new();
+    for out in outputs {
+        truncated |= out.truncated;
+        stats.absorb(&out.stats);
+        for bc in out.results.into_vec() {
+            match store.insert(bc) {
+                InsertOutcome::Subsumed => stats.merge_subsumed += 1,
+                InsertOutcome::Inserted { displaced } => {
+                    debug_assert_eq!(displaced, 0, "later branches cannot subsume earlier ones");
+                    stats.replaced += displaced as u64;
+                }
+            }
+        }
+    }
+    (store.into_vec(), truncated, stats)
 }
 
-struct BiMiner<'a> {
+/// Reusable per-branch buffers for the DFS hot path. Each use-site fills the
+/// slice it needs before reading, so sharing them across recursion levels is
+/// safe: by the time a child (or the next extension) reuses a buffer, the
+/// parent no longer needs its contents.
+#[derive(Default)]
+struct DfsScratch<'a> {
+    /// Qualified edges per current sample, rebuilt for each extension; only
+    /// the first `samples.len()` entries are live at any moment.
+    per_sample: Vec<Vec<&'a RatioRange>>,
+    /// One intersection accumulator per combination depth, written in-place
+    /// by [`BitSet::intersect_into`] — no per-extension clones.
+    levels: Vec<BitSet>,
+    /// Gene-sets already produced at the current (node, extension) step.
+    seen: HashSet<BitSet>,
+}
+
+struct BranchMiner<'a> {
     m: &'a Matrix3,
     rg: &'a RangeGraph,
     params: &'a Params,
     t: usize,
-    results: Vec<Bicluster>,
+    results: MaximalStore,
     /// Current candidate sample set (ascending; DFS extends in order).
     samples: Vec<usize>,
     /// Remaining candidate-visit budget, when limited.
     budget: Option<u64>,
     truncated: bool,
     stats: BiclusterStats,
+    scratch: DfsScratch<'a>,
 }
 
-impl BiMiner<'_> {
+impl<'a> BranchMiner<'a> {
     fn dfs(&mut self, genes: &BitSet, pending: &[usize]) {
         if let Some(b) = &mut self.budget {
             if *b == 0 {
@@ -201,48 +391,49 @@ impl BiMiner<'_> {
         let genes_count = genes.count();
         for (i, &sb) in pending.iter().enumerate() {
             let rest = &pending[i + 1..];
-            if self.samples.is_empty() {
-                children += 1;
-                self.samples.push(sb);
-                self.dfs(genes, rest);
-                self.samples.pop();
-                continue;
+            let depth = self.samples.len();
+            let scratch = &mut self.scratch;
+            while scratch.per_sample.len() < depth {
+                scratch.per_sample.push(Vec::new());
             }
-            // Qualified edges from every existing sample to s_b.
-            let mut per_sample: Vec<Vec<&RatioRange>> = Vec::with_capacity(self.samples.len());
+            while scratch.levels.len() < depth {
+                scratch.levels.push(BitSet::new(0));
+            }
+            // Qualified edges from every existing sample to s_b; the
+            // count-early-exit prunes extensions before any gene-set is
+            // materialized.
             let mut dead_end = false;
-            for &sa in &self.samples {
-                let edges: Vec<&RatioRange> = self
-                    .rg
-                    .ranges_between(sa, sb)
-                    .iter()
-                    .filter(|r| {
-                        genes.intersection_count_at_least_hinted(
-                            &r.genes,
-                            self.params.min_genes,
-                            genes_count,
-                        )
-                    })
-                    .collect();
+            for (k, &sa) in self.samples.iter().enumerate() {
+                let edges = &mut scratch.per_sample[k];
+                edges.clear();
+                for r in self.rg.ranges_between(sa, sb) {
+                    if genes.intersection_count_at_least_hinted(
+                        &r.genes,
+                        self.params.min_genes,
+                        genes_count,
+                    ) {
+                        edges.push(r);
+                    }
+                }
                 if edges.is_empty() {
                     dead_end = true;
                     break;
                 }
-                per_sample.push(edges);
             }
             if dead_end {
                 continue;
             }
             // Enumerate edge combinations (one edge per existing sample),
-            // intersecting gene-sets with early mx pruning; recurse per
+            // intersecting gene-sets in-place with mx pruning; recurse per
             // distinct resulting gene-set.
-            let mut seen: HashSet<Vec<u64>> = HashSet::new();
+            scratch.seen.clear();
             let mut combos: Vec<BitSet> = Vec::new();
             intersect_combos(
                 genes,
-                &per_sample,
+                &scratch.per_sample[..depth],
+                &mut scratch.levels[..depth],
                 self.params.min_genes,
-                &mut seen,
+                &mut scratch.seen,
                 &mut combos,
                 &mut self.stats.dedup_hits,
             );
@@ -271,7 +462,7 @@ impl BiMiner<'_> {
             return;
         }
         let candidate = Bicluster::new(genes.clone(), self.samples.clone(), self.t);
-        match insert_maximal_bicluster_counted(&mut self.results, candidate) {
+        match self.results.insert(candidate) {
             InsertOutcome::Subsumed => self.stats.rejected_subsumed += 1,
             InsertOutcome::Inserted { displaced } => {
                 self.stats.recorded += 1;
@@ -318,31 +509,36 @@ impl BiMiner<'_> {
 /// the gene-set intersection and pruning as soon as it drops below `mx`.
 /// `dedup_hits` counts combinations dropped because their gene-set was
 /// already produced by an earlier edge choice at the same node.
+///
+/// The accumulator at each combination depth lives in `levels` (one slot per
+/// remaining sample), written in place by [`BitSet::intersect_into`] — the
+/// only allocations are the cloned gene-sets of *surviving* distinct combos.
 fn intersect_combos(
     acc: &BitSet,
     per_sample: &[Vec<&RatioRange>],
+    levels: &mut [BitSet],
     mx: usize,
-    seen: &mut HashSet<Vec<u64>>,
+    seen: &mut HashSet<BitSet>,
     out: &mut Vec<BitSet>,
     dedup_hits: &mut u64,
 ) {
     match per_sample.split_first() {
         None => {
-            if seen.insert(acc.as_blocks().to_vec()) {
-                out.push(acc.clone());
-            } else {
+            if seen.contains(acc) {
                 *dedup_hits += 1;
+            } else {
+                let owned = acc.clone();
+                seen.insert(owned.clone());
+                out.push(owned);
             }
         }
         Some((edges, rest)) => {
+            let (level, rest_levels) = levels
+                .split_first_mut()
+                .expect("one scratch level per remaining sample");
             for r in edges {
-                if !acc.intersection_count_at_least(&r.genes, mx) {
-                    continue;
-                }
-                let mut next = acc.clone();
-                next.intersect_with(&r.genes);
-                if next.count() >= mx {
-                    intersect_combos(&next, rest, mx, seen, out, dedup_hits);
+                if level.intersect_into(acc, &r.genes) >= mx {
+                    intersect_combos(level, rest, rest_levels, mx, seen, out, dedup_hits);
                 }
             }
         }
@@ -371,6 +567,9 @@ pub fn insert_maximal_bicluster(results: &mut Vec<Bicluster>, candidate: Biclust
 
 /// Like [`insert_maximal_bicluster`], reporting what happened (used by the
 /// observability layer to count maximality rejections and replacements).
+///
+/// This is the O(results) reference implementation; the miner's hot path
+/// uses [`MaximalStore`], which indexes clusters by size signature.
 pub fn insert_maximal_bicluster_counted(
     results: &mut Vec<Bicluster>,
     candidate: Bicluster,
@@ -383,6 +582,102 @@ pub fn insert_maximal_bicluster_counted(
     let displaced = before - results.len();
     results.push(candidate);
     InsertOutcome::Inserted { displaced }
+}
+
+/// A set of mutually non-contained biclusters with a size-bucketed signature
+/// index.
+///
+/// Containment (`genes ⊆ ∧ samples ⊆`) implies `|genes| ≤ ∧ |samples| ≤`,
+/// so clusters are bucketed by `(|genes|, |samples|)`: a candidate can only
+/// be subsumed by buckets ≥ in both dimensions and can only displace buckets
+/// ≤ in both. Instead of the reference implementation's O(results) scan per
+/// insert, only those candidate buckets are probed — near-constant for the
+/// size-diverse stores the miner produces.
+///
+/// Insertion order is preserved: [`MaximalStore::into_vec`] yields survivors
+/// exactly as [`insert_maximal_bicluster_counted`] would have left them in a
+/// plain vector (displaced entries removed in place, survivors in first-
+/// insert order).
+#[derive(Debug, Clone, Default)]
+pub struct MaximalStore {
+    /// Insert-ordered slots; displaced clusters become `None`.
+    slots: Vec<Option<Bicluster>>,
+    /// `(gene count, sample count)` -> indices of live slots with that size.
+    buckets: std::collections::BTreeMap<(usize, usize), Vec<usize>>,
+    len: usize,
+}
+
+impl MaximalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live clusters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the store holds no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `candidate` keeping only maximal clusters; same contract and
+    /// outcome reporting as [`insert_maximal_bicluster_counted`].
+    pub fn insert(&mut self, candidate: Bicluster) -> InsertOutcome {
+        let key = (candidate.genes.count(), candidate.samples.len());
+        // Subsumption: only clusters at least as large in both dimensions
+        // can contain the candidate. (The equal-size bucket is probed here
+        // first, so an exact duplicate reports Subsumed, like the reference.)
+        for (&(_, sc), idxs) in self.buckets.range((key.0, 0)..) {
+            if sc < key.1 {
+                continue;
+            }
+            for &i in idxs {
+                let c = self.slots[i].as_ref().expect("bucket points at live slot");
+                if candidate.is_subcluster_of(c) {
+                    return InsertOutcome::Subsumed;
+                }
+            }
+        }
+        // Displacement: only clusters at most as large in both dimensions
+        // can be contained in the candidate.
+        let mut doomed: Vec<(usize, (usize, usize))> = Vec::new();
+        for (&(gc, sc), idxs) in self.buckets.range(..=(key.0, key.1)) {
+            if sc > key.1 {
+                continue;
+            }
+            for &i in idxs {
+                let c = self.slots[i].as_ref().expect("bucket points at live slot");
+                if c.is_subcluster_of(&candidate) {
+                    doomed.push((i, (gc, sc)));
+                }
+            }
+        }
+        let displaced = doomed.len();
+        for (i, bkey) in doomed {
+            self.slots[i] = None;
+            let bucket = self
+                .buckets
+                .get_mut(&bkey)
+                .expect("doomed slot was bucketed");
+            bucket.retain(|&x| x != i);
+            if bucket.is_empty() {
+                self.buckets.remove(&bkey);
+            }
+        }
+        let idx = self.slots.len();
+        self.slots.push(Some(candidate));
+        self.buckets.entry(key).or_default().push(idx);
+        self.len = self.len - displaced + 1;
+        InsertOutcome::Inserted { displaced }
+    }
+
+    /// Consumes the store, yielding survivors in insertion order.
+    pub fn into_vec(self) -> Vec<Bicluster> {
+        self.slots.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -565,10 +860,73 @@ mod tests {
         assert_eq!(bcs.len(), 3);
         assert!(stats.nodes > 0);
         assert_eq!(stats.budget_spent, 0, "no budget configured");
-        // recorded − replaced = surviving clusters
-        assert_eq!(stats.recorded - stats.replaced, bcs.len() as u64);
+        // recorded − replaced − merge-dropped = surviving clusters
+        assert_eq!(
+            stats.recorded - stats.replaced - stats.merge_subsumed,
+            bcs.len() as u64
+        );
         let (_, _, again) = mine_biclusters_observed(&m, &rg, &p);
         assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn worker_counts_mine_identical_results() {
+        let m = paper_table1();
+        // my=2 exercises cross-branch subsumption (C4 lives in branch s1)
+        for p in [params(0.01, 3, 3), params(0.01, 3, 2)] {
+            let rg = build_range_graph(&m, 0, &p);
+            let (bcs1, tr1, st1) = mine_biclusters_workers(&m, &rg, &p, true, 1);
+            for workers in [2usize, 4, 8] {
+                let (bcs, tr, st) = mine_biclusters_workers(&m, &rg, &p, true, workers);
+                assert_eq!(bcs, bcs1, "clusters differ at workers={workers}");
+                assert_eq!(tr, tr1);
+                assert_eq!(st, st1, "stats differ at workers={workers}");
+            }
+            // result-vector order itself is thread-invariant (not just the set)
+            let (plain, _, st_plain) = mine_biclusters_observed(&m, &rg, &p);
+            assert_eq!(plain, bcs1);
+            assert_eq!(
+                st_plain.recorded - st_plain.replaced - st_plain.merge_subsumed,
+                plain.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_store_matches_reference_implementation() {
+        // Feed both stores the same pseudo-random candidate stream and check
+        // outcome-by-outcome and final-sequence agreement.
+        let mk = |genes: &[usize], samples: &[usize]| {
+            Bicluster::new(
+                BitSet::from_indices(12, genes.iter().copied()),
+                samples.to_vec(),
+                0,
+            )
+        };
+        let mut state = 0x9e3779b97f4a7c15u64; // deterministic xorshift
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut reference: Vec<Bicluster> = Vec::new();
+        let mut store = MaximalStore::new();
+        for _ in 0..300 {
+            let gbits = next();
+            let sbits = next();
+            let genes: Vec<usize> = (0..12).filter(|i| gbits >> i & 1 == 1).collect();
+            let samples: Vec<usize> = (0..6).filter(|i| sbits >> i & 1 == 1).collect();
+            if genes.is_empty() || samples.is_empty() {
+                continue;
+            }
+            let cand = mk(&genes, &samples);
+            let want = insert_maximal_bicluster_counted(&mut reference, cand.clone());
+            let got = store.insert(cand);
+            assert_eq!(got, want);
+            assert_eq!(store.len(), reference.len());
+        }
+        assert_eq!(store.into_vec(), reference, "survivor order must match");
     }
 
     #[test]

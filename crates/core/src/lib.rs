@@ -77,8 +77,11 @@ pub mod validate;
 pub use classify::{classify, ClusterType, Spreads};
 pub use cluster::{Bicluster, Tricluster};
 pub use metrics::{cluster_metrics, cluster_metrics_observed, Metrics};
-pub use miner::{mine, mine_auto, mine_auto_observed, mine_observed, Miner, MiningResult, Timings};
-pub use params::{MergeParams, Params, ParamsBuilder, ParamsError};
+pub use miner::{
+    mine, mine_auto, mine_auto_observed, mine_observed, FanoutDecision, FanoutLevel, Miner,
+    MiningResult, Timings,
+};
+pub use params::{FanoutMode, MergeParams, Params, ParamsBuilder, ParamsError};
 pub use shift::{mine_shifting, ShiftingCluster};
 
 /// Re-export of the observability crate, so downstream users can name sinks

@@ -7,18 +7,54 @@
 //! dimension mined as genes, per the symmetry Lemma 1) and maps the results
 //! back to the caller's coordinates.
 
-use crate::bicluster::{mine_biclusters_profiled, BiclusterStats};
+use crate::bicluster::{mine_biclusters_workers, BiclusterStats};
 use crate::cluster::{Bicluster, Tricluster};
 use crate::metrics::{cluster_metrics, Metrics};
-use crate::params::Params;
+use crate::params::{FanoutMode, Params};
 use crate::prune::{merge_and_prune_observed, PruneStats};
 use crate::range::RatioRange;
-use crate::rangegraph::{build_range_graph_observed, RangeGraph, RangeGraphStats};
+use crate::rangegraph::{build_range_graph_workers, RangeGraph, RangeGraphStats};
 use crate::tricluster::mine_triclusters_profiled;
 use std::time::{Duration, Instant};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::{Axis, Matrix3};
 use tricluster_obs::{alloc, emit, names, Event, EventSink, Histogram, NullSink, RunReport};
+
+/// Granularity one phase actually fanned out at (see
+/// [`FanoutMode`] for how the choice is made).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanoutLevel {
+    /// Whole time slices striped across workers.
+    Slice,
+    /// `(slice, column-pair)` work items within each slice.
+    Pair,
+    /// Top-level sample-seed DFS branches within each slice.
+    Branch,
+}
+
+impl FanoutLevel {
+    /// Stable lowercase name for reports and trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FanoutLevel::Slice => "slice",
+            FanoutLevel::Pair => "pair",
+            FanoutLevel::Branch => "branch",
+        }
+    }
+}
+
+/// The schedule the miner chose for this run. Unlike everything in the
+/// report's deterministic sections this depends on the thread count, so it
+/// is exposed here (and as a trace event) rather than as a counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanoutDecision {
+    /// Fan-out level of range-graph construction.
+    pub range_graph: FanoutLevel,
+    /// Fan-out level of the bicluster DFS.
+    pub bicluster: FanoutLevel,
+    /// Worker threads the run was scheduled onto.
+    pub threads: usize,
+}
 
 /// Everything produced by one mining run.
 #[derive(Debug, Clone)]
@@ -41,6 +77,10 @@ pub struct MiningResult {
     /// [`tricluster_obs::names`]. Counter values are deterministic for a
     /// given input/parameters, independent of thread count.
     pub report: RunReport,
+    /// Which fan-out granularity each per-slice phase ran at. Purely a
+    /// scheduling artifact: it varies with `threads`/[`Params::fanout`]
+    /// while clusters and report counters do not.
+    pub fanout: FanoutDecision,
 }
 
 /// Duration of each pipeline phase.
@@ -48,7 +88,9 @@ pub struct MiningResult {
 /// The per-slice phases are reported in two views: `range_graphs` and
 /// `biclusters` are *summed CPU time* measured inside each worker (they can
 /// exceed wall-clock when slices run in parallel), while `slices_wall` is
-/// the wall-clock of the whole fan-out.
+/// the wall-clock of the whole fan-out. Under intra-slice fan-out the
+/// slices run sequentially and parallelize internally, so those two sums
+/// are per-slice wall times and stay at or below `slices_wall`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
     /// Range multigraph construction, CPU time summed over slices.
@@ -212,15 +254,28 @@ struct SliceOutput {
 /// possible). Trace events go straight to `sink`; counters are accumulated
 /// locally and merged by the caller in slice order, keeping them
 /// deterministic under any thread schedule.
-fn mine_slice(m: &Matrix3, t: usize, params: &Params, sink: &dyn EventSink) -> SliceOutput {
+///
+/// Under slice-level fan-out the caller passes `1` for both worker counts
+/// (this slice shares the machine with its siblings); under intra-slice
+/// fan-out the slice owns all workers and fans out internally at pair
+/// (range graph) and branch (DFS) granularity.
+fn mine_slice(
+    m: &Matrix3,
+    t: usize,
+    params: &Params,
+    sink: &dyn EventSink,
+    rg_workers: usize,
+    bc_workers: usize,
+) -> SliceOutput {
     let collect_hists = sink.wants_histograms();
     let rg_start = Instant::now();
-    let (rg, rg_stats) = build_range_graph_observed(m, t, params, sink);
+    let (rg, rg_stats) = build_range_graph_workers(m, t, params, sink, rg_workers);
     let rg_time = rg_start.elapsed();
     let n_ranges = rg.n_ranges();
     let rg_bytes = range_graph_bytes(&rg);
     let bc_start = Instant::now();
-    let (biclusters, truncated, bc_stats) = mine_biclusters_profiled(m, &rg, params, collect_hists);
+    let (biclusters, truncated, bc_stats) =
+        mine_biclusters_workers(m, &rg, params, collect_hists, bc_workers);
     let bc_time = bc_start.elapsed();
     emit(sink, || {
         Event::new("miner.slice")
@@ -272,28 +327,67 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
     let mut per_time_biclusters: Vec<Vec<Bicluster>> = vec![Vec::new(); n_times];
     let mut ranges_per_time: Vec<usize> = vec![0; n_times];
     let mut truncated = false;
-    let threads = params
-        .threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .min(n_times.max(1));
-    let mut slices: Vec<SliceOutput> = if threads <= 1 || n_times <= 1 {
+    let threads = params.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    // Two-level scheduler: with at least as many slices as workers, striping
+    // whole slices keeps every worker busy with zero coordination. When
+    // workers outnumber slices (the common microarray shape: few time
+    // points, huge slices), slices run one at a time and fan out internally
+    // at (column-pair) and (sample-seed-branch) granularity instead.
+    let intra = match params.fanout {
+        FanoutMode::Slice => false,
+        FanoutMode::Pair => threads > 1,
+        FanoutMode::Auto => threads > 1 && threads > n_times,
+    };
+    let rg_workers = if intra { threads } else { 1 };
+    // A global `max_candidates` budget must be spent in branch order, which
+    // serializes the DFS; see `mine_biclusters_workers`.
+    let bc_workers = if intra && params.max_candidates.is_none() {
+        threads
+    } else {
+        1
+    };
+    let slice_workers = if intra {
+        1
+    } else {
+        threads.min(n_times.max(1))
+    };
+    let fanout = FanoutDecision {
+        range_graph: if intra {
+            FanoutLevel::Pair
+        } else {
+            FanoutLevel::Slice
+        },
+        bicluster: if bc_workers > 1 {
+            FanoutLevel::Branch
+        } else {
+            FanoutLevel::Slice
+        },
+        threads,
+    };
+    emit(sink, || {
+        Event::new("miner.fanout")
+            .field("range_graph", fanout.range_graph.as_str())
+            .field("bicluster", fanout.bicluster.as_str())
+            .field("threads", threads)
+    });
+    let mut slices: Vec<SliceOutput> = if slice_workers <= 1 || n_times <= 1 {
         (0..n_times)
-            .map(|t| mine_slice(m, t, params, sink))
+            .map(|t| mine_slice(m, t, params, sink, rg_workers, bc_workers))
             .collect()
     } else {
-        // Slices are striped across exactly `threads` workers; each worker
-        // returns its outputs and the caller re-sorts by slice index.
+        // Slices are striped across exactly `slice_workers` workers; each
+        // worker returns its outputs and the caller re-sorts by slice index.
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
+            let handles: Vec<_> = (0..slice_workers)
                 .map(|w| {
                     scope.spawn(move || {
                         (w..n_times)
-                            .step_by(threads)
-                            .map(|t| mine_slice(m, t, params, sink))
+                            .step_by(slice_workers)
+                            .map(|t| mine_slice(m, t, params, sink, 1, 1))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -412,6 +506,7 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
         truncated,
         timings,
         report: report_sink.into_report(),
+        fanout,
     }
 }
 
@@ -754,6 +849,94 @@ mod tests {
         );
         // the default NullSink path collects no histograms at all
         assert!(mine(&m, &mk(1)).report.histograms.is_empty());
+    }
+
+    /// Tentpole of ISSUE 3: intra-slice fan-out (pair-level range graphs,
+    /// branch-level DFS) yields byte-identical clusters, counters, and
+    /// histograms to slice-level fan-out, at every thread count.
+    #[test]
+    fn fanout_modes_mine_identical_results() {
+        let m = paper_table1();
+        let mk = |mode: FanoutMode, threads: usize| {
+            Params::builder()
+                .epsilon(0.01)
+                .min_size(3, 3, 2)
+                .fanout(mode)
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let baseline = mine_observed(
+            &m,
+            &mk(FanoutMode::Slice, 1),
+            &tricluster_obs::Recorder::new(),
+        );
+        assert_eq!(baseline.fanout.range_graph, FanoutLevel::Slice);
+        assert_eq!(baseline.fanout.bicluster, FanoutLevel::Slice);
+        for (mode, threads) in [
+            (FanoutMode::Pair, 1),
+            (FanoutMode::Pair, 2),
+            (FanoutMode::Pair, 8),
+            (FanoutMode::Auto, 8), // 8 > 2 slices -> intra
+            (FanoutMode::Slice, 8),
+        ] {
+            let r = mine_observed(&m, &mk(mode, threads), &tricluster_obs::Recorder::new());
+            assert_eq!(
+                view(&r.triclusters),
+                view(&baseline.triclusters),
+                "{mode:?} x{threads}"
+            );
+            assert_eq!(
+                r.report.counter_map(),
+                baseline.report.counter_map(),
+                "{mode:?} x{threads}"
+            );
+            assert_eq!(
+                r.report.histogram_map(),
+                baseline.report.histogram_map(),
+                "{mode:?} x{threads}"
+            );
+            let intra = threads > 1 && mode != FanoutMode::Slice;
+            assert_eq!(
+                r.fanout.range_graph,
+                if intra {
+                    FanoutLevel::Pair
+                } else {
+                    FanoutLevel::Slice
+                },
+                "{mode:?} x{threads}"
+            );
+            assert_eq!(
+                r.fanout.bicluster,
+                if intra {
+                    FanoutLevel::Branch
+                } else {
+                    FanoutLevel::Slice
+                },
+                "{mode:?} x{threads}"
+            );
+            assert_eq!(r.fanout.threads, threads);
+        }
+    }
+
+    /// A global candidate budget serializes the DFS (branch order is the
+    /// spend order) but pair-level range graphs still apply.
+    #[test]
+    fn budget_keeps_dfs_serial_under_intra_fanout() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .fanout(FanoutMode::Pair)
+            .threads(4)
+            .max_candidates(1_000_000)
+            .build()
+            .unwrap();
+        let r = mine(&m, &p);
+        assert_eq!(r.fanout.range_graph, FanoutLevel::Pair);
+        assert_eq!(r.fanout.bicluster, FanoutLevel::Slice);
+        assert!(!r.truncated);
+        assert_eq!(view(&r.triclusters), view(&mine(&m, &params()).triclusters));
     }
 
     /// Mining against a recording sink yields the same report as the one

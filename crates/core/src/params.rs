@@ -40,6 +40,48 @@ pub enum RangeExtension {
     On,
 }
 
+/// Which work-item granularity the per-slice phases fan out at.
+///
+/// Slice-level fan-out stripes whole time slices across workers — ideal when
+/// `n_times ≥ threads`. Intra-slice fan-out processes slices one at a time
+/// but parallelizes *inside* each: `(slice, column-pair)` work items for
+/// range-graph construction and top-level sample-seed branches for the
+/// bicluster DFS — ideal for few-slice/many-gene shapes (e.g. yeast
+/// elutriation: huge slices, few time points). Results and every
+/// input-determined report section are identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanoutMode {
+    /// Decide per run: slice-level when there are at least as many slices
+    /// as worker threads, intra-slice otherwise.
+    #[default]
+    Auto,
+    /// Always slice-level (the pre-scheduler behavior).
+    Slice,
+    /// Always intra-slice (pair-level range graphs, branch-level DFS).
+    Pair,
+}
+
+impl FanoutMode {
+    /// Stable lowercase name (CLI flag value / report field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FanoutMode::Auto => "auto",
+            FanoutMode::Slice => "slice",
+            FanoutMode::Pair => "pair",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<FanoutMode> {
+        match s {
+            "auto" => Some(FanoutMode::Auto),
+            "slice" => Some(FanoutMode::Slice),
+            "pair" | "intra" => Some(FanoutMode::Pair),
+            _ => None,
+        }
+    }
+}
+
 /// All mining parameters. Build with [`Params::builder`].
 ///
 /// Field names follow the paper: `ε` is the maximum ratio threshold,
@@ -83,6 +125,10 @@ pub struct Params {
     /// uses the available parallelism. Counter values in the run report are
     /// identical for every setting; only wall-clock changes.
     pub threads: Option<usize>,
+    /// Granularity of the parallel fan-out. Like `threads`, this only
+    /// affects scheduling: every input-determined report section is
+    /// identical for all modes.
+    pub fanout: FanoutMode,
 }
 
 impl Params {
@@ -145,6 +191,7 @@ pub struct ParamsBuilder {
     range_extension: RangeExtension,
     max_candidates: Option<u64>,
     threads: Option<usize>,
+    fanout: FanoutMode,
 }
 
 impl Default for ParamsBuilder {
@@ -162,6 +209,7 @@ impl Default for ParamsBuilder {
             range_extension: RangeExtension::On,
             max_candidates: None,
             threads: None,
+            fanout: FanoutMode::Auto,
         }
     }
 }
@@ -247,6 +295,12 @@ impl ParamsBuilder {
         self
     }
 
+    /// Selects the parallel fan-out granularity (default: [`FanoutMode::Auto`]).
+    pub fn fanout(mut self, mode: FanoutMode) -> Self {
+        self.fanout = mode;
+        self
+    }
+
     /// Validates and produces the final [`Params`].
     pub fn build(self) -> Result<Params, ParamsError> {
         if !self.epsilon.is_finite() || self.epsilon < 0.0 {
@@ -303,6 +357,7 @@ impl ParamsBuilder {
             range_extension: self.range_extension,
             max_candidates: self.max_candidates,
             threads: self.threads,
+            fanout: self.fanout,
         })
     }
 }
@@ -418,6 +473,24 @@ mod tests {
             Params::builder().threads(4).build().unwrap().threads,
             Some(4)
         );
+    }
+
+    #[test]
+    fn fanout_defaults_to_auto_and_parses() {
+        assert_eq!(Params::builder().build().unwrap().fanout, FanoutMode::Auto);
+        assert_eq!(
+            Params::builder()
+                .fanout(FanoutMode::Pair)
+                .build()
+                .unwrap()
+                .fanout,
+            FanoutMode::Pair
+        );
+        for mode in [FanoutMode::Auto, FanoutMode::Slice, FanoutMode::Pair] {
+            assert_eq!(FanoutMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(FanoutMode::parse("intra"), Some(FanoutMode::Pair));
+        assert_eq!(FanoutMode::parse("bogus"), None);
     }
 
     #[test]

@@ -98,11 +98,25 @@ impl RatioRange {
     }
 }
 
+/// Reusable buffers for [`find_ranges_into`].
+///
+/// Keep one per worker thread: the sort buffer, window list, and chain list
+/// survive across calls, so the per-pair hot path allocates nothing beyond
+/// the gene-sets of the ranges it actually emits.
+#[derive(Debug, Default)]
+pub struct RangeScratch {
+    sorted: Vec<(f64, usize)>,
+    windows: Vec<(usize, usize)>,
+    chains: Vec<(usize, usize, usize)>,
+}
+
 /// Finds all ranges for one sign group.
 ///
 /// `ratios` are `(|ratio|, gene)` pairs (all the same [`SignGroup`]); they do
 /// not need to be pre-sorted. `n_genes` is the gene universe size for the
 /// produced bitsets.
+///
+/// Convenience wrapper over [`find_ranges_into`] with one-shot buffers.
 pub fn find_ranges(
     ratios: &[(f64, usize)],
     sign: SignGroup,
@@ -111,23 +125,61 @@ pub fn find_ranges(
     n_genes: usize,
     extension: RangeExtension,
 ) -> Vec<RatioRange> {
+    let mut scratch = RangeScratch::default();
+    let mut out = Vec::new();
+    find_ranges_into(
+        ratios,
+        sign,
+        epsilon,
+        mx,
+        n_genes,
+        extension,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Finds all ranges for one sign group, appending them to `out`.
+///
+/// Like [`find_ranges`], but reuses the caller's [`RangeScratch`] and output
+/// vector. Deduplication by gene-set applies to the ranges appended by this
+/// call only — earlier contents of `out` are never touched.
+#[allow(clippy::too_many_arguments)]
+pub fn find_ranges_into(
+    ratios: &[(f64, usize)],
+    sign: SignGroup,
+    epsilon: f64,
+    mx: usize,
+    n_genes: usize,
+    extension: RangeExtension,
+    scratch: &mut RangeScratch,
+    out: &mut Vec<RatioRange>,
+) {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     assert!(mx >= 1, "mx must be >= 1");
-    let mut sorted: Vec<(f64, usize)> = ratios
-        .iter()
-        .copied()
-        .filter(|(r, _)| r.is_finite() && *r > 0.0)
-        .collect();
+    let RangeScratch {
+        sorted,
+        windows,
+        chains,
+    } = scratch;
+    sorted.clear();
+    sorted.extend(
+        ratios
+            .iter()
+            .copied()
+            .filter(|(r, _)| r.is_finite() && *r > 0.0),
+    );
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let n = sorted.len();
     if n < mx {
-        return Vec::new();
+        return;
     }
 
     // Maximal ε-windows via two pointers. Window starting at `l` extends to
     // the largest `r` with ratio[r-1] <= ratio[l]*(1+ε); it is maximal iff it
     // strictly extends the previous window's right end.
-    let mut windows: Vec<(usize, usize)> = Vec::new(); // half-open [l, r)
+    windows.clear(); // half-open [l, r)
     let mut r = 0usize;
     let mut prev_r = 0usize;
     for l in 0..n {
@@ -145,9 +197,10 @@ pub fn find_ranges(
         prev_r = r;
     }
     if windows.is_empty() {
-        return Vec::new();
+        return;
     }
 
+    let sorted: &[(f64, usize)] = sorted;
     let make_range = |lo_i: usize, hi_i: usize, kind: RangeKind| -> RatioRange {
         // indices half-open [lo_i, hi_i)
         let genes = BitSet::from_indices(n_genes, sorted[lo_i..hi_i].iter().map(|&(_, g)| g));
@@ -160,17 +213,17 @@ pub fn find_ranges(
         }
     };
 
-    let mut out: Vec<RatioRange> = Vec::new();
+    let start = out.len();
     if extension == RangeExtension::Off {
-        for &(l, r) in &windows {
+        for &(l, r) in windows.iter() {
             out.push(make_range(l, r, RangeKind::Valid));
         }
-        dedupe_by_genes(&mut out);
-        return out;
+        dedupe_by_genes(out, start);
+        return;
     }
 
     // Chain overlapping windows into extended ranges.
-    let mut chains: Vec<(usize, usize, usize)> = Vec::new(); // (lo, hi, windows)
+    chains.clear(); // (lo, hi, windows)
     let (mut lo, mut hi, mut count) = (windows[0].0, windows[0].1, 1usize);
     for &(l, r) in &windows[1..] {
         if l < hi {
@@ -185,7 +238,7 @@ pub fn find_ranges(
     }
     chains.push((lo, hi, count));
 
-    for (lo, hi, nwin) in chains {
+    for &(lo, hi, nwin) in chains.iter() {
         if nwin == 1 {
             out.push(make_range(lo, hi, RangeKind::Valid));
             continue;
@@ -197,10 +250,9 @@ pub fn find_ranges(
         }
         // Wide extended range: cover with split blocks of width ≤ 2ε plus
         // patched blocks centered on the split boundaries.
-        split_and_patch(&sorted[lo..hi], lo, epsilon, mx, &make_range, &mut out);
+        split_and_patch(&sorted[lo..hi], lo, epsilon, mx, &make_range, out);
     }
-    dedupe_by_genes(&mut out);
-    out
+    dedupe_by_genes(out, start);
 }
 
 /// Re-covers `segment` (a slice of the sorted ratio array starting at
@@ -251,17 +303,30 @@ fn split_and_patch(
     }
 }
 
-/// Removes ranges whose gene-set duplicates an earlier range's (the
-/// duplicate would generate identical clusters downstream).
-fn dedupe_by_genes(ranges: &mut Vec<RatioRange>) {
-    let mut seen: Vec<BitSet> = Vec::new();
-    ranges.retain(|r| {
-        if seen.contains(&r.genes) {
-            false
-        } else {
-            seen.push(r.genes.clone());
-            true
-        }
+/// Removes ranges in `ranges[start..]` whose gene-set duplicates an earlier
+/// range's within that tail (the duplicate would generate identical clusters
+/// downstream). First occurrences survive in their original order; entries
+/// before `start` are never examined or removed.
+///
+/// Duplicate detection hashes the borrowed bitset block slices — no `BitSet`
+/// clones, O(tail) expected instead of the former O(tail²) scan.
+fn dedupe_by_genes(ranges: &mut Vec<RatioRange>, start: usize) {
+    if ranges.len() - start < 2 {
+        return;
+    }
+    let keep: Vec<bool> = {
+        let mut seen: std::collections::HashSet<&[u64]> =
+            std::collections::HashSet::with_capacity(ranges.len() - start);
+        ranges[start..]
+            .iter()
+            .map(|r| seen.insert(r.genes.as_blocks()))
+            .collect()
+    };
+    let mut idx = 0usize;
+    ranges.retain(|_| {
+        let keep_this = idx < start || keep[idx - start];
+        idx += 1;
+        keep_this
     });
 }
 
@@ -425,6 +490,87 @@ mod tests {
         let data = vec![(1.0, 0), (1.0, 1), (1.0, 2)];
         let rs = ranges(&data, 0.5, 2, RangeExtension::On);
         assert_eq!(rs.len(), 1);
+    }
+
+    fn dummy_range(lo: f64, genes: &[usize]) -> RatioRange {
+        RatioRange {
+            lo,
+            hi: lo,
+            sign: SignGroup::Positive,
+            kind: RangeKind::Valid,
+            genes: BitSet::from_indices(16, genes.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn dedupe_keeps_first_occurrence_in_order() {
+        // Sets A, B, A, C, B, D -> survivors A, B, C, D; the surviving A/B
+        // are the *first* occurrences (identified by their lo values).
+        let mut rs = vec![
+            dummy_range(1.0, &[0, 1]), // A
+            dummy_range(2.0, &[2, 3]), // B
+            dummy_range(3.0, &[0, 1]), // A dup
+            dummy_range(4.0, &[4]),    // C
+            dummy_range(5.0, &[2, 3]), // B dup
+            dummy_range(6.0, &[5, 6]), // D
+        ];
+        dedupe_by_genes(&mut rs, 0);
+        let los: Vec<f64> = rs.iter().map(|r| r.lo).collect();
+        assert_eq!(los, vec![1.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn dedupe_tail_only_never_touches_head() {
+        // Head entries (before `start`) are kept even when the tail repeats
+        // their gene-sets; dedup applies within the tail alone.
+        let mut rs = vec![
+            dummy_range(1.0, &[0, 1]), // head A
+            dummy_range(2.0, &[0, 1]), // tail A (first in tail -> kept)
+            dummy_range(3.0, &[0, 1]), // tail A dup -> removed
+            dummy_range(4.0, &[2]),    // tail C -> kept
+        ];
+        dedupe_by_genes(&mut rs, 1);
+        let los: Vec<f64> = rs.iter().map(|r| r.lo).collect();
+        assert_eq!(los, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn find_ranges_into_reuses_scratch_and_appends() {
+        // Same results as find_ranges when the scratch and output vec are
+        // reused across calls with different inputs.
+        let data1 = paper_fig1();
+        let data2 = vec![(2.0, 10), (2.0, 11), (2.5, 12), (2.5, 13)];
+        let mut scratch = RangeScratch::default();
+        let mut out = Vec::new();
+        find_ranges_into(
+            &data1,
+            SignGroup::Positive,
+            0.1,
+            3,
+            64,
+            RangeExtension::On,
+            &mut scratch,
+            &mut out,
+        );
+        let after_first = out.len();
+        assert_eq!(
+            out,
+            find_ranges(&data1, SignGroup::Positive, 0.1, 3, 64, RangeExtension::On)
+        );
+        find_ranges_into(
+            &data2,
+            SignGroup::Positive,
+            0.0,
+            2,
+            64,
+            RangeExtension::On,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(
+            out[after_first..],
+            find_ranges(&data2, SignGroup::Positive, 0.0, 2, 64, RangeExtension::On)
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! [`bicluster`](crate::bicluster) DFS searches for.
 
 use crate::params::Params;
-use crate::range::{find_ranges, RangeKind, RatioRange, SignGroup};
+use crate::range::{find_ranges_into, RangeKind, RangeScratch, RatioRange, SignGroup};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tricluster_graph::MultiGraph;
 use tricluster_matrix::Matrix3;
 use tricluster_obs::{emit, names, Event, EventSink, Histogram, NullSink};
@@ -133,6 +134,140 @@ pub fn build_range_graph_observed(
     params: &Params,
     sink: &dyn EventSink,
 ) -> (RangeGraph, RangeGraphStats) {
+    build_range_graph_workers(m, t, params, sink, 1)
+}
+
+/// Per-worker scratch for [`compute_pair`]: the three sign-group ratio
+/// buffers plus the range finder's sort/window buffers. One instance per
+/// worker thread; nothing in here escapes a pair computation.
+#[derive(Debug, Default)]
+struct PairScratch {
+    groups: [Vec<(f64, usize)>; 3],
+    ranges: RangeScratch,
+}
+
+/// Computes the ratio ranges of column pair `(a, b)` (with `a < b`) of one
+/// time slice, appending them to `out` grouped by sign. Returns the number
+/// of gene ratios classified into a sign group.
+///
+/// Pure function of the slice data and `params` — safe to run on any worker
+/// in any order; all bookkeeping happens later in [`absorb_pair`].
+#[allow(clippy::too_many_arguments)]
+fn compute_pair(
+    slice: &[f64],
+    n_genes: usize,
+    n_samples: usize,
+    a: usize,
+    b: usize,
+    params: &Params,
+    scratch: &mut PairScratch,
+    out: &mut Vec<RatioRange>,
+) -> u64 {
+    let mut ratios = 0u64;
+    for g in &mut scratch.groups {
+        g.clear();
+    }
+    for gene in 0..n_genes {
+        let va = slice[gene * n_samples + a];
+        let vb = slice[gene * n_samples + b];
+        let Some(group) = SignGroup::classify(va, vb) else {
+            continue;
+        };
+        let ratio = (va / vb).abs();
+        if ratio.is_finite() && ratio > 0.0 {
+            scratch.groups[group_index(group)].push((ratio, gene));
+            ratios += 1;
+        }
+    }
+    for (gi, sign) in [
+        (0, SignGroup::Positive),
+        (1, SignGroup::PosNeg),
+        (2, SignGroup::NegPos),
+    ] {
+        if scratch.groups[gi].len() < params.min_genes {
+            continue;
+        }
+        find_ranges_into(
+            &scratch.groups[gi],
+            sign,
+            params.epsilon,
+            params.min_genes,
+            n_genes,
+            params.range_extension,
+            &mut scratch.ranges,
+            out,
+        );
+    }
+    ratios
+}
+
+/// Folds one computed pair into the graph and stats, draining `ranges`.
+///
+/// This is the single-threaded merge step: pairs are absorbed in canonical
+/// `(a, b)` order regardless of which worker computed them, so the produced
+/// `MultiGraph` (edge insertion order included), the stats, the histograms,
+/// and the "rangegraph.pair" event sequence are byte-identical to a fully
+/// sequential build.
+#[allow(clippy::too_many_arguments)]
+fn absorb_pair(
+    t: usize,
+    a: usize,
+    b: usize,
+    ratios: u64,
+    ranges: &mut Vec<RatioRange>,
+    graph: &mut MultiGraph<RatioRange>,
+    stats: &mut RangeGraphStats,
+    sink: &dyn EventSink,
+) {
+    stats.pairs += 1;
+    stats.ratios += ratios;
+    let mut pair_edges = 0u64;
+    for range in ranges.drain(..) {
+        match range.kind {
+            RangeKind::Valid => stats.ranges_valid += 1,
+            RangeKind::Extended => stats.ranges_extended += 1,
+            RangeKind::Split => stats.ranges_split += 1,
+            RangeKind::Patched => stats.ranges_patched += 1,
+        }
+        if let Some(h) = stats.hists.as_deref_mut() {
+            let width_ppm = if range.lo > 0.0 {
+                (((range.hi - range.lo) / range.lo) * 1e6).round() as u64
+            } else {
+                0
+            };
+            h.range_width_ppm.record(width_ppm);
+            h.edge_geneset_size.record(range.genes.count() as u64);
+        }
+        pair_edges += 1;
+        graph.add_edge(a, b, range);
+    }
+    stats.edges += pair_edges;
+    if pair_edges > 0 {
+        emit(sink, || {
+            Event::new("rangegraph.pair")
+                .field("time", t)
+                .field("a", a)
+                .field("b", b)
+                .field("edges", pair_edges)
+        });
+    }
+}
+
+/// Like [`build_range_graph_observed`], but distributes the column-pair
+/// sweep over up to `workers` threads.
+///
+/// Work items are single `(a, b)` pairs claimed from an atomic cursor; each
+/// worker owns a [`PairScratch`] so the hot path does no per-pair
+/// allocation. Computed ranges are merged on the calling thread in canonical
+/// pair order (see [`absorb_pair`]), so the output is byte-identical for
+/// every `workers` value.
+pub fn build_range_graph_workers(
+    m: &Matrix3,
+    t: usize,
+    params: &Params,
+    sink: &dyn EventSink,
+    workers: usize,
+) -> (RangeGraph, RangeGraphStats) {
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
     let slice = m.time_slice_raw(t);
@@ -142,72 +277,70 @@ pub fn build_range_graph_observed(
         stats.hists = Some(Box::default());
     }
 
-    let mut groups: [Vec<(f64, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for a in 0..n_samples {
-        for b in (a + 1)..n_samples {
-            stats.pairs += 1;
-            for g in &mut groups {
-                g.clear();
-            }
-            for gene in 0..n_genes {
-                let va = slice[gene * n_samples + a];
-                let vb = slice[gene * n_samples + b];
-                let Some(group) = SignGroup::classify(va, vb) else {
-                    continue;
-                };
-                let ratio = (va / vb).abs();
-                if ratio.is_finite() && ratio > 0.0 {
-                    groups[group_index(group)].push((ratio, gene));
-                    stats.ratios += 1;
-                }
-            }
-            let mut pair_edges = 0u64;
-            for (gi, sign) in [
-                (0, SignGroup::Positive),
-                (1, SignGroup::PosNeg),
-                (2, SignGroup::NegPos),
-            ] {
-                if groups[gi].len() < params.min_genes {
-                    continue;
-                }
-                for range in find_ranges(
-                    &groups[gi],
-                    sign,
-                    params.epsilon,
-                    params.min_genes,
-                    n_genes,
-                    params.range_extension,
-                ) {
-                    match range.kind {
-                        RangeKind::Valid => stats.ranges_valid += 1,
-                        RangeKind::Extended => stats.ranges_extended += 1,
-                        RangeKind::Split => stats.ranges_split += 1,
-                        RangeKind::Patched => stats.ranges_patched += 1,
+    let pairs: Vec<(usize, usize)> = (0..n_samples)
+        .flat_map(|a| ((a + 1)..n_samples).map(move |b| (a, b)))
+        .collect();
+
+    if workers <= 1 || pairs.len() <= 1 {
+        let mut scratch = PairScratch::default();
+        let mut ranges: Vec<RatioRange> = Vec::new();
+        for &(a, b) in &pairs {
+            let ratios = compute_pair(
+                slice,
+                n_genes,
+                n_samples,
+                a,
+                b,
+                params,
+                &mut scratch,
+                &mut ranges,
+            );
+            absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink);
+        }
+        return (RangeGraph { time: t, graph }, stats);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(Vec<RatioRange>, u64)>> = (0..pairs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(pairs.len()))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = PairScratch::default();
+                    let mut done: Vec<(usize, Vec<RatioRange>, u64)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pairs.len() {
+                            break;
+                        }
+                        let (a, b) = pairs[i];
+                        let mut out = Vec::new();
+                        let ratios = compute_pair(
+                            slice,
+                            n_genes,
+                            n_samples,
+                            a,
+                            b,
+                            params,
+                            &mut scratch,
+                            &mut out,
+                        );
+                        done.push((i, out, ratios));
                     }
-                    if let Some(h) = stats.hists.as_deref_mut() {
-                        let width_ppm = if range.lo > 0.0 {
-                            (((range.hi - range.lo) / range.lo) * 1e6).round() as u64
-                        } else {
-                            0
-                        };
-                        h.range_width_ppm.record(width_ppm);
-                        h.edge_geneset_size.record(range.genes.count() as u64);
-                    }
-                    pair_edges += 1;
-                    graph.add_edge(a, b, range);
-                }
-            }
-            stats.edges += pair_edges;
-            if pair_edges > 0 {
-                emit(sink, || {
-                    Event::new("rangegraph.pair")
-                        .field("time", t)
-                        .field("a", a)
-                        .field("b", b)
-                        .field("edges", pair_edges)
-                });
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out, ratios) in h.join().expect("range-graph worker panicked") {
+                slots[i] = Some((out, ratios));
             }
         }
+    });
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let (a, b) = pairs[i];
+        let (mut ranges, ratios) = slot.take().expect("every pair computed exactly once");
+        absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink);
     }
     (RangeGraph { time: t, graph }, stats)
 }
@@ -341,6 +474,37 @@ mod tests {
         let rec2 = tricluster_obs::Recorder::new();
         let (_, again) = build_range_graph_observed(&m, 0, &p, &rec2);
         assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn worker_counts_build_identical_graphs() {
+        let m = paper_table1();
+        let p = default_params(0.1, 3);
+        let rec1 = tricluster_obs::Recorder::new();
+        let (rg1, st1) = build_range_graph_workers(&m, 0, &p, &rec1, 1);
+        let ev1: Vec<String> = rec1
+            .take_events()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect();
+        for workers in [2usize, 4, 8] {
+            let rec = tricluster_obs::Recorder::new();
+            let (rg, st) = build_range_graph_workers(&m, 0, &p, &rec, workers);
+            assert_eq!(st, st1, "stats differ at workers={workers}");
+            assert_eq!(rg.n_ranges(), rg1.n_ranges());
+            for a in 0..rg1.n_samples() {
+                for b in (a + 1)..rg1.n_samples() {
+                    assert_eq!(
+                        rg.ranges_between(a, b),
+                        rg1.ranges_between(a, b),
+                        "edge list differs at ({a},{b}) with workers={workers}"
+                    );
+                }
+            }
+            // Same trace event sequence, in the same canonical order.
+            let ev: Vec<String> = rec.take_events().iter().map(|e| format!("{e:?}")).collect();
+            assert_eq!(ev, ev1, "pair events differ at workers={workers}");
+        }
     }
 
     #[test]

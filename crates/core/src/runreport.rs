@@ -143,6 +143,10 @@ pub fn search_space_json(report: &RunReport) -> Json {
             "maximality_rejections",
             Json::obj()
                 .with("bicluster", Json::U64(c(names::BC_REJECTED_SUBSUMED)))
+                .with(
+                    "bicluster_cross_branch",
+                    Json::U64(c(names::BC_MERGE_SUBSUMED)),
+                )
                 .with("tricluster", Json::U64(c(names::TC_REJECTED_SUBSUMED)))
                 .with("bicluster_replaced", Json::U64(c(names::BC_REPLACED)))
                 .with("tricluster_replaced", Json::U64(c(names::TC_REPLACED))),
@@ -190,9 +194,12 @@ pub fn render_search_space_human(report: &RunReport) -> String {
         c(names::TC_REJECTED_INCOHERENT),
     ));
     out.push_str(&format!(
-        "  maximality rejections {:>12}  (bicluster {}, tricluster {})\n",
-        c(names::BC_REJECTED_SUBSUMED) + c(names::TC_REJECTED_SUBSUMED),
+        "  maximality rejections {:>12}  (bicluster {}, cross-branch {}, tricluster {})\n",
+        c(names::BC_REJECTED_SUBSUMED)
+            + c(names::BC_MERGE_SUBSUMED)
+            + c(names::TC_REJECTED_SUBSUMED),
         c(names::BC_REJECTED_SUBSUMED),
+        c(names::BC_MERGE_SUBSUMED),
         c(names::TC_REJECTED_SUBSUMED),
     ));
     out.push_str(&format!(

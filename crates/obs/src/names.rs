@@ -41,6 +41,9 @@ pub const BC_RECORDED: &str = "bicluster.recorded";
 pub const BC_REJECTED_DELTA: &str = "bicluster.rejected.delta";
 pub const BC_REJECTED_SUBSUMED: &str = "bicluster.rejected.subsumed";
 pub const BC_REPLACED: &str = "bicluster.replaced";
+/// Branch-local survivors dropped at the cross-branch maximality merge
+/// (subsumed by a cluster mined from an earlier sample-seed branch).
+pub const BC_MERGE_SUBSUMED: &str = "bicluster.merge.subsumed";
 
 // ---- tricluster DFS -----------------------------------------------------
 

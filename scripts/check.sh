@@ -36,14 +36,32 @@ if [[ $fast -eq 0 ]]; then
     # not scheduler noise. Regenerate the baseline after intentional
     # performance changes:
     #   cargo run --release -p tricluster-bench --features track-alloc \
-    #     --bin fig7 -- --smoke --json BENCH_baseline.json
+    #     --bin fig7 -- --smoke --json current.json
+    #   cargo run --release -p tricluster-bench --bin bench -- \
+    #     diff BENCH_baseline.json current.json --update
     smoke_json="$(mktemp /tmp/tricluster-smoke-XXXXXX.json)"
-    trap 'rm -f "$smoke_json"' EXIT
+    det_tsv="$(mktemp /tmp/tricluster-det-XXXXXX.tsv)"
+    det_t1="$(mktemp /tmp/tricluster-det-t1-XXXXXX.json)"
+    det_t4="$(mktemp /tmp/tricluster-det-t4-XXXXXX.json)"
+    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4"' EXIT
     run cargo run --release --quiet -p tricluster-bench --features track-alloc \
         --bin fig7 -- --smoke --json "$smoke_json"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
         diff BENCH_baseline.json "$smoke_json" \
         --time-tol 1.0 --time-floor 0.25 --mem-tol 0.5 --mem-floor $((4 << 20))
+
+    # Determinism gate: the same input mined at --threads 1 and --threads 4
+    # (the latter taking the intra-slice pair/branch fan-out on few-slice
+    # inputs) must produce byte-identical input-determined report sections —
+    # clusters, counters, histograms, logical memory, search space.
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        synth "$det_tsv" --genes 300 --samples 10 --times 3 --clusters 3 --noise 0.01
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        mine "$det_tsv" --eps 0.012 --threads 1 --report-json "$det_t1"
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        mine "$det_tsv" --eps 0.012 --threads 4 --report-json "$det_t4"
+    run cargo run --release --quiet -p tricluster-bench --bin bench -- \
+        determinism "$det_t1" "$det_t4"
 fi
 
 echo

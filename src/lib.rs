@@ -52,8 +52,8 @@ pub use tricluster_synth as synth;
 pub mod prelude {
     pub use tricluster_core::{
         classify, cluster_metrics, mine, mine_auto, mine_auto_observed, mine_observed,
-        mine_shifting, obs, Bicluster, ClusterType, MergeParams, Metrics, Miner, MiningResult,
-        Params, Tricluster,
+        mine_shifting, obs, Bicluster, ClusterType, FanoutLevel, FanoutMode, MergeParams, Metrics,
+        Miner, MiningResult, Params, Tricluster,
     };
     pub use tricluster_matrix::{io, preprocess, Axis, Labels, Matrix2, Matrix3};
     pub use tricluster_synth::{generate, recovery, SynthDataset, SynthSpec};

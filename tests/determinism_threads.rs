@@ -1,0 +1,121 @@
+//! Thread-count and fan-out-mode determinism (the oracle behind the
+//! `--threads`/`--fanout` flags): the mined clusters, every report counter,
+//! and the v2 report's input-determined sections must be byte-identical
+//! whether the run used 1, 2, or 8 workers, and whether it fanned out at
+//! slice level or intra-slice (pair/branch) level.
+
+use tricluster::core::obs::Recorder;
+use tricluster::core::runreport::{histograms_json, memory_json, search_space_json};
+use tricluster::core::testdata::paper_table1;
+use tricluster::prelude::*;
+
+/// The Figure 7 smoke workload shape: small enough for a tier-1 test, rich
+/// enough that every DFS phase, histogram, and prune counter is exercised.
+fn smoke_matrix() -> Matrix3 {
+    let spec = SynthSpec {
+        n_genes: 400,
+        n_samples: 10,
+        n_times: 5,
+        n_clusters: 4,
+        gene_range: (50, 50),
+        sample_range: (4, 4),
+        time_range: (3, 3),
+        noise: 0.02,
+        ..SynthSpec::default()
+    };
+    generate(&spec).matrix
+}
+
+fn smoke_params(threads: usize, fanout: FanoutMode) -> Params {
+    Params::builder()
+        .epsilon(0.012)
+        .min_size(25, 3, 2)
+        .threads(threads)
+        .fanout(fanout)
+        .build()
+        .unwrap()
+}
+
+fn table1_params(threads: usize, fanout: FanoutMode) -> Params {
+    Params::builder()
+        .epsilon(0.01)
+        .min_size(3, 3, 2)
+        .threads(threads)
+        .fanout(fanout)
+        .build()
+        .unwrap()
+}
+
+/// The input-determined report sections, rendered: any byte difference
+/// fails the comparison.
+fn deterministic_sections(result: &MiningResult) -> String {
+    format!(
+        "{}\n{}\n{}",
+        histograms_json(&result.report).render(),
+        memory_json(&result.report).render(),
+        search_space_json(&result.report).render(),
+    )
+}
+
+fn clusters(result: &MiningResult) -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    result
+        .triclusters
+        .iter()
+        .map(|c| (c.genes.to_vec(), c.samples.clone(), c.times.clone()))
+        .collect()
+}
+
+fn assert_invariant_across_schedules(m: &Matrix3, mk: &dyn Fn(usize, FanoutMode) -> Params) {
+    let baseline = mine_observed(m, &mk(1, FanoutMode::Slice), &Recorder::new());
+    assert!(
+        !baseline.report.histograms.is_empty(),
+        "recording sink must collect histograms"
+    );
+    let base_sections = deterministic_sections(&baseline);
+    for threads in [1usize, 2, 8] {
+        for fanout in [FanoutMode::Auto, FanoutMode::Slice, FanoutMode::Pair] {
+            let r = mine_observed(m, &mk(threads, fanout), &Recorder::new());
+            assert_eq!(
+                clusters(&r),
+                clusters(&baseline),
+                "clusters differ at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                r.report.counter_map(),
+                baseline.report.counter_map(),
+                "counters differ at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                deterministic_sections(&r),
+                base_sections,
+                "report sections differ at threads={threads} fanout={fanout:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn smoke_workload_is_thread_and_fanout_invariant() {
+    let m = smoke_matrix();
+    assert_invariant_across_schedules(&m, &smoke_params);
+}
+
+#[test]
+fn paper_table1_is_thread_and_fanout_invariant() {
+    let m = paper_table1();
+    assert_invariant_across_schedules(&m, &table1_params);
+}
+
+/// The smoke workload actually exercises the intra-slice paths: at 8
+/// threads over 5 slices, Auto must pick pair-level range graphs and
+/// branch-level DFS.
+#[test]
+fn auto_fanout_goes_intra_when_workers_outnumber_slices() {
+    let m = smoke_matrix();
+    let r = mine(&m, &smoke_params(8, FanoutMode::Auto));
+    assert_eq!(r.fanout.range_graph, FanoutLevel::Pair);
+    assert_eq!(r.fanout.bicluster, FanoutLevel::Branch);
+    let r = mine(&m, &smoke_params(2, FanoutMode::Auto));
+    assert_eq!(r.fanout.range_graph, FanoutLevel::Slice);
+    assert_eq!(r.fanout.bicluster, FanoutLevel::Slice);
+}
