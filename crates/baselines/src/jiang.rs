@@ -294,7 +294,7 @@ mod tests {
             .min_size(3, 3, 3)
             .build()
             .unwrap();
-        let tri = mine(&m, &params);
+        let tri = mine(&m, &params).unwrap();
         assert!(
             tri.triclusters
                 .iter()

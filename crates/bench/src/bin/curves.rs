@@ -32,7 +32,7 @@ fn main() {
         .min_times(yeast::PAPER_MIN_TIMES)
         .build()
         .unwrap();
-    let result = mine(&ds.matrix, &params);
+    let result = mine(&ds.matrix, &params).expect("inputs are valid");
     let c = result
         .triclusters
         .first()

@@ -60,7 +60,7 @@ fn main() -> std::io::Result<()> {
         .min_times(yeast::PAPER_MIN_TIMES)
         .build()
         .unwrap();
-    let result = mine(&ds.matrix, &params);
+    let result = mine(&ds.matrix, &params).expect("plot inputs are valid");
     let c = result.triclusters.first().expect("cluster C0 mined");
     let genes: Vec<usize> = c.genes.to_vec();
     // plot a readable subset of genes as the curve family

@@ -61,7 +61,7 @@ fn main() {
         }
     }
 
-    let result = mine(&m, &params);
+    let result = mine(&m, &params).expect("inputs are valid");
     println!("\n== Figure 5: biclusters per time slice ==");
     for (t, bcs) in result.per_time_biclusters.iter().enumerate() {
         println!("-- t{t}: {} biclusters --", bcs.len());

@@ -27,7 +27,7 @@ fn main() {
         .min_times(yeast::PAPER_MIN_TIMES)
         .build()
         .unwrap();
-    let result = mine(&ds.matrix, &params);
+    let result = mine(&ds.matrix, &params).expect("inputs are valid");
 
     // simulated GO catalog seeded with the embedded groups (the offline
     // substitute for the yeastgenome.org term finder); markers scale with

@@ -40,7 +40,7 @@ fn main() {
         .build()
         .unwrap();
     let start = std::time::Instant::now();
-    let result = mine(&ds.matrix, &params);
+    let result = mine(&ds.matrix, &params).expect("inputs are valid");
     let elapsed = start.elapsed();
     println!(
         "# mined in {:.2} s (paper: 17.8 s on a 1.4 GHz Pentium-M)\n",

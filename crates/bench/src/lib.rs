@@ -139,7 +139,7 @@ fn measure_with(spec: &SynthSpec, x: f64, params: Params) -> SweepPoint {
     alloc::reset_peak();
     let before = alloc::snapshot();
     let start = Instant::now();
-    let result = mine(&data.matrix, &params);
+    let result = mine(&data.matrix, &params).expect("bench inputs are valid");
     let time = start.elapsed();
     let after = alloc::snapshot();
     let report = recovery::score(&data.truth, &result.triclusters, 0.5);

@@ -1,13 +1,15 @@
 //! The `mine`, `synth`, and `demo` subcommands.
 
 use crate::args;
+use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::time::Duration;
 use tricluster_core::obs::{names, EventSink, JsonLinesSink, NullSink, Recorder, Tee};
 use tricluster_core::runreport;
 use tricluster_core::{
     cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, FanoutMode,
-    MergeParams, MiningResult, Params,
+    MergeParams, MineError, MiningResult, Params,
 };
 use tricluster_matrix::{io, Labels, Matrix3};
 use tricluster_synth::{generate, SynthSpec};
@@ -31,6 +33,11 @@ MINE OPTIONS:
   --delta-z D      max value range across times per fiber
   --merge ETA GAMMA    enable merge/delete post-processing
   --max-candidates N   bound the DFS search (truncates on exhaustion)
+  --deadline SECS  wall-clock budget; on expiry the run stops cooperatively
+                   and reports the clusters mined so far as truncated
+  --max-memory B   logical-bytes budget for mined structures, with optional
+                   K/M/G suffix (e.g. 64M); on exhaustion later slices are
+                   dropped deterministically and the run reports truncated
   --threads N      worker threads for the per-slice phases (default: cores)
   --fanout MODE    parallel granularity: auto | slice | pair (default auto;
                    pair = intra-slice pair/branch-level fan-out for inputs
@@ -51,7 +58,65 @@ MINE OPTIONS:
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
   --noise F --overlap F --seed N
+
+EXIT CODES:
+  0   success (including budget-truncated runs, which are reported as such)
+  1   mining error: unreadable or non-finite input, escaped worker panic
+  2   usage error: unknown command/flag or invalid parameter value
 ";
+
+/// A CLI failure, split by who is at fault so `main` can pick the exit code:
+/// `Usage` (exit 2) means the invocation itself is wrong — unknown flag,
+/// unparsable value, parameters rejected by [`Params::validate`] — while
+/// `Run` (exit 1) means a well-formed invocation failed at runtime (missing
+/// or malformed input file, non-finite cells, escaped panic).
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Run(m) => f.write_str(m),
+        }
+    }
+}
+
+impl CliError {
+    /// Classifies a mining failure: parameter rejections are the caller's
+    /// fault (exit 2), everything else is a runtime error (exit 1).
+    fn from_mine(e: MineError) -> Self {
+        match e {
+            MineError::InvalidParams(_) => CliError::Usage(e.to_string()),
+            _ => CliError::Run(e.to_string()),
+        }
+    }
+}
+
+/// Parses a byte count with an optional binary `K`/`M`/`G` suffix
+/// (case-insensitive, trailing `b` allowed: `64M`, `2gb`, `131072`).
+fn parse_bytes(flag: &str, s: &str) -> Result<u64, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, mult) = ["gb", "g", "mb", "m", "kb", "k", "b", ""]
+        .iter()
+        .find_map(|suf| {
+            let mult = match suf.chars().next() {
+                Some('g') => 1u64 << 30,
+                Some('m') => 1 << 20,
+                Some('k') => 1 << 10,
+                _ => 1,
+            };
+            lower.strip_suffix(suf).map(|d| (d, mult))
+        })
+        .unwrap_or((lower.as_str(), 1));
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("--{flag} expects BYTES with an optional K/M/G suffix, got {s:?}"))
+}
 
 pub fn mine_params_from(a: &args::Args) -> Result<Params, String> {
     let mut b = Params::builder()
@@ -77,6 +142,17 @@ pub fn mine_params_from(a: &args::Args) -> Result<Params, String> {
     if let Some(n) = a.get_u64("max-candidates")? {
         b = b.max_candidates(n);
     }
+    if let Some(secs) = a.get_f64("deadline")? {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!(
+                "--deadline expects a non-negative number of seconds, got {secs}"
+            ));
+        }
+        b = b.deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(s) = a.get_str("max-memory") {
+        b = b.max_memory(parse_bytes("max-memory", s)?);
+    }
     if let Some(n) = a.get_usize("threads")? {
         b = b.threads(n);
     }
@@ -88,7 +164,7 @@ pub fn mine_params_from(a: &args::Args) -> Result<Params, String> {
     b.build().map_err(|e| e.to_string())
 }
 
-pub fn mine(argv: &[String]) -> Result<(), String> {
+pub fn mine(argv: &[String]) -> Result<(), CliError> {
     let a = args::parse(
         argv,
         &[
@@ -102,6 +178,8 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
             ("delta-z", 1),
             ("merge", 2),
             ("max-candidates", 1),
+            ("deadline", 1),
+            ("max-memory", 1),
             ("threads", 1),
             ("fanout", 1),
             ("report-json", 1),
@@ -109,13 +187,17 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
         &[
             "shifting", "auto", "names", "csv", "trace", "explain", "-v", "-vv",
         ],
-    )?;
+    )
+    .map_err(CliError::Usage)?;
     let Some(path) = a.positional.first() else {
-        return Err("mine: missing input file (stacked TSV)".into());
+        return Err(CliError::Usage(
+            "mine: missing input file (stacked TSV)".into(),
+        ));
     };
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let (matrix, labels) = io::read_stacked_tsv(BufReader::new(file)).map_err(|e| e.to_string())?;
-    let params = mine_params_from(&a)?;
+    let params = mine_params_from(&a).map_err(CliError::Usage)?;
+    let file = File::open(path).map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
+    let (matrix, labels) = io::read_stacked_tsv(BufReader::new(file))
+        .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
     eprintln!(
         "matrix: {} genes x {} samples x {} times",
         matrix.n_genes(),
@@ -135,9 +217,11 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
     let start = std::time::Instant::now();
     if a.has("shifting") {
         if report_json.is_some() || a.has("trace") || a.has("explain") {
-            return Err("--report-json/--trace/--explain are not supported with --shifting".into());
+            return Err(CliError::Usage(
+                "--report-json/--trace/--explain are not supported with --shifting".into(),
+            ));
         }
-        let (clusters, _) = mine_shifting(&matrix, &params);
+        let (clusters, _) = mine_shifting(&matrix, &params).map_err(CliError::from_mine)?;
         eprintln!(
             "{} shifting clusters in {:?}",
             clusters.len(),
@@ -178,17 +262,21 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
         mine_auto_observed(&matrix, &params, sink)
     } else {
         mine_observed(&matrix, &params, sink)
+    }
+    .map_err(CliError::from_mine)?;
+    let truncated_note = match result.truncation {
+        Some(reason) => format!(" (TRUNCATED: {} budget exhausted)", reason.as_str()),
+        None => String::new(),
     };
     eprintln!(
         "{} triclusters in {:?}{}",
         result.triclusters.len(),
         start.elapsed(),
-        if result.truncated {
-            " (TRUNCATED by --max-candidates budget)"
-        } else {
-            ""
-        }
+        truncated_note
     );
+    for f in &result.worker_failures {
+        eprintln!("worker failure: {} [{}]: {}", f.phase, f.unit, f.message);
+    }
     if verbosity > 0 {
         print_verbose(&result, verbosity);
     }
@@ -206,7 +294,7 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
     if let Some(out_path) = &report_json {
         let j = runreport::report_to_json_v2(&matrix, &result, &report, met.as_ref().unwrap());
         std::fs::write(out_path, j.render_pretty() + "\n")
-            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            .map_err(|e| CliError::Run(format!("cannot write {out_path}: {e}")))?;
     }
     if a.has("explain") {
         print!("{}", runreport::explain_json(&report).render_pretty());
@@ -215,7 +303,7 @@ pub fn mine(argv: &[String]) -> Result<(), String> {
     if a.has("csv") {
         let mut out = std::io::stdout().lock();
         tricluster_core::report::write_csv(&mut out, &matrix, &result.triclusters, 1e-9)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Run(e.to_string()))?;
         return Ok(());
     }
     for (i, c) in result.triclusters.iter().enumerate() {
@@ -285,7 +373,7 @@ fn print_cluster(i: usize, c: &tricluster_core::Tricluster, labels: &Labels, nam
     }
 }
 
-pub fn synth(argv: &[String]) -> Result<(), String> {
+pub fn synth(argv: &[String]) -> Result<(), CliError> {
     let a = args::parse(
         argv,
         &[
@@ -298,36 +386,37 @@ pub fn synth(argv: &[String]) -> Result<(), String> {
             ("seed", 1),
         ],
         &[],
-    )?;
+    )
+    .map_err(CliError::Usage)?;
     let Some(path) = a.positional.first() else {
-        return Err("synth: missing output file".into());
+        return Err(CliError::Usage("synth: missing output file".into()));
     };
     let mut spec = SynthSpec::default();
-    if let Some(v) = a.get_usize("genes")? {
+    if let Some(v) = a.get_usize("genes").map_err(CliError::Usage)? {
         spec.n_genes = v;
         let gx = (v / 12).max(4);
         spec.gene_range = (gx, gx);
     }
-    if let Some(v) = a.get_usize("samples")? {
+    if let Some(v) = a.get_usize("samples").map_err(CliError::Usage)? {
         spec.n_samples = v;
         let sy = (v / 3).max(2);
         spec.sample_range = (sy, sy);
     }
-    if let Some(v) = a.get_usize("times")? {
+    if let Some(v) = a.get_usize("times").map_err(CliError::Usage)? {
         spec.n_times = v;
         let tz = (v / 2).max(2);
         spec.time_range = (tz, tz);
     }
-    if let Some(v) = a.get_usize("clusters")? {
+    if let Some(v) = a.get_usize("clusters").map_err(CliError::Usage)? {
         spec.n_clusters = v;
     }
-    if let Some(v) = a.get_f64("noise")? {
+    if let Some(v) = a.get_f64("noise").map_err(CliError::Usage)? {
         spec.noise = v;
     }
-    if let Some(v) = a.get_f64("overlap")? {
+    if let Some(v) = a.get_f64("overlap").map_err(CliError::Usage)? {
         spec.overlap_fraction = v;
     }
-    if let Some(v) = a.get_u64("seed")? {
+    if let Some(v) = a.get_u64("seed").map_err(CliError::Usage)? {
         spec.seed = v;
     }
     let data = generate(&spec);
@@ -347,14 +436,15 @@ pub fn synth(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn write_matrix(path: &str, m: &Matrix3) -> Result<(), String> {
+fn write_matrix(path: &str, m: &Matrix3) -> Result<(), CliError> {
     let labels = Labels::default_for(m.n_genes(), m.n_samples(), m.n_times());
-    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let file =
+        File::create(path).map_err(|e| CliError::Run(format!("cannot create {path}: {e}")))?;
     let mut w = BufWriter::new(file);
-    io::write_stacked_tsv(&mut w, m, &labels).map_err(|e| e.to_string())
+    io::write_stacked_tsv(&mut w, m, &labels).map_err(|e| CliError::Run(e.to_string()))
 }
 
-pub fn demo() -> Result<(), String> {
+pub fn demo() -> Result<(), CliError> {
     let m = tricluster_core::testdata::paper_table1();
     let params = Params::builder()
         .epsilon(0.01)
@@ -363,7 +453,8 @@ pub fn demo() -> Result<(), String> {
         .min_times(2)
         .build()
         .unwrap();
-    let result = tricluster_core::mine(&m, &params);
+    let result = tricluster_core::mine(&m, &params)
+        .expect("the built-in Table 1 fixture is finite and mines without budgets");
     println!("Table 1 running example (mx=my=3, mz=2, ε=0.01):\n");
     let labels = Labels::default_for(10, 7, 2);
     for (i, c) in result.triclusters.iter().enumerate() {
@@ -393,6 +484,8 @@ mod tests {
                 ("delta-z", 1),
                 ("merge", 2),
                 ("max-candidates", 1),
+                ("deadline", 1),
+                ("max-memory", 1),
                 ("threads", 1),
                 ("fanout", 1),
                 ("report-json", 1),
@@ -411,6 +504,8 @@ mod tests {
         assert_eq!((p.min_genes, p.min_samples, p.min_times), (3, 3, 2));
         assert_eq!(p.merge, None);
         assert_eq!(p.max_candidates, None);
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.max_memory, None);
     }
 
     #[test]
@@ -438,6 +533,10 @@ mod tests {
             "0.1",
             "--max-candidates",
             "5000",
+            "--deadline",
+            "2.5",
+            "--max-memory",
+            "64M",
         ]);
         let p = mine_params_from(&a).unwrap();
         assert_eq!(p.epsilon, 0.05);
@@ -454,6 +553,8 @@ mod tests {
             })
         );
         assert_eq!(p.max_candidates, Some(5000));
+        assert_eq!(p.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(p.max_memory, Some(64 << 20));
     }
 
     #[test]
@@ -476,16 +577,69 @@ mod tests {
     }
 
     #[test]
+    fn byte_suffixes_parse() {
+        for (text, want) in [
+            ("0", 0),
+            ("131072", 131072),
+            ("8k", 8 << 10),
+            ("8KB", 8 << 10),
+            ("64M", 64 << 20),
+            ("64mb", 64 << 20),
+            ("2G", 2 << 30),
+            ("2gb", 2 << 30),
+            ("512b", 512),
+        ] {
+            assert_eq!(parse_bytes("max-memory", text).unwrap(), want, "{text}");
+        }
+        for bad in ["", "M", "-5", "4.5G", "64X", "999999999999G"] {
+            let e = parse_bytes("max-memory", bad).unwrap_err();
+            assert!(e.contains("--max-memory"), "{bad}: {e}");
+        }
+        // zero is parseable but rejected by Params::validate
+        let e = mine_params_from(&parse_mine(&["f.tsv", "--max-memory", "0"])).unwrap_err();
+        assert!(e.contains("max_memory"), "{e}");
+    }
+
+    #[test]
+    fn bad_deadline_is_rejected() {
+        for bad in ["-1", "nan", "inf"] {
+            let e = mine_params_from(&parse_mine(&["f.tsv", "--deadline", bad])).unwrap_err();
+            assert!(e.contains("--deadline"), "{bad}: {e}");
+        }
+        let p = mine_params_from(&parse_mine(&["f.tsv", "--deadline", "0"])).unwrap();
+        assert_eq!(p.deadline, Some(Duration::ZERO));
+    }
+
+    #[test]
     fn demo_runs() {
         demo().unwrap();
     }
 
     #[test]
     fn mine_missing_file_errors() {
+        // unreadable input is a runtime error (exit 1)...
         let e = mine(&["/nonexistent/path.tsv".to_string()]).unwrap_err();
-        assert!(e.contains("cannot open"));
+        assert!(
+            matches!(&e, CliError::Run(m) if m.contains("cannot open")),
+            "{e}"
+        );
+        // ...while a malformed invocation is a usage error (exit 2)
         let e = mine(&[]).unwrap_err();
-        assert!(e.contains("missing input file"));
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("missing input file")),
+            "{e}"
+        );
+        let e = mine(&["f.tsv".to_string(), "--bogus-flag".to_string()]).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        // invalid parameters are usage errors even though the file is absent:
+        // validation runs before any I/O
+        let e = mine(&[
+            "/nonexistent/path.tsv".to_string(),
+            "--eps".to_string(),
+            "-1".to_string(),
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
     }
 
     #[test]
@@ -517,7 +671,11 @@ mod tests {
 
     #[test]
     fn synth_missing_path_errors() {
-        assert!(synth(&[]).unwrap_err().contains("missing output"));
+        let e = synth(&[]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("missing output")),
+            "{e}"
+        );
     }
 
     /// Extracts the `"counters": { ... }` block of a pretty-printed report.
@@ -639,6 +797,20 @@ mod tests {
         );
     }
 
+    /// A budget-truncated run still exits 0 and its report carries the
+    /// machine-readable truncation reason.
+    #[test]
+    fn truncated_report_carries_reason() {
+        let doc = mined_report("truncated", &["--max-candidates", "1"]);
+        runreport::validate_v2(&doc).unwrap();
+        assert_eq!(doc.get("truncated").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            doc.get_path(&["fault", "truncation_reason"])
+                .and_then(|v| v.as_str()),
+            Some("max_candidates")
+        );
+    }
+
     /// v1 consumers keep working: every key the v1 schema defined is still
     /// present (and still the same JSON type) in a v2 document.
     #[test]
@@ -676,5 +848,7 @@ mod tests {
         assert!(doc.get("truncated").is_some());
         assert!(doc.get_path(&["report", "counters"]).is_some());
         assert!(doc.get_path(&["report", "spans"]).is_some());
+        // a clean run has no fault section at all
+        assert!(doc.get("fault").is_none());
     }
 }

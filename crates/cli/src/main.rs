@@ -4,17 +4,24 @@
 //! tricluster mine <stacked.tsv> [--eps 0.01] [--eps-time E] [--mx 3] [--my 3]
 //!                 [--mz 2] [--delta-x D] [--delta-y D] [--delta-z D]
 //!                 [--merge ETA GAMMA] [--threads N] [--shifting] [--auto]
+//!                 [--deadline SECS] [--max-memory BYTES]
 //!                 [--names] [-v|-vv] [--trace] [--report-json out.json]
 //! tricluster synth <out.tsv> [--genes 1000] [--samples 15] [--times 8]
 //!                 [--clusters 8] [--noise 0.03] [--overlap 0.2] [--seed 42]
 //! tricluster demo
 //! ```
+//!
+//! Exit codes: `0` success, `1` mining/runtime error (unreadable input,
+//! non-finite cells, escaped panic), `2` usage error (unknown flag, invalid
+//! parameter value).
 
 use std::io::Write;
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+
+use commands::CliError;
 
 /// With `--features track-alloc`, route every heap allocation through the
 /// byte-accounting allocator so run reports carry measured
@@ -28,14 +35,18 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Run(msg)) => {
             let _ = writeln!(std::io::stderr(), "error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            let _ = writeln!(std::io::stderr(), "usage error: {msg}");
+            ExitCode::from(2)
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
         Some("mine") => commands::mine(&argv[1..]),
         Some("synth") => commands::synth(&argv[1..]),
@@ -44,8 +55,8 @@ fn run(argv: &[String]) -> Result<(), String> {
             print!("{}", commands::USAGE);
             Ok(())
         }
-        Some(other) => Err(format!(
+        Some(other) => Err(CliError::Usage(format!(
             "unknown command {other:?}; run `tricluster --help`"
-        )),
+        ))),
     }
 }

@@ -14,6 +14,7 @@
 //! expansion because gene-sets shrink monotonically along a DFS path.
 
 use crate::cluster::Bicluster;
+use crate::fault::{fail_point_panic, isolate, RunCtrl};
 use crate::params::Params;
 use crate::range::RatioRange;
 use crate::rangegraph::RangeGraph;
@@ -173,7 +174,9 @@ fn run_branch<'a>(
     order: &[usize],
     branch: usize,
     budget: Option<u64>,
+    ctrl: &'a RunCtrl,
 ) -> BranchOutput {
+    fail_point_panic("core.bicluster.branch");
     let mut stats = BiclusterStats::default();
     if collect_hists {
         stats.hists = Some(Box::default());
@@ -189,6 +192,7 @@ fn run_branch<'a>(
         truncated: false,
         stats,
         scratch: DfsScratch::default(),
+        ctrl,
     };
     miner.dfs(all_genes, &order[branch + 1..]);
     let spent = miner.stats.budget_spent;
@@ -229,6 +233,23 @@ pub fn mine_biclusters_workers(
     collect_hists: bool,
     workers: usize,
 ) -> (Vec<Bicluster>, bool, BiclusterStats) {
+    mine_biclusters_ctrl(m, rg, params, collect_hists, workers, &RunCtrl::unbounded())
+}
+
+/// Like [`mine_biclusters_workers`], under the run control of `ctrl`: the
+/// deadline is polled at every DFS node, and — when `ctrl` collects faults —
+/// a panic inside one top-level branch downgrades to a
+/// [`WorkerFailure`](crate::WorkerFailure) costing only that branch's
+/// clusters. The surviving branches still merge in ascending seed order, so
+/// the output stays deterministic given the same set of survivors.
+pub fn mine_biclusters_ctrl(
+    m: &Matrix3,
+    rg: &RangeGraph,
+    params: &Params,
+    collect_hists: bool,
+    workers: usize,
+    ctrl: &RunCtrl,
+) -> (Vec<Bicluster>, bool, BiclusterStats) {
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
     let mut stats = BiclusterStats::default();
@@ -258,16 +279,30 @@ pub fn mine_biclusters_workers(
     let outputs: Vec<BranchOutput> = if budget.is_some() || workers <= 1 || n_samples <= 1 {
         let mut outs = Vec::with_capacity(n_samples);
         for branch in 0..n_samples {
-            let out = run_branch(
-                m,
-                rg,
-                params,
-                collect_hists,
-                &all_genes,
-                &order,
-                branch,
-                budget,
+            if ctrl.token.deadline_exceeded() {
+                break;
+            }
+            let out = isolate(
+                &ctrl.faults,
+                "bicluster_branch",
+                || format!("t={} branch={}", rg.time, branch),
+                || {
+                    run_branch(
+                        m,
+                        rg,
+                        params,
+                        collect_hists,
+                        &all_genes,
+                        &order,
+                        branch,
+                        budget,
+                        ctrl,
+                    )
+                },
             );
+            // A failed branch consumed an unknowable slice of the budget;
+            // charge nothing so the surviving branches keep their shares.
+            let Some(out) = out else { continue };
             if let Some(b) = &mut budget {
                 *b -= out.spent;
             }
@@ -287,16 +322,30 @@ pub fn mine_biclusters_workers(
                             if i >= n_samples {
                                 break;
                             }
-                            outs.push(run_branch(
-                                m,
-                                rg,
-                                params,
-                                collect_hists,
-                                &all_genes,
-                                &order,
-                                i,
-                                None,
-                            ));
+                            if ctrl.token.deadline_exceeded() {
+                                break;
+                            }
+                            let out = isolate(
+                                &ctrl.faults,
+                                "bicluster_branch",
+                                || format!("t={} branch={}", rg.time, i),
+                                || {
+                                    run_branch(
+                                        m,
+                                        rg,
+                                        params,
+                                        collect_hists,
+                                        &all_genes,
+                                        &order,
+                                        i,
+                                        None,
+                                        ctrl,
+                                    )
+                                },
+                            );
+                            if let Some(out) = out {
+                                outs.push(out);
+                            }
                         }
                         outs
                     })
@@ -309,10 +358,8 @@ pub fn mine_biclusters_workers(
                 }
             }
         });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every branch mined exactly once"))
-            .collect()
+        // Skipped (post-deadline) and failed branches left their slot empty.
+        slots.into_iter().flatten().collect()
     };
 
     // Root fan-out: one child per top-level sample, recursed unconditionally.
@@ -368,10 +415,16 @@ struct BranchMiner<'a> {
     truncated: bool,
     stats: BiclusterStats,
     scratch: DfsScratch<'a>,
+    /// Run control: only the deadline is polled here (per DFS node).
+    ctrl: &'a RunCtrl,
 }
 
 impl<'a> BranchMiner<'a> {
     fn dfs(&mut self, genes: &BitSet, pending: &[usize]) {
+        if self.ctrl.token.deadline_exceeded() {
+            self.truncated = true;
+            return;
+        }
         if let Some(b) = &mut self.budget {
             if *b == 0 {
                 self.truncated = true;

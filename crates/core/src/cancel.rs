@@ -1,0 +1,171 @@
+//! Run budgets and cooperative cancellation.
+//!
+//! One [`CancelToken`] is shared by every phase of a mining run. The
+//! range-graph pair sweep and both DFS phases poll it; the slice-merge loop
+//! charges retained logical bytes against the memory budget. Exhausting a
+//! budget never errors a run that has already started — it truncates it,
+//! with the reason recorded on
+//! [`MiningResult::truncation`](crate::MiningResult::truncation).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which budget cut a run short. Stable machine-readable names via
+/// [`TruncationReason::as_str`] (these appear in the v2 report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// [`Params::max_candidates`](crate::Params::max_candidates) exhausted.
+    CandidateBudget,
+    /// [`Params::deadline`](crate::Params::deadline) expired.
+    Deadline,
+    /// [`Params::max_memory`](crate::Params::max_memory) exhausted.
+    MemoryBudget,
+    /// At least one isolated worker unit failed; its results are missing.
+    WorkerFailure,
+}
+
+impl TruncationReason {
+    /// Stable lowercase name, matching the CLI flag that configures the
+    /// budget: `max_candidates`, `deadline`, `max_memory`, `worker_failure`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TruncationReason::CandidateBudget => "max_candidates",
+            TruncationReason::Deadline => "deadline",
+            TruncationReason::MemoryBudget => "max_memory",
+            TruncationReason::WorkerFailure => "worker_failure",
+        }
+    }
+}
+
+/// Shared cancellation state of one mining run.
+///
+/// Deadline checks are lazy: the first poll past the deadline latches
+/// [`CancelToken::deadline_was_hit`], and only polls that actually skip work
+/// happen before work, so a run that finishes under its deadline is never
+/// marked truncated. Memory charges are made from the single-threaded merge
+/// loop in slice order, keeping memory truncation byte-deterministic across
+/// thread counts (unlike deadline truncation, which is inherently
+/// wall-clock-dependent).
+#[derive(Debug)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    deadline_hit: AtomicBool,
+    max_memory: Option<u64>,
+    charged: AtomicU64,
+    memory_hit: AtomicBool,
+}
+
+impl CancelToken {
+    /// A token with the given budgets; `deadline` counts from now.
+    pub fn new(deadline: Option<Duration>, max_memory: Option<u64>) -> Self {
+        CancelToken {
+            deadline: deadline.map(|d| Instant::now() + d),
+            deadline_hit: AtomicBool::new(false),
+            max_memory,
+            charged: AtomicU64::new(0),
+            memory_hit: AtomicBool::new(false),
+        }
+    }
+
+    /// A token that never cancels.
+    pub fn unbounded() -> Self {
+        CancelToken::new(None, None)
+    }
+
+    /// Polls the deadline. Free (`false`, no clock read) when no deadline is
+    /// configured; once it returns `true` it stays `true`.
+    #[inline]
+    pub fn deadline_exceeded(&self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.deadline_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            self.deadline_hit.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether a deadline poll ever fired (without reading the clock again —
+    /// used at result assembly so the act of *checking* cannot mark a
+    /// completed run truncated).
+    pub fn deadline_was_hit(&self) -> bool {
+        self.deadline_hit.load(Ordering::Relaxed)
+    }
+
+    /// Charges `bytes` of retained logical memory against the budget.
+    /// Returns `false` once the budget is exceeded (the charge that tips
+    /// over and every later one); the caller drops the data it was about to
+    /// retain. Unlimited (always `true`) when no budget is configured.
+    pub fn charge(&self, bytes: u64) -> bool {
+        let total = self.charged.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let Some(budget) = self.max_memory else {
+            return true;
+        };
+        if total > budget {
+            self.memory_hit.store(true, Ordering::Relaxed);
+            return false;
+        }
+        !self.memory_hit.load(Ordering::Relaxed)
+    }
+
+    /// Whether any charge exceeded the memory budget.
+    pub fn memory_was_hit(&self) -> bool {
+        self.memory_hit.load(Ordering::Relaxed)
+    }
+
+    /// Total logical bytes charged so far.
+    pub fn charged_bytes(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_cancels() {
+        let t = CancelToken::unbounded();
+        assert!(!t.deadline_exceeded());
+        assert!(t.charge(u64::MAX / 2));
+        assert!(!t.deadline_was_hit());
+        assert!(!t.memory_was_hit());
+    }
+
+    #[test]
+    fn zero_deadline_fires_immediately_and_latches() {
+        let t = CancelToken::new(Some(Duration::ZERO), None);
+        assert!(t.deadline_exceeded());
+        assert!(t.deadline_was_hit());
+        assert!(t.deadline_exceeded());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let t = CancelToken::new(Some(Duration::from_secs(3600)), None);
+        assert!(!t.deadline_exceeded());
+        assert!(!t.deadline_was_hit());
+    }
+
+    #[test]
+    fn memory_budget_trips_once_exceeded_and_stays_tripped() {
+        let t = CancelToken::new(None, Some(100));
+        assert!(t.charge(60));
+        assert!(!t.charge(50), "60 + 50 > 100");
+        assert!(t.memory_was_hit());
+        assert!(!t.charge(1), "stays tripped");
+        assert_eq!(t.charged_bytes(), 111);
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        assert_eq!(TruncationReason::CandidateBudget.as_str(), "max_candidates");
+        assert_eq!(TruncationReason::Deadline.as_str(), "deadline");
+        assert_eq!(TruncationReason::MemoryBudget.as_str(), "max_memory");
+        assert_eq!(TruncationReason::WorkerFailure.as_str(), "worker_failure");
+    }
+}

@@ -1,0 +1,145 @@
+//! Typed errors of the mining front door.
+//!
+//! [`mine`](crate::mine) and friends return `Result<MiningResult, MineError>`:
+//! anything that makes a run impossible (bad parameters, unusable input, a
+//! memory budget smaller than the input itself) is a typed error, while
+//! anything that merely cuts a run short (budgets, isolated worker failures)
+//! yields an `Ok` result flagged truncated. See DESIGN.md "Failure model &
+//! graceful degradation".
+
+use crate::params::ParamsError;
+use std::fmt;
+
+/// Why a mining run could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MineError {
+    /// The parameters failed [`Params::validate`](crate::Params::validate).
+    InvalidParams(ParamsError),
+    /// The matrix contains an infinite cell. `NaN` is the documented
+    /// missing-value marker and is tolerated (skipped by ratio
+    /// classification); explicit `±inf` is always a data error. Coordinates
+    /// name the first offending cell.
+    NonFiniteInput {
+        /// Gene (row) index of the first infinite cell.
+        gene: usize,
+        /// Sample (column) index of the first infinite cell.
+        sample: usize,
+        /// Time (slice) index of the first infinite cell.
+        time: usize,
+        /// The offending value (`+inf` or `-inf`).
+        value: f64,
+    },
+    /// The matrix has cells but none of them is usable: every cell is NaN
+    /// (all-missing input), so no ratio can ever be formed.
+    DegenerateInput {
+        /// Human-readable description of the degeneracy.
+        reason: String,
+    },
+    /// [`Params::max_memory`](crate::Params::max_memory) is smaller than the
+    /// logical size of the input matrix itself — no truncation strategy can
+    /// satisfy the budget, so the run refuses to start.
+    MemoryBudget {
+        /// Logical bytes the run needs at minimum (the matrix).
+        required: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// An error injected through a [failpoint](crate::FAILPOINTS) site with
+    /// an error channel. Only reachable in builds with the `failpoints`
+    /// feature and an armed site.
+    Fault {
+        /// The failpoint site that fired.
+        site: &'static str,
+        /// The injected message.
+        message: String,
+    },
+    /// The pipeline panicked outside every worker-isolation boundary; the
+    /// panic was caught at the API boundary and converted. The process never
+    /// aborts, but no partial result is available.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::InvalidParams(e) => write!(f, "invalid parameters: {e}"),
+            MineError::NonFiniteInput {
+                gene,
+                sample,
+                time,
+                value,
+            } => write!(
+                f,
+                "non-finite input: cell (gene {gene}, sample {sample}, time {time}) is {value}"
+            ),
+            MineError::DegenerateInput { reason } => write!(f, "degenerate input: {reason}"),
+            MineError::MemoryBudget { required, budget } => write!(
+                f,
+                "memory budget too small: the input matrix alone needs {required} logical bytes \
+                 but the budget is {budget}"
+            ),
+            MineError::Fault { site, message } => {
+                write!(f, "injected fault at {site}: {message}")
+            }
+            MineError::Panic { message } => {
+                write!(f, "mining pipeline panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MineError::InvalidParams(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for MineError {
+    fn from(e: ParamsError) -> Self {
+        MineError::InvalidParams(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cell() {
+        let e = MineError::NonFiniteInput {
+            gene: 3,
+            sample: 1,
+            time: 2,
+            value: f64::INFINITY,
+        };
+        let s = e.to_string();
+        assert!(s.contains("gene 3"), "{s}");
+        assert!(s.contains("sample 1"), "{s}");
+        assert!(s.contains("time 2"), "{s}");
+    }
+
+    #[test]
+    fn params_error_converts_and_chains() {
+        let pe = crate::Params::builder().min_genes(0).build().unwrap_err();
+        let e: MineError = pe.clone().into();
+        assert_eq!(e, MineError::InvalidParams(pe));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("genes"));
+    }
+
+    #[test]
+    fn memory_budget_display_has_both_numbers() {
+        let e = MineError::MemoryBudget {
+            required: 1600,
+            budget: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1600") && s.contains("100"), "{s}");
+    }
+}

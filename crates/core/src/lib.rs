@@ -48,18 +48,28 @@
 //!     .epsilon(0.01)
 //!     .build()
 //!     .unwrap();
-//! let result = mine(&m, &params);
+//! let result = mine(&m, &params).unwrap();
 //! assert_eq!(result.triclusters.len(), 1);
 //! assert_eq!(result.triclusters[0].genes.to_vec(), vec![0, 1]);
 //! ```
+//!
+//! Fallible conditions (invalid parameters, infinite cells, a memory budget
+//! smaller than the input) surface as a typed [`MineError`]; run budgets
+//! ([`Params::max_candidates`], [`Params::deadline`], [`Params::max_memory`])
+//! and isolated worker failures instead yield an `Ok` result flagged
+//! [`truncated`](MiningResult::truncated) with a
+//! [`TruncationReason`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bicluster;
+pub mod cancel;
 pub mod classify;
 pub mod cluster;
 pub mod coherence;
+pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod miner;
 pub mod params;
@@ -74,8 +84,11 @@ pub mod testdata;
 pub mod tricluster;
 pub mod validate;
 
+pub use cancel::{CancelToken, TruncationReason};
 pub use classify::{classify, ClusterType, Spreads};
 pub use cluster::{Bicluster, Tricluster};
+pub use error::MineError;
+pub use fault::{RunCtrl, WorkerFailure, FAILPOINTS};
 pub use metrics::{cluster_metrics, cluster_metrics_observed, Metrics};
 pub use miner::{
     mine, mine_auto, mine_auto_observed, mine_observed, FanoutDecision, FanoutLevel, Miner,

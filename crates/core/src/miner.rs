@@ -7,14 +7,18 @@
 //! dimension mined as genes, per the symmetry Lemma 1) and maps the results
 //! back to the caller's coordinates.
 
-use crate::bicluster::{mine_biclusters_workers, BiclusterStats};
+use crate::bicluster::{mine_biclusters_ctrl, BiclusterStats};
+use crate::cancel::TruncationReason;
 use crate::cluster::{Bicluster, Tricluster};
+use crate::error::MineError;
+use crate::fault::{fail_point, fail_point_panic, isolate, panic_message, RunCtrl, WorkerFailure};
 use crate::metrics::{cluster_metrics, Metrics};
 use crate::params::{FanoutMode, Params};
 use crate::prune::{merge_and_prune_observed, PruneStats};
 use crate::range::RatioRange;
-use crate::rangegraph::{build_range_graph_workers, RangeGraph, RangeGraphStats};
-use crate::tricluster::mine_triclusters_profiled;
+use crate::rangegraph::{build_range_graph_ctrl, RangeGraph, RangeGraphStats};
+use crate::tricluster::mine_triclusters_ctrl;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::{Axis, Matrix3};
@@ -68,9 +72,20 @@ pub struct MiningResult {
     pub ranges_per_time: Vec<usize>,
     /// Statistics of the merge/prune pass (zeros when disabled).
     pub prune_stats: PruneStats,
-    /// `true` when any search phase exhausted [`Params::max_candidates`];
-    /// the clusters are sound but possibly incomplete.
+    /// `true` when the run was cut short — by a budget
+    /// ([`Params::max_candidates`], [`Params::deadline`],
+    /// [`Params::max_memory`]) or by an isolated worker failure. The
+    /// clusters are sound but possibly incomplete (a subset of what the
+    /// unconstrained run mines).
     pub truncated: bool,
+    /// Why the run was cut short; `None` for a complete run. When several
+    /// causes fired, the highest-precedence one is reported:
+    /// deadline > memory > candidate budget > worker failure.
+    pub truncation: Option<TruncationReason>,
+    /// Isolated work units that panicked, sorted by (phase, unit, message).
+    /// Their results are missing from the run; everything else merged
+    /// deterministically.
+    pub worker_failures: Vec<WorkerFailure>,
     /// Phase timings.
     pub timings: Timings,
     /// Structured run report: phase spans plus the counter taxonomy of
@@ -144,7 +159,7 @@ impl Miner {
     }
 
     /// Runs the full pipeline on `m`.
-    pub fn mine(&self, m: &Matrix3) -> MiningResult {
+    pub fn mine(&self, m: &Matrix3) -> Result<MiningResult, MineError> {
         mine(m, &self.params)
     }
 }
@@ -266,16 +281,18 @@ fn mine_slice(
     sink: &dyn EventSink,
     rg_workers: usize,
     bc_workers: usize,
+    ctrl: &RunCtrl,
 ) -> SliceOutput {
+    fail_point_panic("core.slice");
     let collect_hists = sink.wants_histograms();
     let rg_start = Instant::now();
-    let (rg, rg_stats) = build_range_graph_workers(m, t, params, sink, rg_workers);
+    let (rg, rg_stats) = build_range_graph_ctrl(m, t, params, sink, rg_workers, ctrl);
     let rg_time = rg_start.elapsed();
     let n_ranges = rg.n_ranges();
     let rg_bytes = range_graph_bytes(&rg);
     let bc_start = Instant::now();
     let (biclusters, truncated, bc_stats) =
-        mine_biclusters_workers(m, &rg, params, collect_hists, bc_workers);
+        mine_biclusters_ctrl(m, &rg, params, collect_hists, bc_workers, ctrl);
     let bc_time = bc_start.elapsed();
     emit(sink, || {
         Event::new("miner.slice")
@@ -302,8 +319,59 @@ fn mine_slice(
 ///
 /// The matrix is mined as-is (genes × samples × times); use [`mine_auto`]
 /// to let the library apply the paper's canonical transposition first.
-pub fn mine(m: &Matrix3, params: &Params) -> MiningResult {
+///
+/// # Errors
+///
+/// Returns a typed [`MineError`] for conditions detected at the front door
+/// (invalid [`Params`], an explicit `±inf` cell, an all-`NaN` matrix, a
+/// memory budget smaller than the input matrix) and for panics that escape
+/// every isolation boundary. Exhausting a run budget mid-flight is *not* an
+/// error: it yields `Ok` with [`MiningResult::truncation`] set.
+pub fn mine(m: &Matrix3, params: &Params) -> Result<MiningResult, MineError> {
     mine_observed(m, params, &NullSink)
+}
+
+/// Validates the inputs [`mine`] is about to work on; all checks are
+/// deterministic scans, so the same input always fails the same way.
+fn validate_input(m: &Matrix3, params: &Params) -> Result<(), MineError> {
+    params.validate()?;
+    let (ng, ns, nt) = m.dims();
+    let mut finite = 0usize;
+    for g in 0..ng {
+        for s in 0..ns {
+            for t in 0..nt {
+                let v = m.get(g, s, t);
+                if v.is_infinite() {
+                    return Err(MineError::NonFiniteInput {
+                        gene: g,
+                        sample: s,
+                        time: t,
+                        value: v,
+                    });
+                }
+                if !v.is_nan() {
+                    finite += 1;
+                }
+            }
+        }
+    }
+    // NaN is the missing-value marker and is skipped cell-by-cell, but a
+    // matrix with cells and *no* values at all is unminable.
+    if ng * ns * nt > 0 && finite == 0 {
+        return Err(MineError::DegenerateInput {
+            reason: "every cell is NaN (missing)".to_owned(),
+        });
+    }
+    if let Some(budget) = params.max_memory {
+        let matrix_bytes = (ng * ns * nt * std::mem::size_of::<f64>()) as u64;
+        if matrix_bytes > budget {
+            return Err(MineError::MemoryBudget {
+                required: matrix_bytes,
+                budget,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Like [`mine`], routing instrumentation through `sink`.
@@ -312,7 +380,45 @@ pub fn mine(m: &Matrix3, params: &Params) -> MiningResult {
 /// threads; it must be `Sync`) plus every counter and span of the final
 /// [`MiningResult::report`]. Pass [`NullSink`] for zero-overhead mining —
 /// the report is built from locally accumulated stats either way.
-pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> MiningResult {
+pub fn mine_observed(
+    m: &Matrix3,
+    params: &Params,
+    sink: &dyn EventSink,
+) -> Result<MiningResult, MineError> {
+    validate_input(m, params)?;
+    let ctrl = RunCtrl::for_params(params);
+    // The matrix itself is the first charge against the memory budget
+    // (validate_input guarantees it fits).
+    let (ng, ns, nt) = m.dims();
+    ctrl.token
+        .charge((ng * ns * nt * std::mem::size_of::<f64>()) as u64);
+    // Last line of defense: a panic that escapes every isolation boundary
+    // (or is raised on the coordinating thread itself) becomes a typed
+    // error instead of a process abort.
+    match catch_unwind(AssertUnwindSafe(|| {
+        if let Some(message) = fail_point("core.mine.entry") {
+            return Err(MineError::Fault {
+                site: "core.mine.entry",
+                message,
+            });
+        }
+        Ok(mine_pipeline(m, params, sink, &ctrl))
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(MineError::Panic {
+            message: panic_message(payload),
+        }),
+    }
+}
+
+/// The pipeline body: phases 1–4 plus report assembly, under `ctrl`'s
+/// budgets and fault collection.
+fn mine_pipeline(
+    m: &Matrix3,
+    params: &Params,
+    sink: &dyn EventSink,
+    ctrl: &RunCtrl,
+) -> MiningResult {
     let n_times = m.n_times();
     let mut timings = Timings::default();
     let report_sink = ReportSink::new(sink);
@@ -375,9 +481,22 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
             .field("threads", threads)
     });
     let mut slices: Vec<SliceOutput> = if slice_workers <= 1 || n_times <= 1 {
-        (0..n_times)
-            .map(|t| mine_slice(m, t, params, sink, rg_workers, bc_workers))
-            .collect()
+        let mut outs = Vec::with_capacity(n_times);
+        for t in 0..n_times {
+            if ctrl.token.deadline_exceeded() {
+                break;
+            }
+            let out = isolate(
+                &ctrl.faults,
+                "slice",
+                || format!("t={t}"),
+                || mine_slice(m, t, params, sink, rg_workers, bc_workers, ctrl),
+            );
+            if let Some(out) = out {
+                outs.push(out);
+            }
+        }
+        outs
     } else {
         // Slices are striped across exactly `slice_workers` workers; each
         // worker returns its outputs and the caller re-sorts by slice index.
@@ -387,7 +506,17 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
                     scope.spawn(move || {
                         (w..n_times)
                             .step_by(slice_workers)
-                            .map(|t| mine_slice(m, t, params, sink, 1, 1))
+                            .filter_map(|t| {
+                                if ctrl.token.deadline_exceeded() {
+                                    return None;
+                                }
+                                isolate(
+                                    &ctrl.faults,
+                                    "slice",
+                                    || format!("t={t}"),
+                                    || mine_slice(m, t, params, sink, 1, 1, ctrl),
+                                )
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -409,6 +538,7 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
     let collect_hists = sink.wants_histograms();
     let mut slice_hists = collect_hists.then(|| (Histogram::default(), Histogram::default()));
     let mut rg_peak_bytes = 0u64;
+    let mut memory_truncated = false;
     for out in slices {
         ranges_per_time[out.t] = out.n_ranges;
         truncated |= out.truncated;
@@ -419,7 +549,15 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
             edges.record(out.n_ranges as u64);
             bcs.record(out.biclusters.len() as u64);
         }
-        per_time_biclusters[out.t] = out.biclusters;
+        // Memory budget: retained bicluster bytes are charged here, on the
+        // single merge thread in slice order, so which slices get dropped
+        // (this one and every later one, once the budget tips) is identical
+        // across thread counts and fan-out modes.
+        if !memory_truncated && ctrl.token.charge(biclusters_bytes(&out.biclusters)) {
+            per_time_biclusters[out.t] = out.biclusters;
+        } else {
+            memory_truncated = true;
+        }
         timings.range_graphs += out.rg_time;
         timings.biclusters += out.bc_time;
         sink.span(names::SPAN_RANGE_GRAPH, out.rg_time);
@@ -436,8 +574,19 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
     let alloc_after_slices = alloc::snapshot();
 
     let tri_start = Instant::now();
-    let (mut triclusters, tri_cut, tri_stats) =
-        mine_triclusters_profiled(m, &per_time_biclusters, params, collect_hists);
+    // The tricluster DFS has no intra-phase fan-out, so it is isolated at
+    // phase granularity: a panic costs the whole phase (no triclusters) but
+    // the per-slice biclusters and the report survive.
+    let (mut triclusters, tri_cut, tri_stats) = isolate(
+        &ctrl.faults,
+        "tricluster",
+        || "phase".to_owned(),
+        || {
+            fail_point_panic("core.tricluster.phase");
+            mine_triclusters_ctrl(m, &per_time_biclusters, params, collect_hists, ctrl)
+        },
+    )
+    .unwrap_or_default();
     truncated |= tri_cut;
     timings.triclusters = tri_start.elapsed();
     sink.span(names::SPAN_TRICLUSTER, timings.triclusters);
@@ -446,11 +595,25 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
 
     let prune_start = Instant::now();
     let prune_stats = if let Some(merge) = &params.merge {
-        // merge_and_prune_observed publishes the prune counters itself.
-        let (survivors, stats) =
-            merge_and_prune_observed(std::mem::take(&mut triclusters), merge, sink);
-        triclusters = survivors;
-        stats
+        // merge_and_prune_observed publishes the prune counters itself. It
+        // consumes the triclusters, so a panic mid-phase loses them — the
+        // recorded WorkerFailure and the truncated flag say so.
+        let taken = std::mem::take(&mut triclusters);
+        match isolate(
+            &ctrl.faults,
+            "prune",
+            || "phase".to_owned(),
+            || {
+                fail_point_panic("core.prune.phase");
+                merge_and_prune_observed(taken, merge, sink)
+            },
+        ) {
+            Some((survivors, stats)) => {
+                triclusters = survivors;
+                stats
+            }
+            None => PruneStats::default(),
+        }
     } else {
         PruneStats::default()
     };
@@ -498,12 +661,33 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
         }
     }
 
+    // Fault + truncation assembly. The deadline check reads the latched
+    // flag, not the clock: a run that *finished* under its deadline is never
+    // marked truncated by the act of checking.
+    let worker_failures = ctrl.faults.take_sorted();
+    if !worker_failures.is_empty() {
+        sink.counter(names::F_WORKER_FAILURES, worker_failures.len() as u64);
+    }
+    let truncation = if ctrl.token.deadline_was_hit() {
+        Some(TruncationReason::Deadline)
+    } else if memory_truncated {
+        Some(TruncationReason::MemoryBudget)
+    } else if truncated {
+        Some(TruncationReason::CandidateBudget)
+    } else if !worker_failures.is_empty() {
+        Some(TruncationReason::WorkerFailure)
+    } else {
+        None
+    };
+
     MiningResult {
         triclusters,
         per_time_biclusters,
         ranges_per_time,
         prune_stats,
-        truncated,
+        truncated: truncation.is_some(),
+        truncation,
+        worker_failures,
         timings,
         report: report_sink.into_report(),
         fanout,
@@ -514,19 +698,23 @@ pub fn mine_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> Mini
 /// mined as genes (the paper always transposes this way, exploiting the
 /// symmetry Lemma 1), then maps the mined clusters back to the original
 /// coordinates.
-pub fn mine_auto(m: &Matrix3, params: &Params) -> MiningResult {
+pub fn mine_auto(m: &Matrix3, params: &Params) -> Result<MiningResult, MineError> {
     mine_auto_observed(m, params, &NullSink)
 }
 
 /// Like [`mine_auto`], routing instrumentation through `sink`
 /// (see [`mine_observed`]).
-pub fn mine_auto_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) -> MiningResult {
+pub fn mine_auto_observed(
+    m: &Matrix3,
+    params: &Params,
+    sink: &dyn EventSink,
+) -> Result<MiningResult, MineError> {
     let order = m.canonical_permutation();
     if order == [Axis::Gene, Axis::Sample, Axis::Time] {
         return mine_observed(m, params, sink);
     }
     let permuted = m.permuted(order);
-    let mut result = mine_observed(&permuted, params, sink);
+    let mut result = mine_observed(&permuted, params, sink)?;
     let n = [m.n_genes(), m.n_samples(), m.n_times()];
     result.triclusters = result
         .triclusters
@@ -544,7 +732,7 @@ pub fn mine_auto_observed(m: &Matrix3, params: &Params, sink: &dyn EventSink) ->
             .then_with(|| a.samples.cmp(&b.samples))
             .then_with(|| a.times.cmp(&b.times))
     });
-    result
+    Ok(result)
 }
 
 /// Maps a cluster mined in permuted coordinates back to the original axes.
@@ -589,7 +777,7 @@ mod tests {
     #[test]
     fn full_pipeline_on_paper_example() {
         let m = paper_table1();
-        let result = mine(&m, &params());
+        let result = mine(&m, &params()).unwrap();
         let mut want = paper_table1_expected();
         want.sort();
         assert_eq!(view(&result.triclusters), want);
@@ -602,7 +790,7 @@ mod tests {
     #[test]
     fn metrics_of_paper_example() {
         let m = paper_table1();
-        let result = mine(&m, &params());
+        let result = mine(&m, &params()).unwrap();
         let met = result.metrics(&m);
         assert_eq!(met.cluster_count, 3);
         // C1: 3*4*2=24, C2: 4*3*2=24, C3: 3*4*2=24 -> 72 cells;
@@ -627,7 +815,7 @@ mod tests {
             })
             .build()
             .unwrap();
-        let result = mine(&m, &p);
+        let result = mine(&m, &p).unwrap();
         // thresholds this small change nothing on the paper example
         assert_eq!(result.triclusters.len(), 3);
     }
@@ -637,8 +825,8 @@ mod tests {
         let m = paper_table1();
         let miner = Miner::new(params());
         assert_eq!(
-            view(&miner.mine(&m).triclusters),
-            view(&mine(&m, &params()).triclusters)
+            view(&miner.mine(&m).unwrap().triclusters),
+            view(&mine(&m, &params()).unwrap().triclusters)
         );
         assert_eq!(miner.params().min_genes, 3);
     }
@@ -647,8 +835,8 @@ mod tests {
     fn mine_auto_matches_mine_on_canonical_input() {
         let m = paper_table1(); // 10 x 7 x 2 is already canonical
         assert_eq!(
-            view(&mine_auto(&m, &params()).triclusters),
-            view(&mine(&m, &params()).triclusters)
+            view(&mine_auto(&m, &params()).unwrap().triclusters),
+            view(&mine(&m, &params()).unwrap().triclusters)
         );
     }
 
@@ -660,7 +848,7 @@ mod tests {
         assert_eq!(twisted.dims(), (2, 7, 10));
         // Mine with thresholds transposed accordingly: mined genes = orig
         // genes again after canonical permutation (largest dim = 10).
-        let result = mine_auto(&twisted, &params());
+        let result = mine_auto(&twisted, &params()).unwrap();
         // Clusters come back in *twisted* coordinates: genes axis of
         // `twisted` is original times, times axis is original genes.
         let mut got: Vec<_> = result
@@ -677,7 +865,7 @@ mod tests {
     #[test]
     fn unlimited_search_is_not_truncated() {
         let m = paper_table1();
-        assert!(!mine(&m, &params()).truncated);
+        assert!(!mine(&m, &params()).unwrap().truncated);
     }
 
     #[test]
@@ -689,10 +877,10 @@ mod tests {
             .max_candidates(2)
             .build()
             .unwrap();
-        let result = mine(&m, &p);
+        let result = mine(&m, &p).unwrap();
         assert!(result.truncated);
         // whatever was found is still a valid (possibly incomplete) subset
-        let full = mine(&m, &params());
+        let full = mine(&m, &params()).unwrap();
         for c in &result.triclusters {
             assert!(
                 full.triclusters.iter().any(|f| c.is_subcluster_of(f)),
@@ -710,30 +898,33 @@ mod tests {
             .max_candidates(1_000_000)
             .build()
             .unwrap();
-        let limited = mine(&m, &p);
+        let limited = mine(&m, &p).unwrap();
         assert!(!limited.truncated);
-        assert_eq!(limited.triclusters, mine(&m, &params()).triclusters);
+        assert_eq!(
+            limited.triclusters,
+            mine(&m, &params()).unwrap().triclusters
+        );
     }
 
     #[test]
     fn timings_are_populated() {
         let m = paper_table1();
-        let result = mine(&m, &params());
+        let result = mine(&m, &params()).unwrap();
         assert!(result.timings.total() > Duration::ZERO);
     }
 
     #[test]
     fn deterministic_across_runs() {
         let m = paper_table1();
-        let a = mine(&m, &params());
-        let b = mine(&m, &params());
+        let a = mine(&m, &params()).unwrap();
+        let b = mine(&m, &params()).unwrap();
         assert_eq!(view(&a.triclusters), view(&b.triclusters));
     }
 
     #[test]
     fn report_has_spans_and_nonzero_counters() {
         let m = paper_table1();
-        let result = mine(&m, &params());
+        let result = mine(&m, &params()).unwrap();
         let r = &result.report;
         for span in [
             tricluster_obs::names::SPAN_SLICES_WALL,
@@ -773,9 +964,9 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let serial = mine(&m, &mk(1));
-        let parallel = mine(&m, &mk(4));
-        let serial_again = mine(&m, &mk(1));
+        let serial = mine(&m, &mk(1)).unwrap();
+        let parallel = mine(&m, &mk(4)).unwrap();
+        let serial_again = mine(&m, &mk(1)).unwrap();
         assert_eq!(
             serial.report.counter_map(),
             serial_again.report.counter_map()
@@ -810,8 +1001,8 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let serial = mine_observed(&m, &mk(1), &tricluster_obs::Recorder::new());
-        let parallel = mine_observed(&m, &mk(4), &tricluster_obs::Recorder::new());
+        let serial = mine_observed(&m, &mk(1), &tricluster_obs::Recorder::new()).unwrap();
+        let parallel = mine_observed(&m, &mk(4), &tricluster_obs::Recorder::new()).unwrap();
         assert!(
             !serial.report.histograms.is_empty(),
             "recording sink must trigger histogram collection"
@@ -848,7 +1039,7 @@ mod tests {
             10 * 7 * 2 * 8
         );
         // the default NullSink path collects no histograms at all
-        assert!(mine(&m, &mk(1)).report.histograms.is_empty());
+        assert!(mine(&m, &mk(1)).unwrap().report.histograms.is_empty());
     }
 
     /// Tentpole of ISSUE 3: intra-slice fan-out (pair-level range graphs,
@@ -870,7 +1061,8 @@ mod tests {
             &m,
             &mk(FanoutMode::Slice, 1),
             &tricluster_obs::Recorder::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(baseline.fanout.range_graph, FanoutLevel::Slice);
         assert_eq!(baseline.fanout.bicluster, FanoutLevel::Slice);
         for (mode, threads) in [
@@ -880,7 +1072,8 @@ mod tests {
             (FanoutMode::Auto, 8), // 8 > 2 slices -> intra
             (FanoutMode::Slice, 8),
         ] {
-            let r = mine_observed(&m, &mk(mode, threads), &tricluster_obs::Recorder::new());
+            let r =
+                mine_observed(&m, &mk(mode, threads), &tricluster_obs::Recorder::new()).unwrap();
             assert_eq!(
                 view(&r.triclusters),
                 view(&baseline.triclusters),
@@ -932,11 +1125,14 @@ mod tests {
             .max_candidates(1_000_000)
             .build()
             .unwrap();
-        let r = mine(&m, &p);
+        let r = mine(&m, &p).unwrap();
         assert_eq!(r.fanout.range_graph, FanoutLevel::Pair);
         assert_eq!(r.fanout.bicluster, FanoutLevel::Slice);
         assert!(!r.truncated);
-        assert_eq!(view(&r.triclusters), view(&mine(&m, &params()).triclusters));
+        assert_eq!(
+            view(&r.triclusters),
+            view(&mine(&m, &params()).unwrap().triclusters)
+        );
     }
 
     /// Mining against a recording sink yields the same report as the one
@@ -945,10 +1141,10 @@ mod tests {
     fn observed_report_matches_external_recorder() {
         let m = paper_table1();
         let rec = tricluster_obs::Recorder::new();
-        let result = mine_observed(&m, &params(), &rec);
+        let result = mine_observed(&m, &params(), &rec).unwrap();
         let external = rec.snapshot();
         assert_eq!(result.report.counter_map(), external.counter_map());
-        let quiet = mine(&m, &params());
+        let quiet = mine(&m, &params()).unwrap();
         assert_eq!(result.report.counter_map(), quiet.report.counter_map());
     }
 
@@ -957,7 +1153,7 @@ mod tests {
         let m = paper_table1();
         let twisted = m.permuted([Axis::Time, Axis::Sample, Axis::Gene]);
         let rec = tricluster_obs::Recorder::new();
-        let result = mine_auto_observed(&twisted, &params(), &rec);
+        let result = mine_auto_observed(&twisted, &params(), &rec).unwrap();
         assert!(!result.triclusters.is_empty());
         assert!(result.report.counter(tricluster_obs::names::TC_RECORDED) > 0);
         assert_eq!(

@@ -1,6 +1,8 @@
-//! Mining parameters (`ε`, `mx/my/mz`, `δ` thresholds, merge options).
+//! Mining parameters (`ε`, `mx/my/mz`, `δ` thresholds, merge options,
+//! run budgets).
 
 use std::fmt;
+use std::time::Duration;
 
 /// Thresholds controlling the optional merge/delete post-processing
 /// (paper §4.4).
@@ -129,6 +131,18 @@ pub struct Params {
     /// affects scheduling: every input-determined report section is
     /// identical for all modes.
     pub fanout: FanoutMode,
+    /// Optional wall-clock budget for the whole run. The phases poll a
+    /// shared [`CancelToken`](crate::CancelToken); expiry yields a truncated
+    /// (sound but possibly incomplete) result. Unlike the other budgets,
+    /// *where* a deadline cuts is inherently wall-clock-dependent.
+    pub deadline: Option<Duration>,
+    /// Optional budget on retained logical bytes (the deterministic sizes of
+    /// the run's memory accounting: matrix + retained per-slice biclusters).
+    /// Slices whose retention would exceed the budget contribute no
+    /// biclusters (deterministically, in slice order) and the run is flagged
+    /// truncated. A budget smaller than the matrix itself is a front-door
+    /// [`MineError::MemoryBudget`](crate::MineError::MemoryBudget).
+    pub max_memory: Option<u64>,
 }
 
 impl Params {
@@ -136,6 +150,58 @@ impl Params {
     /// minimum cardinalities to `(2, 2, 2)`.
     pub fn builder() -> ParamsBuilder {
         ParamsBuilder::default()
+    }
+
+    /// Checks every invariant [`ParamsBuilder::build`] enforces, for
+    /// parameter values however they were produced. [`mine`](crate::mine)
+    /// calls this at the front door, so hand-mutated `Params` cannot smuggle
+    /// nonsensical settings (negative `ε`, zero minimum cardinalities,
+    /// negative `δ`, zero budgets) into the pipeline.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(ParamsError::BadEpsilon(self.epsilon));
+        }
+        if !self.epsilon_time.is_finite() || self.epsilon_time < 0.0 {
+            return Err(ParamsError::BadEpsilon(self.epsilon_time));
+        }
+        if self.min_genes == 0 {
+            return Err(ParamsError::ZeroMinimum("genes (mx)"));
+        }
+        if self.min_samples == 0 {
+            return Err(ParamsError::ZeroMinimum("samples (my)"));
+        }
+        if self.min_times == 0 {
+            return Err(ParamsError::ZeroMinimum("times (mz)"));
+        }
+        for (name, d) in [
+            ("gene (delta_x)", self.delta_gene),
+            ("sample (delta_y)", self.delta_sample),
+            ("time (delta_z)", self.delta_time),
+        ] {
+            if let Some(v) = d {
+                if v.is_nan() || v < 0.0 {
+                    return Err(ParamsError::BadDelta(name, v));
+                }
+            }
+        }
+        if let Some(m) = self.merge {
+            if !(0.0..=1.0).contains(&m.eta) {
+                return Err(ParamsError::BadMergeThreshold("eta", m.eta));
+            }
+            if !(0.0..=1.0).contains(&m.gamma) {
+                return Err(ParamsError::BadMergeThreshold("gamma", m.gamma));
+            }
+        }
+        if self.max_candidates == Some(0) {
+            return Err(ParamsError::ZeroMinimum("max_candidates"));
+        }
+        if self.threads == Some(0) {
+            return Err(ParamsError::ZeroMinimum("threads"));
+        }
+        if self.max_memory == Some(0) {
+            return Err(ParamsError::ZeroMinimum("max_memory"));
+        }
+        Ok(())
     }
 }
 
@@ -192,6 +258,8 @@ pub struct ParamsBuilder {
     max_candidates: Option<u64>,
     threads: Option<usize>,
     fanout: FanoutMode,
+    deadline: Option<Duration>,
+    max_memory: Option<u64>,
 }
 
 impl Default for ParamsBuilder {
@@ -210,6 +278,8 @@ impl Default for ParamsBuilder {
             max_candidates: None,
             threads: None,
             fanout: FanoutMode::Auto,
+            deadline: None,
+            max_memory: None,
         }
     }
 }
@@ -301,52 +371,25 @@ impl ParamsBuilder {
         self
     }
 
-    /// Validates and produces the final [`Params`].
+    /// Bounds the run's wall-clock time; expiry truncates the run.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Bounds the run's retained logical bytes; exceeding it truncates the
+    /// run (see [`Params::max_memory`]).
+    pub fn max_memory(mut self, bytes: u64) -> Self {
+        self.max_memory = Some(bytes);
+        self
+    }
+
+    /// Validates and produces the final [`Params`]
+    /// (see [`Params::validate`]).
     pub fn build(self) -> Result<Params, ParamsError> {
-        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
-            return Err(ParamsError::BadEpsilon(self.epsilon));
-        }
-        let epsilon_time = self.epsilon_time.unwrap_or(self.epsilon);
-        if !epsilon_time.is_finite() || epsilon_time < 0.0 {
-            return Err(ParamsError::BadEpsilon(epsilon_time));
-        }
-        if self.min_genes == 0 {
-            return Err(ParamsError::ZeroMinimum("genes (mx)"));
-        }
-        if self.min_samples == 0 {
-            return Err(ParamsError::ZeroMinimum("samples (my)"));
-        }
-        if self.min_times == 0 {
-            return Err(ParamsError::ZeroMinimum("times (mz)"));
-        }
-        for (name, d) in [
-            ("gene (delta_x)", self.delta_gene),
-            ("sample (delta_y)", self.delta_sample),
-            ("time (delta_z)", self.delta_time),
-        ] {
-            if let Some(v) = d {
-                if v.is_nan() || v < 0.0 {
-                    return Err(ParamsError::BadDelta(name, v));
-                }
-            }
-        }
-        if let Some(m) = self.merge {
-            if !(0.0..=1.0).contains(&m.eta) {
-                return Err(ParamsError::BadMergeThreshold("eta", m.eta));
-            }
-            if !(0.0..=1.0).contains(&m.gamma) {
-                return Err(ParamsError::BadMergeThreshold("gamma", m.gamma));
-            }
-        }
-        if self.max_candidates == Some(0) {
-            return Err(ParamsError::ZeroMinimum("max_candidates"));
-        }
-        if self.threads == Some(0) {
-            return Err(ParamsError::ZeroMinimum("threads"));
-        }
-        Ok(Params {
+        let params = Params {
             epsilon: self.epsilon,
-            epsilon_time,
+            epsilon_time: self.epsilon_time.unwrap_or(self.epsilon),
             min_genes: self.min_genes,
             min_samples: self.min_samples,
             min_times: self.min_times,
@@ -358,7 +401,11 @@ impl ParamsBuilder {
             max_candidates: self.max_candidates,
             threads: self.threads,
             fanout: self.fanout,
-        })
+            deadline: self.deadline,
+            max_memory: self.max_memory,
+        };
+        params.validate()?;
+        Ok(params)
     }
 }
 
@@ -491,6 +538,40 @@ mod tests {
         }
         assert_eq!(FanoutMode::parse("intra"), Some(FanoutMode::Pair));
         assert_eq!(FanoutMode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn budgets_default_off_and_reject_zero_memory() {
+        let p = Params::builder().build().unwrap();
+        assert_eq!(p.deadline, None);
+        assert_eq!(p.max_memory, None);
+        let p = Params::builder()
+            .deadline(Duration::from_secs(5))
+            .max_memory(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(p.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(p.max_memory, Some(1 << 20));
+        assert_eq!(
+            Params::builder().max_memory(0).build(),
+            Err(ParamsError::ZeroMinimum("max_memory"))
+        );
+        // a zero deadline is legal: it truncates immediately
+        assert!(Params::builder().deadline(Duration::ZERO).build().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_hand_mutated_params() {
+        let mut p = Params::builder().build().unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        p.epsilon = -1.0;
+        assert_eq!(p.validate(), Err(ParamsError::BadEpsilon(-1.0)));
+        p.epsilon = 0.01;
+        p.min_samples = 0;
+        assert_eq!(p.validate(), Err(ParamsError::ZeroMinimum("samples (my)")));
+        p.min_samples = 2;
+        p.delta_gene = Some(-0.5);
+        assert!(matches!(p.validate(), Err(ParamsError::BadDelta(_, _))));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! edges share at least `mx` genes, which is exactly what the
 //! [`bicluster`](crate::bicluster) DFS searches for.
 
+use crate::fault::{fail_point_panic, isolate, RunCtrl};
 use crate::params::Params;
 use crate::range::{find_ranges_into, RangeKind, RangeScratch, RatioRange, SignGroup};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -163,6 +164,7 @@ fn compute_pair(
     scratch: &mut PairScratch,
     out: &mut Vec<RatioRange>,
 ) -> u64 {
+    fail_point_panic("core.rangegraph.pair");
     let mut ratios = 0u64;
     for g in &mut scratch.groups {
         g.clear();
@@ -268,6 +270,24 @@ pub fn build_range_graph_workers(
     sink: &dyn EventSink,
     workers: usize,
 ) -> (RangeGraph, RangeGraphStats) {
+    build_range_graph_ctrl(m, t, params, sink, workers, &RunCtrl::unbounded())
+}
+
+/// Like [`build_range_graph_workers`], under the run control of `ctrl`: the
+/// deadline is polled before each pair, and — when `ctrl` collects faults —
+/// a panic while computing one pair downgrades to a
+/// [`WorkerFailure`](crate::WorkerFailure) that costs only that pair's
+/// edges. Skipped and failed pairs contribute nothing, which can only
+/// remove edges: every bicluster mined from the partial graph is still a
+/// bicluster of the complete one.
+pub fn build_range_graph_ctrl(
+    m: &Matrix3,
+    t: usize,
+    params: &Params,
+    sink: &dyn EventSink,
+    workers: usize,
+    ctrl: &RunCtrl,
+) -> (RangeGraph, RangeGraphStats) {
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
     let slice = m.time_slice_raw(t);
@@ -285,17 +305,37 @@ pub fn build_range_graph_workers(
         let mut scratch = PairScratch::default();
         let mut ranges: Vec<RatioRange> = Vec::new();
         for &(a, b) in &pairs {
-            let ratios = compute_pair(
-                slice,
-                n_genes,
-                n_samples,
-                a,
-                b,
-                params,
-                &mut scratch,
-                &mut ranges,
+            if ctrl.token.deadline_exceeded() {
+                break;
+            }
+            let computed = isolate(
+                &ctrl.faults,
+                "range_graph_pair",
+                || format!("t={t} pair=({a},{b})"),
+                || {
+                    compute_pair(
+                        slice,
+                        n_genes,
+                        n_samples,
+                        a,
+                        b,
+                        params,
+                        &mut scratch,
+                        &mut ranges,
+                    )
+                },
             );
-            absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink);
+            match computed {
+                Some(ratios) => {
+                    absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink)
+                }
+                None => {
+                    // The panicked pair may have left partial state behind;
+                    // start the next pair from fresh buffers.
+                    scratch = PairScratch::default();
+                    ranges = Vec::new();
+                }
+            }
         }
         return (RangeGraph { time: t, graph }, stats);
     }
@@ -313,19 +353,32 @@ pub fn build_range_graph_workers(
                         if i >= pairs.len() {
                             break;
                         }
+                        if ctrl.token.deadline_exceeded() {
+                            break;
+                        }
                         let (a, b) = pairs[i];
                         let mut out = Vec::new();
-                        let ratios = compute_pair(
-                            slice,
-                            n_genes,
-                            n_samples,
-                            a,
-                            b,
-                            params,
-                            &mut scratch,
-                            &mut out,
+                        let computed = isolate(
+                            &ctrl.faults,
+                            "range_graph_pair",
+                            || format!("t={t} pair=({a},{b})"),
+                            || {
+                                compute_pair(
+                                    slice,
+                                    n_genes,
+                                    n_samples,
+                                    a,
+                                    b,
+                                    params,
+                                    &mut scratch,
+                                    &mut out,
+                                )
+                            },
                         );
-                        done.push((i, out, ratios));
+                        match computed {
+                            Some(ratios) => done.push((i, out, ratios)),
+                            None => scratch = PairScratch::default(),
+                        }
                     }
                     done
                 })
@@ -339,7 +392,10 @@ pub fn build_range_graph_workers(
     });
     for (i, slot) in slots.iter_mut().enumerate() {
         let (a, b) = pairs[i];
-        let (mut ranges, ratios) = slot.take().expect("every pair computed exactly once");
+        // Skipped (post-deadline) and failed pairs left their slot empty.
+        let Some((mut ranges, ratios)) = slot.take() else {
+            continue;
+        };
         absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink);
     }
     (RangeGraph { time: t, graph }, stats)

@@ -195,7 +195,7 @@ mod tests {
             .min_size(3, 3, 2)
             .build()
             .unwrap();
-        let result = mine(&m, &params);
+        let result = mine(&m, &params).unwrap();
         (m, result.triclusters)
     }
 

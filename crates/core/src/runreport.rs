@@ -12,6 +12,12 @@
 //!   `search_space` (nodes expanded, prunes by reason, maximality
 //!   rejections, dedup hits). Every v1 key is preserved.
 //!
+//! A degraded run (budget truncation or isolated worker panics) additionally
+//! carries a top-level `fault` object with the machine-readable
+//! `truncation_reason` and, when any worker was lost, a `worker_failures`
+//! array. Clean runs omit the object entirely so their documents stay
+//! byte-identical to reports from before the fault layer existed.
+//!
 //! The builder lives in core (not the CLI) so library users and the schema
 //! validator share one definition.
 
@@ -69,6 +75,31 @@ pub fn report_to_json_v2(
         .with("histograms", histograms_json(report))
         .with("memory", memory_json(report))
         .with("search_space", search_space_json(report))
+        .maybe_with("fault", fault_json(result))
+}
+
+/// The `fault` section of a degraded run; `None` for clean runs.
+pub fn fault_json(result: &MiningResult) -> Option<Json> {
+    let reason = result.truncation?;
+    let mut obj = Json::obj().with("truncation_reason", Json::Str(reason.as_str().into()));
+    if !result.worker_failures.is_empty() {
+        obj = obj.with(
+            "worker_failures",
+            Json::Arr(
+                result
+                    .worker_failures
+                    .iter()
+                    .map(|f| {
+                        Json::obj()
+                            .with("phase", Json::Str(f.phase.into()))
+                            .with("unit", Json::Str(f.unit.clone()))
+                            .with("message", Json::Str(f.message.clone()))
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    Some(obj)
 }
 
 /// The `histograms` section: every value histogram of the report. These are
@@ -279,6 +310,34 @@ pub fn validate_v2(doc: &Json) -> Result<(), String> {
     ] {
         need(path)?;
     }
+    // Optional `fault` section: present exactly when the run degraded.
+    if let Some(fault) = doc.get("fault") {
+        if doc.get("truncated").and_then(Json::as_bool) != Some(true) {
+            return Err("fault section present but truncated is not true".into());
+        }
+        let reason = fault
+            .get("truncation_reason")
+            .and_then(Json::as_str)
+            .ok_or("fault.truncation_reason missing or not a string")?;
+        if !["max_candidates", "deadline", "max_memory", "worker_failure"].contains(&reason) {
+            return Err(format!("unknown fault.truncation_reason {reason:?}"));
+        }
+        if let Some(failures) = fault.get("worker_failures") {
+            let arr = failures
+                .as_arr()
+                .ok_or("fault.worker_failures is not an array")?;
+            if arr.is_empty() {
+                return Err("fault.worker_failures is empty (omit the key instead)".into());
+            }
+            for (i, f) in arr.iter().enumerate() {
+                for key in ["phase", "unit", "message"] {
+                    if f.get(key).and_then(Json::as_str).is_none() {
+                        return Err(format!("fault.worker_failures[{i}].{key} missing"));
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -299,7 +358,7 @@ mod tests {
             .threads(threads)
             .build()
             .unwrap();
-        let result = mine_observed(&m, &p, &Recorder::new());
+        let result = mine_observed(&m, &p, &Recorder::new()).unwrap();
         let met = cluster_metrics(&m, &result.triclusters);
         report_to_json_v2(&m, &result, &result.report, &met)
     }
@@ -341,6 +400,88 @@ mod tests {
     }
 
     #[test]
+    fn clean_runs_omit_the_fault_section() {
+        let doc = table1_doc(1);
+        assert!(doc.get("fault").is_none());
+    }
+
+    #[test]
+    fn truncated_runs_carry_a_validated_fault_section() {
+        let m = paper_table1();
+        let p = Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .max_candidates(1)
+            .build()
+            .unwrap();
+        let result = mine_observed(&m, &p, &Recorder::new()).unwrap();
+        assert!(result.truncated, "a 1-node budget must truncate Table 1");
+        let met = cluster_metrics(&m, &result.triclusters);
+        let doc = report_to_json_v2(&m, &result, &result.report, &met);
+        validate_v2(&doc).unwrap();
+        assert_eq!(doc.get("truncated").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            doc.get_path(&["fault", "truncation_reason"])
+                .and_then(Json::as_str),
+            Some("max_candidates")
+        );
+        // no workers died, so no worker_failures array
+        assert!(doc.get_path(&["fault", "worker_failures"]).is_none());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_fault_sections() {
+        let base = table1_doc(1);
+        let with_fault = |fault: Json| {
+            let Json::Obj(fields) = &base else {
+                panic!("doc is not an object")
+            };
+            let mut fields: Vec<(String, Json)> = fields.clone();
+            for (k, v) in fields.iter_mut() {
+                if k == "truncated" {
+                    *v = Json::Bool(true);
+                }
+            }
+            Json::Obj(fields).with("fault", fault)
+        };
+        // a well-formed fault section passes
+        let ok = with_fault(
+            Json::obj()
+                .with("truncation_reason", Json::Str("deadline".into()))
+                .with(
+                    "worker_failures",
+                    Json::Arr(vec![Json::obj()
+                        .with("phase", Json::Str("slice".into()))
+                        .with("unit", Json::Str("t=0".into()))
+                        .with("message", Json::Str("boom".into()))]),
+                ),
+        );
+        validate_v2(&ok).unwrap();
+        // unknown reason, missing reason, empty failure list all fail
+        let e = validate_v2(&with_fault(
+            Json::obj().with("truncation_reason", Json::Str("cosmic_rays".into())),
+        ))
+        .unwrap_err();
+        assert!(e.contains("truncation_reason"), "{e}");
+        let e = validate_v2(&with_fault(Json::obj())).unwrap_err();
+        assert!(e.contains("truncation_reason"), "{e}");
+        let e = validate_v2(&with_fault(
+            Json::obj()
+                .with("truncation_reason", Json::Str("worker_failure".into()))
+                .with("worker_failures", Json::Arr(vec![])),
+        ))
+        .unwrap_err();
+        assert!(e.contains("worker_failures"), "{e}");
+        // fault on a run not marked truncated is inconsistent
+        let e = validate_v2(&base.clone().with(
+            "fault",
+            Json::obj().with("truncation_reason", Json::Str("deadline".into())),
+        ))
+        .unwrap_err();
+        assert!(e.contains("truncated"), "{e}");
+    }
+
+    #[test]
     fn v2_document_roundtrips_through_the_parser() {
         let doc = table1_doc(1);
         let parsed = Json::parse(&doc.render_pretty()).unwrap();
@@ -376,7 +517,7 @@ mod tests {
             .min_size(3, 3, 2)
             .build()
             .unwrap();
-        let result = mine_observed(&m, &p, &Recorder::new());
+        let result = mine_observed(&m, &p, &Recorder::new()).unwrap();
         let explain = explain_json(&result.report).render();
         for needle in ["search_space", "histograms", "memory", "nodes_expanded"] {
             assert!(explain.contains(needle), "missing {needle}");

@@ -11,6 +11,7 @@
 //! ≤ ε`, which for small ε is `|β_i − β_j| ≲ ε`.
 
 use crate::cluster::Tricluster;
+use crate::error::MineError;
 use crate::miner::{mine, MiningResult};
 use crate::params::Params;
 use tricluster_matrix::{preprocess, Matrix3};
@@ -32,9 +33,14 @@ pub struct ShiftingCluster {
 ///
 /// Values should be of moderate magnitude (`|v| ≲ 700`) or `exp` will
 /// overflow; microarray log-expression data satisfies this by construction.
-pub fn mine_shifting(m: &Matrix3, params: &Params) -> (Vec<ShiftingCluster>, MiningResult) {
+/// Values large enough to overflow `exp` surface as
+/// [`MineError::NonFiniteInput`] on the transformed matrix.
+pub fn mine_shifting(
+    m: &Matrix3,
+    params: &Params,
+) -> Result<(Vec<ShiftingCluster>, MiningResult), MineError> {
     let exped = preprocess::exp_transform(m);
-    let result = mine(&exped, params);
+    let result = mine(&exped, params)?;
     let clusters = result
         .triclusters
         .iter()
@@ -43,7 +49,7 @@ pub fn mine_shifting(m: &Matrix3, params: &Params) -> (Vec<ShiftingCluster>, Min
             sample_offsets: estimate_offsets(m, c),
         })
         .collect();
-    (clusters, result)
+    Ok((clusters, result))
 }
 
 /// Mean additive offset of each cluster sample relative to the first.
@@ -109,7 +115,7 @@ mod tests {
     #[test]
     fn finds_embedded_shifting_cluster() {
         let m = shifting_fixture();
-        let (clusters, _) = mine_shifting(&m, &params());
+        let (clusters, _) = mine_shifting(&m, &params()).unwrap();
         assert_eq!(clusters.len(), 1, "{clusters:?}");
         let c = &clusters[0].cluster;
         assert_eq!(c.genes.to_vec(), vec![0, 1, 2]);
@@ -120,7 +126,7 @@ mod tests {
     #[test]
     fn offsets_recovered() {
         let m = shifting_fixture();
-        let (clusters, _) = mine_shifting(&m, &params());
+        let (clusters, _) = mine_shifting(&m, &params()).unwrap();
         let offs = &clusters[0].sample_offsets;
         assert_eq!(offs.len(), 3);
         assert!((offs[0] - 0.0).abs() < 1e-9);
@@ -139,7 +145,7 @@ mod tests {
                 }
             }
         }
-        let (clusters, _) = mine_shifting(&m, &params());
+        let (clusters, _) = mine_shifting(&m, &params()).unwrap();
         assert!(
             clusters.is_empty(),
             "pure scaling rows must not appear as shifting clusters: {clusters:?}"
@@ -149,7 +155,7 @@ mod tests {
     #[test]
     fn empty_matrix_yields_nothing() {
         let m = Matrix3::zeros(3, 3, 2); // all zeros -> exp = 1 everywhere
-        let (clusters, _) = mine_shifting(&m, &params());
+        let (clusters, _) = mine_shifting(&m, &params()).unwrap();
         // a constant matrix is one big shifting cluster with offsets 0
         assert_eq!(clusters.len(), 1);
         assert!(clusters[0].sample_offsets.iter().all(|o| o.abs() < 1e-12));

@@ -13,6 +13,7 @@
 
 use crate::cluster::{sorted_intersection, Bicluster, Tricluster};
 use crate::coherence::slice_pair_coherent;
+use crate::fault::RunCtrl;
 use crate::params::Params;
 use std::collections::HashSet;
 use tricluster_bitset::BitSet;
@@ -123,6 +124,19 @@ pub fn mine_triclusters_profiled(
     params: &Params,
     collect_hists: bool,
 ) -> (Vec<Tricluster>, bool, TriclusterStats) {
+    mine_triclusters_ctrl(m, per_time, params, collect_hists, &RunCtrl::unbounded())
+}
+
+/// Like [`mine_triclusters_profiled`], under the run control of `ctrl`: the
+/// deadline is polled at every DFS node, truncating the search exactly like
+/// an exhausted candidate budget.
+pub fn mine_triclusters_ctrl(
+    m: &Matrix3,
+    per_time: &[Vec<Bicluster>],
+    params: &Params,
+    collect_hists: bool,
+    ctrl: &RunCtrl,
+) -> (Vec<Tricluster>, bool, TriclusterStats) {
     assert_eq!(
         per_time.len(),
         m.n_times(),
@@ -141,6 +155,7 @@ pub fn mine_triclusters_profiled(
         budget: params.max_candidates,
         truncated: false,
         stats,
+        ctrl,
     };
     let order: Vec<usize> = (0..m.n_times()).collect();
     let all_genes = BitSet::full(m.n_genes());
@@ -158,10 +173,16 @@ struct TriMiner<'a> {
     budget: Option<u64>,
     truncated: bool,
     stats: TriclusterStats,
+    /// Run control: only the deadline is polled here (per DFS node).
+    ctrl: &'a RunCtrl,
 }
 
 impl TriMiner<'_> {
     fn dfs(&mut self, genes: &BitSet, samples: &[usize], pending: &[usize]) {
+        if self.ctrl.token.deadline_exceeded() {
+            self.truncated = true;
+            return;
+        }
         if let Some(b) = &mut self.budget {
             if *b == 0 {
                 self.truncated = true;

@@ -199,7 +199,7 @@ proptest! {
             .min_size(2, 2, 2)
             .build()
             .unwrap();
-        let result = mine(&m, &params);
+        let result = mine(&m, &params).unwrap();
         // soundness at the widened tolerance (extension allows 2ε ranges)
         for c in &result.triclusters {
             prop_assert!(
@@ -216,7 +216,7 @@ proptest! {
             }
         }
         // determinism
-        let again = mine(&m, &params);
+        let again = mine(&m, &params).unwrap();
         prop_assert_eq!(result.triclusters, again.triclusters);
     }
 
@@ -235,7 +235,7 @@ proptest! {
             .build()
             .unwrap();
         let twisted = m.permuted([Axis::Time, Axis::Sample, Axis::Gene]);
-        for c in &mine(&twisted, &params).triclusters {
+        for c in &mine(&twisted, &params).unwrap().triclusters {
             // map back: twisted genes = original times, twisted times =
             // original genes
             let mapped = Tricluster::new(

@@ -1,0 +1,315 @@
+//! Deterministic fault injection for the TriCluster workspace.
+//!
+//! The build environment is fully offline, so — like `crates/rand` and
+//! `crates/proptest` — this is an in-tree stand-in for the usual
+//! `fail`/`failpoints` crates, covering exactly the API surface the
+//! workspace needs.
+//!
+//! A *failpoint* is a named site compiled into production code (e.g.
+//! `"core.bicluster.branch"`). Tests arm a site with an [`Action`] and then
+//! drive the code under test; when execution reaches the site, the action
+//! fires:
+//!
+//! - [`Action::Panic`] panics with a message naming the site,
+//! - [`Action::Error`] hands an error message back to the site (sites
+//!   without an error channel escalate it to a panic),
+//! - [`Action::Delay`] sleeps, then continues normally (used to force
+//!   deadline budgets to fire deterministically).
+//!
+//! Sites fire a bounded number of times ([`configure_times`]) or until
+//! disarmed. All configuration is process-global; tests serialize through
+//! [`scenario`], whose guard clears every site on drop.
+//!
+//! # Zero cost when disabled
+//!
+//! Without the `enabled` cargo feature, [`trigger`] is an inlined function
+//! returning `None` and the registry does not exist — call sites compile to
+//! nothing. The workspace only turns the feature on for test builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// What an armed failpoint does when execution reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with `"failpoint <site>: injected panic"`.
+    Panic,
+    /// Return `"failpoint <site>: injected error"` to the site. Sites with
+    /// no error channel escalate this to a panic carrying the same message.
+    Error,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// An armed site: the action plus how many more times it may fire
+    /// (`None` = unlimited).
+    struct Armed {
+        action: Action,
+        remaining: Option<u64>,
+    }
+
+    /// Number of armed sites; lets `trigger` bail with one atomic load on
+    /// the (overwhelmingly common) nothing-armed path.
+    static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+    fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock_registry() -> MutexGuard<'static, HashMap<String, Armed>> {
+        // A panic injected while the registry lock is held cannot happen
+        // (the lock is released before the action fires), but a panicking
+        // *test* can poison it between calls; recover rather than cascade.
+        registry()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub fn configure(site: &str, action: Action, times: Option<u64>) {
+        if times == Some(0) {
+            return;
+        }
+        let mut map = lock_registry();
+        if map
+            .insert(
+                site.to_owned(),
+                Armed {
+                    action,
+                    remaining: times,
+                },
+            )
+            .is_none()
+        {
+            ARMED_COUNT.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    pub fn disarm(site: &str) {
+        let mut map = lock_registry();
+        if map.remove(site).is_some() {
+            ARMED_COUNT.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    pub fn reset() {
+        let mut map = lock_registry();
+        let n = map.len();
+        map.clear();
+        ARMED_COUNT.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    pub fn trigger(site: &str) -> Option<String> {
+        if ARMED_COUNT.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let action = {
+            let mut map = lock_registry();
+            let armed = map.get_mut(site)?;
+            let action = armed.action.clone();
+            if let Some(n) = &mut armed.remaining {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(site);
+                    ARMED_COUNT.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            action
+        };
+        match action {
+            Action::Panic => panic!("failpoint {site}: injected panic"),
+            Action::Error => Some(format!("failpoint {site}: injected error")),
+            Action::Delay(d) => {
+                std::thread::sleep(d);
+                None
+            }
+        }
+    }
+
+    /// Guard serializing scenario-based tests (see [`super::scenario`]).
+    pub struct Scenario {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for Scenario {
+        fn drop(&mut self) {
+            reset();
+        }
+    }
+
+    pub fn scenario() -> Scenario {
+        static SCENARIO: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = SCENARIO
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        reset();
+        Scenario { _guard: guard }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::Action;
+
+    #[inline(always)]
+    pub fn configure(_site: &str, _action: Action, _times: Option<u64>) {}
+
+    #[inline(always)]
+    pub fn disarm(_site: &str) {}
+
+    #[inline(always)]
+    pub fn reset() {}
+
+    #[inline(always)]
+    pub fn trigger(_site: &str) -> Option<String> {
+        None
+    }
+
+    /// Inert stand-in for the `enabled` scenario guard.
+    pub struct Scenario;
+
+    pub fn scenario() -> Scenario {
+        Scenario
+    }
+}
+
+pub use imp::Scenario;
+
+/// Arms `site` with `action`, firing on every hit until disarmed.
+pub fn configure(site: &str, action: Action) {
+    imp::configure(site, action, None);
+}
+
+/// Arms `site` with `action` for exactly one hit, then disarms it. The tool
+/// for "one poisoned work unit" scenarios.
+pub fn configure_once(site: &str, action: Action) {
+    imp::configure(site, action, Some(1));
+}
+
+/// Arms `site` with `action` for at most `times` hits.
+pub fn configure_times(site: &str, action: Action, times: u64) {
+    imp::configure(site, action, Some(times));
+}
+
+/// Disarms `site` (no-op when not armed).
+pub fn disarm(site: &str) {
+    imp::disarm(site);
+}
+
+/// Disarms every site.
+pub fn reset() {
+    imp::reset();
+}
+
+/// Evaluates the failpoint `site`.
+///
+/// Returns `None` when the site is not armed (or the crate is compiled
+/// without `enabled`) and after a [`Action::Delay`] completes. Returns the
+/// injected error message for [`Action::Error`]. Panics for
+/// [`Action::Panic`].
+#[inline]
+pub fn trigger(site: &str) -> Option<String> {
+    imp::trigger(site)
+}
+
+/// Starts an injection scenario: takes a process-global lock (serializing
+/// concurrent scenario tests) and clears all sites both on entry and when
+/// the returned guard drops, so scenarios cannot leak configuration into
+/// each other. Without the `enabled` feature this is an inert guard.
+pub fn scenario() -> Scenario {
+    imp::scenario()
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod enabled_tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _s = scenario();
+        assert_eq!(trigger("nope"), None);
+    }
+
+    #[test]
+    fn error_action_returns_message_every_hit() {
+        let _s = scenario();
+        configure("site.err", Action::Error);
+        for _ in 0..3 {
+            let msg = trigger("site.err").expect("armed");
+            assert!(msg.contains("site.err"), "{msg}");
+            assert!(msg.contains("injected error"), "{msg}");
+        }
+        disarm("site.err");
+        assert_eq!(trigger("site.err"), None);
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _s = scenario();
+        configure("site.boom", Action::Panic);
+        let err = std::panic::catch_unwind(|| trigger("site.boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("site.boom"), "{msg}");
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let _s = scenario();
+        configure_once("site.once", Action::Error);
+        assert!(trigger("site.once").is_some());
+        assert_eq!(trigger("site.once"), None);
+    }
+
+    #[test]
+    fn times_bounds_the_hit_count() {
+        let _s = scenario();
+        configure_times("site.twice", Action::Error, 2);
+        assert!(trigger("site.twice").is_some());
+        assert!(trigger("site.twice").is_some());
+        assert_eq!(trigger("site.twice"), None);
+        configure_times("site.zero", Action::Error, 0);
+        assert_eq!(trigger("site.zero"), None);
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_continues() {
+        let _s = scenario();
+        configure("site.slow", Action::Delay(Duration::from_millis(5)));
+        let start = std::time::Instant::now();
+        assert_eq!(trigger("site.slow"), None);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn scenario_guard_clears_configuration() {
+        {
+            let _s = scenario();
+            configure("site.leak", Action::Error);
+        }
+        let _s = scenario();
+        assert_eq!(trigger("site.leak"), None);
+    }
+}
+
+#[cfg(all(test, not(feature = "enabled")))]
+mod disabled_tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_inert() {
+        let _s = scenario();
+        configure("site", Action::Panic);
+        assert_eq!(trigger("site"), None);
+        reset();
+    }
+}

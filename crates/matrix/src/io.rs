@@ -29,6 +29,20 @@ pub enum IoError {
     BadNumber {
         /// 1-based line number of the offending row.
         line: usize,
+        /// 1-based data-column number (the gene-name field is column 0).
+        col: usize,
+        /// The raw token.
+        token: String,
+    },
+    /// A cell parsed to an infinite value. Explicit `inf`/`-inf` (and
+    /// overflow spellings like `1e999`) are rejected up front — the miner's
+    /// ratio tests cannot produce meaningful ranges from them — while `NA`,
+    /// `nan`, and empty cells stay legal as missing values.
+    NonFinite {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// 1-based data-column number.
+        col: usize,
         /// The raw token.
         token: String,
     },
@@ -51,9 +65,17 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::BadNumber { line, token } => {
-                write!(f, "line {line}: cannot parse {token:?} as a number")
+            IoError::BadNumber { line, col, token } => {
+                write!(
+                    f,
+                    "line {line}, column {col}: cannot parse {token:?} as a number"
+                )
             }
+            IoError::NonFinite { line, col, token } => write!(
+                f,
+                "line {line}, column {col}: non-finite value {token:?} \
+                 (use NA or an empty field for missing values)"
+            ),
             IoError::RaggedRow {
                 line,
                 expected,
@@ -80,15 +102,27 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-fn parse_cell(tok: &str, line: usize) -> Result<f64, IoError> {
+fn parse_cell(tok: &str, line: usize, col: usize) -> Result<f64, IoError> {
     let t = tok.trim();
     if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("nan") {
         return Ok(f64::NAN);
     }
-    t.parse::<f64>().map_err(|_| IoError::BadNumber {
+    let v = t.parse::<f64>().map_err(|_| IoError::BadNumber {
         line,
+        col,
         token: tok.to_string(),
-    })
+    })?;
+    // `parse` accepts "inf"/"-infinity" and overflows "1e999" to infinity;
+    // both poison ratio mining, so surface them with their position instead.
+    // NaN spellings stay legal above: NaN is the missing-value convention.
+    if v.is_infinite() {
+        return Err(IoError::NonFinite {
+            line,
+            col,
+            token: tok.to_string(),
+        });
+    }
+    Ok(v)
 }
 
 /// Reads a single 2D slice (gene × sample) in the header+rows TSV format.
@@ -97,7 +131,17 @@ fn parse_cell(tok: &str, line: usize) -> Result<f64, IoError> {
 pub fn read_slice_tsv<R: BufRead>(
     reader: R,
 ) -> Result<(Matrix2, Vec<String>, Vec<String>), IoError> {
-    let mut lines = reader.lines().enumerate();
+    read_slice_tsv_from(reader, 0)
+}
+
+/// [`read_slice_tsv`] with reported line numbers offset by `first_line`
+/// (0-based); lets the stacked reader report file-global positions for
+/// errors inside embedded slices.
+fn read_slice_tsv_from<R: BufRead>(
+    reader: R,
+    first_line: usize,
+) -> Result<(Matrix2, Vec<String>, Vec<String>), IoError> {
+    let mut lines = reader.lines().enumerate().map(|(i, l)| (first_line + i, l));
     let (_, header) = loop {
         match lines.next() {
             Some((i, l)) => {
@@ -133,8 +177,8 @@ pub fn read_slice_tsv<R: BufRead>(
             });
         }
         let mut row = Vec::with_capacity(ncols);
-        for v in vals {
-            row.push(parse_cell(v, i + 1)?);
+        for (j, v) in vals.iter().enumerate() {
+            row.push(parse_cell(v, i + 1, j + 1)?);
         }
         genes.push(name);
         rows.push(row);
@@ -156,27 +200,28 @@ pub fn read_stacked_tsv<R: BufRead>(reader: R) -> Result<(Matrix3, Labels), IoEr
     let mut samples: Option<Vec<String>> = None;
 
     let mut current: Vec<String> = Vec::new();
+    let mut current_start = 0usize; // 0-based file line where the slice body begins
     let mut current_time = String::new();
     let mut in_slice = false;
 
+    // parses the buffered slice body, reporting errors at file-global lines
     let finish = |buf: &mut Vec<String>,
-                  time: &str|
+                  start: usize|
      -> Result<Option<(Matrix2, Vec<String>, Vec<String>)>, IoError> {
         if buf.is_empty() {
             return Ok(None);
         }
         let joined = buf.join("\n");
         buf.clear();
-        let (m, g, s) = read_slice_tsv(std::io::Cursor::new(joined))?;
-        let _ = time;
+        let (m, g, s) = read_slice_tsv_from(std::io::Cursor::new(joined), start)?;
         Ok(Some((m, g, s)))
     };
 
-    for line in reader.lines() {
+    for (i, line) in reader.lines().enumerate() {
         let line = line?;
         if let Some(rest) = line.strip_prefix("# time") {
             if in_slice {
-                if let Some((m, g, s)) = finish(&mut current, &current_time)? {
+                if let Some((m, g, s)) = finish(&mut current, current_start)? {
                     check_consistent(&mut genes, &mut samples, &g, &s)?;
                     slices.push(m);
                     times.push(current_time.clone());
@@ -186,6 +231,7 @@ pub fn read_stacked_tsv<R: BufRead>(reader: R) -> Result<(Matrix3, Labels), IoEr
             if current_time.is_empty() {
                 current_time = format!("t{}", times.len());
             }
+            current_start = i + 1;
             in_slice = true;
         } else if in_slice {
             current.push(line);
@@ -193,7 +239,7 @@ pub fn read_stacked_tsv<R: BufRead>(reader: R) -> Result<(Matrix3, Labels), IoEr
         // lines before the first `# time` header are ignored (file preamble)
     }
     if in_slice {
-        if let Some((m, g, s)) = finish(&mut current, &current_time)? {
+        if let Some((m, g, s)) = finish(&mut current, current_start)? {
             check_consistent(&mut genes, &mut samples, &g, &s)?;
             slices.push(m);
             times.push(current_time);
@@ -308,14 +354,82 @@ mod tests {
     }
 
     #[test]
-    fn read_slice_bad_number_reports_line() {
-        let text = "gene\ts0\ng0\toops\n";
+    fn read_slice_bad_number_reports_line_and_column() {
+        let text = "gene\ts0\ts1\ng0\t1.5\toops\n";
         match read_slice_tsv(text.as_bytes()) {
-            Err(IoError::BadNumber { line, token }) => {
-                assert_eq!(line, 2);
+            Err(IoError::BadNumber { line, col, token }) => {
+                assert_eq!((line, col), (2, 2));
                 assert_eq!(token, "oops");
             }
             other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cell_token_conventions() {
+        // missing-value spellings become NaN
+        for missing in ["", "  ", "NA", "na", "NaN", "nan"] {
+            assert!(parse_cell(missing, 1, 1).unwrap().is_nan(), "{missing:?}");
+        }
+        // ordinary numbers parse (with surrounding whitespace)
+        assert_eq!(parse_cell(" -3.5e2 ", 1, 1).unwrap(), -350.0);
+        assert_eq!(parse_cell("0", 1, 1).unwrap(), 0.0);
+        // explicit infinities and overflow spellings are rejected in place
+        for inf in ["inf", "-inf", "Infinity", "-INF", "1e999", "-1e999"] {
+            match parse_cell(inf, 7, 3) {
+                Err(IoError::NonFinite { line, col, token }) => {
+                    assert_eq!((line, col), (7, 3), "{inf:?}");
+                    assert_eq!(token, inf);
+                }
+                other => panic!("expected NonFinite for {inf:?}, got {other:?}"),
+            }
+        }
+        // garbage is a parse error carrying the position
+        match parse_cell("12..5", 4, 9) {
+            Err(IoError::BadNumber { line, col, .. }) => assert_eq!((line, col), (4, 9)),
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_slice_rejects_non_finite_cells() {
+        let text = "gene\ts0\ts1\ng0\t1\t2\ng1\t3\tinf\n";
+        match read_slice_tsv(text.as_bytes()) {
+            Err(IoError::NonFinite { line, col, token }) => {
+                assert_eq!((line, col), (3, 2));
+                assert_eq!(token, "inf");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stacked_errors_report_file_global_lines() {
+        // the bad cell sits in the SECOND slice; its reported line must be
+        // its position in the whole file, not within the embedded slice
+        let text = "# time t0\n\
+                    gene\ts0\n\
+                    ga\t1\n\
+                    \n\
+                    # time t1\n\
+                    gene\ts0\n\
+                    ga\toops\n";
+        match read_stacked_tsv(text.as_bytes()) {
+            Err(IoError::BadNumber { line, col, token }) => {
+                assert_eq!((line, col), (7, 1), "token {token:?}");
+            }
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+        let ragged = "# time t0\ngene\ts0\ts1\nga\t1\t2\n\n# time t1\ngene\ts0\ts1\nga\t1\n";
+        match read_stacked_tsv(ragged.as_bytes()) {
+            Err(IoError::RaggedRow {
+                line,
+                expected,
+                got,
+            }) => {
+                assert_eq!((line, expected, got), (7, 2, 1));
+            }
+            other => panic!("expected RaggedRow, got {other:?}"),
         }
     }
 
@@ -390,9 +504,17 @@ mod tests {
     fn error_display_is_informative() {
         let e = IoError::BadNumber {
             line: 3,
+            col: 2,
             token: "x".into(),
         };
-        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("line 3, column 2"));
+        let e = IoError::NonFinite {
+            line: 5,
+            col: 1,
+            token: "inf".into(),
+        };
+        assert!(e.to_string().contains("line 5, column 1"));
+        assert!(e.to_string().contains("missing"));
         let e = IoError::RaggedRow {
             line: 1,
             expected: 4,

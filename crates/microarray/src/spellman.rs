@@ -294,7 +294,7 @@ mod tests {
             .min_size(2, 2, 2)
             .build()
             .unwrap();
-        let result = mine(&m, &params);
+        let result = mine(&m, &params).unwrap();
         assert!(
             result
                 .triclusters

@@ -41,6 +41,15 @@ impl Json {
         self
     }
 
+    /// Builder form of [`Json::set`] for optional fields: appends the field
+    /// only when `value` is `Some`, so absent sections leave no key behind.
+    pub fn maybe_with(self, key: &str, value: Option<Json>) -> Json {
+        match value {
+            Some(v) => self.with(key, v),
+            None => self,
+        }
+    }
+
     /// Field lookup on an object (`None` for other variants or missing
     /// keys; the first occurrence wins when keys repeat).
     pub fn get(&self, key: &str) -> Option<&Json> {
@@ -70,6 +79,14 @@ impl Json {
         match self {
             Json::U64(v) => Some(*v),
             Json::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }

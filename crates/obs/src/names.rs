@@ -124,3 +124,10 @@ pub const M_ALLOC_SLICES_BYTES: &str = "memory.alloc.slices.bytes";
 pub const M_ALLOC_TRICLUSTERS_BYTES: &str = "memory.alloc.triclusters.bytes";
 /// Bytes allocated during merge/prune and final accounting.
 pub const M_ALLOC_PRUNE_BYTES: &str = "memory.alloc.prune.bytes";
+
+// ---- fault accounting (only emitted when a run degrades) ----------------
+
+/// Isolated worker units (slices, column pairs, DFS branches, phases) that
+/// panicked and were dropped from the run. Absent from clean runs, so their
+/// reports stay byte-identical to builds without the fault layer.
+pub const F_WORKER_FAILURES: &str = "fault.worker_failures";

@@ -33,7 +33,7 @@ fn main() {
         .min_size(3, 2, 2)
         .build()
         .unwrap();
-    let before = mine(&m, &plain);
+    let before = mine(&m, &plain).unwrap();
     describe("without merge/prune", &before.triclusters);
 
     // With the multi-cover deletion rule (η = 0.05): C4's 20 cells are all
@@ -47,7 +47,7 @@ fn main() {
         })
         .build()
         .unwrap();
-    let after = mine(&m, &merged);
+    let after = mine(&m, &merged).unwrap();
     println!();
     describe("with merge/prune (η = 0.05)", &after.triclusters);
     println!(

@@ -42,7 +42,7 @@ fn main() {
             .min_size(40, 4, 2)
             .build()
             .unwrap();
-        let r = mine(&data.matrix, &p);
+        let r = mine(&data.matrix, &p).unwrap();
         let rec = recovery::score(&data.truth, &r.triclusters, 0.7);
         let met = r.metrics(&data.matrix);
         println!(
@@ -62,7 +62,7 @@ fn main() {
             .min_size(mx, my, mz)
             .build()
             .unwrap();
-        let r = mine(&data.matrix, &p);
+        let r = mine(&data.matrix, &p).unwrap();
         let rec = recovery::score(&data.truth, &r.triclusters, 0.7);
         println!(
             "{:>12}  {:>9} {:>6.0}%",
@@ -79,7 +79,7 @@ fn main() {
         .min_size(25, 3, 2)
         .build()
         .unwrap();
-    let before = mine(&data.matrix, &permissive);
+    let before = mine(&data.matrix, &permissive).unwrap();
     println!("  without merge: {} clusters", before.triclusters.len());
     for (eta, gamma) in [(0.1, 0.05), (0.3, 0.15), (0.5, 0.3)] {
         let p = Params::builder()
@@ -88,7 +88,7 @@ fn main() {
             .merge(MergeParams { eta, gamma })
             .build()
             .unwrap();
-        let r = mine(&data.matrix, &p);
+        let r = mine(&data.matrix, &p).unwrap();
         println!(
             "  η={eta:.2} γ={gamma:.2}: {} clusters ({} merged, {} deleted)",
             r.triclusters.len(),
@@ -105,7 +105,7 @@ fn main() {
         .delta_time(0.5)
         .build()
         .unwrap();
-    let r = mine(&data.matrix, &flat_time);
+    let r = mine(&data.matrix, &flat_time).unwrap();
     println!(
         "  {} clusters survive δ^z = 0.5 (synthetic time factors vary, so few/none should)",
         r.triclusters.len()

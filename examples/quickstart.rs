@@ -41,7 +41,7 @@ fn main() {
         .expect("valid parameters");
 
     // 3. Mine.
-    let result = mine(&data.matrix, &params);
+    let result = mine(&data.matrix, &params).unwrap();
     println!(
         "mined {} maximal triclusters in {:?}",
         result.triclusters.len(),

@@ -29,14 +29,14 @@ fn main() {
         .unwrap();
 
     // Plain (scaling) mining sees nothing of that extent…
-    let scaling = mine(&matrix, &params);
+    let scaling = mine(&matrix, &params).unwrap();
     println!(
         "scaling miner on raw log data: {} clusters (additive patterns are invisible)",
         scaling.triclusters.len()
     );
 
     // …but the exp-transform route of Lemma 2 finds both.
-    let (shifting, _) = mine_shifting(&matrix, &params);
+    let (shifting, _) = mine_shifting(&matrix, &params).unwrap();
     println!("shifting miner (Lemma 2): {} clusters", shifting.len());
     for (i, sc) in shifting.iter().enumerate() {
         let (x, y, z) = sc.cluster.shape();

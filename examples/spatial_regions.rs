@@ -28,7 +28,7 @@ fn main() {
         .min_size(25, 3, 3)
         .build()
         .unwrap();
-    let result = mine(&matrix, &params);
+    let result = mine(&matrix, &params).unwrap();
 
     println!("mined {} clusters:", result.triclusters.len());
     for (i, c) in result.triclusters.iter().enumerate() {

@@ -36,7 +36,7 @@ fn main() {
         .unwrap();
 
     let t0 = std::time::Instant::now();
-    let result = mine(&ds.matrix, &params);
+    let result = mine(&ds.matrix, &params).unwrap();
     println!(
         "TriCluster output {} clusters in {:.1?} (paper: 5 clusters in 17.8 s)\n",
         result.triclusters.len(),

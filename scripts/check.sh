@@ -28,6 +28,29 @@ run cargo clippy --workspace --all-targets -- -D warnings
 # tricluster.report/v2 document (validated in-process, no external tools).
 run cargo test --quiet -p tricluster-cli report_json_matches_v2_schema
 
+# Fault-injection gate: every named failpoint site, hit with every action,
+# must degrade into a typed error or a valid truncated subset — never a
+# process abort — and budget-truncated runs must stay deterministic.
+# (These compile tricluster-core with the `failpoints` feature; release
+# binaries compile the sites to nothing.)
+run cargo test --quiet --test fault_injection
+run cargo test --quiet --test cancellation
+
+# Unwrap-budget gate: panics in crates/core are either isolated at worker
+# boundaries or converted to typed errors, so the count of potentially
+# panicking call sites must not creep up. Lower the baseline when you
+# remove some; raising it needs a deliberate edit of the baseline file.
+unwrap_count=$(grep -rEo '\.unwrap\(\)|\.expect\(|panic!\(' crates/core/src | wc -l)
+unwrap_budget=$(tr -dc '0-9' < scripts/unwrap_budget.txt)
+echo
+echo "==> unwrap budget: $unwrap_count potentially panicking call sites in crates/core/src (budget $unwrap_budget)"
+if (( unwrap_count > unwrap_budget )); then
+    echo "error: crates/core/src has $unwrap_count unwrap()/expect(/panic!( call sites," >&2
+    echo "       exceeding the committed budget of $unwrap_budget (scripts/unwrap_budget.txt)." >&2
+    echo "       Prefer typed errors or worker isolation; raise the budget only deliberately." >&2
+    exit 1
+fi
+
 if [[ $fast -eq 0 ]]; then
     # Perf-regression gate: smoke-sized fig7 sweep against the committed
     # baseline. Tolerances are deliberately loose (+100% + 250 ms, memory

@@ -33,7 +33,7 @@
 //!     .min_size(20, 3, 2)
 //!     .build()
 //!     .unwrap();
-//! let result = mine(&data.matrix, &params);
+//! let result = mine(&data.matrix, &params).unwrap();
 //!
 //! // …and every embedded cluster is recovered exactly.
 //! let report = recovery::score(&data.truth, &result.triclusters, 0.99);
@@ -53,7 +53,7 @@ pub mod prelude {
     pub use tricluster_core::{
         classify, cluster_metrics, mine, mine_auto, mine_auto_observed, mine_observed,
         mine_shifting, obs, Bicluster, ClusterType, FanoutLevel, FanoutMode, MergeParams, Metrics,
-        Miner, MiningResult, Params, Tricluster,
+        MineError, Miner, MiningResult, Params, Tricluster, TruncationReason, WorkerFailure,
     };
     pub use tricluster_matrix::{io, preprocess, Axis, Labels, Matrix2, Matrix3};
     pub use tricluster_synth::{generate, recovery, SynthDataset, SynthSpec};

@@ -61,7 +61,7 @@ fn tricluster_finds_both_overlapping_clusters() {
         .min_size(15, 4, 3)
         .build()
         .unwrap();
-    let result = mine(&m, &params);
+    let result = mine(&m, &params).unwrap();
     let report = recovery::score(&truth, &result.triclusters, 0.95);
     assert_eq!(report.recall, 1.0, "{:?}", result.triclusters);
     assert_eq!(report.precision, 1.0);

@@ -79,7 +79,7 @@ fn miner_matches_brute_force_on_planted_matrices() {
     for seed in 0..12u64 {
         let m = random_matrix_with_cluster(seed, 6, 4, 3);
         let params = exact_params(0.02, 2, 2, 2);
-        let mined = view(&mine(&m, &params).triclusters);
+        let mined = view(&mine(&m, &params).unwrap().triclusters);
         let brute = view(&brute::mine_exhaustive(&m, &params));
         assert_eq!(mined, brute, "mismatch at seed {seed}");
     }
@@ -92,7 +92,7 @@ fn miner_matches_brute_force_with_loose_epsilon() {
     for seed in 100..108u64 {
         let m = random_matrix_with_cluster(seed, 5, 4, 3);
         let params = exact_params(0.25, 2, 2, 2);
-        let mined = view(&mine(&m, &params).triclusters);
+        let mined = view(&mine(&m, &params).unwrap().triclusters);
         let brute = view(&brute::mine_exhaustive(&m, &params));
         assert_eq!(mined, brute, "mismatch at seed {seed}");
     }
@@ -113,7 +113,7 @@ fn miner_matches_brute_force_with_deltas() {
             .range_extension(RangeExtension::Off)
             .build()
             .unwrap();
-        let mined = view(&mine(&m, &params).triclusters);
+        let mined = view(&mine(&m, &params).unwrap().triclusters);
         let brute = view(&brute::mine_exhaustive(&m, &params));
         assert_eq!(mined, brute, "mismatch at seed {seed}");
     }
@@ -134,7 +134,7 @@ fn mined_clusters_are_always_sound() {
             .min_times(2)
             .build()
             .unwrap();
-        let result = mine(&m, &params);
+        let result = mine(&m, &params).unwrap();
         for c in &result.triclusters {
             assert!(
                 is_valid_cluster(&m, c, 2.0 * 0.05 + 1e-9, 2.0 * 0.05 + 1e-9, (2, 2, 2)),
@@ -169,7 +169,7 @@ fn completeness_corner_documented() {
         brute.contains(&(vec![0, 1], vec![0, 1], vec![0, 1])),
         "{brute:?}"
     );
-    let mined = view(&mine(&m, &params).triclusters);
+    let mined = view(&mine(&m, &params).unwrap().triclusters);
     // Depending on the per-slice bicluster set, the miner either finds the
     // subset cluster or prunes it; both are acceptable TriCluster behavior.
     for c in &mined {

@@ -66,7 +66,7 @@ fn clusters(result: &MiningResult) -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> 
 }
 
 fn assert_invariant_across_schedules(m: &Matrix3, mk: &dyn Fn(usize, FanoutMode) -> Params) {
-    let baseline = mine_observed(m, &mk(1, FanoutMode::Slice), &Recorder::new());
+    let baseline = mine_observed(m, &mk(1, FanoutMode::Slice), &Recorder::new()).unwrap();
     assert!(
         !baseline.report.histograms.is_empty(),
         "recording sink must collect histograms"
@@ -74,7 +74,7 @@ fn assert_invariant_across_schedules(m: &Matrix3, mk: &dyn Fn(usize, FanoutMode)
     let base_sections = deterministic_sections(&baseline);
     for threads in [1usize, 2, 8] {
         for fanout in [FanoutMode::Auto, FanoutMode::Slice, FanoutMode::Pair] {
-            let r = mine_observed(m, &mk(threads, fanout), &Recorder::new());
+            let r = mine_observed(m, &mk(threads, fanout), &Recorder::new()).unwrap();
             assert_eq!(
                 clusters(&r),
                 clusters(&baseline),
@@ -112,10 +112,10 @@ fn paper_table1_is_thread_and_fanout_invariant() {
 #[test]
 fn auto_fanout_goes_intra_when_workers_outnumber_slices() {
     let m = smoke_matrix();
-    let r = mine(&m, &smoke_params(8, FanoutMode::Auto));
+    let r = mine(&m, &smoke_params(8, FanoutMode::Auto)).unwrap();
     assert_eq!(r.fanout.range_graph, FanoutLevel::Pair);
     assert_eq!(r.fanout.bicluster, FanoutLevel::Branch);
-    let r = mine(&m, &smoke_params(2, FanoutMode::Auto));
+    let r = mine(&m, &smoke_params(2, FanoutMode::Auto)).unwrap();
     assert_eq!(r.fanout.range_graph, FanoutLevel::Slice);
     assert_eq!(r.fanout.bicluster, FanoutLevel::Slice);
 }

@@ -16,7 +16,7 @@ fn loose_params() -> Params {
 fn single_cell_matrix() {
     let mut m = Matrix3::zeros(1, 1, 1);
     m.set(0, 0, 0, 5.0);
-    let result = mine(&m, &loose_params());
+    let result = mine(&m, &loose_params()).unwrap();
     // one gene x one sample x one time is a (trivial) maximal cluster
     assert_eq!(result.triclusters.len(), 1);
     assert_eq!(result.triclusters[0].span_size(), 1);
@@ -25,7 +25,7 @@ fn single_cell_matrix() {
 #[test]
 fn zero_genes() {
     let m = Matrix3::zeros(0, 3, 2);
-    let result = mine(&m, &loose_params());
+    let result = mine(&m, &loose_params()).unwrap();
     assert!(result.triclusters.is_empty());
     assert!(!result.truncated);
 }
@@ -33,14 +33,14 @@ fn zero_genes() {
 #[test]
 fn zero_samples() {
     let m = Matrix3::zeros(4, 0, 2);
-    let result = mine(&m, &loose_params());
+    let result = mine(&m, &loose_params()).unwrap();
     assert!(result.triclusters.is_empty());
 }
 
 #[test]
 fn zero_times() {
     let m = Matrix3::zeros(4, 3, 0);
-    let result = mine(&m, &loose_params());
+    let result = mine(&m, &loose_params()).unwrap();
     assert!(result.triclusters.is_empty());
     assert!(result.per_time_biclusters.is_empty());
 }
@@ -58,7 +58,7 @@ fn single_time_slice() {
         .min_size(2, 2, 1)
         .build()
         .unwrap();
-    let result = mine(&m, &p);
+    let result = mine(&m, &p).unwrap();
     assert_eq!(result.triclusters.len(), 1);
     assert_eq!(result.triclusters[0].shape(), (3, 3, 1));
 }
@@ -75,9 +75,9 @@ fn all_zero_matrix_yields_nothing_beyond_trivial() {
         .min_size(2, 2, 1)
         .build()
         .unwrap();
-    assert!(mine(&m, &p).triclusters.is_empty());
+    assert!(mine(&m, &p).unwrap().triclusters.is_empty());
     // and the vacuous case: each (sample, time) fiber of all genes
-    let trivial = mine(&m, &loose_params());
+    let trivial = mine(&m, &loose_params()).unwrap();
     assert_eq!(trivial.triclusters.len(), 6, "3 samples x 2 times fibers");
     assert!(trivial.triclusters.iter().all(|c| c.samples.len() == 1));
 }
@@ -98,7 +98,7 @@ fn nan_cells_are_skipped() {
         .min_size(2, 2, 2)
         .build()
         .unwrap();
-    let result = mine(&m, &p);
+    let result = mine(&m, &p).unwrap();
     // the NaN cell removes g0 from ranges involving (s0, t0); the clean
     // 2x3x2 block on genes 1,2 must still be found
     assert!(
@@ -127,7 +127,7 @@ fn negative_only_matrix() {
         .min_size(3, 3, 2)
         .build()
         .unwrap();
-    let result = mine(&m, &p);
+    let result = mine(&m, &p).unwrap();
     assert_eq!(result.triclusters.len(), 1);
     assert_eq!(result.triclusters[0].shape(), (3, 3, 2));
 }
@@ -140,7 +140,7 @@ fn thresholds_larger_than_matrix() {
         .min_size(10, 10, 10)
         .build()
         .unwrap();
-    assert!(mine(&m, &p).triclusters.is_empty());
+    assert!(mine(&m, &p).unwrap().triclusters.is_empty());
 }
 
 #[test]
@@ -158,7 +158,7 @@ fn duplicate_columns_cluster_together() {
         .min_size(4, 2, 1)
         .build()
         .unwrap();
-    let result = mine(&m, &p);
+    let result = mine(&m, &p).unwrap();
     assert_eq!(result.triclusters.len(), 1);
     assert_eq!(result.triclusters[0].samples, vec![0, 1]);
 }
@@ -171,7 +171,7 @@ fn metrics_on_empty_result() {
         .min_size(2, 2, 2)
         .build()
         .unwrap();
-    let result = mine(&m, &p);
+    let result = mine(&m, &p).unwrap();
     assert!(result.triclusters.is_empty());
     let met = result.metrics(&m);
     assert_eq!(met.cluster_count, 0);
@@ -191,11 +191,11 @@ fn epsilon_zero_requires_exact_ratios() {
         .min_size(2, 2, 1)
         .build()
         .unwrap();
-    assert!(mine(&m, &p).triclusters.is_empty());
+    assert!(mine(&m, &p).unwrap().triclusters.is_empty());
     let p = Params::builder()
         .epsilon(1e-6)
         .min_size(2, 2, 1)
         .build()
         .unwrap();
-    assert_eq!(mine(&m, &p).triclusters.len(), 1);
+    assert_eq!(mine(&m, &p).unwrap().triclusters.len(), 1);
 }

@@ -36,7 +36,10 @@ fn tsv_roundtrip_preserves_mining_results() {
     assert_eq!(back_labels, labels);
     let mut want = paper_table1_expected();
     want.sort();
-    assert_eq!(view(&mine(&back, &paper_params()).triclusters), want);
+    assert_eq!(
+        view(&mine(&back, &paper_params()).unwrap().triclusters),
+        want
+    );
 }
 
 /// Zeros in the raw file are replaced by preprocessing and the matrix
@@ -53,7 +56,7 @@ fn zero_replacement_enables_mining() {
     assert_eq!(replaced, 2);
     let mut want = paper_table1_expected();
     want.sort();
-    assert_eq!(view(&mine(&m, &paper_params()).triclusters), want);
+    assert_eq!(view(&mine(&m, &paper_params()).unwrap().triclusters), want);
 }
 
 /// Lemma 2 end-to-end: a planted additive cluster is found by
@@ -82,7 +85,7 @@ fn shifting_cluster_pipeline() {
         .min_size(4, 4, 3)
         .build()
         .unwrap();
-    let (shifting, _) = mine_shifting(&m, &params);
+    let (shifting, _) = mine_shifting(&m, &params).unwrap();
     assert_eq!(shifting.len(), 1, "{shifting:?}");
     let c = &shifting[0];
     assert_eq!(c.cluster.genes.to_vec(), vec![0, 1, 2, 3]);
@@ -92,7 +95,7 @@ fn shifting_cluster_pipeline() {
     }
     // the same region is NOT multiplicative-coherent: plain mining at the
     // same ε finds nothing of that extent
-    let plain = mine(&m, &params);
+    let plain = mine(&m, &params).unwrap();
     assert!(
         plain
             .triclusters
@@ -109,7 +112,7 @@ fn shifting_cluster_pipeline() {
 fn auto_transposition_on_time_heavy_matrix() {
     let m = paper_table1(); // 10 x 7 x 2
     let twisted = m.permuted([Axis::Sample, Axis::Time, Axis::Gene]); // 7 x 2 x 10
-    let result = mine_auto(&twisted, &paper_params());
+    let result = mine_auto(&twisted, &paper_params()).unwrap();
     // clusters in twisted coordinates: genes axis holds samples, samples
     // axis holds times, times axis holds genes
     let mut got: Vec<_> = result

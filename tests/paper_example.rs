@@ -25,7 +25,7 @@ fn view(cs: &[Tricluster]) -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
 /// maximal clusters C1, C2, C3 spanning both time slices.
 #[test]
 fn clusters_c1_c2_c3_found_exactly() {
-    let result = mine(&paper_table1(), &paper_params());
+    let result = mine(&paper_table1(), &paper_params()).unwrap();
     let mut want = paper_table1_expected();
     want.sort();
     assert_eq!(view(&result.triclusters), want);
@@ -43,7 +43,7 @@ fn c4_appears_at_my2_and_merge_pass_deletes_it() {
         .min_size(3, 2, 2)
         .build()
         .unwrap();
-    let got = view(&mine(&m, &p_no_merge).triclusters);
+    let got = view(&mine(&m, &p_no_merge).unwrap().triclusters);
     let c4 = (vec![0, 2, 6, 7, 9], vec![1usize, 4], vec![0usize, 1]);
     assert!(got.contains(&c4), "C4 missing without merge pass: {got:?}");
 
@@ -58,7 +58,7 @@ fn c4_appears_at_my2_and_merge_pass_deletes_it() {
         })
         .build()
         .unwrap();
-    let result = mine(&m, &p_merge);
+    let result = mine(&m, &p_merge).unwrap();
     let got = view(&result.triclusters);
     assert!(!got.contains(&c4), "C4 should be deleted: {got:?}");
     let mut want = paper_table1_expected();
@@ -72,7 +72,7 @@ fn c4_appears_at_my2_and_merge_pass_deletes_it() {
 #[test]
 fn metrics_match_hand_computation() {
     let m = paper_table1();
-    let result = mine(&m, &paper_params());
+    let result = mine(&m, &paper_params()).unwrap();
     let met = result.metrics(&m);
     assert_eq!(met.cluster_count, 3);
     assert_eq!(met.element_sum, 72);
@@ -89,7 +89,7 @@ fn metrics_match_hand_computation() {
 #[test]
 fn per_slice_biclusters_match_figure5() {
     let m = paper_table1();
-    let result = mine(&m, &paper_params());
+    let result = mine(&m, &paper_params()).unwrap();
     assert_eq!(result.per_time_biclusters.len(), 2);
     for bcs in &result.per_time_biclusters {
         let mut got: Vec<(Vec<usize>, Vec<usize>)> = bcs
@@ -113,8 +113,8 @@ fn per_slice_biclusters_match_figure5() {
 #[test]
 fn symmetry_lemma_via_mine_auto() {
     let m = paper_table1();
-    let baseline = view(&mine(&m, &paper_params()).triclusters);
-    let auto = view(&mine_auto(&m, &paper_params()).triclusters);
+    let baseline = view(&mine(&m, &paper_params()).unwrap().triclusters);
+    let auto = view(&mine_auto(&m, &paper_params()).unwrap().triclusters);
     assert_eq!(baseline, auto);
 }
 
@@ -127,7 +127,7 @@ fn single_slice_mining() {
         .min_size(3, 3, 1)
         .build()
         .unwrap();
-    let result = mine(&m, &p);
+    let result = mine(&m, &p).unwrap();
     // all clusters span both times (they're coherent across slices), so the
     // maximal set is the same three clusters
     let mut want = paper_table1_expected();

@@ -13,7 +13,7 @@ fn mined() -> (Matrix3, MiningResult) {
         .min_size(3, 3, 2)
         .build()
         .unwrap();
-    let r = mine(&m, &params);
+    let r = mine(&m, &params).unwrap();
     (m, r)
 }
 
@@ -79,7 +79,7 @@ fn normalization_pipeline_compatibility() {
         .min_size(3, 3, 2)
         .build()
         .unwrap();
-    let (shifting, _) = mine_shifting(&logm, &params);
+    let (shifting, _) = mine_shifting(&logm, &params).unwrap();
     assert!(
         shifting
             .iter()

@@ -34,7 +34,7 @@ fn noiseless_recovery_is_perfect() {
     for seed in [1u64, 2, 3] {
         let spec = spec_small(0.0, seed);
         let data = generate(&spec);
-        let result = mine(&data.matrix, &params_for(&spec));
+        let result = mine(&data.matrix, &params_for(&spec)).unwrap();
         let report = recovery::score(&data.truth, &result.triclusters, 0.99);
         assert_eq!(report.recall, 1.0, "seed {seed}: {report:?}");
         assert_eq!(report.precision, 1.0, "seed {seed}: {report:?}");
@@ -45,7 +45,7 @@ fn noiseless_recovery_is_perfect() {
 fn three_percent_noise_recovery() {
     let spec = spec_small(0.03, 11);
     let data = generate(&spec);
-    let result = mine(&data.matrix, &params_for(&spec));
+    let result = mine(&data.matrix, &params_for(&spec)).unwrap();
     let report = recovery::score(&data.truth, &result.triclusters, 0.8);
     assert_eq!(report.recall, 1.0, "{report:?}");
 }
@@ -57,7 +57,7 @@ fn overlapping_clusters_are_recovered() {
         ..spec_small(0.01, 21)
     };
     let data = generate(&spec);
-    let result = mine(&data.matrix, &params_for(&spec));
+    let result = mine(&data.matrix, &params_for(&spec)).unwrap();
     // overlapping clusters can merge into valid bounding regions, so score
     // with a looser threshold: every embedded cluster must be substantially
     // captured by some mined cluster
@@ -86,10 +86,14 @@ fn range_extension_rescues_tight_epsilon() {
         .unwrap();
     let without_ext = base.range_extension(RangeExtension::Off).build().unwrap();
 
-    let rep_on = recovery::score(&data.truth, &mine(&data.matrix, &with_ext).triclusters, 0.8);
+    let rep_on = recovery::score(
+        &data.truth,
+        &mine(&data.matrix, &with_ext).unwrap().triclusters,
+        0.8,
+    );
     let rep_off = recovery::score(
         &data.truth,
-        &mine(&data.matrix, &without_ext).triclusters,
+        &mine(&data.matrix, &without_ext).unwrap().triclusters,
         0.8,
     );
     assert!(
@@ -125,8 +129,8 @@ fn merge_prune_reduces_clutter() {
         })
         .build()
         .unwrap();
-    let n_plain = mine(&data.matrix, &plain).triclusters.len();
-    let result = mine(&data.matrix, &merged);
+    let n_plain = mine(&data.matrix, &plain).unwrap().triclusters.len();
+    let result = mine(&data.matrix, &merged).unwrap();
     assert!(
         result.triclusters.len() <= n_plain,
         "merge pass increased cluster count: {} -> {}",
@@ -143,11 +147,11 @@ fn pipeline_is_deterministic() {
     let spec = spec_small(0.02, 51);
     let a = {
         let d = generate(&spec);
-        mine(&d.matrix, &params_for(&spec)).triclusters
+        mine(&d.matrix, &params_for(&spec)).unwrap().triclusters
     };
     let b = {
         let d = generate(&spec);
-        mine(&d.matrix, &params_for(&spec)).triclusters
+        mine(&d.matrix, &params_for(&spec)).unwrap().triclusters
     };
     assert_eq!(a, b);
 }

@@ -20,7 +20,7 @@ fn paper_params() -> Params {
 #[test]
 fn five_clusters_with_zero_overlap() {
     let ds = yeast::build(&YeastSpec::scaled(1200));
-    let result = mine(&ds.matrix, &paper_params());
+    let result = mine(&ds.matrix, &paper_params()).unwrap();
     // §5.2 table shape: 5 clusters, Coverage == Elements#, Overlap 0.00%
     assert_eq!(result.triclusters.len(), 5);
     let met = result.metrics(&ds.matrix);
@@ -39,7 +39,7 @@ fn five_clusters_with_zero_overlap() {
 #[test]
 fn mined_clusters_have_paper_gene_counts() {
     let ds = yeast::build(&YeastSpec::scaled(1200));
-    let result = mine(&ds.matrix, &paper_params());
+    let result = mine(&ds.matrix, &paper_params()).unwrap();
     let mut sizes: Vec<usize> = result.triclusters.iter().map(|c| c.genes.count()).collect();
     sizes.sort_unstable();
     assert_eq!(sizes, vec![51, 52, 57, 66, 97]);
@@ -49,7 +49,7 @@ fn mined_clusters_have_paper_gene_counts() {
 fn go_enrichment_identifies_marker_terms_per_cluster() {
     let spec = YeastSpec::scaled(1200);
     let ds = yeast::build(&spec);
-    let result = mine(&ds.matrix, &paper_params());
+    let result = mine(&ds.matrix, &paper_params()).unwrap();
     let groups: Vec<Vec<usize>> = ds.embedded.iter().map(|c| c.genes.to_vec()).collect();
     // at 1200 genes (vs the paper's 7679) the default 3-in/8-out markers
     // are not significant for the 97-gene group (expected overlap scales
@@ -91,7 +91,7 @@ fn go_enrichment_identifies_marker_terms_per_cluster() {
 #[test]
 fn labels_resolve_mined_indices() {
     let ds = yeast::build(&YeastSpec::scaled(1200));
-    let result = mine(&ds.matrix, &paper_params());
+    let result = mine(&ds.matrix, &paper_params()).unwrap();
     let c = &result.triclusters[0];
     for g in c.genes.iter().take(3) {
         let name = ds.labels.gene(g);
