@@ -4,7 +4,7 @@
 //! bench diff <baseline.json> <current.json> [--time-tol F] [--time-floor S]
 //!            [--mem-tol F] [--mem-floor BYTES] [--update]
 //! bench determinism <a.json> <b.json>
-//! bench scaling [--json PATH] [--threads N,N,...]
+//! bench scaling [--json PATH] [--threads N,N,...] [--trace-dir DIR]
 //! ```
 //!
 //! `diff` compares two `fig7 --json` documents (normally the committed
@@ -24,11 +24,15 @@
 //! `scaling` mines one fixed few-slice workload at several thread counts
 //! and emits the wall times in the `fig7 --json` schema (x = thread
 //! count), so thread-scaling runs can be archived and diffed like any
-//! other sweep.
+//! other sweep. With `--trace-dir DIR` each point additionally exports a
+//! Chrome Trace Event timeline (`DIR/scaling-threads-N.trace.json`) so the
+//! per-worker schedule behind each wall time can be inspected in Perfetto.
 
 use tricluster_bench::regress::{determinism_diff, diff, Tolerances};
-use tricluster_bench::{measure_threads, scaling_spec};
+use tricluster_bench::{measure_threads_observed, scaling_spec};
 use tricluster_core::obs::json::Json;
+use tricluster_core::obs::timeline::Timeline;
+use tricluster_core::obs::{EventSink, NullSink};
 
 fn main() {
     std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
@@ -184,6 +188,7 @@ fn run_determinism(rest: &[String]) -> i32 {
 
 fn run_scaling(rest: &[String]) -> i32 {
     let mut json_path = None;
+    let mut trace_dir = None;
     let mut thread_counts = vec![1usize, 2, 4, 8];
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -192,12 +197,22 @@ fn run_scaling(rest: &[String]) -> i32 {
                 Some(path) => json_path = Some(path.clone()),
                 None => return usage("--json needs a path"),
             },
+            "--trace-dir" => match it.next() {
+                Some(dir) => trace_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage("--trace-dir needs a directory"),
+            },
             "--threads" => match it.next().map(|s| parse_thread_list(s)) {
                 Some(Ok(list)) => thread_counts = list,
                 Some(Err(e)) => return usage(&e),
                 None => return usage("--threads needs a comma-separated list"),
             },
             other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return 2;
         }
     }
     let spec = scaling_spec();
@@ -208,7 +223,21 @@ fn run_scaling(rest: &[String]) -> i32 {
     println!("threads,seconds,clusters,rg_fanout,bc_fanout");
     let mut points_json = Vec::new();
     for &n in &thread_counts {
-        let p = measure_threads(&spec, n as f64, n);
+        // A fresh timeline per point keeps each trace file to one run.
+        let timeline = trace_dir.as_ref().map(|_| Timeline::new());
+        let sink: &dyn EventSink = match &timeline {
+            Some(t) => t,
+            None => &NullSink,
+        };
+        let p = measure_threads_observed(&spec, n as f64, n, sink);
+        if let (Some(t), Some(dir)) = (&timeline, &trace_dir) {
+            let path = dir.join(format!("scaling-threads-{n}.trace.json"));
+            if let Err(e) = std::fs::write(&path, t.to_chrome_json().render_pretty() + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                return 2;
+            }
+            eprintln!("wrote trace to {}", path.display());
+        }
         println!(
             "{},{:.3},{},{},{}",
             n,
@@ -253,7 +282,7 @@ fn usage(msg: &str) -> i32 {
          bench diff <baseline.json> <current.json> [--time-tol F] [--time-floor SECS] \
          [--mem-tol F] [--mem-floor BYTES] [--update]\n  \
          bench determinism <a.json> <b.json>\n  \
-         bench scaling [--json PATH] [--threads N,N,...]\n({msg})"
+         bench scaling [--json PATH] [--threads N,N,...] [--trace-dir DIR]\n({msg})"
     );
     2
 }

@@ -11,8 +11,8 @@
 pub mod harness;
 
 use std::time::{Duration, Instant};
-use tricluster_core::obs::{alloc, json::Json};
-use tricluster_core::{mine, FanoutDecision, Params, Timings};
+use tricluster_core::obs::{alloc, json::Json, EventSink, NullSink};
+use tricluster_core::{mine_observed, FanoutDecision, Params, Timings};
 use tricluster_synth::{generate, recovery, SynthSpec};
 
 pub mod regress;
@@ -126,12 +126,37 @@ pub fn measure(spec: &SynthSpec, x: f64) -> SweepPoint {
 /// threads; `x` is typically the thread count itself (the `bench scaling`
 /// sweep).
 pub fn measure_threads(spec: &SynthSpec, x: f64, threads: usize) -> SweepPoint {
+    measure_threads_observed(spec, x, threads, &NullSink)
+}
+
+/// Like [`measure_threads`], but mining through `sink` so a benchmark run
+/// can carry observability along — e.g. a [`Timeline`] sink to export a
+/// per-worker trace of each scaling point.
+///
+/// [`Timeline`]: tricluster_core::obs::timeline::Timeline
+pub fn measure_threads_observed(
+    spec: &SynthSpec,
+    x: f64,
+    threads: usize,
+    sink: &dyn EventSink,
+) -> SweepPoint {
     let mut params = fig7_params(spec);
     params.threads = Some(threads);
-    measure_with(spec, x, params)
+    measure_with_observed(spec, x, params, sink)
 }
 
 fn measure_with(spec: &SynthSpec, x: f64, params: Params) -> SweepPoint {
+    measure_with_observed(spec, x, params, &NullSink)
+}
+
+/// The fully general measurement: generates the spec's dataset and mines it
+/// through `sink` with the given parameters.
+pub fn measure_with_observed(
+    spec: &SynthSpec,
+    x: f64,
+    params: Params,
+    sink: &dyn EventSink,
+) -> SweepPoint {
     let data = generate(spec);
     // Reset the allocator's high-water mark after generation so the peak
     // reflects the mine itself, not the dataset build. No-ops without the
@@ -139,7 +164,7 @@ fn measure_with(spec: &SynthSpec, x: f64, params: Params) -> SweepPoint {
     alloc::reset_peak();
     let before = alloc::snapshot();
     let start = Instant::now();
-    let result = mine(&data.matrix, &params).expect("bench inputs are valid");
+    let result = mine_observed(&data.matrix, &params, sink).expect("bench inputs are valid");
     let time = start.elapsed();
     let after = alloc::snapshot();
     let report = recovery::score(&data.truth, &result.triclusters, 0.5);

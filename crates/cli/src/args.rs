@@ -37,6 +37,30 @@ pub fn parse(
             continue;
         }
         if let Some(name) = tok.strip_prefix("--") {
+            // `--name=value`: switches accept an optional inline value
+            // (`--progress=0.5` is both the switch and its setting);
+            // single-value flags accept it as an alternative spelling.
+            if let Some((name, value)) = name.split_once('=') {
+                if switch_flags.contains(&name) {
+                    switches.push(name.to_string());
+                    flags.insert(name.to_string(), vec![value.to_string()]);
+                    i += 1;
+                    continue;
+                }
+                match value_flags.iter().find(|(f, _)| *f == name) {
+                    Some(&(_, 1)) => {
+                        flags.insert(name.to_string(), vec![value.to_string()]);
+                        i += 1;
+                        continue;
+                    }
+                    Some(&(_, arity)) => {
+                        return Err(format!(
+                            "--{name} expects {arity} values; --{name}=... takes only one"
+                        ));
+                    }
+                    None => return Err(format!("unknown flag --{name}")),
+                }
+            }
             if switch_flags.contains(&name) {
                 switches.push(name.to_string());
                 i += 1;
@@ -165,6 +189,27 @@ mod tests {
     fn multi_value_flags() {
         let a = parse(&argv(&["--merge", "0.2", "0.1"]), &[("merge", 2)], &[]).unwrap();
         assert_eq!(a.get_pair_f64("merge").unwrap(), Some((0.2, 0.1)));
+    }
+
+    #[test]
+    fn equals_spelling_for_value_flags_and_switches() {
+        // value flag via `=`
+        let a = parse(&argv(&["--eps=0.02"]), &[("eps", 1)], &[]).unwrap();
+        assert_eq!(a.get_f64("eps").unwrap(), Some(0.02));
+        // switch with optional inline value: both `has` and the value work
+        let a = parse(&argv(&["--progress=0.5"]), &[], &["progress"]).unwrap();
+        assert!(a.has("progress"));
+        assert_eq!(a.get_f64("progress").unwrap(), Some(0.5));
+        // bare switch still has no value
+        let a = parse(&argv(&["--progress"]), &[], &["progress"]).unwrap();
+        assert!(a.has("progress"));
+        assert_eq!(a.get_f64("progress").unwrap(), None);
+        // `=` on a multi-value flag is rejected
+        let e = parse(&argv(&["--merge=0.2"]), &[("merge", 2)], &[]).unwrap_err();
+        assert!(e.contains("--merge"), "{e}");
+        // unknown flag with `=` is rejected by its name
+        let e = parse(&argv(&["--bogus=1"]), &[("eps", 1)], &[]).unwrap_err();
+        assert!(e.contains("--bogus"), "{e}");
     }
 
     #[test]

@@ -4,8 +4,11 @@ use crate::args;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
 use std::time::Duration;
-use tricluster_core::obs::{names, EventSink, JsonLinesSink, NullSink, Recorder, Tee};
+use tricluster_core::obs::progress::{Progress, ProgressSink, ProgressTicker};
+use tricluster_core::obs::timeline::Timeline;
+use tricluster_core::obs::{names, EventSink, Fanout, JsonLinesSink, NullSink, Recorder};
 use tricluster_core::runreport;
 use tricluster_core::{
     cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, FanoutMode,
@@ -54,6 +57,12 @@ MINE OPTIONS:
                    reason, dedup hits, histograms, memory) as JSON on stdout
   --report-json PATH   write the structured run report (spans, counters,
                        histograms, memory, search space) as JSON
+  --trace-out PATH     write a timeline of the run in Chrome Trace Event
+                       format (open in Perfetto or chrome://tracing; one
+                       track per worker thread)
+  --progress[=SECS]    emit live progress snapshots as JSON lines on stderr
+                       every SECS seconds (default 1.0): phase, slices/pairs/
+                       branches done vs. total, candidates, bytes, budgets
 
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
@@ -183,9 +192,10 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
             ("threads", 1),
             ("fanout", 1),
             ("report-json", 1),
+            ("trace-out", 1),
         ],
         &[
-            "shifting", "auto", "names", "csv", "trace", "explain", "-v", "-vv",
+            "shifting", "auto", "names", "csv", "trace", "explain", "progress", "-v", "-vv",
         ],
     )
     .map_err(CliError::Usage)?;
@@ -195,6 +205,46 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         ));
     };
     let params = mine_params_from(&a).map_err(CliError::Usage)?;
+    let verbosity = if a.has("-vv") {
+        2u8
+    } else if a.has("-v") {
+        1
+    } else {
+        0
+    };
+    let report_json = a.get_str("report-json").map(str::to_string);
+    let trace_out = a.get_str("trace-out").map(str::to_string);
+    // `--progress` alone means the default heartbeat; `--progress=SECS`
+    // overrides the interval. Parse (and reject) up front so a bad value is
+    // a usage error before any I/O.
+    let progress_interval = if a.has("progress") {
+        let secs = a
+            .get_f64("progress")
+            .map_err(CliError::Usage)?
+            .unwrap_or(1.0);
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(CliError::Usage(format!(
+                "--progress expects a positive number of seconds, got {secs}"
+            )));
+        }
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    };
+    if a.has("shifting")
+        && (report_json.is_some()
+            || a.has("trace")
+            || a.has("explain")
+            || trace_out.is_some()
+            || progress_interval.is_some())
+    {
+        return Err(CliError::Usage(
+            "--report-json/--trace/--explain/--trace-out/--progress \
+             are not supported with --shifting"
+                .into(),
+        ));
+    }
+
     let file = File::open(path).map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
     let (matrix, labels) = io::read_stacked_tsv(BufReader::new(file))
         .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
@@ -205,22 +255,8 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         matrix.n_times()
     );
 
-    let verbosity = if a.has("-vv") {
-        2u8
-    } else if a.has("-v") {
-        1
-    } else {
-        0
-    };
-    let report_json = a.get_str("report-json").map(str::to_string);
-
     let start = std::time::Instant::now();
     if a.has("shifting") {
-        if report_json.is_some() || a.has("trace") || a.has("explain") {
-            return Err(CliError::Usage(
-                "--report-json/--trace/--explain are not supported with --shifting".into(),
-            ));
-        }
         let (clusters, _) = mine_shifting(&matrix, &params).map_err(CliError::from_mine)?;
         eprintln!(
             "{} shifting clusters in {:?}",
@@ -241,29 +277,73 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     // Trace events stream to stderr as they happen (flushed per event so a
     // killed run keeps its tail); aggregate data comes out of the result's
     // embedded report. Histogram collection costs bucket work on the DFS hot
-    // paths, so it is switched on only when some output will show it.
+    // paths, so it is switched on only when some output will show it. The
+    // timeline and progress sinks are pure discovery vehicles: they record
+    // nothing through the event interface, the miner finds them via
+    // `EventSink::timeline`/`EventSink::progress`.
     let want_hists = report_json.is_some() || a.has("explain") || verbosity >= 2;
     let trace_sink;
-    let tee;
-    let sink: &dyn EventSink = match (a.has("trace"), want_hists) {
-        (true, true) => {
-            trace_sink = JsonLinesSink::stderr();
-            tee = Tee(&trace_sink, &HistogramTap);
-            &tee
+    let timeline = trace_out.as_ref().map(|_| Timeline::new());
+    let progress = progress_interval.map(|_| Arc::new(Progress::new()));
+    let progress_sink;
+    let mut sinks: Vec<&dyn EventSink> = Vec::new();
+    if a.has("trace") {
+        trace_sink = JsonLinesSink::stderr();
+        sinks.push(&trace_sink);
+    }
+    if want_hists {
+        sinks.push(&HistogramTap);
+    }
+    if let Some(t) = &timeline {
+        sinks.push(t);
+    }
+    if let Some(p) = &progress {
+        progress_sink = ProgressSink(p.clone());
+        sinks.push(&progress_sink);
+    }
+    let fanout_sink;
+    let sink: &dyn EventSink = match sinks.len() {
+        0 => &NullSink,
+        1 => sinks[0],
+        _ => {
+            fanout_sink = Fanout(sinks);
+            &fanout_sink
         }
-        (true, false) => {
-            trace_sink = JsonLinesSink::stderr();
-            &trace_sink
-        }
-        (false, true) => &HistogramTap,
-        (false, false) => &NullSink,
+    };
+    // The heartbeat lives exactly as long as the mining call: dropping it
+    // stops the thread after one final snapshot.
+    let ticker = match (&progress, progress_interval) {
+        (Some(p), Some(interval)) => Some(ProgressTicker::start(
+            p.clone(),
+            interval,
+            Box::new(std::io::stderr()),
+        )),
+        _ => None,
     };
     let result = if a.has("auto") {
         mine_auto_observed(&matrix, &params, sink)
     } else {
         mine_observed(&matrix, &params, sink)
+    };
+    drop(ticker);
+    // Write the trace before bailing on a mining error: a partial timeline
+    // is most useful exactly when the run went wrong. The mining error
+    // still wins if both fail.
+    let trace_status = match (&timeline, &trace_out) {
+        (Some(t), Some(out_path)) => {
+            let trace = t.to_chrome_json().render_pretty() + "\n";
+            Some(
+                std::fs::write(out_path, trace)
+                    .map(|()| eprintln!("timeline trace written to {out_path}"))
+                    .map_err(|e| CliError::Run(format!("cannot write {out_path}: {e}"))),
+            )
+        }
+        _ => None,
+    };
+    let result = result.map_err(CliError::from_mine)?;
+    if let Some(status) = trace_status {
+        status?;
     }
-    .map_err(CliError::from_mine)?;
     let truncated_note = match result.truncation {
         Some(reason) => format!(" (TRUNCATED: {} budget exhausted)", reason.as_str()),
         None => String::new(),
@@ -489,9 +569,10 @@ mod tests {
                 ("threads", 1),
                 ("fanout", 1),
                 ("report-json", 1),
+                ("trace-out", 1),
             ],
             &[
-                "shifting", "auto", "names", "csv", "trace", "explain", "-v", "-vv",
+                "shifting", "auto", "names", "csv", "trace", "explain", "progress", "-v", "-vv",
             ],
         )
         .unwrap()
@@ -850,5 +931,127 @@ mod tests {
         assert!(doc.get_path(&["report", "spans"]).is_some());
         // a clean run has no fault section at all
         assert!(doc.get("fault").is_none());
+    }
+
+    /// End-to-end tentpole gate: `mine --trace-out --threads 2` on the
+    /// paper's Table 1 matrix writes a loadable Chrome Trace Event file —
+    /// well-formed events, balanced B/E per track, at least one event per
+    /// pipeline phase, and slice work attributed to a worker track.
+    #[test]
+    fn trace_out_writes_valid_chrome_trace() {
+        use std::collections::HashMap;
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("table1.tsv");
+        {
+            let m = tricluster_core::testdata::paper_table1();
+            let labels = Labels::default_for(m.n_genes(), m.n_samples(), m.n_times());
+            let file = std::fs::File::create(&data).unwrap();
+            let mut w = BufWriter::new(file);
+            io::write_stacked_tsv(&mut w, &m, &labels).unwrap();
+        }
+        let trace_path = dir.join("trace.json");
+        mine(&[
+            data.to_str().unwrap().to_string(),
+            "--threads".into(),
+            "2".into(),
+            "--trace-out".into(),
+            trace_path.to_str().unwrap().into(),
+            "--progress=0.01".into(),
+        ])
+        .unwrap();
+
+        let doc = Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+            Some("ms")
+        );
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+
+        let mut open: HashMap<u64, i64> = HashMap::new(); // tid -> B depth
+        let mut track_names: HashMap<u64, String> = HashMap::new();
+        let mut seen_names: Vec<String> = Vec::new();
+        for ev in events {
+            let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+            let tid = ev.get("tid").and_then(|v| v.as_u64()).expect("tid");
+            let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+            assert_eq!(ev.get("pid").and_then(|v| v.as_u64()), Some(1));
+            match ph {
+                "M" => {
+                    assert_eq!(name, "thread_name");
+                    let label = ev
+                        .get_path(&["args", "name"])
+                        .and_then(|v| v.as_str())
+                        .expect("thread_name label");
+                    track_names.insert(tid, label.to_string());
+                }
+                "B" | "E" | "i" => {
+                    assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some(), "ts");
+                    seen_names.push(name.to_string());
+                    match ph {
+                        "B" => *open.entry(tid).or_insert(0) += 1,
+                        "E" => {
+                            let d = open.entry(tid).or_insert(0);
+                            *d -= 1;
+                            assert!(*d >= 0, "E without B on tid {tid}");
+                        }
+                        _ => {}
+                    }
+                }
+                other => panic!("unexpected ph {other:?}"),
+            }
+        }
+        assert!(open.values().all(|&d| d == 0), "unbalanced B/E: {open:?}");
+        // one event per pipeline phase
+        for phase in [
+            names::SPAN_SLICES_WALL,
+            names::SPAN_RANGE_GRAPH,
+            names::SPAN_BICLUSTER,
+            names::SPAN_TRICLUSTER,
+            names::SPAN_PRUNE,
+            names::T_SLICE,
+        ] {
+            assert!(
+                seen_names.iter().any(|n| n == phase),
+                "no timeline event named {phase}"
+            );
+        }
+        // worker attribution: the main track exists, and under --threads 2
+        // the per-slice work ran on (and is attributed to) worker tracks
+        assert!(
+            track_names.values().any(|l| l.contains("main")),
+            "{track_names:?}"
+        );
+        assert!(
+            track_names.values().any(|l| l.contains("slice")),
+            "no slice worker track: {track_names:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_progress_interval_is_rejected() {
+        for bad in ["--progress=0", "--progress=-1", "--progress=nan"] {
+            let e = mine(&["f.tsv".to_string(), bad.to_string()]).unwrap_err();
+            assert!(
+                matches!(&e, CliError::Usage(m) if m.contains("--progress")),
+                "{bad}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_out_and_progress_rejected_with_shifting() {
+        for extra in [vec!["--trace-out", "t.json"], vec!["--progress"]] {
+            let mut argv = vec!["f.tsv".to_string(), "--shifting".to_string()];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            let e = mine(&argv).unwrap_err();
+            assert!(
+                matches!(&e, CliError::Usage(m) if m.contains("--shifting")),
+                "{e}"
+            );
+        }
     }
 }

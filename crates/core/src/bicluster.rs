@@ -22,7 +22,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::Matrix3;
-use tricluster_obs::{names, EventSink, Histogram};
+use tricluster_obs::{names, timeline, EventSink, Histogram};
 
 /// Value distributions of one bicluster search, collected only on request
 /// (see [`mine_biclusters_profiled`]).
@@ -276,12 +276,16 @@ pub fn mine_biclusters_ctrl(
 
     let all_genes = BitSet::full(n_genes);
     let order: Vec<usize> = (0..n_samples).collect();
+    if let Some(p) = &ctrl.progress {
+        p.add_branches_total(n_samples as u64);
+    }
     let outputs: Vec<BranchOutput> = if budget.is_some() || workers <= 1 || n_samples <= 1 {
         let mut outs = Vec::with_capacity(n_samples);
         for branch in 0..n_samples {
             if ctrl.token.deadline_exceeded() {
                 break;
             }
+            let tl_branch = timeline::span(names::T_BC_BRANCH);
             let out = isolate(
                 &ctrl.faults,
                 "bicluster_branch",
@@ -300,11 +304,18 @@ pub fn mine_biclusters_ctrl(
                     )
                 },
             );
+            drop(tl_branch);
+            if let Some(p) = &ctrl.progress {
+                p.branch_done();
+            }
             // A failed branch consumed an unknowable slice of the budget;
             // charge nothing so the surviving branches keep their shares.
             let Some(out) = out else { continue };
             if let Some(b) = &mut budget {
                 *b -= out.spent;
+            }
+            if let Some(p) = &ctrl.progress {
+                p.add_budget_spent(out.spent);
             }
             outs.push(out);
         }
@@ -316,6 +327,7 @@ pub fn mine_biclusters_ctrl(
             let handles: Vec<_> = (0..workers.min(n_samples))
                 .map(|_| {
                     scope.spawn(|| {
+                        let _tl = ctrl.timeline.as_ref().map(|t| t.attach("branch"));
                         let mut outs = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -325,6 +337,7 @@ pub fn mine_biclusters_ctrl(
                             if ctrl.token.deadline_exceeded() {
                                 break;
                             }
+                            let tl_branch = timeline::span(names::T_BC_BRANCH);
                             let out = isolate(
                                 &ctrl.faults,
                                 "bicluster_branch",
@@ -343,6 +356,10 @@ pub fn mine_biclusters_ctrl(
                                     )
                                 },
                             );
+                            drop(tl_branch);
+                            if let Some(p) = &ctrl.progress {
+                                p.branch_done();
+                            }
                             if let Some(out) = out {
                                 outs.push(out);
                             }
@@ -520,6 +537,9 @@ impl<'a> BranchMiner<'a> {
             InsertOutcome::Inserted { displaced } => {
                 self.stats.recorded += 1;
                 self.stats.replaced += displaced as u64;
+                if let Some(p) = &self.ctrl.progress {
+                    p.candidate_recorded();
+                }
             }
         }
     }

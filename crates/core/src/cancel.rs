@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use tricluster_obs::{names, timeline};
 
 /// Which budget cut a run short. Stable machine-readable names via
 /// [`TruncationReason::as_str`] (these appear in the v2 report).
@@ -83,7 +84,11 @@ impl CancelToken {
             return true;
         }
         if Instant::now() >= deadline {
-            self.deadline_hit.store(true, Ordering::Relaxed);
+            // `swap` so exactly the poll that latches drops the timeline
+            // marker — later polls (and other workers) see `true` here.
+            if !self.deadline_hit.swap(true, Ordering::Relaxed) {
+                timeline::instant(names::T_DEADLINE);
+            }
             return true;
         }
         false
@@ -106,7 +111,9 @@ impl CancelToken {
             return true;
         };
         if total > budget {
-            self.memory_hit.store(true, Ordering::Relaxed);
+            if !self.memory_hit.swap(true, Ordering::Relaxed) {
+                timeline::instant(names::T_MEMORY);
+            }
             return false;
         }
         !self.memory_hit.load(Ordering::Relaxed)

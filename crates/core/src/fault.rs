@@ -13,7 +13,10 @@
 use crate::cancel::CancelToken;
 use crate::params::Params;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use tricluster_obs::progress::Progress;
+use tricluster_obs::timeline::Timeline;
+use tricluster_obs::{names, timeline};
 
 /// Every fault-injection site compiled into this crate, in pipeline order.
 ///
@@ -38,7 +41,11 @@ pub const FAILPOINTS: &[&str] = &[
 /// message, if any. (Panic and delay actions act inside.)
 #[inline]
 pub(crate) fn fail_point(site: &'static str) -> Option<String> {
-    tricluster_failpoint::trigger(site)
+    let hit = tricluster_failpoint::trigger(site);
+    if hit.is_some() {
+        timeline::instant_with(names::T_FAILPOINT, || site.to_owned());
+    }
+    hit
 }
 
 /// Evaluates a failpoint at a site with no error channel: an injected
@@ -47,6 +54,7 @@ pub(crate) fn fail_point(site: &'static str) -> Option<String> {
 #[inline]
 pub(crate) fn fail_point_panic(site: &'static str) {
     if let Some(msg) = tricluster_failpoint::trigger(site) {
+        timeline::instant_with(names::T_FAILPOINT, || site.to_owned());
         panic!("{msg}");
     }
 }
@@ -133,6 +141,14 @@ pub struct RunCtrl {
     pub token: CancelToken,
     /// Worker-failure collector.
     pub faults: FaultLog,
+    /// Live-progress gauges, when the run's sink asked for them (see
+    /// [`EventSink::progress`](tricluster_obs::EventSink::progress)).
+    /// `None` keeps every update site a branch-and-skip.
+    pub progress: Option<Arc<Progress>>,
+    /// The run's timeline, when its sink asked for one — carried here so
+    /// phases without a sink parameter can still attach the worker threads
+    /// they spawn. Cloning shares the journal set (`Arc` inside).
+    pub timeline: Option<Timeline>,
 }
 
 impl RunCtrl {
@@ -143,6 +159,8 @@ impl RunCtrl {
         RunCtrl {
             token: CancelToken::unbounded(),
             faults: FaultLog::propagating(),
+            progress: None,
+            timeline: None,
         }
     }
 
@@ -152,6 +170,8 @@ impl RunCtrl {
         RunCtrl {
             token: CancelToken::new(params.deadline, params.max_memory),
             faults: FaultLog::collecting(),
+            progress: None,
+            timeline: None,
         }
     }
 }
@@ -184,9 +204,11 @@ pub(crate) fn isolate<T>(
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => Some(v),
         Err(payload) => {
+            let unit = unit();
+            timeline::instant_with(names::T_WORKER_FAILURE, || format!("{phase} {unit}"));
             log.record(WorkerFailure {
                 phase,
-                unit: unit(),
+                unit,
                 message: panic_message(payload),
             });
             None

@@ -22,7 +22,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use tricluster_bitset::BitSet;
 use tricluster_matrix::{Axis, Matrix3};
-use tricluster_obs::{alloc, emit, names, Event, EventSink, Histogram, NullSink, RunReport};
+use tricluster_obs::progress::{Phase, Progress};
+use tricluster_obs::{
+    alloc, emit, names, timeline, Event, EventSink, Histogram, NullSink, RunReport,
+};
 
 /// Granularity one phase actually fanned out at (see
 /// [`FanoutMode`] for how the choice is made).
@@ -208,6 +211,12 @@ impl EventSink for ReportSink<'_> {
         self.report.lock().unwrap().add_histogram(name, hist);
         self.inner.histogram(name, hist);
     }
+    fn timeline(&self) -> Option<&tricluster_obs::timeline::Timeline> {
+        self.inner.timeline()
+    }
+    fn progress(&self) -> Option<std::sync::Arc<Progress>> {
+        self.inner.progress()
+    }
 }
 
 /// Heap bytes of a bitset's block storage.
@@ -284,15 +293,20 @@ fn mine_slice(
     ctrl: &RunCtrl,
 ) -> SliceOutput {
     fail_point_panic("core.slice");
+    let _tl_slice = timeline::span_with(names::T_SLICE, || format!("t={t}"));
     let collect_hists = sink.wants_histograms();
     let rg_start = Instant::now();
+    let rg_span = timeline::span(names::SPAN_RANGE_GRAPH);
     let (rg, rg_stats) = build_range_graph_ctrl(m, t, params, sink, rg_workers, ctrl);
+    drop(rg_span);
     let rg_time = rg_start.elapsed();
     let n_ranges = rg.n_ranges();
     let rg_bytes = range_graph_bytes(&rg);
     let bc_start = Instant::now();
+    let bc_span = timeline::span(names::SPAN_BICLUSTER);
     let (biclusters, truncated, bc_stats) =
         mine_biclusters_ctrl(m, &rg, params, collect_hists, bc_workers, ctrl);
+    drop(bc_span);
     let bc_time = bc_start.elapsed();
     emit(sink, || {
         Event::new("miner.slice")
@@ -302,6 +316,9 @@ fn mine_slice(
             .field("range_graph_ns", rg_time.as_nanos() as u64)
             .field("bicluster_ns", bc_time.as_nanos() as u64)
     });
+    if let Some(p) = &ctrl.progress {
+        p.slice_done();
+    }
     SliceOutput {
         t,
         n_ranges,
@@ -386,12 +403,18 @@ pub fn mine_observed(
     sink: &dyn EventSink,
 ) -> Result<MiningResult, MineError> {
     validate_input(m, params)?;
-    let ctrl = RunCtrl::for_params(params);
+    let mut ctrl = RunCtrl::for_params(params);
+    ctrl.progress = sink.progress();
+    ctrl.timeline = sink.timeline().cloned();
     // The matrix itself is the first charge against the memory budget
     // (validate_input guarantees it fits).
     let (ng, ns, nt) = m.dims();
     ctrl.token
         .charge((ng * ns * nt * std::mem::size_of::<f64>()) as u64);
+    if let Some(p) = &ctrl.progress {
+        p.set_budgets(params.deadline, params.max_memory, params.max_candidates);
+        p.set_logical_bytes(ctrl.token.charged_bytes());
+    }
     // Last line of defense: a panic that escapes every isolation boundary
     // (or is raised on the coordinating thread itself) becomes a typed
     // error instead of a process abort.
@@ -425,6 +448,14 @@ fn mine_pipeline(
     let sink = &report_sink;
     // `None` unless the binary installed obs' tracking allocator.
     let alloc_start = alloc::snapshot();
+    // Timeline journaling for the coordinating thread (worker threads
+    // attach inside their spawn closures); a `None` timeline keeps every
+    // ambient record call a thread-local check.
+    let _tl_main = sink.timeline().map(|t| t.attach("main"));
+    if let Some(p) = &ctrl.progress {
+        p.set_phase(Phase::Slices);
+        p.add_slices_total(n_times as u64);
+    }
 
     // Phase 1+2 per slice, fanned out across worker threads. Each worker
     // times its own phases so range-graph vs bicluster CPU time stays
@@ -480,6 +511,7 @@ fn mine_pipeline(
             .field("bicluster", fanout.bicluster.as_str())
             .field("threads", threads)
     });
+    let tl_slices = timeline::span(names::SPAN_SLICES_WALL);
     let mut slices: Vec<SliceOutput> = if slice_workers <= 1 || n_times <= 1 {
         let mut outs = Vec::with_capacity(n_times);
         for t in 0..n_times {
@@ -504,6 +536,7 @@ fn mine_pipeline(
             let handles: Vec<_> = (0..slice_workers)
                 .map(|w| {
                     scope.spawn(move || {
+                        let _tl = sink.timeline().map(|t| t.attach("slice"));
                         (w..n_times)
                             .step_by(slice_workers)
                             .filter_map(|t| {
@@ -527,6 +560,7 @@ fn mine_pipeline(
                 .collect()
         })
     };
+    drop(tl_slices);
     timings.slices_wall = wall_start.elapsed();
 
     // Merge worker outputs in slice order: every counter and span below is
@@ -563,6 +597,9 @@ fn mine_pipeline(
         sink.span(names::SPAN_RANGE_GRAPH, out.rg_time);
         sink.span(names::SPAN_BICLUSTER, out.bc_time);
     }
+    if let Some(p) = &ctrl.progress {
+        p.set_logical_bytes(ctrl.token.charged_bytes());
+    }
     sink.span(names::SPAN_SLICES_WALL, timings.slices_wall);
     rg_total.publish(sink);
     bc_total.publish(sink);
@@ -573,7 +610,11 @@ fn mine_pipeline(
 
     let alloc_after_slices = alloc::snapshot();
 
+    if let Some(p) = &ctrl.progress {
+        p.set_phase(Phase::Tricluster);
+    }
     let tri_start = Instant::now();
+    let tl_tri = timeline::span(names::SPAN_TRICLUSTER);
     // The tricluster DFS has no intra-phase fan-out, so it is isolated at
     // phase granularity: a panic costs the whole phase (no triclusters) but
     // the per-slice biclusters and the report survive.
@@ -587,13 +628,18 @@ fn mine_pipeline(
         },
     )
     .unwrap_or_default();
+    drop(tl_tri);
     truncated |= tri_cut;
     timings.triclusters = tri_start.elapsed();
     sink.span(names::SPAN_TRICLUSTER, timings.triclusters);
     tri_stats.publish(sink);
     let alloc_after_tri = alloc::snapshot();
 
+    if let Some(p) = &ctrl.progress {
+        p.set_phase(Phase::Prune);
+    }
     let prune_start = Instant::now();
+    let tl_prune = timeline::span(names::SPAN_PRUNE);
     let prune_stats = if let Some(merge) = &params.merge {
         // merge_and_prune_observed publishes the prune counters itself. It
         // consumes the triclusters, so a panic mid-phase loses them — the
@@ -617,6 +663,7 @@ fn mine_pipeline(
     } else {
         PruneStats::default()
     };
+    drop(tl_prune);
     timings.prune = prune_start.elapsed();
     sink.span(names::SPAN_PRUNE, timings.prune);
 
@@ -679,6 +726,13 @@ fn mine_pipeline(
     } else {
         None
     };
+    if let Some(reason) = truncation {
+        timeline::instant_with(names::T_TRUNCATED, || reason.as_str().to_owned());
+    }
+    if let Some(p) = &ctrl.progress {
+        p.set_logical_bytes(ctrl.token.charged_bytes());
+        p.set_phase(Phase::Done);
+    }
 
     MiningResult {
         triclusters,

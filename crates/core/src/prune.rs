@@ -21,7 +21,7 @@
 use crate::cluster::Tricluster;
 use crate::params::MergeParams;
 use crate::span;
-use tricluster_obs::{emit, names, Event, EventSink, Histogram, NullSink};
+use tricluster_obs::{emit, names, timeline, Event, EventSink, Histogram, NullSink};
 
 /// Statistics of one [`merge_and_prune`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,6 +60,7 @@ pub fn merge_and_prune_observed(
     let mut extra_pct: Option<Histogram> = sink.wants_histograms().then(Histogram::default);
 
     // --- rule 3: merge to fixpoint ---
+    let tl_merge = timeline::span(names::T_PR_MERGE);
     loop {
         let mut merged_any = false;
         'outer: for i in 0..clusters.len() {
@@ -97,6 +98,8 @@ pub fn merge_and_prune_observed(
     }
     // merging may have produced nested clusters; keep only maximal ones
     clusters = keep_maximal(clusters);
+    drop(tl_merge);
+    let _tl_delete = timeline::span(names::T_PR_DELETE);
 
     // largest-span-first for deterministic deletion order
     clusters.sort_by(|a, b| {

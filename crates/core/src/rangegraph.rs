@@ -17,7 +17,7 @@ use crate::range::{find_ranges_into, RangeKind, RangeScratch, RatioRange, SignGr
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tricluster_graph::MultiGraph;
 use tricluster_matrix::Matrix3;
-use tricluster_obs::{emit, names, Event, EventSink, Histogram, NullSink};
+use tricluster_obs::{emit, names, timeline, Event, EventSink, Histogram, NullSink};
 
 /// The range multigraph of one time slice.
 #[derive(Debug, Clone)]
@@ -300,6 +300,9 @@ pub fn build_range_graph_ctrl(
     let pairs: Vec<(usize, usize)> = (0..n_samples)
         .flat_map(|a| ((a + 1)..n_samples).map(move |b| (a, b)))
         .collect();
+    if let Some(p) = &ctrl.progress {
+        p.add_pairs_total(pairs.len() as u64);
+    }
 
     if workers <= 1 || pairs.len() <= 1 {
         let mut scratch = PairScratch::default();
@@ -308,6 +311,7 @@ pub fn build_range_graph_ctrl(
             if ctrl.token.deadline_exceeded() {
                 break;
             }
+            let tl_pair = timeline::span(names::T_RG_PAIR);
             let computed = isolate(
                 &ctrl.faults,
                 "range_graph_pair",
@@ -325,6 +329,10 @@ pub fn build_range_graph_ctrl(
                     )
                 },
             );
+            drop(tl_pair);
+            if let Some(p) = &ctrl.progress {
+                p.pair_done();
+            }
             match computed {
                 Some(ratios) => {
                     absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink)
@@ -346,6 +354,7 @@ pub fn build_range_graph_ctrl(
         let handles: Vec<_> = (0..workers.min(pairs.len()))
             .map(|_| {
                 scope.spawn(|| {
+                    let _tl = sink.timeline().map(|t| t.attach("pair"));
                     let mut scratch = PairScratch::default();
                     let mut done: Vec<(usize, Vec<RatioRange>, u64)> = Vec::new();
                     loop {
@@ -357,6 +366,7 @@ pub fn build_range_graph_ctrl(
                             break;
                         }
                         let (a, b) = pairs[i];
+                        let tl_pair = timeline::span(names::T_RG_PAIR);
                         let mut out = Vec::new();
                         let computed = isolate(
                             &ctrl.faults,
@@ -375,6 +385,10 @@ pub fn build_range_graph_ctrl(
                                 )
                             },
                         );
+                        drop(tl_pair);
+                        if let Some(p) = &ctrl.progress {
+                            p.pair_done();
+                        }
                         match computed {
                             Some(ratios) => done.push((i, out, ratios)),
                             None => scratch = PairScratch::default(),

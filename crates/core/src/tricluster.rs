@@ -161,6 +161,9 @@ pub fn mine_triclusters_ctrl(
     let all_genes = BitSet::full(m.n_genes());
     let all_samples: Vec<usize> = (0..m.n_samples()).collect();
     miner.dfs(&all_genes, &all_samples, &order);
+    if let Some(p) = &ctrl.progress {
+        p.add_budget_spent(miner.stats.budget_spent);
+    }
     (miner.results, miner.truncated, miner.stats)
 }
 
@@ -274,6 +277,9 @@ impl TriMiner<'_> {
             TriInsertOutcome::Inserted { displaced } => {
                 self.stats.recorded += 1;
                 self.stats.replaced += displaced as u64;
+                if let Some(p) = &self.ctrl.progress {
+                    p.candidate_recorded();
+                }
             }
         }
     }

@@ -23,6 +23,8 @@ pub mod alloc;
 pub mod hist;
 pub mod json;
 pub mod names;
+pub mod progress;
+pub mod timeline;
 
 pub use hist::Histogram;
 
@@ -162,6 +164,19 @@ pub trait EventSink: Sync {
     fn histogram(&self, name: &'static str, hist: &Histogram) {
         let _ = (name, hist);
     }
+
+    /// The timeline this sink wants worker threads to journal into, if
+    /// any. The miner asks once at run start; `None` (the default) keeps
+    /// timeline recording fully disabled.
+    fn timeline(&self) -> Option<&timeline::Timeline> {
+        None
+    }
+
+    /// The progress gauges this sink wants the pipeline to update, if
+    /// any. `None` (the default) keeps every update site a no-op branch.
+    fn progress(&self) -> Option<std::sync::Arc<progress::Progress>> {
+        None
+    }
 }
 
 /// Build an event lazily and deliver it only if the sink wants events.
@@ -213,6 +228,55 @@ impl EventSink for Tee<'_> {
     fn histogram(&self, name: &'static str, hist: &Histogram) {
         self.0.histogram(name, hist);
         self.1.histogram(name, hist);
+    }
+    fn timeline(&self) -> Option<&timeline::Timeline> {
+        self.0.timeline().or_else(|| self.1.timeline())
+    }
+    fn progress(&self) -> Option<std::sync::Arc<progress::Progress>> {
+        self.0.progress().or_else(|| self.1.progress())
+    }
+}
+
+/// Fan a signal out to any number of sinks. Generalizes [`Tee`] for
+/// callers composing a variable sink set (trace stream + histogram tap +
+/// timeline + progress, each independently optional); an empty fan-out
+/// behaves exactly like [`NullSink`].
+pub struct Fanout<'a>(pub Vec<&'a dyn EventSink>);
+
+impl EventSink for Fanout<'_> {
+    fn enabled(&self) -> bool {
+        self.0.iter().any(|s| s.enabled())
+    }
+    fn counter(&self, name: &'static str, delta: u64) {
+        for s in &self.0 {
+            s.counter(name, delta);
+        }
+    }
+    fn span(&self, name: &'static str, elapsed: Duration) {
+        for s in &self.0 {
+            s.span(name, elapsed);
+        }
+    }
+    fn event(&self, event: Event) {
+        for s in &self.0 {
+            if s.enabled() {
+                s.event(event.clone());
+            }
+        }
+    }
+    fn wants_histograms(&self) -> bool {
+        self.0.iter().any(|s| s.wants_histograms())
+    }
+    fn histogram(&self, name: &'static str, hist: &Histogram) {
+        for s in &self.0 {
+            s.histogram(name, hist);
+        }
+    }
+    fn timeline(&self) -> Option<&timeline::Timeline> {
+        self.0.iter().find_map(|s| s.timeline())
+    }
+    fn progress(&self) -> Option<std::sync::Arc<progress::Progress>> {
+        self.0.iter().find_map(|s| s.progress())
     }
 }
 
@@ -401,18 +465,52 @@ impl RunReport {
         ])
     }
 
-    /// Human-readable multi-line rendering: spans (with per-call max and
-    /// p50/p95/p99 when a span fired more than once), then counters, then
-    /// value histograms.
+    /// Total wall-clock this report accounts for: the sum of the
+    /// top-level, non-overlapping pipeline phase spans. Nested spans
+    /// (per-slice range-graph/bicluster CPU views) are excluded so shares
+    /// computed against this add up sensibly. Falls back to the largest
+    /// single span when none of the phase spans were recorded (e.g. a
+    /// hand-built report), so shares are still meaningful.
+    pub fn wall_time(&self) -> Duration {
+        let phases = [
+            names::SPAN_SLICES_WALL,
+            names::SPAN_TRICLUSTER,
+            names::SPAN_PRUNE,
+            names::SPAN_METRICS,
+        ];
+        let wall: Duration = phases.iter().map(|n| self.span_total(n)).sum();
+        if wall > Duration::ZERO {
+            wall
+        } else {
+            self.spans
+                .values()
+                .map(|s| s.total)
+                .max()
+                .unwrap_or_default()
+        }
+    }
+
+    /// Human-readable multi-line rendering: spans (with share-of-wall
+    /// percentage, per-call max, and p50/p95/p99 when a span fired more
+    /// than once), then counters, then value histograms.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
         if !self.spans.is_empty() {
             out.push_str("spans:\n");
             let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            let wall = self.wall_time();
             for (name, s) in &self.spans {
                 let ms = |d: Duration| d.as_secs_f64() * 1e3;
+                let share = if wall > Duration::ZERO {
+                    format!(
+                        "  {:>5.1}%",
+                        100.0 * s.total.as_secs_f64() / wall.as_secs_f64()
+                    )
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "  {name:width$}  {:>10.3} ms  ({} call{}",
+                    "  {name:width$}  {:>10.3} ms{share}  ({} call{}",
                     ms(s.total),
                     s.count,
                     if s.count == 1 { "" } else { "s" },
@@ -528,17 +626,40 @@ impl<W: IoWrite + Send> JsonLinesSink<W> {
     }
 
     /// Flush and reclaim the writer.
+    ///
+    /// Panics if the writer was already taken (it never is outside this
+    /// method) — recovering a poisoned lock instead of propagating keeps
+    /// the writer reclaimable even after a panicking sibling thread.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.lock().unwrap().take().unwrap();
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()
+            .expect("writer taken twice");
         let _ = w.flush();
         w
     }
 
     fn write_json(&self, value: &json::Json) {
-        let mut guard = self.writer.lock().unwrap();
+        // Render the whole line — terminator included — before touching
+        // the writer, then hand it over in a single `write_all`: a panic
+        // while rendering (or between events) can then never leave a
+        // torn half-line in the stream, and drop-time flushing can only
+        // ever emit complete lines.
+        let mut line = value.render();
+        line.push('\n');
+        #[cfg(feature = "failpoints")]
+        if let Some(msg) = tricluster_failpoint::trigger("obs.jsonlines.line") {
+            panic!("{msg}");
+        }
+        let mut guard = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if let Some(w) = guard.as_mut() {
             // A broken pipe on a trace stream should not abort the mine.
-            let _ = writeln!(w, "{}", value.render());
+            let _ = w.write_all(line.as_bytes());
             if self.flush_each {
                 let _ = w.flush();
             }
@@ -555,10 +676,15 @@ impl JsonLinesSink<std::io::Stderr> {
 
 impl<W: IoWrite + Send> Drop for JsonLinesSink<W> {
     fn drop(&mut self) {
-        if let Ok(mut guard) = self.writer.lock() {
-            if let Some(w) = guard.as_mut() {
-                let _ = w.flush();
-            }
+        // Flush even through a poisoned lock: the writer only ever holds
+        // complete lines (see `write_json`), so flushing after a panic is
+        // safe and keeps the trace file intact up to the failure.
+        let mut guard = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(w) = guard.as_mut() {
+            let _ = w.flush();
         }
     }
 }
@@ -873,6 +999,73 @@ mod tests {
         let human = r.render_human();
         assert!(human.contains("histograms:"), "{human}");
         assert!(human.contains("dfs.fanout"), "{human}");
+    }
+
+    #[test]
+    fn human_rendering_shows_share_of_wall() {
+        let mut r = RunReport::new();
+        r.add_span(names::SPAN_SLICES_WALL, Duration::from_millis(75));
+        r.add_span(names::SPAN_TRICLUSTER, Duration::from_millis(20));
+        r.add_span(names::SPAN_PRUNE, Duration::from_millis(5));
+        assert_eq!(r.wall_time(), Duration::from_millis(100));
+        let text = r.render_human();
+        assert!(text.contains(" 75.0%"), "{text}");
+        assert!(text.contains(" 20.0%"), "{text}");
+        assert!(text.contains("  5.0%"), "{text}");
+
+        // without any phase span, shares fall back to the largest span
+        let mut r = RunReport::new();
+        r.add_span("a", Duration::from_millis(40));
+        r.add_span("b", Duration::from_millis(80));
+        let text = r.render_human();
+        assert!(text.contains(" 50.0%"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+
+        // a zero-duration report renders without any share column
+        let mut r = RunReport::new();
+        r.add_span("z", Duration::ZERO);
+        assert!(!r.render_human().contains('%'));
+    }
+
+    #[test]
+    fn fanout_routes_to_all_sinks_and_finds_extensions() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        let tl = timeline::Timeline::new();
+        let ps = progress::ProgressSink(std::sync::Arc::new(progress::Progress::new()));
+        let fan = Fanout(vec![&a, &tl, &ps, &b]);
+        assert!(fan.enabled());
+        assert!(fan.wants_histograms());
+        fan.counter("c", 2);
+        fan.event(Event::new("e"));
+        let mut h = Histogram::default();
+        h.record(1);
+        fan.histogram("h", &h);
+        for rec in [&a, &b] {
+            assert_eq!(rec.snapshot().counter("c"), 2);
+            assert_eq!(rec.take_events().len(), 1);
+            assert!(rec.snapshot().histogram("h").is_some());
+        }
+        assert!(fan.timeline().is_some());
+        assert!(fan.progress().is_some());
+
+        let empty = Fanout(Vec::new());
+        assert!(!empty.enabled());
+        assert!(!empty.wants_histograms());
+        assert!(empty.timeline().is_none());
+        assert!(empty.progress().is_none());
+    }
+
+    #[test]
+    fn tee_forwards_timeline_and_progress() {
+        let tl = timeline::Timeline::new();
+        let ps = progress::ProgressSink(std::sync::Arc::new(progress::Progress::new()));
+        let null = NullSink;
+        assert!(Tee(&null, &tl).timeline().is_some());
+        assert!(Tee(&tl, &null).timeline().is_some());
+        assert!(Tee(&null, &ps).progress().is_some());
+        assert!(Tee(&null, &null).timeline().is_none());
+        assert!(Tee(&null, &null).progress().is_none());
     }
 
     #[test]

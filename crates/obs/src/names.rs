@@ -125,6 +125,34 @@ pub const M_ALLOC_TRICLUSTERS_BYTES: &str = "memory.alloc.triclusters.bytes";
 /// Bytes allocated during merge/prune and final accounting.
 pub const M_ALLOC_PRUNE_BYTES: &str = "memory.alloc.prune.bytes";
 
+// ---- timeline event names (Chrome trace export; never in the report) ----
+//
+// Phase spans on the timeline reuse the `SPAN_*` names above so the trace
+// and the aggregate report speak the same vocabulary; the names below are
+// timeline-only (fine-grained work units and degradation instants).
+
+/// One time slice's range-graph + bicluster work (span; detail `t=<idx>`).
+pub const T_SLICE: &str = "miner.slice";
+/// One range-graph sample-pair computation (span).
+pub const T_RG_PAIR: &str = "rangegraph.pair";
+/// One bicluster DFS root branch (span).
+pub const T_BC_BRANCH: &str = "bicluster.branch";
+/// Merge-to-fixpoint pass of the prune phase (span).
+pub const T_PR_MERGE: &str = "prune.merge_fixpoint";
+/// Deletion passes (rules 1+2) of the prune phase (span).
+pub const T_PR_DELETE: &str = "prune.delete";
+/// Run ended truncated (instant; detail names the reason).
+pub const T_TRUNCATED: &str = "miner.truncated";
+/// Deadline budget tripped (instant, emitted once).
+pub const T_DEADLINE: &str = "cancel.deadline";
+/// Memory budget tripped (instant, emitted once).
+pub const T_MEMORY: &str = "cancel.max_memory";
+/// An isolated work unit panicked and was dropped (instant; detail names
+/// the unit).
+pub const T_WORKER_FAILURE: &str = "fault.worker_failure";
+/// An armed failpoint fired (instant; detail carries the message).
+pub const T_FAILPOINT: &str = "fault.failpoint";
+
 // ---- fault accounting (only emitted when a run degrades) ----------------
 
 /// Isolated worker units (slices, column pairs, DFS branches, phases) that

@@ -1,0 +1,526 @@
+//! Live progress telemetry for long mining runs.
+//!
+//! A [`Progress`] is a bag of relaxed atomic gauges the pipeline bumps as
+//! it discovers and completes work (slices, range-graph pairs, DFS
+//! branches, recorded candidates, charged logical bytes). Nothing ever
+//! reads the gauges on the mining path, and bumping a relaxed atomic
+//! cannot influence scheduling-visible state — so progress reporting can
+//! never perturb the byte-deterministic report sections.
+//!
+//! A [`ProgressTicker`] owns a background thread that snapshots the gauges
+//! every `interval` and writes one JSON line per tick (plus a final line
+//! when stopped), giving `tricluster mine --progress` its heartbeat
+//! without any coordination with the mining threads.
+//!
+//! Discovery: the miner asks its sink for [`EventSink::progress`]; wrap a
+//! `Progress` in a [`ProgressSink`] and compose it into the run's sink
+//! (e.g. via [`Fanout`](crate::Fanout)) to opt a run in. When no sink
+//! answers, the pipeline's `Option<Arc<Progress>>` stays `None` and every
+//! update site is a branch on a `None` — the feature costs nothing when
+//! disabled.
+
+use crate::json::Json;
+use crate::EventSink;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coarse pipeline phase, for the `"phase"` field of a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Before the slice fan-out starts.
+    Init,
+    /// Per-time-slice range-graph construction + bicluster mining.
+    Slices,
+    /// Cross-time tricluster DFS.
+    Tricluster,
+    /// Merge/prune post-processing.
+    Prune,
+    /// Pipeline finished (the final snapshot reports this).
+    Done,
+}
+
+impl Phase {
+    /// Stable lowercase name used in progress JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::Slices => "slices",
+            Phase::Tricluster => "tricluster",
+            Phase::Prune => "prune",
+            Phase::Done => "done",
+        }
+    }
+
+    fn from_index(i: usize) -> Phase {
+        match i {
+            0 => Phase::Init,
+            1 => Phase::Slices,
+            2 => Phase::Tricluster,
+            3 => Phase::Prune,
+            _ => Phase::Done,
+        }
+    }
+}
+
+/// Budget limits mirrored from the run's `CancelToken` configuration, so
+/// snapshots can report proximity to each ceiling.
+#[derive(Debug, Clone, Copy, Default)]
+struct Budgets {
+    deadline: Option<Duration>,
+    max_memory: Option<u64>,
+    max_candidates: Option<u64>,
+}
+
+/// Shared, lock-free-on-the-update-path progress gauges for one run.
+///
+/// All counters are monotone except [`set_logical_bytes`]
+/// (a high-water gauge) and [`set_phase`]. Updates use relaxed atomics;
+/// readers (the ticker thread) only ever observe, never steer.
+///
+/// [`set_logical_bytes`]: Progress::set_logical_bytes
+/// [`set_phase`]: Progress::set_phase
+#[derive(Debug)]
+pub struct Progress {
+    started: Instant,
+    phase: AtomicUsize,
+    slices_total: AtomicU64,
+    slices_done: AtomicU64,
+    pairs_total: AtomicU64,
+    pairs_done: AtomicU64,
+    branches_total: AtomicU64,
+    branches_done: AtomicU64,
+    candidates: AtomicU64,
+    budget_spent: AtomicU64,
+    logical_bytes: AtomicU64,
+    budgets: Mutex<Budgets>,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Progress {
+    pub fn new() -> Self {
+        Progress {
+            started: Instant::now(),
+            phase: AtomicUsize::new(0),
+            slices_total: AtomicU64::new(0),
+            slices_done: AtomicU64::new(0),
+            pairs_total: AtomicU64::new(0),
+            pairs_done: AtomicU64::new(0),
+            branches_total: AtomicU64::new(0),
+            branches_done: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            budget_spent: AtomicU64::new(0),
+            logical_bytes: AtomicU64::new(0),
+            budgets: Mutex::new(Budgets::default()),
+        }
+    }
+
+    /// Mirrors the run's budget configuration into snapshots (called once
+    /// by the miner before work starts).
+    pub fn set_budgets(
+        &self,
+        deadline: Option<Duration>,
+        max_memory: Option<u64>,
+        max_candidates: Option<u64>,
+    ) {
+        *self
+            .budgets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Budgets {
+            deadline,
+            max_memory,
+            max_candidates,
+        };
+    }
+
+    /// Enters a pipeline phase.
+    pub fn set_phase(&self, phase: Phase) {
+        self.phase.store(phase as usize, Ordering::Relaxed);
+    }
+
+    /// Current phase (as last set).
+    pub fn phase(&self) -> Phase {
+        Phase::from_index(self.phase.load(Ordering::Relaxed))
+    }
+
+    /// `n` more time slices were discovered.
+    pub fn add_slices_total(&self, n: u64) {
+        self.slices_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One time slice finished (range graph + biclusters).
+    pub fn slice_done(&self) {
+        self.slices_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` more range-graph sample pairs were discovered.
+    pub fn add_pairs_total(&self, n: u64) {
+        self.pairs_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One range-graph pair was computed.
+    pub fn pair_done(&self) {
+        self.pairs_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` more DFS root branches were discovered.
+    pub fn add_branches_total(&self, n: u64) {
+        self.branches_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One DFS root branch completed.
+    pub fn branch_done(&self) {
+        self.branches_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A candidate cluster was recorded into a maximal store.
+    pub fn candidate_recorded(&self) {
+        self.candidates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` units of the candidate budget were consumed.
+    pub fn add_budget_spent(&self, n: u64) {
+        self.budget_spent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Updates the logical-bytes gauge to the latest charged total.
+    pub fn set_logical_bytes(&self, bytes: u64) {
+        self.logical_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Candidates recorded so far (test hook).
+    pub fn candidates(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+
+    /// One progress snapshot as a JSON object:
+    ///
+    /// ```json
+    /// {"progress":{"elapsed_secs":…,"phase":"slices",
+    ///   "slices":{"done":…,"total":…},"pairs":{…},"branches":{…},
+    ///   "candidates":…,"logical_bytes":…,
+    ///   "budgets":{"deadline":{"limit_secs":…,"used_secs":…,"used_frac":…},…}}}
+    /// ```
+    ///
+    /// Budget entries appear only for budgets the run configured; the
+    /// `budgets` key is omitted when the run is unbounded.
+    pub fn snapshot_json(&self) -> Json {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let pair = |done: &AtomicU64, total: &AtomicU64| {
+            Json::obj()
+                .with("done", Json::U64(load(done)))
+                .with("total", Json::U64(load(total)))
+        };
+        let elapsed = self.started.elapsed();
+        let mut body = Json::obj()
+            .with("elapsed_secs", Json::F64(elapsed.as_secs_f64()))
+            .with("phase", Json::Str(self.phase().as_str().into()))
+            .with("slices", pair(&self.slices_done, &self.slices_total))
+            .with("pairs", pair(&self.pairs_done, &self.pairs_total))
+            .with("branches", pair(&self.branches_done, &self.branches_total))
+            .with("candidates", Json::U64(load(&self.candidates)))
+            .with("logical_bytes", Json::U64(load(&self.logical_bytes)));
+
+        let budgets = *self
+            .budgets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let frac = |used: f64, limit: f64| {
+            if limit > 0.0 {
+                Json::F64((used / limit).min(1.0))
+            } else {
+                Json::F64(1.0)
+            }
+        };
+        let mut budget_obj = Json::obj();
+        let mut any_budget = false;
+        if let Some(deadline) = budgets.deadline {
+            let used = elapsed.as_secs_f64();
+            budget_obj = budget_obj.with(
+                "deadline",
+                Json::obj()
+                    .with("limit_secs", Json::F64(deadline.as_secs_f64()))
+                    .with("used_secs", Json::F64(used))
+                    .with("used_frac", frac(used, deadline.as_secs_f64())),
+            );
+            any_budget = true;
+        }
+        if let Some(limit) = budgets.max_memory {
+            let used = load(&self.logical_bytes);
+            budget_obj = budget_obj.with(
+                "memory",
+                Json::obj()
+                    .with("limit_bytes", Json::U64(limit))
+                    .with("used_bytes", Json::U64(used))
+                    .with("used_frac", frac(used as f64, limit as f64)),
+            );
+            any_budget = true;
+        }
+        if let Some(limit) = budgets.max_candidates {
+            let spent = load(&self.budget_spent);
+            budget_obj = budget_obj.with(
+                "candidates",
+                Json::obj()
+                    .with("limit", Json::U64(limit))
+                    .with("spent", Json::U64(spent))
+                    .with("used_frac", frac(spent as f64, limit as f64)),
+            );
+            any_budget = true;
+        }
+        if any_budget {
+            body = body.with("budgets", budget_obj);
+        }
+        Json::obj().with("progress", body)
+    }
+}
+
+/// Sink wrapper that opts a run into progress telemetry: contributes
+/// nothing to events/counters (`enabled` stays `false`) but answers
+/// [`EventSink::progress`] with its gauges.
+pub struct ProgressSink(pub Arc<Progress>);
+
+impl EventSink for ProgressSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn progress(&self) -> Option<Arc<Progress>> {
+        Some(self.0.clone())
+    }
+}
+
+/// Background heartbeat: snapshots a [`Progress`] every `interval` and
+/// writes one JSON line per tick. Dropping the ticker stops the thread,
+/// emitting one final snapshot first (so short runs still produce a line).
+pub struct ProgressTicker {
+    stop: Option<mpsc::Sender<()>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressTicker {
+    /// Starts the heartbeat thread. Lines go to `out` as
+    /// `snapshot_json().render()` + `'\n'`, written atomically per line
+    /// and flushed; the thread stops on write failure (e.g. closed pipe).
+    pub fn start(
+        progress: Arc<Progress>,
+        interval: Duration,
+        mut out: Box<dyn Write + Send>,
+    ) -> Self {
+        let (stop, ticks) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let mut emit = |progress: &Progress| -> bool {
+                let mut line = progress.snapshot_json().render();
+                line.push('\n');
+                out.write_all(line.as_bytes()).is_ok() && out.flush().is_ok()
+            };
+            loop {
+                match ticks.recv_timeout(interval) {
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if !emit(&progress) {
+                            return;
+                        }
+                    }
+                    // stop requested or the ticker was leaked: final line.
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        let _ = emit(&progress);
+                        return;
+                    }
+                }
+            }
+        });
+        ProgressTicker {
+            stop: Some(stop),
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_phase_and_gauges() {
+        let p = Progress::new();
+        p.set_phase(Phase::Slices);
+        p.add_slices_total(7);
+        p.slice_done();
+        p.slice_done();
+        p.add_pairs_total(45);
+        p.pair_done();
+        p.add_branches_total(10);
+        p.branch_done();
+        p.candidate_recorded();
+        p.set_logical_bytes(1234);
+        let snap = p.snapshot_json();
+        let body = snap.get("progress").expect("progress key");
+        assert_eq!(body.get("phase").and_then(|v| v.as_str()), Some("slices"));
+        assert_eq!(
+            body.get_path(&["slices", "done"]).and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert_eq!(
+            body.get_path(&["slices", "total"]).and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        assert_eq!(
+            body.get_path(&["pairs", "done"]).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(body.get("candidates").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            body.get("logical_bytes").and_then(|v| v.as_u64()),
+            Some(1234)
+        );
+        assert!(body.get("budgets").is_none(), "unbounded run: no budgets");
+        // snapshots render as parseable single-line JSON
+        let text = snap.render();
+        assert!(!text.contains('\n'));
+        assert!(Json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn snapshot_reports_budget_proximity() {
+        let p = Progress::new();
+        p.set_budgets(Some(Duration::from_secs(100)), Some(1000), Some(50));
+        p.set_logical_bytes(250);
+        p.add_budget_spent(25);
+        let snap = p.snapshot_json();
+        let body = snap.get("progress").unwrap();
+        let mem_frac = body
+            .get_path(&["budgets", "memory", "used_frac"])
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((mem_frac - 0.25).abs() < 1e-9, "{mem_frac}");
+        let cand_frac = body
+            .get_path(&["budgets", "candidates", "used_frac"])
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((cand_frac - 0.5).abs() < 1e-9, "{cand_frac}");
+        assert!(body
+            .get_path(&["budgets", "deadline", "limit_secs"])
+            .is_some());
+    }
+
+    #[test]
+    fn used_frac_saturates_at_one() {
+        let p = Progress::new();
+        p.set_budgets(None, Some(100), None);
+        p.set_logical_bytes(5000);
+        let frac = p
+            .snapshot_json()
+            .get_path(&["progress", "budgets", "memory", "used_frac"])
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn progress_sink_is_discoverable_and_silent() {
+        let p = Arc::new(Progress::new());
+        let sink = ProgressSink(p.clone());
+        let dyn_sink: &dyn EventSink = &sink;
+        assert!(!dyn_sink.enabled());
+        let found = dyn_sink.progress().expect("discoverable");
+        found.candidate_recorded();
+        assert_eq!(p.candidates(), 1);
+        assert!(crate::NullSink.progress().is_none());
+    }
+
+    #[test]
+    fn ticker_emits_final_snapshot_on_drop() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let p = Arc::new(Progress::new());
+        {
+            let ticker = ProgressTicker::start(
+                p.clone(),
+                Duration::from_secs(3600), // never ticks on its own
+                Box::new(Shared(buf.clone())),
+            );
+            p.set_phase(Phase::Done);
+            drop(ticker);
+        }
+        let text = String::from_utf8(
+            buf.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone(),
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "exactly the final snapshot: {text:?}");
+        let parsed = Json::parse(lines[0]).expect("valid JSON line");
+        assert_eq!(
+            parsed
+                .get_path(&["progress", "phase"])
+                .and_then(|v| v.as_str()),
+            Some("done")
+        );
+    }
+
+    #[test]
+    fn ticker_emits_periodic_snapshots() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let p = Arc::new(Progress::new());
+        let ticker = ProgressTicker::start(
+            p.clone(),
+            Duration::from_millis(5),
+            Box::new(Shared(buf.clone())),
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        drop(ticker);
+        let text = String::from_utf8(
+            buf.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone(),
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "expected several ticks, got {lines:?}");
+        for line in lines {
+            assert!(Json::parse(line).is_ok(), "torn line: {line:?}");
+        }
+    }
+}

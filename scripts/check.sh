@@ -32,8 +32,10 @@ run cargo test --quiet -p tricluster-cli report_json_matches_v2_schema
 # must degrade into a typed error or a valid truncated subset — never a
 # process abort — and budget-truncated runs must stay deterministic.
 # (These compile tricluster-core with the `failpoints` feature; release
-# binaries compile the sites to nothing.)
+# binaries compile the sites to nothing. The suite includes the JSON-lines
+# torn-line regression: a panic mid-event must never tear the stream.)
 run cargo test --quiet --test fault_injection
+run cargo test --quiet --test fault_injection jsonlines_panic_never_tears_a_line
 run cargo test --quiet --test cancellation
 
 # Unwrap-budget gate: panics in crates/core are either isolated at worker
@@ -66,7 +68,8 @@ if [[ $fast -eq 0 ]]; then
     det_tsv="$(mktemp /tmp/tricluster-det-XXXXXX.tsv)"
     det_t1="$(mktemp /tmp/tricluster-det-t1-XXXXXX.json)"
     det_t4="$(mktemp /tmp/tricluster-det-t4-XXXXXX.json)"
-    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4"' EXIT
+    trace_json="$(mktemp /tmp/tricluster-trace-XXXXXX.json)"
+    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json"' EXIT
     run cargo run --release --quiet -p tricluster-bench --features track-alloc \
         --bin fig7 -- --smoke --json "$smoke_json"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
@@ -85,6 +88,18 @@ if [[ $fast -eq 0 ]]; then
         mine "$det_tsv" --eps 0.012 --threads 4 --report-json "$det_t4"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
         determinism "$det_t1" "$det_t4"
+
+    # Trace-smoke gate: a multi-threaded run with a live timeline and
+    # heartbeat must still exit 0 and leave a non-empty Chrome Trace Event
+    # file (the in-process test trace_out_writes_valid_chrome_trace
+    # validates its structure; this exercises the release binary).
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        mine "$det_tsv" --eps 0.012 --threads 2 --trace-out "$trace_json" --progress=0.1
+    if [[ ! -s "$trace_json" ]] || ! grep -q '"traceEvents"' "$trace_json"; then
+        echo "error: --trace-out produced no usable trace at $trace_json" >&2
+        exit 1
+    fi
+    echo "==> trace smoke: $(grep -c '"ph"' "$trace_json") events in $trace_json"
 fi
 
 echo

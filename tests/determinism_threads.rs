@@ -106,6 +106,70 @@ fn paper_table1_is_thread_and_fanout_invariant() {
     assert_invariant_across_schedules(&m, &table1_params);
 }
 
+/// Timeline tracing and progress telemetry must be pure observers: mining
+/// with a live trace journal and a running heartbeat ticker leaves every
+/// input-determined section byte-identical to a plain run, at every thread
+/// count and fan-out mode.
+#[test]
+fn tracing_and_progress_do_not_perturb_deterministic_sections() {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tricluster::core::obs::progress::{Progress, ProgressSink, ProgressTicker};
+    use tricluster::core::obs::timeline::Timeline;
+    use tricluster::core::obs::Fanout;
+
+    let m = smoke_matrix();
+    let baseline =
+        mine_observed(&m, &smoke_params(1, FanoutMode::Slice), &Recorder::new()).unwrap();
+    let base_sections = deterministic_sections(&baseline);
+    for threads in [1usize, 2, 8] {
+        for fanout in [FanoutMode::Auto, FanoutMode::Slice, FanoutMode::Pair] {
+            let recorder = Recorder::new();
+            let timeline = Timeline::new();
+            let progress = Arc::new(Progress::new());
+            let progress_sink = ProgressSink(progress.clone());
+            let sink = Fanout(vec![&recorder, &timeline, &progress_sink]);
+            // An aggressive heartbeat (1 ms) maximises the chance of racing
+            // the miner; its output goes nowhere.
+            let ticker = ProgressTicker::start(
+                progress.clone(),
+                Duration::from_millis(1),
+                Box::new(std::io::sink()),
+            );
+            let r = mine_observed(&m, &smoke_params(threads, fanout), &sink).unwrap();
+            drop(ticker);
+            assert_eq!(
+                clusters(&r),
+                clusters(&baseline),
+                "clusters differ under tracing at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                r.report.counter_map(),
+                baseline.report.counter_map(),
+                "counters differ under tracing at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                deterministic_sections(&r),
+                base_sections,
+                "report sections differ under tracing at threads={threads} fanout={fanout:?}"
+            );
+            // the observers actually observed: the timeline journalled work
+            // and the gauges saw every slice
+            let journals = timeline.journals();
+            assert!(
+                journals.iter().any(|j| !j.events.is_empty()),
+                "timeline recorded nothing at threads={threads} fanout={fanout:?}"
+            );
+            let snapshot = progress.snapshot_json().render();
+            assert!(
+                snapshot.contains("\"phase\":\"done\"")
+                    && snapshot.contains("\"slices\":{\"done\":5,\"total\":5}"),
+                "progress gauges never moved: {snapshot}"
+            );
+        }
+    }
+}
+
 /// The smoke workload actually exercises the intra-slice paths: at 8
 /// threads over 5 slices, Auto must pick pair-level range graphs and
 /// branch-level DFS.

@@ -264,6 +264,62 @@ fn disarmed_failpoints_leave_no_trace() {
     assert_eq!(one, render(8));
 }
 
+/// A panic raised mid-event — after rendering a JSON line but before it
+/// reaches the writer — must never tear the stream: every byte that does
+/// come out is complete lines of valid JSON, and the sink keeps working
+/// after recovering the poisoned lock.
+#[test]
+fn jsonlines_panic_never_tears_a_line() {
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+    use tricluster::core::obs::json::Json;
+    use tricluster::core::obs::{EventSink, JsonLinesSink};
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let _s = failpoint::scenario();
+    let sink = JsonLinesSink::new(SharedBuf(buf.clone()));
+    sink.counter("before", 1);
+    failpoint::configure_once("obs.jsonlines.line", Action::Panic);
+    let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sink.counter("poisoned", 2);
+    }));
+    assert!(hit.is_err(), "armed failpoint must panic");
+    // the sink still accepts events after the panic...
+    sink.counter("after", 3);
+    drop(sink);
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    // ...and the stream holds only complete, parseable lines: the
+    // panicked event is wholly absent, not half-written
+    assert!(text.ends_with('\n'), "torn tail: {text:?}");
+    let names: Vec<String> = text
+        .lines()
+        .map(|line| {
+            let doc =
+                Json::parse(line).unwrap_or_else(|e| panic!("torn/invalid line {line:?}: {e}"));
+            doc.get("counter")
+                .and_then(|v| v.as_str())
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(names, ["before", "after"], "{text:?}");
+}
+
 /// A lost prune phase degrades to "no clusters survived post-processing" —
 /// flagged, recorded, and still a well-formed result.
 #[test]
