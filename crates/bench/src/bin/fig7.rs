@@ -13,7 +13,9 @@
 //!
 //! `--smoke` replaces the six paper sweeps with a fixed miniature pair that
 //! finishes in seconds — the workload behind the committed
-//! `BENCH_baseline.json` that `bench diff` gates against.
+//! `BENCH_baseline.json` that `bench diff` gates against. `--ledger DIR`
+//! archives the sweep document into a run ledger (kind `bench`), browsable
+//! with `tricluster runs`.
 //!
 //! Expected shapes (paper §5.1): (a) ~linear in genes, (b) exponential in
 //! samples, (c) ~linear in time slices over this range, (d) linear in
@@ -21,6 +23,7 @@
 
 use tricluster_bench::{fig7_smoke_sweeps, fig7_sweeps, full_scale, measure};
 use tricluster_core::obs::json::Json;
+use tricluster_core::obs::ledger::{content_hash, Ledger, NewEntry};
 
 /// With `--features track-alloc`, measure heap usage so sweep points carry
 /// `peak_live_bytes`/`alloc_bytes` and the regression gate covers memory.
@@ -32,6 +35,7 @@ static ALLOC: tricluster_core::obs::alloc::TrackingAlloc =
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = None;
+    let mut ledger_dir = None;
     let mut smoke = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -39,6 +43,10 @@ fn main() {
             "--json" => match it.next() {
                 Some(path) => json_path = Some(path.clone()),
                 None => usage("--json needs a path"),
+            },
+            "--ledger" => match it.next() {
+                Some(dir) => ledger_dir = Some(dir.clone()),
+                None => usage("--ledger needs a directory"),
             },
             "--smoke" => smoke = true,
             other => usage(&format!("unknown argument {other:?}")),
@@ -77,20 +85,44 @@ fn main() {
                 .with("points", Json::Arr(points_json)),
         );
     }
-    if let Some(path) = json_path {
+    if json_path.is_some() || ledger_dir.is_some() {
         let doc = Json::obj()
             .with("schema", Json::Str("tricluster.fig7/v2".into()))
             .with("scale", Json::Str(label.into()))
             .with("sweeps", Json::Arr(sweeps_json));
-        if let Err(e) = std::fs::write(&path, doc.render_pretty() + "\n") {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, doc.render_pretty() + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote per-phase JSON to {path}");
         }
-        eprintln!("wrote per-phase JSON to {path}");
+        if let Some(dir) = ledger_dir {
+            // Sweep inputs are generated in-process, so the "dataset" hash
+            // covers the sweep family and scale instead of file bytes.
+            let archived = Ledger::open(&dir).and_then(|ledger| {
+                ledger.archive(&NewEntry {
+                    kind: "bench",
+                    label: Some(format!("fig7 ({label})")),
+                    dataset_hash: content_hash(format!("fig7/{label}").as_bytes()),
+                    params_hash: content_hash(doc.get("scale").unwrap().render().as_bytes()),
+                    report: &doc,
+                    trace: None,
+                    flame: None,
+                })
+            });
+            match archived {
+                Ok(id) => eprintln!("sweep archived as {id} in {dir}"),
+                Err(e) => {
+                    eprintln!("cannot archive sweep in {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("usage: fig7 [--smoke] [--json PATH] ({msg})");
+    eprintln!("usage: fig7 [--smoke] [--json PATH] [--ledger DIR] ({msg})");
     std::process::exit(2);
 }

@@ -11,6 +11,7 @@
 //! `track-alloc` builds).
 
 use tricluster_core::obs::json::Json;
+use tricluster_core::obs::ledger::exceeds;
 
 /// Allowed headroom over the baseline before a value counts as a
 /// regression: `current > baseline * (1 + rel) + floor`.
@@ -120,8 +121,7 @@ fn compare_point(
     out: &mut Vec<Regression>,
 ) -> Result<(), String> {
     let mut check_time = |metric: String, b: f64, c: f64| {
-        let allowed = b * (1.0 + tol.time_rel) + tol.time_floor_secs;
-        if c > allowed {
+        if let Some(allowed) = exceeds(b, c, tol.time_rel, tol.time_floor_secs) {
             out.push(Regression {
                 metric,
                 baseline: b,
@@ -160,8 +160,8 @@ fn compare_point(
         base.get("peak_live_bytes").and_then(Json::as_u64),
         cur.get("peak_live_bytes").and_then(Json::as_u64),
     ) {
-        let allowed = b as f64 * (1.0 + tol.mem_rel) + tol.mem_floor_bytes as f64;
-        if c as f64 > allowed {
+        if let Some(allowed) = exceeds(b as f64, c as f64, tol.mem_rel, tol.mem_floor_bytes as f64)
+        {
             out.push(Regression {
                 metric: format!("{figure}[{i}].peak_live_bytes"),
                 baseline: b as f64,

@@ -24,7 +24,17 @@ pub fn parse(
 ) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut flags: HashMap<String, Vec<String>> = HashMap::new();
-    let mut switches = Vec::new();
+    let mut switches: Vec<String> = Vec::new();
+    // Repeating a flag is rejected rather than silently last-wins: a
+    // command line with `--threads 2 ... --threads 8` is almost always an
+    // editing accident, and which value applied was previously invisible.
+    let seen = |switches: &[String], flags: &HashMap<String, Vec<String>>, name: &str| {
+        if switches.iter().any(|s| s == name) || flags.contains_key(name) {
+            Err(format!("--{name} given more than once"))
+        } else {
+            Ok(())
+        }
+    };
     let mut i = 0;
     while i < argv.len() {
         let tok = &argv[i];
@@ -32,6 +42,9 @@ pub fn parse(
         // else starting with a single dash stays positional for
         // compatibility (negative numbers, `-`-prefixed paths).
         if !tok.starts_with("--") && switch_flags.contains(&tok.as_str()) {
+            if switches.contains(tok) {
+                return Err(format!("{tok} given more than once"));
+            }
             switches.push(tok.clone());
             i += 1;
             continue;
@@ -42,6 +55,7 @@ pub fn parse(
             // single-value flags accept it as an alternative spelling.
             if let Some((name, value)) = name.split_once('=') {
                 if switch_flags.contains(&name) {
+                    seen(&switches, &flags, name)?;
                     switches.push(name.to_string());
                     flags.insert(name.to_string(), vec![value.to_string()]);
                     i += 1;
@@ -49,6 +63,7 @@ pub fn parse(
                 }
                 match value_flags.iter().find(|(f, _)| *f == name) {
                     Some(&(_, 1)) => {
+                        seen(&switches, &flags, name)?;
                         flags.insert(name.to_string(), vec![value.to_string()]);
                         i += 1;
                         continue;
@@ -62,6 +77,7 @@ pub fn parse(
                 }
             }
             if switch_flags.contains(&name) {
+                seen(&switches, &flags, name)?;
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -69,6 +85,7 @@ pub fn parse(
             let Some(&(_, arity)) = value_flags.iter().find(|(f, _)| *f == name) else {
                 return Err(format!("unknown flag --{name}"));
             };
+            seen(&switches, &flags, name)?;
             let mut values = Vec::with_capacity(arity);
             for k in 0..arity {
                 let Some(v) = argv.get(i + 1 + k) else {
@@ -210,6 +227,44 @@ mod tests {
         // unknown flag with `=` is rejected by its name
         let e = parse(&argv(&["--bogus=1"]), &[("eps", 1)], &[]).unwrap_err();
         assert!(e.contains("--bogus"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        // value flag repeated
+        let e = parse(
+            &argv(&["--threads", "2", "--threads", "8"]),
+            &[("threads", 1)],
+            &[],
+        )
+        .unwrap_err();
+        assert!(
+            e.contains("--threads") && e.contains("more than once"),
+            "{e}"
+        );
+        // mixed spellings of the same flag
+        let e = parse(&argv(&["--eps=0.01", "--eps", "0.02"]), &[("eps", 1)], &[]).unwrap_err();
+        assert!(e.contains("--eps"), "{e}");
+        // long switch repeated
+        let e = parse(&argv(&["--auto", "--auto"]), &[], &["auto"]).unwrap_err();
+        assert!(e.contains("--auto"), "{e}");
+        // switch-with-inline-value repeated as bare switch
+        let e = parse(&argv(&["--progress=0.5", "--progress"]), &[], &["progress"]).unwrap_err();
+        assert!(e.contains("--progress"), "{e}");
+        // short switch repeated
+        let e = parse(&argv(&["-v", "-v"]), &[], &["-v"]).unwrap_err();
+        assert!(e.contains("-v"), "{e}");
+        // multi-value flag repeated
+        let e = parse(
+            &argv(&["--merge", "0.2", "0.1", "--merge", "0.3", "0.1"]),
+            &[("merge", 2)],
+            &[],
+        )
+        .unwrap_err();
+        assert!(e.contains("--merge"), "{e}");
+        // distinct short switches still coexist
+        let a = parse(&argv(&["-v", "-vv"]), &[], &["-v", "-vv"]).unwrap();
+        assert!(a.has("-v") && a.has("-vv"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `mine`, `synth`, and `demo` subcommands.
+//! The `mine`, `synth`, `demo`, and `runs` subcommands.
 
 use crate::args;
 use std::fmt;
@@ -6,6 +6,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 use std::time::Duration;
+use tricluster_core::obs::json::Json;
+use tricluster_core::obs::ledger::{
+    content_hash, diff_reports, DiffTolerances, IndexEntry, Ledger, NewEntry,
+};
 use tricluster_core::obs::progress::{Progress, ProgressSink, ProgressTicker};
 use tricluster_core::obs::timeline::Timeline;
 use tricluster_core::obs::{names, EventSink, Fanout, JsonLinesSink, NullSink, Recorder};
@@ -24,6 +28,7 @@ USAGE:
   tricluster mine <stacked.tsv> [options]     mine a stacked-TSV 3D matrix
   tricluster synth <out.tsv> [options]        generate synthetic data
   tricluster demo                             run the paper's Table 1 example
+  tricluster runs <subcommand> ...            inspect an archived run ledger
 
 MINE OPTIONS:
   --eps E          maximum ratio threshold ε             (default 0.01)
@@ -60,6 +65,12 @@ MINE OPTIONS:
   --trace-out PATH     write a timeline of the run in Chrome Trace Event
                        format (open in Perfetto or chrome://tracing; one
                        track per worker thread)
+  --flame-out PATH     write the run's timeline as folded flamegraph stacks
+                       (`phase;span;span N` self-time lines in microseconds,
+                       loadable by inferno, speedscope, flamegraph.pl)
+  --ledger DIR         archive the run (v2 report, timeline artifacts when
+                       traced, dataset/params content hashes, build metadata)
+                       into the append-only run ledger at DIR
   --progress[=SECS]    emit live progress snapshots as JSON lines on stderr
                        every SECS seconds (default 1.0): phase, slices/pairs/
                        branches done vs. total, candidates, bytes, budgets
@@ -67,6 +78,20 @@ MINE OPTIONS:
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
   --noise F --overlap F --seed N
+
+RUNS SUBCOMMANDS (over a --ledger DIR archive):
+  runs list <DIR> [--ids]            list archived runs (--ids: ids only)
+  runs show <DIR> <ID> [--json]      summarize one run (--json: raw report);
+                                     ID may be any unique id prefix
+  runs diff <DIR> <BASE> <CURRENT>   compare two archived mine runs metric by
+                                     metric with regression verdicts; exits 1
+                                     when any metric regresses. Tolerances:
+                                     --time-tol R (default 0.5), --time-floor
+                                     SECS (0.05), --mem-tol R (0.25),
+                                     --mem-floor BYTES[K/M/G] (1M)
+  runs top <DIR> [--metric KEY] [--limit N]
+                                     rank runs by a dotted report metric
+                                     (default timings.total_secs)
 
 EXIT CODES:
   0   success (including budget-truncated runs, which are reported as such)
@@ -193,6 +218,8 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
             ("fanout", 1),
             ("report-json", 1),
             ("trace-out", 1),
+            ("flame-out", 1),
+            ("ledger", 1),
         ],
         &[
             "shifting", "auto", "names", "csv", "trace", "explain", "progress", "-v", "-vv",
@@ -214,6 +241,8 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     };
     let report_json = a.get_str("report-json").map(str::to_string);
     let trace_out = a.get_str("trace-out").map(str::to_string);
+    let flame_out = a.get_str("flame-out").map(str::to_string);
+    let ledger_dir = a.get_str("ledger").map(str::to_string);
     // `--progress` alone means the default heartbeat; `--progress=SECS`
     // overrides the interval. Parse (and reject) up front so a bad value is
     // a usage error before any I/O.
@@ -236,10 +265,12 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
             || a.has("trace")
             || a.has("explain")
             || trace_out.is_some()
+            || flame_out.is_some()
+            || ledger_dir.is_some()
             || progress_interval.is_some())
     {
         return Err(CliError::Usage(
-            "--report-json/--trace/--explain/--trace-out/--progress \
+            "--report-json/--trace/--explain/--trace-out/--flame-out/--ledger/--progress \
              are not supported with --shifting"
                 .into(),
         ));
@@ -283,7 +314,7 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     // `EventSink::timeline`/`EventSink::progress`.
     let want_hists = report_json.is_some() || a.has("explain") || verbosity >= 2;
     let trace_sink;
-    let timeline = trace_out.as_ref().map(|_| Timeline::new());
+    let timeline = (trace_out.is_some() || flame_out.is_some()).then(Timeline::new);
     let progress = progress_interval.map(|_| Arc::new(Progress::new()));
     let progress_sink;
     let mut sinks: Vec<&dyn EventSink> = Vec::new();
@@ -340,8 +371,21 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         }
         _ => None,
     };
+    // The folded flamegraph gets the same treatment: written from whatever
+    // the timeline captured even when mining failed.
+    let flame_status = match (&timeline, &flame_out) {
+        (Some(t), Some(out_path)) => Some(
+            std::fs::write(out_path, t.to_folded())
+                .map(|()| eprintln!("folded flamegraph stacks written to {out_path}"))
+                .map_err(|e| CliError::Run(format!("cannot write {out_path}: {e}"))),
+        ),
+        _ => None,
+    };
     let result = result.map_err(CliError::from_mine)?;
     if let Some(status) = trace_status {
+        status?;
+    }
+    if let Some(status) = flame_status {
         status?;
     }
     let truncated_note = match result.truncation {
@@ -361,9 +405,10 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         print_verbose(&result, verbosity);
     }
     // Metrics are computed once: observedly (so the report JSON carries the
-    // metrics span/counters) when a report is requested, plainly otherwise.
+    // metrics span/counters) when any report consumer is present — the
+    // `--report-json` file or a `--ledger` archive — plainly otherwise.
     let mut report = result.report.clone();
-    let met = if report_json.is_some() {
+    let met = if report_json.is_some() || ledger_dir.is_some() {
         let rec = Recorder::new();
         let met = cluster_metrics_observed(&matrix, &result.triclusters, &rec);
         report.merge(&rec.snapshot());
@@ -371,10 +416,42 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     } else {
         None
     };
+    let doc = met
+        .as_ref()
+        .map(|m| runreport::report_to_json_v2(&matrix, &result, &report, m));
     if let Some(out_path) = &report_json {
-        let j = runreport::report_to_json_v2(&matrix, &result, &report, met.as_ref().unwrap());
+        let j = doc
+            .as_ref()
+            .expect("doc built whenever a report is written");
         std::fs::write(out_path, j.render_pretty() + "\n")
             .map_err(|e| CliError::Run(format!("cannot write {out_path}: {e}")))?;
+    }
+    if let Some(dir) = &ledger_dir {
+        // The dataset hash covers the input bytes as given, so two runs over
+        // the same file are comparable even when labels differ in memory;
+        // the params hash covers every knob that shapes the search.
+        let dataset_hash = std::fs::read(path)
+            .map(|bytes| content_hash(&bytes))
+            .map_err(|e| CliError::Run(format!("cannot re-read {path} for hashing: {e}")))?;
+        let params_hash = content_hash(format!("{params:?}").as_bytes());
+        let trace_doc = timeline
+            .as_ref()
+            .map(|t| t.to_chrome_json().render_pretty() + "\n");
+        let flame_doc = timeline.as_ref().map(|t| t.to_folded());
+        let ledger = Ledger::open(dir)
+            .map_err(|e| CliError::Run(format!("cannot open ledger {dir}: {e}")))?;
+        let id = ledger
+            .archive(&NewEntry {
+                kind: "mine",
+                label: Some(path.clone()),
+                dataset_hash,
+                params_hash,
+                report: doc.as_ref().expect("doc built whenever a ledger is open"),
+                trace: trace_doc.as_deref(),
+                flame: flame_doc.as_deref(),
+            })
+            .map_err(|e| CliError::Run(format!("cannot archive run in {dir}: {e}")))?;
+        eprintln!("run archived as {id} in {dir}");
     }
     if a.has("explain") {
         print!("{}", runreport::explain_json(&report).render_pretty());
@@ -391,6 +468,271 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     }
     let met = met.unwrap_or_else(|| result.metrics(&matrix));
     println!("\n{met}");
+    Ok(())
+}
+
+const RUNS_USAGE: &str = "runs: expected a subcommand — \
+list <DIR> [--ids] | show <DIR> <ID> [--json] | \
+diff <DIR> <BASE> <CURRENT> [--time-tol R] [--time-floor SECS] \
+[--mem-tol R] [--mem-floor BYTES] | top <DIR> [--metric KEY] [--limit N]";
+
+/// The `runs` subcommand family: inspection and cross-run analytics over a
+/// `--ledger` archive.
+pub fn runs(argv: &[String]) -> Result<(), CliError> {
+    let Some(sub) = argv.first() else {
+        return Err(CliError::Usage(RUNS_USAGE.into()));
+    };
+    let rest = &argv[1..];
+    match sub.as_str() {
+        "list" => runs_list(rest),
+        "show" => runs_show(rest),
+        "diff" => runs_diff(rest),
+        "top" => runs_top(rest),
+        other => Err(CliError::Usage(format!(
+            "runs: unknown subcommand {other:?}\n{RUNS_USAGE}"
+        ))),
+    }
+}
+
+/// Opens the ledger named by the first positional argument. Read-side
+/// commands refuse a directory that does not exist instead of silently
+/// creating an empty archive there (a typoed path should not look like an
+/// empty ledger).
+fn open_ledger(a: &args::Args, sub: &str) -> Result<Ledger, CliError> {
+    let Some(dir) = a.positional.first() else {
+        return Err(CliError::Usage(format!(
+            "runs {sub}: missing ledger directory"
+        )));
+    };
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(CliError::Run(format!("no ledger directory at {dir}")));
+    }
+    Ledger::open(dir).map_err(|e| CliError::Run(format!("cannot open ledger {dir}: {e}")))
+}
+
+fn read_archived_report(
+    ledger: &Ledger,
+    sub: &str,
+    selector: &str,
+) -> Result<(IndexEntry, Json), CliError> {
+    let entry = ledger
+        .resolve(selector)
+        .map_err(|e| CliError::Run(format!("runs {sub}: {e}")))?;
+    let doc = ledger
+        .read_report(&entry.id)
+        .map_err(|e| CliError::Run(format!("runs {sub}: {e}")))?;
+    Ok((entry, doc))
+}
+
+fn runs_list(argv: &[String]) -> Result<(), CliError> {
+    let a = args::parse(argv, &[], &["ids"]).map_err(CliError::Usage)?;
+    let ledger = open_ledger(&a, "list")?;
+    let entries = ledger
+        .list()
+        .map_err(|e| CliError::Run(format!("runs list: {e}")))?;
+    if a.has("ids") {
+        for e in &entries {
+            println!("{}", e.id);
+        }
+        return Ok(());
+    }
+    if entries.is_empty() {
+        eprintln!("ledger at {} is empty", ledger.dir().display());
+        return Ok(());
+    }
+    println!(
+        "{:<16} {:<5} {:>11} {:>8} {:>9} {:>7}  label",
+        "id", "kind", "created", "clusters", "secs", "threads"
+    );
+    let dash = || "-".to_string();
+    for e in &entries {
+        println!(
+            "{:<16} {:<5} {:>11} {:>8} {:>9} {:>7}  {}",
+            e.id,
+            e.kind,
+            e.created_unix,
+            e.clusters.map_or_else(dash, |c| c.to_string()),
+            e.total_secs.map_or_else(dash, |s| format!("{s:.3}")),
+            e.threads.map_or_else(dash, |t| t.to_string()),
+            e.label.as_deref().unwrap_or("-"),
+        );
+    }
+    Ok(())
+}
+
+fn runs_show(argv: &[String]) -> Result<(), CliError> {
+    let a = args::parse(argv, &[], &["json"]).map_err(CliError::Usage)?;
+    let ledger = open_ledger(&a, "show")?;
+    let Some(selector) = a.positional.get(1) else {
+        return Err(CliError::Usage("runs show: missing entry id".into()));
+    };
+    let (entry, doc) = read_archived_report(&ledger, "show", selector)?;
+    if a.has("json") {
+        println!("{}", doc.render_pretty());
+        return Ok(());
+    }
+    println!("id:       {}", entry.id);
+    println!("kind:     {}", entry.kind);
+    if let Some(label) = &entry.label {
+        println!("label:    {label}");
+    }
+    println!("created:  {} (unix seconds)", entry.created_unix);
+    println!("dataset:  {}", entry.dataset_hash);
+    println!("params:   {}", entry.params_hash);
+    let meta: Vec<String> = [
+        entry.version.as_ref().map(|v| format!("v{v}")),
+        entry.git.clone(),
+        entry.host.clone(),
+        entry.threads.map(|t| format!("{t} thread(s)")),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    if !meta.is_empty() {
+        println!("build:    {}", meta.join(", "));
+    }
+    if let Some(clusters) = entry.clusters {
+        println!("clusters: {clusters}");
+    }
+    if let Some(timings) = doc.get("timings").and_then(Json::as_obj) {
+        println!("timings:");
+        for (key, v) in timings {
+            if let Some(secs) = v.as_f64() {
+                println!("  {key:<22} {secs:>12.6} s");
+            }
+        }
+    }
+    if let Some(phases) = doc
+        .get_path(&["memory", "phase_bytes"])
+        .and_then(Json::as_obj)
+    {
+        println!("phase allocation:");
+        for (phase, v) in phases {
+            let bytes = v.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+            let allocs = v.get("allocs").and_then(Json::as_u64).unwrap_or(0);
+            println!("  {phase:<22} {bytes:>12} bytes in {allocs} allocation(s)");
+        }
+    }
+    for (name, path) in [
+        ("trace", ledger.trace_path(&entry.id)),
+        ("flame", ledger.flame_path(&entry.id)),
+    ] {
+        if path.is_file() {
+            println!("{name}:    {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn runs_diff(argv: &[String]) -> Result<(), CliError> {
+    let a = args::parse(
+        argv,
+        &[
+            ("time-tol", 1),
+            ("time-floor", 1),
+            ("mem-tol", 1),
+            ("mem-floor", 1),
+        ],
+        &[],
+    )
+    .map_err(CliError::Usage)?;
+    let ledger = open_ledger(&a, "diff")?;
+    let (Some(base_sel), Some(cur_sel)) = (a.positional.get(1), a.positional.get(2)) else {
+        return Err(CliError::Usage(
+            "runs diff: expected <DIR> <BASE-ID> <CURRENT-ID>".into(),
+        ));
+    };
+    let mut tol = DiffTolerances::default();
+    if let Some(v) = a.get_f64("time-tol").map_err(CliError::Usage)? {
+        tol.time_rel = v;
+    }
+    if let Some(v) = a.get_f64("time-floor").map_err(CliError::Usage)? {
+        tol.time_floor_secs = v;
+    }
+    if let Some(v) = a.get_f64("mem-tol").map_err(CliError::Usage)? {
+        tol.mem_rel = v;
+    }
+    if let Some(s) = a.get_str("mem-floor") {
+        tol.mem_floor_bytes = parse_bytes("mem-floor", s).map_err(CliError::Usage)?;
+    }
+    let (base_entry, base_doc) = read_archived_report(&ledger, "diff", base_sel)?;
+    let (cur_entry, cur_doc) = read_archived_report(&ledger, "diff", cur_sel)?;
+    if base_entry.dataset_hash != cur_entry.dataset_hash {
+        eprintln!(
+            "note: comparing runs over different datasets ({} vs {})",
+            base_entry.dataset_hash, cur_entry.dataset_hash
+        );
+    }
+    let deltas = diff_reports(&base_doc, &cur_doc, &tol)
+        .map_err(|e| CliError::Usage(format!("runs diff: {e}")))?;
+    println!(
+        "{:<40} {:>14} {:>14} {:>14}  verdict",
+        "metric", "baseline", "current", "allowed"
+    );
+    let mut regressed: Vec<&str> = Vec::new();
+    for d in &deltas {
+        let verdict = if d.regressed {
+            regressed.push(&d.metric);
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<40} {:>14.6} {:>14.6} {:>14.6}  {verdict}",
+            d.metric, d.baseline, d.current, d.allowed
+        );
+    }
+    if regressed.is_empty() {
+        println!(
+            "no regressions: {} metric(s) within tolerance ({} vs {})",
+            deltas.len(),
+            base_entry.id,
+            cur_entry.id
+        );
+        Ok(())
+    } else {
+        Err(CliError::Run(format!(
+            "{} regressed metric(s): {}",
+            regressed.len(),
+            regressed.join(", ")
+        )))
+    }
+}
+
+fn runs_top(argv: &[String]) -> Result<(), CliError> {
+    let a = args::parse(argv, &[("metric", 1), ("limit", 1)], &[]).map_err(CliError::Usage)?;
+    let ledger = open_ledger(&a, "top")?;
+    let metric = a
+        .get_str("metric")
+        .unwrap_or("timings.total_secs")
+        .to_string();
+    let limit = a.get_usize("limit").map_err(CliError::Usage)?.unwrap_or(10);
+    let path: Vec<&str> = metric.split('.').collect();
+    let entries = ledger
+        .list()
+        .map_err(|e| CliError::Run(format!("runs top: {e}")))?;
+    let mut ranked: Vec<(f64, &IndexEntry)> = entries
+        .iter()
+        .filter_map(|e| {
+            let doc = ledger.read_report(&e.id).ok()?;
+            let v = doc.get_path(&path)?.as_f64()?;
+            Some((v, e))
+        })
+        .collect();
+    if ranked.is_empty() {
+        return Err(CliError::Run(format!(
+            "no archived run carries metric {metric}"
+        )));
+    }
+    ranked.sort_by(|x, y| y.0.total_cmp(&x.0).then_with(|| x.1.id.cmp(&y.1.id)));
+    println!(
+        "top {} of {} by {metric}:",
+        ranked.len().min(limit),
+        ranked.len()
+    );
+    for (v, e) in ranked.iter().take(limit) {
+        println!("{v:>16.6}  {}  {}", e.id, e.label.as_deref().unwrap_or("-"));
+    }
     Ok(())
 }
 
@@ -570,6 +912,8 @@ mod tests {
                 ("fanout", 1),
                 ("report-json", 1),
                 ("trace-out", 1),
+                ("flame-out", 1),
+                ("ledger", 1),
             ],
             &[
                 "shifting", "auto", "names", "csv", "trace", "explain", "progress", "-v", "-vv",
@@ -1044,7 +1388,12 @@ mod tests {
 
     #[test]
     fn trace_out_and_progress_rejected_with_shifting() {
-        for extra in [vec!["--trace-out", "t.json"], vec!["--progress"]] {
+        for extra in [
+            vec!["--trace-out", "t.json"],
+            vec!["--progress"],
+            vec!["--flame-out", "f.folded"],
+            vec!["--ledger", "ldir"],
+        ] {
             let mut argv = vec!["f.tsv".to_string(), "--shifting".to_string()];
             argv.extend(extra.iter().map(|s| s.to_string()));
             let e = mine(&argv).unwrap_err();
@@ -1053,5 +1402,270 @@ mod tests {
                 "{e}"
             );
         }
+    }
+
+    /// Writes a synthetic stacked-TSV dataset into `dir` and returns its
+    /// path as a string.
+    fn synth_into(dir: &std::path::Path) -> String {
+        std::fs::create_dir_all(dir).unwrap();
+        let data = dir.join("synth.tsv");
+        let data_str = data.to_str().unwrap().to_string();
+        synth(&[
+            data_str.clone(),
+            "--genes".into(),
+            "60".into(),
+            "--samples".into(),
+            "8".into(),
+            "--times".into(),
+            "4".into(),
+            "--clusters".into(),
+            "2".into(),
+            "--noise".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        data_str
+    }
+
+    /// A `--deadline`-truncated run still writes a well-formed trace:
+    /// the file parses, B/E events balance on every track, and the
+    /// truncation instant is present so the trace explains why the run
+    /// stopped short.
+    #[test]
+    fn trace_out_survives_deadline_truncation() {
+        use std::collections::HashMap;
+        let dir = std::env::temp_dir().join(format!(
+            "tricluster-trunc-trace-test-{}",
+            std::process::id()
+        ));
+        let data = synth_into(&dir);
+        let trace_path = dir.join("trace.json");
+        mine(&[
+            data,
+            "--deadline".into(),
+            "0".into(),
+            "--trace-out".into(),
+            trace_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        let mut open: HashMap<u64, i64> = HashMap::new();
+        let mut saw_truncation = false;
+        for ev in events {
+            let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+            let tid = ev.get("tid").and_then(|v| v.as_u64()).expect("tid");
+            let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+            match ph {
+                "B" => *open.entry(tid).or_insert(0) += 1,
+                "E" => {
+                    let d = open.entry(tid).or_insert(0);
+                    *d -= 1;
+                    assert!(*d >= 0, "E without B on tid {tid}");
+                }
+                "i" if name == names::T_TRUNCATED => saw_truncation = true,
+                _ => {}
+            }
+        }
+        assert!(open.values().all(|&d| d == 0), "unbalanced B/E: {open:?}");
+        assert!(saw_truncation, "no {} instant in trace", names::T_TRUNCATED);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flamegraph tentpole gate: `mine --flame-out --threads 1` writes
+    /// non-empty folded stacks where every line is `stack;parts N`, the
+    /// stack roots are exactly the pipeline phases, and each root's
+    /// accumulated self time agrees with the report's span stats.
+    #[test]
+    fn flame_out_structure_matches_report_spans() {
+        use std::collections::BTreeMap;
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-flame-test-{}", std::process::id()));
+        let data = synth_into(&dir);
+        let flame_path = dir.join("flame.folded");
+        let report_path = dir.join("report.json");
+        mine(&[
+            data,
+            "--threads".into(),
+            "1".into(),
+            "--flame-out".into(),
+            flame_path.to_str().unwrap().into(),
+            "--report-json".into(),
+            report_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&flame_path).unwrap();
+        assert!(!text.trim().is_empty(), "flame file is empty");
+        let mut per_root: BTreeMap<String, u64> = BTreeMap::new();
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("`stack N` shape");
+            assert!(!stack.is_empty(), "empty stack in {line:?}");
+            assert!(
+                stack.split(';').all(|part| !part.is_empty()),
+                "empty stack segment in {line:?}"
+            );
+            let micros: u64 = count
+                .parse()
+                .unwrap_or_else(|_| panic!("bad count in {line:?}"));
+            let root = stack.split(';').next().unwrap().to_string();
+            *per_root.entry(root).or_insert(0) += micros;
+        }
+        // With one thread the whole pipeline runs on the main track, so
+        // the roots are exactly the three phase spans.
+        let phases = [
+            names::SPAN_SLICES_WALL,
+            names::SPAN_TRICLUSTER,
+            names::SPAN_PRUNE,
+        ];
+        let roots: Vec<&str> = per_root.keys().map(String::as_str).collect();
+        let mut want: Vec<&str> = phases.to_vec();
+        want.sort_unstable();
+        assert_eq!(roots, want, "unexpected flame roots");
+        // Per-phase totals agree with the report's span stats: the folded
+        // self times under a root sum back to that root's span duration
+        // (modulo per-line microsecond rounding and the independent clocks).
+        let doc = Json::parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        for phase in phases {
+            let span_ns = doc
+                .get_path(&["report", "spans", phase, "total_ns"])
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("no span stats for {phase}"));
+            let span_us = span_ns / 1_000;
+            let flame_us = per_root[phase];
+            let allowed = (span_us / 5).max(20_000); // 20% or 20ms, whichever is larger
+            assert!(
+                flame_us.abs_diff(span_us) <= allowed,
+                "{phase}: flame total {flame_us}us vs span {span_us}us (allowed {allowed}us)"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Ledger tentpole gate, end to end: two `mine --ledger` runs over the
+    /// same dataset — the second slowed by an injected 400ms delay in the
+    /// tricluster phase — archive under distinct sequenced ids with equal
+    /// content hashes; `runs list`/`show` round-trip the archive, and
+    /// `runs diff` flags the slowed phase while the untouched phases stay
+    /// within tolerance (and the fast-vs-slow direction passes clean).
+    #[test]
+    fn ledger_archives_runs_and_diff_flags_injected_regression() {
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-ledger-test-{}", std::process::id()));
+        let data = synth_into(&dir);
+        let ledger_path = dir.join("ledger");
+        let ldir = ledger_path.to_str().unwrap().to_string();
+        let run = || {
+            mine(&[data.clone(), "--ledger".into(), ldir.clone()]).unwrap();
+        };
+        run();
+        {
+            let _scenario = tricluster_failpoint::scenario();
+            tricluster_failpoint::configure(
+                "core.tricluster.phase",
+                tricluster_failpoint::Action::Delay(Duration::from_millis(400)),
+            );
+            run();
+        }
+        let ledger = Ledger::open(&ledger_path).unwrap();
+        let entries = ledger.list().unwrap();
+        assert_eq!(entries.len(), 2, "{entries:?}");
+        let (base, slow) = (&entries[0], &entries[1]);
+        assert_ne!(base.id, slow.id);
+        assert!(base.id.starts_with("r0001-") && slow.id.starts_with("r0002-"));
+        assert_eq!(base.dataset_hash, slow.dataset_hash, "same input bytes");
+        assert_eq!(base.params_hash, slow.params_hash, "same parameters");
+        assert_eq!(base.kind, "mine");
+        assert_eq!(base.label.as_deref(), Some(data.as_str()));
+        assert!(base.clusters.is_some() && base.total_secs.is_some());
+        // archived reports are valid v2 documents (the `runs show --json`
+        // payload is exactly this file)
+        let base_doc = ledger.read_report(&base.id).unwrap();
+        let slow_doc = ledger.read_report(&slow.id).unwrap();
+        runreport::validate_v2(&base_doc).unwrap();
+        runreport::validate_v2(&slow_doc).unwrap();
+        // the CLI surface round-trips: list, show by unique id prefix
+        let arg = |s: &str| s.to_string();
+        runs(&[arg("list"), ldir.clone(), arg("--ids")]).unwrap();
+        runs(&[arg("show"), ldir.clone(), base.id.clone()]).unwrap();
+        runs(&[arg("show"), ldir.clone(), arg("--json"), arg("r0002")]).unwrap();
+        // diff base -> slowed: the delayed phase (and with it the total)
+        // regresses past `base*(1+1.0) + 0.15s`; untouched phases do not
+        let tol_flags = [
+            arg("--time-tol"),
+            arg("1.0"),
+            arg("--time-floor"),
+            arg("0.15"),
+        ];
+        let mut argv = vec![arg("diff"), ldir.clone(), base.id.clone(), slow.id.clone()];
+        argv.extend(tol_flags.iter().cloned());
+        let e = runs(&argv).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Run(m) if m.contains("timings.triclusters_secs")),
+            "{e}"
+        );
+        let tol = DiffTolerances {
+            time_rel: 1.0,
+            time_floor_secs: 0.15,
+            ..DiffTolerances::default()
+        };
+        let deltas = diff_reports(&base_doc, &slow_doc, &tol).unwrap();
+        let regressed: Vec<&str> = deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.metric.as_str())
+            .collect();
+        assert!(
+            regressed.contains(&"timings.triclusters_secs"),
+            "{regressed:?}"
+        );
+        for untouched in ["timings.slices_wall_secs", "timings.prune_secs"] {
+            assert!(
+                !regressed.contains(&untouched),
+                "{untouched} should be within tolerance: {regressed:?}"
+            );
+        }
+        // the other direction (slow -> fast) is an improvement, not a
+        // regression, and exits clean
+        let mut argv = vec![arg("diff"), ldir.clone(), slow.id.clone(), base.id.clone()];
+        argv.extend(tol_flags.iter().cloned());
+        runs(&argv).unwrap();
+        // `runs top` ranks the slowed run first on total time
+        runs(&[arg("top"), ldir.clone(), arg("--limit"), arg("1")]).unwrap();
+        // selector errors surface as runtime errors, not panics
+        let e = runs(&[arg("show"), ldir.clone(), arg("r")]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Run(m) if m.contains("ambiguous")),
+            "{e}"
+        );
+        let e = runs(&[arg("show"), ldir, arg("zzz")]).unwrap_err();
+        assert!(matches!(e, CliError::Run(_)), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `runs` usage errors: missing subcommand, unknown subcommand, and a
+    /// read command pointed at a directory that does not exist.
+    #[test]
+    fn runs_rejects_bad_invocations() {
+        let e = runs(&[]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("subcommand")),
+            "{e}"
+        );
+        let e = runs(&["bogus".to_string()]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("bogus")),
+            "{e}"
+        );
+        let e = runs(&["list".to_string()]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("ledger")),
+            "{e}"
+        );
+        let e = runs(&["list".to_string(), "/nonexistent/ledger-dir".to_string()]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Run(m) if m.contains("no ledger")),
+            "{e}"
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! tricluster synth <out.tsv> [--genes 1000] [--samples 15] [--times 8]
 //!                 [--clusters 8] [--noise 0.03] [--overlap 0.2] [--seed 42]
 //! tricluster demo
+//! tricluster runs <list|show|diff|top> <LEDGER-DIR> ...
 //! ```
 //!
 //! Exit codes: `0` success, `1` mining/runtime error (unreadable input,
@@ -51,6 +52,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         Some("mine") => commands::mine(&argv[1..]),
         Some("synth") => commands::synth(&argv[1..]),
         Some("demo") => commands::demo(),
+        Some("runs") => commands::runs(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -446,8 +446,9 @@ fn mine_pipeline(
     let mut timings = Timings::default();
     let report_sink = ReportSink::new(sink);
     let sink = &report_sink;
-    // `None` unless the binary installed obs' tracking allocator.
-    let alloc_start = alloc::snapshot();
+    // Inert unless the binary installed obs' tracking allocator; phase
+    // boundaries below credit allocator deltas to the phase that ran.
+    let mut phase_alloc = alloc::PhaseAlloc::begin();
     // Timeline journaling for the coordinating thread (worker threads
     // attach inside their spawn closures); a `None` timeline keeps every
     // ambient record call a thread-local check.
@@ -608,7 +609,7 @@ fn mine_pipeline(
         sink.histogram(names::H_SLICE_BICLUSTERS, bcs);
     }
 
-    let alloc_after_slices = alloc::snapshot();
+    phase_alloc.phase_end("slices");
 
     if let Some(p) = &ctrl.progress {
         p.set_phase(Phase::Tricluster);
@@ -633,7 +634,7 @@ fn mine_pipeline(
     timings.triclusters = tri_start.elapsed();
     sink.span(names::SPAN_TRICLUSTER, timings.triclusters);
     tri_stats.publish(sink);
-    let alloc_after_tri = alloc::snapshot();
+    phase_alloc.phase_end("triclusters");
 
     if let Some(p) = &ctrl.progress {
         p.set_phase(Phase::Prune);
@@ -695,16 +696,24 @@ fn mine_pipeline(
     // Measured allocator counters, only when a tracking allocator is
     // installed (feature-gated in the binaries). These are *not*
     // deterministic; default builds never emit them.
-    if let (Some(start), Some(end)) = (alloc_start, alloc::snapshot()) {
-        sink.counter(names::M_ALLOC_TOTAL_BYTES, end.bytes_since(&start));
-        sink.counter(names::M_ALLOC_TOTAL_CALLS, end.allocs_since(&start));
-        sink.counter(names::M_ALLOC_PEAK_BYTES, end.peak_live_bytes);
+    if let Some(totals) = phase_alloc.finish("prune") {
+        sink.counter(names::M_ALLOC_TOTAL_BYTES, totals.bytes);
+        sink.counter(names::M_ALLOC_TOTAL_CALLS, totals.allocs);
+        sink.counter(names::M_ALLOC_PEAK_BYTES, totals.peak_live_bytes);
         // Per-phase attribution at the sequential phase boundaries. Once
-        // `start` is Some the allocator is installed, so these are too.
-        if let (Some(s), Some(t)) = (alloc_after_slices, alloc_after_tri) {
-            sink.counter(names::M_ALLOC_SLICES_BYTES, s.bytes_since(&start));
-            sink.counter(names::M_ALLOC_TRICLUSTERS_BYTES, t.bytes_since(&s));
-            sink.counter(names::M_ALLOC_PRUNE_BYTES, end.bytes_since(&t));
+        // `finish` is Some the allocator is installed, so every boundary
+        // sampled successfully.
+        for d in phase_alloc.phases() {
+            let (bytes_name, calls_name) = match d.phase {
+                "slices" => (names::M_ALLOC_SLICES_BYTES, names::M_ALLOC_SLICES_CALLS),
+                "triclusters" => (
+                    names::M_ALLOC_TRICLUSTERS_BYTES,
+                    names::M_ALLOC_TRICLUSTERS_CALLS,
+                ),
+                _ => (names::M_ALLOC_PRUNE_BYTES, names::M_ALLOC_PRUNE_CALLS),
+            };
+            sink.counter(bytes_name, d.bytes);
+            sink.counter(calls_name, d.allocs);
         }
     }
 

@@ -75,7 +75,65 @@ pub fn report_to_json_v2(
         .with("histograms", histograms_json(report))
         .with("memory", memory_json(report))
         .with("search_space", search_space_json(report))
+        .with("meta", meta_json(result.fanout.threads))
         .maybe_with("fault", fault_json(result))
+}
+
+/// The `meta` section: build/environment provenance (crate version, git
+/// commit when the process runs inside a checkout, host triple, worker
+/// count) so archived reports are self-describing. Host- and
+/// checkout-dependent by nature, so it is never part of the deterministic
+/// sections.
+pub fn meta_json(threads: usize) -> Json {
+    Json::obj()
+        .with("version", Json::Str(env!("CARGO_PKG_VERSION").into()))
+        .maybe_with("git", git_hash().map(Json::Str))
+        .with(
+            "host",
+            Json::Str(format!(
+                "{}-{}",
+                std::env::consts::ARCH,
+                std::env::consts::OS
+            )),
+        )
+        .with("threads", Json::U64(threads as u64))
+}
+
+/// Best-effort current commit hash: walks up from the working directory to
+/// the nearest `.git` and follows `HEAD` through one level of ref
+/// indirection (loose ref file, then `packed-refs`). `None` anywhere
+/// outside a checkout — no git binary is invoked.
+fn git_hash() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return git_head_hash(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn git_head_hash(git: &std::path::Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let Some(refname) = head.strip_prefix("ref: ") else {
+        // detached HEAD carries the hash directly
+        return (head.len() >= 7).then(|| head.to_string());
+    };
+    if let Ok(loose) = std::fs::read_to_string(git.join(refname)) {
+        let loose = loose.trim();
+        if !loose.is_empty() {
+            return Some(loose.to_string());
+        }
+    }
+    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+    packed.lines().find_map(|line| {
+        let (hash, name) = line.split_once(' ')?;
+        (name.trim() == refname).then(|| hash.to_string())
+    })
 }
 
 /// The `fault` section of a degraded run; `None` for clean runs.
@@ -116,9 +174,10 @@ pub fn histograms_json(report: &RunReport) -> Json {
     )
 }
 
-/// The `memory` section: deterministic logical sizes, plus an `alloc`
-/// sub-object with measured allocator counters when the binary installed
-/// the tracking allocator (feature `track-alloc`).
+/// The `memory` section: deterministic logical sizes, plus — when the
+/// binary installed the tracking allocator (feature `track-alloc`) — an
+/// `alloc` sub-object with measured totals and a `phase_bytes` sub-object
+/// attributing bytes and allocation calls to each pipeline phase.
 pub fn memory_json(report: &RunReport) -> Json {
     let c = |name| Json::U64(report.counter(name));
     let mut obj = Json::obj()
@@ -127,20 +186,45 @@ pub fn memory_json(report: &RunReport) -> Json {
         .with("bicluster_bytes", c(names::M_BICLUSTER_BYTES))
         .with("tricluster_bytes", c(names::M_TRICLUSTER_BYTES));
     if report.counter(names::M_ALLOC_TOTAL_CALLS) > 0 {
-        obj = obj.with(
-            "alloc",
+        let phase = |bytes, allocs| {
             Json::obj()
-                .with("total_bytes", c(names::M_ALLOC_TOTAL_BYTES))
-                .with("total_calls", c(names::M_ALLOC_TOTAL_CALLS))
-                .with("peak_live_bytes", c(names::M_ALLOC_PEAK_BYTES))
-                .with(
-                    "phases",
-                    Json::obj()
-                        .with("slices_bytes", c(names::M_ALLOC_SLICES_BYTES))
-                        .with("triclusters_bytes", c(names::M_ALLOC_TRICLUSTERS_BYTES))
-                        .with("prune_bytes", c(names::M_ALLOC_PRUNE_BYTES)),
-                ),
-        );
+                .with("bytes", c(bytes))
+                .with("allocs", c(allocs))
+        };
+        obj = obj
+            .with(
+                "alloc",
+                Json::obj()
+                    .with("total_bytes", c(names::M_ALLOC_TOTAL_BYTES))
+                    .with("total_calls", c(names::M_ALLOC_TOTAL_CALLS))
+                    .with("peak_live_bytes", c(names::M_ALLOC_PEAK_BYTES))
+                    .with(
+                        "phases",
+                        Json::obj()
+                            .with("slices_bytes", c(names::M_ALLOC_SLICES_BYTES))
+                            .with("triclusters_bytes", c(names::M_ALLOC_TRICLUSTERS_BYTES))
+                            .with("prune_bytes", c(names::M_ALLOC_PRUNE_BYTES)),
+                    ),
+            )
+            .with(
+                "phase_bytes",
+                Json::obj()
+                    .with(
+                        "slices",
+                        phase(names::M_ALLOC_SLICES_BYTES, names::M_ALLOC_SLICES_CALLS),
+                    )
+                    .with(
+                        "triclusters",
+                        phase(
+                            names::M_ALLOC_TRICLUSTERS_BYTES,
+                            names::M_ALLOC_TRICLUSTERS_CALLS,
+                        ),
+                    )
+                    .with(
+                        "prune",
+                        phase(names::M_ALLOC_PRUNE_BYTES, names::M_ALLOC_PRUNE_CALLS),
+                    ),
+            );
     }
     obj
 }
@@ -301,6 +385,23 @@ pub fn validate_v2(doc: &Json) -> Result<(), String> {
     if need(&["memory", "matrix_bytes"])?.as_u64() == Some(0) {
         return Err("memory.matrix_bytes is zero".into());
     }
+    // Measured allocator sections travel together: a document with
+    // `memory.alloc` must also carry the per-phase attribution.
+    if doc.get_path(&["memory", "alloc"]).is_some() {
+        for phase in ["slices", "triclusters", "prune"] {
+            for key in ["bytes", "allocs"] {
+                if doc
+                    .get_path(&["memory", "phase_bytes", phase, key])
+                    .and_then(Json::as_u64)
+                    .is_none()
+                {
+                    return Err(format!(
+                        "memory.phase_bytes.{phase}.{key} missing or not an integer"
+                    ));
+                }
+            }
+        }
+    }
     for path in [
         &["search_space", "nodes_expanded", "total"][..],
         &["search_space", "prunes"],
@@ -309,6 +410,17 @@ pub fn validate_v2(doc: &Json) -> Result<(), String> {
         &["search_space", "budget"],
     ] {
         need(path)?;
+    }
+    // Optional `meta` section: build provenance stamped by newer writers.
+    if let Some(meta) = doc.get("meta") {
+        for key in ["version", "host"] {
+            if meta.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("meta.{key} missing or not a string"));
+            }
+        }
+        if meta.get("threads").and_then(Json::as_u64).is_none() {
+            return Err("meta.threads missing or not an integer".into());
+        }
     }
     // Optional `fault` section: present exactly when the run degraded.
     if let Some(fault) = doc.get("fault") {
@@ -479,6 +591,100 @@ mod tests {
         ))
         .unwrap_err();
         assert!(e.contains("truncated"), "{e}");
+    }
+
+    /// `Json::with` appends (first occurrence wins on lookup), so doc
+    /// surgery in tests needs a genuine key replacement.
+    fn replace(doc: &Json, key: &str, value: &Json) -> Json {
+        let Json::Obj(fields) = doc else {
+            panic!("doc is not an object")
+        };
+        Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    let v = if k == key { value } else { v };
+                    (k.clone(), v.clone())
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn meta_section_is_stamped_and_validated() {
+        let doc = table1_doc(2);
+        let meta = doc.get("meta").expect("meta section");
+        assert_eq!(
+            meta.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        let host = meta.get("host").and_then(Json::as_str).expect("host");
+        assert!(host.contains(std::env::consts::OS), "{host}");
+        assert_eq!(meta.get("threads").and_then(Json::as_u64), Some(2));
+        // `git` is best-effort: when present it must look like a hash
+        if let Some(git) = meta.get("git").and_then(Json::as_str) {
+            assert!(
+                git.len() >= 7 && git.chars().all(|c| c.is_ascii_hexdigit()),
+                "{git}"
+            );
+        }
+        // a report without meta still validates (older writers) ...
+        let Json::Obj(fields) = &doc else {
+            panic!("doc is not an object")
+        };
+        let without = Json::Obj(
+            fields
+                .iter()
+                .filter(|(k, _)| k != "meta")
+                .cloned()
+                .collect(),
+        );
+        validate_v2(&without).unwrap();
+        // ... but a malformed one is rejected
+        let broken = replace(&doc, "meta", &Json::obj().with("version", Json::U64(3)));
+        assert!(validate_v2(&broken).unwrap_err().contains("meta."));
+        let no_threads = replace(
+            &doc,
+            "meta",
+            &Json::obj()
+                .with("version", Json::Str("0".into()))
+                .with("host", Json::Str("h".into())),
+        );
+        assert!(validate_v2(&no_threads).unwrap_err().contains("threads"));
+    }
+
+    #[test]
+    fn alloc_and_phase_bytes_sections_travel_together() {
+        let doc = table1_doc(1);
+        // splice in an alloc object without phase_bytes: must be rejected
+        let memory = doc.get("memory").unwrap().clone().with(
+            "alloc",
+            Json::obj()
+                .with("total_bytes", Json::U64(1))
+                .with("total_calls", Json::U64(1))
+                .with("peak_live_bytes", Json::U64(1)),
+        );
+        let broken = replace(&doc, "memory", &memory);
+        let e = validate_v2(&broken).unwrap_err();
+        assert!(e.contains("phase_bytes"), "{e}");
+        // with the attribution present it validates again
+        let phase = |n: u64| {
+            Json::obj()
+                .with("bytes", Json::U64(n))
+                .with("allocs", Json::U64(n))
+        };
+        let fixed = replace(
+            &doc,
+            "memory",
+            &memory.with(
+                "phase_bytes",
+                Json::obj()
+                    .with("slices", phase(10))
+                    .with("triclusters", phase(20))
+                    .with("prune", phase(30)),
+            ),
+        );
+        validate_v2(&fixed).unwrap();
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 pub mod alloc;
 pub mod hist;
 pub mod json;
+pub mod ledger;
 pub mod names;
 pub mod progress;
 pub mod timeline;

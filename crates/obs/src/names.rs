@@ -120,10 +120,16 @@ pub const M_ALLOC_TOTAL_CALLS: &str = "memory.alloc.total_calls";
 pub const M_ALLOC_PEAK_BYTES: &str = "memory.alloc.peak_live_bytes";
 /// Bytes allocated during the parallel per-slice phases (1+2).
 pub const M_ALLOC_SLICES_BYTES: &str = "memory.alloc.slices.bytes";
+/// Allocation calls during the parallel per-slice phases (1+2).
+pub const M_ALLOC_SLICES_CALLS: &str = "memory.alloc.slices.calls";
 /// Bytes allocated during the tricluster DFS phase.
 pub const M_ALLOC_TRICLUSTERS_BYTES: &str = "memory.alloc.triclusters.bytes";
+/// Allocation calls during the tricluster DFS phase.
+pub const M_ALLOC_TRICLUSTERS_CALLS: &str = "memory.alloc.triclusters.calls";
 /// Bytes allocated during merge/prune and final accounting.
 pub const M_ALLOC_PRUNE_BYTES: &str = "memory.alloc.prune.bytes";
+/// Allocation calls during merge/prune and final accounting.
+pub const M_ALLOC_PRUNE_CALLS: &str = "memory.alloc.prune.calls";
 
 // ---- timeline event names (Chrome trace export; never in the report) ----
 //

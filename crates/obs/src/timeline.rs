@@ -276,6 +276,145 @@ impl Timeline {
             .with("displayTimeUnit", Json::Str("ms".into()))
             .with("traceEvents", Json::Arr(events))
     }
+
+    /// Aggregates the journals bottom-up into folded flamegraph stacks —
+    /// the `stack;parts N` line format consumed by inferno, speedscope,
+    /// and `flamegraph.pl`. See [`fold_journals`] for the semantics.
+    pub fn to_folded(&self) -> String {
+        fold_journals(&self.journals())
+    }
+}
+
+/// Folds a journal set into flamegraph stacks.
+///
+/// Each output line is `name;name;... N` where the stack path is the span
+/// nesting at some point of the run and `N` is the stack's **self time** in
+/// microseconds — time spent in the leaf frame with none of its children
+/// open. A frame's *total* time is therefore its own line plus every line
+/// below it, which is exactly the self/total separation flamegraph tools
+/// reconstruct when they render widths.
+///
+/// Worker journals are re-rooted under the coordinating thread's phase
+/// spans: a `main`-labeled journal's top-level frames define phase windows
+/// (all journals share the timeline epoch, so timestamps are comparable),
+/// and any other journal's top-level frames are prefixed with the window
+/// containing their begin instant. Stack roots thus stay the pipeline
+/// phases even for work recorded on pool threads. On multi-threaded runs
+/// the folded totals are CPU time summed across workers, so a phase's total
+/// can legitimately exceed its wall-clock span.
+///
+/// Sanitization mirrors [`Timeline::to_chrome_json`]: an `End` with no open
+/// `Begin` (ring eviction) is dropped, and frames left open are closed at
+/// the journal's horizon. Instants carry no duration and are ignored. The
+/// output is deterministic given the journal set: journals are folded in
+/// worker order and lines are emitted in lexicographic stack order.
+pub fn fold_journals(journals: &[WorkerJournal]) -> String {
+    use std::collections::BTreeMap;
+
+    struct Frame {
+        name: &'static str,
+        start: u64,
+        child_ns: u64,
+    }
+
+    /// Closes the top frame at `end_ts`, crediting self time to `agg` and
+    /// total time to the parent's child accumulator.
+    fn pop_frame(
+        stack: &mut Vec<Frame>,
+        end_ts: u64,
+        root: Option<&'static str>,
+        agg: &mut BTreeMap<String, u64>,
+    ) {
+        let Some(f) = stack.pop() else {
+            return;
+        };
+        let total = end_ts.saturating_sub(f.start);
+        let self_ns = total.saturating_sub(f.child_ns);
+        let mut parts: Vec<&str> = Vec::with_capacity(stack.len() + 2);
+        parts.extend(root);
+        parts.extend(stack.iter().map(|fr| fr.name));
+        parts.push(f.name);
+        *agg.entry(parts.join(";")).or_insert(0) += self_ns;
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns += total;
+        }
+    }
+
+    // Pass 1: the coordinating thread's top-level frames become the phase
+    // windows worker journals re-root under.
+    let mut windows: Vec<(u64, u64, &'static str)> = Vec::new();
+    for journal in journals.iter().filter(|j| j.label == "main") {
+        let mut open: Vec<(&'static str, u64)> = Vec::new();
+        let mut horizon = 0u64;
+        for e in &journal.events {
+            horizon = horizon.max(e.ts_ns);
+            match e.kind {
+                EventKind::Begin => open.push((e.name, e.ts_ns)),
+                EventKind::End => {
+                    if let Some((name, start)) = open.pop() {
+                        if open.is_empty() {
+                            windows.push((start, e.ts_ns, name));
+                        }
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        while let Some((name, start)) = open.pop() {
+            if open.is_empty() {
+                windows.push((start, horizon, name));
+            }
+        }
+    }
+
+    // Pass 2: fold every journal, re-rooting non-main top-level frames into
+    // the phase window containing their begin instant (frames outside every
+    // window — e.g. work recorded before the phases opened — root as-is).
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for journal in journals {
+        let reroot = journal.label != "main";
+        let root_of = |start: u64| -> Option<&'static str> {
+            if !reroot {
+                return None;
+            }
+            windows
+                .iter()
+                .find(|&&(s, e, _)| s <= start && start <= e)
+                .map(|&(_, _, name)| name)
+        };
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut root: Option<&'static str> = None;
+        let mut horizon = 0u64;
+        for e in &journal.events {
+            horizon = horizon.max(e.ts_ns);
+            match e.kind {
+                EventKind::Begin => {
+                    if stack.is_empty() {
+                        root = root_of(e.ts_ns);
+                    }
+                    stack.push(Frame {
+                        name: e.name,
+                        start: e.ts_ns,
+                        child_ns: 0,
+                    });
+                }
+                EventKind::End => pop_frame(&mut stack, e.ts_ns, root, &mut agg),
+                EventKind::Instant => {}
+            }
+        }
+        while !stack.is_empty() {
+            pop_frame(&mut stack, horizon, root, &mut agg);
+        }
+    }
+
+    let mut out = String::new();
+    for (stack, ns) in agg {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&(ns / 1_000).to_string());
+        out.push('\n');
+    }
+    out
 }
 
 /// The single `pid` all timeline events share (one process, many workers).
@@ -598,6 +737,124 @@ mod tests {
             .collect();
         // M, B(left_open), i(tick), synthetic E — the orphan E is gone
         assert_eq!(phs, ["M", "B", "i", "E"]);
+    }
+
+    fn fold_map(folded: &str) -> std::collections::BTreeMap<String, u64> {
+        folded
+            .lines()
+            .map(|l| {
+                let (stack, n) = l.rsplit_once(' ').expect("stack<space>count");
+                (stack.to_string(), n.parse().expect("count is a number"))
+            })
+            .collect()
+    }
+
+    fn ev(kind: EventKind, name: &'static str, ts_ns: u64) -> TimelineEvent {
+        TimelineEvent {
+            kind,
+            name,
+            ts_ns,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn folding_computes_self_times_and_reroots_workers() {
+        let main = WorkerJournal {
+            worker: 0,
+            label: "main",
+            events: vec![
+                ev(EventKind::Begin, "phase.slices.wall", 0),
+                ev(EventKind::End, "phase.slices.wall", 100_000),
+                ev(EventKind::Begin, "phase.tricluster", 100_000),
+                ev(EventKind::Begin, "tricluster.dfs", 120_000),
+                ev(EventKind::Instant, "miner.truncated", 150_000),
+                ev(EventKind::End, "tricluster.dfs", 180_000),
+                ev(EventKind::End, "phase.tricluster", 200_000),
+            ],
+            dropped: 0,
+        };
+        // a pool worker whose frames began inside the slices window
+        let slice = WorkerJournal {
+            worker: 1,
+            label: "slice",
+            events: vec![
+                ev(EventKind::Begin, "miner.slice", 10_000),
+                ev(EventKind::Begin, "rangegraph.pair", 20_000),
+                ev(EventKind::End, "rangegraph.pair", 40_000),
+                ev(EventKind::End, "miner.slice", 60_000),
+            ],
+            dropped: 0,
+        };
+        let folded = fold_journals(&[main, slice]);
+        let map = fold_map(&folded);
+        // main: slices self = 100 µs; tricluster total 100 µs minus the
+        // 60 µs dfs child = 40 µs self; dfs self = 60 µs
+        assert_eq!(map["phase.slices.wall"], 100);
+        assert_eq!(map["phase.tricluster"], 40);
+        assert_eq!(map["phase.tricluster;tricluster.dfs"], 60);
+        // worker frames re-rooted under the containing phase window
+        assert_eq!(map["phase.slices.wall;miner.slice"], 30);
+        assert_eq!(map["phase.slices.wall;miner.slice;rangegraph.pair"], 20);
+        assert_eq!(map.len(), 5, "instants fold to nothing: {folded}");
+        // lexicographic line order (deterministic output)
+        let stacks: Vec<&str> = folded
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().0)
+            .collect();
+        let mut sorted = stacks.clone();
+        sorted.sort_unstable();
+        assert_eq!(stacks, sorted);
+    }
+
+    #[test]
+    fn folding_sanitizes_orphans_and_closes_open_frames_at_horizon() {
+        let j = WorkerJournal {
+            worker: 0,
+            label: "main",
+            events: vec![
+                ev(EventKind::End, "orphan", 5_000),
+                ev(EventKind::Begin, "a", 10_000),
+                ev(EventKind::Begin, "b", 20_000),
+                ev(EventKind::Instant, "tick", 25_000),
+            ],
+            dropped: 0,
+        };
+        let map = fold_map(&fold_journals(&[j]));
+        assert!(!map.contains_key("orphan"));
+        // both frames closed at the 25 µs horizon
+        assert_eq!(map["a;b"], 5);
+        assert_eq!(map["a"], 10);
+    }
+
+    #[test]
+    fn folding_roots_uncovered_worker_frames_as_is() {
+        // no main journal at all: worker stacks keep their own roots
+        let j = WorkerJournal {
+            worker: 3,
+            label: "slice",
+            events: vec![
+                ev(EventKind::Begin, "miner.slice", 0),
+                ev(EventKind::End, "miner.slice", 7_000),
+            ],
+            dropped: 0,
+        };
+        let map = fold_map(&fold_journals(&[j]));
+        assert_eq!(map["miner.slice"], 7);
+    }
+
+    #[test]
+    fn to_folded_on_a_live_timeline_matches_its_journals() {
+        let tl = Timeline::new();
+        {
+            let _g = tl.attach("main");
+            let _s = span("phase.prune");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let folded = tl.to_folded();
+        assert_eq!(folded, fold_journals(&tl.journals()));
+        let map = fold_map(&folded);
+        assert!(map["phase.prune"] >= 2_000, "{folded}");
     }
 
     #[test]

@@ -69,7 +69,9 @@ if [[ $fast -eq 0 ]]; then
     det_t1="$(mktemp /tmp/tricluster-det-t1-XXXXXX.json)"
     det_t4="$(mktemp /tmp/tricluster-det-t4-XXXXXX.json)"
     trace_json="$(mktemp /tmp/tricluster-trace-XXXXXX.json)"
-    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json"' EXIT
+    flame_txt="$(mktemp /tmp/tricluster-flame-XXXXXX.folded)"
+    ledger_dir="$(mktemp -d /tmp/tricluster-ledger-XXXXXX)"
+    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt"; rm -rf "$ledger_dir"' EXIT
     run cargo run --release --quiet -p tricluster-bench --features track-alloc \
         --bin fig7 -- --smoke --json "$smoke_json"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
@@ -100,6 +102,30 @@ if [[ $fast -eq 0 ]]; then
         exit 1
     fi
     echo "==> trace smoke: $(grep -c '"ph"' "$trace_json") events in $trace_json"
+
+    # Ledger-smoke gate: two archived runs over the same input must list,
+    # show, and diff cleanly through the release binary (generous
+    # tolerances — identical workloads on the same machine), and the
+    # flamegraph export must be non-empty with phase-span roots.
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        mine "$det_tsv" --eps 0.012 --threads 1 --ledger "$ledger_dir" --flame-out "$flame_txt"
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        mine "$det_tsv" --eps 0.012 --threads 1 --ledger "$ledger_dir"
+    if ! grep -q '^phase\.slices\.wall' "$flame_txt"; then
+        echo "error: --flame-out produced no phase-rooted stacks at $flame_txt" >&2
+        exit 1
+    fi
+    ids=$(cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        runs list "$ledger_dir" --ids)
+    if [[ $(wc -l <<< "$ids") -ne 2 ]]; then
+        echo "error: expected 2 archived runs in $ledger_dir, got: $ids" >&2
+        exit 1
+    fi
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        runs show "$ledger_dir" "$(head -n1 <<< "$ids")"
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        runs diff "$ledger_dir" $ids --time-tol 2.0 --time-floor 0.5
+    echo "==> ledger smoke: 2 runs archived, shown, and diffed in $ledger_dir"
 fi
 
 echo

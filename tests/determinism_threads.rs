@@ -4,10 +4,21 @@
 //! whether the run used 1, 2, or 8 workers, and whether it fanned out at
 //! slice level or intra-slice (pair/branch) level.
 
+use std::collections::BTreeMap;
+use tricluster::core::obs::json::Json;
 use tricluster::core::obs::Recorder;
 use tricluster::core::runreport::{histograms_json, memory_json, search_space_json};
 use tricluster::core::testdata::paper_table1;
 use tricluster::prelude::*;
+
+/// Track every allocation in this test binary so the per-phase allocation
+/// attribution path is live: runs carry `memory.alloc.*` counters and the
+/// `memory.phase_bytes` report section. Measured byte counts are
+/// schedule-dependent by nature, so the determinism comparisons below
+/// restrict themselves to the logical (input-determined) sections.
+#[global_allocator]
+static ALLOC: tricluster::core::obs::alloc::TrackingAlloc =
+    tricluster::core::obs::alloc::TrackingAlloc;
 
 /// The Figure 7 smoke workload shape: small enough for a tier-1 test, rich
 /// enough that every DFS phase, histogram, and prune counter is exercised.
@@ -47,14 +58,35 @@ fn table1_params(threads: usize, fanout: FanoutMode) -> Params {
 }
 
 /// The input-determined report sections, rendered: any byte difference
-/// fails the comparison.
+/// fails the comparison. The measured-allocator sub-objects (`alloc`,
+/// `phase_bytes`) are stripped from the memory section — they report real
+/// allocator traffic, which legitimately varies with the schedule.
 fn deterministic_sections(result: &MiningResult) -> String {
+    let logical_memory = match memory_json(&result.report) {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !matches!(k.as_str(), "alloc" | "phase_bytes"))
+                .collect(),
+        ),
+        other => other,
+    };
     format!(
         "{}\n{}\n{}",
         histograms_json(&result.report).render(),
-        memory_json(&result.report).render(),
+        logical_memory.render(),
         search_space_json(&result.report).render(),
     )
+}
+
+/// Counters minus the measured-allocator metrics, for the same reason.
+fn logical_counters(result: &MiningResult) -> BTreeMap<String, u64> {
+    result
+        .report
+        .counter_map()
+        .into_iter()
+        .filter(|(k, _)| !k.starts_with("memory.alloc."))
+        .collect()
 }
 
 fn clusters(result: &MiningResult) -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
@@ -81,8 +113,8 @@ fn assert_invariant_across_schedules(m: &Matrix3, mk: &dyn Fn(usize, FanoutMode)
                 "clusters differ at threads={threads} fanout={fanout:?}"
             );
             assert_eq!(
-                r.report.counter_map(),
-                baseline.report.counter_map(),
+                logical_counters(&r),
+                logical_counters(&baseline),
                 "counters differ at threads={threads} fanout={fanout:?}"
             );
             assert_eq!(
@@ -144,8 +176,8 @@ fn tracing_and_progress_do_not_perturb_deterministic_sections() {
                 "clusters differ under tracing at threads={threads} fanout={fanout:?}"
             );
             assert_eq!(
-                r.report.counter_map(),
-                baseline.report.counter_map(),
+                logical_counters(&r),
+                logical_counters(&baseline),
                 "counters differ under tracing at threads={threads} fanout={fanout:?}"
             );
             assert_eq!(
@@ -168,6 +200,123 @@ fn tracing_and_progress_do_not_perturb_deterministic_sections() {
             );
         }
     }
+}
+
+/// The full observability stack live at once — tracking allocator with
+/// per-phase attribution, a timeline journal folded to flamegraph stacks,
+/// and every run archived into one ledger — must leave the mined clusters
+/// and input-determined sections invariant across thread counts and
+/// fan-out modes, and the archive must round-trip through `diff_reports`
+/// with per-phase allocation metrics covered.
+#[test]
+fn ledger_flame_and_phase_bytes_do_not_perturb_determinism() {
+    use tricluster::core::obs::ledger::{
+        content_hash, diff_reports, DiffTolerances, Ledger, NewEntry,
+    };
+    use tricluster::core::obs::timeline::Timeline;
+    use tricluster::core::obs::Fanout;
+    use tricluster::core::runreport;
+
+    let dir =
+        std::env::temp_dir().join(format!("tricluster-det-ledger-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = Ledger::open(dir.join("ledger")).unwrap();
+    let m = smoke_matrix();
+    let baseline =
+        mine_observed(&m, &smoke_params(1, FanoutMode::Slice), &Recorder::new()).unwrap();
+    let base_sections = deterministic_sections(&baseline);
+    let mut ids = Vec::new();
+    for threads in [1usize, 2, 8] {
+        for fanout in [FanoutMode::Auto, FanoutMode::Slice, FanoutMode::Pair] {
+            let recorder = Recorder::new();
+            let timeline = Timeline::new();
+            let sink = Fanout(vec![&recorder, &timeline]);
+            let r = mine_observed(&m, &smoke_params(threads, fanout), &sink).unwrap();
+            assert_eq!(
+                clusters(&r),
+                clusters(&baseline),
+                "clusters differ at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                logical_counters(&r),
+                logical_counters(&baseline),
+                "counters differ at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                deterministic_sections(&r),
+                base_sections,
+                "report sections differ at threads={threads} fanout={fanout:?}"
+            );
+            // the allocator really attributed traffic to each phase, and
+            // the phases sum to no more than the whole-run total (other
+            // test threads share the global counters, so lower bounds only)
+            let counters = r.report.counter_map();
+            let total = counters["memory.alloc.total_bytes"];
+            assert!(total > 0, "no measured allocations");
+            let phase_sum: u64 = [
+                "memory.alloc.slices.bytes",
+                "memory.alloc.triclusters.bytes",
+                "memory.alloc.prune.bytes",
+            ]
+            .iter()
+            .map(|k| counters[*k])
+            .sum();
+            assert!(
+                phase_sum > 0 && phase_sum <= total,
+                "{phase_sum} vs {total}"
+            );
+            // the timeline folds into non-empty well-formed stacks
+            let folded = timeline.to_folded();
+            assert!(!folded.trim().is_empty());
+            for line in folded.lines() {
+                let (stack, micros) = line.rsplit_once(' ').expect("`stack N` shape");
+                assert!(
+                    !stack.is_empty() && micros.parse::<u64>().is_ok(),
+                    "{line:?}"
+                );
+            }
+            // archive the run, flame artifact included
+            let met = r.metrics(&m);
+            let doc = runreport::report_to_json_v2(&m, &r, &r.report, &met);
+            runreport::validate_v2(&doc).unwrap();
+            let id = ledger
+                .archive(&NewEntry {
+                    kind: "mine",
+                    label: Some(format!("threads{threads}-{fanout:?}")),
+                    dataset_hash: content_hash(b"determinism-smoke"),
+                    params_hash: content_hash(format!("{threads}/{fanout:?}").as_bytes()),
+                    report: &doc,
+                    trace: None,
+                    flame: Some(&folded),
+                })
+                .unwrap();
+            ids.push(id);
+        }
+    }
+    // the archive round-trips: every run listed, every flame readable
+    let entries = ledger.list().unwrap();
+    assert_eq!(entries.len(), 9);
+    assert_eq!(
+        entries.iter().map(|e| e.id.clone()).collect::<Vec<_>>(),
+        ids
+    );
+    assert!(ledger.flame_path(&ids[0]).is_file());
+    // cross-run analytics cover timings, allocator totals, and per-phase
+    // allocation attribution for archived runs
+    let first = ledger.read_report(&ids[0]).unwrap();
+    let last = ledger.read_report(&ids[8]).unwrap();
+    let deltas = diff_reports(&first, &last, &DiffTolerances::default()).unwrap();
+    let metrics: Vec<&str> = deltas.iter().map(|d| d.metric.as_str()).collect();
+    for expected in [
+        "timings.total_secs",
+        "memory.alloc.total_bytes",
+        "memory.phase_bytes.slices.bytes",
+        "memory.phase_bytes.triclusters.bytes",
+        "memory.phase_bytes.prune.bytes",
+    ] {
+        assert!(metrics.contains(&expected), "{expected} not in {metrics:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The smoke workload actually exercises the intra-slice paths: at 8
