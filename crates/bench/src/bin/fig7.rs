@@ -15,15 +15,23 @@
 //! finishes in seconds — the workload behind the committed
 //! `BENCH_baseline.json` that `bench diff` gates against. `--ledger DIR`
 //! archives the sweep document into a run ledger (kind `bench`), browsable
-//! with `tricluster runs`.
+//! with `tricluster runs`. `--metrics-addr HOST:PORT` serves the sweep's
+//! live metrics over HTTP (`/metrics`, `/progress`, `/healthz`) for the
+//! process lifetime — point `tricluster watch` at it.
 //!
 //! Expected shapes (paper §5.1): (a) ~linear in genes, (b) exponential in
 //! samples, (c) ~linear in time slices over this range, (d) linear in
 //! cluster count, (e) flat in overlap %, (f) growing with noise.
 
-use tricluster_bench::{fig7_smoke_sweeps, fig7_sweeps, full_scale, measure};
+use std::sync::Arc;
+use tricluster_bench::{
+    fig7_params, fig7_smoke_sweeps, fig7_sweeps, full_scale, measure, measure_with_observed,
+};
+use tricluster_core::obs::httpd::MetricsServer;
 use tricluster_core::obs::json::Json;
 use tricluster_core::obs::ledger::{content_hash, Ledger, NewEntry};
+use tricluster_core::obs::metrics::Registry;
+use tricluster_core::obs::progress::Progress;
 
 /// With `--features track-alloc`, measure heap usage so sweep points carry
 /// `peak_live_bytes`/`alloc_bytes` and the regression gate covers memory.
@@ -36,6 +44,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = None;
     let mut ledger_dir = None;
+    let mut metrics_addr: Option<String> = None;
     let mut smoke = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -48,10 +57,31 @@ fn main() {
                 Some(dir) => ledger_dir = Some(dir.clone()),
                 None => usage("--ledger needs a directory"),
             },
+            "--metrics-addr" => match it.next() {
+                Some(addr) => metrics_addr = Some(addr.clone()),
+                None => usage("--metrics-addr needs HOST:PORT"),
+            },
             "--smoke" => smoke = true,
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
+
+    // One registry spans the whole sweep: counters and span histograms
+    // accumulate across points, progress gauges restart per mine, and the
+    // server stays scrapeable until the process exits.
+    let metrics = metrics_addr.map(|addr| {
+        let registry = Arc::new(Registry::new());
+        registry.attach_progress(Arc::new(Progress::new()));
+        let server = match MetricsServer::serve(&addr, registry.clone()) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("metrics: serving on {}", server.url());
+        (registry, server)
+    });
 
     let full = full_scale();
     let (label, sweeps) = if smoke {
@@ -68,7 +98,12 @@ fn main() {
         println!("{xlabel},seconds,clusters,recall");
         let mut points_json: Vec<Json> = Vec::new();
         for (x, spec) in points {
-            let p = measure(&spec, x);
+            let p = match &metrics {
+                Some((registry, _server)) => {
+                    measure_with_observed(&spec, x, fig7_params(&spec), &**registry)
+                }
+                None => measure(&spec, x),
+            };
             println!(
                 "{},{:.3},{},{:.2}",
                 p.x,
@@ -123,6 +158,8 @@ fn main() {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("usage: fig7 [--smoke] [--json PATH] [--ledger DIR] ({msg})");
+    eprintln!(
+        "usage: fig7 [--smoke] [--json PATH] [--ledger DIR] [--metrics-addr HOST:PORT] ({msg})"
+    );
     std::process::exit(2);
 }

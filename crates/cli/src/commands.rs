@@ -6,13 +6,15 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 use std::time::Duration;
+use tricluster_core::obs::httpd::{http_get, MetricsServer};
 use tricluster_core::obs::json::Json;
 use tricluster_core::obs::ledger::{
     content_hash, diff_reports, DiffTolerances, IndexEntry, Ledger, NewEntry,
 };
+use tricluster_core::obs::metrics::Registry;
 use tricluster_core::obs::progress::{Progress, ProgressSink, ProgressTicker};
 use tricluster_core::obs::timeline::Timeline;
-use tricluster_core::obs::{names, EventSink, Fanout, JsonLinesSink, NullSink, Recorder};
+use tricluster_core::obs::{names, EventSink, Fanout, JsonLinesSink, NullSink, Recorder, Tee};
 use tricluster_core::runreport;
 use tricluster_core::{
     cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, FanoutMode,
@@ -27,8 +29,10 @@ tricluster — mining coherent clusters in 3D microarray data (SIGMOD 2005)
 USAGE:
   tricluster mine <stacked.tsv> [options]     mine a stacked-TSV 3D matrix
   tricluster synth <out.tsv> [options]        generate synthetic data
-  tricluster demo                             run the paper's Table 1 example
+  tricluster demo [--export PATH]             run the paper's Table 1 example
+                                              (or export it as a stacked TSV)
   tricluster runs <subcommand> ...            inspect an archived run ledger
+  tricluster watch <URL> [options]            live-monitor a serving run
 
 MINE OPTIONS:
   --eps E          maximum ratio threshold ε             (default 0.01)
@@ -74,6 +78,21 @@ MINE OPTIONS:
   --progress[=SECS]    emit live progress snapshots as JSON lines on stderr
                        every SECS seconds (default 1.0): phase, slices/pairs/
                        branches done vs. total, candidates, bytes, budgets
+  --metrics-addr HOST:PORT   serve live run metrics over HTTP for the
+                       lifetime of the mine (port 0 picks one; the bound
+                       address is printed on stderr): GET /metrics is
+                       OpenMetrics text exposition (counters, phase timing
+                       histograms, progress/budget gauges, live/peak heap
+                       bytes under --features track-alloc), GET /progress a
+                       JSON gauge snapshot, GET /healthz a liveness probe
+
+WATCH OPTIONS (tricluster watch http://HOST:PORT):
+  --interval SECS  poll /progress every SECS seconds (default 1.0) and
+                   render a live one-line status; exits 0 when the watched
+                   run's server goes away after at least one snapshot
+  --once           print a single status snapshot and exit
+  --get PATH       print one raw HTTP response body from URL+PATH (e.g.
+                   --get /metrics scrapes without external tooling)
 
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
@@ -220,6 +239,7 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
             ("trace-out", 1),
             ("flame-out", 1),
             ("ledger", 1),
+            ("metrics-addr", 1),
         ],
         &[
             "shifting", "auto", "names", "csv", "trace", "explain", "progress", "-v", "-vv",
@@ -243,6 +263,7 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     let trace_out = a.get_str("trace-out").map(str::to_string);
     let flame_out = a.get_str("flame-out").map(str::to_string);
     let ledger_dir = a.get_str("ledger").map(str::to_string);
+    let metrics_addr = a.get_str("metrics-addr").map(str::to_string);
     // `--progress` alone means the default heartbeat; `--progress=SECS`
     // overrides the interval. Parse (and reject) up front so a bad value is
     // a usage error before any I/O.
@@ -267,11 +288,12 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
             || trace_out.is_some()
             || flame_out.is_some()
             || ledger_dir.is_some()
-            || progress_interval.is_some())
+            || progress_interval.is_some()
+            || metrics_addr.is_some())
     {
         return Err(CliError::Usage(
-            "--report-json/--trace/--explain/--trace-out/--flame-out/--ledger/--progress \
-             are not supported with --shifting"
+            "--report-json/--trace/--explain/--trace-out/--flame-out/--ledger/--progress\
+             /--metrics-addr are not supported with --shifting"
                 .into(),
         ));
     }
@@ -315,8 +337,32 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     let want_hists = report_json.is_some() || a.has("explain") || verbosity >= 2;
     let trace_sink;
     let timeline = (trace_out.is_some() || flame_out.is_some()).then(Timeline::new);
-    let progress = progress_interval.map(|_| Arc::new(Progress::new()));
+    // `--metrics-addr` implies progress gauges even without `--progress`:
+    // the `/progress` endpoint and the gauge exposition serve them live.
+    let progress =
+        (progress_interval.is_some() || metrics_addr.is_some()).then(|| Arc::new(Progress::new()));
     let progress_sink;
+    // The metrics registry aggregates whatever the run publishes; the
+    // scrape server holds its own handle, so the registry keeps answering
+    // (with the completed run's totals) until the server shuts down.
+    let registry = metrics_addr.as_ref().map(|_| {
+        let registry = Arc::new(Registry::new());
+        if let Some(p) = &progress {
+            registry.attach_progress(p.clone());
+        }
+        registry
+    });
+    // Held for the rest of the run; dropping it (any exit path) stops the
+    // serve thread, so the endpoint dies with the mine.
+    let _metrics_server = match (&metrics_addr, &registry) {
+        (Some(addr), Some(registry)) => {
+            let server = MetricsServer::serve(addr, registry.clone())
+                .map_err(|e| CliError::Run(format!("cannot serve metrics on {addr}: {e}")))?;
+            eprintln!("metrics: serving on {}", server.url());
+            Some(server)
+        }
+        _ => None,
+    };
     let mut sinks: Vec<&dyn EventSink> = Vec::new();
     if a.has("trace") {
         trace_sink = JsonLinesSink::stderr();
@@ -331,6 +377,9 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     if let Some(p) = &progress {
         progress_sink = ProgressSink(p.clone());
         sinks.push(&progress_sink);
+    }
+    if let Some(r) = &registry {
+        sinks.push(&**r);
     }
     let fanout_sink;
     let sink: &dyn EventSink = match sinks.len() {
@@ -410,7 +459,15 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     let mut report = result.report.clone();
     let met = if report_json.is_some() || ledger_dir.is_some() {
         let rec = Recorder::new();
-        let met = cluster_metrics_observed(&matrix, &result.triclusters, &rec);
+        // Tee the metrics phase into the live registry too, so a final
+        // scrape (the server outlives the mine) sees `phase.metrics`.
+        let met = match &registry {
+            Some(r) => {
+                let tee = Tee(&rec, &**r);
+                cluster_metrics_observed(&matrix, &result.triclusters, &tee)
+            }
+            None => cluster_metrics_observed(&matrix, &result.triclusters, &rec),
+        };
         report.merge(&rec.snapshot());
         Some(met)
     } else {
@@ -469,6 +526,146 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     let met = met.unwrap_or_else(|| result.metrics(&matrix));
     println!("\n{met}");
     Ok(())
+}
+
+/// The `watch` subcommand: polls a serving run's `/progress` endpoint
+/// (see `mine --metrics-addr`) and renders a live one-line status on
+/// stdout. Exits 0 once the watched server goes away after at least one
+/// successful snapshot — that is how a finished run looks from outside.
+pub fn watch(argv: &[String]) -> Result<(), CliError> {
+    let a =
+        args::parse(argv, &[("interval", 1), ("get", 1)], &["once"]).map_err(CliError::Usage)?;
+    let Some(url) = a.positional.first() else {
+        return Err(CliError::Usage(
+            "watch: missing URL (as printed by mine --metrics-addr, \
+             e.g. http://127.0.0.1:9185)"
+                .into(),
+        ));
+    };
+    let base = url.trim_end_matches('/').to_string();
+    // `--get PATH`: one raw scrape, printed verbatim — gives scripts an
+    // HTTP client with zero external tooling.
+    if let Some(path) = a.get_str("get") {
+        let path = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
+        let (status, body) = http_get(&format!("{base}{path}")).map_err(CliError::Run)?;
+        print!("{body}");
+        return if status == 200 {
+            Ok(())
+        } else {
+            Err(CliError::Run(format!("GET {path}: HTTP {status}")))
+        };
+    }
+    let interval = a
+        .get_f64("interval")
+        .map_err(CliError::Usage)?
+        .unwrap_or(1.0);
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(CliError::Usage(format!(
+            "--interval expects a positive number of seconds, got {interval}"
+        )));
+    }
+    let endpoint = format!("{base}/progress");
+    let started = std::time::Instant::now();
+    let mut seen = false;
+    let mut width = 0usize;
+    loop {
+        match http_get(&endpoint) {
+            Ok((200, body)) => {
+                let line = Json::parse(body.trim())
+                    .ok()
+                    .as_ref()
+                    .and_then(render_watch_line)
+                    .ok_or_else(|| {
+                        CliError::Run(format!("{endpoint}: unparseable progress snapshot"))
+                    })?;
+                seen = true;
+                if a.has("once") {
+                    println!("{line}");
+                    return Ok(());
+                }
+                // Overwrite in place, blank-padding leftovers of a longer
+                // previous line.
+                let pad = width.saturating_sub(line.len());
+                print!("\r{line}{:pad$}", "");
+                let _ = std::io::Write::flush(&mut std::io::stdout());
+                width = line.len();
+            }
+            Ok((status, _)) => {
+                return Err(CliError::Run(format!(
+                    "{endpoint}: HTTP {status} — is this a tricluster --metrics-addr endpoint?"
+                )));
+            }
+            Err(e) => {
+                if seen {
+                    println!();
+                    eprintln!("watch: {endpoint} went away; run ended");
+                    return Ok(());
+                }
+                // Grace period while the watched run binds its listener.
+                if started.elapsed() > Duration::from_secs(5) {
+                    return Err(CliError::Run(format!("watch: {e}")));
+                }
+            }
+        }
+        let snooze = if seen { interval } else { interval.min(0.05) };
+        std::thread::sleep(Duration::from_secs_f64(snooze));
+    }
+}
+
+/// One status line from a `/progress` snapshot: phase, work done vs.
+/// discovered, candidates, live logical bytes, budget headroom.
+fn render_watch_line(snap: &Json) -> Option<String> {
+    let p = snap.get("progress")?;
+    let phase = p.get("phase")?.as_str()?;
+    let elapsed = p.get("elapsed_secs")?.as_f64()?;
+    let pair = |key: &str| -> Option<(u64, u64)> {
+        Some((
+            p.get_path(&[key, "done"])?.as_u64()?,
+            p.get_path(&[key, "total"])?.as_u64()?,
+        ))
+    };
+    let (slices_done, slices_total) = pair("slices")?;
+    let (pairs_done, pairs_total) = pair("pairs")?;
+    let (branches_done, branches_total) = pair("branches")?;
+    let candidates = p.get("candidates")?.as_u64()?;
+    let bytes = p.get("logical_bytes")?.as_u64()?;
+    let mut line = format!(
+        "[{elapsed:7.1}s] {phase:<10} slices {slices_done}/{slices_total} | \
+         pairs {pairs_done}/{pairs_total} | branches {branches_done}/{branches_total} | \
+         candidates {candidates} | {}",
+        human_bytes(bytes)
+    );
+    if let Some(budgets) = p.get("budgets").and_then(|b| b.as_obj()) {
+        for (name, budget) in budgets {
+            if let Some(frac) = budget.get("used_frac").and_then(|v| v.as_f64()) {
+                line.push_str(&format!(
+                    " | {name} headroom {:.0}%",
+                    (1.0 - frac).max(0.0) * 100.0
+                ));
+            }
+        }
+    }
+    Some(line)
+}
+
+/// `1536` → `1.5 KiB`; plain byte counts below 1 KiB.
+fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
 }
 
 const RUNS_USAGE: &str = "runs: expected a subcommand — \
@@ -866,8 +1063,19 @@ fn write_matrix(path: &str, m: &Matrix3) -> Result<(), CliError> {
     io::write_stacked_tsv(&mut w, m, &labels).map_err(|e| CliError::Run(e.to_string()))
 }
 
-pub fn demo() -> Result<(), CliError> {
+pub fn demo(argv: &[String]) -> Result<(), CliError> {
+    let a = args::parse(argv, &[("export", 1)], &[]).map_err(CliError::Usage)?;
+    if let Some(stray) = a.positional.first() {
+        return Err(CliError::Usage(format!(
+            "demo takes no positional arguments, got {stray:?}"
+        )));
+    }
     let m = tricluster_core::testdata::paper_table1();
+    if let Some(path) = a.get_str("export") {
+        write_matrix(path, &m)?;
+        eprintln!("wrote the Table 1 running example (10 genes x 7 samples x 2 times) to {path}");
+        return Ok(());
+    }
     let params = Params::builder()
         .epsilon(0.01)
         .min_genes(3)
@@ -914,6 +1122,7 @@ mod tests {
                 ("trace-out", 1),
                 ("flame-out", 1),
                 ("ledger", 1),
+                ("metrics-addr", 1),
             ],
             &[
                 "shifting", "auto", "names", "csv", "trace", "explain", "progress", "-v", "-vv",
@@ -1037,7 +1246,26 @@ mod tests {
 
     #[test]
     fn demo_runs() {
-        demo().unwrap();
+        demo(&[]).unwrap();
+    }
+
+    /// `demo --export` writes the Table 1 fixture as a mineable stacked
+    /// TSV — the dataset the EXPERIMENTS.md live-monitoring walkthrough
+    /// points `mine --metrics-addr` at.
+    #[test]
+    fn demo_exports_a_mineable_table1_tsv() {
+        let dir = std::env::temp_dir().join(format!("tricluster-demo-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table1.tsv");
+        let path_str = path.to_str().unwrap().to_string();
+        demo(&["--export".to_string(), path_str.clone()]).unwrap();
+        mine(&[path_str, "--eps".to_string(), "0.01".to_string()]).unwrap();
+        let e = demo(&["stray".to_string()]).unwrap_err();
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("positional")),
+            "{e}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1393,6 +1621,7 @@ mod tests {
             vec!["--progress"],
             vec!["--flame-out", "f.folded"],
             vec!["--ledger", "ldir"],
+            vec!["--metrics-addr", "127.0.0.1:0"],
         ] {
             let mut argv = vec!["f.tsv".to_string(), "--shifting".to_string()];
             argv.extend(extra.iter().map(|s| s.to_string()));
@@ -1667,5 +1896,203 @@ mod tests {
             matches!(&e, CliError::Run(m) if m.contains("no ledger")),
             "{e}"
         );
+    }
+
+    /// Binds an ephemeral port, then releases it — the returned address is
+    /// free for the code under test to bind (the usual reserve-port trick;
+    /// nothing else in this process grabs ports in between).
+    fn reserve_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        addr
+    }
+
+    /// Metrics tentpole gate, end to end: a mine with `--metrics-addr`
+    /// serves `/healthz`, `/metrics` (valid exposition with slices-phase
+    /// counters, span timings, and budget headroom), and `/progress`
+    /// *while mining* — the tricluster phase is held open by an injected
+    /// delay so the mid-run window is deterministic — and `tricluster
+    /// watch` renders a live snapshot from it. When the mine ends the
+    /// endpoint dies with it, and the run's report is a valid v2 document.
+    #[test]
+    fn metrics_server_serves_scrapes_mid_run() {
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-metrics-test-{}", std::process::id()));
+        let data = synth_into(&dir);
+        let addr = reserve_addr();
+        let url = format!("http://{addr}");
+        let report_path = dir.join("metrics-report.json");
+        let report_str = report_path.to_str().unwrap().to_string();
+        let _scenario = tricluster_failpoint::scenario();
+        tricluster_failpoint::configure(
+            "core.tricluster.phase",
+            tricluster_failpoint::Action::Delay(Duration::from_millis(700)),
+        );
+        let mine_argv: Vec<String> = vec![
+            data.clone(),
+            "--metrics-addr".into(),
+            addr.clone(),
+            "--deadline".into(),
+            "60".into(),
+            "--report-json".into(),
+            report_str.clone(),
+        ];
+        let miner = std::thread::spawn(move || mine(&mine_argv));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match http_get(&format!("{url}/healthz")) {
+                Ok((200, body)) => {
+                    assert_eq!(body, "ok\n");
+                    break;
+                }
+                other => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "healthz never came up: {other:?}"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        // Slices-phase counters publish before the delayed tricluster phase
+        // begins, so they must become scrapeable mid-run.
+        let exposition = loop {
+            let (status, body) = http_get(&format!("{url}/metrics")).expect("server up mid-run");
+            assert_eq!(status, 200);
+            if body.contains("tricluster_rangegraph_pairs_total") {
+                break body;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slices counters never appeared in {body:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(exposition.ends_with("# EOF\n"), "{exposition}");
+        assert!(
+            exposition.contains("tricluster_phase_range_graph_seconds_count"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("tricluster_budget_headroom_ratio{budget=\"deadline\"}"),
+            "{exposition}"
+        );
+        assert!(
+            exposition.contains("tricluster_progress_phase{phase="),
+            "{exposition}"
+        );
+        let (status, body) = http_get(&format!("{url}/progress")).unwrap();
+        assert_eq!(status, 200);
+        let snap = Json::parse(body.trim()).expect("valid progress JSON");
+        assert!(snap.get_path(&["progress", "phase"]).is_some(), "{body}");
+        // `watch` renders a live snapshot, and its raw-get mode scrapes
+        // (also exercising the missing-leading-slash normalization).
+        watch(&[url.clone(), "--once".into()]).unwrap();
+        watch(&[url.clone(), "--get".into(), "healthz".into()]).unwrap();
+        miner.join().unwrap().unwrap();
+        assert!(
+            http_get(&format!("{url}/healthz")).is_err(),
+            "endpoint must die with the mine"
+        );
+        let doc = Json::parse(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        runreport::validate_v2(&doc).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Serving metrics must not change any input-determined report
+    /// section: a threads-1 run without metrics and a threads-4
+    /// pair-fanout run with a live metrics server render those sections
+    /// byte-identically (same list the bench determinism gate pins).
+    #[test]
+    fn deterministic_sections_unchanged_by_metrics() {
+        let dir =
+            std::env::temp_dir().join(format!("tricluster-metrics-det-{}", std::process::id()));
+        let data = synth_into(&dir);
+        let base_path = dir.join("base.json");
+        let met_path = dir.join("met.json");
+        mine(&[
+            data.clone(),
+            "--threads".into(),
+            "1".into(),
+            "--report-json".into(),
+            base_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        mine(&[
+            data.clone(),
+            "--threads".into(),
+            "4".into(),
+            "--fanout".into(),
+            "pair".into(),
+            "--metrics-addr".into(),
+            "127.0.0.1:0".into(),
+            "--report-json".into(),
+            met_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let base = Json::parse(&std::fs::read_to_string(&base_path).unwrap()).unwrap();
+        let met = Json::parse(&std::fs::read_to_string(&met_path).unwrap()).unwrap();
+        const SECTIONS: &[&[&str]] = &[
+            &["matrix"],
+            &["clusters"],
+            &["truncated"],
+            &["metrics"],
+            &["report", "counters"],
+            &["histograms"],
+            &["search_space"],
+            &["memory", "matrix_bytes"],
+            &["memory", "rangegraph_peak_bytes"],
+            &["memory", "bicluster_bytes"],
+            &["memory", "tricluster_bytes"],
+        ];
+        for path in SECTIONS {
+            let a = base.get_path(path).map(|j| j.render());
+            let b = met.get_path(path).map(|j| j.render());
+            assert!(a.is_some(), "section {path:?} missing from baseline");
+            assert_eq!(a, b, "section {path:?} must be byte-identical");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `watch` against a live endpoint: keeps polling until the server
+    /// goes away, then exits 0 (that is what a finished run looks like).
+    #[test]
+    fn watch_polls_until_the_server_goes_away() {
+        let registry = Arc::new(Registry::new());
+        let progress = Arc::new(Progress::new());
+        registry.attach_progress(progress);
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+        let url = server.url();
+        let handle = std::thread::spawn(move || watch(&[url, "--interval".into(), "0.02".into()]));
+        std::thread::sleep(Duration::from_millis(150));
+        drop(server);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn watch_rejects_bad_invocations() {
+        let e = watch(&[]).unwrap_err();
+        assert!(matches!(&e, CliError::Usage(m) if m.contains("URL")), "{e}");
+        let e = watch(&[
+            "http://127.0.0.1:1".to_string(),
+            "--interval".to_string(),
+            "0".to_string(),
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(&e, CliError::Usage(m) if m.contains("--interval")),
+            "{e}"
+        );
+        // A released port refuses connections: `--get` surfaces that as a
+        // runtime error immediately (no startup grace for one-shot gets).
+        let addr = reserve_addr();
+        let e = watch(&[
+            format!("http://{addr}"),
+            "--get".to_string(),
+            "/metrics".to_string(),
+        ])
+        .unwrap_err();
+        assert!(matches!(e, CliError::Run(_)), "{e}");
     }
 }

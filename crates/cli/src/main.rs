@@ -10,6 +10,7 @@
 //!                 [--clusters 8] [--noise 0.03] [--overlap 0.2] [--seed 42]
 //! tricluster demo
 //! tricluster runs <list|show|diff|top> <LEDGER-DIR> ...
+//! tricluster watch <URL> [--interval SECS] [--once] [--get PATH]
 //! ```
 //!
 //! Exit codes: `0` success, `1` mining/runtime error (unreadable input,
@@ -51,8 +52,9 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     match argv.first().map(String::as_str) {
         Some("mine") => commands::mine(&argv[1..]),
         Some("synth") => commands::synth(&argv[1..]),
-        Some("demo") => commands::demo(),
+        Some("demo") => commands::demo(&argv[1..]),
         Some("runs") => commands::runs(&argv[1..]),
+        Some("watch") => commands::watch(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -597,6 +597,11 @@ fn mine_pipeline(
         timings.biclusters += out.bc_time;
         sink.span(names::SPAN_RANGE_GRAPH, out.rg_time);
         sink.span(names::SPAN_BICLUSTER, out.bc_time);
+        // Live monitoring reads the logical-bytes gauge mid-phase, so
+        // refresh it per merged slice, not just at the phase boundary.
+        if let Some(p) = &ctrl.progress {
+            p.set_logical_bytes(ctrl.token.charged_bytes());
+        }
     }
     if let Some(p) = &ctrl.progress {
         p.set_logical_bytes(ctrl.token.charged_bytes());

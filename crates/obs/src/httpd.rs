@@ -1,0 +1,310 @@
+//! Minimal std-only HTTP server for live metrics scrapes.
+//!
+//! [`MetricsServer`] binds a [`TcpListener`] (a `:0` port works and the
+//! bound address is reported back) and serves three read-only endpoints
+//! off a background thread:
+//!
+//! | endpoint    | body                                                  |
+//! |-------------|-------------------------------------------------------|
+//! | `/metrics`  | OpenMetrics exposition of the attached [`Registry`]   |
+//! | `/progress` | JSON snapshot of the run's progress gauges            |
+//! | `/healthz`  | `ok` — liveness only                                  |
+//!
+//! Connections are handled serially — scrapers poll at second granularity
+//! and every response is a point-in-time render, so there is nothing to
+//! win by handling them concurrently. Dropping the server stops the
+//! thread deterministically (stop flag + self-connect to unblock
+//! `accept`), so a CLI run's server dies with the run.
+//!
+//! [`http_get`] is the matching client: just enough HTTP/1.0 to scrape
+//! these endpoints (and anything equally plain) without a dependency —
+//! `tricluster watch` and the CI smoke gate are built on it.
+
+use crate::metrics::Registry;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection I/O deadline: a stuck scraper must not wedge the serve
+/// loop (connections are handled one at a time).
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Upper bound on an accepted request head; enough for any scraper's GET.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running scrape endpoint. Dropping it shuts the listener down and
+/// joins the serve thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `registry`.
+    pub fn serve(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("metrics-httpd".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(stream) = conn {
+                        // A failed scrape (timeout, closed pipe) only loses
+                        // that one response; the serve loop survives it.
+                        let _ = handle_conn(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually bound address (resolves a requested port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Scrape base URL, e.g. `http://127.0.0.1:37012`.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock `accept` with one throwaway connection; an unspecified
+        // bind address (0.0.0.0) is dialed back via loopback.
+        let mut dial = self.addr;
+        if dial.ip().is_unspecified() {
+            dial.set_ip(Ipv4Addr::LOCALHOST.into());
+        }
+        let _ = TcpStream::connect_timeout(&dial, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST_BYTES {
+            return respond(&mut stream, 431, "Request Header Fields Too Large", "", "");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = match (request_line.next(), request_line.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&mut stream, 400, "Bad Request", "", ""),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "Method Not Allowed", "", "");
+    }
+    // Scrapers may append query strings (`/metrics?format=...`); route on
+    // the path alone.
+    match path.split('?').next().unwrap_or(path) {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            &registry.render_openmetrics(),
+        ),
+        "/progress" => match registry.progress_json() {
+            Some(json) => respond(
+                &mut stream,
+                200,
+                "OK",
+                "application/json; charset=utf-8",
+                &(json + "\n"),
+            ),
+            None => respond(
+                &mut stream,
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no progress gauges attached\n",
+            ),
+        },
+        "/healthz" => respond(&mut stream, 200, "OK", "text/plain; charset=utf-8", "ok\n"),
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /metrics, /progress, or /healthz\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let mut response = format!("HTTP/1.0 {status} {reason}\r\n");
+    if !content_type.is_empty() {
+        response.push_str(&format!("Content-Type: {content_type}\r\n"));
+    }
+    response.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    ));
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Plain HTTP/1.0 GET. Accepts `http://HOST:PORT/path` or `HOST:PORT/path`
+/// and returns `(status, body)`. Only as much HTTP as the endpoints above
+/// speak — enough for `tricluster watch` and shell smoke tests to scrape
+/// without external tooling.
+pub fn http_get(url: &str) -> Result<(u16, String), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let addr = authority
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {authority}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {authority}: no addresses"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)
+        .map_err(|e| format!("cannot connect to {authority}: {e}"))?;
+    let io_err = |e: std::io::Error| format!("http error talking to {authority}: {e}");
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(io_err)?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.0\r\nHost: {authority}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(io_err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(io_err)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed response from {authority}: {response:?}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use crate::progress::{Phase, Progress};
+    use crate::EventSink;
+
+    fn served_registry() -> (MetricsServer, Arc<Registry>, Arc<Progress>) {
+        let registry = Arc::new(Registry::new());
+        let progress = Arc::new(Progress::new());
+        registry.attach_progress(progress.clone());
+        let server =
+            MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind an ephemeral port");
+        (server, registry, progress)
+    }
+
+    #[test]
+    fn serves_metrics_progress_and_healthz() {
+        let (server, registry, progress) = served_registry();
+        let sink: &dyn EventSink = &*registry;
+        sink.counter(names::TC_RECORDED, 7);
+        progress.set_phase(Phase::Prune);
+
+        let (status, body) = http_get(&format!("{}/healthz", server.url())).unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = http_get(&format!("{}/metrics", server.url())).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("tricluster_tricluster_recorded_total 7"),
+            "{body}"
+        );
+        assert!(body.ends_with("# EOF\n"), "{body}");
+
+        let (status, body) = http_get(&format!("{}/progress", server.url())).unwrap();
+        assert_eq!(status, 200);
+        let snap = crate::json::Json::parse(body.trim()).expect("valid JSON body");
+        assert_eq!(
+            snap.get_path(&["progress", "phase"])
+                .and_then(|v| v.as_str()),
+            Some("prune")
+        );
+    }
+
+    #[test]
+    fn unknown_paths_404_and_non_get_405() {
+        let (server, _registry, _progress) = served_registry();
+        let (status, _) = http_get(&format!("{}/nope", server.url())).unwrap();
+        assert_eq!(status, 404);
+        // Query strings are routed on the path alone.
+        let (status, _) = http_get(&format!("{}/healthz?verbose=1", server.url())).unwrap();
+        assert_eq!(status, 200);
+        // A hand-written POST gets 405.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+    }
+
+    #[test]
+    fn progress_endpoint_404s_without_gauges() {
+        let registry = Arc::new(Registry::new());
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+        let (status, _) = http_get(&format!("{}/progress", server.url())).unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn drop_shuts_the_listener_down() {
+        let (server, _registry, _progress) = served_registry();
+        let addr = server.local_addr();
+        drop(server);
+        // The port is released: a fresh connect must fail (or be refused
+        // fast), and a new server can re-bind the same address.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+        let registry = Arc::new(Registry::new());
+        let rebound = MetricsServer::serve(&addr.to_string(), registry).expect("address released");
+        assert_eq!(rebound.local_addr(), addr);
+    }
+
+    #[test]
+    fn http_get_rejects_unreachable_and_malformed_targets() {
+        assert!(http_get("definitely not a url").is_err());
+        // A released ephemeral port: connection refused surfaces as Err.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(http_get(&format!("http://{addr}/metrics")).is_err());
+    }
+}

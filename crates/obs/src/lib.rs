@@ -21,8 +21,10 @@ use std::time::{Duration, Instant};
 
 pub mod alloc;
 pub mod hist;
+pub mod httpd;
 pub mod json;
 pub mod ledger;
+pub mod metrics;
 pub mod names;
 pub mod progress;
 pub mod timeline;

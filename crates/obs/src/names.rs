@@ -165,3 +165,114 @@ pub const T_FAILPOINT: &str = "fault.failpoint";
 /// panicked and were dropped from the run. Absent from clean runs, so their
 /// reports stay byte-identical to builds without the fault layer.
 pub const F_WORKER_FAILURES: &str = "fault.worker_failures";
+
+/// Every registered name, in declaration order. New constants must be
+/// added here too — the uniqueness/charset test below guards the whole
+/// taxonomy, and the metrics exposition derives its family names from
+/// these strings (`.` → `_`), so a stray character or a collision would
+/// corrupt scrapes silently.
+pub const ALL: &[&str] = &[
+    SPAN_SLICES_WALL,
+    SPAN_RANGE_GRAPH,
+    SPAN_BICLUSTER,
+    SPAN_TRICLUSTER,
+    SPAN_PRUNE,
+    SPAN_METRICS,
+    RG_PAIRS,
+    RG_RATIOS,
+    RG_EDGES,
+    RG_RANGES_VALID,
+    RG_RANGES_EXTENDED,
+    RG_RANGES_SPLIT,
+    RG_RANGES_PATCHED,
+    BC_NODES,
+    BC_DEDUP_HITS,
+    BC_BUDGET_SPENT,
+    BC_COMBOS,
+    BC_RECORDED,
+    BC_REJECTED_DELTA,
+    BC_REJECTED_SUBSUMED,
+    BC_REPLACED,
+    BC_MERGE_SUBSUMED,
+    TC_NODES,
+    TC_DEDUP_HITS,
+    TC_BUDGET_SPENT,
+    TC_EXTENSIONS,
+    TC_COHERENCE_CHECKS,
+    TC_REJECTED_INCOHERENT,
+    TC_REJECTED_SMALL,
+    TC_RECORDED,
+    TC_REJECTED_SUBSUMED,
+    TC_REPLACED,
+    PR_MERGED,
+    PR_DELETED_PAIRWISE,
+    PR_DELETED_MULTICOVER,
+    MX_CELLS,
+    MX_COVERED,
+    H_RG_RANGE_WIDTH_PPM,
+    H_RG_EDGE_GENESET,
+    H_BC_CANDIDATES,
+    H_BC_DEPTH,
+    H_BC_FANOUT,
+    H_TC_CANDIDATES,
+    H_TC_DEPTH,
+    H_TC_FANOUT,
+    H_PR_BOUNDING_EXTRA_PCT,
+    H_SLICE_BICLUSTERS,
+    H_SLICE_EDGES,
+    M_MATRIX_BYTES,
+    M_RANGEGRAPH_BYTES,
+    M_BICLUSTER_BYTES,
+    M_TRICLUSTER_BYTES,
+    M_ALLOC_TOTAL_BYTES,
+    M_ALLOC_TOTAL_CALLS,
+    M_ALLOC_PEAK_BYTES,
+    M_ALLOC_SLICES_BYTES,
+    M_ALLOC_SLICES_CALLS,
+    M_ALLOC_TRICLUSTERS_BYTES,
+    M_ALLOC_TRICLUSTERS_CALLS,
+    M_ALLOC_PRUNE_BYTES,
+    M_ALLOC_PRUNE_CALLS,
+    T_SLICE,
+    T_RG_PAIR,
+    T_BC_BRANCH,
+    T_PR_MERGE,
+    T_PR_DELETE,
+    T_TRUNCATED,
+    T_DEADLINE,
+    T_MEMORY,
+    T_WORKER_FAILURE,
+    T_FAILPOINT,
+    F_WORKER_FAILURES,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    /// Names are unique and `[a-z0-9._]+` with `.`-separated non-empty
+    /// segments: uniqueness keeps report keys and metric families from
+    /// colliding; the charset keeps the OpenMetrics exposition's
+    /// `.` → `_` mapping injective-enough and escape-free.
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut sanitized = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate name {name:?}");
+            assert!(
+                sanitized.insert(name.replace('.', "_")),
+                "{name:?} collides with another name after `.` → `_`"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "{name:?} strays outside [a-z0-9._]"
+            );
+            assert!(
+                name.split('.').all(|segment| !segment.is_empty()),
+                "{name:?} has an empty dotted segment"
+            );
+        }
+    }
+}

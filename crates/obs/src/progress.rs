@@ -43,6 +43,16 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Every phase, in pipeline order (used by the metrics exposition's
+    /// one-hot phase gauge).
+    pub const ALL: [Phase; 5] = [
+        Phase::Init,
+        Phase::Slices,
+        Phase::Tricluster,
+        Phase::Prune,
+        Phase::Done,
+    ];
+
     /// Stable lowercase name used in progress JSON.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -200,6 +210,68 @@ impl Progress {
         self.candidates.load(Ordering::Relaxed)
     }
 
+    /// One coherent-enough point-in-time read of every gauge (each gauge
+    /// is read once, relaxed — values from a racing update may be one
+    /// bump apart, which is fine for telemetry). Both the JSON heartbeat
+    /// and the OpenMetrics exposition render from this.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let elapsed_secs = self.started.elapsed().as_secs_f64();
+        let logical_bytes = load(&self.logical_bytes);
+        let budget_spent = load(&self.budget_spent);
+        let budgets = *self
+            .budgets
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let frac = |used: f64, limit: f64| {
+            if limit > 0.0 {
+                (used / limit).min(1.0)
+            } else {
+                1.0
+            }
+        };
+        let mut gauges = Vec::new();
+        if let Some(deadline) = budgets.deadline {
+            let limit = deadline.as_secs_f64();
+            gauges.push(BudgetGauge {
+                name: "deadline",
+                limit,
+                used: elapsed_secs,
+                used_frac: frac(elapsed_secs, limit),
+            });
+        }
+        if let Some(limit) = budgets.max_memory {
+            gauges.push(BudgetGauge {
+                name: "memory",
+                limit: limit as f64,
+                used: logical_bytes as f64,
+                used_frac: frac(logical_bytes as f64, limit as f64),
+            });
+        }
+        if let Some(limit) = budgets.max_candidates {
+            gauges.push(BudgetGauge {
+                name: "candidates",
+                limit: limit as f64,
+                used: budget_spent as f64,
+                used_frac: frac(budget_spent as f64, limit as f64),
+            });
+        }
+        ProgressSnapshot {
+            elapsed_secs,
+            phase: self.phase(),
+            slices_done: load(&self.slices_done),
+            slices_total: load(&self.slices_total),
+            pairs_done: load(&self.pairs_done),
+            pairs_total: load(&self.pairs_total),
+            branches_done: load(&self.branches_done),
+            branches_total: load(&self.branches_total),
+            candidates: load(&self.candidates),
+            budget_spent,
+            logical_bytes,
+            budgets: gauges,
+        }
+    }
+
     /// One progress snapshot as a JSON object:
     ///
     /// ```json
@@ -212,73 +284,72 @@ impl Progress {
     /// Budget entries appear only for budgets the run configured; the
     /// `budgets` key is omitted when the run is unbounded.
     pub fn snapshot_json(&self) -> Json {
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let pair = |done: &AtomicU64, total: &AtomicU64| {
+        let snap = self.snapshot();
+        let pair = |done: u64, total: u64| {
             Json::obj()
-                .with("done", Json::U64(load(done)))
-                .with("total", Json::U64(load(total)))
+                .with("done", Json::U64(done))
+                .with("total", Json::U64(total))
         };
-        let elapsed = self.started.elapsed();
         let mut body = Json::obj()
-            .with("elapsed_secs", Json::F64(elapsed.as_secs_f64()))
-            .with("phase", Json::Str(self.phase().as_str().into()))
-            .with("slices", pair(&self.slices_done, &self.slices_total))
-            .with("pairs", pair(&self.pairs_done, &self.pairs_total))
-            .with("branches", pair(&self.branches_done, &self.branches_total))
-            .with("candidates", Json::U64(load(&self.candidates)))
-            .with("logical_bytes", Json::U64(load(&self.logical_bytes)));
+            .with("elapsed_secs", Json::F64(snap.elapsed_secs))
+            .with("phase", Json::Str(snap.phase.as_str().into()))
+            .with("slices", pair(snap.slices_done, snap.slices_total))
+            .with("pairs", pair(snap.pairs_done, snap.pairs_total))
+            .with("branches", pair(snap.branches_done, snap.branches_total))
+            .with("candidates", Json::U64(snap.candidates))
+            .with("logical_bytes", Json::U64(snap.logical_bytes));
 
-        let budgets = *self
-            .budgets
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let frac = |used: f64, limit: f64| {
-            if limit > 0.0 {
-                Json::F64((used / limit).min(1.0))
-            } else {
-                Json::F64(1.0)
-            }
-        };
         let mut budget_obj = Json::obj();
-        let mut any_budget = false;
-        if let Some(deadline) = budgets.deadline {
-            let used = elapsed.as_secs_f64();
-            budget_obj = budget_obj.with(
-                "deadline",
-                Json::obj()
-                    .with("limit_secs", Json::F64(deadline.as_secs_f64()))
-                    .with("used_secs", Json::F64(used))
-                    .with("used_frac", frac(used, deadline.as_secs_f64())),
-            );
-            any_budget = true;
+        for b in &snap.budgets {
+            // Budget kinds keep their historical key spellings (secs vs
+            // bytes vs raw counts) so heartbeat consumers see no change.
+            let entry = match b.name {
+                "deadline" => Json::obj()
+                    .with("limit_secs", Json::F64(b.limit))
+                    .with("used_secs", Json::F64(b.used)),
+                "memory" => Json::obj()
+                    .with("limit_bytes", Json::U64(b.limit as u64))
+                    .with("used_bytes", Json::U64(b.used as u64)),
+                _ => Json::obj()
+                    .with("limit", Json::U64(b.limit as u64))
+                    .with("spent", Json::U64(b.used as u64)),
+            };
+            budget_obj = budget_obj.with(b.name, entry.with("used_frac", Json::F64(b.used_frac)));
         }
-        if let Some(limit) = budgets.max_memory {
-            let used = load(&self.logical_bytes);
-            budget_obj = budget_obj.with(
-                "memory",
-                Json::obj()
-                    .with("limit_bytes", Json::U64(limit))
-                    .with("used_bytes", Json::U64(used))
-                    .with("used_frac", frac(used as f64, limit as f64)),
-            );
-            any_budget = true;
-        }
-        if let Some(limit) = budgets.max_candidates {
-            let spent = load(&self.budget_spent);
-            budget_obj = budget_obj.with(
-                "candidates",
-                Json::obj()
-                    .with("limit", Json::U64(limit))
-                    .with("spent", Json::U64(spent))
-                    .with("used_frac", frac(spent as f64, limit as f64)),
-            );
-            any_budget = true;
-        }
-        if any_budget {
+        if !snap.budgets.is_empty() {
             body = body.with("budgets", budget_obj);
         }
         Json::obj().with("progress", body)
     }
+}
+
+/// Point-in-time values of every [`Progress`] gauge, plus one
+/// [`BudgetGauge`] per configured budget.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    pub elapsed_secs: f64,
+    pub phase: Phase,
+    pub slices_done: u64,
+    pub slices_total: u64,
+    pub pairs_done: u64,
+    pub pairs_total: u64,
+    pub branches_done: u64,
+    pub branches_total: u64,
+    pub candidates: u64,
+    pub budget_spent: u64,
+    pub logical_bytes: u64,
+    pub budgets: Vec<BudgetGauge>,
+}
+
+/// Proximity to one configured budget ceiling. Units depend on the budget
+/// (`deadline` in seconds, `memory` in bytes, `candidates` in budget
+/// units); `used_frac` is always the saturating ratio in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetGauge {
+    pub name: &'static str,
+    pub limit: f64,
+    pub used: f64,
+    pub used_frac: f64,
 }
 
 /// Sink wrapper that opts a run into progress telemetry: contributes
@@ -296,45 +367,57 @@ impl EventSink for ProgressSink {
 }
 
 /// Background heartbeat: snapshots a [`Progress`] every `interval` and
-/// writes one JSON line per tick. Dropping the ticker stops the thread,
-/// emitting one final snapshot first (so short runs still produce a line).
+/// writes one JSON line per tick, plus exactly one final line when
+/// dropped.
+///
+/// The final line is emitted by the *dropping* thread, after the tick
+/// thread has been stopped and joined — so it is ordered after every
+/// gauge update the run made before dropping the ticker (the log's last
+/// line always reflects the terminal phase and counters), and it is
+/// still attempted when the tick thread died early on a transient write
+/// failure.
 pub struct ProgressTicker {
+    progress: Arc<Progress>,
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
     stop: Option<mpsc::Sender<()>>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One snapshot line: rendered in full, written atomically, flushed.
+fn emit_snapshot(progress: &Progress, out: &Mutex<Box<dyn Write + Send>>) -> bool {
+    let mut line = progress.snapshot_json().render();
+    line.push('\n');
+    let mut out = out.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    out.write_all(line.as_bytes()).is_ok() && out.flush().is_ok()
 }
 
 impl ProgressTicker {
     /// Starts the heartbeat thread. Lines go to `out` as
     /// `snapshot_json().render()` + `'\n'`, written atomically per line
-    /// and flushed; the thread stops on write failure (e.g. closed pipe).
-    pub fn start(
-        progress: Arc<Progress>,
-        interval: Duration,
-        mut out: Box<dyn Write + Send>,
-    ) -> Self {
+    /// and flushed; the tick thread stops on write failure (e.g. closed
+    /// pipe) but the final drop-time snapshot is attempted regardless.
+    pub fn start(progress: Arc<Progress>, interval: Duration, out: Box<dyn Write + Send>) -> Self {
+        let out = Arc::new(Mutex::new(out));
         let (stop, ticks) = mpsc::channel::<()>();
-        let handle = std::thread::spawn(move || {
-            let mut emit = |progress: &Progress| -> bool {
-                let mut line = progress.snapshot_json().render();
-                line.push('\n');
-                out.write_all(line.as_bytes()).is_ok() && out.flush().is_ok()
-            };
-            loop {
+        let handle = {
+            let progress = progress.clone();
+            let out = out.clone();
+            std::thread::spawn(move || loop {
                 match ticks.recv_timeout(interval) {
                     Err(mpsc::RecvTimeoutError::Timeout) => {
-                        if !emit(&progress) {
+                        if !emit_snapshot(&progress, &out) {
                             return;
                         }
                     }
-                    // stop requested or the ticker was leaked: final line.
-                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        let _ = emit(&progress);
-                        return;
-                    }
+                    // Stop requested (the final line is the dropper's job)
+                    // or the ticker struct was leaked without running Drop.
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
                 }
-            }
-        });
+            })
+        };
         ProgressTicker {
+            progress,
+            out,
             stop: Some(stop),
             handle: Some(handle),
         }
@@ -349,6 +432,7 @@ impl Drop for ProgressTicker {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+        let _ = emit_snapshot(&self.progress, &self.out);
     }
 }
 
@@ -522,5 +606,111 @@ mod tests {
         for line in lines {
             assert!(Json::parse(line).is_ok(), "torn line: {line:?}");
         }
+    }
+
+    #[test]
+    fn ticker_final_line_reflects_terminal_counters() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let p = Arc::new(Progress::new());
+        let ticker = ProgressTicker::start(
+            p.clone(),
+            Duration::from_secs(3600), // never ticks on its own
+            Box::new(Shared(buf.clone())),
+        );
+        // Every update lands before the drop — the final line must carry
+        // all of them, not a snapshot from an earlier tick.
+        p.add_slices_total(3);
+        p.slice_done();
+        p.slice_done();
+        p.slice_done();
+        p.candidate_recorded();
+        p.set_phase(Phase::Done);
+        drop(ticker);
+        let text = String::from_utf8(
+            buf.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone(),
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "exactly the final snapshot: {text:?}");
+        let last = Json::parse(lines[0]).expect("valid JSON line");
+        let body = last.get("progress").unwrap();
+        assert_eq!(body.get("phase").and_then(|v| v.as_str()), Some("done"));
+        assert_eq!(
+            body.get_path(&["slices", "done"]).and_then(|v| v.as_u64()),
+            Some(3)
+        );
+        assert_eq!(body.get("candidates").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn ticker_emits_final_snapshot_even_after_tick_thread_write_failure() {
+        // A writer that fails while `failing` is set: the periodic tick
+        // thread hits the failure and exits early. The drop-time snapshot
+        // comes from the dropping thread, so once the writer recovers the
+        // terminal line still appears.
+        struct Flaky {
+            failing: Arc<std::sync::atomic::AtomicBool>,
+            buf: Arc<Mutex<Vec<u8>>>,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.failing.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "flaky"));
+                }
+                self.buf
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let failing = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let p = Arc::new(Progress::new());
+        let ticker = ProgressTicker::start(
+            p.clone(),
+            Duration::from_millis(2),
+            Box::new(Flaky {
+                failing: failing.clone(),
+                buf: buf.clone(),
+            }),
+        );
+        // Give the tick thread time to attempt a write and die on it.
+        std::thread::sleep(Duration::from_millis(40));
+        failing.store(false, Ordering::SeqCst);
+        p.set_phase(Phase::Done);
+        drop(ticker);
+        let text = String::from_utf8(
+            buf.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone(),
+        )
+        .unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "exactly the final snapshot: {text:?}");
+        let last = Json::parse(lines[0]).expect("valid JSON line");
+        assert_eq!(
+            last.get_path(&["progress", "phase"])
+                .and_then(|v| v.as_str()),
+            Some("done")
+        );
     }
 }

@@ -71,7 +71,11 @@ if [[ $fast -eq 0 ]]; then
     trace_json="$(mktemp /tmp/tricluster-trace-XXXXXX.json)"
     flame_txt="$(mktemp /tmp/tricluster-flame-XXXXXX.folded)"
     ledger_dir="$(mktemp -d /tmp/tricluster-ledger-XXXXXX)"
-    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt"; rm -rf "$ledger_dir"' EXIT
+    met_tsv="$(mktemp /tmp/tricluster-met-XXXXXX.tsv)"
+    met_base="$(mktemp /tmp/tricluster-met-base-XXXXXX.json)"
+    met_json="$(mktemp /tmp/tricluster-met-XXXXXX.json)"
+    met_log="$(mktemp /tmp/tricluster-met-XXXXXX.log)"
+    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt" "$met_tsv" "$met_base" "$met_json" "$met_log"; rm -rf "$ledger_dir"' EXIT
     run cargo run --release --quiet -p tricluster-bench --features track-alloc \
         --bin fig7 -- --smoke --json "$smoke_json"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
@@ -126,6 +130,44 @@ if [[ $fast -eq 0 ]]; then
     run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
         runs diff "$ledger_dir" $ids --time-tol 2.0 --time-floor 0.5
     echo "==> ledger smoke: 2 runs archived, shown, and diffed in $ledger_dir"
+
+    # Metrics-smoke gate: a mine with a live metrics endpoint must serve
+    # /healthz, /metrics, and /progress *while mining* (the workload is
+    # sized to run a couple of seconds; scrapes go through the release
+    # binary's own `watch` client), and serving metrics must not change a
+    # byte of the input-determined report sections relative to a plain run
+    # at a different thread count.
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        synth "$met_tsv" --genes 1200 --samples 12 --times 4 --clusters 4 --noise 0.02
+    run cargo run --release --quiet -p tricluster-cli --bin tricluster -- \
+        mine "$met_tsv" --eps 0.012 --threads 1 --report-json "$met_base"
+    echo
+    echo "==> metrics smoke: mine --metrics-addr with live scrapes"
+    ./target/release/tricluster mine "$met_tsv" --eps 0.012 --threads 4 \
+        --metrics-addr 127.0.0.1:0 --report-json "$met_json" >/dev/null 2> "$met_log" &
+    met_pid=$!
+    met_url=""
+    for _ in $(seq 1 500); do
+        met_url=$(sed -n 's/^metrics: serving on //p' "$met_log" | head -n1)
+        [[ -n "$met_url" ]] && break
+        sleep 0.01
+    done
+    if [[ -z "$met_url" ]]; then
+        echo "error: mine --metrics-addr never announced its endpoint (log: $(cat "$met_log"))" >&2
+        exit 1
+    fi
+    ./target/release/tricluster watch "$met_url" --get /healthz | grep -q '^ok$'
+    ./target/release/tricluster watch "$met_url" --get /metrics | grep -q '^# EOF$'
+    ./target/release/tricluster watch "$met_url" --once | grep -q 'slices'
+    if ! kill -0 "$met_pid" 2>/dev/null; then
+        echo "error: mine finished before the scrapes — metrics smoke did not observe a live run" >&2
+        wait "$met_pid" || true
+        exit 1
+    fi
+    wait "$met_pid"
+    echo "==> metrics smoke: scraped /healthz, /metrics, /progress mid-run at $met_url"
+    run cargo run --release --quiet -p tricluster-bench --bin bench -- \
+        determinism "$met_base" "$met_json"
 fi
 
 echo

@@ -202,6 +202,69 @@ fn tracing_and_progress_do_not_perturb_deterministic_sections() {
     }
 }
 
+/// The metrics registry and its scrape server must be pure observers too:
+/// mining with a live `Registry` in the sink fan-out — progress gauges
+/// attached, HTTP server scraping `/metrics` after every run — leaves the
+/// clusters and every input-determined section byte-identical to a plain
+/// run, at every thread count and fan-out mode. This is the tentpole
+/// determinism guarantee behind `mine --metrics-addr`.
+#[test]
+fn metrics_registry_and_server_do_not_perturb_deterministic_sections() {
+    use std::sync::Arc;
+    use tricluster::core::obs::httpd::{http_get, MetricsServer};
+    use tricluster::core::obs::metrics::Registry;
+    use tricluster::core::obs::names;
+    use tricluster::core::obs::progress::Progress;
+    use tricluster::core::obs::Fanout;
+
+    let m = smoke_matrix();
+    let baseline =
+        mine_observed(&m, &smoke_params(1, FanoutMode::Slice), &Recorder::new()).unwrap();
+    let base_sections = deterministic_sections(&baseline);
+    for threads in [1usize, 2, 8] {
+        for fanout in [FanoutMode::Auto, FanoutMode::Slice, FanoutMode::Pair] {
+            let recorder = Recorder::new();
+            let registry = Arc::new(Registry::new());
+            registry.attach_progress(Arc::new(Progress::new()));
+            let server = MetricsServer::serve("127.0.0.1:0", registry.clone()).unwrap();
+            let sink = Fanout(vec![&recorder, &*registry]);
+            let r = mine_observed(&m, &smoke_params(threads, fanout), &sink).unwrap();
+            assert_eq!(
+                clusters(&r),
+                clusters(&baseline),
+                "clusters differ under metrics at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                logical_counters(&r),
+                logical_counters(&baseline),
+                "counters differ under metrics at threads={threads} fanout={fanout:?}"
+            );
+            assert_eq!(
+                deterministic_sections(&r),
+                base_sections,
+                "report sections differ under metrics at threads={threads} fanout={fanout:?}"
+            );
+            // the registry really aggregated the run, and the final scrape
+            // reflects it: pair counts match the report, the exposition is
+            // well-terminated, and the gauges reached the terminal phase
+            assert_eq!(
+                registry.counter_value(names::RG_PAIRS),
+                r.report.counter_map()[names::RG_PAIRS],
+                "registry pair counter diverged at threads={threads} fanout={fanout:?}"
+            );
+            let (status, body) = http_get(&format!("{}/metrics", server.url())).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.ends_with("# EOF\n"), "{body}");
+            assert!(body.contains("tricluster_rangegraph_pairs_total"), "{body}");
+            assert!(
+                body.contains("tricluster_progress_phase{phase=\"done\"} 1"),
+                "{body}"
+            );
+            drop(server);
+        }
+    }
+}
+
 /// The full observability stack live at once — tracking allocator with
 /// per-phase attribution, a timeline journal folded to flamegraph stacks,
 /// and every run archived into one ledger — must leave the mined clusters
