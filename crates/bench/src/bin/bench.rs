@@ -5,6 +5,8 @@
 //!            [--mem-tol F] [--mem-floor BYTES] [--update]
 //! bench determinism <a.json> <b.json>
 //! bench scaling [--json PATH] [--threads N,N,...] [--trace-dir DIR]
+//! bench kernel [--json PATH] [--ledger DIR] [--genes N,N,...] [--samples N]
+//!              [--min-ms MS]
 //! ```
 //!
 //! `diff` compares two `fig7 --json` documents (normally the committed
@@ -27,10 +29,19 @@
 //! other sweep. With `--trace-dir DIR` each point additionally exports a
 //! Chrome Trace Event timeline (`DIR/scaling-threads-N.trace.json`) so the
 //! per-worker schedule behind each wall time can be inspected in Perfetto.
+//!
+//! `kernel` microbenchmarks the range-graph pair kernel stage by stage
+//! (transpose, full pair, classify, find-ranges, bitset intersect) on
+//! synthetic single-slice workloads at several gene counts, printing
+//! ns-per-gene CSV; `--json` writes a `tricluster.kernel/v1` document and
+//! `--ledger DIR` archives it like a fig7 sweep (kind `bench`).
+
+use std::time::Duration;
 
 use tricluster_bench::regress::{determinism_diff, diff, Tolerances};
-use tricluster_bench::{measure_threads_observed, scaling_spec};
+use tricluster_bench::{kernel, measure_threads_observed, scaling_spec};
 use tricluster_core::obs::json::Json;
+use tricluster_core::obs::ledger::{content_hash, Ledger, NewEntry};
 use tricluster_core::obs::timeline::Timeline;
 use tricluster_core::obs::{EventSink, NullSink};
 
@@ -43,7 +54,8 @@ fn run(argv: &[String]) -> i32 {
         Some(("diff", rest)) => run_diff(rest),
         Some(("determinism", rest)) => run_determinism(rest),
         Some(("scaling", rest)) => run_scaling(rest),
-        _ => usage("expected a subcommand: diff | determinism | scaling"),
+        Some(("kernel", rest)) => run_kernel(rest),
+        _ => usage("expected a subcommand: diff | determinism | scaling | kernel"),
     }
 }
 
@@ -276,13 +288,102 @@ fn parse_thread_list(s: &str) -> Result<Vec<usize>, String> {
     }
 }
 
+fn run_kernel(rest: &[String]) -> i32 {
+    let mut json_path = None;
+    let mut ledger_dir = None;
+    let mut genes = vec![100usize, 200, 400, 800, 1600];
+    let mut samples = 10usize;
+    let mut min_ms = 25u64;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => return usage("--json needs a path"),
+            },
+            "--ledger" => match it.next() {
+                Some(dir) => ledger_dir = Some(dir.clone()),
+                None => return usage("--ledger needs a directory"),
+            },
+            "--genes" => match it.next().map(|s| parse_thread_list(s)) {
+                Some(Ok(list)) => genes = list,
+                Some(Err(e)) => return usage(&e.replace("--threads", "--genes")),
+                None => return usage("--genes needs a comma-separated list"),
+            },
+            "--samples" => match it.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) if n >= 2 => samples = n,
+                _ => return usage("--samples needs an integer >= 2"),
+            },
+            "--min-ms" => match it.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(ms)) if ms > 0 => min_ms = ms,
+                _ => return usage("--min-ms needs a positive integer"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    println!("# pair-kernel microbenchmark: {samples} samples, >={min_ms}ms per stage");
+    println!("genes,pairs,edges,stage,sweeps,ns_per_gene");
+    let mut points = Vec::new();
+    for &g in &genes {
+        let spec = kernel::kernel_spec(g, samples);
+        let point = kernel::measure_point(&spec, Duration::from_millis(min_ms));
+        for s in &point.stages {
+            println!(
+                "{},{},{},{},{},{:.2}",
+                point.n_genes, point.pairs, point.edges, s.name, s.sweeps, s.ns_per_gene
+            );
+        }
+        points.push(point);
+    }
+    if json_path.is_some() || ledger_dir.is_some() {
+        let doc = kernel::kernel_doc(&points);
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, doc.render_pretty() + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return 2;
+            }
+            eprintln!("wrote kernel JSON to {path}");
+        }
+        if let Some(dir) = ledger_dir {
+            // Workloads are generated in-process, so the "dataset" hash
+            // covers the sweep family instead of file bytes.
+            let genes_label = genes
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let archived = Ledger::open(&dir).and_then(|ledger| {
+                ledger.archive(&NewEntry {
+                    kind: "bench",
+                    label: Some(format!("kernel (genes {genes_label})")),
+                    dataset_hash: content_hash(format!("kernel/{genes_label}").as_bytes()),
+                    params_hash: content_hash(format!("{samples}/{min_ms}").as_bytes()),
+                    report: &doc,
+                    trace: None,
+                    flame: None,
+                })
+            });
+            match archived {
+                Ok(id) => eprintln!("kernel run archived as {id} in {dir}"),
+                Err(e) => {
+                    eprintln!("cannot archive kernel run in {dir}: {e}");
+                    return 2;
+                }
+            }
+        }
+    }
+    0
+}
+
 fn usage(msg: &str) -> i32 {
     eprintln!(
         "usage:\n  \
          bench diff <baseline.json> <current.json> [--time-tol F] [--time-floor SECS] \
          [--mem-tol F] [--mem-floor BYTES] [--update]\n  \
          bench determinism <a.json> <b.json>\n  \
-         bench scaling [--json PATH] [--threads N,N,...] [--trace-dir DIR]\n({msg})"
+         bench scaling [--json PATH] [--threads N,N,...] [--trace-dir DIR]\n  \
+         bench kernel [--json PATH] [--ledger DIR] [--genes N,N,...] [--samples N] \
+         [--min-ms MS]\n({msg})"
     );
     2
 }

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod kernel;
 
 use std::time::{Duration, Instant};
 use tricluster_core::obs::{alloc, json::Json, EventSink, NullSink};

@@ -32,10 +32,18 @@
 #![warn(missing_docs)]
 
 mod iter;
+mod pool;
 
 pub use iter::Ones;
+pub use pool::BitSetPool;
 
 const BITS: usize = 64;
+
+/// Block width of the unrolled set-algebra kernels. Four independent `u64`
+/// lanes per iteration give the autovectorizer a fixed-shape inner loop
+/// (two 128-bit or one 256-bit op per AND/OR) while keeping the early-exit
+/// checks of the bounded kernels at chunk granularity.
+const LANES: usize = 4;
 
 /// A fixed-capacity set of `usize` indices backed by `u64` blocks.
 ///
@@ -87,6 +95,54 @@ impl BitSet {
             s.insert(i);
         }
         s
+    }
+
+    /// Creates a set over `0..nbits` from indices that are all known to be
+    /// in range — the contract of a range finder handing over one contiguous
+    /// window of its sorted ratio array. Skips the per-bit bounds assertion
+    /// (and its formatting machinery) that [`BitSet::insert`] pays, setting
+    /// each bit with two shifts and an OR.
+    ///
+    /// Out-of-range indices are a caller bug: debug builds panic, release
+    /// builds panic on the block access (no silent wraparound either way).
+    pub fn from_sorted_range_indices<I: IntoIterator<Item = usize>>(
+        nbits: usize,
+        indices: I,
+    ) -> Self {
+        let mut s = BitSet::new(nbits);
+        s.set_bits_unchecked(indices);
+        s
+    }
+
+    /// Sets every index yielded by `indices`; all must be `< capacity`
+    /// (debug-asserted; release builds still panic on the block bound).
+    #[inline]
+    pub(crate) fn set_bits_unchecked<I: IntoIterator<Item = usize>>(&mut self, indices: I) {
+        for i in indices {
+            debug_assert!(
+                i < self.nbits,
+                "index {i} out of bounds for BitSet of capacity {}",
+                self.nbits
+            );
+            self.blocks[i / BITS] |= 1u64 << (i % BITS);
+        }
+    }
+
+    /// Crate-internal: assembles a set directly from block storage. The
+    /// blocks must already be exactly `block_count(nbits)` long and hold no
+    /// bits above `nbits` — [`BitSetPool::alloc`] guarantees both by
+    /// clearing and zero-resizing the buffer it reuses.
+    #[inline]
+    pub(crate) fn from_raw_parts(blocks: Vec<u64>, nbits: usize) -> Self {
+        debug_assert_eq!(blocks.len(), block_count(nbits));
+        debug_assert!(blocks.iter().all(|&b| b == 0), "pool buffers start empty");
+        BitSet { blocks, nbits }
+    }
+
+    /// Crate-internal: surrenders the block storage for pooling.
+    #[inline]
+    pub(crate) fn into_raw_blocks(self) -> Vec<u64> {
+        self.blocks
     }
 
     /// Zeroes the bits above `nbits` in the last block so that popcounts and
@@ -234,15 +290,29 @@ impl BitSet {
         a.check_same_universe(b);
         self.nbits = a.nbits;
         self.blocks.clear();
-        self.blocks.reserve(a.blocks.len());
-        let mut count = 0usize;
-        self.blocks
-            .extend(a.blocks.iter().zip(&b.blocks).map(|(x, y)| {
-                let v = x & y;
-                count += v.count_ones() as usize;
-                v
-            }));
-        count
+        self.blocks.resize(a.blocks.len(), 0);
+        let mut acc = [0usize; LANES];
+        let mut dst = self.blocks.chunks_exact_mut(LANES);
+        let mut sa = a.blocks.chunks_exact(LANES);
+        let mut sb = b.blocks.chunks_exact(LANES);
+        for ((d, x), y) in (&mut dst).zip(&mut sa).zip(&mut sb) {
+            for l in 0..LANES {
+                let v = x[l] & y[l];
+                acc[l] += v.count_ones() as usize;
+                d[l] = v;
+            }
+        }
+        let tail = dst
+            .into_remainder()
+            .iter_mut()
+            .zip(sa.remainder())
+            .zip(sb.remainder());
+        for ((d, x), y) in tail {
+            let v = x & y;
+            acc[0] += v.count_ones() as usize;
+            *d = v;
+        }
+        acc.iter().sum()
     }
 
     /// Allocating intersection.
@@ -270,17 +340,27 @@ impl BitSet {
     #[inline]
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         self.check_same_universe(other);
-        self.blocks
-            .iter()
-            .zip(&other.blocks)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        let mut acc = [0usize; LANES];
+        let mut ca = self.blocks.chunks_exact(LANES);
+        let mut cb = other.blocks.chunks_exact(LANES);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            for l in 0..LANES {
+                acc[l] += (x[l] & y[l]).count_ones() as usize;
+            }
+        }
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            acc[0] += (x & y).count_ones() as usize;
+        }
+        acc.iter().sum()
     }
 
     /// Returns `true` as soon as `|self ∩ other| >= threshold`, scanning as
     /// few blocks as possible. This is the miner's admission test
     /// (`|G(R) ∩ C.X| ≥ mx`), which usually succeeds early or fails with a
-    /// near-empty intersection; either way most blocks are skipped.
+    /// near-empty intersection; either way most blocks are skipped. The
+    /// early exit runs at [`LANES`]-chunk granularity: cheap enough to keep
+    /// the loop body vectorizable, fine enough that a hit in the first
+    /// blocks still skips the rest of the scan.
     #[inline]
     pub fn intersection_count_at_least(&self, other: &BitSet, threshold: usize) -> bool {
         self.check_same_universe(other);
@@ -288,8 +368,20 @@ impl BitSet {
             return true;
         }
         let mut seen = 0usize;
-        for (a, b) in self.blocks.iter().zip(&other.blocks) {
-            seen += (a & b).count_ones() as usize;
+        let mut ca = self.blocks.chunks_exact(LANES);
+        let mut cb = other.blocks.chunks_exact(LANES);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            let mut chunk = 0u32;
+            for l in 0..LANES {
+                chunk += (x[l] & y[l]).count_ones();
+            }
+            seen += chunk as usize;
+            if seen >= threshold {
+                return true;
+            }
+        }
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            seen += (x & y).count_ones() as usize;
             if seen >= threshold {
                 return true;
             }
@@ -310,6 +402,11 @@ impl BitSet {
         threshold: usize,
         self_count: usize,
     ) -> bool {
+        // Check the universes before any early return — previously a
+        // zero-threshold or too-small-hint call skipped the check entirely
+        // and a mismatched `other` fell through to the sparse path, where
+        // `contains` silently treats out-of-universe indices as absent.
+        self.check_same_universe(other);
         debug_assert_eq!(self_count, self.count(), "stale population hint");
         if threshold == 0 {
             return true;
@@ -598,6 +695,110 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.capacity(), 66);
+    }
+
+    /// Deterministic scatter of indices for the capacity-sweep tests: a
+    /// multiplicative hash keeps bits in every block, including a partially
+    /// used trailing block.
+    fn scatter(nbits: usize, salt: usize) -> Vec<usize> {
+        (0..nbits)
+            .filter(|i| (i.wrapping_mul(2654435761) ^ salt).is_multiple_of(3))
+            .collect()
+    }
+
+    /// Capacities chosen to exercise every shape the chunked kernels see:
+    /// zero blocks, a single partial block, exactly one chunk (4×64), a
+    /// chunk plus partial remainder blocks, and multi-chunk with a
+    /// non-multiple-of-64 trailing block.
+    const CAPS: [usize; 10] = [0, 1, 63, 64, 65, 255, 256, 257, 300, 777];
+
+    #[test]
+    fn chunked_intersection_count_matches_naive_all_capacities() {
+        for nbits in CAPS {
+            let a = BitSet::from_indices(nbits, scatter(nbits, 0));
+            let b = BitSet::from_indices(nbits, scatter(nbits, 1));
+            let naive = a.iter().filter(|&i| b.contains(i)).count();
+            assert_eq!(a.intersection_count(&b), naive, "nbits={nbits}");
+            assert_eq!(b.intersection_count(&a), naive, "nbits={nbits}");
+        }
+    }
+
+    #[test]
+    fn chunked_intersect_into_matches_naive_all_capacities() {
+        let mut scratch = BitSet::new(0);
+        for nbits in CAPS {
+            let a = BitSet::from_indices(nbits, scatter(nbits, 2));
+            let b = BitSet::from_indices(nbits, scatter(nbits, 3));
+            let n = scratch.intersect_into(&a, &b);
+            assert_eq!(scratch, a.intersection(&b), "nbits={nbits}");
+            assert_eq!(n, scratch.count(), "nbits={nbits}");
+        }
+    }
+
+    #[test]
+    fn chunked_count_at_least_every_threshold_all_capacities() {
+        for nbits in CAPS {
+            let a = BitSet::from_indices(nbits, scatter(nbits, 4));
+            let b = BitSet::from_indices(nbits, scatter(nbits, 5));
+            let exact = a.intersection_count(&b);
+            for t in [0, 1, exact.saturating_sub(1), exact, exact + 1, exact + 10] {
+                assert_eq!(
+                    a.intersection_count_at_least(&b, t),
+                    exact >= t,
+                    "nbits={nbits} t={t} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_matches_unhinted_all_capacities_and_thresholds() {
+        for nbits in CAPS {
+            // Sparse self (forces the membership-test path) and dense self
+            // (forces the block-scan path), each against a mid-density other.
+            let sparse: Vec<usize> = scatter(nbits, 6).into_iter().step_by(40).collect();
+            let dense = scatter(nbits, 7);
+            let other = BitSet::from_indices(nbits, scatter(nbits, 8));
+            for elems in [sparse, dense] {
+                let s = BitSet::from_indices(nbits, elems);
+                let count = s.count();
+                let exact = s.intersection_count(&other);
+                for t in [0, 1, exact, exact + 1, count, count + 1] {
+                    assert_eq!(
+                        s.intersection_count_at_least_hinted(&other, t, count),
+                        exact >= t,
+                        "nbits={nbits} t={t} exact={exact} count={count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_zero_threshold_is_true_even_for_empty_sets() {
+        let a = BitSet::new(100);
+        let b = BitSet::new(100);
+        assert!(a.intersection_count_at_least_hinted(&b, 0, 0));
+        assert!(!a.intersection_count_at_least_hinted(&b, 1, 0));
+    }
+
+    #[test]
+    fn from_sorted_range_indices_matches_from_indices() {
+        for nbits in [1usize, 64, 65, 300] {
+            let idx: Vec<usize> = (0..nbits).step_by(3).collect();
+            assert_eq!(
+                BitSet::from_sorted_range_indices(nbits, idx.iter().copied()),
+                BitSet::from_indices(nbits, idx),
+                "nbits={nbits}"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn from_sorted_range_indices_debug_checks_bounds() {
+        BitSet::from_sorted_range_indices(10, [10usize]);
     }
 
     #[test]

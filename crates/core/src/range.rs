@@ -25,7 +25,7 @@
 //! negative ratios with `(−,+)` values. Ranges never span groups.
 
 use crate::params::RangeExtension;
-use tricluster_bitset::BitSet;
+use tricluster_bitset::{BitSet, BitSetPool};
 
 /// How a range was produced (paper Figure 1(b)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,16 +98,183 @@ impl RatioRange {
     }
 }
 
+// ------------------------------------------------------------ packed keys --
+//
+// The per-group ratio sort is the hottest comparison site in the miner.
+// Ratios reaching the sort are always positive and finite (the finder
+// filters first), and for positive finite floats the IEEE-754 bit pattern
+// is monotone in the value: `a <= b  ⟺  a.to_bits() <= b.to_bits()`.
+// Packing the ratio bits and the gene index into one integer turns the
+// `(ratio, gene)` sort into a plain integer sort — no `total_cmp` callback
+// per comparison — distributed into value buckets by [`bucket_sort`]. Ties
+// break by gene index instead of input order, which cannot change any
+// emitted range: every window boundary is a value comparison (`<=` / `<`
+// on the ratio), so an equal-value run is always in or out of a window as
+// a whole, and a window's gene-*set* and `lo`/`hi` bounds are order-free.
+//
+// Two key widths, chosen per call:
+//
+// * **Compact `u64`** — `(ratio_bits − min_bits) << gene_bits | gene`,
+//   packed after a cheap min/max pre-pass. The whole key fits in 64 bits
+//   whenever the bit-pattern span leaves `gene_bits` of headroom, which
+//   covers every realistic ratio distribution (a span of 2⁵⁵ already
+//   spans a factor-of-8 ratio spread at 4096 genes). Half the scatter
+//   traffic, cheaper compares, and sequential gene extraction compared to
+//   the wide key.
+// * **Wide `u128`** — `ratio_bits << 64 | gene`, the exact fallback for
+//   pathological spans (subnormals next to huge ratios).
+//
+// Both sort by the identical `(value, gene)` order, so the sorted
+// sequences — and hence the emitted ranges — are byte-identical.
+
+#[inline]
+fn pack_key(ratio_bits: u64, gene: u32) -> u128 {
+    ((ratio_bits as u128) << 64) | gene as u128
+}
+
+#[inline]
+fn key_value(key: u128) -> f64 {
+    f64::from_bits((key >> 64) as u64)
+}
+
+#[inline]
+fn key_gene(key: u128) -> usize {
+    key as u64 as usize
+}
+
+/// Sorts packed keys by distributing them into `≈n` buckets via a monotone
+/// linear map of the bit pattern, then fixing intra-bucket order locally.
+/// For positive floats the bit pattern is roughly linear in `log2(value)`,
+/// and the pair kernel's ratio arrays are near-uniform in log space, so
+/// buckets stay small and the sort is ~O(n) with small constants —
+/// measurably faster than `sort_unstable`'s pdqsort on packed keys.
+///
+/// `hi` must be a monotone map of the key onto the **full** `u64` scale
+/// (range-normalized and shifted to the top bit); the bucket index keeps
+/// the high half of its widening product with `nb` — one multiply per key,
+/// no division.
+///
+/// Keys are unique (the rank/gene half differs), so a sorted array is
+/// unique and this produces the byte-identical result to
+/// `keys.sort_unstable()` — the skewed-input fallbacks below simply call
+/// it directly.
+fn bucket_sort<K: Copy + Ord + Default>(
+    keys: &mut Vec<K>,
+    scratch: &mut Vec<K>,
+    counts: &mut Vec<u32>,
+    hi: impl Fn(K) -> u64,
+) {
+    let n = keys.len();
+    if n < 48 {
+        keys.sort_unstable();
+        return;
+    }
+    let nb = n;
+    counts.clear();
+    counts.resize(nb + 1, 0);
+    let bucket = |k: K| -> usize { ((hi(k) as u128 * nb as u128) >> 64) as usize };
+    for &k in keys.iter() {
+        counts[bucket(k)] += 1;
+    }
+    bucket_scatter_fixup(keys, scratch, counts, hi);
+}
+
+/// The distribution half of [`bucket_sort`], split out so the hot compact
+/// path can build the histogram *during* key packing (one fewer traversal
+/// of the key array). `counts` must hold the per-bucket histogram over
+/// `nb = counts.len() - 1` buckets of `bucket(k) = (hi(k)·nb) >> 64`.
+fn bucket_scatter_fixup<K: Copy + Ord + Default>(
+    keys: &mut Vec<K>,
+    scratch: &mut Vec<K>,
+    counts: &mut [u32],
+    hi: impl Fn(K) -> u64,
+) {
+    let n = keys.len();
+    let nb = counts.len() - 1;
+    let bucket = |k: K| -> usize { ((hi(k) as u128 * nb as u128) >> 64) as usize };
+    let mut acc = 0u32;
+    let mut max_bucket = 0u32;
+    for c in counts.iter_mut() {
+        let v = *c;
+        max_bucket = max_bucket.max(v);
+        *c = acc;
+        acc += v;
+    }
+    // Heavily tied or clumped inputs concentrate in few buckets; local
+    // fix-up would degenerate there, and pdqsort handles such patterns well.
+    if max_bucket as usize > 32 + n / 4 {
+        keys.sort_unstable();
+        return;
+    }
+    // Grow-only resize: every slot in 0..n is written by the scatter below
+    // (the offsets are a permutation), so stale contents never survive.
+    if scratch.len() < n {
+        scratch.resize(n, K::default());
+    }
+    for &k in keys.iter() {
+        let b = bucket(k);
+        scratch[counts[b] as usize] = k;
+        counts[b] += 1;
+    }
+    // Buckets are mutually ordered; only intra-bucket order is left to fix.
+    let mut start = 0usize;
+    for &c in counts.iter().take(nb) {
+        let end = c as usize;
+        let run = &mut scratch[start..end];
+        if run.len() > 24 {
+            run.sort_unstable();
+        } else if run.len() > 1 {
+            insertion_sort(run);
+        }
+        start = end;
+    }
+    scratch.truncate(n);
+    std::mem::swap(keys, scratch);
+}
+
+/// Plain insertion sort for the short runs `bucket_sort` leaves behind —
+/// no per-run `sort_unstable` call overhead.
+fn insertion_sort<K: Copy + Ord>(run: &mut [K]) {
+    for i in 1..run.len() {
+        let k = run[i];
+        let mut j = i;
+        while j > 0 && run[j - 1] > k {
+            run[j] = run[j - 1];
+            j -= 1;
+        }
+        run[j] = k;
+    }
+}
+
 /// Reusable buffers for [`find_ranges_into`].
 ///
-/// Keep one per worker thread: the sort buffer, window list, and chain list
-/// survive across calls, so the per-pair hot path allocates nothing beyond
-/// the gene-sets of the ranges it actually emits.
+/// Keep one per worker thread: the sort keys, window list, chain list, and
+/// dedupe scratch survive across calls, and the gene-set [`BitSetPool`]
+/// recycles block storage from deduped ranges, so the per-pair hot path
+/// stops round-tripping the global allocator.
 #[derive(Debug, Default)]
 pub struct RangeScratch {
-    sorted: Vec<(f64, usize)>,
+    /// Compact `(value_delta, gene)` sort keys (see the module comment on
+    /// the monotone bit transform and the two key widths).
+    keys64: Vec<u64>,
+    /// Wide `(ratio_bits, gene)` sort keys — fallback representation when
+    /// the value span leaves no headroom for the gene field.
+    keys: Vec<u128>,
+    /// The sorted ratio values as plain doubles, so the window walk and
+    /// split/patch fences compare `f64`s instead of packed keys.
+    vals: Vec<f64>,
+    /// Gene ids in sorted order — what range emission consumes.
+    genes_sorted: Vec<u32>,
+    /// Double-buffers for [`bucket_sort`]'s scatter pass.
+    sort_scratch64: Vec<u64>,
+    sort_scratch: Vec<u128>,
+    /// Bucket offsets for [`bucket_sort`].
+    counts: Vec<u32>,
     windows: Vec<(usize, usize)>,
     chains: Vec<(usize, usize, usize)>,
+    dedupe: Vec<(u64, u32)>,
+    doomed: Vec<u32>,
+    pool: BitSetPool,
 }
 
 /// Finds all ranges for one sign group.
@@ -159,54 +326,146 @@ pub fn find_ranges_into(
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     assert!(mx >= 1, "mx must be >= 1");
     let RangeScratch {
-        sorted,
+        keys64,
+        keys,
+        vals,
+        genes_sorted,
+        sort_scratch64,
+        sort_scratch,
+        counts,
         windows,
         chains,
+        dedupe,
+        doomed,
+        pool,
     } = scratch;
-    sorted.clear();
-    sorted.extend(
-        ratios
-            .iter()
-            .copied()
-            .filter(|(r, _)| r.is_finite() && *r > 0.0),
-    );
-    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let n = sorted.len();
+    // Pass 1: count the finite positive ratios and find their bit-pattern
+    // extremes — cheap (no stores), and it fixes `min_bits` before packing.
+    let mut min_bits = u64::MAX;
+    let mut max_bits = 0u64;
+    let mut n = 0usize;
+    for &(r, _) in ratios {
+        if r.is_finite() && r > 0.0 {
+            let b = r.to_bits();
+            min_bits = min_bits.min(b);
+            max_bits = max_bits.max(b);
+            n += 1;
+        }
+    }
     if n < mx {
         return;
     }
-
-    // Maximal ε-windows via two pointers. Window starting at `l` extends to
-    // the largest `r` with ratio[r-1] <= ratio[l]*(1+ε); it is maximal iff it
-    // strictly extends the previous window's right end.
-    windows.clear(); // half-open [l, r)
-    let mut r = 0usize;
-    let mut prev_r = 0usize;
-    for l in 0..n {
-        if r < l {
-            r = l;
+    let span = max_bits - min_bits;
+    // Bits needed to hold any gene id 0..n_genes-1 (≥ 1 to keep the bucket
+    // map's shift in range for a single-gene universe).
+    let gene_bits = 64 - (n_genes.max(2) as u64 - 1).leading_zeros();
+    vals.clear();
+    genes_sorted.clear();
+    if span.leading_zeros() >= gene_bits {
+        // Compact u64 keys: value delta in the high bits, gene in the low
+        // bits — same (value, gene) order as the wide key.
+        //
+        // With span == 0 the value half is zero and the map buckets by
+        // gene — uniform, so no degenerate case to special-feed.
+        let max_key = (span << gene_bits) | (n_genes.max(2) as u64 - 1);
+        let lz = max_key.leading_zeros();
+        keys64.clear();
+        if n < 48 {
+            keys64.extend(
+                ratios
+                    .iter()
+                    .filter(|&&(r, _)| r.is_finite() && r > 0.0)
+                    .map(|&(r, g)| ((r.to_bits() - min_bits) << gene_bits) | g as u64),
+            );
+            keys64.sort_unstable();
+        } else {
+            // Pass 2 packs and histograms in one traversal; the
+            // scatter/fix-up half of the bucket sort takes over from there.
+            let nb = n;
+            counts.clear();
+            counts.resize(nb + 1, 0);
+            for &(r, g) in ratios {
+                if r.is_finite() && r > 0.0 {
+                    let k = ((r.to_bits() - min_bits) << gene_bits) | g as u64;
+                    counts[(((k << lz) as u128 * nb as u128) >> 64) as usize] += 1;
+                    keys64.push(k);
+                }
+            }
+            bucket_scatter_fixup(keys64, sort_scratch64, counts, |k| k << lz);
         }
-        let bound = sorted[l].0 * (1.0 + epsilon);
-        while r < n && sorted[r].0 <= bound {
+        // Two exact-size extends (not one fused loop): each vectorizes on
+        // its own and skips per-push capacity checks.
+        let gene_mask = (1u64 << gene_bits) - 1;
+        vals.extend(
+            keys64
+                .iter()
+                .map(|&k| f64::from_bits((k >> gene_bits) + min_bits)),
+        );
+        genes_sorted.extend(keys64.iter().map(|&k| (k & gene_mask) as u32));
+    } else {
+        // Wide fallback: pathological spans (subnormal next to huge).
+        keys.clear();
+        keys.extend(
+            ratios
+                .iter()
+                .filter(|&&(r, _)| r.is_finite() && r > 0.0)
+                .map(|&(r, g)| pack_key(r.to_bits(), g as u32)),
+        );
+        let shift = span.leading_zeros();
+        bucket_sort(keys, sort_scratch, counts, |k| {
+            ((k >> 64) as u64 - min_bits) << shift
+        });
+        vals.extend(keys.iter().map(|&k| key_value(k)));
+        genes_sorted.extend(keys.iter().map(|&k| key_gene(k) as u32));
+    }
+
+    // Maximal ε-windows. A window starting at `l` extends to the largest
+    // `r` with ratio[r-1] <= ratio[l]*(1+ε) and must span at least `mx`
+    // genes, so `vals[l + mx - 1] <= vals[l]*(1+ε)` is a one-compare
+    // qualification test that skips the right-end scan for the (typically
+    // dominant) share of `l` positions that cannot seed a window.
+    //
+    // Maximality — the window not being contained in the window at `l-1`,
+    // i.e. `r(l) > r(l-1)` — reduces to `r(l) > r(last qualifying l')`:
+    // if `r(l) == r(l-1)` then the window at `l-1` is strictly larger, so
+    // it also spans ≥ mx genes and qualifies, making `l' = l-1`; and
+    // conversely `r` is monotone in `l`, so `r(l') <= r(l-1)`.
+    windows.clear(); // half-open [l, r)
+    let eps1 = 1.0 + epsilon;
+    let mut r = 0usize;
+    let mut last_r = 0usize;
+    for l in 0..=n - mx {
+        let bound = vals[l] * eps1;
+        if vals[l + mx - 1] > bound {
+            continue;
+        }
+        if r < l + mx {
+            r = l + mx;
+        }
+        while r < n && vals[r] <= bound {
             r += 1;
         }
-        let is_maximal = l == 0 || r > prev_r;
-        if is_maximal && r - l >= mx {
+        if windows.is_empty() || r > last_r {
             windows.push((l, r));
+            last_r = r;
         }
-        prev_r = r;
     }
     if windows.is_empty() {
         return;
     }
 
-    let sorted: &[(f64, usize)] = sorted;
-    let make_range = |lo_i: usize, hi_i: usize, kind: RangeKind| -> RatioRange {
-        // indices half-open [lo_i, hi_i)
-        let genes = BitSet::from_indices(n_genes, sorted[lo_i..hi_i].iter().map(|&(_, g)| g));
+    let genes_sorted: &[u32] = genes_sorted;
+    let vals: &[f64] = vals;
+    let mut make_range = |lo_i: usize, hi_i: usize, kind: RangeKind| -> RatioRange {
+        // indices half-open [lo_i, hi_i); genes are in-universe by the
+        // caller's contract (debug-asserted in the pool fill).
+        let genes = pool.alloc_from_indices(
+            n_genes,
+            genes_sorted[lo_i..hi_i].iter().map(|&g| g as usize),
+        );
         RatioRange {
-            lo: sorted[lo_i].0,
-            hi: sorted[hi_i - 1].0,
+            lo: vals[lo_i],
+            hi: vals[hi_i - 1],
             sign,
             kind,
             genes,
@@ -218,7 +477,7 @@ pub fn find_ranges_into(
         for &(l, r) in windows.iter() {
             out.push(make_range(l, r, RangeKind::Valid));
         }
-        dedupe_by_genes(out, start);
+        dedupe_by_genes(out, start, dedupe, doomed, pool);
         return;
     }
 
@@ -243,16 +502,16 @@ pub fn find_ranges_into(
             out.push(make_range(lo, hi, RangeKind::Valid));
             continue;
         }
-        let width = sorted[hi - 1].0 / sorted[lo].0 - 1.0;
+        let width = vals[hi - 1] / vals[lo] - 1.0;
         if width <= 2.0 * epsilon {
             out.push(make_range(lo, hi, RangeKind::Extended));
             continue;
         }
         // Wide extended range: cover with split blocks of width ≤ 2ε plus
         // patched blocks centered on the split boundaries.
-        split_and_patch(&sorted[lo..hi], lo, epsilon, mx, &make_range, out);
+        split_and_patch(&vals[lo..hi], lo, epsilon, mx, &mut make_range, out);
     }
-    dedupe_by_genes(out, start);
+    dedupe_by_genes(out, start, dedupe, doomed, pool);
 }
 
 /// Re-covers `segment` (a slice of the sorted ratio array starting at
@@ -268,20 +527,25 @@ pub fn find_ranges_into(
 /// Blocks spanning fewer than `mx` genes cannot seed a cluster and are not
 /// emitted.
 fn split_and_patch(
-    segment: &[(f64, usize)],
+    segment: &[f64],
     base: usize,
     epsilon: f64,
     mx: usize,
-    make_range: &dyn Fn(usize, usize, RangeKind) -> RatioRange,
+    make_range: &mut dyn FnMut(usize, usize, RangeKind) -> RatioRange,
     out: &mut Vec<RatioRange>,
 ) {
     debug_assert!(epsilon > 0.0, "wide chains require a positive epsilon");
+    // All fences below are plain `f64` comparisons on the sorted values:
+    // every segment value is positive and finite, and a bound can only
+    // degenerate to `+inf` (overflowing upper bound — above every value) or
+    // `0.0` (subnormal center divided by `1+ε` — below every value), both
+    // of which compare exactly.
     let factor = 1.0 + 2.0 * epsilon;
     let mut boundaries: Vec<usize> = Vec::new();
     let mut i = 0usize;
     while i < segment.len() {
-        let hi = segment[i].0 * factor;
-        let j = segment.partition_point(|&(v, _)| v <= hi);
+        let hi = segment[i] * factor;
+        let j = segment.partition_point(|&v| v <= hi);
         debug_assert!(j > i);
         if j - i >= mx {
             out.push(make_range(base + i, base + j, RangeKind::Split));
@@ -292,11 +556,11 @@ fn split_and_patch(
         i = j;
     }
     for &j in &boundaries {
-        let center = segment[j].0;
+        let center = segment[j];
         let lo_v = center / (1.0 + epsilon);
         let hi_v = center * (1.0 + epsilon);
-        let a = segment.partition_point(|&(v, _)| v < lo_v);
-        let b = segment.partition_point(|&(v, _)| v <= hi_v);
+        let a = segment.partition_point(|&v| v < lo_v);
+        let b = segment.partition_point(|&v| v <= hi_v);
         if b - a >= mx {
             out.push(make_range(base + a, base + b, RangeKind::Patched));
         }
@@ -308,26 +572,227 @@ fn split_and_patch(
 /// downstream). First occurrences survive in their original order; entries
 /// before `start` are never examined or removed.
 ///
-/// Duplicate detection hashes the borrowed bitset block slices — no `BitSet`
-/// clones, O(tail) expected instead of the former O(tail²) scan.
-fn dedupe_by_genes(ranges: &mut Vec<RatioRange>, start: usize) {
+/// Duplicate detection folds each gene-set's blocks through a 64-bit
+/// FNV-1a-style hash into the reused `hashes` scratch, sorts the
+/// `(hash, tail_index)` pairs, and exact-compares block slices only within
+/// equal-hash runs — no per-call `HashSet`, no SipHash, no allocation after
+/// warm-up. Doomed duplicates hand their block storage back to `pool`.
+fn dedupe_by_genes(
+    ranges: &mut Vec<RatioRange>,
+    start: usize,
+    hashes: &mut Vec<(u64, u32)>,
+    doomed: &mut Vec<u32>,
+    pool: &mut BitSetPool,
+) {
     if ranges.len() - start < 2 {
         return;
     }
-    let keep: Vec<bool> = {
-        let mut seen: std::collections::HashSet<&[u64]> =
-            std::collections::HashSet::with_capacity(ranges.len() - start);
+    hashes.clear();
+    hashes.extend(
         ranges[start..]
             .iter()
-            .map(|r| seen.insert(r.genes.as_blocks()))
-            .collect()
-    };
-    let mut idx = 0usize;
-    ranges.retain(|_| {
-        let keep_this = idx < start || keep[idx - start];
-        idx += 1;
-        keep_this
-    });
+            .enumerate()
+            .map(|(i, r)| (hash_blocks(r.genes.as_blocks()), i as u32)),
+    );
+    hashes.sort_unstable();
+    doomed.clear();
+    let mut run = 0usize;
+    for i in 1..hashes.len() {
+        if hashes[i].0 != hashes[run].0 {
+            run = i;
+            continue;
+        }
+        // Equal gene-sets hash equal, so every duplicate lands in one run;
+        // the exact compare guards against collisions. Any earlier equal
+        // entry dooms this one — even an already-doomed entry, which in
+        // turn equals a kept one (equality is transitive).
+        let genes = ranges[start + hashes[i].1 as usize].genes.as_blocks();
+        if hashes[run..i]
+            .iter()
+            .any(|&(_, j)| ranges[start + j as usize].genes.as_blocks() == genes)
+        {
+            doomed.push(hashes[i].1);
+        }
+    }
+    if doomed.is_empty() {
+        return;
+    }
+    doomed.sort_unstable();
+    for &t in doomed.iter().rev() {
+        let dup = ranges.remove(start + t as usize);
+        pool.recycle(dup.genes);
+    }
+}
+
+/// 64-bit FNV-1a folded a block at a time rather than a byte at a time —
+/// dedupe only needs a stable, well-mixed fingerprint (the exact compare
+/// above backs it), and one multiply per `u64` is 8× fewer than bytewise.
+#[inline]
+fn hash_blocks(blocks: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in blocks {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The pre-packed-key range finder, kept verbatim as a differential oracle:
+/// property tests check that the packed-key hot path emits byte-identical
+/// ranges for arbitrary inputs (ties, subnormals, negatives, all sign
+/// groups). Compiled for tests only.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::{RangeExtension, RangeKind, RatioRange, SignGroup};
+    use tricluster_bitset::BitSet;
+
+    /// Old `find_ranges`: comparison sort via `f64::total_cmp` (stable, so
+    /// ties keep input order), per-call `HashSet` dedupe, per-range
+    /// `BitSet::from_indices`.
+    pub fn find_ranges(
+        ratios: &[(f64, usize)],
+        sign: SignGroup,
+        epsilon: f64,
+        mx: usize,
+        n_genes: usize,
+        extension: RangeExtension,
+    ) -> Vec<RatioRange> {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        assert!(mx >= 1, "mx must be >= 1");
+        let mut sorted: Vec<(f64, usize)> = ratios
+            .iter()
+            .copied()
+            .filter(|(r, _)| r.is_finite() && *r > 0.0)
+            .collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let n = sorted.len();
+        let mut out = Vec::new();
+        if n < mx {
+            return out;
+        }
+
+        let mut windows: Vec<(usize, usize)> = Vec::new();
+        let mut r = 0usize;
+        let mut prev_r = 0usize;
+        for l in 0..n {
+            if r < l {
+                r = l;
+            }
+            let bound = sorted[l].0 * (1.0 + epsilon);
+            while r < n && sorted[r].0 <= bound {
+                r += 1;
+            }
+            let is_maximal = l == 0 || r > prev_r;
+            if is_maximal && r - l >= mx {
+                windows.push((l, r));
+            }
+            prev_r = r;
+        }
+        if windows.is_empty() {
+            return out;
+        }
+
+        let sorted: &[(f64, usize)] = &sorted;
+        let make_range = |lo_i: usize, hi_i: usize, kind: RangeKind| -> RatioRange {
+            let genes = BitSet::from_indices(n_genes, sorted[lo_i..hi_i].iter().map(|&(_, g)| g));
+            RatioRange {
+                lo: sorted[lo_i].0,
+                hi: sorted[hi_i - 1].0,
+                sign,
+                kind,
+                genes,
+            }
+        };
+
+        if extension == RangeExtension::Off {
+            for &(l, r) in windows.iter() {
+                out.push(make_range(l, r, RangeKind::Valid));
+            }
+            dedupe_by_genes(&mut out);
+            return out;
+        }
+
+        let mut chains: Vec<(usize, usize, usize)> = Vec::new();
+        let (mut lo, mut hi, mut count) = (windows[0].0, windows[0].1, 1usize);
+        for &(l, r) in &windows[1..] {
+            if l < hi {
+                hi = hi.max(r);
+                count += 1;
+            } else {
+                chains.push((lo, hi, count));
+                lo = l;
+                hi = r;
+                count = 1;
+            }
+        }
+        chains.push((lo, hi, count));
+
+        for &(lo, hi, nwin) in chains.iter() {
+            if nwin == 1 {
+                out.push(make_range(lo, hi, RangeKind::Valid));
+                continue;
+            }
+            let width = sorted[hi - 1].0 / sorted[lo].0 - 1.0;
+            if width <= 2.0 * epsilon {
+                out.push(make_range(lo, hi, RangeKind::Extended));
+                continue;
+            }
+            split_and_patch(&sorted[lo..hi], lo, epsilon, mx, &make_range, &mut out);
+        }
+        dedupe_by_genes(&mut out);
+        out
+    }
+
+    fn split_and_patch(
+        segment: &[(f64, usize)],
+        base: usize,
+        epsilon: f64,
+        mx: usize,
+        make_range: &dyn Fn(usize, usize, RangeKind) -> RatioRange,
+        out: &mut Vec<RatioRange>,
+    ) {
+        let factor = 1.0 + 2.0 * epsilon;
+        let mut boundaries: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < segment.len() {
+            let hi = segment[i].0 * factor;
+            let j = segment.partition_point(|&(v, _)| v <= hi);
+            if j - i >= mx {
+                out.push(make_range(base + i, base + j, RangeKind::Split));
+            }
+            if j < segment.len() {
+                boundaries.push(j);
+            }
+            i = j;
+        }
+        for &j in &boundaries {
+            let center = segment[j].0;
+            let lo_v = center / (1.0 + epsilon);
+            let hi_v = center * (1.0 + epsilon);
+            let a = segment.partition_point(|&(v, _)| v < lo_v);
+            let b = segment.partition_point(|&(v, _)| v <= hi_v);
+            if b - a >= mx {
+                out.push(make_range(base + a, base + b, RangeKind::Patched));
+            }
+        }
+    }
+
+    fn dedupe_by_genes(ranges: &mut Vec<RatioRange>) {
+        let keep: Vec<bool> = {
+            let mut seen: std::collections::HashSet<&[u64]> =
+                std::collections::HashSet::with_capacity(ranges.len());
+            ranges
+                .iter()
+                .map(|r| seen.insert(r.genes.as_blocks()))
+                .collect()
+        };
+        let mut idx = 0usize;
+        ranges.retain(|_| {
+            let keep_this = keep[idx];
+            idx += 1;
+            keep_this
+        });
+    }
 }
 
 #[cfg(test)]
@@ -502,6 +967,13 @@ mod tests {
         }
     }
 
+    fn dedupe(rs: &mut Vec<RatioRange>, start: usize) {
+        let mut hashes = Vec::new();
+        let mut doomed = Vec::new();
+        let mut pool = BitSetPool::new();
+        dedupe_by_genes(rs, start, &mut hashes, &mut doomed, &mut pool);
+    }
+
     #[test]
     fn dedupe_keeps_first_occurrence_in_order() {
         // Sets A, B, A, C, B, D -> survivors A, B, C, D; the surviving A/B
@@ -514,7 +986,7 @@ mod tests {
             dummy_range(5.0, &[2, 3]), // B dup
             dummy_range(6.0, &[5, 6]), // D
         ];
-        dedupe_by_genes(&mut rs, 0);
+        dedupe(&mut rs, 0);
         let los: Vec<f64> = rs.iter().map(|r| r.lo).collect();
         assert_eq!(los, vec![1.0, 2.0, 4.0, 6.0]);
     }
@@ -529,9 +1001,24 @@ mod tests {
             dummy_range(3.0, &[0, 1]), // tail A dup -> removed
             dummy_range(4.0, &[2]),    // tail C -> kept
         ];
-        dedupe_by_genes(&mut rs, 1);
+        dedupe(&mut rs, 1);
         let los: Vec<f64> = rs.iter().map(|r| r.lo).collect();
         assert_eq!(los, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn dedupe_recycles_doomed_genesets_into_pool() {
+        let mut rs = vec![
+            dummy_range(1.0, &[0, 1]),
+            dummy_range(2.0, &[0, 1]), // dup -> recycled
+            dummy_range(3.0, &[0, 1]), // dup -> recycled
+        ];
+        let mut hashes = Vec::new();
+        let mut doomed = Vec::new();
+        let mut pool = BitSetPool::new();
+        dedupe_by_genes(&mut rs, 0, &mut hashes, &mut doomed, &mut pool);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(pool.free_len(), 2, "doomed block storage returns to pool");
     }
 
     #[test]
@@ -586,6 +1073,142 @@ mod tests {
         let rs = ranges(&data, 0.01, 2, RangeExtension::On);
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].genes.to_vec(), vec![4, 5]);
+    }
+
+    // ---------------------------------------- differential oracle tests --
+
+    use proptest::prelude::*;
+
+    /// One generated `(ratio, gene)` entry. The selector steers cases into
+    /// the shapes the packed-key transform must survive: plain positives,
+    /// exact ties, dense near-tie clusters, subnormals, huge/tiny normals,
+    /// and the filtered-out kinds (negatives, zero, inf, NaN).
+    fn ratio_entry() -> impl Strategy<Value = (f64, usize)> {
+        (0usize..12, 1.0f64..4.0, 0usize..48).prop_map(|(sel, v, g)| {
+            let r = match sel {
+                0..=2 => v,                       // plain positive
+                3 => 2.5,                         // exact tie value
+                4 => 1.0 + (g % 7) as f64 * 1e-3, // dense near-tie cluster
+                5 => f64::MIN_POSITIVE / 4.0,     // subnormal
+                6 => f64::MIN_POSITIVE,           // smallest normal
+                7 => v * 1e300,                   // huge (bound hits +inf)
+                8 => v * 1e-300,                  // tiny normal
+                9 => -v,                          // negative -> filtered
+                10 => 0.0,                        // zero -> filtered
+                _ => {
+                    if g % 2 == 0 {
+                        f64::INFINITY
+                    } else {
+                        f64::NAN
+                    }
+                } // non-finite -> filtered
+            };
+            (r, g)
+        })
+    }
+
+    fn sign_strategy() -> impl Strategy<Value = SignGroup> {
+        (0usize..3).prop_map(|s| match s {
+            0 => SignGroup::Positive,
+            1 => SignGroup::PosNeg,
+            _ => SignGroup::NegPos,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Tentpole safety net: the packed-key sort path must emit ranges
+        /// byte-identical to the old `total_cmp` path — same values, kinds,
+        /// gene-sets, and order — for arbitrary inputs in arbitrary order.
+        #[test]
+        fn packed_key_path_matches_totalcmp_oracle(
+            ratios in proptest::collection::vec(ratio_entry(), 0..60),
+            sign in sign_strategy(),
+            eps_sel in 0usize..5,
+            mx in 1usize..4,
+            ext in proptest::bool::ANY,
+        ) {
+            let epsilon = [0.0, 0.005, 0.02, 0.1, 0.5][eps_sel];
+            let extension = if ext { RangeExtension::On } else { RangeExtension::Off };
+            // ε=0 exercises the exact-tie fast path (wide chains need ε>0).
+            let new = find_ranges(&ratios, sign, epsilon, mx, 48, extension);
+            let old = oracle::find_ranges(&ratios, sign, epsilon, mx, 48, extension);
+            prop_assert_eq!(
+                new.len(), old.len(),
+                "range count diverged: eps={} mx={} ext={:?}", epsilon, mx, extension
+            );
+            for (i, (n, o)) in new.iter().zip(&old).enumerate() {
+                prop_assert!(
+                    n.lo.to_bits() == o.lo.to_bits()
+                        && n.hi.to_bits() == o.hi.to_bits()
+                        && n.sign == o.sign
+                        && n.kind == o.kind
+                        && n.genes == o.genes,
+                    "range {} diverged:\n  new {:?}\n  old {:?}", i, n, o
+                );
+            }
+        }
+
+        /// The scratch-reusing entry point stays equivalent to the one-shot
+        /// wrapper when called repeatedly with dirty buffers.
+        #[test]
+        fn scratch_reuse_never_leaks_state_between_calls(
+            a in proptest::collection::vec(ratio_entry(), 0..40),
+            b in proptest::collection::vec(ratio_entry(), 0..40),
+        ) {
+            let mut scratch = RangeScratch::default();
+            let mut out = Vec::new();
+            find_ranges_into(
+                &a, SignGroup::Positive, 0.02, 2, 48, RangeExtension::On,
+                &mut scratch, &mut out,
+            );
+            let first = out.len();
+            find_ranges_into(
+                &b, SignGroup::NegPos, 0.1, 1, 48, RangeExtension::On,
+                &mut scratch, &mut out,
+            );
+            prop_assert_eq!(
+                &out[..first],
+                &find_ranges(&a, SignGroup::Positive, 0.02, 2, 48, RangeExtension::On)[..]
+            );
+            prop_assert_eq!(
+                &out[first..],
+                &find_ranges(&b, SignGroup::NegPos, 0.1, 1, 48, RangeExtension::On)[..]
+            );
+        }
+    }
+
+    /// Pins both key representations at a size that engages the bucket
+    /// sort (`n >= 48`): a tight span takes the compact u64 path, and a
+    /// subnormal next to a huge ratio forces the wide u128 fallback.
+    #[test]
+    fn compact_and_wide_key_paths_match_oracle_at_bucket_size() {
+        let tight: Vec<(f64, usize)> = (0..96).map(|g| (1.0 + (g % 37) as f64 * 0.01, g)).collect();
+        let mut wide = tight.clone();
+        wide.push((f64::MIN_POSITIVE / 2.0, 96));
+        wide.push((1e300, 97));
+        for ratios in [tight, wide] {
+            for mx in [2, 25] {
+                let new = find_ranges(
+                    &ratios,
+                    SignGroup::Positive,
+                    0.05,
+                    mx,
+                    128,
+                    RangeExtension::On,
+                );
+                let old = oracle::find_ranges(
+                    &ratios,
+                    SignGroup::Positive,
+                    0.05,
+                    mx,
+                    128,
+                    RangeExtension::On,
+                );
+                assert_eq!(new, old);
+            }
+        }
     }
 
     #[test]

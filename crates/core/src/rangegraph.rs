@@ -138,12 +138,56 @@ pub fn build_range_graph_observed(
     build_range_graph_workers(m, t, params, sink, 1)
 }
 
+/// Column-major copy of one time slice: [`SliceColumns::col`]`(c)[g]` is
+/// the value of gene `g` in sample column `c`.
+///
+/// Built once per slice and shared read-only across all pair workers, so
+/// the per-pair ratio loop in [`compute_pair`] walks two contiguous arrays
+/// instead of striding the row-major `Matrix3` by `n_samples` for every
+/// gene — at 225 pairs per 10-sample slice, each column is re-read ~9
+/// times, and the transpose cost is amortized away.
+#[derive(Debug, Clone)]
+pub struct SliceColumns {
+    n_genes: usize,
+    cols: Vec<f64>,
+}
+
+impl SliceColumns {
+    /// Transposes a row-major slice (`slice[gene * n_samples + sample]`).
+    pub fn from_slice(slice: &[f64], n_genes: usize, n_samples: usize) -> Self {
+        assert_eq!(slice.len(), n_genes * n_samples, "slice shape mismatch");
+        let mut cols = vec![0.0f64; n_genes * n_samples];
+        for c in 0..n_samples {
+            let col = &mut cols[c * n_genes..(c + 1) * n_genes];
+            for (g, v) in col.iter_mut().enumerate() {
+                *v = slice[g * n_samples + c];
+            }
+        }
+        SliceColumns { n_genes, cols }
+    }
+
+    /// The values of sample column `c`, indexed by gene.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.cols[c * self.n_genes..(c + 1) * self.n_genes]
+    }
+
+    /// Gene universe size (length of every column).
+    #[inline]
+    pub fn n_genes(&self) -> usize {
+        self.n_genes
+    }
+}
+
 /// Per-worker scratch for [`compute_pair`]: the three sign-group ratio
-/// buffers plus the range finder's sort/window buffers. One instance per
-/// worker thread; nothing in here escapes a pair computation.
+/// buffers plus the range finder's sort/window/dedupe buffers and gene-set
+/// pool. One instance per worker thread; nothing in here escapes a pair
+/// computation.
 #[derive(Debug, Default)]
-struct PairScratch {
+pub struct PairScratch {
     groups: [Vec<(f64, usize)>; 3],
+    /// All-gene quotient buffer for the branch-free division pass.
+    quot: Vec<f64>,
     ranges: RangeScratch,
 }
 
@@ -152,12 +196,11 @@ struct PairScratch {
 /// of gene ratios classified into a sign group.
 ///
 /// Pure function of the slice data and `params` — safe to run on any worker
-/// in any order; all bookkeeping happens later in [`absorb_pair`].
-#[allow(clippy::too_many_arguments)]
-fn compute_pair(
-    slice: &[f64],
-    n_genes: usize,
-    n_samples: usize,
+/// in any order; all bookkeeping happens later in `absorb_pair`. Public so
+/// the `bench kernel` microbenchmark can drive the exact production pair
+/// kernel without the graph-assembly and observability layers around it.
+pub fn compute_pair(
+    cols: &SliceColumns,
     a: usize,
     b: usize,
     params: &Params,
@@ -169,15 +212,30 @@ fn compute_pair(
     for g in &mut scratch.groups {
         g.clear();
     }
-    for gene in 0..n_genes {
-        let va = slice[gene * n_samples + a];
-        let vb = slice[gene * n_samples + b];
-        let Some(group) = SignGroup::classify(va, vb) else {
-            continue;
-        };
-        let ratio = (va / vb).abs();
+    let ca = cols.col(a);
+    let cb = cols.col(b);
+    // Divide first in a branch-free pass the compiler can vectorize (the
+    // divider is the bottleneck of the classify loop), then route. The
+    // ratio is the identical `(va / vb).abs()` expression; genes the router
+    // rejects just leave an unread junk quotient behind.
+    //
+    // The router gates on the quotient alone: `ratio` finite and positive
+    // already implies both operands are finite and non-zero (a zero, NaN,
+    // or infinite operand always yields a zero, NaN, or infinite quotient),
+    // which is exactly [`SignGroup::classify`]'s `Some` condition — so the
+    // sign group reduces to the two IEEE sign bits and the push set, order,
+    // and `ratios` count are identical to classifying first.
+    let quot = &mut scratch.quot;
+    quot.clear();
+    quot.extend(ca.iter().zip(cb).map(|(&va, &vb)| (va / vb).abs()));
+    for (gene, (&va, &vb)) in ca.iter().zip(cb).enumerate() {
+        let ratio = quot[gene];
         if ratio.is_finite() && ratio > 0.0 {
-            scratch.groups[group_index(group)].push((ratio, gene));
+            let sa = (va.to_bits() >> 63) as usize;
+            let sb = (vb.to_bits() >> 63) as usize;
+            // (+,+)/(-,-) -> Positive (0); (+,-) -> PosNeg (1); (-,+) -> NegPos (2)
+            let gi = (sa ^ sb) * (1 + sa);
+            scratch.groups[gi].push((ratio, gene));
             ratios += 1;
         }
     }
@@ -194,7 +252,7 @@ fn compute_pair(
             sign,
             params.epsilon,
             params.min_genes,
-            n_genes,
+            cols.n_genes,
             params.range_extension,
             &mut scratch.ranges,
             out,
@@ -223,8 +281,7 @@ fn absorb_pair(
 ) {
     stats.pairs += 1;
     stats.ratios += ratios;
-    let mut pair_edges = 0u64;
-    for range in ranges.drain(..) {
+    for range in ranges.iter() {
         match range.kind {
             RangeKind::Valid => stats.ranges_valid += 1,
             RangeKind::Extended => stats.ranges_extended += 1,
@@ -240,9 +297,11 @@ fn absorb_pair(
             h.range_width_ppm.record(width_ppm);
             h.edge_geneset_size.record(range.genes.count() as u64);
         }
-        pair_edges += 1;
-        graph.add_edge(a, b, range);
     }
+    // One adjacency search for the whole pair instead of one per edge;
+    // drain order is preserved, so the edge lists (and everything derived
+    // from their order) stay byte-identical to per-edge insertion.
+    let pair_edges = graph.add_edges_between(a, b, ranges.drain(..)) as u64;
     stats.edges += pair_edges;
     if pair_edges > 0 {
         emit(sink, || {
@@ -290,7 +349,8 @@ pub fn build_range_graph_ctrl(
 ) -> (RangeGraph, RangeGraphStats) {
     let n_genes = m.n_genes();
     let n_samples = m.n_samples();
-    let slice = m.time_slice_raw(t);
+    // One column-major copy, shared read-only by every pair worker.
+    let cols = SliceColumns::from_slice(m.time_slice_raw(t), n_genes, n_samples);
     let mut graph: MultiGraph<RatioRange> = MultiGraph::new(n_samples);
     let mut stats = RangeGraphStats::default();
     if sink.wants_histograms() {
@@ -316,18 +376,7 @@ pub fn build_range_graph_ctrl(
                 &ctrl.faults,
                 "range_graph_pair",
                 || format!("t={t} pair=({a},{b})"),
-                || {
-                    compute_pair(
-                        slice,
-                        n_genes,
-                        n_samples,
-                        a,
-                        b,
-                        params,
-                        &mut scratch,
-                        &mut ranges,
-                    )
-                },
+                || compute_pair(&cols, a, b, params, &mut scratch, &mut ranges),
             );
             drop(tl_pair);
             if let Some(p) = &ctrl.progress {
@@ -372,18 +421,7 @@ pub fn build_range_graph_ctrl(
                             &ctrl.faults,
                             "range_graph_pair",
                             || format!("t={t} pair=({a},{b})"),
-                            || {
-                                compute_pair(
-                                    slice,
-                                    n_genes,
-                                    n_samples,
-                                    a,
-                                    b,
-                                    params,
-                                    &mut scratch,
-                                    &mut out,
-                                )
-                            },
+                            || compute_pair(&cols, a, b, params, &mut scratch, &mut out),
                         );
                         drop(tl_pair);
                         if let Some(p) = &ctrl.progress {
@@ -413,14 +451,6 @@ pub fn build_range_graph_ctrl(
         absorb_pair(t, a, b, ratios, &mut ranges, &mut graph, &mut stats, sink);
     }
     (RangeGraph { time: t, graph }, stats)
-}
-
-fn group_index(g: SignGroup) -> usize {
-    match g {
-        SignGroup::Positive => 0,
-        SignGroup::PosNeg => 1,
-        SignGroup::NegPos => 2,
-    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,47 @@ impl<E> MultiGraph<E> {
         self.edge_count += 1;
     }
 
+    /// Adds every payload yielded by `payloads` as parallel edges
+    /// `from -> to`, preserving iteration order — one adjacency search for
+    /// the whole batch instead of one per edge (the range-graph absorb step
+    /// inserts dozens of parallel edges per column pair).
+    ///
+    /// An empty batch inserts nothing: no adjacency entry is created, so
+    /// [`MultiGraph::has_edge`] stays `false` exactly as if `add_edge` had
+    /// never been called.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edges_between<I: IntoIterator<Item = E>>(
+        &mut self,
+        from: usize,
+        to: usize,
+        payloads: I,
+    ) -> usize {
+        assert!(
+            from < self.n && to < self.n,
+            "edge ({from},{to}) out of range for {} vertices",
+            self.n
+        );
+        let mut payloads = payloads.into_iter().peekable();
+        if payloads.peek().is_none() {
+            return 0;
+        }
+        let list = &mut self.adjacency[from];
+        let slot = match list.binary_search_by_key(&to, |(b, _)| *b) {
+            Ok(i) => &mut list[i].1,
+            Err(i) => {
+                list.insert(i, (to, Vec::new()));
+                &mut list[i].1
+            }
+        };
+        let before = slot.len();
+        slot.extend(payloads);
+        let added = slot.len() - before;
+        self.edge_count += added;
+        added
+    }
+
     /// The parallel edges from `from` to `to` (empty slice when none).
     pub fn edges_between(&self, from: usize, to: usize) -> &[E] {
         if from >= self.n {
@@ -163,6 +204,40 @@ mod tests {
         g.add_edge(1, 2, ());
         g.add_edge(1, 4, ());
         assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn add_edges_between_matches_repeated_add_edge() {
+        let mut batch = MultiGraph::new(4);
+        let mut single = MultiGraph::new(4);
+        for p in [1, 2, 3] {
+            single.add_edge(0, 2, p);
+        }
+        single.add_edge(0, 1, 9);
+        assert_eq!(batch.add_edges_between(0, 2, [1, 2, 3]), 3);
+        assert_eq!(batch.add_edges_between(0, 1, [9]), 1);
+        assert_eq!(batch.edge_count(), single.edge_count());
+        assert_eq!(batch.edges_between(0, 2), single.edges_between(0, 2));
+        assert_eq!(batch.edges_between(0, 1), single.edges_between(0, 1));
+        // Appending to an existing pair keeps insertion order.
+        assert_eq!(batch.add_edges_between(0, 2, [4]), 1);
+        assert_eq!(batch.edges_between(0, 2), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn add_edges_between_empty_batch_creates_nothing() {
+        let mut g: MultiGraph<u32> = MultiGraph::new(3);
+        assert_eq!(g.add_edges_between(0, 1, std::iter::empty()), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(0, 1), "no empty adjacency entry left behind");
+        assert_eq!(g.neighbors(0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edges_between_out_of_range_panics() {
+        let mut g: MultiGraph<()> = MultiGraph::new(2);
+        g.add_edges_between(0, 5, [()]);
     }
 
     #[test]

@@ -82,6 +82,14 @@ if [[ $fast -eq 0 ]]; then
         diff BENCH_baseline.json "$smoke_json" \
         --time-tol 1.0 --time-floor 0.25 --mem-tol 0.5 --mem-floor $((4 << 20))
 
+    # Kernel-smoke gate: the per-pair range-kernel microbenchmark must run
+    # end to end and report every stage (transpose/pair/classify/ranges/
+    # intersect). No thresholds — per-stage nanoseconds are too
+    # machine-dependent to gate on; the smoke exists so the harness itself
+    # (and the classify mirror it carries) cannot silently rot.
+    run cargo run --release --quiet -p tricluster-bench --bin bench -- \
+        kernel --genes 100 --min-ms 5
+
     # Determinism gate: the same input mined at --threads 1 and --threads 4
     # (the latter taking the intra-slice pair/branch fan-out on few-slice
     # inputs) must produce byte-identical input-determined report sections —
