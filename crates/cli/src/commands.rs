@@ -3,10 +3,10 @@
 use crate::args;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::sync::Arc;
 use std::time::Duration;
-use tricluster_core::obs::httpd::{http_get, MetricsServer};
+use tricluster_core::obs::httpd::{http_get, http_get_retry, MetricsServer};
 use tricluster_core::obs::json::Json;
 use tricluster_core::obs::ledger::{
     content_hash, diff_reports, DiffTolerances, IndexEntry, Ledger, NewEntry,
@@ -17,8 +17,8 @@ use tricluster_core::obs::timeline::Timeline;
 use tricluster_core::obs::{names, EventSink, Fanout, JsonLinesSink, NullSink, Recorder, Tee};
 use tricluster_core::runreport;
 use tricluster_core::{
-    cluster_metrics_observed, mine_auto_observed, mine_observed, mine_shifting, FanoutMode,
-    MergeParams, MineError, MiningResult, Params,
+    cluster_metrics_observed, mine_auto_observed, mine_shifting, Engine, FanoutMode, MergeParams,
+    MineError, MiningResult, Params, TenantCaps,
 };
 use tricluster_matrix::{io, Labels, Matrix3};
 use tricluster_synth::{generate, SynthSpec};
@@ -33,6 +33,8 @@ USAGE:
                                               (or export it as a stacked TSV)
   tricluster runs <subcommand> ...            inspect an archived run ledger
   tricluster watch <URL> [options]            live-monitor a serving run
+  tricluster serve <HOST:PORT> [options]      run the multi-tenant mining daemon
+  tricluster submit <URL> <stacked.tsv> ...   submit a job to a serve daemon
 
 MINE OPTIONS:
   --eps E          maximum ratio threshold ε             (default 0.01)
@@ -93,6 +95,34 @@ WATCH OPTIONS (tricluster watch http://HOST:PORT):
   --once           print a single status snapshot and exit
   --get PATH       print one raw HTTP response body from URL+PATH (e.g.
                    --get /metrics scrapes without external tooling)
+  --jobs           print a serve daemon's job table (GET /jobs) and exit
+
+SERVE OPTIONS (tricluster serve HOST:PORT; port 0 picks one, the bound
+address is printed on stderr; POST /shutdown drains the daemon):
+  --workers N          concurrent mining jobs (default 2)
+  --queue-depth N      most jobs waiting in the queue; further submissions
+                       are shed with a machine-readable 429 (default 16)
+  --memory-budget B    aggregate logical-bytes admission budget across all
+                       queued + running matrices (K/M/G suffix allowed)
+  --cap-deadline SECS, --cap-memory B, --cap-candidates N, --cap-threads N
+                       server-wide ceilings clamped onto every job's
+                       requested per-job budgets
+  --max-body B         largest accepted request body (default 64M)
+  --ledger DIR         archive every finished job's v2 report into the run
+                       ledger at DIR (kind \"serve\"), flushed per job
+  --cache-entries N    parsed datasets kept by the content-hash cache
+                       (default 8; 0 disables)
+
+SUBMIT OPTIONS (tricluster submit http://HOST:PORT DATA.tsv):
+  mine param flags     --eps/--mx/--my/--mz/--merge/--deadline/... forwarded
+                       verbatim; the daemon parses them exactly like `mine`
+  --label L            free-form job label for listings
+  --by-path            send the dataset path instead of its bytes (the
+                       daemon must see the same filesystem)
+  --wait [--poll SECS] block until the job finishes (poll default 0.2s)
+  --report-json PATH   with --wait: write the finished job's v2 report
+  --cancel ID          cancel a queued or running job instead of submitting
+  --shutdown MODE      drain | cancel: gracefully shut the daemon down
 
 SYNTH OPTIONS:
   --genes N --samples N --times N --clusters N
@@ -150,7 +180,7 @@ impl CliError {
 
 /// Parses a byte count with an optional binary `K`/`M`/`G` suffix
 /// (case-insensitive, trailing `b` allowed: `64M`, `2gb`, `131072`).
-fn parse_bytes(flag: &str, s: &str) -> Result<u64, String> {
+pub(crate) fn parse_bytes(flag: &str, s: &str) -> Result<u64, String> {
     let lower = s.trim().to_ascii_lowercase();
     let (digits, mult) = ["gb", "g", "mb", "m", "kb", "k", "b", ""]
         .iter()
@@ -298,9 +328,17 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         ));
     }
 
-    let file = File::open(path).map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
-    let (matrix, labels) = io::read_stacked_tsv(BufReader::new(file))
+    // One-shot frontend over the same Engine the serve daemon uses: the
+    // bytes are read once, and the content hash the ledger wants comes for
+    // free with the parse. No cache — a single dataset has no reuse.
+    let engine = Engine::with_cache_entries(TenantCaps::unlimited(), 0);
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Run(format!("cannot open {path}: {e}")))?;
+    let dataset = engine
+        .dataset_from_bytes(&bytes)
         .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    let matrix = &dataset.matrix;
+    let labels = &dataset.labels;
     eprintln!(
         "matrix: {} genes x {} samples x {} times",
         matrix.n_genes(),
@@ -310,14 +348,14 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
 
     let start = std::time::Instant::now();
     if a.has("shifting") {
-        let (clusters, _) = mine_shifting(&matrix, &params).map_err(CliError::from_mine)?;
+        let (clusters, _) = mine_shifting(matrix, &params).map_err(CliError::from_mine)?;
         eprintln!(
             "{} shifting clusters in {:?}",
             clusters.len(),
             start.elapsed()
         );
         for (i, sc) in clusters.iter().enumerate() {
-            print_cluster(i, &sc.cluster, &labels, a.has("names"));
+            print_cluster(i, &sc.cluster, labels, a.has("names"));
             let offs: Vec<String> = sc
                 .sample_offsets
                 .iter()
@@ -401,9 +439,11 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         _ => None,
     };
     let result = if a.has("auto") {
-        mine_auto_observed(&matrix, &params, sink)
+        mine_auto_observed(matrix, &params, sink)
     } else {
-        mine_observed(&matrix, &params, sink)
+        // A one-shot run is a session with unlimited caps: identical code
+        // path to a daemon job, minus the clamping.
+        engine.session(&params).run(matrix, sink)
     };
     drop(ticker);
     // Write the trace before bailing on a mining error: a partial timeline
@@ -464,9 +504,9 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
         let met = match &registry {
             Some(r) => {
                 let tee = Tee(&rec, &**r);
-                cluster_metrics_observed(&matrix, &result.triclusters, &tee)
+                cluster_metrics_observed(matrix, &result.triclusters, &tee)
             }
-            None => cluster_metrics_observed(&matrix, &result.triclusters, &rec),
+            None => cluster_metrics_observed(matrix, &result.triclusters, &rec),
         };
         report.merge(&rec.snapshot());
         Some(met)
@@ -475,7 +515,7 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     };
     let doc = met
         .as_ref()
-        .map(|m| runreport::report_to_json_v2(&matrix, &result, &report, m));
+        .map(|m| runreport::report_to_json_v2(matrix, &result, &report, m));
     if let Some(out_path) = &report_json {
         let j = doc
             .as_ref()
@@ -484,12 +524,11 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::Run(format!("cannot write {out_path}: {e}")))?;
     }
     if let Some(dir) = &ledger_dir {
-        // The dataset hash covers the input bytes as given, so two runs over
-        // the same file are comparable even when labels differ in memory;
-        // the params hash covers every knob that shapes the search.
-        let dataset_hash = std::fs::read(path)
-            .map(|bytes| content_hash(&bytes))
-            .map_err(|e| CliError::Run(format!("cannot re-read {path} for hashing: {e}")))?;
+        // The dataset hash covers the input bytes as given (computed once
+        // at parse time by the engine), so two runs over the same file are
+        // comparable even when labels differ in memory; the params hash
+        // covers every knob that shapes the search.
+        let dataset_hash = dataset.hash.clone();
         let params_hash = content_hash(format!("{params:?}").as_bytes());
         let trace_doc = timeline
             .as_ref()
@@ -516,14 +555,14 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
     }
     if a.has("csv") {
         let mut out = std::io::stdout().lock();
-        tricluster_core::report::write_csv(&mut out, &matrix, &result.triclusters, 1e-9)
+        tricluster_core::report::write_csv(&mut out, matrix, &result.triclusters, 1e-9)
             .map_err(|e| CliError::Run(e.to_string()))?;
         return Ok(());
     }
     for (i, c) in result.triclusters.iter().enumerate() {
-        print_cluster(i, c, &labels, a.has("names"));
+        print_cluster(i, c, labels, a.has("names"));
     }
-    let met = met.unwrap_or_else(|| result.metrics(&matrix));
+    let met = met.unwrap_or_else(|| result.metrics(matrix));
     println!("\n{met}");
     Ok(())
 }
@@ -533,8 +572,8 @@ pub fn mine(argv: &[String]) -> Result<(), CliError> {
 /// stdout. Exits 0 once the watched server goes away after at least one
 /// successful snapshot — that is how a finished run looks from outside.
 pub fn watch(argv: &[String]) -> Result<(), CliError> {
-    let a =
-        args::parse(argv, &[("interval", 1), ("get", 1)], &["once"]).map_err(CliError::Usage)?;
+    let a = args::parse(argv, &[("interval", 1), ("get", 1)], &["once", "jobs"])
+        .map_err(CliError::Usage)?;
     let Some(url) = a.positional.first() else {
         return Err(CliError::Usage(
             "watch: missing URL (as printed by mine --metrics-addr, \
@@ -568,12 +607,38 @@ pub fn watch(argv: &[String]) -> Result<(), CliError> {
             "--interval expects a positive number of seconds, got {interval}"
         )));
     }
+    // `--jobs`: one formatted listing of a serve daemon's job table.
+    if a.has("jobs") {
+        let endpoint = format!("{base}/jobs");
+        let (status, body) =
+            http_get_retry(&endpoint, 8, Duration::from_millis(50)).map_err(CliError::Run)?;
+        if status != 200 {
+            return Err(CliError::Run(format!("GET /jobs: HTTP {status}")));
+        }
+        let doc = Json::parse(body.trim())
+            .map_err(|e| CliError::Run(format!("{endpoint}: unparseable listing: {e}")))?;
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CliError::Run(format!("{endpoint}: no jobs array in response")))?;
+        if jobs.is_empty() {
+            println!("no jobs");
+            return Ok(());
+        }
+        for job in jobs {
+            println!("{}", render_job_line(job));
+        }
+        return Ok(());
+    }
     let endpoint = format!("{base}/progress");
-    let started = std::time::Instant::now();
     let mut seen = false;
     let mut width = 0usize;
+    // Bounded retry absorbs the startup race against a just-spawned run
+    // whose listener has not bound yet; after the first response, every
+    // later refusal means the run ended.
+    let mut response = http_get_retry(&endpoint, 8, Duration::from_millis(50));
     loop {
-        match http_get(&endpoint) {
+        match response {
             Ok((200, body)) => {
                 let line = Json::parse(body.trim())
                     .ok()
@@ -605,15 +670,33 @@ pub fn watch(argv: &[String]) -> Result<(), CliError> {
                     eprintln!("watch: {endpoint} went away; run ended");
                     return Ok(());
                 }
-                // Grace period while the watched run binds its listener.
-                if started.elapsed() > Duration::from_secs(5) {
-                    return Err(CliError::Run(format!("watch: {e}")));
-                }
+                return Err(CliError::Run(format!("watch: {e}")));
             }
         }
-        let snooze = if seen { interval } else { interval.min(0.05) };
-        std::thread::sleep(Duration::from_secs_f64(snooze));
+        std::thread::sleep(Duration::from_secs_f64(interval));
+        response = http_get(&endpoint);
     }
+}
+
+/// One line per job from a serve daemon's `GET /jobs` listing.
+fn render_job_line(job: &Json) -> String {
+    let id = job.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let state = job.get("state").and_then(Json::as_str).unwrap_or("?");
+    let label = job.get("label").and_then(Json::as_str).unwrap_or("?");
+    let mut line = format!("#{id:<4} {state:<10} {label}");
+    if let Some(clusters) = job.get("clusters").and_then(Json::as_u64) {
+        line.push_str(&format!("  clusters {clusters}"));
+    }
+    if let Some(err) = job.get("error").and_then(Json::as_str) {
+        line.push_str(&format!("  error: {err}"));
+    }
+    if let Some(reason) = job.get("truncation").and_then(Json::as_str) {
+        line.push_str(&format!("  truncated: {reason}"));
+    }
+    if let Some(secs) = job.get("secs").and_then(Json::as_f64) {
+        line.push_str(&format!("  ({secs:.2}s)"));
+    }
+    line
 }
 
 /// One status line from a `/progress` snapshot: phase, work done vs.
@@ -964,7 +1047,7 @@ fn print_verbose(result: &MiningResult, verbosity: u8) {
 /// Sink whose only job is to switch on histogram collection in the mining
 /// phases; the collected data still arrives through the result's embedded
 /// report, so everything else stays at the `NullSink` defaults.
-struct HistogramTap;
+pub(crate) struct HistogramTap;
 
 impl EventSink for HistogramTap {
     fn enabled(&self) -> bool {

@@ -10,7 +10,14 @@
 //!                 [--clusters 8] [--noise 0.03] [--overlap 0.2] [--seed 42]
 //! tricluster demo
 //! tricluster runs <list|show|diff|top> <LEDGER-DIR> ...
-//! tricluster watch <URL> [--interval SECS] [--once] [--get PATH]
+//! tricluster watch <URL> [--interval SECS] [--once] [--get PATH] [--jobs]
+//! tricluster serve <HOST:PORT> [--workers N] [--queue-depth N]
+//!                 [--memory-budget BYTES] [--cap-deadline SECS]
+//!                 [--cap-memory BYTES] [--cap-candidates N] [--cap-threads N]
+//!                 [--max-body BYTES] [--ledger DIR] [--cache-entries N]
+//! tricluster submit <URL> <stacked.tsv> [mine param flags] [--label L]
+//!                 [--by-path] [--wait] [--poll SECS] [--report-json out.json]
+//! tricluster submit <URL> --cancel ID | --shutdown drain|cancel
 //! ```
 //!
 //! Exit codes: `0` success, `1` mining/runtime error (unreadable input,
@@ -22,6 +29,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod serve;
 
 use commands::CliError;
 
@@ -55,6 +63,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         Some("demo") => commands::demo(&argv[1..]),
         Some("runs") => commands::runs(&argv[1..]),
         Some("watch") => commands::watch(&argv[1..]),
+        Some("serve") => serve::serve(&argv[1..]),
+        Some("submit") => serve::submit(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,430 @@
+//! Long-lived mining engine: tenant caps, dataset caching, cancellable
+//! sessions.
+//!
+//! [`mine`](crate::mine) is a one-shot function: parse, run, drop. A
+//! daemon serving many tenants needs three things it does not provide —
+//! per-tenant *limits* that an individual job cannot exceed, *reuse* of
+//! parsed datasets across repeat submissions, and a way to *stop* a run
+//! that is already in flight. [`Engine`] owns the first two ([`TenantCaps`]
+//! and a content-hash-keyed [`Dataset`] cache); [`Session`] owns the third
+//! (one prepared run with a [`CancelHandle`] that can be tripped from any
+//! thread). The CLI's `mine` command is a thin frontend over the same
+//! types, so a job mined through `tricluster serve` takes exactly the
+//! code path of a one-shot run — which is what makes the daemon's
+//! byte-determinism guarantee possible at all.
+
+use crate::cancel::CancelHandle;
+use crate::error::MineError;
+use crate::miner::{mine_observed_cancellable, MiningResult};
+use crate::params::Params;
+use std::io::BufReader;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tricluster_matrix::io::{self, IoError};
+use tricluster_matrix::{Labels, Matrix3};
+use tricluster_obs::ledger::content_hash;
+use tricluster_obs::EventSink;
+
+/// Server-wide ceilings on what any single job may request.
+///
+/// A tenant's [`Params`] are clamped against these at session creation:
+/// requesting more than a cap silently lowers the request to the cap (and
+/// flags the session [`clamped`](Session::was_clamped)); requesting
+/// nothing where a cap exists applies the cap. `None` caps leave the
+/// tenant's value untouched.
+#[derive(Debug, Clone, Default)]
+pub struct TenantCaps {
+    /// Longest wall-clock deadline a job may run with.
+    pub max_deadline: Option<Duration>,
+    /// Largest logical-memory budget a job may hold.
+    pub max_memory: Option<u64>,
+    /// Largest candidate budget a job may spend.
+    pub max_candidates: Option<u64>,
+    /// Most worker threads a job may use.
+    pub max_threads: Option<usize>,
+}
+
+impl TenantCaps {
+    /// No ceilings: every tenant request passes through unchanged.
+    pub fn unlimited() -> Self {
+        TenantCaps::default()
+    }
+
+    /// Clamps `params` against these caps. Returns the effective params
+    /// and whether anything was actually lowered or imposed.
+    pub fn clamp(&self, params: &Params) -> (Params, bool) {
+        fn cap<T: Copy + Ord>(requested: &mut Option<T>, cap: Option<T>, changed: &mut bool) {
+            let effective = match (*requested, cap) {
+                (Some(r), Some(c)) => Some(r.min(c)),
+                (None, Some(c)) => Some(c),
+                (r, None) => r,
+            };
+            if effective != *requested {
+                *requested = effective;
+                *changed = true;
+            }
+        }
+        let mut p = params.clone();
+        let mut changed = false;
+        cap(&mut p.deadline, self.max_deadline, &mut changed);
+        cap(&mut p.max_memory, self.max_memory, &mut changed);
+        cap(&mut p.max_candidates, self.max_candidates, &mut changed);
+        cap(&mut p.threads, self.max_threads, &mut changed);
+        (p, changed)
+    }
+}
+
+/// A parsed, ready-to-mine dataset plus its identity.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The parsed expression matrix.
+    pub matrix: Matrix3,
+    /// Axis labels from the TSV header/rows.
+    pub labels: Labels,
+    /// FNV-1a content hash of the raw bytes (`fnv1a:<16 hex>`), the same
+    /// hash the run ledger records — so a ledger entry and a cache entry
+    /// for the same upload agree on identity for free.
+    pub hash: String,
+    /// Raw (pre-parse) byte length, for admission accounting.
+    pub raw_bytes: u64,
+}
+
+/// One prepared, cancellable mining run.
+///
+/// A session is created by [`Engine::session`] with caps already applied.
+/// [`Session::run`] executes on the calling thread; [`Session::cancel`]
+/// (or a clone of [`Session::cancel_handle`]) trips the run from any other
+/// thread, winding it down into an `Ok` result truncated with
+/// [`TruncationReason::Cancelled`](crate::TruncationReason::Cancelled).
+#[derive(Debug)]
+pub struct Session {
+    params: Params,
+    clamped: bool,
+    handle: CancelHandle,
+}
+
+impl Session {
+    /// A session with `params` used verbatim (no caps). Prefer
+    /// [`Engine::session`] in multi-tenant settings.
+    pub fn new(params: Params) -> Self {
+        Session {
+            params,
+            clamped: false,
+            handle: CancelHandle::new(),
+        }
+    }
+
+    /// The effective (post-clamp) parameters this session will run with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Whether tenant caps lowered or imposed any budget.
+    pub fn was_clamped(&self) -> bool {
+        self.clamped
+    }
+
+    /// A clonable handle that cancels this session's run from any thread.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.handle.clone()
+    }
+
+    /// Requests cancellation of the run (idempotent).
+    pub fn cancel(&self) {
+        self.handle.cancel();
+    }
+
+    /// Mines `m` on the calling thread, routing instrumentation through
+    /// `sink`. Exactly [`mine_observed`](crate::mine_observed) plus the
+    /// session's cancel handle.
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`MineError`]s as [`mine`](crate::mine);
+    /// cancellation is *not* an error (it truncates the result).
+    pub fn run(&self, m: &Matrix3, sink: &dyn EventSink) -> Result<MiningResult, MineError> {
+        mine_observed_cancellable(m, &self.params, sink, self.handle.clone())
+    }
+}
+
+/// How many parsed datasets [`Engine`] retains, most recently used first.
+const DEFAULT_CACHE_ENTRIES: usize = 8;
+
+/// A long-lived mining engine: tenant caps plus a dataset cache.
+///
+/// Thread-safe (`&self` everywhere); a daemon shares one engine across
+/// all worker threads.
+#[derive(Debug)]
+pub struct Engine {
+    caps: TenantCaps,
+    cache_entries: usize,
+    cache: Mutex<Vec<Arc<Dataset>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// An engine enforcing `caps`, with the default cache size.
+    pub fn new(caps: TenantCaps) -> Self {
+        Engine::with_cache_entries(caps, DEFAULT_CACHE_ENTRIES)
+    }
+
+    /// An engine retaining at most `cache_entries` parsed datasets
+    /// (0 disables caching).
+    pub fn with_cache_entries(caps: TenantCaps, cache_entries: usize) -> Self {
+        Engine {
+            caps,
+            cache_entries,
+            cache: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The caps every session is clamped against.
+    pub fn caps(&self) -> &TenantCaps {
+        &self.caps
+    }
+
+    /// A session for one run of `params`, clamped against the caps.
+    pub fn session(&self, params: &Params) -> Session {
+        let (params, clamped) = self.caps.clamp(params);
+        Session {
+            params,
+            clamped,
+            handle: CancelHandle::new(),
+        }
+    }
+
+    /// Parses a stacked TSV from raw bytes, reusing a cached parse when
+    /// the FNV-1a content hash matches a previous submission. A cache hit
+    /// skips parse and normalization entirely — the returned `Arc` is
+    /// shared with every other job mining the same upload.
+    ///
+    /// # Errors
+    ///
+    /// The parse's [`IoError`] on malformed input; a failed parse caches
+    /// nothing.
+    pub fn dataset_from_bytes(&self, bytes: &[u8]) -> Result<Arc<Dataset>, IoError> {
+        let hash = content_hash(bytes);
+        {
+            let mut cache = self.lock_cache();
+            if let Some(i) = cache.iter().position(|d| d.hash == hash) {
+                let hit = cache.remove(i);
+                cache.insert(0, hit.clone()); // MRU to the front
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (matrix, labels) = io::read_stacked_tsv(BufReader::new(bytes))?;
+        let dataset = Arc::new(Dataset {
+            matrix,
+            labels,
+            hash,
+            raw_bytes: bytes.len() as u64,
+        });
+        if self.cache_entries > 0 {
+            let mut cache = self.lock_cache();
+            // A racing parse of the same bytes may have landed first;
+            // keeping both copies is harmless (identical content), but
+            // don't double-insert the same hash.
+            if !cache.iter().any(|d| d.hash == dataset.hash) {
+                cache.insert(0, dataset.clone());
+                cache.truncate(self.cache_entries);
+            }
+        }
+        Ok(dataset)
+    }
+
+    /// Reads and parses a stacked TSV file through the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Io`] when the file cannot be read, else as
+    /// [`Engine::dataset_from_bytes`].
+    pub fn dataset_from_path(&self, path: &std::path::Path) -> Result<Arc<Dataset>, IoError> {
+        let bytes = std::fs::read(path).map_err(IoError::Io)?;
+        self.dataset_from_bytes(&bytes)
+    }
+
+    /// `(hits, misses)` of the dataset cache since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Parsed datasets currently retained.
+    pub fn cached_datasets(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, Vec<Arc<Dataset>>> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cancel::TruncationReason;
+    use crate::testdata::paper_table1;
+    use tricluster_obs::NullSink;
+
+    fn table1_tsv() -> Vec<u8> {
+        let m = paper_table1();
+        let labels = Labels::default_for(m.n_genes(), m.n_samples(), m.n_times());
+        let mut bytes = Vec::new();
+        io::write_stacked_tsv(&mut bytes, &m, &labels).unwrap();
+        bytes
+    }
+
+    fn table1_params() -> Params {
+        Params::builder()
+            .epsilon(0.01)
+            .min_size(3, 3, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clamp_lowers_imposes_and_passes_through() {
+        let caps = TenantCaps {
+            max_deadline: Some(Duration::from_secs(10)),
+            max_memory: Some(1 << 20),
+            max_candidates: None,
+            max_threads: Some(2),
+        };
+        let requested = Params::builder()
+            .epsilon(0.01)
+            .deadline(Duration::from_secs(60))
+            .max_candidates(500)
+            .threads(1)
+            .build()
+            .unwrap();
+        let (p, clamped) = caps.clamp(&requested);
+        assert!(clamped);
+        assert_eq!(p.deadline, Some(Duration::from_secs(10)), "lowered");
+        assert_eq!(p.max_memory, Some(1 << 20), "imposed");
+        assert_eq!(p.max_candidates, Some(500), "uncapped passes through");
+        assert_eq!(p.threads, Some(1), "under the cap passes through");
+
+        let (same, clamped) = TenantCaps::unlimited().clamp(&requested);
+        assert!(!clamped);
+        assert_eq!(same, requested);
+    }
+
+    #[test]
+    fn dataset_cache_hits_on_identical_bytes() {
+        let engine = Engine::new(TenantCaps::unlimited());
+        let bytes = table1_tsv();
+        let a = engine.dataset_from_bytes(&bytes).unwrap();
+        let b = engine.dataset_from_bytes(&bytes).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second submission reuses the parse");
+        assert_eq!(engine.cache_stats(), (1, 1));
+        assert!(a.hash.starts_with("fnv1a:"), "{}", a.hash);
+        assert_eq!(a.raw_bytes, bytes.len() as u64);
+
+        // Different content is a different entry.
+        let mut other = bytes.clone();
+        other.extend_from_slice(b"\n");
+        let c = engine.dataset_from_bytes(&other).unwrap();
+        assert_ne!(c.hash, a.hash);
+        assert_eq!(engine.cached_datasets(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let engine = Engine::with_cache_entries(TenantCaps::unlimited(), 1);
+        let first = table1_tsv();
+        let mut second = first.clone();
+        second.extend_from_slice(b"\n");
+        let a = engine.dataset_from_bytes(&first).unwrap();
+        let _ = engine.dataset_from_bytes(&second).unwrap();
+        assert_eq!(engine.cached_datasets(), 1);
+        let a2 = engine.dataset_from_bytes(&first).unwrap();
+        assert!(!Arc::ptr_eq(&a, &a2), "evicted entry re-parses");
+        assert_eq!(engine.cache_stats(), (0, 3));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = Engine::with_cache_entries(TenantCaps::unlimited(), 0);
+        let bytes = table1_tsv();
+        engine.dataset_from_bytes(&bytes).unwrap();
+        assert_eq!(engine.cached_datasets(), 0);
+    }
+
+    #[test]
+    fn malformed_bytes_error_and_cache_nothing() {
+        let engine = Engine::new(TenantCaps::unlimited());
+        assert!(engine.dataset_from_bytes(b"g\tnot-a-number\n").is_err());
+        assert_eq!(engine.cached_datasets(), 0);
+    }
+
+    #[test]
+    fn session_runs_and_matches_one_shot_mine() {
+        let engine = Engine::new(TenantCaps::unlimited());
+        let dataset = engine.dataset_from_bytes(&table1_tsv()).unwrap();
+        let params = table1_params();
+        let session = engine.session(&params);
+        assert!(!session.was_clamped());
+        let via_session = session.run(&dataset.matrix, &NullSink).unwrap();
+        let one_shot = crate::mine(&dataset.matrix, &params).unwrap();
+        assert_eq!(
+            via_session.triclusters.len(),
+            one_shot.triclusters.len(),
+            "session path is the one-shot path"
+        );
+    }
+
+    #[test]
+    fn cancelled_session_truncates_with_cancelled_reason() {
+        let dataset = {
+            let engine = Engine::new(TenantCaps::unlimited());
+            engine.dataset_from_bytes(&table1_tsv()).unwrap()
+        };
+        let session = Session::new(table1_params());
+        session.cancel();
+        let result = session.run(&dataset.matrix, &NullSink).unwrap();
+        assert!(result.truncated);
+        assert_eq!(result.truncation, Some(TruncationReason::Cancelled));
+        assert!(
+            result.triclusters.is_empty(),
+            "a pre-cancelled run does no slice work"
+        );
+    }
+
+    #[test]
+    fn cancel_mid_run_from_another_thread_yields_a_sound_subset() {
+        let dataset = {
+            let engine = Engine::new(TenantCaps::unlimited());
+            engine.dataset_from_bytes(&table1_tsv()).unwrap()
+        };
+        let params = table1_params();
+        let full = crate::mine(&dataset.matrix, &params).unwrap();
+        let session = Session::new(params);
+        let handle = session.cancel_handle();
+        // Trip concurrently with the run; whichever slice poll sees it
+        // first stops the run there. Every outcome must be a subset.
+        let canceller = std::thread::spawn(move || {
+            handle.cancel();
+        });
+        let result = session.run(&dataset.matrix, &NullSink).unwrap();
+        canceller.join().unwrap();
+        if result.truncated {
+            assert_eq!(result.truncation, Some(TruncationReason::Cancelled));
+        }
+        for c in &result.triclusters {
+            assert!(
+                full.triclusters.iter().any(|f| c.is_subcluster_of(f)),
+                "cancelled run invented a cluster"
+            );
+        }
+    }
+}

@@ -68,6 +68,7 @@ pub mod cancel;
 pub mod classify;
 pub mod cluster;
 pub mod coherence;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
@@ -84,15 +85,16 @@ pub mod testdata;
 pub mod tricluster;
 pub mod validate;
 
-pub use cancel::{CancelToken, TruncationReason};
+pub use cancel::{resolve_truncation, CancelHandle, CancelToken, TruncationReason};
 pub use classify::{classify, ClusterType, Spreads};
 pub use cluster::{Bicluster, Tricluster};
+pub use engine::{Dataset, Engine, Session, TenantCaps};
 pub use error::MineError;
 pub use fault::{RunCtrl, WorkerFailure, FAILPOINTS};
 pub use metrics::{cluster_metrics, cluster_metrics_observed, Metrics};
 pub use miner::{
-    mine, mine_auto, mine_auto_observed, mine_observed, FanoutDecision, FanoutLevel, Miner,
-    MiningResult, Timings,
+    mine, mine_auto, mine_auto_observed, mine_observed, mine_observed_cancellable, FanoutDecision,
+    FanoutLevel, Miner, MiningResult, Timings,
 };
 pub use params::{FanoutMode, MergeParams, Params, ParamsBuilder, ParamsError};
 pub use shift::{mine_shifting, ShiftingCluster};

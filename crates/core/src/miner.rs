@@ -402,8 +402,24 @@ pub fn mine_observed(
     params: &Params,
     sink: &dyn EventSink,
 ) -> Result<MiningResult, MineError> {
+    mine_observed_cancellable(m, params, sink, crate::cancel::CancelHandle::new())
+}
+
+/// Like [`mine_observed`], with an external [`CancelHandle`] wired into the
+/// run's [`CancelToken`]: tripping the handle from another thread winds the
+/// run down cooperatively into an `Ok` result truncated with
+/// [`TruncationReason::Cancelled`]. This is the entry point the
+/// [`Session`](crate::engine::Session) API builds on.
+///
+/// [`CancelHandle`]: crate::cancel::CancelHandle
+pub fn mine_observed_cancellable(
+    m: &Matrix3,
+    params: &Params,
+    sink: &dyn EventSink,
+    handle: crate::cancel::CancelHandle,
+) -> Result<MiningResult, MineError> {
     validate_input(m, params)?;
-    let mut ctrl = RunCtrl::for_params(params);
+    let mut ctrl = RunCtrl::for_params_with_handle(params, handle);
     ctrl.progress = sink.progress();
     ctrl.timeline = sink.timeline().cloned();
     // The matrix itself is the first charge against the memory budget
@@ -729,17 +745,13 @@ fn mine_pipeline(
     if !worker_failures.is_empty() {
         sink.counter(names::F_WORKER_FAILURES, worker_failures.len() as u64);
     }
-    let truncation = if ctrl.token.deadline_was_hit() {
-        Some(TruncationReason::Deadline)
-    } else if memory_truncated {
-        Some(TruncationReason::MemoryBudget)
-    } else if truncated {
-        Some(TruncationReason::CandidateBudget)
-    } else if !worker_failures.is_empty() {
-        Some(TruncationReason::WorkerFailure)
-    } else {
-        None
-    };
+    let truncation = crate::cancel::resolve_truncation(
+        ctrl.token.cancel_was_hit(),
+        ctrl.token.deadline_was_hit(),
+        memory_truncated,
+        truncated,
+        !worker_failures.is_empty(),
+    );
     if let Some(reason) = truncation {
         timeline::instant_with(names::T_TRUNCATED, || reason.as_str().to_owned());
     }

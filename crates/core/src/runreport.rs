@@ -431,7 +431,15 @@ pub fn validate_v2(doc: &Json) -> Result<(), String> {
             .get("truncation_reason")
             .and_then(Json::as_str)
             .ok_or("fault.truncation_reason missing or not a string")?;
-        if !["max_candidates", "deadline", "max_memory", "worker_failure"].contains(&reason) {
+        if ![
+            "max_candidates",
+            "deadline",
+            "max_memory",
+            "worker_failure",
+            "cancelled",
+        ]
+        .contains(&reason)
+        {
             return Err(format!("unknown fault.truncation_reason {reason:?}"));
         }
         if let Some(failures) = fault.get("worker_failures") {

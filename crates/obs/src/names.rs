@@ -153,6 +153,8 @@ pub const T_TRUNCATED: &str = "miner.truncated";
 pub const T_DEADLINE: &str = "cancel.deadline";
 /// Memory budget tripped (instant, emitted once).
 pub const T_MEMORY: &str = "cancel.max_memory";
+/// External cancellation request observed (instant, emitted once).
+pub const T_CANCELLED: &str = "cancel.cancelled";
 /// An isolated work unit panicked and was dropped (instant; detail names
 /// the unit).
 pub const T_WORKER_FAILURE: &str = "fault.worker_failure";
@@ -241,6 +243,7 @@ pub const ALL: &[&str] = &[
     T_TRUNCATED,
     T_DEADLINE,
     T_MEMORY,
+    T_CANCELLED,
     T_WORKER_FAILURE,
     T_FAILPOINT,
     F_WORKER_FAILURES,

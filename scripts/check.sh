@@ -75,7 +75,11 @@ if [[ $fast -eq 0 ]]; then
     met_base="$(mktemp /tmp/tricluster-met-base-XXXXXX.json)"
     met_json="$(mktemp /tmp/tricluster-met-XXXXXX.json)"
     met_log="$(mktemp /tmp/tricluster-met-XXXXXX.log)"
-    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt" "$met_tsv" "$met_base" "$met_json" "$met_log"; rm -rf "$ledger_dir"' EXIT
+    serve_log="$(mktemp /tmp/tricluster-serve-XXXXXX.log)"
+    serve_json="$(mktemp /tmp/tricluster-serve-XXXXXX.json)"
+    serve_ledger="$(mktemp -d /tmp/tricluster-serve-ledger-XXXXXX)"
+    serve_pid=""
+    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt" "$met_tsv" "$met_base" "$met_json" "$met_log" "$serve_log" "$serve_json"; rm -rf "$ledger_dir" "$serve_ledger"; [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null' EXIT
     run cargo run --release --quiet -p tricluster-bench --features track-alloc \
         --bin fig7 -- --smoke --json "$smoke_json"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
@@ -176,6 +180,85 @@ if [[ $fast -eq 0 ]]; then
     echo "==> metrics smoke: scraped /healthz, /metrics, /progress mid-run at $met_url"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
         determinism "$met_base" "$met_json"
+
+    # Serve-smoke gate: the multi-tenant daemon must admit concurrent jobs,
+    # shed load with a machine-readable 429 when its bounded queue fills,
+    # degrade an over-quota job into a structured failed record, cancel a
+    # job mid-flight, drain cleanly on POST /shutdown — and a job mined
+    # through the daemon must reproduce the one-shot report byte-for-byte
+    # across the input-determined sections (`bench determinism`).
+    echo
+    echo "==> serve smoke: daemon admission, backpressure, cancellation, drain"
+    # stdout AND stderr go to the log: an inherited stdout would hold any
+    # pipe this script writes to open for as long as the daemon lives.
+    ./target/release/tricluster serve 127.0.0.1:0 --workers 1 --queue-depth 2 \
+        --ledger "$serve_ledger" > "$serve_log" 2>&1 &
+    serve_pid=$!
+    serve_url=""
+    for _ in $(seq 1 500); do
+        serve_url=$(sed -n 's/^serve: listening on //p' "$serve_log" | head -n1)
+        [[ -n "$serve_url" ]] && break
+        sleep 0.01
+    done
+    if [[ -z "$serve_url" ]]; then
+        echo "error: serve never announced its endpoint (log: $(cat "$serve_log"))" >&2
+        exit 1
+    fi
+    # Occupy the single worker with a multi-second job, then fill the queue:
+    # one over-quota job (64-byte per-job memory cap, far below the matrix)
+    # and one clean deterministic job behind it.
+    long_id=$(./target/release/tricluster submit "$serve_url" "$met_tsv" \
+        --eps 0.02 --threads 1 --label long 2>/dev/null)
+    fail_id=$(./target/release/tricluster submit "$serve_url" "$det_tsv" \
+        --max-memory 64 --label over-quota 2>/dev/null)
+    det_id=$(./target/release/tricluster submit "$serve_url" "$det_tsv" \
+        --eps 0.012 --label deterministic 2>/dev/null)
+    # Queue capacity 2 is now exhausted: the next submission must shed with
+    # a machine-readable queue_full rejection (submit exits non-zero).
+    if shed=$(./target/release/tricluster submit "$serve_url" "$det_tsv" 2>&1); then
+        echo "error: fourth submission was admitted past a full queue" >&2
+        exit 1
+    fi
+    if ! grep -q 'queue_full' <<< "$shed"; then
+        echo "error: shed submission carried no queue_full reason: $shed" >&2
+        exit 1
+    fi
+    # Kill the occupying job mid-flight; the daemon keeps serving.
+    ./target/release/tricluster submit "$serve_url" --cancel "$long_id" >/dev/null
+    # Wait out a clean job and collect its report; the queue may still be
+    # full while the cancelled job winds down, so retry the submission
+    # until a slot frees up.
+    submitted=0
+    for _ in $(seq 1 40); do
+        if ./target/release/tricluster submit "$serve_url" "$det_tsv" --eps 0.012 \
+            --wait --report-json "$serve_json" >/dev/null 2>&1; then
+            submitted=1
+            break
+        fi
+        sleep 0.5
+    done
+    if (( submitted != 1 )); then
+        echo "error: the deterministic serve job never completed" >&2
+        exit 1
+    fi
+    ./target/release/tricluster watch "$serve_url" --get "/jobs/$fail_id" \
+        | grep -q '"failed"' || {
+        echo "error: over-quota job $fail_id is not a structured failed record" >&2
+        exit 1
+    }
+    ./target/release/tricluster watch "$serve_url" --jobs | grep -q 'over-quota'
+    # Graceful drain: stop admitting, finish in-flight, exit 0.
+    ./target/release/tricluster submit "$serve_url" --shutdown drain >/dev/null
+    wait "$serve_pid"
+    serve_pid=""
+    archived=$(./target/release/tricluster runs list "$serve_ledger" --ids | wc -l)
+    if (( archived < 2 )); then
+        echo "error: expected >=2 jobs archived by the draining daemon, got $archived" >&2
+        exit 1
+    fi
+    echo "==> serve smoke: shed, cancelled, failed structurally, drained ($archived jobs archived) at $serve_url"
+    run cargo run --release --quiet -p tricluster-bench --bin bench -- \
+        determinism "$det_t1" "$serve_json"
 fi
 
 echo

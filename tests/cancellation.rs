@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use tricluster::core::runreport::{fault_json, report_to_json_v2};
 use tricluster::core::testdata::paper_table1;
-use tricluster::core::{cluster_metrics, TruncationReason};
+use tricluster::core::{cluster_metrics, resolve_truncation, TruncationReason};
+use tricluster::core::{CancelHandle, CancelToken};
 use tricluster::prelude::*;
 
 fn smoke_matrix() -> Matrix3 {
@@ -92,6 +93,109 @@ proptest! {
         if let Some(reason) = cut.truncation {
             prop_assert_eq!(reason, TruncationReason::MemoryBudget);
         }
+    }
+
+    /// The documented precedence (cancelled > deadline > memory > candidates
+    /// > worker failure) is a pure, total fold: any combination of tripped
+    /// causes resolves to exactly one reason, and resolving twice agrees.
+    #[test]
+    fn any_combination_of_causes_resolves_by_precedence(
+        cancelled in proptest::bool::ANY,
+        deadline in proptest::bool::ANY,
+        memory in proptest::bool::ANY,
+        candidates in proptest::bool::ANY,
+        worker in proptest::bool::ANY,
+    ) {
+        let resolved = resolve_truncation(cancelled, deadline, memory, candidates, worker);
+        let expected = if cancelled {
+            Some(TruncationReason::Cancelled)
+        } else if deadline {
+            Some(TruncationReason::Deadline)
+        } else if memory {
+            Some(TruncationReason::MemoryBudget)
+        } else if candidates {
+            Some(TruncationReason::CandidateBudget)
+        } else if worker {
+            Some(TruncationReason::WorkerFailure)
+        } else {
+            None
+        };
+        prop_assert_eq!(resolved, expected);
+        prop_assert_eq!(
+            resolved,
+            resolve_truncation(cancelled, deadline, memory, candidates, worker),
+            "resolution must be deterministic"
+        );
+    }
+
+    /// Racing trips on a live token: any subset of {cancel handle, zero
+    /// deadline, zero memory budget} tripped from concurrent threads — plus
+    /// a candidate budget observed by the caller — must latch and resolve
+    /// to the documented precedence, independent of thread interleaving.
+    #[test]
+    fn racing_token_trips_resolve_deterministically(
+        trip_cancel in proptest::bool::ANY,
+        trip_deadline in proptest::bool::ANY,
+        trip_memory in proptest::bool::ANY,
+        trip_candidates in proptest::bool::ANY,
+    ) {
+        let handle = CancelHandle::new();
+        let token = CancelToken::with_handle(
+            trip_deadline.then_some(std::time::Duration::ZERO),
+            trip_memory.then_some(0),
+            handle.clone(),
+        );
+        let barrier = std::sync::Barrier::new(3);
+        std::thread::scope(|s| {
+            let cancel_thread = {
+                let (handle, barrier) = (&handle, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    if trip_cancel {
+                        handle.cancel();
+                    }
+                })
+            };
+            let charge_thread = {
+                let (token, barrier) = (&token, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..16 {
+                        token.charge(1);
+                    }
+                })
+            };
+            let (token, barrier) = (&token, &barrier);
+            barrier.wait();
+            for _ in 0..16 {
+                token.deadline_exceeded();
+            }
+            cancel_thread.join().unwrap();
+            charge_thread.join().unwrap();
+        });
+        // One final cooperative poll, as a mining loop would issue before
+        // assembling its result: every armed trip is now latched.
+        token.deadline_exceeded();
+        token.charge(1);
+        let resolved = resolve_truncation(
+            token.cancel_was_hit(),
+            token.deadline_was_hit(),
+            token.memory_was_hit(),
+            trip_candidates,
+            false,
+        );
+        let expected = if trip_cancel {
+            Some(TruncationReason::Cancelled)
+        } else if trip_deadline {
+            Some(TruncationReason::Deadline)
+        } else if trip_memory {
+            Some(TruncationReason::MemoryBudget)
+        } else if trip_candidates {
+            Some(TruncationReason::CandidateBudget)
+        } else {
+            None
+        };
+        prop_assert_eq!(resolved, expected);
     }
 }
 
