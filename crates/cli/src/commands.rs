@@ -94,8 +94,10 @@ WATCH OPTIONS (tricluster watch http://HOST:PORT):
                    run's server goes away after at least one snapshot
   --once           print a single status snapshot and exit
   --get PATH       print one raw HTTP response body from URL+PATH (e.g.
-                   --get /metrics scrapes without external tooling)
-  --jobs           print a serve daemon's job table (GET /jobs) and exit
+                   --get /metrics scrapes a mine's — or a serve daemon's —
+                   OpenMetrics exposition without external tooling)
+  --jobs           print a serve daemon's job table (GET /jobs) and exit,
+                   headed by its service counters and cache effectiveness
 
 SERVE OPTIONS (tricluster serve HOST:PORT; port 0 picks one, the bound
 address is printed on stderr; POST /shutdown drains the daemon):
@@ -108,10 +110,16 @@ address is printed on stderr; POST /shutdown drains the daemon):
                        server-wide ceilings clamped onto every job's
                        requested per-job budgets
   --max-body B         largest accepted request body (default 64M)
-  --ledger DIR         archive every finished job's v2 report into the run
-                       ledger at DIR (kind \"serve\"), flushed per job
+  --ledger DIR         archive every finished job's v2 report (plus its
+                       Chrome trace with job-lifecycle instants) into the
+                       run ledger at DIR (kind \"serve\"), flushed per job
   --cache-entries N    parsed datasets kept by the content-hash cache
                        (default 8; 0 disables)
+  --access-log PATH    append one JSONL audit record per HTTP request:
+                       request id, method, path, status, bytes, duration,
+                       clamp verdict, shed reason. GET /metrics exposes the
+                       daemon-lifetime counters, queue-wait/run/archive
+                       histograms, and live gauges as OpenMetrics text
 
 SUBMIT OPTIONS (tricluster submit http://HOST:PORT DATA.tsv):
   mine param flags     --eps/--mx/--my/--mz/--merge/--deadline/... forwarded
@@ -607,16 +615,21 @@ pub fn watch(argv: &[String]) -> Result<(), CliError> {
             "--interval expects a positive number of seconds, got {interval}"
         )));
     }
-    // `--jobs`: one formatted listing of a serve daemon's job table.
+    // `--jobs`: one formatted listing of a serve daemon's job table,
+    // headed by the daemon's service counters and cache effectiveness.
     if a.has("jobs") {
         let endpoint = format!("{base}/jobs");
-        let (status, body) =
-            http_get_retry(&endpoint, 8, Duration::from_millis(50)).map_err(CliError::Run)?;
+        let (status, body) = http_get_retry(&endpoint, 8, Duration::from_millis(50))
+            .into_result()
+            .map_err(CliError::Run)?;
         if status != 200 {
             return Err(CliError::Run(format!("GET /jobs: HTTP {status}")));
         }
         let doc = Json::parse(body.trim())
             .map_err(|e| CliError::Run(format!("{endpoint}: unparseable listing: {e}")))?;
+        if let Some(line) = render_service_line(&doc) {
+            println!("{line}");
+        }
         let jobs = doc
             .get("jobs")
             .and_then(Json::as_arr)
@@ -636,7 +649,7 @@ pub fn watch(argv: &[String]) -> Result<(), CliError> {
     // Bounded retry absorbs the startup race against a just-spawned run
     // whose listener has not bound yet; after the first response, every
     // later refusal means the run ended.
-    let mut response = http_get_retry(&endpoint, 8, Duration::from_millis(50));
+    let mut response = http_get_retry(&endpoint, 8, Duration::from_millis(50)).into_result();
     loop {
         match response {
             Ok((200, body)) => {
@@ -678,12 +691,41 @@ pub fn watch(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// The daemon-level header over a `GET /jobs` listing: lifecycle counters
+/// plus dataset-cache effectiveness.
+fn render_service_line(doc: &Json) -> Option<String> {
+    let s = doc.get("service")?;
+    let n = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mut line = format!(
+        "serve: queue {} | running {} | accepted {} done {} failed {} cancelled {}",
+        n("queue_depth"),
+        n("running"),
+        n("accepted"),
+        n("completed"),
+        n("failed"),
+        n("cancelled"),
+    );
+    if let Some(cache) = doc.get("dataset_cache") {
+        let c = |key: &str| cache.get(key).and_then(Json::as_u64).unwrap_or(0);
+        line.push_str(&format!(
+            " | cache {} hit / {} miss / {} evicted",
+            c("hits"),
+            c("misses"),
+            c("evictions"),
+        ));
+    }
+    Some(line)
+}
+
 /// One line per job from a serve daemon's `GET /jobs` listing.
 fn render_job_line(job: &Json) -> String {
     let id = job.get("id").and_then(Json::as_u64).unwrap_or(0);
     let state = job.get("state").and_then(Json::as_str).unwrap_or("?");
     let label = job.get("label").and_then(Json::as_str).unwrap_or("?");
     let mut line = format!("#{id:<4} {state:<10} {label}");
+    if let Some(rid) = job.get("request_id").and_then(Json::as_u64) {
+        line.push_str(&format!("  req {rid}"));
+    }
     if let Some(clusters) = job.get("clusters").and_then(Json::as_u64) {
         line.push_str(&format!("  clusters {clusters}"));
     }
@@ -821,19 +863,20 @@ fn runs_list(argv: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
     println!(
-        "{:<16} {:<5} {:>11} {:>8} {:>9} {:>7}  label",
-        "id", "kind", "created", "clusters", "secs", "threads"
+        "{:<16} {:<5} {:>11} {:>8} {:>9} {:>7} {:>5}  label",
+        "id", "kind", "created", "clusters", "secs", "threads", "req"
     );
     let dash = || "-".to_string();
     for e in &entries {
         println!(
-            "{:<16} {:<5} {:>11} {:>8} {:>9} {:>7}  {}",
+            "{:<16} {:<5} {:>11} {:>8} {:>9} {:>7} {:>5}  {}",
             e.id,
             e.kind,
             e.created_unix,
             e.clusters.map_or_else(dash, |c| c.to_string()),
             e.total_secs.map_or_else(dash, |s| format!("{s:.3}")),
             e.threads.map_or_else(dash, |t| t.to_string()),
+            e.request_id.map_or_else(dash, |r| r.to_string()),
             e.label.as_deref().unwrap_or("-"),
         );
     }
@@ -857,6 +900,9 @@ fn runs_show(argv: &[String]) -> Result<(), CliError> {
         println!("label:    {label}");
     }
     println!("created:  {} (unix seconds)", entry.created_unix);
+    if let Some(rid) = entry.request_id {
+        println!("request:  {rid} (daemon request id)");
+    }
     println!("dataset:  {}", entry.dataset_hash);
     println!("params:   {}", entry.params_hash);
     let meta: Vec<String> = [

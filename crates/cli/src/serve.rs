@@ -15,8 +15,27 @@
 //! | `GET /jobs/<id>` | one job's status, live progress, final report |
 //! | `DELETE /jobs/<id>` | cancel (dequeue if queued, trip mid-flight if running) |
 //! | `GET /stats` | queue depth, admitted bytes, dataset-cache hits, counters |
+//! | `GET /metrics` | daemon-lifetime OpenMetrics exposition (see below) |
 //! | `GET /healthz` | liveness |
 //! | `POST /shutdown` | graceful drain (`{"mode":"drain"}`) or cancel-all |
+//!
+//! # Observability
+//!
+//! A process-lifetime [`ServiceRegistry`] accumulates job-lifecycle
+//! counters (accepted / rejected / clamped / completed / failed /
+//! cancelled), queue-wait vs. run vs. archive latency histograms, and —
+//! at scrape time — live gauges (queue depth, admitted bytes, busy
+//! workers, retained jobs, dataset-cache hits/misses/evictions), exposed
+//! as `GET /metrics`. Every HTTP request gets a monotonic request ID; with
+//! `--access-log PATH` each request is appended as one JSONL audit record
+//! (method, path, status, bytes, duration, clamp verdict, shed reason).
+//! The submission's request ID is threaded into the job record, its
+//! report (a `serve` section, outside the deterministic sections), its
+//! ledger entry, and its Chrome trace — which also carries the job's
+//! enqueued/started/finished lifecycle instants, so queue wait is visible
+//! on the trace. None of this feeds back into mining: a served job's
+//! deterministic report sections stay byte-identical to a one-shot
+//! `mine`.
 //!
 //! # Admission control
 //!
@@ -42,6 +61,8 @@
 use crate::args;
 use crate::commands::{mine_params_from, parse_bytes, CliError, HistogramTap};
 use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tricluster_core::obs::httpd::{
@@ -49,7 +70,10 @@ use tricluster_core::obs::httpd::{
 };
 use tricluster_core::obs::json::Json;
 use tricluster_core::obs::ledger::{content_hash, Ledger, NewEntry};
+use tricluster_core::obs::names;
 use tricluster_core::obs::progress::{Progress, ProgressSink};
+use tricluster_core::obs::service::ServiceRegistry;
+use tricluster_core::obs::timeline::{self, Timeline};
 use tricluster_core::obs::{EventSink, Fanout};
 use tricluster_core::runreport;
 use tricluster_core::{
@@ -95,6 +119,8 @@ pub struct ServeConfig {
     pub ledger_dir: Option<String>,
     /// Parsed datasets retained by the content-hash cache.
     pub cache_entries: usize,
+    /// Append one JSONL audit record per HTTP request to this file.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +134,7 @@ impl Default for ServeConfig {
             max_body: 64 << 20,
             ledger_dir: None,
             cache_entries: 8,
+            access_log: None,
         }
     }
 }
@@ -161,6 +188,8 @@ struct Outcome {
 /// One tenant job, from admission to retention.
 struct Job {
     id: u64,
+    /// Request ID of the submission that admitted this job.
+    request_id: u64,
     label: String,
     dataset_hash: String,
     matrix_bytes: u64,
@@ -170,6 +199,9 @@ struct Job {
     cancelling: bool,
     cancel: CancelHandle,
     progress: Arc<Progress>,
+    /// Lifecycle instants (enqueued/started/finished/cancelled) plus the
+    /// miner's own spans; archived as the job's Chrome trace.
+    timeline: Arc<Timeline>,
     // Held only while queued/running; dropped with the job's completion
     // so finished jobs stop pinning their matrices.
     dataset: Option<Arc<Dataset>>,
@@ -183,6 +215,7 @@ impl Job {
     fn summary_json(&self) -> Json {
         let mut j = Json::obj()
             .with("id", Json::U64(self.id))
+            .with("request_id", Json::U64(self.request_id))
             .with("label", Json::Str(self.label.clone()))
             .with("state", Json::Str(self.state.as_str().into()))
             .with("dataset_hash", Json::Str(self.dataset_hash.clone()))
@@ -211,16 +244,6 @@ impl Job {
     }
 }
 
-#[derive(Default)]
-struct Stats {
-    submitted: u64,
-    rejected_queue: u64,
-    rejected_memory: u64,
-    completed: u64,
-    failed: u64,
-    cancelled: u64,
-}
-
 /// Mutable daemon state, all under one lock.
 struct State {
     queue: VecDeque<u64>,
@@ -228,7 +251,6 @@ struct State {
     next_id: u64,
     admitted_bytes: u64,
     draining: Option<ShutdownMode>,
-    stats: Stats,
 }
 
 struct Shared {
@@ -238,6 +260,13 @@ struct Shared {
     // archives must serialize.
     ledger: Option<Mutex<Ledger>>,
     state: Mutex<State>,
+    /// Daemon-lifetime counters and latency histograms (`GET /metrics`).
+    /// Its locks are leaves: never take `state` while holding them.
+    service: ServiceRegistry,
+    /// Monotonic per-request IDs, assigned before routing.
+    next_request_id: AtomicU64,
+    /// JSONL audit sink (`--access-log`); whole-line single writes.
+    access_log: Option<Mutex<std::fs::File>>,
     /// Wakes workers (new job, or drain requested).
     work: Condvar,
     /// Wakes the main thread (shutdown requested).
@@ -270,6 +299,17 @@ impl Daemon {
             }
             None => None,
         };
+        let access_log = match &cfg.access_log {
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| CliError::Run(format!("cannot open access log {path}: {e}")))?;
+                Some(Mutex::new(file))
+            }
+            None => None,
+        };
         let engine = Engine::with_cache_entries(cfg.caps.clone(), cfg.cache_entries);
         let addr = cfg.addr.clone();
         let max_body = cfg.max_body;
@@ -284,8 +324,10 @@ impl Daemon {
                 next_id: 1,
                 admitted_bytes: 0,
                 draining: None,
-                stats: Stats::default(),
             }),
+            service: ServiceRegistry::new(),
+            next_request_id: AtomicU64::new(1),
+            access_log,
             work: Condvar::new(),
             shutdown: Condvar::new(),
         });
@@ -347,7 +389,7 @@ impl Daemon {
 /// daemon drains and the queue is empty.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let (id, dataset, params, cancel, progress) = {
+        let (id, request_id, dataset, params, cancel, progress, tl, queue_wait) = {
             let mut state = shared.lock();
             loop {
                 if let Some(&id) = state.queue.front() {
@@ -358,10 +400,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                     let params = job.params.clone().expect("queued job holds its params");
                     break (
                         id,
+                        job.request_id,
                         dataset,
                         params,
                         job.cancel.clone(),
                         job.progress.clone(),
+                        job.timeline.clone(),
+                        job.submitted.elapsed(),
                     );
                 }
                 if state.draining.is_some() {
@@ -373,14 +418,18 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
+        shared.service.observe(names::SV_QUEUE_WAIT, queue_wait);
         let started = Instant::now();
         // Per-job isolation: a panic anywhere in this job (including one
         // escaping the miner's own boundaries) is downgraded to a failed
         // record; the worker and every other job are untouched.
         let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &dataset, &params, &cancel, &progress)
+            run_job(
+                shared, id, request_id, &tl, &dataset, &params, &cancel, &progress,
+            )
         }))
         .unwrap_or_else(|payload| Err(FailedJob::Panic(payload)));
+        shared.service.observe(names::SV_RUN, started.elapsed());
         let outcome = match ran {
             Ok((clusters, truncation, report)) => Outcome {
                 clusters,
@@ -421,9 +470,12 @@ enum FailedJob {
 /// stack matches `mine --report-json` exactly (histograms on, progress
 /// gauges live), so the deterministic report sections are byte-identical
 /// to a one-shot run over the same dataset and params.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_job(
     shared: &Arc<Shared>,
+    id: u64,
+    request_id: u64,
+    tl: &Arc<Timeline>,
     dataset: &Dataset,
     params: &Params,
     cancel: &CancelHandle,
@@ -432,9 +484,11 @@ fn run_job(
     if let Some(msg) = tricluster_failpoint::trigger("serve.job.spawn") {
         return Err(FailedJob::Message(msg));
     }
+    let att = tl.attach("serve-worker");
+    timeline::instant(names::T_SV_STARTED);
     let progress_sink = ProgressSink(progress.clone());
     let hist = HistogramTap;
-    let sink = Fanout(vec![&hist as &dyn EventSink, &progress_sink]);
+    let sink = Fanout(vec![&hist as &dyn EventSink, &progress_sink, tl.as_ref()]);
     progress.set_budgets(params.deadline, params.max_memory, params.max_candidates);
     let result =
         tricluster_core::mine_observed_cancellable(&dataset.matrix, params, &sink, cancel.clone())
@@ -443,17 +497,34 @@ fn run_job(
     let rec = tricluster_core::obs::Recorder::new();
     let met = cluster_metrics_observed(&dataset.matrix, &result.triclusters, &rec);
     report.merge(&rec.snapshot());
-    let doc = runreport::report_to_json_v2(&dataset.matrix, &result, &report, &met);
+    timeline::instant(names::T_SV_FINISHED);
+    // Flush this thread's event ring before rendering the trace below.
+    drop(att);
+    // The `serve` section carries the job's provenance (which submission
+    // produced it); it is NOT one of the deterministic sections, so a
+    // served report still matches a one-shot `mine` byte-for-byte where
+    // it counts.
+    let doc = runreport::report_to_json_v2(&dataset.matrix, &result, &report, &met).with(
+        "serve",
+        Json::obj()
+            .with("request_id", Json::U64(request_id))
+            .with("job_id", Json::U64(id)),
+    );
     if let Some(ledger) = &shared.ledger {
         // Eager per-job flush: by the time a drain finishes joining the
         // workers, every completed job is already on disk.
+        let archive_started = Instant::now();
+        let trace = tl
+            .to_chrome_json()
+            .with("request_id", Json::U64(request_id))
+            .render();
         let entry = NewEntry {
             kind: "serve",
             label: Some(dataset.hash.clone()),
             dataset_hash: dataset.hash.clone(),
             params_hash: content_hash(format!("{params:?}").as_bytes()),
             report: &doc,
-            trace: None,
+            trace: Some(&trace),
             flame: None,
         };
         let ledger = ledger
@@ -462,6 +533,10 @@ fn run_job(
         if let Err(e) = ledger.archive(&entry) {
             eprintln!("serve: ledger archive failed: {e}");
         }
+        drop(ledger);
+        shared
+            .service
+            .observe(names::SV_ARCHIVE, archive_started.elapsed());
     }
     Ok((
         result.triclusters.len(),
@@ -470,7 +545,7 @@ fn run_job(
     ))
 }
 
-/// Records a finished job: state, stats, retention, memory release.
+/// Records a finished job: state, counters, retention, memory release.
 fn finish_job(shared: &Arc<Shared>, id: u64, outcome: Outcome) {
     let mut state = shared.lock();
     let job = state.jobs.get_mut(&id).expect("running job exists");
@@ -487,13 +562,13 @@ fn finish_job(shared: &Arc<Shared>, id: u64, outcome: Outcome) {
     job.params = None;
     job.outcome = Some(outcome);
     state.admitted_bytes = state.admitted_bytes.saturating_sub(released);
-    match finished {
-        JobState::Failed => state.stats.failed += 1,
-        JobState::Cancelled => state.stats.cancelled += 1,
-        _ => state.stats.completed += 1,
-    }
     evict_finished(&mut state);
     drop(state);
+    shared.service.incr(match finished {
+        JobState::Failed => names::SV_JOBS_FAILED,
+        JobState::Cancelled => names::SV_JOBS_CANCELLED,
+        _ => names::SV_JOBS_COMPLETED,
+    });
     // A worker slot freed; drain waiters and peers may care.
     shared.work.notify_all();
     shared.shutdown.notify_all();
@@ -515,21 +590,90 @@ fn evict_finished(state: &mut State) {
     }
 }
 
-/// Routes one HTTP request. Runs on a connection thread behind the
-/// listener's own `catch_unwind`.
+/// Per-request audit context, filled in by the routing layer and emitted
+/// as part of the access-log record.
+#[derive(Default)]
+struct Audit {
+    /// The job this request created or addressed.
+    job_id: Option<u64>,
+    /// Tenant-clamp verdict of a submission.
+    clamped: Option<bool>,
+    /// Why a submission was shed (`draining` / `queue_full` /
+    /// `memory_budget`).
+    shed_reason: Option<&'static str>,
+}
+
+/// Entry point for one HTTP request: assigns the monotonic request ID,
+/// routes, then emits the audit record. Runs on a connection thread
+/// behind the listener's own `catch_unwind`.
 fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let mut audit = Audit::default();
+    let response = route(shared, &req, request_id, &mut audit);
+    shared.service.incr(names::SV_HTTP_REQUESTS);
+    log_access(
+        shared,
+        request_id,
+        &req,
+        &response,
+        started.elapsed(),
+        &audit,
+    );
+    response
+}
+
+/// Appends one whole-line JSONL audit record for a finished request.
+fn log_access(
+    shared: &Shared,
+    request_id: u64,
+    req: &Request,
+    response: &Response,
+    elapsed: Duration,
+    audit: &Audit,
+) {
+    let Some(log) = &shared.access_log else {
+        return;
+    };
+    let record = Json::obj()
+        .with("request_id", Json::U64(request_id))
+        .with("method", Json::Str(req.method.clone()))
+        .with("path", Json::Str(req.path.clone()))
+        .with("status", Json::U64(u64::from(response.status)))
+        .with("bytes", Json::U64(response.body.len() as u64))
+        .with("duration_secs", Json::F64(elapsed.as_secs_f64()))
+        .maybe_with("job_id", audit.job_id.map(Json::U64))
+        .maybe_with("clamped", audit.clamped.map(Json::Bool))
+        .maybe_with(
+            "shed_reason",
+            audit.shed_reason.map(|r| Json::Str(r.into())),
+        );
+    let mut line = record.render();
+    line.push('\n');
+    // One write per record (the JsonLinesSink discipline): records from
+    // concurrent connection threads never interleave mid-line.
+    let mut file = log.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Err(e) = file.write_all(line.as_bytes()) {
+        eprintln!("serve: access log write failed: {e}");
+    }
+}
+
+/// Routes one HTTP request.
+fn route(shared: &Arc<Shared>, req: &Request, request_id: u64, audit: &mut Audit) -> Response {
     let path = req.path.as_str();
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/stats") => stats_response(shared),
+        ("GET", "/metrics") => metrics_response(shared),
         ("GET", "/jobs") => list_jobs(shared),
-        ("POST", "/jobs") => submit_job(shared, &req.body),
+        ("POST", "/jobs") => submit_job(shared, &req.body, request_id, audit),
         ("POST", "/shutdown") => shutdown(shared, &req.body),
         _ => {
             if let Some(id) = path.strip_prefix("/jobs/") {
                 let Ok(id) = id.parse::<u64>() else {
                     return error_response(400, "bad_request", "job id must be an integer");
                 };
+                audit.job_id = Some(id);
                 return match req.method.as_str() {
                     "GET" => job_status(shared, id),
                     "DELETE" => cancel_job(shared, id),
@@ -539,7 +683,7 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
             error_response(
                 404,
                 "not_found",
-                "try /jobs, /jobs/<id>, /stats, /healthz, /shutdown",
+                "try /jobs, /jobs/<id>, /metrics, /stats, /healthz, /shutdown",
             )
         }
     }
@@ -554,7 +698,41 @@ fn error_response(status: u16, code: &str, detail: &str) -> Response {
 }
 
 fn stats_response(shared: &Arc<Shared>) -> Response {
-    let (hits, misses) = shared.engine.cache_stats();
+    let (hits, misses, evictions) = shared.engine.cache_stats();
+    let svc = &shared.service;
+    let counters = Json::obj()
+        .with(
+            "submitted",
+            Json::U64(svc.counter_value(names::SV_JOBS_ACCEPTED)),
+        )
+        .with(
+            "rejected_queue",
+            Json::U64(svc.counter_value(names::SV_JOBS_REJECTED_QUEUE_FULL)),
+        )
+        .with(
+            "rejected_memory",
+            Json::U64(svc.counter_value(names::SV_JOBS_REJECTED_MEMORY)),
+        )
+        .with(
+            "clamped",
+            Json::U64(svc.counter_value(names::SV_JOBS_CLAMPED)),
+        )
+        .with(
+            "completed",
+            Json::U64(svc.counter_value(names::SV_JOBS_COMPLETED)),
+        )
+        .with(
+            "failed",
+            Json::U64(svc.counter_value(names::SV_JOBS_FAILED)),
+        )
+        .with(
+            "cancelled",
+            Json::U64(svc.counter_value(names::SV_JOBS_CANCELLED)),
+        )
+        .with(
+            "http_requests",
+            Json::U64(svc.counter_value(names::SV_HTTP_REQUESTS)),
+        );
     let state = shared.lock();
     let running = state
         .jobs
@@ -580,28 +758,91 @@ fn stats_response(shared: &Arc<Shared>) -> Response {
             Json::obj()
                 .with("hits", Json::U64(hits))
                 .with("misses", Json::U64(misses))
+                .with("evictions", Json::U64(evictions))
                 .with("entries", Json::U64(shared.engine.cached_datasets() as u64)),
         )
-        .with(
-            "counters",
-            Json::obj()
-                .with("submitted", Json::U64(state.stats.submitted))
-                .with("rejected_queue", Json::U64(state.stats.rejected_queue))
-                .with("rejected_memory", Json::U64(state.stats.rejected_memory))
-                .with("completed", Json::U64(state.stats.completed))
-                .with("failed", Json::U64(state.stats.failed))
-                .with("cancelled", Json::U64(state.stats.cancelled)),
-        );
+        .with("counters", counters);
     Response::json(200, body.render_pretty() + "\n")
 }
 
+/// `GET /metrics`: the daemon-lifetime OpenMetrics exposition. Counters
+/// and latency histograms come from the [`ServiceRegistry`]; gauges are
+/// sampled here, under the daemon lock, at scrape time.
+fn metrics_response(shared: &Arc<Shared>) -> Response {
+    let (hits, misses, evictions) = shared.engine.cache_stats();
+    let (queue_depth, admitted_bytes, running, retained) = {
+        let state = shared.lock();
+        let running = state
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        let retained = state
+            .jobs
+            .values()
+            .filter(|j| j.state.is_finished())
+            .count();
+        (state.queue.len(), state.admitted_bytes, running, retained)
+    };
+    let gauges = [
+        (names::SV_QUEUE_DEPTH, queue_depth as f64),
+        (names::SV_ADMITTED_BYTES, admitted_bytes as f64),
+        (names::SV_WORKERS_BUSY, running as f64),
+        (names::SV_JOBS_RETAINED, retained as f64),
+        (names::SV_CACHE_HITS, hits as f64),
+        (names::SV_CACHE_MISSES, misses as f64),
+        (names::SV_CACHE_EVICTIONS, evictions as f64),
+    ];
+    Response {
+        status: 200,
+        content_type: "application/openmetrics-text; version=1.0.0; charset=utf-8".into(),
+        body: shared.service.render_openmetrics(&gauges),
+    }
+}
+
 fn list_jobs(shared: &Arc<Shared>) -> Response {
+    let (hits, misses, evictions) = shared.engine.cache_stats();
+    let svc = &shared.service;
+    let service = Json::obj()
+        .with(
+            "accepted",
+            Json::U64(svc.counter_value(names::SV_JOBS_ACCEPTED)),
+        )
+        .with(
+            "completed",
+            Json::U64(svc.counter_value(names::SV_JOBS_COMPLETED)),
+        )
+        .with(
+            "failed",
+            Json::U64(svc.counter_value(names::SV_JOBS_FAILED)),
+        )
+        .with(
+            "cancelled",
+            Json::U64(svc.counter_value(names::SV_JOBS_CANCELLED)),
+        );
     let state = shared.lock();
+    let running = state
+        .jobs
+        .values()
+        .filter(|j| j.state == JobState::Running)
+        .count();
     let jobs: Vec<Json> = state.jobs.values().map(Job::summary_json).collect();
-    Response::json(
-        200,
-        Json::obj().with("jobs", Json::Arr(jobs)).render_pretty() + "\n",
-    )
+    let body = Json::obj()
+        .with("jobs", Json::Arr(jobs))
+        .with(
+            "service",
+            service
+                .with("queue_depth", Json::U64(state.queue.len() as u64))
+                .with("running", Json::U64(running as u64)),
+        )
+        .with(
+            "dataset_cache",
+            Json::obj()
+                .with("hits", Json::U64(hits))
+                .with("misses", Json::U64(misses))
+                .with("evictions", Json::U64(evictions)),
+        );
+    Response::json(200, body.render_pretty() + "\n")
 }
 
 fn job_status(shared: &Arc<Shared>, id: u64) -> Response {
@@ -627,20 +868,22 @@ fn job_status(shared: &Arc<Shared>, id: u64) -> Response {
 ///  "dataset_path": "/path/on/server", // server-side file
 ///  "params": ["--eps", "0.012"]}      // mine-style flags, optional
 /// ```
-fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
+fn submit_job(shared: &Arc<Shared>, body: &[u8], request_id: u64, audit: &mut Audit) -> Response {
     if let Some(msg) = tricluster_failpoint::trigger("serve.admission") {
         return error_response(503, "fault_injected", &msg);
     }
     // Cheap rejections (no parse work) first: drain state and queue depth.
     {
-        let mut state = shared.lock();
+        let state = shared.lock();
         if state.draining.is_some() {
+            audit.shed_reason = Some("draining");
             return error_response(503, "draining", "daemon is shutting down");
         }
         if state.queue.len() >= shared.cfg.queue_depth {
-            state.stats.rejected_queue += 1;
             let depth = state.queue.len();
             drop(state);
+            shared.service.incr(names::SV_JOBS_REJECTED_QUEUE_FULL);
+            audit.shed_reason = Some("queue_full");
             return rejection(
                 "queue_full",
                 &format!("queue depth {depth} reached"),
@@ -663,7 +906,7 @@ fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
     // Dataset: inline TSV string, or a server-side path. The hit-counter
     // delta says whether this submission reused a cached parse (racy
     // across concurrent submissions, but the flag is informational).
-    let (hits_before, _) = shared.engine.cache_stats();
+    let (hits_before, _, _) = shared.engine.cache_stats();
     let dataset = if let Some(tsv) = doc.get("dataset").and_then(Json::as_str) {
         shared.engine.dataset_from_bytes(tsv.as_bytes())
     } else if let Some(path) = doc.get("dataset_path").and_then(Json::as_str) {
@@ -717,16 +960,25 @@ fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let params = session.params().clone();
     let (ng, ns, nt) = dataset.matrix.dims();
     let matrix_bytes = (ng * ns * nt * std::mem::size_of::<f64>()) as u64;
+    // The job's timeline starts on the HTTP thread: the enqueued instant
+    // anchors the queue-wait gap visible in the Chrome trace.
+    let tl = Arc::new(Timeline::new());
+    {
+        let _att = tl.attach("serve-http");
+        timeline::instant(names::T_SV_ENQUEUED);
+    }
 
     let mut state = shared.lock();
     // Re-check under the lock: admission raced other submissions.
     if state.draining.is_some() {
+        audit.shed_reason = Some("draining");
         return error_response(503, "draining", "daemon is shutting down");
     }
     if state.queue.len() >= shared.cfg.queue_depth {
-        state.stats.rejected_queue += 1;
         let depth = state.queue.len();
         drop(state);
+        shared.service.incr(names::SV_JOBS_REJECTED_QUEUE_FULL);
+        audit.shed_reason = Some("queue_full");
         return rejection(
             "queue_full",
             &format!("queue depth {depth} reached"),
@@ -735,9 +987,10 @@ fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
     }
     if let Some(budget) = shared.cfg.memory_budget {
         if state.admitted_bytes + matrix_bytes > budget {
-            state.stats.rejected_memory += 1;
             let admitted = state.admitted_bytes;
             drop(state);
+            shared.service.incr(names::SV_JOBS_REJECTED_MEMORY);
+            audit.shed_reason = Some("memory_budget");
             return rejection(
                 "memory_budget",
                 &format!(
@@ -754,9 +1007,9 @@ fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let id = state.next_id;
     state.next_id += 1;
     state.admitted_bytes += matrix_bytes;
-    state.stats.submitted += 1;
     let job = Job {
         id,
+        request_id,
         label: if label.is_empty() {
             format!("job-{id}")
         } else {
@@ -770,6 +1023,7 @@ fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
         cancelling: false,
         cancel: session.cancel_handle(),
         progress: Arc::new(Progress::new()),
+        timeline: tl,
         dataset: Some(dataset.clone()),
         params: Some(params),
         submitted: Instant::now(),
@@ -778,9 +1032,16 @@ fn submit_job(shared: &Arc<Shared>, body: &[u8]) -> Response {
     state.queue.push_back(id);
     state.jobs.insert(id, job);
     drop(state);
+    shared.service.incr(names::SV_JOBS_ACCEPTED);
+    if clamped {
+        shared.service.incr(names::SV_JOBS_CLAMPED);
+    }
+    audit.job_id = Some(id);
+    audit.clamped = Some(clamped);
     shared.work.notify_all();
     let body = Json::obj()
         .with("id", Json::U64(id))
+        .with("request_id", Json::U64(request_id))
         .with("status_url", Json::Str(format!("/jobs/{id}")))
         .with("dataset_hash", Json::Str(dataset.hash.clone()))
         .with("clamped", Json::Bool(clamped));
@@ -819,11 +1080,15 @@ fn cancel_job(shared: &Arc<Shared>, id: u64) -> Response {
                 secs: 0.0,
                 report: None,
             });
+            {
+                let _att = job.timeline.attach("serve-http");
+                timeline::instant(names::T_SV_CANCELLED);
+            }
             let released = job.matrix_bytes;
             state.queue.retain(|&q| q != id);
             state.admitted_bytes = state.admitted_bytes.saturating_sub(released);
-            state.stats.cancelled += 1;
             drop(state);
+            shared.service.incr(names::SV_JOBS_CANCELLED);
             let body = Json::obj()
                 .with("id", Json::U64(id))
                 .with("state", Json::Str("cancelled".into()));
@@ -831,10 +1096,14 @@ fn cancel_job(shared: &Arc<Shared>, id: u64) -> Response {
         }
         JobState::Running => {
             // Cooperative: trip the handle, let the run wind down into a
-            // truncated (reason "cancelled") result. State flips when the
-            // worker finishes.
+            // truncated (reason "cancelled") result. State flips (and the
+            // cancelled counter bumps) when the worker finishes.
             job.cancelling = true;
             job.cancel.cancel();
+            {
+                let _att = job.timeline.attach("serve-http");
+                timeline::instant(names::T_SV_CANCELLED);
+            }
             let body = Json::obj()
                 .with("id", Json::U64(id))
                 .with("state", Json::Str("running".into()))
@@ -876,6 +1145,7 @@ fn shutdown(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let mut state = shared.lock();
     let already = state.draining.is_some();
     state.draining = Some(mode);
+    let mut cancelled_now = 0u64;
     if mode == ShutdownMode::Cancel {
         // Queued jobs become cancelled records; running jobs get tripped.
         let queued: Vec<u64> = state.queue.drain(..).collect();
@@ -891,19 +1161,28 @@ fn shutdown(shared: &Arc<Shared>, body: &[u8]) -> Response {
                     secs: 0.0,
                     report: None,
                 });
+                {
+                    let _att = job.timeline.attach("serve-http");
+                    timeline::instant(names::T_SV_CANCELLED);
+                }
                 let released = job.matrix_bytes;
                 state.admitted_bytes = state.admitted_bytes.saturating_sub(released);
-                state.stats.cancelled += 1;
+                cancelled_now += 1;
             }
         }
         for job in state.jobs.values_mut() {
             if job.state == JobState::Running {
                 job.cancelling = true;
                 job.cancel.cancel();
+                let _att = job.timeline.attach("serve-http");
+                timeline::instant(names::T_SV_CANCELLED);
             }
         }
     }
     drop(state);
+    if cancelled_now > 0 {
+        shared.service.add(names::SV_JOBS_CANCELLED, cancelled_now);
+    }
     shared.work.notify_all();
     shared.shutdown.notify_all();
     let body = Json::obj()
@@ -930,6 +1209,7 @@ const SERVE_FLAGS: &[(&str, usize)] = &[
     ("max-body", 1),
     ("ledger", 1),
     ("cache-entries", 1),
+    ("access-log", 1),
 ];
 
 /// The `serve` command: parse flags, start the daemon, announce the bound
@@ -981,6 +1261,7 @@ pub fn serve(argv: &[String]) -> Result<(), CliError> {
     if let Some(n) = a.get_usize("cache-entries").map_err(CliError::Usage)? {
         cfg.cache_entries = n;
     }
+    cfg.access_log = a.get_str("access-log").map(str::to_string);
     let daemon = Daemon::start(cfg)?;
     eprintln!("serve: listening on {}", daemon.url());
     daemon.wait();
@@ -1127,11 +1408,16 @@ pub fn submit(argv: &[String]) -> Result<(), CliError> {
         .and_then(Json::as_u64)
         .ok_or_else(|| CliError::Run("acceptance carries no job id".into()))?;
     eprintln!(
-        "submitted as job {id} (dataset {})",
+        "submitted as job {id} (dataset {}, request {})",
         accepted
             .get("dataset_hash")
             .and_then(Json::as_str)
-            .unwrap_or("?")
+            .unwrap_or("?"),
+        accepted
+            .get("request_id")
+            .and_then(Json::as_u64)
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "?".into())
     );
     if !a.has("wait") {
         println!("{id}");
@@ -1145,8 +1431,9 @@ pub fn submit(argv: &[String]) -> Result<(), CliError> {
     }
     let status_url = format!("{base}/jobs/{id}");
     loop {
-        let (code, body) =
-            http_get_retry(&status_url, 5, Duration::from_millis(50)).map_err(CliError::Run)?;
+        let (code, body) = http_get_retry(&status_url, 5, Duration::from_millis(50))
+            .into_result()
+            .map_err(CliError::Run)?;
         if code != 200 {
             return Err(CliError::Run(format!("GET /jobs/{id}: HTTP {code}")));
         }
@@ -1672,6 +1959,208 @@ mod tests {
         let entries = ledger.list().unwrap();
         assert_eq!(entries.len(), 2, "drain must flush every completed job");
         assert!(entries.iter().all(|e| e.kind == "serve"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One float sample from an OpenMetrics text body, by exact name.
+    fn metric_value(text: &str, name: &str) -> Option<f64> {
+        text.lines().find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|v| v.parse().ok())
+        })
+    }
+
+    /// Scrapes `/metrics` until `name` reaches `want` (counters bump just
+    /// after the job's state flips, so one fetch could race).
+    fn wait_metric(base: &str, name: &str, want: f64) -> String {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (status, text) = http_get(&format!("{base}/metrics")).unwrap();
+            assert_eq!(status, 200, "{text}");
+            if metric_value(&text, name) == Some(want) {
+                return text;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{name} never reached {want}:\n{text}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The tentpole surface: daemon-lifetime metrics accumulate across
+    /// jobs and expose counters, latency histograms, and cache gauges.
+    #[test]
+    fn metrics_endpoint_aggregates_across_jobs() {
+        let daemon = Daemon::start(test_cfg()).unwrap();
+        let base = daemon.url();
+        for label in ["first", "second"] {
+            let (status, accepted) = post_job(&base, &submit_body(label, &[]));
+            assert_eq!(status, 202);
+            wait_finished(&base, accepted.get("id").unwrap().as_u64().unwrap());
+        }
+        let text = wait_metric(&base, "tricluster_serve_jobs_completed_total", 2.0);
+        assert_eq!(text.lines().last(), Some("# EOF"));
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_jobs_accepted_total"),
+            Some(2.0),
+            "{text}"
+        );
+        // Never-touched counters stay out of the exposition entirely.
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_jobs_failed_total").unwrap_or(0.0),
+            0.0
+        );
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_job_queue_wait_seconds_count"),
+            Some(2.0)
+        );
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_job_run_seconds_count"),
+            Some(2.0)
+        );
+        // Identical submissions: the second parse must have hit the cache.
+        assert!(
+            metric_value(&text, "tricluster_serve_cache_hits").unwrap() >= 1.0,
+            "{text}"
+        );
+        assert!(metric_value(&text, "tricluster_serve_cache_misses").unwrap() >= 1.0);
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_queue_depth"),
+            Some(0.0)
+        );
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_workers_busy"),
+            Some(0.0)
+        );
+        assert_eq!(
+            metric_value(&text, "tricluster_serve_jobs_retained"),
+            Some(2.0)
+        );
+        assert!(metric_value(&text, "tricluster_serve_http_requests_total").unwrap() >= 4.0);
+        // The run histogram is cumulative: its +Inf bucket equals _count.
+        assert!(
+            text.contains("tricluster_serve_job_run_seconds_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        shut_down(daemon);
+    }
+
+    /// Satellite e2e: with a Delay failpoint holding the single worker
+    /// inside job 1, job 2's time on the queue must land in the
+    /// queue-wait histogram.
+    #[test]
+    fn queue_wait_histogram_grows_when_the_queue_backs_up() {
+        let _scenario = failpoint::scenario();
+        failpoint::configure_once("serve.job.spawn", Action::Delay(Duration::from_millis(300)));
+        let daemon = Daemon::start(test_cfg()).unwrap();
+        let base = daemon.url();
+        let (_, a1) = post_job(&base, &submit_body("held", &[]));
+        let (_, a2) = post_job(&base, &submit_body("waiting", &[]));
+        wait_finished(&base, a1.get("id").unwrap().as_u64().unwrap());
+        wait_finished(&base, a2.get("id").unwrap().as_u64().unwrap());
+        let text = wait_metric(&base, "tricluster_serve_job_queue_wait_seconds_count", 2.0);
+        let sum = metric_value(&text, "tricluster_serve_job_queue_wait_seconds_sum").unwrap();
+        assert!(
+            sum >= 0.25,
+            "job 2 queued behind a 300ms delay, yet queue-wait sum is {sum}s:\n{text}"
+        );
+        shut_down(daemon);
+    }
+
+    /// One request ID ties the whole submission together: the 202 body,
+    /// the job summary, the report's `serve` section, the ledger index
+    /// entry, the archived Chrome trace, and the access-log record.
+    #[test]
+    fn request_ids_thread_through_report_ledger_trace_and_access_log() {
+        let dir = std::env::temp_dir().join(format!("tricluster-serve-rid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let access = dir.join("access.jsonl");
+        let daemon = Daemon::start(ServeConfig {
+            ledger_dir: Some(dir.to_str().unwrap().to_string()),
+            access_log: Some(access.to_str().unwrap().to_string()),
+            ..test_cfg()
+        })
+        .unwrap();
+        let base = daemon.url();
+        let (status, accepted) = post_job(&base, &submit_body("audited", &[]));
+        assert_eq!(status, 202);
+        let id = accepted.get("id").unwrap().as_u64().unwrap();
+        let rid = accepted
+            .get("request_id")
+            .expect("acceptance carries the request id")
+            .as_u64()
+            .unwrap();
+        assert!(rid >= 1);
+
+        let doc = wait_finished(&base, id);
+        assert_eq!(
+            doc.get_path(&["job", "request_id"]).and_then(Json::as_u64),
+            Some(rid)
+        );
+        assert_eq!(
+            doc.get_path(&["report", "serve", "request_id"])
+                .and_then(Json::as_u64),
+            Some(rid),
+            "report carries its originating request id"
+        );
+        assert_eq!(
+            doc.get_path(&["report", "serve", "job_id"])
+                .and_then(Json::as_u64),
+            Some(id)
+        );
+        shut_down(daemon);
+
+        // Ledger: the index entry lifts the id; the trace carries it plus
+        // the lifecycle instants (queue wait is visible on the trace).
+        let ledger = Ledger::open(&dir).unwrap();
+        let entries = ledger.list().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].request_id, Some(rid));
+        let trace_path = ledger.trace_path(&entries[0].id);
+        assert!(trace_path.is_file(), "served jobs archive their trace");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains(&format!("\"request_id\":{rid}")), "{trace}");
+        for instant in [
+            "serve.job.enqueued",
+            "serve.job.started",
+            "serve.job.finished",
+        ] {
+            assert!(trace.contains(instant), "trace lacks {instant}");
+        }
+
+        // Access log: one whole-line JSON record per request; the
+        // submission's record carries the same id, the job id, and the
+        // clamp verdict.
+        let log = std::fs::read_to_string(&access).unwrap();
+        let submit_record = log
+            .lines()
+            .map(|l| Json::parse(l).expect("access log lines are JSON"))
+            .find(|r| r.get("request_id").and_then(Json::as_u64) == Some(rid))
+            .expect("submission request logged");
+        assert_eq!(
+            submit_record.get("method").and_then(Json::as_str),
+            Some("POST")
+        );
+        assert_eq!(
+            submit_record.get("path").and_then(Json::as_str),
+            Some("/jobs")
+        );
+        assert_eq!(
+            submit_record.get("status").and_then(Json::as_u64),
+            Some(202)
+        );
+        assert_eq!(submit_record.get("job_id").and_then(Json::as_u64), Some(id));
+        assert_eq!(
+            submit_record.get("clamped").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert!(submit_record.get("duration_secs").is_some());
+        assert!(
+            log.lines().count() >= 2,
+            "status polls must be audited too:\n{log}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -162,6 +162,7 @@ pub struct Engine {
     cache: Mutex<Vec<Arc<Dataset>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Engine {
@@ -179,6 +180,7 @@ impl Engine {
             cache: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -232,7 +234,11 @@ impl Engine {
             // don't double-insert the same hash.
             if !cache.iter().any(|d| d.hash == dataset.hash) {
                 cache.insert(0, dataset.clone());
-                cache.truncate(self.cache_entries);
+                if cache.len() > self.cache_entries {
+                    let dropped = cache.len() - self.cache_entries;
+                    cache.truncate(self.cache_entries);
+                    self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+                }
             }
         }
         Ok(dataset)
@@ -249,11 +255,15 @@ impl Engine {
         self.dataset_from_bytes(&bytes)
     }
 
-    /// `(hits, misses)` of the dataset cache since construction.
-    pub fn cache_stats(&self) -> (u64, u64) {
+    /// `(hits, misses, evictions)` of the dataset cache since
+    /// construction. Evictions count parsed datasets dropped from the MRU
+    /// list to stay under the capacity — a high rate relative to hits
+    /// means the working set of distinct uploads exceeds `cache_entries`.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
         )
     }
 
@@ -326,7 +336,7 @@ mod tests {
         let a = engine.dataset_from_bytes(&bytes).unwrap();
         let b = engine.dataset_from_bytes(&bytes).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second submission reuses the parse");
-        assert_eq!(engine.cache_stats(), (1, 1));
+        assert_eq!(engine.cache_stats(), (1, 1, 0));
         assert!(a.hash.starts_with("fnv1a:"), "{}", a.hash);
         assert_eq!(a.raw_bytes, bytes.len() as u64);
 
@@ -349,7 +359,7 @@ mod tests {
         assert_eq!(engine.cached_datasets(), 1);
         let a2 = engine.dataset_from_bytes(&first).unwrap();
         assert!(!Arc::ptr_eq(&a, &a2), "evicted entry re-parses");
-        assert_eq!(engine.cache_stats(), (0, 3));
+        assert_eq!(engine.cache_stats(), (0, 3, 2));
     }
 
     #[test]

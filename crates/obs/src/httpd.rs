@@ -424,30 +424,56 @@ pub fn http_get(url: &str) -> Result<(u16, String), String> {
     http_request(url, "GET", "", b"")
 }
 
+/// Outcome of one [`http_get_retry`] call: the final response or error,
+/// plus how much retrying it took to get there — so callers polling a
+/// daemon (`submit --wait`, `watch`) can report startup races instead of
+/// silently absorbing them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryResult {
+    /// The final `(status, body)`, or the last attempt's error.
+    pub outcome: Result<(u16, String), String>,
+    /// Connection attempts actually made (1 = first try resolved it).
+    pub attempts: u32,
+    /// Total time slept between attempts.
+    pub total_backoff: Duration,
+}
+
+impl RetryResult {
+    /// Collapses to the plain result, discarding the retry telemetry.
+    pub fn into_result(self) -> Result<(u16, String), String> {
+        self.outcome
+    }
+}
+
 /// [`http_get`] with bounded retry on connection-refused: `attempts`
 /// tries total, sleeping `backoff` then doubling between tries. This
 /// closes the race against a just-spawned listener whose bind has not
 /// landed yet — any response (or a non-refused error) returns
-/// immediately.
-pub fn http_get_retry(
-    url: &str,
-    attempts: u32,
-    backoff: Duration,
-) -> Result<(u16, String), String> {
+/// immediately. The returned [`RetryResult`] carries the attempt count
+/// and total backoff alongside the response.
+pub fn http_get_retry(url: &str, attempts: u32, backoff: Duration) -> RetryResult {
     let mut delay = backoff;
+    let mut made = 0u32;
+    let mut total_backoff = Duration::ZERO;
     let mut last = Err("no attempts".to_owned());
     for attempt in 0..attempts.max(1) {
         if attempt > 0 {
             std::thread::sleep(delay);
+            total_backoff += delay;
             delay = delay.saturating_mul(2);
         }
+        made = attempt + 1;
         last = http_get(url);
         match &last {
             Err(e) if e.contains("cannot connect") => continue,
-            _ => return last,
+            _ => break,
         }
     }
-    last
+    RetryResult {
+        outcome: last,
+        attempts: made,
+        total_backoff,
+    }
 }
 
 /// Plain HTTP/1.0 POST of `body` with the given `Content-Type`.
@@ -476,6 +502,12 @@ fn http_request(
         .map_err(|e| format!("cannot resolve {authority}: {e}"))?
         .next()
         .ok_or_else(|| format!("cannot resolve {authority}: no addresses"))?;
+    // An injected connect fault looks exactly like connection-refused, so
+    // the retry loop above treats it as a startup race.
+    #[cfg(feature = "failpoints")]
+    if let Some(msg) = tricluster_failpoint::trigger("httpd.client.connect") {
+        return Err(format!("cannot connect to {authority}: {msg}"));
+    }
     let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)
         .map_err(|e| format!("cannot connect to {authority}: {e}"))?;
     let io_err = |e: std::io::Error| format!("http error talking to {authority}: {e}");
@@ -696,13 +728,18 @@ mod tests {
             let registry = Arc::new(Registry::new());
             MetricsServer::serve(&addr.to_string(), registry).expect("rebind the probed address")
         });
-        let (status, body) = http_get_retry(
+        let retry = http_get_retry(
             &format!("http://{addr}/healthz"),
             8,
             Duration::from_millis(40),
-        )
-        .expect("retry outlasts the startup race");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        );
+        let (status, body) = retry
+            .outcome
+            .as_ref()
+            .expect("retry outlasts the startup race");
+        assert_eq!((*status, body.as_str()), (200, "ok\n"));
+        assert!(retry.attempts > 1, "the race forced at least one retry");
+        assert!(retry.total_backoff >= Duration::from_millis(40));
         drop(spawner.join().unwrap());
     }
 
@@ -713,14 +750,57 @@ mod tests {
             l.local_addr().unwrap()
         };
         let start = std::time::Instant::now();
-        let err = http_get_retry(
+        let retry = http_get_retry(
             &format!("http://{addr}/healthz"),
             3,
             Duration::from_millis(10),
-        )
-        .unwrap_err();
+        );
+        let err = retry.outcome.unwrap_err();
         assert!(err.contains("cannot connect"), "{err}");
         // 3 attempts with 10+20 ms of backoff, not an unbounded spin.
+        assert_eq!(retry.attempts, 3);
+        assert_eq!(retry.total_backoff, Duration::from_millis(30));
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    /// Satellite: the retry loop is bounded and its telemetry exact even
+    /// when every refusal is injected — `configure_times` makes the first
+    /// N connects fail deterministically, with a live server behind them.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn http_get_retry_is_bounded_under_injected_connect_faults() {
+        use tricluster_failpoint::{configure, configure_times, scenario, Action};
+        let _guard = scenario();
+        let (server, _registry, _progress) = served_registry();
+
+        // Two injected refusals, then the real server answers: exactly
+        // three attempts, backoff 5+10 ms.
+        configure_times("httpd.client.connect", Action::Error, 2);
+        let retry = http_get_retry(
+            &format!("{}/healthz", server.url()),
+            8,
+            Duration::from_millis(5),
+        );
+        assert_eq!(retry.attempts, 3);
+        assert_eq!(retry.total_backoff, Duration::from_millis(15));
+        assert_eq!(
+            retry.outcome.as_ref().map(|(s, _)| *s).ok(),
+            Some(200),
+            "{:?}",
+            retry.outcome
+        );
+
+        // Unbounded refusals: the loop gives up at its attempt budget
+        // instead of spinning, and still reports what it spent.
+        configure("httpd.client.connect", Action::Error);
+        let retry = http_get_retry(
+            &format!("{}/healthz", server.url()),
+            3,
+            Duration::from_millis(1),
+        );
+        assert_eq!(retry.attempts, 3);
+        assert_eq!(retry.total_backoff, Duration::from_millis(3));
+        let err = retry.outcome.unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 }

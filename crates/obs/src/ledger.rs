@@ -238,6 +238,11 @@ pub struct IndexEntry {
     pub git: Option<String>,
     pub host: Option<String>,
     pub threads: Option<u64>,
+    /// Originating HTTP request id, lifted from the report's `serve`
+    /// section (present only for jobs archived by the daemon) — the same
+    /// id the access log and `GET /jobs/<id>` carry, so one grep connects
+    /// a ledger entry to its submission.
+    pub request_id: Option<u64>,
 }
 
 impl IndexEntry {
@@ -256,6 +261,7 @@ impl IndexEntry {
             .maybe_with("git", opt_str(&self.git))
             .maybe_with("host", opt_str(&self.host))
             .maybe_with("threads", self.threads.map(Json::U64))
+            .maybe_with("request_id", self.request_id.map(Json::U64))
     }
 
     fn from_json(j: &Json) -> Result<IndexEntry, String> {
@@ -273,6 +279,7 @@ impl IndexEntry {
             git: str_of("git"),
             host: str_of("host"),
             threads: j.get("threads").and_then(Json::as_u64),
+            request_id: j.get("request_id").and_then(Json::as_u64),
         })
     }
 }
@@ -367,6 +374,10 @@ impl Ledger {
             threads: entry
                 .report
                 .get_path(&["meta", "threads"])
+                .and_then(Json::as_u64),
+            request_id: entry
+                .report
+                .get_path(&["serve", "request_id"])
                 .and_then(Json::as_u64),
         };
         let mut index = fs::OpenOptions::new()
@@ -499,6 +510,7 @@ mod tests {
         assert_eq!(e.total_secs, Some(0.25));
         assert_eq!(e.version.as_deref(), Some("0.1.0"));
         assert_eq!(e.threads, Some(2));
+        assert_eq!(e.request_id, None, "one-shot mines have no serve section");
         assert!(e.dataset_hash.starts_with("fnv1a:"));
         // the report body round-trips and the flame artifact landed
         let back = ledger.read_report(&id).unwrap();
@@ -530,6 +542,36 @@ mod tests {
         assert_eq!(ledger.resolve("r0002").unwrap().id, b);
         assert!(ledger.resolve("r9").is_err());
         assert!(ledger.resolve("r0").is_err(), "ambiguous prefix");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn served_entries_carry_their_request_id() {
+        let dir = temp_dir("request-id");
+        let ledger = Ledger::open(&dir).unwrap();
+        let doc = report(0.25, 0.08).with(
+            "serve",
+            Json::obj()
+                .with("request_id", Json::U64(42))
+                .with("job_id", Json::U64(7)),
+        );
+        let id = ledger
+            .archive(&NewEntry {
+                kind: "serve",
+                label: None,
+                dataset_hash: content_hash(b"dataset"),
+                params_hash: content_hash(b"params"),
+                report: &doc,
+                trace: None,
+                flame: None,
+            })
+            .unwrap();
+        let entries = ledger.list().unwrap();
+        assert_eq!(entries[0].id, id);
+        assert_eq!(entries[0].request_id, Some(42));
+        // and the raw index line greps by request id
+        let index = fs::read_to_string(ledger.dir().join("index.jsonl")).unwrap();
+        assert!(index.contains("\"request_id\":42"), "{index}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -27,6 +27,7 @@ pub mod ledger;
 pub mod metrics;
 pub mod names;
 pub mod progress;
+pub mod service;
 pub mod timeline;
 
 pub use hist::Histogram;

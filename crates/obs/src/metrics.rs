@@ -171,7 +171,7 @@ pub fn metric_name(name: &str) -> String {
     format!("{PREFIX}{}", name.replace('.', "_"))
 }
 
-fn render_histogram(
+pub(crate) fn render_histogram(
     out: &mut String,
     fam: &str,
     buckets: impl Iterator<Item = (String, u64)>,
@@ -234,19 +234,19 @@ fn render_progress(out: &mut String, snap: &ProgressSnapshot) {
     }
 }
 
-fn gauge(out: &mut String, name: &str, value: f64) {
+pub(crate) fn gauge(out: &mut String, name: &str, value: f64) {
     let _ = writeln!(out, "# TYPE {PREFIX}{name} gauge");
     let _ = writeln!(out, "{PREFIX}{name} {}", format_f64(value));
 }
 
 /// A span bucket's upper bound (nanoseconds) as a seconds `le` value.
-fn nanos_le(hi: u64) -> String {
+pub(crate) fn nanos_le(hi: u64) -> String {
     format_f64(hi as f64 / 1e9)
 }
 
 /// Finite floats only; integral values render without a trailing `.0`
 /// (both spellings are valid exposition, one is shorter and stable).
-fn format_f64(v: f64) -> String {
+pub(crate) fn format_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -266,8 +266,61 @@ fn write_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
     l.write().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Hand-rolled OpenMetrics line parser shared by the exposition golden
+/// tests here and in [`crate::service`]; kept test-only so the production
+/// path stays render-only.
+#[cfg(test)]
+pub(crate) mod exposition {
+    use std::collections::BTreeMap;
+
+    pub(crate) struct Sample {
+        pub family: String,
+        pub labels: Vec<(String, String)>,
+        pub value: f64,
+    }
+
+    pub(crate) fn parse_sample(line: &str, types: &BTreeMap<String, String>) -> Sample {
+        let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("unparseable value in {line:?}");
+        });
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("closed label set");
+                let labels = body
+                    .split(',')
+                    .map(|kv| {
+                        let (k, v) = kv.split_once('=').expect("label k=v");
+                        let v = v
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .expect("quoted label value");
+                        (k.to_string(), v.to_string())
+                    })
+                    .collect();
+                (name.to_string(), labels)
+            }
+        };
+        // Strip the per-type sample suffix to recover the family name.
+        let family = ["_total", "_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let stem = name.strip_suffix(suffix)?;
+                types.contains_key(stem).then(|| stem.to_string())
+            })
+            .unwrap_or(name);
+        Sample {
+            family,
+            labels,
+            value,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::exposition::{parse_sample, Sample};
     use super::*;
     use crate::names;
 
@@ -369,55 +422,11 @@ mod tests {
 
     // ---- satellite: golden exposition-format test -----------------------
     //
-    // A hand-rolled OpenMetrics line parser (kept in the test so the
-    // production path stays render-only) checks structural validity: every
-    // family is typed before its samples, counters appear exactly once,
-    // histogram buckets are cumulative/monotone and consistent with their
-    // `_count`, and the document is `# EOF`-terminated.
-
-    struct Sample {
-        family: String,
-        labels: Vec<(String, String)>,
-        value: f64,
-    }
-
-    fn parse_sample(line: &str, types: &BTreeMap<String, String>) -> Sample {
-        let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
-        let value: f64 = value.parse().unwrap_or_else(|_| {
-            panic!("unparseable value in {line:?}");
-        });
-        let (name, labels) = match name_labels.split_once('{') {
-            None => (name_labels.to_string(), Vec::new()),
-            Some((name, rest)) => {
-                let body = rest.strip_suffix('}').expect("closed label set");
-                let labels = body
-                    .split(',')
-                    .map(|kv| {
-                        let (k, v) = kv.split_once('=').expect("label k=v");
-                        let v = v
-                            .strip_prefix('"')
-                            .and_then(|v| v.strip_suffix('"'))
-                            .expect("quoted label value");
-                        (k.to_string(), v.to_string())
-                    })
-                    .collect();
-                (name.to_string(), labels)
-            }
-        };
-        // Strip the per-type sample suffix to recover the family name.
-        let family = ["_total", "_bucket", "_sum", "_count"]
-            .iter()
-            .find_map(|suffix| {
-                let stem = name.strip_suffix(suffix)?;
-                types.contains_key(stem).then(|| stem.to_string())
-            })
-            .unwrap_or(name);
-        Sample {
-            family,
-            labels,
-            value,
-        }
-    }
+    // The shared hand-rolled OpenMetrics parser (see [`super::exposition`])
+    // checks structural validity: every family is typed before its samples,
+    // counters appear exactly once, histogram buckets are
+    // cumulative/monotone and consistent with their `_count`, and the
+    // document is `# EOF`-terminated.
 
     #[test]
     fn exposition_is_valid_openmetrics() {

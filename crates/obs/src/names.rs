@@ -161,6 +161,67 @@ pub const T_WORKER_FAILURE: &str = "fault.worker_failure";
 /// An armed failpoint fired (instant; detail carries the message).
 pub const T_FAILPOINT: &str = "fault.failpoint";
 
+// ---- service layer (daemon-lifetime ServiceRegistry; never in reports) --
+//
+// Counters, latency families, and gauges published by `tricluster serve`
+// and exposed on the daemon's `GET /metrics`. These aggregate across jobs
+// for the life of the process, unlike the per-run taxonomy above, and are
+// kept strictly outside the deterministic report sections.
+
+/// Jobs admitted past every admission check and enqueued.
+pub const SV_JOBS_ACCEPTED: &str = "serve.jobs.accepted";
+/// Submissions shed with 429 `queue_full`.
+pub const SV_JOBS_REJECTED_QUEUE_FULL: &str = "serve.jobs.rejected_queue_full";
+/// Submissions shed with 429 `memory_budget`.
+pub const SV_JOBS_REJECTED_MEMORY: &str = "serve.jobs.rejected_memory";
+/// Admitted jobs whose params were clamped under the tenant caps.
+pub const SV_JOBS_CLAMPED: &str = "serve.jobs.clamped";
+/// Jobs that finished with a report (possibly truncated).
+pub const SV_JOBS_COMPLETED: &str = "serve.jobs.completed";
+/// Jobs that finished with a structured error (panic or mine failure).
+pub const SV_JOBS_FAILED: &str = "serve.jobs.failed";
+/// Jobs cancelled while queued or running.
+pub const SV_JOBS_CANCELLED: &str = "serve.jobs.cancelled";
+/// HTTP requests answered by the daemon (any route, any status).
+pub const SV_HTTP_REQUESTS: &str = "serve.http.requests";
+
+// Latency families: rendered as `_seconds` histograms like the phase spans.
+
+/// Time a job spent queued before a worker picked it up.
+pub const SV_QUEUE_WAIT: &str = "serve.job.queue_wait";
+/// Time a worker spent mining the job (including its report build).
+pub const SV_RUN: &str = "serve.job.run";
+/// Time spent archiving a finished job into the run ledger.
+pub const SV_ARCHIVE: &str = "serve.job.archive";
+
+// Gauges: sampled under the daemon lock at scrape time.
+
+/// Jobs currently queued.
+pub const SV_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Dataset bytes currently admitted (queued + running).
+pub const SV_ADMITTED_BYTES: &str = "serve.admitted.bytes";
+/// Workers currently running a job.
+pub const SV_WORKERS_BUSY: &str = "serve.workers.busy";
+/// Finished job records currently retained for `GET /jobs/<id>`.
+pub const SV_JOBS_RETAINED: &str = "serve.jobs.retained";
+/// Engine dataset-cache hits since daemon start.
+pub const SV_CACHE_HITS: &str = "serve.cache.hits";
+/// Engine dataset-cache misses since daemon start.
+pub const SV_CACHE_MISSES: &str = "serve.cache.misses";
+/// Engine dataset-cache entries evicted by MRU truncation.
+pub const SV_CACHE_EVICTIONS: &str = "serve.cache.evictions";
+
+// Job-lifecycle timeline instants (Chrome trace; never in the report).
+
+/// Job admitted and pushed onto the queue (instant; on the HTTP thread).
+pub const T_SV_ENQUEUED: &str = "serve.job.enqueued";
+/// Worker dequeued the job and started mining (instant).
+pub const T_SV_STARTED: &str = "serve.job.started";
+/// Job reached a terminal state (instant; detail names it).
+pub const T_SV_FINISHED: &str = "serve.job.finished";
+/// Cancellation observed for the job (instant).
+pub const T_SV_CANCELLED: &str = "serve.job.cancelled";
+
 // ---- fault accounting (only emitted when a run degrades) ----------------
 
 /// Isolated worker units (slices, column pairs, DFS branches, phases) that
@@ -246,6 +307,28 @@ pub const ALL: &[&str] = &[
     T_CANCELLED,
     T_WORKER_FAILURE,
     T_FAILPOINT,
+    SV_JOBS_ACCEPTED,
+    SV_JOBS_REJECTED_QUEUE_FULL,
+    SV_JOBS_REJECTED_MEMORY,
+    SV_JOBS_CLAMPED,
+    SV_JOBS_COMPLETED,
+    SV_JOBS_FAILED,
+    SV_JOBS_CANCELLED,
+    SV_HTTP_REQUESTS,
+    SV_QUEUE_WAIT,
+    SV_RUN,
+    SV_ARCHIVE,
+    SV_QUEUE_DEPTH,
+    SV_ADMITTED_BYTES,
+    SV_WORKERS_BUSY,
+    SV_JOBS_RETAINED,
+    SV_CACHE_HITS,
+    SV_CACHE_MISSES,
+    SV_CACHE_EVICTIONS,
+    T_SV_ENQUEUED,
+    T_SV_STARTED,
+    T_SV_FINISHED,
+    T_SV_CANCELLED,
     F_WORKER_FAILURES,
 ];
 

@@ -1,0 +1,301 @@
+//! Daemon-lifetime service metrics for `tricluster serve`.
+//!
+//! A [`ServiceRegistry`] outlives every job: where [`crate::metrics::Registry`]
+//! aggregates one run's counter/span stream through the [`crate::EventSink`]
+//! fan-out, this registry is written to directly by the daemon's admission,
+//! queue, worker, and archive paths, and keeps accumulating across jobs for
+//! the life of the process. [`render_openmetrics`] serializes job-lifecycle
+//! counters and queue-wait/run/archive latency histograms together with
+//! caller-sampled gauges (queue depth, admitted bytes, worker occupancy,
+//! cache effectiveness) as the daemon's `GET /metrics` body.
+//!
+//! Like the per-run registry, this layer only observes. Nothing here feeds
+//! back into admission or mining decisions, and none of it enters the
+//! report's deterministic sections — a served job's clusters stay
+//! byte-identical to a one-shot `mine` whether or not anyone scrapes.
+//!
+//! [`render_openmetrics`]: ServiceRegistry::render_openmetrics
+
+use crate::metrics::{gauge, metric_name, nanos_le, render_histogram};
+use crate::SpanStats;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Duration;
+
+/// Process-lifetime aggregation of service telemetry.
+///
+/// Counters are relaxed atomics behind a read lock (the submission path is
+/// latency-sensitive); latency observations take a short mutex per finished
+/// job, far off any hot path. Gauges are intentionally *not* stored here:
+/// they are instantaneous views of daemon state (queue depth, admitted
+/// bytes), so the daemon samples them under its own lock at scrape time and
+/// passes them to [`ServiceRegistry::render_openmetrics`].
+#[derive(Default)]
+pub struct ServiceRegistry {
+    counters: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    latencies: Mutex<BTreeMap<&'static str, SpanStats>>,
+}
+
+impl ServiceRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a lifecycle counter (see the `serve.*` names in
+    /// [`crate::names`]).
+    pub fn incr(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to a lifecycle counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        {
+            let counters = read_lock(&self.counters);
+            if let Some(c) = counters.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        write_lock(&self.counters)
+            .entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of one counter (JSON surfaces and tests).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        read_lock(&self.counters)
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records one latency observation into the named family
+    /// (log-bucketed; rendered as a `_seconds` histogram).
+    pub fn observe(&self, name: &'static str, elapsed: Duration) {
+        lock(&self.latencies)
+            .entry(name)
+            .or_default()
+            .record(elapsed);
+    }
+
+    /// `(count, total)` of one latency family, `(0, 0)` if never observed
+    /// (JSON surfaces and tests).
+    pub fn latency_totals(&self, name: &str) -> (u64, Duration) {
+        lock(&self.latencies)
+            .get(name)
+            .map(|s| (s.count, s.total))
+            .unwrap_or((0, Duration::ZERO))
+    }
+
+    /// Renders the OpenMetrics text exposition: every counter as a
+    /// `_total`, every latency family as a cumulative-bucket `_seconds`
+    /// histogram, then the caller-sampled `gauges` (dotted names from
+    /// [`crate::names`], instantaneous values). Terminated by `# EOF`.
+    pub fn render_openmetrics(&self, gauges: &[(&'static str, f64)]) -> String {
+        let mut out = String::new();
+        for (name, value) in read_lock(&self.counters).iter() {
+            let fam = metric_name(name);
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "# TYPE {fam} counter");
+            let _ = writeln!(out, "{fam}_total {}", value.load(Ordering::Relaxed));
+        }
+        for (name, stats) in lock(&self.latencies).iter() {
+            let fam = format!("{}_seconds", metric_name(name));
+            render_histogram(
+                &mut out,
+                &fam,
+                stats.hist.buckets().map(|(_, hi, c)| (nanos_le(hi), c)),
+                stats.count,
+                stats.total.as_secs_f64(),
+            );
+        }
+        for (name, value) in gauges {
+            gauge(&mut out, &name.replace('.', "_"), *value);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn read_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
+    l.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_lock<'a, T>(l: &'a RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
+    l.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::exposition::{parse_sample, Sample};
+    use crate::names;
+
+    #[test]
+    fn registry_accumulates_counters_and_latencies() {
+        let reg = ServiceRegistry::new();
+        reg.incr(names::SV_JOBS_ACCEPTED);
+        reg.incr(names::SV_JOBS_ACCEPTED);
+        reg.add(names::SV_HTTP_REQUESTS, 7);
+        reg.observe(names::SV_QUEUE_WAIT, Duration::from_millis(4));
+        reg.observe(names::SV_QUEUE_WAIT, Duration::from_millis(12));
+        assert_eq!(reg.counter_value(names::SV_JOBS_ACCEPTED), 2);
+        assert_eq!(reg.counter_value(names::SV_HTTP_REQUESTS), 7);
+        assert_eq!(reg.counter_value(names::SV_JOBS_FAILED), 0);
+        let (count, total) = reg.latency_totals(names::SV_QUEUE_WAIT);
+        assert_eq!(count, 2);
+        assert_eq!(total, Duration::from_millis(16));
+        assert_eq!(reg.latency_totals(names::SV_RUN), (0, Duration::ZERO));
+    }
+
+    // ---- satellite: golden exposition test for tricluster_serve_* -------
+    //
+    // Same structural checks as the per-run registry's golden test, run on
+    // the service families: counters exactly once with exact values,
+    // histogram buckets cumulative/monotone with +Inf == _count, gauges
+    // present, `# EOF`-terminated — all through the shared hand-rolled
+    // parser in `metrics::exposition`.
+    #[test]
+    fn serve_exposition_is_valid_openmetrics() {
+        let reg = ServiceRegistry::new();
+        for (name, delta) in [
+            (names::SV_JOBS_ACCEPTED, 5u64),
+            (names::SV_JOBS_REJECTED_QUEUE_FULL, 2),
+            (names::SV_JOBS_COMPLETED, 4),
+            (names::SV_JOBS_FAILED, 1),
+            (names::SV_HTTP_REQUESTS, 31),
+        ] {
+            reg.add(name, delta);
+        }
+        for ms in [1u64, 3, 3, 40, 600] {
+            reg.observe(names::SV_QUEUE_WAIT, Duration::from_millis(ms));
+        }
+        for ms in [20u64, 90, 90, 250] {
+            reg.observe(names::SV_RUN, Duration::from_millis(ms));
+        }
+        let gauges = [
+            (names::SV_QUEUE_DEPTH, 3.0),
+            (names::SV_ADMITTED_BYTES, 1_048_576.0),
+            (names::SV_WORKERS_BUSY, 2.0),
+            (names::SV_CACHE_HITS, 9.0),
+        ];
+        let text = reg.render_openmetrics(&gauges);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(*lines.last().unwrap(), "# EOF", "EOF-terminated");
+
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        let mut samples: Vec<Sample> = Vec::new();
+        for line in &lines[..lines.len() - 1] {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (fam, ty) = rest.split_once(' ').expect("TYPE has family and kind");
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram"),
+                    "unknown type {ty:?}"
+                );
+                assert!(
+                    types.insert(fam.to_string(), ty.to_string()).is_none(),
+                    "family {fam} typed twice"
+                );
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment {line:?}");
+            samples.push(parse_sample(line, &types));
+        }
+        for s in &samples {
+            assert!(
+                s.family.starts_with("tricluster_serve_"),
+                "service family {:?} carries the serve prefix",
+                s.family
+            );
+            assert!(
+                types.contains_key(&s.family),
+                "sample for untyped family {:?}",
+                s.family
+            );
+            assert!(s.value.is_finite());
+        }
+        // Counters: exactly one sample each, with the exact value.
+        for (name, want) in [
+            (names::SV_JOBS_ACCEPTED, 5.0),
+            (names::SV_JOBS_REJECTED_QUEUE_FULL, 2.0),
+            (names::SV_HTTP_REQUESTS, 31.0),
+        ] {
+            let fam = metric_name(name);
+            let hits: Vec<&Sample> = samples.iter().filter(|s| s.family == fam).collect();
+            assert_eq!(hits.len(), 1, "{fam} appears once");
+            assert_eq!(hits[0].value, want, "{fam} value");
+        }
+        for (fam, ty) in &types {
+            if ty == "counter" {
+                let hits = samples.iter().filter(|s| s.family == *fam).count();
+                assert_eq!(hits, 1, "counter {fam} appears exactly once");
+            }
+        }
+        // Histograms: cumulative/monotone buckets ending at +Inf == _count.
+        let mut histogram_families = 0;
+        for (fam, ty) in &types {
+            if ty != "histogram" {
+                continue;
+            }
+            histogram_families += 1;
+            let buckets: Vec<&Sample> = samples
+                .iter()
+                .filter(|s| s.family == *fam && s.labels.iter().any(|(k, _)| k == "le"))
+                .collect();
+            assert!(!buckets.is_empty(), "{fam} has buckets");
+            let mut prev = 0.0;
+            for b in &buckets {
+                assert!(
+                    b.value >= prev,
+                    "{fam} bucket counts must be cumulative/monotone"
+                );
+                prev = b.value;
+            }
+            let (_, last_le) = buckets
+                .last()
+                .unwrap()
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .unwrap()
+                .clone();
+            assert_eq!(last_le, "+Inf", "{fam} ends with the +Inf bucket");
+            let count = samples
+                .iter()
+                .filter(|s| s.family == *fam && s.labels.is_empty())
+                .count();
+            assert_eq!(count, 2, "{fam} has exactly _sum and _count");
+            let count_needle = format!("{fam}_count ");
+            let count = lines
+                .iter()
+                .find(|l| l.starts_with(&count_needle))
+                .and_then(|l| l.rsplit_once(' '))
+                .map(|(_, v)| v.parse::<f64>().unwrap())
+                .expect("histogram _count present");
+            assert_eq!(
+                buckets.last().unwrap().value,
+                count,
+                "{fam} +Inf bucket equals _count"
+            );
+        }
+        assert_eq!(histogram_families, 2, "queue_wait and run families");
+        assert_eq!(
+            types.get("tricluster_serve_job_queue_wait_seconds"),
+            Some(&"histogram".to_string())
+        );
+        // Gauges render once each with the sampled value.
+        for (name, want) in gauges {
+            let fam = metric_name(name);
+            assert_eq!(types.get(&fam), Some(&"gauge".to_string()), "{fam} typed");
+            let hits: Vec<&Sample> = samples.iter().filter(|s| s.family == fam).collect();
+            assert_eq!(hits.len(), 1, "{fam} appears once");
+            assert_eq!(hits[0].value, want, "{fam} value");
+        }
+    }
+}

@@ -78,8 +78,9 @@ if [[ $fast -eq 0 ]]; then
     serve_log="$(mktemp /tmp/tricluster-serve-XXXXXX.log)"
     serve_json="$(mktemp /tmp/tricluster-serve-XXXXXX.json)"
     serve_ledger="$(mktemp -d /tmp/tricluster-serve-ledger-XXXXXX)"
+    serve_access="$(mktemp /tmp/tricluster-serve-access-XXXXXX.jsonl)"
     serve_pid=""
-    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt" "$met_tsv" "$met_base" "$met_json" "$met_log" "$serve_log" "$serve_json"; rm -rf "$ledger_dir" "$serve_ledger"; [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null' EXIT
+    trap 'rm -f "$smoke_json" "$det_tsv" "$det_t1" "$det_t4" "$trace_json" "$flame_txt" "$met_tsv" "$met_base" "$met_json" "$met_log" "$serve_log" "$serve_json" "$serve_access"; rm -rf "$ledger_dir" "$serve_ledger"; [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null' EXIT
     run cargo run --release --quiet -p tricluster-bench --features track-alloc \
         --bin fig7 -- --smoke --json "$smoke_json"
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
@@ -192,7 +193,7 @@ if [[ $fast -eq 0 ]]; then
     # stdout AND stderr go to the log: an inherited stdout would hold any
     # pipe this script writes to open for as long as the daemon lives.
     ./target/release/tricluster serve 127.0.0.1:0 --workers 1 --queue-depth 2 \
-        --ledger "$serve_ledger" > "$serve_log" 2>&1 &
+        --ledger "$serve_ledger" --access-log "$serve_access" > "$serve_log" 2>&1 &
     serve_pid=$!
     serve_url=""
     for _ in $(seq 1 500); do
@@ -223,6 +224,20 @@ if [[ $fast -eq 0 ]]; then
         echo "error: shed submission carried no queue_full reason: $shed" >&2
         exit 1
     fi
+    # Mid-job observability: with the long job still occupying the worker,
+    # the daemon-lifetime exposition must be live, carry the serve
+    # families, and be well-terminated.
+    serve_metrics=$(./target/release/tricluster watch "$serve_url" --get /metrics)
+    for needle in 'tricluster_serve_jobs_accepted_total 3' \
+                  'tricluster_serve_jobs_rejected_queue_full_total 1' \
+                  'tricluster_serve_workers_busy 1' \
+                  '# TYPE tricluster_serve_job_queue_wait_seconds histogram' \
+                  '# EOF'; do
+        if ! grep -qF "$needle" <<< "$serve_metrics"; then
+            echo "error: mid-job /metrics scrape lacks \"$needle\": $serve_metrics" >&2
+            exit 1
+        fi
+    done
     # Kill the occupying job mid-flight; the daemon keeps serving.
     ./target/release/tricluster submit "$serve_url" --cancel "$long_id" >/dev/null
     # Wait out a clean job and collect its report; the queue may still be
@@ -247,6 +262,19 @@ if [[ $fast -eq 0 ]]; then
         exit 1
     }
     ./target/release/tricluster watch "$serve_url" --jobs | grep -q 'over-quota'
+    # Request-scoped audit: the job's originating request id (from its
+    # status) must appear in the access log on the submission record.
+    det_rid=$(./target/release/tricluster watch "$serve_url" --get "/jobs/$det_id" \
+        | tr -d ' ' | sed -n 's/.*"request_id":\([0-9]*\).*/\1/p' | head -n1)
+    if [[ -z "$det_rid" ]]; then
+        echo "error: job $det_id carries no request_id" >&2
+        exit 1
+    fi
+    if ! grep "\"request_id\":$det_rid," "$serve_access" | grep -q "\"job_id\":$det_id"; then
+        echo "error: access log has no record tying request $det_rid to job $det_id:" >&2
+        cat "$serve_access" >&2
+        exit 1
+    fi
     # Graceful drain: stop admitting, finish in-flight, exit 0.
     ./target/release/tricluster submit "$serve_url" --shutdown drain >/dev/null
     wait "$serve_pid"
@@ -256,7 +284,10 @@ if [[ $fast -eq 0 ]]; then
         echo "error: expected >=2 jobs archived by the draining daemon, got $archived" >&2
         exit 1
     fi
-    echo "==> serve smoke: shed, cancelled, failed structurally, drained ($archived jobs archived) at $serve_url"
+    echo "==> serve smoke: shed, scraped /metrics mid-job, audited request $det_rid, drained ($archived jobs archived) at $serve_url"
+    # The served job ran under full observability (service metrics, access
+    # log, lifecycle trace); its deterministic sections must still match
+    # the unmonitored one-shot mine byte for byte.
     run cargo run --release --quiet -p tricluster-bench --bin bench -- \
         determinism "$det_t1" "$serve_json"
 fi
